@@ -1,0 +1,67 @@
+//! Adapter over the global Rust allocator — the "plain malloc" configuration
+//! of Fig. 14.
+
+use crate::{ValueAllocator, VALUE_ALIGN};
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+
+/// The global allocator exposed through the [`ValueAllocator`] interface.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemAllocator;
+
+impl SystemAllocator {
+    /// Create the adapter (zero-sized).
+    pub fn new() -> Self {
+        SystemAllocator
+    }
+
+    #[inline]
+    fn layout(size: usize) -> Layout {
+        // Round up to the minimum alignment; size 0 is bumped to 1 so the
+        // layout stays valid.
+        Layout::from_size_align(size.max(1), VALUE_ALIGN).expect("valid layout")
+    }
+}
+
+impl ValueAllocator for SystemAllocator {
+    fn alloc(&self, size: usize) -> *mut u8 {
+        let layout = Self::layout(size);
+        // SAFETY: layout has non-zero size.
+        let ptr = unsafe { alloc(layout) };
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, size: usize) {
+        // SAFETY: caller contract — ptr came from `alloc(size)` above.
+        unsafe { dealloc(ptr, Self::layout(size)) }
+    }
+
+    fn name(&self) -> &'static str {
+        "system-malloc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sized_requests_are_bumped() {
+        let a = SystemAllocator::new();
+        let p = a.alloc(0);
+        assert!(!p.is_null());
+        unsafe { a.dealloc(p, 0) };
+    }
+
+    #[test]
+    fn alignment_is_at_least_value_align() {
+        let a = SystemAllocator::new();
+        for size in [1, 7, 16, 33, 1000] {
+            let p = a.alloc(size);
+            assert_eq!(p as usize % VALUE_ALIGN, 0);
+            unsafe { a.dealloc(p, size) };
+        }
+    }
+}

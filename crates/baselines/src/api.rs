@@ -1,0 +1,210 @@
+//! Common interface implemented by DLHT and every baseline hashtable, so the
+//! workload runner (`dlht-workloads`) can drive them interchangeably — the
+//! role played by the paper's shared benchmark harness (§4).
+
+/// A request in a batch submitted through [`ConcurrentMap::execute_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Look up a key.
+    Get(u64),
+    /// Update an existing key.
+    Put(u64, u64),
+    /// Insert a new key.
+    Insert(u64, u64),
+    /// Delete a key.
+    Delete(u64),
+}
+
+impl BatchOp {
+    /// The key the request targets.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        match *self {
+            BatchOp::Get(k) | BatchOp::Put(k, _) | BatchOp::Insert(k, _) | BatchOp::Delete(k) => k,
+        }
+    }
+}
+
+/// The result of one batched request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchResult {
+    /// `Get` result.
+    Value(Option<u64>),
+    /// Whether a `Put`/`Insert`/`Delete` took effect.
+    Applied(bool),
+}
+
+/// Feature matrix entries used to regenerate Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapFeatures {
+    /// "closed-addressing" or "open-addressing".
+    pub collision_handling: &'static str,
+    /// Non-blocking Gets.
+    pub lock_free_gets: bool,
+    /// Supports pure Puts (update-only) without locks.
+    pub non_blocking_puts: bool,
+    /// Supports pure Inserts without locks.
+    pub non_blocking_inserts: bool,
+    /// Deletes that immediately free index slots.
+    pub deletes_free_slots: bool,
+    /// Supports growing the index at all.
+    pub resizable: bool,
+    /// Resizes do not block all other operations.
+    pub non_blocking_resize: bool,
+    /// Uses software prefetching to overlap memory accesses.
+    pub overlaps_memory_accesses: bool,
+    /// Values (≤ 8 B) are stored inline in the index.
+    pub inline_values: bool,
+}
+
+/// Thread-safe map over 8-byte keys and values, as evaluated in §5.
+pub trait ConcurrentMap: Send + Sync {
+    /// Look up `key`.
+    fn get(&self, key: u64) -> Option<u64>;
+
+    /// Insert `key -> value`. Returns `false` if the key already exists or the
+    /// structure cannot accommodate it.
+    fn insert(&self, key: u64, value: u64) -> bool;
+
+    /// Update an existing key. Returns `false` if the key is absent (or the
+    /// design cannot express a pure update).
+    fn update(&self, key: u64, value: u64) -> bool;
+
+    /// Remove `key`. Returns whether it was present.
+    fn remove(&self, key: u64) -> bool;
+
+    /// Insert if absent, else update.
+    fn upsert(&self, key: u64, value: u64) {
+        if !self.insert(key, value) {
+            self.update(key, value);
+        }
+    }
+
+    /// Number of live keys (may be linear-time).
+    fn len(&self) -> usize;
+
+    /// Whether the map is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short display name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Feature flags for Table 1.
+    fn features(&self) -> MapFeatures;
+
+    /// Whether [`ConcurrentMap::execute_batch`] actually overlaps memory
+    /// accesses (software prefetching) rather than falling back to a loop.
+    fn supports_batching(&self) -> bool {
+        false
+    }
+
+    /// Execute a batch of requests. The default implementation simply loops;
+    /// designs with software prefetching override it.
+    fn execute_batch(&self, ops: &[BatchOp], out: &mut Vec<BatchResult>) {
+        out.clear();
+        for op in ops {
+            out.push(match *op {
+                BatchOp::Get(k) => BatchResult::Value(self.get(k)),
+                BatchOp::Put(k, v) => BatchResult::Applied(self.update(k, v)),
+                BatchOp::Insert(k, v) => BatchResult::Applied(self.insert(k, v)),
+                BatchOp::Delete(k) => BatchResult::Applied(self.remove(k)),
+            });
+        }
+    }
+}
+
+/// Blanket impl so `Arc<M>` / `Box<M>` can be used wherever a map is expected.
+impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
+    fn get(&self, key: u64) -> Option<u64> {
+        (**self).get(key)
+    }
+    fn insert(&self, key: u64, value: u64) -> bool {
+        (**self).insert(key, value)
+    }
+    fn update(&self, key: u64, value: u64) -> bool {
+        (**self).update(key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        (**self).remove(key)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn features(&self) -> MapFeatures {
+        (**self).features()
+    }
+    fn supports_batching(&self) -> bool {
+        (**self).supports_batching()
+    }
+    fn execute_batch(&self, ops: &[BatchOp], out: &mut Vec<BatchResult>) {
+        (**self).execute_batch(ops, out)
+    }
+}
+
+/// Shared conformance checks run against every implementation.
+#[cfg(test)]
+pub(crate) mod conformance {
+    use super::*;
+
+    /// Basic single-threaded semantics every map must satisfy.
+    pub fn basic_semantics<M: ConcurrentMap>(map: &M) {
+        let name = map.name();
+        assert_eq!(map.get(1), None, "{name}");
+        assert!(map.insert(1, 10), "{name}");
+        assert!(!map.insert(1, 11), "{name}: duplicate insert must fail");
+        assert_eq!(map.get(1), Some(10), "{name}");
+        // Maps that support pure updates must reflect them; the rest must at
+        // least leave the old value intact.
+        if map.update(1, 12) {
+            assert_eq!(map.get(1), Some(12), "{name}");
+        } else {
+            assert_eq!(map.get(1), Some(10), "{name}");
+        }
+        // Removal (tombstone or reclaiming) must hide the key from Gets.
+        if map.remove(1) {
+            assert_eq!(map.get(1), None, "{name}");
+            assert!(!map.remove(1), "{name}: double remove must fail");
+        }
+        // Misses stay misses.
+        assert_eq!(map.get(999), None, "{name}");
+    }
+
+    /// Concurrent smoke test: unique-winner inserts plus read stability.
+    pub fn concurrent_inserts<M: ConcurrentMap>(map: &M, keys: u64) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let wins = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for k in 0..keys {
+                        if map.insert(k, k * 2) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), keys, "{}", map.name());
+        for k in 0..keys {
+            assert_eq!(map.get(k), Some(k * 2), "{} key {k}", map.name());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_op_key() {
+        assert_eq!(BatchOp::Get(1).key(), 1);
+        assert_eq!(BatchOp::Put(2, 0).key(), 2);
+        assert_eq!(BatchOp::Insert(3, 0).key(), 3);
+        assert_eq!(BatchOp::Delete(4).key(), 4);
+    }
+}

@@ -1,0 +1,344 @@
+//! CLHT-like baseline: lock-free closed addressing with one cache line per
+//! bucket, **no chaining**, and a serial, blocking resize (Table 1, §2.2).
+//!
+//! Mirrors the properties the paper attributes to the lock-free CLHT variant:
+//!
+//! * a bucket holds at most 3 key-value pairs; any further collision forces a
+//!   resize, which is why CLHT's occupancy before resize is only 1–5%;
+//! * Gets/Inserts/Deletes are CAS-based on a per-bucket header word;
+//! * the resize is single-threaded and blocks every other operation until all
+//!   objects are copied (here: a writer lock held for the whole migration).
+//!
+//! The original CLHT additionally assumes values are unique and offers no
+//! Puts; we keep the no-Put restriction (`update` returns `false`) so the
+//! workload runner exercises it the way the paper does.
+
+use crate::api::{ConcurrentMap, MapFeatures};
+use dlht_hash::{Hasher64, WyHash};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SLOTS: usize = 3;
+
+const EMPTY: u64 = 0;
+const CLAIMED: u64 = 1;
+const VALID: u64 = 2;
+
+#[inline]
+fn slot_state(h: u64, slot: usize) -> u64 {
+    (h >> (32 + 2 * slot)) & 0b11
+}
+
+#[inline]
+fn with_slot_state(h: u64, slot: usize, state: u64) -> u64 {
+    let shift = 32 + 2 * slot;
+    let cleared = h & !(0b11 << shift);
+    let version = (h as u32).wrapping_add(1) as u64;
+    (cleared & !0xFFFF_FFFF) | ((state) << shift) | version
+}
+
+#[inline]
+fn version(h: u64) -> u32 {
+    h as u32
+}
+
+struct Bucket {
+    header: AtomicU64,
+    keys: [AtomicU64; SLOTS],
+    vals: [AtomicU64; SLOTS],
+}
+
+impl Bucket {
+    fn new() -> Self {
+        Bucket {
+            header: AtomicU64::new(0),
+            keys: std::array::from_fn(|_| AtomicU64::new(0)),
+            vals: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+struct Inner {
+    buckets: Vec<Bucket>,
+}
+
+impl Inner {
+    fn new(buckets: usize) -> Self {
+        Inner {
+            buckets: (0..buckets.max(2)).map(|_| Bucket::new()).collect(),
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> &Bucket {
+        let h = WyHash.hash_u64(key);
+        &self.buckets[(h % self.buckets.len() as u64) as usize]
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        let b = self.bucket_of(key);
+        loop {
+            let h = b.header.load(Ordering::Acquire);
+            let mut found = None;
+            for s in 0..SLOTS {
+                if slot_state(h, s) == VALID && b.keys[s].load(Ordering::Acquire) == key {
+                    found = Some(b.vals[s].load(Ordering::Acquire));
+                    break;
+                }
+            }
+            let h2 = b.header.load(Ordering::Acquire);
+            if version(h2) == version(h) {
+                return found;
+            }
+        }
+    }
+
+    /// `Err(())` when the bucket is full (CLHT must resize).
+    fn insert(&self, key: u64, value: u64) -> Result<bool, ()> {
+        let b = self.bucket_of(key);
+        'outer: loop {
+            let h = b.header.load(Ordering::Acquire);
+            // Duplicate check among published slots.
+            for s in 0..SLOTS {
+                if slot_state(h, s) == VALID && b.keys[s].load(Ordering::Acquire) == key {
+                    return Ok(false);
+                }
+            }
+            let Some(free) = (0..SLOTS).find(|&s| slot_state(h, s) == EMPTY) else {
+                return Err(());
+            };
+            // Claim the slot, fill it, then publish — the same two-phase CAS
+            // protocol DLHT inherits from CLHT (§3.2.2).
+            let claimed = with_slot_state(h, free, CLAIMED);
+            if b
+                .header
+                .compare_exchange(h, claimed, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue 'outer;
+            }
+            b.keys[free].store(key, Ordering::Release);
+            b.vals[free].store(value, Ordering::Release);
+            loop {
+                let h2 = b.header.load(Ordering::Acquire);
+                // Someone may have published the same key meanwhile.
+                for s in 0..SLOTS {
+                    if s != free
+                        && slot_state(h2, s) == VALID
+                        && b.keys[s].load(Ordering::Acquire) == key
+                    {
+                        // Release our claim and report the duplicate.
+                        let released = with_slot_state(h2, free, EMPTY);
+                        if b
+                            .header
+                            .compare_exchange(h2, released, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            return Ok(false);
+                        }
+                        continue 'outer;
+                    }
+                }
+                let published = with_slot_state(h2, free, VALID);
+                if b
+                    .header
+                    .compare_exchange(h2, published, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        let b = self.bucket_of(key);
+        loop {
+            let h = b.header.load(Ordering::Acquire);
+            let Some(slot) = (0..SLOTS)
+                .find(|&s| slot_state(h, s) == VALID && b.keys[s].load(Ordering::Acquire) == key)
+            else {
+                let h2 = b.header.load(Ordering::Acquire);
+                if version(h2) == version(h) {
+                    return false;
+                }
+                continue;
+            };
+            let freed = with_slot_state(h, slot, EMPTY);
+            if b
+                .header
+                .compare_exchange(h, freed, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    fn for_each(&self, mut f: impl FnMut(u64, u64)) {
+        for b in &self.buckets {
+            let h = b.header.load(Ordering::Acquire);
+            for s in 0..SLOTS {
+                if slot_state(h, s) == VALID {
+                    f(
+                        b.keys[s].load(Ordering::Acquire),
+                        b.vals[s].load(Ordering::Acquire),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// CLHT-like lock-free closed-addressing map with a blocking, serial resize.
+pub struct ClhtMap {
+    inner: RwLock<Inner>,
+    resizes: AtomicU64,
+}
+
+impl ClhtMap {
+    /// Create a map with roughly `capacity / 3` buckets.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ClhtMap {
+            inner: RwLock::new(Inner::new(capacity.div_ceil(SLOTS))),
+            resizes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of blocking resizes performed.
+    pub fn resizes(&self) -> u64 {
+        self.resizes.load(Ordering::Relaxed)
+    }
+
+    /// Single-threaded, blocking resize: every other operation waits on the
+    /// writer lock until all pairs are copied.
+    fn grow(&self) {
+        let mut guard = self.inner.write();
+        let mut new_size = guard.buckets.len() * 2;
+        loop {
+            let new = Inner::new(new_size);
+            let mut ok = true;
+            guard.for_each(|k, v| {
+                if ok && new.insert(k, v) == Err(()) {
+                    ok = false;
+                }
+            });
+            if ok {
+                *guard = new;
+                break;
+            }
+            // A bucket still overflowed (no chaining!): double again.
+            new_size *= 2;
+        }
+        self.resizes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl ConcurrentMap for ClhtMap {
+    fn get(&self, key: u64) -> Option<u64> {
+        self.inner.read().get(key)
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        loop {
+            match self.inner.read().insert(key, value) {
+                Ok(r) => return r,
+                Err(()) => {}
+            }
+            self.grow();
+        }
+    }
+
+    fn update(&self, _key: u64, _value: u64) -> bool {
+        // The lock-free CLHT variant does not support Puts (Table 1).
+        false
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        self.inner.read().remove(key)
+    }
+
+    fn len(&self) -> usize {
+        let mut n = 0;
+        self.inner.read().for_each(|_, _| n += 1);
+        n
+    }
+
+    fn name(&self) -> &'static str {
+        "CLHT"
+    }
+
+    fn features(&self) -> MapFeatures {
+        MapFeatures {
+            collision_handling: "closed-addressing",
+            lock_free_gets: true,
+            non_blocking_puts: false,
+            non_blocking_inserts: true,
+            deletes_free_slots: true,
+            resizable: true,
+            non_blocking_resize: false,
+            overlaps_memory_accesses: false,
+            inline_values: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::conformance;
+
+    #[test]
+    fn basic_semantics() {
+        conformance::basic_semantics(&ClhtMap::with_capacity(1024));
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        conformance::concurrent_inserts(&ClhtMap::with_capacity(50_000), 2_000);
+    }
+
+    #[test]
+    fn header_state_packing() {
+        let h = 0u64;
+        let h = with_slot_state(h, 0, VALID);
+        let h = with_slot_state(h, 2, CLAIMED);
+        assert_eq!(slot_state(h, 0), VALID);
+        assert_eq!(slot_state(h, 1), EMPTY);
+        assert_eq!(slot_state(h, 2), CLAIMED);
+        assert_eq!(version(h), 2);
+    }
+
+    #[test]
+    fn grows_when_a_bucket_overflows() {
+        let m = ClhtMap::with_capacity(8);
+        for k in 0..2_000u64 {
+            assert!(m.insert(k, k), "insert {k}");
+        }
+        assert!(m.resizes() > 0, "CLHT must resize early (low occupancy)");
+        assert_eq!(m.len(), 2_000);
+        for k in 0..2_000u64 {
+            assert_eq!(m.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn no_put_support() {
+        let m = ClhtMap::with_capacity(64);
+        m.insert(1, 1);
+        assert!(!m.update(1, 2));
+        assert_eq!(m.get(1), Some(1));
+    }
+
+    #[test]
+    fn deletes_reclaim_slots() {
+        let m = ClhtMap::with_capacity(64);
+        // Repeated insert/delete of colliding keys must not trigger resizes.
+        for round in 0..1_000u64 {
+            assert!(m.insert(round, round));
+            assert!(m.remove(round));
+        }
+        assert_eq!(m.resizes(), 0);
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! libcuckoo-like baseline: two-choice bucketized cuckoo hashing with striped
+//! spin locks (Figure 1's `Cuckoo` bar). Requires more than one memory access
+//! per request (two candidate buckets) and does not prefetch, which is why it
+//! stays in the sub-250 M req/s group in the paper.
+
+use crate::api::{ConcurrentMap, MapFeatures};
+use dlht_hash::{Hasher64, Murmur64, WyHash};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const BUCKET_SLOTS: usize = 4;
+const LOCK_STRIPES: usize = 256;
+const MAX_DISPLACEMENTS: usize = 256;
+
+#[derive(Clone, Copy)]
+struct Entry {
+    key: u64,
+    value: u64,
+    used: bool,
+}
+
+impl Entry {
+    const EMPTY: Entry = Entry {
+        key: 0,
+        value: 0,
+        used: false,
+    };
+}
+
+struct Bucket {
+    slots: [Entry; BUCKET_SLOTS],
+}
+
+/// Cuckoo hash map with two hash functions and 4-slot buckets.
+pub struct CuckooMap {
+    buckets: Vec<Mutex<Bucket>>,
+    live: AtomicUsize,
+    mask: usize,
+    _stripes: usize,
+}
+
+impl CuckooMap {
+    /// Create a map with room for about `capacity` keys at ~50% load.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let buckets = (capacity * 2 / BUCKET_SLOTS).max(16).next_power_of_two();
+        CuckooMap {
+            buckets: (0..buckets)
+                .map(|_| {
+                    Mutex::new(Bucket {
+                        slots: [Entry::EMPTY; BUCKET_SLOTS],
+                    })
+                })
+                .collect(),
+            live: AtomicUsize::new(0),
+            mask: buckets - 1,
+            _stripes: LOCK_STRIPES,
+        }
+    }
+
+    #[inline]
+    fn bucket_indexes(&self, key: u64) -> (usize, usize) {
+        let b1 = (WyHash.hash_u64(key) as usize) & self.mask;
+        let mut b2 = (Murmur64.hash_u64(key) as usize) & self.mask;
+        if b2 == b1 {
+            b2 = (b2 + 1) & self.mask;
+        }
+        (b1, b2)
+    }
+
+    /// Lock two buckets in index order to avoid deadlocks.
+    fn lock_pair(&self, a: usize, b: usize) -> (parking_lot::MutexGuard<'_, Bucket>, Option<parking_lot::MutexGuard<'_, Bucket>>) {
+        if a == b {
+            (self.buckets[a].lock(), None)
+        } else if a < b {
+            let ga = self.buckets[a].lock();
+            let gb = self.buckets[b].lock();
+            (ga, Some(gb))
+        } else {
+            let gb = self.buckets[b].lock();
+            let ga = self.buckets[a].lock();
+            (ga, Some(gb))
+        }
+    }
+
+    fn find_in(bucket: &Bucket, key: u64) -> Option<usize> {
+        bucket
+            .slots
+            .iter()
+            .position(|e| e.used && e.key == key)
+    }
+
+    fn insert_in(bucket: &mut Bucket, key: u64, value: u64) -> bool {
+        for e in bucket.slots.iter_mut() {
+            if !e.used {
+                *e = Entry {
+                    key,
+                    value,
+                    used: true,
+                };
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Greedy single-path displacement: evict a victim from `from` and try to
+    /// re-home it, repeating up to `MAX_DISPLACEMENTS` times.
+    fn displace_and_insert(&self, key: u64, value: u64) -> bool {
+        let mut carry_key = key;
+        let mut carry_value = value;
+        let (mut target, _) = self.bucket_indexes(carry_key);
+        for step in 0..MAX_DISPLACEMENTS {
+            let mut guard = self.buckets[target].lock();
+            if Self::insert_in(&mut guard, carry_key, carry_value) {
+                return true;
+            }
+            // Evict the slot chosen by the step counter and carry it onward.
+            let victim_slot = step % BUCKET_SLOTS;
+            let victim = guard.slots[victim_slot];
+            guard.slots[victim_slot] = Entry {
+                key: carry_key,
+                value: carry_value,
+                used: true,
+            };
+            drop(guard);
+            carry_key = victim.key;
+            carry_value = victim.value;
+            let (b1, b2) = self.bucket_indexes(carry_key);
+            // Send the victim to its alternate bucket.
+            target = if b1 == target { b2 } else { b1 };
+        }
+        // Path too long: put the carried element back if possible; report full.
+        let (b1, b2) = self.bucket_indexes(carry_key);
+        let (mut g1, g2) = self.lock_pair(b1, b2);
+        if !Self::insert_in(&mut g1, carry_key, carry_value) {
+            if let Some(mut g2) = g2 {
+                let _ = Self::insert_in(&mut g2, carry_key, carry_value);
+            }
+        }
+        false
+    }
+}
+
+impl ConcurrentMap for CuckooMap {
+    fn get(&self, key: u64) -> Option<u64> {
+        let (b1, b2) = self.bucket_indexes(key);
+        {
+            let g = self.buckets[b1].lock();
+            if let Some(s) = Self::find_in(&g, key) {
+                return Some(g.slots[s].value);
+            }
+        }
+        let g = self.buckets[b2].lock();
+        Self::find_in(&g, key).map(|s| g.slots[s].value)
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        let (b1, b2) = self.bucket_indexes(key);
+        {
+            let (mut g1, g2) = self.lock_pair(b1, b2);
+            if Self::find_in(&g1, key).is_some()
+                || g2.as_ref().is_some_and(|g| Self::find_in(g, key).is_some())
+            {
+                return false;
+            }
+            if Self::insert_in(&mut g1, key, value) {
+                self.live.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            if let Some(mut g2) = g2 {
+                if Self::insert_in(&mut g2, key, value) {
+                    self.live.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+            }
+        }
+        // Both buckets full: displace.
+        if self.displace_and_insert(key, value) {
+            self.live.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn update(&self, key: u64, value: u64) -> bool {
+        let (b1, b2) = self.bucket_indexes(key);
+        let (mut g1, g2) = self.lock_pair(b1, b2);
+        if let Some(s) = Self::find_in(&g1, key) {
+            g1.slots[s].value = value;
+            return true;
+        }
+        if let Some(mut g2) = g2 {
+            if let Some(s) = Self::find_in(&g2, key) {
+                g2.slots[s].value = value;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        let (b1, b2) = self.bucket_indexes(key);
+        let (mut g1, g2) = self.lock_pair(b1, b2);
+        if let Some(s) = Self::find_in(&g1, key) {
+            g1.slots[s].used = false;
+            self.live.fetch_sub(1, Ordering::Relaxed);
+            return true;
+        }
+        if let Some(mut g2) = g2 {
+            if let Some(s) = Self::find_in(&g2, key) {
+                g2.slots[s].used = false;
+                self.live.fetch_sub(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    fn name(&self) -> &'static str {
+        "Cuckoo"
+    }
+
+    fn features(&self) -> MapFeatures {
+        MapFeatures {
+            collision_handling: "open-addressing",
+            lock_free_gets: false,
+            non_blocking_puts: false,
+            non_blocking_inserts: false,
+            deletes_free_slots: true,
+            resizable: false,
+            non_blocking_resize: false,
+            overlaps_memory_accesses: false,
+            inline_values: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::conformance;
+
+    #[test]
+    fn basic_semantics() {
+        conformance::basic_semantics(&CuckooMap::with_capacity(1024));
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        conformance::concurrent_inserts(&CuckooMap::with_capacity(50_000), 2_000);
+    }
+
+    #[test]
+    fn displacement_keeps_all_keys_reachable() {
+        let m = CuckooMap::with_capacity(2_000);
+        for k in 0..1_500u64 {
+            assert!(m.insert(k, k * 3), "insert {k}");
+        }
+        for k in 0..1_500u64 {
+            assert_eq!(m.get(k), Some(k * 3), "key {k}");
+        }
+        assert_eq!(m.len(), 1_500);
+    }
+
+    #[test]
+    fn deletes_make_room_for_new_keys() {
+        let m = CuckooMap::with_capacity(256);
+        for k in 0..200u64 {
+            assert!(m.insert(k, k));
+        }
+        for k in 0..200u64 {
+            assert!(m.remove(k));
+        }
+        for k in 1_000..1_200u64 {
+            assert!(m.insert(k, k), "slot reuse after delete must work");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Adapters exposing DLHT itself through the common [`ConcurrentMap`]
+//! interface, in two flavours matching Table 3: `DLHT` (with batching /
+//! software prefetching) and `DLHT-NoBatch`.
+
+use crate::api::{BatchOp, BatchResult, ConcurrentMap, MapFeatures};
+use dlht_core::{DlhtConfig, DlhtMap, Request, Response};
+use std::sync::Arc;
+
+fn dlht_features() -> MapFeatures {
+    MapFeatures {
+        collision_handling: "closed-addressing",
+        lock_free_gets: true,
+        non_blocking_puts: true,
+        non_blocking_inserts: true,
+        deletes_free_slots: true,
+        resizable: true,
+        non_blocking_resize: true,
+        overlaps_memory_accesses: true,
+        inline_values: true,
+    }
+}
+
+fn convert_batch(map: &DlhtMap, ops: &[BatchOp], out: &mut Vec<BatchResult>) {
+    let reqs: Vec<Request> = ops
+        .iter()
+        .map(|op| match *op {
+            BatchOp::Get(k) => Request::Get(k),
+            BatchOp::Put(k, v) => Request::Put(k, v),
+            BatchOp::Insert(k, v) => Request::Insert(k, v),
+            BatchOp::Delete(k) => Request::Delete(k),
+        })
+        .collect();
+    out.clear();
+    for resp in map.execute_batch(&reqs, false) {
+        out.push(match resp {
+            Response::Value(v) => BatchResult::Value(v),
+            Response::Updated(v) => BatchResult::Applied(v.is_some()),
+            Response::Inserted(r) => BatchResult::Applied(matches!(r, Ok(o) if o.inserted())),
+            Response::Deleted(v) => BatchResult::Applied(v.is_some()),
+            Response::Skipped => BatchResult::Applied(false),
+        });
+    }
+}
+
+/// DLHT with its batching (software prefetching) API.
+pub struct DlhtAdapter {
+    map: Arc<DlhtMap>,
+}
+
+impl DlhtAdapter {
+    /// Wrap a DLHT instance sized for `capacity` keys.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DlhtAdapter {
+            map: Arc::new(DlhtMap::with_capacity(capacity)),
+        }
+    }
+
+    /// Wrap an explicit configuration.
+    pub fn with_config(config: DlhtConfig) -> Self {
+        DlhtAdapter {
+            map: Arc::new(DlhtMap::with_config(config)),
+        }
+    }
+
+    /// Access the wrapped map.
+    pub fn inner(&self) -> &DlhtMap {
+        &self.map
+    }
+}
+
+impl ConcurrentMap for DlhtAdapter {
+    fn get(&self, key: u64) -> Option<u64> {
+        self.map.get(key)
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        matches!(self.map.insert(key, value), Ok(o) if o.inserted())
+    }
+
+    fn update(&self, key: u64, value: u64) -> bool {
+        self.map.put(key, value).is_some()
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        self.map.delete(key).is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "DLHT"
+    }
+
+    fn features(&self) -> MapFeatures {
+        dlht_features()
+    }
+
+    fn supports_batching(&self) -> bool {
+        true
+    }
+
+    fn execute_batch(&self, ops: &[BatchOp], out: &mut Vec<BatchResult>) {
+        convert_batch(&self.map, ops, out);
+    }
+}
+
+/// DLHT without the batching API (`DLHT-NoBatch` in Table 3): identical
+/// algorithms, but requests are issued one at a time so memory latencies are
+/// not overlapped.
+pub struct DlhtNoBatchAdapter {
+    map: Arc<DlhtMap>,
+}
+
+impl DlhtNoBatchAdapter {
+    /// Wrap a DLHT instance sized for `capacity` keys.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DlhtNoBatchAdapter {
+            map: Arc::new(DlhtMap::with_capacity(capacity)),
+        }
+    }
+
+    /// Wrap an explicit configuration.
+    pub fn with_config(config: DlhtConfig) -> Self {
+        DlhtNoBatchAdapter {
+            map: Arc::new(DlhtMap::with_config(config)),
+        }
+    }
+}
+
+impl ConcurrentMap for DlhtNoBatchAdapter {
+    fn get(&self, key: u64) -> Option<u64> {
+        self.map.get(key)
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        matches!(self.map.insert(key, value), Ok(o) if o.inserted())
+    }
+
+    fn update(&self, key: u64, value: u64) -> bool {
+        self.map.put(key, value).is_some()
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        self.map.delete(key).is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "DLHT-NoBatch"
+    }
+
+    fn features(&self) -> MapFeatures {
+        MapFeatures {
+            overlaps_memory_accesses: false,
+            ..dlht_features()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::conformance;
+
+    #[test]
+    fn adapter_basic_semantics() {
+        conformance::basic_semantics(&DlhtAdapter::with_capacity(1024));
+        conformance::basic_semantics(&DlhtNoBatchAdapter::with_capacity(1024));
+    }
+
+    #[test]
+    fn adapter_concurrent_inserts() {
+        conformance::concurrent_inserts(&DlhtAdapter::with_capacity(50_000), 2_000);
+    }
+
+    #[test]
+    fn batch_conversion_roundtrips() {
+        let m = DlhtAdapter::with_capacity(256);
+        let ops = vec![
+            BatchOp::Insert(1, 10),
+            BatchOp::Get(1),
+            BatchOp::Put(1, 11),
+            BatchOp::Get(1),
+            BatchOp::Delete(1),
+            BatchOp::Get(1),
+        ];
+        let mut out = Vec::new();
+        m.execute_batch(&ops, &mut out);
+        assert_eq!(out[1], BatchResult::Value(Some(10)));
+        assert_eq!(out[3], BatchResult::Value(Some(11)));
+        assert_eq!(out[5], BatchResult::Value(None));
+    }
+}

@@ -1,0 +1,171 @@
+//! DRAMHiT-like baseline: open addressing with an inlined index and software
+//! prefetching over client batches, but **no resizing**, tombstone deletes
+//! that cannot reclaim slots, upsert-only writes, and batches whose requests
+//! may be **reordered** (Table 1, §2.2, §5.3.3).
+
+use crate::api::{BatchOp, BatchResult, ConcurrentMap, MapFeatures};
+use crate::open_addr::{is_unsupported_key, CellArray, InsertCell};
+
+const MAX_PROBES: u64 = 256;
+
+/// DRAMHiT-like batched open-addressing map.
+pub struct DramhitLikeMap {
+    cells: CellArray,
+}
+
+impl DramhitLikeMap {
+    /// Create a map with room for about `capacity` keys at ~60% load.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DramhitLikeMap {
+            cells: CellArray::new(capacity * 5 / 3),
+        }
+    }
+
+    /// The only write DRAMHiT exposes: insert-or-update.
+    pub fn upsert_only(&self, key: u64, value: u64) -> bool {
+        if is_unsupported_key(key) {
+            return false;
+        }
+        match self.cells.insert(key, value, MAX_PROBES, false) {
+            InsertCell::Inserted => true,
+            InsertCell::Exists(_) => self.cells.update(key, value, MAX_PROBES, false),
+            InsertCell::Full => false,
+        }
+    }
+}
+
+impl ConcurrentMap for DramhitLikeMap {
+    fn get(&self, key: u64) -> Option<u64> {
+        if is_unsupported_key(key) {
+            return None;
+        }
+        self.cells.get(key, MAX_PROBES, false)
+    }
+
+    /// DRAMHiT cannot express a pure Insert: this may silently update.
+    fn insert(&self, key: u64, value: u64) -> bool {
+        if is_unsupported_key(key) {
+            return false;
+        }
+        matches!(
+            self.cells.insert(key, value, MAX_PROBES, false),
+            InsertCell::Inserted
+        )
+    }
+
+    /// DRAMHiT cannot express a pure Put either: this may silently insert.
+    fn update(&self, key: u64, value: u64) -> bool {
+        self.upsert_only(key, value)
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        if is_unsupported_key(key) {
+            return false;
+        }
+        self.cells.remove(key, MAX_PROBES, false)
+    }
+
+    fn len(&self) -> usize {
+        self.cells.live()
+    }
+
+    fn name(&self) -> &'static str {
+        "DRAMHiT-like"
+    }
+
+    fn features(&self) -> MapFeatures {
+        MapFeatures {
+            collision_handling: "open-addressing",
+            lock_free_gets: true,
+            non_blocking_puts: false, // only upserts
+            non_blocking_inserts: false,
+            deletes_free_slots: false,
+            resizable: false,
+            non_blocking_resize: false,
+            overlaps_memory_accesses: true,
+            inline_values: true,
+        }
+    }
+
+    fn supports_batching(&self) -> bool {
+        true
+    }
+
+    /// Batched execution with prefetching, but — faithfully to DRAMHiT — the
+    /// requests are **reordered** (grouped by home cell) to maximize overlap.
+    /// Results are written back in submission order, but their effects may
+    /// interleave differently than submitted, which is what can deadlock a
+    /// lock manager built on top (§5.3.3).
+    fn execute_batch(&self, ops: &[BatchOp], out: &mut Vec<BatchResult>) {
+        out.clear();
+        out.resize(ops.len(), BatchResult::Value(None));
+        // Prefetch sweep.
+        for op in ops {
+            dlht_core::prefetch::prefetch_read(self.cells.home_cell_ptr(op.key()));
+        }
+        // Reorder by home-cell address (asynchronous engine emulation).
+        let mut order: Vec<usize> = (0..ops.len()).collect();
+        order.sort_by_key(|&i| self.cells.home_cell_ptr(ops[i].key()) as usize);
+        for i in order {
+            out[i] = match ops[i] {
+                BatchOp::Get(k) => BatchResult::Value(self.get(k)),
+                BatchOp::Put(k, v) => BatchResult::Applied(self.update(k, v)),
+                BatchOp::Insert(k, v) => BatchResult::Applied(self.insert(k, v)),
+                BatchOp::Delete(k) => BatchResult::Applied(self.remove(k)),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::conformance;
+
+    #[test]
+    fn basic_semantics() {
+        conformance::basic_semantics(&DramhitLikeMap::with_capacity(1024));
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        conformance::concurrent_inserts(&DramhitLikeMap::with_capacity(50_000), 2_000);
+    }
+
+    #[test]
+    fn update_silently_inserts() {
+        let m = DramhitLikeMap::with_capacity(64);
+        assert!(m.update(5, 50), "upsert-only write must insert missing keys");
+        assert_eq!(m.get(5), Some(50));
+    }
+
+    #[test]
+    fn batch_results_follow_submission_order_even_if_execution_reorders() {
+        let m = DramhitLikeMap::with_capacity(256);
+        for k in 0..50u64 {
+            m.insert(k, k);
+        }
+        let ops: Vec<BatchOp> = (0..50u64).rev().map(BatchOp::Get).collect();
+        let mut out = Vec::new();
+        m.execute_batch(&ops, &mut out);
+        for (i, r) in out.iter().enumerate() {
+            let expected_key = 49 - i as u64;
+            assert_eq!(*r, BatchResult::Value(Some(expected_key)));
+        }
+    }
+
+    #[test]
+    fn batch_may_reorder_dependent_requests() {
+        // Insert(k) followed by Delete(k') where k' hashes earlier can execute
+        // out of order — demonstrate the behavioural difference from DLHT by
+        // checking a dependent sequence is NOT guaranteed to succeed.
+        let m = DramhitLikeMap::with_capacity(256);
+        let ops = vec![BatchOp::Insert(10, 1), BatchOp::Get(10)];
+        let mut out = Vec::new();
+        m.execute_batch(&ops, &mut out);
+        // Whatever the internal order, results land in submission slots.
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], BatchResult::Applied(_)));
+        assert!(matches!(out[1], BatchResult::Value(_)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Folly-AtomicHashMap-like baseline: lock-free open addressing, **no
+//! resizing**, and tombstone "deletes" that can never reclaim index slots
+//! (Table 1, §2.2).
+
+use crate::api::{ConcurrentMap, MapFeatures};
+use crate::open_addr::{is_unsupported_key, CellArray, InsertCell};
+
+const MAX_PROBES: u64 = 256;
+
+/// Folly-like fixed-capacity open-addressing map.
+pub struct FollyLikeMap {
+    cells: CellArray,
+}
+
+impl FollyLikeMap {
+    /// Create a map with room for about `capacity` keys at ~60% load.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FollyLikeMap {
+            cells: CellArray::new(capacity * 5 / 3),
+        }
+    }
+
+    /// Fraction of cells consumed by live entries and tombstones.
+    pub fn fill_ratio(&self) -> f64 {
+        self.cells.fill_ratio()
+    }
+}
+
+impl ConcurrentMap for FollyLikeMap {
+    fn get(&self, key: u64) -> Option<u64> {
+        if is_unsupported_key(key) {
+            return None;
+        }
+        self.cells.get(key, MAX_PROBES, false)
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        if is_unsupported_key(key) {
+            return false;
+        }
+        matches!(
+            self.cells.insert(key, value, MAX_PROBES, false),
+            InsertCell::Inserted
+        )
+    }
+
+    fn update(&self, key: u64, value: u64) -> bool {
+        if is_unsupported_key(key) {
+            return false;
+        }
+        self.cells.update(key, value, MAX_PROBES, false)
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        if is_unsupported_key(key) {
+            return false;
+        }
+        self.cells.remove(key, MAX_PROBES, false)
+    }
+
+    fn len(&self) -> usize {
+        self.cells.live()
+    }
+
+    fn name(&self) -> &'static str {
+        "Folly-like"
+    }
+
+    fn features(&self) -> MapFeatures {
+        MapFeatures {
+            collision_handling: "open-addressing",
+            lock_free_gets: true,
+            non_blocking_puts: true,
+            non_blocking_inserts: true,
+            deletes_free_slots: false,
+            resizable: false,
+            non_blocking_resize: false,
+            overlaps_memory_accesses: false,
+            inline_values: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::conformance;
+
+    #[test]
+    fn basic_semantics() {
+        conformance::basic_semantics(&FollyLikeMap::with_capacity(1024));
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        conformance::concurrent_inserts(&FollyLikeMap::with_capacity(50_000), 2_000);
+    }
+
+    #[test]
+    fn deletes_never_reclaim_slots() {
+        let m = FollyLikeMap::with_capacity(64);
+        let before = m.fill_ratio();
+        for k in 0..50u64 {
+            assert!(m.insert(k, k));
+            assert!(m.remove(k));
+        }
+        assert_eq!(m.len(), 0);
+        assert!(m.fill_ratio() > before, "tombstones must accumulate");
+        // Eventually inserts start failing even though nothing is alive.
+        let mut failed = false;
+        for k in 1_000..10_000u64 {
+            if !m.insert(k, k) {
+                m.remove(k);
+            }
+            if !m.insert(k + 100_000, k) {
+                failed = true;
+                break;
+            }
+            m.remove(k + 100_000);
+        }
+        assert!(failed, "a non-resizable tombstone table must eventually fill");
+    }
+}

@@ -1,0 +1,94 @@
+//! Leapfrog-(Junction-)like baseline: lock-free open addressing with
+//! quadratic probing, no software prefetching, and tombstone deletes
+//! (Figure 1's `Leapfrog` bar; dropped from later graphs because, like Cuckoo
+//! and TBB, it stays below 250 M req/s in the paper's testbed).
+
+use crate::api::{ConcurrentMap, MapFeatures};
+use crate::open_addr::{is_unsupported_key, CellArray, InsertCell};
+
+const MAX_PROBES: u64 = 128;
+
+/// Leapfrog-like fixed-capacity map with quadratic probing.
+pub struct LeapfrogLikeMap {
+    cells: CellArray,
+}
+
+impl LeapfrogLikeMap {
+    /// Create a map with room for about `capacity` keys at ~60% load.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LeapfrogLikeMap {
+            cells: CellArray::new(capacity * 5 / 3),
+        }
+    }
+}
+
+impl ConcurrentMap for LeapfrogLikeMap {
+    fn get(&self, key: u64) -> Option<u64> {
+        if is_unsupported_key(key) {
+            return None;
+        }
+        self.cells.get(key, MAX_PROBES, true)
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        if is_unsupported_key(key) {
+            return false;
+        }
+        matches!(
+            self.cells.insert(key, value, MAX_PROBES, true),
+            InsertCell::Inserted
+        )
+    }
+
+    fn update(&self, key: u64, value: u64) -> bool {
+        if is_unsupported_key(key) {
+            return false;
+        }
+        self.cells.update(key, value, MAX_PROBES, true)
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        if is_unsupported_key(key) {
+            return false;
+        }
+        self.cells.remove(key, MAX_PROBES, true)
+    }
+
+    fn len(&self) -> usize {
+        self.cells.live()
+    }
+
+    fn name(&self) -> &'static str {
+        "Leapfrog-like"
+    }
+
+    fn features(&self) -> MapFeatures {
+        MapFeatures {
+            collision_handling: "open-addressing",
+            lock_free_gets: true,
+            non_blocking_puts: true,
+            non_blocking_inserts: true,
+            deletes_free_slots: false,
+            resizable: false,
+            non_blocking_resize: false,
+            overlaps_memory_accesses: false,
+            inline_values: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::conformance;
+
+    #[test]
+    fn basic_semantics() {
+        conformance::basic_semantics(&LeapfrogLikeMap::with_capacity(1024));
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        conformance::concurrent_inserts(&LeapfrogLikeMap::with_capacity(50_000), 2_000);
+    }
+}

@@ -1,0 +1,177 @@
+//! MICA-like baseline (CRCW variant): closed addressing, **lock-based**
+//! writes, software prefetching for batches, but values are **not inlined**
+//! in the index — every request chases a pointer into a separate value store,
+//! and every Insert/Delete (de)allocates (Table 1, §2.2, §5.1.2).
+
+use crate::api::{BatchOp, BatchResult, ConcurrentMap, MapFeatures};
+use dlht_hash::{Hasher64, WyHash};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One bucket: a small spin-locked vector of (key, boxed value) entries —
+/// the pointer indirection is the point: at least two memory accesses per
+/// request even without collisions.
+struct Bucket {
+    entries: Mutex<Vec<(u64, Box<u64>)>>,
+}
+
+/// MICA-like lock-based, non-inlined, non-resizable map.
+pub struct MicaLikeMap {
+    buckets: Vec<Bucket>,
+    live: AtomicUsize,
+}
+
+impl MicaLikeMap {
+    /// Create a map with about one bucket per expected key.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let buckets = capacity.max(16).next_power_of_two();
+        MicaLikeMap {
+            buckets: (0..buckets)
+                .map(|_| Bucket {
+                    entries: Mutex::new(Vec::new()),
+                })
+                .collect(),
+            live: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> &Bucket {
+        let h = WyHash.hash_u64(key);
+        &self.buckets[(h as usize) & (self.buckets.len() - 1)]
+    }
+}
+
+impl ConcurrentMap for MicaLikeMap {
+    fn get(&self, key: u64) -> Option<u64> {
+        let b = self.bucket_of(key);
+        let entries = b.entries.lock();
+        entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| **v)
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        let b = self.bucket_of(key);
+        let mut entries = b.entries.lock();
+        if entries.iter().any(|(k, _)| *k == key) {
+            return false;
+        }
+        // The allocation per insert is intentional (non-inlined design).
+        entries.push((key, Box::new(value)));
+        self.live.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn update(&self, key: u64, value: u64) -> bool {
+        let b = self.bucket_of(key);
+        let mut entries = b.entries.lock();
+        if let Some((_, v)) = entries.iter_mut().find(|(k, _)| *k == key) {
+            **v = value;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        let b = self.bucket_of(key);
+        let mut entries = b.entries.lock();
+        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+            // Deallocation per delete, as in MICA's non-inlined store.
+            entries.swap_remove(pos);
+            self.live.fetch_sub(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    fn name(&self) -> &'static str {
+        "MICA-like"
+    }
+
+    fn features(&self) -> MapFeatures {
+        MapFeatures {
+            collision_handling: "closed-addressing",
+            lock_free_gets: true,
+            non_blocking_puts: false, // lock-based
+            non_blocking_inserts: false,
+            deletes_free_slots: true,
+            resizable: false,
+            non_blocking_resize: false,
+            overlaps_memory_accesses: true,
+            inline_values: false,
+        }
+    }
+
+    fn supports_batching(&self) -> bool {
+        true
+    }
+
+    /// Batched execution with a prefetch sweep (MICA pioneered this
+    /// technique); requests execute in order.
+    fn execute_batch(&self, ops: &[BatchOp], out: &mut Vec<BatchResult>) {
+        out.clear();
+        for op in ops {
+            dlht_core::prefetch::prefetch_read(self.bucket_of(op.key()) as *const Bucket);
+        }
+        for op in ops {
+            out.push(match *op {
+                BatchOp::Get(k) => BatchResult::Value(self.get(k)),
+                BatchOp::Put(k, v) => BatchResult::Applied(self.update(k, v)),
+                BatchOp::Insert(k, v) => BatchResult::Applied(self.insert(k, v)),
+                BatchOp::Delete(k) => BatchResult::Applied(self.remove(k)),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::conformance;
+
+    #[test]
+    fn basic_semantics() {
+        conformance::basic_semantics(&MicaLikeMap::with_capacity(1024));
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        conformance::concurrent_inserts(&MicaLikeMap::with_capacity(50_000), 2_000);
+    }
+
+    #[test]
+    fn collisions_chain_in_the_bucket() {
+        let m = MicaLikeMap::with_capacity(16);
+        for k in 0..200u64 {
+            assert!(m.insert(k, k + 1));
+        }
+        assert_eq!(m.len(), 200);
+        for k in 0..200u64 {
+            assert_eq!(m.get(k), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn batch_executes_in_order() {
+        let m = MicaLikeMap::with_capacity(64);
+        let ops = vec![
+            BatchOp::Insert(1, 1),
+            BatchOp::Put(1, 2),
+            BatchOp::Get(1),
+            BatchOp::Delete(1),
+            BatchOp::Get(1),
+        ];
+        let mut out = Vec::new();
+        m.execute_batch(&ops, &mut out);
+        assert_eq!(out[2], BatchResult::Value(Some(2)));
+        assert_eq!(out[4], BatchResult::Value(None));
+    }
+}

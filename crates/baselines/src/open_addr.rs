@@ -1,0 +1,305 @@
+//! Shared open-addressing machinery for the GrowT-, Folly-, DRAMHiT- and
+//! Leapfrog-like baselines.
+//!
+//! All four designs in the paper's comparison set are open-addressing tables
+//! whose cells are CAS-managed (key word + value word) and whose Deletes are
+//! **tombstones** that permanently occupy cells until (if ever) the whole
+//! table is rebuilt (§2.2). This module provides that common cell array; each
+//! baseline wraps it with its own probing, resize, and batching policy.
+
+use dlht_hash::{Hasher64, WyHash};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Internal cell-key sentinel: never written for user keys.
+pub const EMPTY: u64 = 0;
+/// Internal cell-key sentinel for deleted entries.
+pub const TOMBSTONE: u64 = 1;
+/// Internal cell-key sentinel: an insert has claimed the cell but not yet
+/// published its key (readers briefly spin, inserters keep probing after it
+/// resolves).
+pub const LOCKED: u64 = 2;
+
+/// Encode a user key into the internal cell representation.
+///
+/// The top three key values map onto the sentinels and are rejected by the
+/// wrappers (DLHT similarly reserves `u64::MAX` and `u64::MAX - 1`).
+#[inline]
+pub fn encode_key(key: u64) -> u64 {
+    key.wrapping_add(3)
+}
+
+/// Whether a user key collides with the sentinels.
+#[inline]
+pub fn is_unsupported_key(key: u64) -> bool {
+    let e = encode_key(key);
+    e == EMPTY || e == TOMBSTONE || e == LOCKED
+}
+
+/// A fixed-size array of open-addressing cells.
+pub struct CellArray {
+    keys: Vec<AtomicU64>,
+    vals: Vec<AtomicU64>,
+    /// Live entries (inserted minus deleted).
+    live: AtomicUsize,
+    /// Cells consumed (inserted, including those later tombstoned).
+    used: AtomicUsize,
+    mask: u64,
+}
+
+/// Result of probing for an insert.
+pub enum InsertCell {
+    /// Inserted into a fresh cell.
+    Inserted,
+    /// The key already exists (value word returned).
+    Exists(u64),
+    /// The probe sequence was exhausted: the table is (locally) full.
+    Full,
+}
+
+impl CellArray {
+    /// Create an array with at least `capacity` cells (rounded to a power of
+    /// two).
+    pub fn new(capacity: usize) -> Self {
+        let cells = capacity.max(8).next_power_of_two();
+        CellArray {
+            keys: (0..cells).map(|_| AtomicU64::new(EMPTY)).collect(),
+            vals: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+            live: AtomicUsize::new(0),
+            used: AtomicUsize::new(0),
+            mask: cells as u64 - 1,
+        }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Live entries.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Cells consumed by inserts (live + tombstoned).
+    #[inline]
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of cells consumed (live + tombstones) — the quantity that
+    /// forces tombstone-based designs to rebuild.
+    pub fn fill_ratio(&self) -> f64 {
+        self.used() as f64 / self.capacity() as f64
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64, probe: u64, quadratic: bool) -> usize {
+        let h = WyHash.hash_u64(key);
+        let offset = if quadratic { probe * (probe + 1) / 2 } else { probe };
+        ((h.wrapping_add(offset)) & self.mask) as usize
+    }
+
+    /// Address of the home cell for a key (for prefetching).
+    pub fn home_cell_ptr(&self, key: u64) -> *const AtomicU64 {
+        &self.keys[self.slot_of(key, 0, false)] as *const AtomicU64
+    }
+
+    /// Load a cell's key, spinning through the transient `LOCKED` state.
+    #[inline]
+    fn cell_key(&self, idx: usize) -> u64 {
+        loop {
+            let cell = self.keys[idx].load(Ordering::Acquire);
+            if cell != LOCKED {
+                return cell;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Probe for `key`; `max_probes` bounds the scan.
+    pub fn get(&self, key: u64, max_probes: u64, quadratic: bool) -> Option<u64> {
+        let enc = encode_key(key);
+        for p in 0..max_probes {
+            let idx = self.slot_of(key, p, quadratic);
+            let cell = self.cell_key(idx);
+            if cell == enc {
+                return Some(self.vals[idx].load(Ordering::Acquire));
+            }
+            if cell == EMPTY {
+                return None;
+            }
+            // TOMBSTONE or another key: keep probing.
+        }
+        None
+    }
+
+    /// Insert `key` if absent. Tombstoned cells are **not** reused — exactly
+    /// the limitation the paper criticizes in open-addressing deletes.
+    pub fn insert(&self, key: u64, value: u64, max_probes: u64, quadratic: bool) -> InsertCell {
+        let enc = encode_key(key);
+        for p in 0..max_probes {
+            let idx = self.slot_of(key, p, quadratic);
+            loop {
+                let cell = self.cell_key(idx);
+                if cell == enc {
+                    return InsertCell::Exists(self.vals[idx].load(Ordering::Acquire));
+                }
+                if cell == EMPTY {
+                    // Claim the cell, publish the value, then publish the key.
+                    match self.keys[idx].compare_exchange(
+                        EMPTY,
+                        LOCKED,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            self.vals[idx].store(value, Ordering::Release);
+                            self.keys[idx].store(enc, Ordering::Release);
+                            self.live.fetch_add(1, Ordering::Relaxed);
+                            self.used.fetch_add(1, Ordering::Relaxed);
+                            return InsertCell::Inserted;
+                        }
+                        Err(_) => continue, // someone claimed this cell; re-examine it
+                    }
+                }
+                break; // occupied by another key or a tombstone: next probe
+            }
+        }
+        InsertCell::Full
+    }
+
+    /// Update an existing key with a plain store on the value word.
+    pub fn update(&self, key: u64, value: u64, max_probes: u64, quadratic: bool) -> bool {
+        let enc = encode_key(key);
+        for p in 0..max_probes {
+            let idx = self.slot_of(key, p, quadratic);
+            let cell = self.cell_key(idx);
+            if cell == enc {
+                self.vals[idx].store(value, Ordering::Release);
+                return true;
+            }
+            if cell == EMPTY {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Tombstone `key`. The cell is *not* freed for reuse.
+    pub fn remove(&self, key: u64, max_probes: u64, quadratic: bool) -> bool {
+        let enc = encode_key(key);
+        for p in 0..max_probes {
+            let idx = self.slot_of(key, p, quadratic);
+            let cell = self.cell_key(idx);
+            if cell == enc {
+                if self.keys[idx]
+                    .compare_exchange(enc, TOMBSTONE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    self.live.fetch_sub(1, Ordering::Relaxed);
+                    return true;
+                }
+                return false;
+            }
+            if cell == EMPTY {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Visit every live pair.
+    pub fn for_each(&self, mut f: impl FnMut(u64, u64)) {
+        for i in 0..self.keys.len() {
+            let cell = self.keys[i].load(Ordering::Acquire);
+            if cell != EMPTY && cell != TOMBSTONE && cell != LOCKED {
+                f(cell.wrapping_sub(3), self.vals[i].load(Ordering::Acquire));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_encoding_reserves_only_the_top_keys() {
+        assert!(is_unsupported_key(u64::MAX));
+        assert!(is_unsupported_key(u64::MAX - 1));
+        assert!(is_unsupported_key(u64::MAX - 2));
+        assert!(!is_unsupported_key(0));
+        assert_eq!(encode_key(0), 3);
+    }
+
+    #[test]
+    fn insert_get_update_remove() {
+        let a = CellArray::new(64);
+        assert!(matches!(a.insert(5, 50, 64, false), InsertCell::Inserted));
+        assert!(matches!(a.insert(5, 51, 64, false), InsertCell::Exists(50)));
+        assert_eq!(a.get(5, 64, false), Some(50));
+        assert!(a.update(5, 52, 64, false));
+        assert_eq!(a.get(5, 64, false), Some(52));
+        assert!(a.remove(5, 64, false));
+        assert_eq!(a.get(5, 64, false), None);
+        assert!(!a.remove(5, 64, false));
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.used(), 1, "tombstoned cell stays consumed");
+    }
+
+    #[test]
+    fn tombstones_fill_the_table() {
+        let a = CellArray::new(16);
+        // Insert+delete more keys than the capacity: eventually Full because
+        // tombstones are never reclaimed.
+        let mut full = false;
+        for k in 0..100u64 {
+            match a.insert(k, k, 16, false) {
+                InsertCell::Inserted => {
+                    a.remove(k, 16, false);
+                }
+                InsertCell::Full => {
+                    full = true;
+                    break;
+                }
+                InsertCell::Exists(_) => unreachable!(),
+            }
+        }
+        assert!(full, "tombstones must eventually exhaust the table");
+        assert_eq!(a.live(), 0);
+        assert!(a.fill_ratio() > 0.9);
+    }
+
+    #[test]
+    fn quadratic_probing_also_terminates() {
+        let a = CellArray::new(32);
+        for k in 0..20u64 {
+            assert!(matches!(a.insert(k, k, 32, true), InsertCell::Inserted));
+        }
+        for k in 0..20u64 {
+            assert_eq!(a.get(k, 32, true), Some(k));
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_unique_winner() {
+        use std::sync::atomic::AtomicUsize;
+        let a = CellArray::new(1 << 14);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for k in 0..2_000u64 {
+                        if matches!(a.insert(k, k, 128, false), InsertCell::Inserted) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 2_000);
+        assert_eq!(a.live(), 2_000);
+    }
+}

@@ -1,0 +1,116 @@
+//! TBB-concurrent_hash_map-like baseline: reader-writer-locked shards over a
+//! general-purpose hash map (Figure 1's `TBB` bar). Fine-grained locking but
+//! no inlining guarantees, no prefetching, and allocation per insert.
+
+use crate::api::{ConcurrentMap, MapFeatures};
+use dlht_hash::{Hasher64, WyHash};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+const DEFAULT_SHARDS: usize = 64;
+
+/// Sharded `RwLock<HashMap>` map.
+pub struct ShardedStdMap {
+    shards: Vec<RwLock<HashMap<u64, u64>>>,
+}
+
+impl ShardedStdMap {
+    /// Create a map with the default shard count, pre-sizing each shard.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Create a map with an explicit shard count.
+    pub fn with_capacity_and_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        ShardedStdMap {
+            shards: (0..shards)
+                .map(|_| RwLock::new(HashMap::with_capacity(capacity / shards + 1)))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: u64) -> &RwLock<HashMap<u64, u64>> {
+        let h = WyHash.hash_u64(key);
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
+    }
+}
+
+impl ConcurrentMap for ShardedStdMap {
+    fn get(&self, key: u64) -> Option<u64> {
+        self.shard_of(key).read().get(&key).copied()
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        let mut shard = self.shard_of(key).write();
+        if shard.contains_key(&key) {
+            false
+        } else {
+            shard.insert(key, value);
+            true
+        }
+    }
+
+    fn update(&self, key: u64, value: u64) -> bool {
+        let mut shard = self.shard_of(key).write();
+        if let Some(v) = shard.get_mut(&key) {
+            *v = value;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        self.shard_of(key).write().remove(&key).is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "TBB-like"
+    }
+
+    fn features(&self) -> MapFeatures {
+        MapFeatures {
+            collision_handling: "closed-addressing",
+            lock_free_gets: false,
+            non_blocking_puts: false,
+            non_blocking_inserts: false,
+            deletes_free_slots: true,
+            resizable: true,
+            non_blocking_resize: false,
+            overlaps_memory_accesses: false,
+            inline_values: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::conformance;
+
+    #[test]
+    fn basic_semantics() {
+        conformance::basic_semantics(&ShardedStdMap::with_capacity(1024));
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        conformance::concurrent_inserts(&ShardedStdMap::with_capacity(50_000), 2_000);
+    }
+
+    #[test]
+    fn shard_count_is_configurable() {
+        let m = ShardedStdMap::with_capacity_and_shards(1_000, 7);
+        assert_eq!(m.shards.len(), 8, "rounded to a power of two");
+        for k in 0..1_000u64 {
+            assert!(m.insert(k, k));
+        }
+        assert_eq!(m.len(), 1_000);
+    }
+}

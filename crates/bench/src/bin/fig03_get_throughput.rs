@@ -1,0 +1,21 @@
+//! Figure 3: Get throughput vs thread count for the fastest designs.
+
+use dlht_baselines::MapKind;
+use dlht_bench::{print_header, sweep, throughput_table};
+use dlht_workloads::{BenchScale, WorkloadSpec};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    print_header(
+        "Figure 3 (Get throughput)",
+        "100% Gets, uniform over 100M keys, 1..71 threads",
+        &scale,
+    );
+    let keys = scale.keys;
+    let duration = scale.duration();
+    let points = sweep(&MapKind::fastest(), &scale, |threads| {
+        WorkloadSpec::get_default(keys, threads, duration)
+    });
+    throughput_table("Fig. 3 — Get throughput (M req/s)", &points, &scale).print();
+    println!("Expected shape: DLHT > DRAMHiT-like > (CLHT, GrowT-like, Folly-like, DLHT-NoBatch) > MICA-like.");
+}

@@ -1,0 +1,29 @@
+//! Figure 5: InsDel (50% Insert / 50% Delete of the same key) throughput vs
+//! threads — the workload where tombstone-based open addressing collapses.
+
+use dlht_baselines::MapKind;
+use dlht_bench::{print_header, sweep, throughput_table};
+use dlht_workloads::{BenchScale, WorkloadSpec};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    print_header(
+        "Figure 5 (InsDel throughput)",
+        "Insert immediately followed by Delete of the same key; empty 100M-capacity tables",
+        &scale,
+    );
+    let keys = scale.keys;
+    let duration = scale.duration();
+    let kinds = [
+        MapKind::Dlht,
+        MapKind::DlhtNoBatch,
+        MapKind::Clht,
+        MapKind::Growt,
+        MapKind::Mica,
+    ];
+    let points = sweep(&kinds, &scale, |threads| {
+        WorkloadSpec::insdel_default(keys, threads, duration)
+    });
+    throughput_table("Fig. 5 — InsDel throughput (M req/s)", &points, &scale).print();
+    println!("Expected shape: DLHT ~3x CLHT and >10x GrowT-like (which must keep migrating to shed tombstones).");
+}

@@ -1,0 +1,106 @@
+//! Figure 14: throughput cost of enabling features (resizing checks, wyhash,
+//! variable value/key sizes, namespaces, switching off the pooled allocator),
+//! stacked and one-at-a-time, for the Get and InsDel workloads.
+
+use dlht_baselines::DlhtAdapter;
+use dlht_bench::print_header;
+use dlht_core::DlhtConfig;
+use dlht_core::{DlhtAllocMap};
+use dlht_hash::HashKind;
+use dlht_workloads::{
+    fmt_mops, prepopulate, run_workload, BenchScale, Table, WorkloadSpec, Xoshiro256,
+};
+use std::time::Instant;
+
+/// Measure Get and InsDel throughput of an Inlined-mode configuration.
+fn measure_inlined(config: DlhtConfig, scale: &BenchScale) -> (f64, f64) {
+    let threads = *scale.threads.iter().max().unwrap_or(&1);
+    let map = DlhtAdapter::with_config(config);
+    prepopulate(&map, scale.keys);
+    let get = run_workload(
+        &map,
+        &WorkloadSpec::get_default(scale.keys, threads, scale.duration()),
+    );
+    let insdel = run_workload(
+        &map,
+        &WorkloadSpec::insdel_default(scale.keys, threads, scale.duration()),
+    );
+    (get.mops, insdel.mops)
+}
+
+/// Measure Get and InsDel throughput of an Allocator-mode configuration with
+/// 32-byte values (the figure's default value size).
+fn measure_alloc(config: DlhtConfig, allocator: dlht_core::alloc::AllocatorKind, scale: &BenchScale) -> (f64, f64) {
+    let keys = scale.keys.min(100_000);
+    let map = DlhtAllocMap::new(config, allocator.build(), 8, 32);
+    let mut session = map.session();
+    let value = [5u8; 32];
+    for k in 0..keys {
+        session.insert(0, &k.to_le_bytes(), &value).unwrap();
+    }
+    let ops = (keys * 2).max(20_000);
+    let mut rng = Xoshiro256::new(9);
+    let t = Instant::now();
+    for _ in 0..ops {
+        let k = rng.next_below(keys).to_le_bytes();
+        std::hint::black_box(session.get_with(0, &k, |_| ()));
+    }
+    let get = ops as f64 / t.elapsed().as_secs_f64() / 1e6;
+    let t = Instant::now();
+    for i in 0..ops / 4 {
+        let k = (keys + 1 + i).to_le_bytes();
+        session.insert(0, &k, &value).unwrap();
+        session.delete(0, &k);
+        if i % 64 == 0 {
+            session.quiesce();
+        }
+    }
+    let insdel = (ops / 4 * 2) as f64 / t.elapsed().as_secs_f64() / 1e6;
+    (get, insdel)
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    print_header(
+        "Figure 14 (cost of enabling features, stacked and single)",
+        "default -> +resizing -> +wyhash -> +variable sizes -> +namespaces -> no mimalloc; 32B values",
+        &scale,
+    );
+    let mut table = Table::new(
+        "Fig. 14 — throughput with features enabled (M req/s)",
+        &["configuration", "Get", "InsDel"],
+    );
+    let base_bins = DlhtConfig::for_capacity(scale.keys as usize * 2).num_bins;
+
+    // Inlined-mode bars: default, +resizing, +wyhash (stacked).
+    let default_cfg = DlhtConfig::new(base_bins).with_resizing(false);
+    let (g, i) = measure_inlined(default_cfg.clone(), &scale);
+    table.row(&["default (no features)".to_string(), fmt_mops(g), fmt_mops(i)]);
+
+    let resizing = default_cfg.clone().with_resizing(true);
+    let (g, i) = measure_inlined(resizing.clone(), &scale);
+    table.row(&["+ resizing checks".to_string(), fmt_mops(g), fmt_mops(i)]);
+
+    let hashed = resizing.clone().with_hash(HashKind::WyHash);
+    let (g, i) = measure_inlined(hashed.clone(), &scale);
+    table.row(&["+ wyhash".to_string(), fmt_mops(g), fmt_mops(i)]);
+
+    // Allocator-mode bars (32-byte values): variable sizes, namespaces, malloc.
+    let alloc_base = DlhtConfig::new(base_bins).with_hash(HashKind::WyHash);
+    let (g, i) = measure_alloc(alloc_base.clone(), dlht_core::alloc::AllocatorKind::Pool, &scale);
+    table.row(&["allocator mode (fixed sizes, pool)".to_string(), fmt_mops(g), fmt_mops(i)]);
+
+    let var = alloc_base.clone().with_variable_size(true);
+    let (g, i) = measure_alloc(var.clone(), dlht_core::alloc::AllocatorKind::Pool, &scale);
+    table.row(&["+ variable key/value sizes".to_string(), fmt_mops(g), fmt_mops(i)]);
+
+    let ns = var.clone().with_namespaces(true);
+    let (g, i) = measure_alloc(ns.clone(), dlht_core::alloc::AllocatorKind::Pool, &scale);
+    table.row(&["+ namespaces".to_string(), fmt_mops(g), fmt_mops(i)]);
+
+    let (g, i) = measure_alloc(ns, dlht_core::alloc::AllocatorKind::System, &scale);
+    table.row(&["+ no mimalloc (system malloc)".to_string(), fmt_mops(g), fmt_mops(i)]);
+
+    table.print();
+    println!("Expected shape: each feature shaves a little throughput; the allocator swap mainly hurts InsDel.");
+}

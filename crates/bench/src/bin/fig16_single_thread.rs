@@ -1,0 +1,143 @@
+//! Figure 16: single-threaded application with and without the
+//! synchronization-free optimizations (§3.4.5): InsDel, InsDel-Resize,
+//! InsDel-Resize-NoBatch, and Get.
+
+use dlht_bench::print_header;
+use dlht_core::{DlhtConfig, DlhtMap, Request, SingleThreadMap};
+use dlht_workloads::{fmt_mops, BenchScale, Table, Xoshiro256};
+use std::time::Instant;
+
+const BATCH: usize = 16;
+
+fn run_concurrent_map(map: &DlhtMap, keys: u64, ops: u64, workload: &str, batched: bool) -> f64 {
+    let mut rng = Xoshiro256::new(7);
+    let t = Instant::now();
+    match workload {
+        "Get" => {
+            if batched {
+                let mut reqs = Vec::with_capacity(BATCH);
+                let mut done = 0;
+                while done < ops {
+                    reqs.clear();
+                    for _ in 0..BATCH {
+                        reqs.push(Request::Get(rng.next_below(keys)));
+                    }
+                    std::hint::black_box(map.execute_batch(&reqs, false));
+                    done += BATCH as u64;
+                }
+            } else {
+                for _ in 0..ops {
+                    std::hint::black_box(map.get(rng.next_below(keys)));
+                }
+            }
+        }
+        _ => {
+            // InsDel: insert a fresh key then delete it, optionally batched.
+            if batched {
+                let mut reqs = Vec::with_capacity(BATCH);
+                let mut next = keys + 1;
+                let mut done = 0;
+                while done < ops {
+                    reqs.clear();
+                    for _ in 0..BATCH / 2 {
+                        reqs.push(Request::Insert(next, next));
+                        reqs.push(Request::Delete(next));
+                        next += 1;
+                    }
+                    std::hint::black_box(map.execute_batch(&reqs, false));
+                    done += BATCH as u64;
+                }
+            } else {
+                let mut next = keys + 1;
+                for _ in 0..ops / 2 {
+                    map.insert(next, next).unwrap();
+                    map.delete(next);
+                    next += 1;
+                }
+            }
+        }
+    }
+    ops as f64 / t.elapsed().as_secs_f64() / 1e6
+}
+
+fn run_single_thread_map(
+    map: &mut SingleThreadMap,
+    keys: u64,
+    ops: u64,
+    workload: &str,
+    batched: bool,
+) -> f64 {
+    let mut rng = Xoshiro256::new(7);
+    let t = Instant::now();
+    match workload {
+        "Get" => {
+            for _ in 0..ops {
+                std::hint::black_box(map.get(rng.next_below(keys)));
+            }
+        }
+        _ => {
+            if batched {
+                let mut reqs = Vec::with_capacity(BATCH);
+                let mut next = keys + 1;
+                let mut done = 0;
+                while done < ops {
+                    reqs.clear();
+                    for _ in 0..BATCH / 2 {
+                        reqs.push(Request::Insert(next, next));
+                        reqs.push(Request::Delete(next));
+                        next += 1;
+                    }
+                    std::hint::black_box(map.execute_batch(&reqs, false));
+                    done += BATCH as u64;
+                }
+            } else {
+                let mut next = keys + 1;
+                for _ in 0..ops / 2 {
+                    map.insert(next, next).unwrap();
+                    map.delete(next);
+                    next += 1;
+                }
+            }
+        }
+    }
+    ops as f64 / t.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    print_header(
+        "Figure 16 (single-threaded optimizations)",
+        "InsDel +31%, InsDel-Resize +35%, InsDel-Resize-NoBatch +91%, Get unchanged",
+        &scale,
+    );
+    let keys = scale.keys;
+    let ops = (keys * 4).max(100_000);
+    let mut table = Table::new(
+        "Fig. 16 — single-thread throughput (M req/s)",
+        &["workload", "thread-safe DLHT", "single-thread optimized", "speedup"],
+    );
+    for (workload, resizing, batched) in [
+        ("InsDel", false, true),
+        ("InsDel-Resize", true, true),
+        ("InsDel-Resize-NoBatch", true, false),
+        ("Get", false, true),
+    ] {
+        let cfg = DlhtConfig::for_capacity(keys as usize * 2).with_resizing(resizing);
+        let concurrent = DlhtMap::with_config(cfg.clone());
+        let mut single = SingleThreadMap::with_config(cfg);
+        for k in 0..keys {
+            concurrent.insert(k, k).unwrap();
+            single.insert(k, k).unwrap();
+        }
+        let base = run_concurrent_map(&concurrent, keys, ops, workload, batched);
+        let opt = run_single_thread_map(&mut single, keys, ops, workload, batched);
+        table.row(&[
+            workload.to_string(),
+            fmt_mops(base),
+            fmt_mops(opt),
+            format!("{:+.0}%", (opt / base - 1.0) * 100.0),
+        ]);
+    }
+    table.print();
+    println!("Expected shape: the optimized variant wins most where CASes and enter/leave notifications dominate (unbatched InsDel with resizing).");
+}

@@ -1,0 +1,33 @@
+//! Figure 19: multi-key OLTP benchmarks — TATP (read-intensive) and
+//! Smallbank (write-intensive) transactions per second over DLHT.
+
+use dlht_bench::print_header;
+use dlht_workloads::smallbank::{run_smallbank, SmallbankDatabase};
+use dlht_workloads::tatp::{run_tatp, TatpDatabase};
+use dlht_workloads::{BenchScale, Table};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    print_header(
+        "Figure 19 (TATP and Smallbank)",
+        "1M TATP subscribers, 10M Smallbank accounts; paper: 175M / 129M txns/s at 64 threads",
+        &scale,
+    );
+    let tatp_db = TatpDatabase::populate((scale.keys / 4).max(1_000));
+    let smallbank_db = SmallbankDatabase::populate((scale.keys / 2).max(1_000));
+    let mut table = Table::new(
+        "Fig. 19 — transactions per second (millions)",
+        &["threads", "TATP (M txn/s)", "Smallbank (M txn/s)"],
+    );
+    for &threads in &scale.threads {
+        let tatp = run_tatp(&tatp_db, threads, scale.duration());
+        let smallbank = run_smallbank(&smallbank_db, threads, scale.duration());
+        table.row(&[
+            threads.to_string(),
+            format!("{:.2}", tatp.mtps),
+            format!("{:.2}", smallbank.mtps),
+        ]);
+    }
+    table.print();
+    println!("Expected shape: both scale with threads; TATP (80% reads) ahead of Smallbank (15% reads).");
+}

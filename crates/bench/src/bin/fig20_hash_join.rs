@@ -1,0 +1,33 @@
+//! Figure 20: non-partitioned hash join (workload A: |S| = 16 × |R|) over
+//! DLHT with and without batching.
+
+use dlht_bench::print_header;
+use dlht_workloads::hashjoin::run_hash_join;
+use dlht_workloads::{fmt_mops, BenchScale, Table};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    print_header(
+        "Figure 20 (non-partitioned hash join, workload A)",
+        "build 2^27 tuples, probe 2^31; DLHT reaches 1.4B tuples/s, 2.2x DLHT-NoBatch",
+        &scale,
+    );
+    let r_tuples = scale.keys;
+    let s_tuples = scale.keys * 16;
+    let mut table = Table::new(
+        "Fig. 20 — join throughput ((|R|+|S|)/runtime, M tuples/s)",
+        &["threads", "DLHT (batched)", "DLHT-NoBatch"],
+    );
+    for &threads in &scale.threads {
+        let batched = run_hash_join(r_tuples, s_tuples, threads, 32, true);
+        let unbatched = run_hash_join(r_tuples, s_tuples, threads, 32, false);
+        assert_eq!(batched.matches, batched.probe_tuples);
+        table.row(&[
+            threads.to_string(),
+            fmt_mops(batched.mtuples_per_sec),
+            fmt_mops(unbatched.mtuples_per_sec),
+        ]);
+    }
+    table.print();
+    println!("Expected shape: batching (prefetching the probe side) clearly ahead of the unbatched join.");
+}

@@ -1,0 +1,64 @@
+//! Run the entire figure/table suite sequentially. Each experiment is also
+//! available as its own binary; this wrapper exists so
+//! `cargo run --release -p dlht-bench --bin run_all` regenerates everything
+//! the paper's evaluation section reports, at the environment-selected scale.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig01_overview",
+    "table1_features",
+    "fig03_get_throughput",
+    "fig04_power_efficiency",
+    "fig05_insdel_throughput",
+    "fig06_put_heavy",
+    "fig07_population",
+    "fig08_resize_timeline",
+    "fig09_value_size",
+    "fig10_key_size",
+    "fig11_index_size",
+    "fig12_batch_size",
+    "fig13_skew",
+    "fig14_features",
+    "fig15_latency",
+    "fig16_single_thread",
+    "fig17_lock_manager",
+    "fig18_ycsb",
+    "fig19_oltp",
+    "fig20_hash_join",
+    "fig_cxl_emulation",
+    "table5_summary",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("cannot locate the bench binaries");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n================================================================");
+        println!("  {exp}");
+        println!("================================================================");
+        let path = exe_dir.join(exp);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{exp} exited with {s}");
+                failures.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {exp} ({e}); run it via `cargo run --release -p dlht-bench --bin {exp}`");
+                failures.push(*exp);
+            }
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("All {} experiments completed.", EXPERIMENTS.len());
+    } else {
+        println!("Completed with {} failures: {:?}", failures.len(), failures);
+        std::process::exit(1);
+    }
+}

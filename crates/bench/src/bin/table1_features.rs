@@ -1,0 +1,108 @@
+//! Table 1: the feature matrix (collision handling, non-blocking operations,
+//! memory-access awareness) plus the occupancy-until-resize study of §5.1.5.
+
+use dlht_baselines::{ConcurrentMap, DlhtAdapter, MapKind};
+use dlht_bench::print_header;
+use dlht_core::DlhtConfig;
+use dlht_hash::HashKind;
+use dlht_workloads::{BenchScale, Table};
+
+/// Measure DLHT's occupancy when an insert-only population first triggers a
+/// resize (wyhash, link buckets limited to one-fifth of the bins as in
+/// §5.1.5).
+fn dlht_occupancy_until_resize(bins: usize) -> f64 {
+    let map = DlhtAdapter::with_config(
+        DlhtConfig::new(bins)
+            .with_hash(HashKind::WyHash)
+            .with_link_ratio(5),
+    );
+    let mut k = 0u64;
+    loop {
+        map.insert(k, k);
+        k += 1;
+        if map.inner().resizes() > 0 {
+            break;
+        }
+    }
+    // Occupancy right before the grow: keys inserted over the slots of the
+    // original index.
+    let original_slots = bins * 3 + (bins / 5) * 4;
+    (k as usize - 1) as f64 / original_slots as f64
+}
+
+/// Measure the CLHT-like baseline's occupancy when it first resizes.
+fn clht_occupancy_until_resize(capacity: usize) -> f64 {
+    let map = dlht_baselines::ClhtMap::with_capacity(capacity);
+    let mut k = 0u64;
+    loop {
+        map.insert(k, k);
+        k += 1;
+        if map.resizes() > 0 {
+            break;
+        }
+    }
+    (k as usize - 1) as f64 / capacity as f64
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    print_header(
+        "Table 1 (key features for memory-resident performance) + §5.1.5 occupancy",
+        "feature matrix of GrowT, Folly, DRAMHiT, MICA, CLHT, DLHT; occupancy until resize with wyhash",
+        &scale,
+    );
+    let mut table = Table::new(
+        "Table 1 — feature matrix",
+        &[
+            "map",
+            "collision handling",
+            "lock-free gets",
+            "puts",
+            "inserts",
+            "deletes free slots",
+            "resizable",
+            "non-blocking resize",
+            "prefetching",
+            "inlined values",
+        ],
+    );
+    let yes_no = |b: bool| if b { "yes" } else { "no" }.to_string();
+    for kind in MapKind::all() {
+        let f = kind.build(64).features();
+        table.row(&[
+            kind.name().to_string(),
+            f.collision_handling.to_string(),
+            yes_no(f.lock_free_gets),
+            yes_no(f.non_blocking_puts),
+            yes_no(f.non_blocking_inserts),
+            yes_no(f.deletes_free_slots),
+            yes_no(f.resizable),
+            yes_no(f.non_blocking_resize),
+            yes_no(f.overlaps_memory_accesses),
+            yes_no(f.inline_values),
+        ]);
+    }
+    table.print();
+
+    let bins = (scale.keys as usize / 2).max(4_096);
+    let mut occ = Table::new(
+        "§5.1.5 — occupancy until resize (wyhash)",
+        &["map", "occupancy at first resize", "paper"],
+    );
+    occ.row(&[
+        "DLHT (links = bins/5)".to_string(),
+        format!("{:.0}%", dlht_occupancy_until_resize(bins) * 100.0),
+        "61-72%".to_string(),
+    ]);
+    occ.row(&[
+        "CLHT (no chaining)".to_string(),
+        format!("{:.0}%", clht_occupancy_until_resize(bins * 3) * 100.0),
+        "1-5%".to_string(),
+    ]);
+    occ.row(&[
+        "open-addressing rebuild threshold (GrowT codebase)".to_string(),
+        "30%".to_string(),
+        "30-50%".to_string(),
+    ]);
+    occ.print();
+}

@@ -1,0 +1,66 @@
+//! Table 5: comparison summary of DLHT against the fastest baselines —
+//! Get throughput ratio, InsDel ratio, and population ratio.
+
+use dlht_baselines::MapKind;
+use dlht_bench::{build_prepopulated, print_header};
+use dlht_workloads::population::populate_growing;
+use dlht_workloads::{run_workload, BenchScale, Table, WorkloadSpec};
+
+fn measure(kind: MapKind, scale: &BenchScale, threads: usize) -> (f64, f64) {
+    let map = build_prepopulated(kind, scale);
+    let get = run_workload(
+        map.as_ref(),
+        &WorkloadSpec::get_default(scale.keys, threads, scale.duration()),
+    );
+    let insdel = run_workload(
+        map.as_ref(),
+        &WorkloadSpec::insdel_default(scale.keys, threads, scale.duration()),
+    );
+    (get.mops, insdel.mops)
+}
+
+fn population(kind: MapKind, scale: &BenchScale, threads: usize) -> f64 {
+    let map = kind.build(1_024);
+    populate_growing(map.as_ref(), scale.keys * 2, threads).mops
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    print_header(
+        "Table 5 (comparison summary of DLHT and the fastest baselines)",
+        "paper: CLHT 3.5x slower Gets / 8x slower population; GrowT 12.8x slower InsDel; MICA 4.8x slower Gets; DRAMHiT 1.7x slower Gets",
+        &scale,
+    );
+    let threads = *scale.threads.iter().max().unwrap_or(&1);
+    let (dlht_get, dlht_insdel) = measure(MapKind::Dlht, &scale, threads);
+    let dlht_pop = population(MapKind::Dlht, &scale, threads);
+
+    let mut table = Table::new(
+        "Table 5 — DLHT advantage over each baseline (ratio > 1 means DLHT is faster)",
+        &["baseline", "Get ratio", "InsDel ratio", "Population ratio", "paper says"],
+    );
+    let paper = [
+        (MapKind::Clht, "3.5x Gets, ~3x InsDel, 8x population"),
+        (MapKind::Growt, "3.5x Gets, 12.8x InsDel, 3.9x population"),
+        (MapKind::Folly, "3.5x Gets"),
+        (MapKind::Dramhit, "1.7x Gets"),
+        (MapKind::Mica, "4.8x Gets"),
+        (MapKind::DlhtNoBatch, "2.2x Gets (value of prefetching)"),
+    ];
+    for (kind, note) in paper {
+        let (get, insdel) = measure(kind, &scale, threads);
+        let pop = if kind.build(64).features().resizable {
+            format!("{:.1}x", dlht_pop / population(kind, &scale, threads).max(1e-9))
+        } else {
+            "n/a".to_string()
+        };
+        table.row(&[
+            kind.name().to_string(),
+            format!("{:.1}x", dlht_get / get.max(1e-9)),
+            format!("{:.1}x", dlht_insdel / insdel.max(1e-9)),
+            pop,
+            note.to_string(),
+        ]);
+    }
+    table.print();
+}

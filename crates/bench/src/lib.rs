@@ -1,0 +1,125 @@
+//! Shared helpers for the benchmark binaries that regenerate every table and
+//! figure of the DLHT paper's evaluation (§5). Each figure/table has its own
+//! binary (`cargo run --release -p dlht-bench --bin fig03_get_throughput`);
+//! `run_all` executes the whole suite.
+//!
+//! Scaling: all binaries read `DLHT_KEYS`, `DLHT_THREADS` (comma-separated
+//! sweep) and `DLHT_SECS` from the environment so the same code runs on a
+//! laptop/CI box (defaults) or can be scaled toward the paper's 100 M-key,
+//! 71-thread configuration on a large server.
+
+use dlht_baselines::{ConcurrentMap, MapKind};
+use dlht_workloads::{prepopulate, run_workload, BenchScale, RunResult, Table, WorkloadSpec};
+
+/// A figure/table sweep point: one map kind at one thread count.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Hashtable under test.
+    pub kind: MapKind,
+    /// Threads used.
+    pub threads: usize,
+    /// Measured result.
+    pub result: RunResult,
+}
+
+/// Run `spec_for(threads)` against every map kind in `kinds`, prepopulating
+/// each map with `scale.keys` keys, and return all sweep points.
+pub fn sweep<F>(kinds: &[MapKind], scale: &BenchScale, mut spec_for: F) -> Vec<SweepPoint>
+where
+    F: FnMut(usize) -> WorkloadSpec,
+{
+    let mut points = Vec::new();
+    for &kind in kinds {
+        for &threads in &scale.threads {
+            let map = kind.build(scale.keys as usize * 2);
+            prepopulate(map.as_ref(), scale.keys);
+            let spec = spec_for(threads);
+            let result = run_workload(map.as_ref(), &spec);
+            points.push(SweepPoint {
+                kind,
+                threads,
+                result,
+            });
+        }
+    }
+    points
+}
+
+/// Render sweep points as a "threads × map" throughput table (M req/s), the
+/// shape of the paper's line plots.
+pub fn throughput_table(title: &str, points: &[SweepPoint], scale: &BenchScale) -> Table {
+    let kinds: Vec<MapKind> = {
+        let mut ks: Vec<MapKind> = Vec::new();
+        for p in points {
+            if !ks.contains(&p.kind) {
+                ks.push(p.kind);
+            }
+        }
+        ks
+    };
+    let mut headers: Vec<&str> = vec!["threads"];
+    let names: Vec<String> = kinds.iter().map(|k| k.name().to_string()).collect();
+    for n in &names {
+        headers.push(n.as_str());
+    }
+    let mut table = Table::new(title, &headers);
+    for &threads in &scale.threads {
+        let mut row = vec![threads.to_string()];
+        for &kind in &kinds {
+            let cell = points
+                .iter()
+                .find(|p| p.kind == kind && p.threads == threads)
+                .map(|p| dlht_workloads::fmt_mops(p.result.mops))
+                .unwrap_or_else(|| "-".to_string());
+            row.push(cell);
+        }
+        table.row(&row);
+    }
+    table
+}
+
+/// Standard preamble printed by every binary: what is being reproduced and at
+/// what scale.
+pub fn print_header(figure: &str, paper_setup: &str, scale: &BenchScale) {
+    println!("== Reproducing {figure} ==");
+    println!("Paper setup    : {paper_setup}");
+    println!(
+        "This run       : {} keys, threads {:?}, {:.2}s per point (scale with DLHT_KEYS/DLHT_THREADS/DLHT_SECS)",
+        scale.keys,
+        scale.threads,
+        scale.duration().as_secs_f64()
+    );
+    println!();
+}
+
+/// Build and prepopulate one map kind at the sweep scale.
+pub fn build_prepopulated(kind: MapKind, scale: &BenchScale) -> Box<dyn ConcurrentMap> {
+    let map = kind.build(scale.keys as usize * 2);
+    prepopulate(map.as_ref(), scale.keys);
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn sweep_and_table_shapes_match() {
+        let scale = BenchScale {
+            keys: 2_000,
+            threads: vec![1, 2],
+            secs: 0.03,
+        };
+        let kinds = [MapKind::Dlht, MapKind::Clht];
+        let points = sweep(&kinds, &scale, |threads| {
+            WorkloadSpec::get_default(2_000, threads, Duration::from_millis(30))
+        });
+        assert_eq!(points.len(), 4);
+        let table = throughput_table("test", &points, &scale);
+        assert_eq!(table.len(), 2, "one row per thread count");
+        let rendered = table.render();
+        assert!(rendered.contains("DLHT"));
+        assert!(rendered.contains("CLHT"));
+    }
+}

@@ -1,0 +1,552 @@
+//! The Allocator mode (§3.1, mode 2): keys and/or values larger than 8 bytes
+//! are stored in out-of-line records obtained from a [`ValueAllocator`]; the
+//! slot's value word holds a [`TaggedPtr`] to the record.
+//!
+//! Features implemented here, as described by the paper:
+//!
+//! * **Pointer API** instead of Put (§3.2.1): a Get can expose the record so
+//!   the client modifies the value in place; blind overwrites are expressed as
+//!   delete+insert.
+//! * **Variable-size keys and values in a single index** (§3.4.1): when
+//!   enabled, every record carries its own key/value lengths.
+//! * **Namespaces** (§3.4.2): a 12-bit namespace id packed in the tagged
+//!   pointer; keys in different namespaces never conflict.
+//! * **Epoch-based GC for deletes** (§3.2.3): deleted records are retired to
+//!   a [`dlht_epoch::Collector`] and freed two epochs later.
+//!
+//! Threads interact through an [`AllocSession`], which owns the thread's epoch
+//! handle. Call [`AllocSession::quiesce`] between batches (the paper's
+//! "periodically performs a call from all threads to advance the epoch").
+
+use crate::config::DlhtConfig;
+use crate::error::{DlhtError, InsertOutcome};
+use crate::stats::TableStats;
+use crate::table::RawTable;
+use crate::tagged_ptr::TaggedPtr;
+use dlht_alloc::ValueAllocator;
+use dlht_epoch::{Collector, LocalHandle};
+use dlht_hash::WyHash;
+use std::sync::Arc;
+
+/// Maximum supported key length in bytes.
+pub const MAX_KEY_LEN: usize = u16::MAX as usize;
+
+/// Record header used when variable-size keys/values are enabled.
+#[repr(C)]
+struct VarHeader {
+    key_len: u16,
+    _pad: u16,
+    val_len: u32,
+}
+
+const VAR_HEADER_LEN: usize = std::mem::size_of::<VarHeader>();
+
+/// Concurrent map for out-of-line (≥ 8 B) keys and values.
+pub struct DlhtAllocMap {
+    table: RawTable,
+    allocator: Arc<dyn ValueAllocator>,
+    collector: Arc<Collector>,
+    /// Fixed key/value lengths used when `config.variable_size` is false.
+    fixed_key_len: usize,
+    fixed_val_len: usize,
+}
+
+impl DlhtAllocMap {
+    /// Create an Allocator-mode map.
+    ///
+    /// `fixed_key_len` / `fixed_val_len` define the record layout when
+    /// variable-size support is disabled in `config`; they are ignored (and
+    /// may be 0) when it is enabled.
+    pub fn new(
+        config: DlhtConfig,
+        allocator: Arc<dyn ValueAllocator>,
+        fixed_key_len: usize,
+        fixed_val_len: usize,
+    ) -> Self {
+        DlhtAllocMap {
+            table: RawTable::with_config(config),
+            allocator,
+            collector: Arc::new(Collector::new()),
+            fixed_key_len,
+            fixed_val_len,
+        }
+    }
+
+    /// Convenience constructor sized for `keys` fixed-size pairs.
+    pub fn with_capacity(keys: usize, key_len: usize, val_len: usize) -> Self {
+        Self::new(
+            DlhtConfig::for_capacity(keys),
+            dlht_alloc::AllocatorKind::Pool.build(),
+            key_len,
+            val_len,
+        )
+    }
+
+    /// Open a per-thread session. Each thread should keep its session for the
+    /// duration of its work and call [`AllocSession::quiesce`] periodically.
+    pub fn session(&self) -> AllocSession<'_> {
+        let handle = self
+            .collector
+            .register()
+            .expect("too many concurrent sessions");
+        AllocSession { map: self, handle }
+    }
+
+    /// Structural statistics of the index.
+    pub fn stats(&self) -> TableStats {
+        self.table.stats()
+    }
+
+    /// Number of live keys (linear scan).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The epoch collector (exposed for coordinated shutdown in tests).
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DlhtConfig {
+        self.table.config()
+    }
+
+    // ---- record layout helpers -------------------------------------------------
+
+    fn record_size(&self, key_len: usize, val_len: usize) -> usize {
+        if self.config().variable_size {
+            VAR_HEADER_LEN + key_len + val_len
+        } else {
+            self.fixed_key_len + self.fixed_val_len
+        }
+    }
+
+    /// Key word + whether the key is inlined exactly (no record verification
+    /// needed).
+    fn key_word(&self, namespace: u16, key: &[u8]) -> (u64, bool) {
+        if key.len() == 8 && !self.config().namespaces {
+            let word = u64::from_le_bytes(key.try_into().unwrap());
+            if !crate::bucket::is_reserved_key(word) {
+                return (word, true);
+            }
+        }
+        // Fingerprint path: hash the namespace and key; collisions are
+        // resolved by verifying against the record.
+        let mut fp = WyHash::hash_bytes_seeded(key, namespace as u64 + 1);
+        if crate::bucket::is_reserved_key(fp) {
+            fp ^= 1;
+        }
+        (fp, false)
+    }
+
+    /// Write a record and return its pointer.
+    fn write_record(&self, key: &[u8], value: &[u8]) -> *mut u8 {
+        let size = self.record_size(key.len(), value.len());
+        let ptr = self.allocator.alloc(size);
+        // SAFETY: `ptr` is a fresh allocation of `size` bytes.
+        unsafe {
+            if self.config().variable_size {
+                let header = VarHeader {
+                    key_len: key.len() as u16,
+                    _pad: 0,
+                    val_len: value.len() as u32,
+                };
+                std::ptr::copy_nonoverlapping(
+                    (&header as *const VarHeader).cast::<u8>(),
+                    ptr,
+                    VAR_HEADER_LEN,
+                );
+                std::ptr::copy_nonoverlapping(key.as_ptr(), ptr.add(VAR_HEADER_LEN), key.len());
+                std::ptr::copy_nonoverlapping(
+                    value.as_ptr(),
+                    ptr.add(VAR_HEADER_LEN + key.len()),
+                    value.len(),
+                );
+            } else {
+                debug_assert_eq!(key.len(), self.fixed_key_len);
+                debug_assert_eq!(value.len(), self.fixed_val_len);
+                std::ptr::copy_nonoverlapping(key.as_ptr(), ptr, key.len());
+                std::ptr::copy_nonoverlapping(value.as_ptr(), ptr.add(key.len()), value.len());
+            }
+        }
+        ptr
+    }
+
+    /// Decode a record into (key bytes, value bytes) slices.
+    ///
+    /// # Safety
+    /// `ptr` must point to a live record written by [`Self::write_record`]
+    /// with the same configuration.
+    unsafe fn read_record<'a>(&self, ptr: *const u8) -> (&'a [u8], &'a [u8]) {
+        unsafe {
+            if self.config().variable_size {
+                let header = &*(ptr as *const VarHeader);
+                let key = std::slice::from_raw_parts(ptr.add(VAR_HEADER_LEN), header.key_len as usize);
+                let value = std::slice::from_raw_parts(
+                    ptr.add(VAR_HEADER_LEN + header.key_len as usize),
+                    header.val_len as usize,
+                );
+                (key, value)
+            } else {
+                let key = std::slice::from_raw_parts(ptr, self.fixed_key_len);
+                let value = std::slice::from_raw_parts(ptr.add(self.fixed_key_len), self.fixed_val_len);
+                (key, value)
+            }
+        }
+    }
+
+    fn free_record(&self, ptr: *mut u8, key_len: usize, val_len: usize) {
+        let size = self.record_size(key_len, val_len);
+        // SAFETY: the record was allocated with exactly this size.
+        unsafe { self.allocator.dealloc(ptr, size) };
+    }
+
+    /// Validate lengths against the configuration.
+    fn check_lengths(&self, key: &[u8], value: &[u8]) -> Result<(), DlhtError> {
+        if key.is_empty() || key.len() > MAX_KEY_LEN {
+            return Err(DlhtError::KeyTooLong);
+        }
+        if !self.config().variable_size
+            && (key.len() != self.fixed_key_len || value.len() != self.fixed_val_len)
+        {
+            return Err(DlhtError::KeyTooLong);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for DlhtAllocMap {
+    fn drop(&mut self) {
+        // Free every record still referenced by the index. Exclusive access.
+        let mut ptrs = Vec::new();
+        self.table.for_each(|_, value_word| {
+            ptrs.push(TaggedPtr(value_word));
+        });
+        for tp in ptrs {
+            let ptr = tp.ptr();
+            if ptr.is_null() {
+                continue;
+            }
+            // SAFETY: exclusive access; record is live.
+            let (k, v) = unsafe { self.read_record(ptr) };
+            let (kl, vl) = (k.len(), v.len());
+            self.free_record(ptr, kl, vl);
+        }
+    }
+}
+
+/// Per-thread session over a [`DlhtAllocMap`].
+pub struct AllocSession<'a> {
+    map: &'a DlhtAllocMap,
+    handle: LocalHandle,
+}
+
+impl AllocSession<'_> {
+    /// Insert `key -> value` under `namespace`. Returns `Ok(false)` if the key
+    /// already exists (the existing value is left untouched).
+    pub fn insert(&mut self, namespace: u16, key: &[u8], value: &[u8]) -> Result<bool, DlhtError> {
+        self.map.check_lengths(key, value)?;
+        let (word, _exact) = self.map.key_word(namespace, key);
+        let record = self.map.write_record(key, value);
+        let inline_size = if key.len() <= 8 { key.len() } else { 0 };
+        let tagged = match TaggedPtr::pack(record, namespace, inline_size) {
+            Ok(t) => t,
+            Err(e) => {
+                self.map.free_record(record, key.len(), value.len());
+                return Err(e);
+            }
+        };
+        match self.map.table.insert(word, tagged.0) {
+            Ok(InsertOutcome::Inserted) => Ok(true),
+            Ok(InsertOutcome::AlreadyExists(_)) => {
+                // The paper notes the Insert may fail after allocating; the
+                // allocation is released before returning (§3.2.2 Allocator).
+                self.map.free_record(record, key.len(), value.len());
+                Ok(false)
+            }
+            Err(e) => {
+                self.map.free_record(record, key.len(), value.len());
+                Err(e)
+            }
+        }
+    }
+
+    /// Look up `key`, invoking `f` on the value bytes without copying them
+    /// (the pointer API of §3.2.1).
+    pub fn get_with<R>(
+        &mut self,
+        namespace: u16,
+        key: &[u8],
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Option<R> {
+        let (word, exact) = self.map.key_word(namespace, key);
+        let value_word = self.map.table.get(word)?;
+        let tagged = TaggedPtr(value_word);
+        let ptr = tagged.ptr();
+        if ptr.is_null() {
+            return None;
+        }
+        // SAFETY: the record cannot be freed before this session's next
+        // quiescent point (epoch GC).
+        let (rec_key, rec_val) = unsafe { self.map.read_record(ptr) };
+        if tagged.namespace() != namespace {
+            return None;
+        }
+        if !exact && rec_key != key {
+            return None;
+        }
+        Some(f(rec_val))
+    }
+
+    /// Look up `key` and return a copy of its value bytes.
+    pub fn get(&mut self, namespace: u16, key: &[u8]) -> Option<Vec<u8>> {
+        self.get_with(namespace, key, |v| v.to_vec())
+    }
+
+    /// Pointer API for in-place modification: returns the raw value pointer
+    /// and length. The caller is responsible for coordinating concurrent
+    /// writers (e.g. with a lock embedded in the value, as the paper's
+    /// transactional clients do) and must not use the pointer after this
+    /// session's next [`AllocSession::quiesce`] call.
+    pub fn get_value_ptr(&mut self, namespace: u16, key: &[u8]) -> Option<(*mut u8, usize)> {
+        let (word, exact) = self.map.key_word(namespace, key);
+        let value_word = self.map.table.get(word)?;
+        let tagged = TaggedPtr(value_word);
+        let ptr = tagged.ptr();
+        if ptr.is_null() || tagged.namespace() != namespace {
+            return None;
+        }
+        // SAFETY: record protected by the epoch GC until our next quiescence.
+        let (rec_key, rec_val) = unsafe { self.map.read_record(ptr) };
+        if !exact && rec_key != key {
+            return None;
+        }
+        let offset = unsafe { rec_val.as_ptr().offset_from(ptr) } as usize;
+        Some((unsafe { ptr.add(offset) }, rec_val.len()))
+    }
+
+    /// Whether `key` exists under `namespace`.
+    pub fn contains(&mut self, namespace: u16, key: &[u8]) -> bool {
+        self.get_with(namespace, key, |_| ()).is_some()
+    }
+
+    /// Delete `key`. The index slot is reclaimed immediately; the record is
+    /// freed by the epoch GC two epochs later.
+    pub fn delete(&mut self, namespace: u16, key: &[u8]) -> bool {
+        let (word, exact) = self.map.key_word(namespace, key);
+        // Verify before deleting so a fingerprint collision cannot remove an
+        // unrelated pair.
+        if !exact && !self.contains(namespace, key) {
+            return false;
+        }
+        let Some(value_word) = self.map.table.delete(word) else {
+            return false;
+        };
+        let tagged = TaggedPtr(value_word);
+        let ptr = tagged.ptr();
+        if ptr.is_null() {
+            return true;
+        }
+        // SAFETY: we hold the only logical reference for reclamation purposes;
+        // concurrent readers are protected by the epoch.
+        let (rec_key, rec_val) = unsafe { self.map.read_record(ptr) };
+        let (kl, vl) = (rec_key.len(), rec_val.len());
+        let allocator = Arc::clone(&self.map.allocator);
+        let size = self.map.record_size(kl, vl);
+        let addr = ptr as usize;
+        self.handle.defer(move || {
+            // SAFETY: by the time the epoch GC runs this, no reader can hold
+            // the record.
+            unsafe { allocator.dealloc(addr as *mut u8, size) };
+        });
+        true
+    }
+
+    /// Announce a quiescent point: retired records from two epochs ago become
+    /// freeable, and the global epoch advances once all sessions have done so.
+    pub fn quiesce(&mut self) {
+        self.handle.quiescent();
+    }
+
+    /// Number of records retired by this session and not yet freed.
+    pub fn pending_garbage(&self) -> usize {
+        self.handle.pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlht_alloc::{AllocatorKind, CountingAllocator, SystemAllocator};
+
+    fn var_map() -> DlhtAllocMap {
+        DlhtAllocMap::new(
+            DlhtConfig::new(256).with_variable_size(true).with_namespaces(true),
+            AllocatorKind::System.build(),
+            0,
+            0,
+        )
+    }
+
+    #[test]
+    fn fixed_size_insert_get_delete() {
+        let map = DlhtAllocMap::with_capacity(100, 8, 32);
+        let mut s = map.session();
+        let key = 42u64.to_le_bytes();
+        let value = [7u8; 32];
+        assert!(s.insert(0, &key, &value).unwrap());
+        assert!(!s.insert(0, &key, &value).unwrap());
+        assert_eq!(s.get(0, &key).unwrap(), value.to_vec());
+        assert!(s.delete(0, &key));
+        assert!(!s.delete(0, &key));
+        assert_eq!(s.get(0, &key), None);
+    }
+
+    #[test]
+    fn variable_sizes_in_one_index() {
+        let map = var_map();
+        let mut s = map.session();
+        // The paper's example: a 2-byte key with a 5-byte value next to a
+        // 128-byte key with a 1024-byte value (§3.4.1).
+        assert!(s.insert(0, b"ab", b"hello").unwrap());
+        let big_key = vec![9u8; 128];
+        let big_val = vec![3u8; 1024];
+        assert!(s.insert(0, &big_key, &big_val).unwrap());
+        assert_eq!(s.get(0, b"ab").unwrap(), b"hello".to_vec());
+        assert_eq!(s.get(0, &big_key).unwrap(), big_val);
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn namespaces_do_not_conflict() {
+        let map = var_map();
+        let mut s = map.session();
+        assert!(s.insert(1, b"same-key", b"one").unwrap());
+        assert!(s.insert(2, b"same-key", b"two").unwrap());
+        assert_eq!(s.get(1, b"same-key").unwrap(), b"one".to_vec());
+        assert_eq!(s.get(2, b"same-key").unwrap(), b"two".to_vec());
+        assert!(s.delete(1, b"same-key"));
+        assert_eq!(s.get(1, b"same-key"), None);
+        assert_eq!(s.get(2, b"same-key").unwrap(), b"two".to_vec());
+    }
+
+    #[test]
+    fn invalid_namespace_is_rejected() {
+        let map = var_map();
+        let mut s = map.session();
+        assert_eq!(
+            s.insert(4096, b"k", b"v"),
+            Err(DlhtError::InvalidNamespace)
+        );
+    }
+
+    #[test]
+    fn pointer_api_allows_in_place_update() {
+        let map = DlhtAllocMap::with_capacity(16, 8, 8);
+        let mut s = map.session();
+        let key = 1u64.to_le_bytes();
+        s.insert(0, &key, &0u64.to_le_bytes()).unwrap();
+        let (ptr, len) = s.get_value_ptr(0, &key).unwrap();
+        assert_eq!(len, 8);
+        // SAFETY: single-threaded test, pointer valid until quiesce.
+        unsafe { std::ptr::copy_nonoverlapping(99u64.to_le_bytes().as_ptr(), ptr, 8) };
+        assert_eq!(s.get(0, &key).unwrap(), 99u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn get_with_reads_without_copying() {
+        let map = var_map();
+        let mut s = map.session();
+        s.insert(0, b"k1", b"abcdef").unwrap();
+        let len = s.get_with(0, b"k1", |v| v.len()).unwrap();
+        assert_eq!(len, 6);
+        assert!(s.get_with(0, b"nope", |_| ()).is_none());
+    }
+
+    #[test]
+    fn deleted_records_are_freed_after_quiescence() {
+        let counting = Arc::new(CountingAllocator::new(SystemAllocator::new()));
+        let map = DlhtAllocMap::new(
+            DlhtConfig::new(64).with_variable_size(true),
+            counting.clone() as Arc<dyn ValueAllocator>,
+            0,
+            0,
+        );
+        {
+            let mut s = map.session();
+            for i in 0..50u64 {
+                s.insert(0, &i.to_le_bytes(), &[1u8; 64]).unwrap();
+            }
+            for i in 0..50u64 {
+                assert!(s.delete(0, &i.to_le_bytes()));
+            }
+            assert_eq!(counting.deallocs(), 0, "records must outlive the epoch");
+            for _ in 0..4 {
+                s.quiesce();
+            }
+            assert_eq!(counting.deallocs(), 50);
+        }
+        drop(map);
+        assert_eq!(counting.live(), 0, "every allocation must be released");
+    }
+
+    #[test]
+    fn drop_frees_live_records() {
+        let counting = Arc::new(CountingAllocator::new(SystemAllocator::new()));
+        {
+            let map = DlhtAllocMap::new(
+                DlhtConfig::new(64).with_variable_size(true),
+                counting.clone() as Arc<dyn ValueAllocator>,
+                0,
+                0,
+            );
+            let mut s = map.session();
+            for i in 0..20u64 {
+                s.insert(0, &i.to_le_bytes(), &[2u8; 16]).unwrap();
+            }
+        }
+        assert_eq!(counting.live(), 0);
+    }
+
+    #[test]
+    fn wrong_length_rejected_in_fixed_mode() {
+        let map = DlhtAllocMap::with_capacity(16, 8, 16);
+        let mut s = map.session();
+        assert!(s.insert(0, b"short", &[0u8; 16]).is_err());
+        assert!(s.insert(0, &[0u8; 8], &[0u8; 15]).is_err());
+    }
+
+    #[test]
+    fn concurrent_sessions_insert_and_read() {
+        let map = Arc::new(DlhtAllocMap::new(
+            DlhtConfig::new(1024).with_variable_size(true),
+            AllocatorKind::Pool.build(),
+            0,
+            0,
+        ));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let map = Arc::clone(&map);
+                scope.spawn(move || {
+                    let mut s = map.session();
+                    for i in 0..500u64 {
+                        let key = (t * 1_000_000 + i).to_le_bytes();
+                        let val = vec![t as u8; 24];
+                        assert!(s.insert(0, &key, &val).unwrap());
+                        assert_eq!(s.get(0, &key).unwrap(), val);
+                        if i % 16 == 0 {
+                            s.quiesce();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), 2_000);
+    }
+}

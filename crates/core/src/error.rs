@@ -1,0 +1,74 @@
+//! Error and result types for table operations.
+
+use std::fmt;
+
+/// Errors surfaced by the public API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DlhtError {
+    /// The key collides with one of the two reserved transfer keys used by the
+    /// non-blocking resize (§3.2.5). `u64::MAX` and `u64::MAX - 1` cannot be
+    /// stored.
+    ReservedKey,
+    /// The bin (and its link-bucket budget) is full and resizing is disabled
+    /// in the configuration, so the insert cannot be accommodated.
+    TableFull,
+    /// A key longer than the configured maximum was supplied.
+    KeyTooLong,
+    /// A namespace id outside the 12-bit range (0..4096) was supplied.
+    InvalidNamespace,
+    /// The operation is not available in the current mode (e.g. `put` in
+    /// Allocator mode, which exposes the pointer API instead — §3.2.4).
+    UnsupportedInMode,
+}
+
+impl fmt::Display for DlhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlhtError::ReservedKey => {
+                write!(f, "keys u64::MAX and u64::MAX-1 are reserved as transfer keys")
+            }
+            DlhtError::TableFull => write!(f, "bin full and resizing is disabled"),
+            DlhtError::KeyTooLong => write!(f, "key exceeds the configured maximum length"),
+            DlhtError::InvalidNamespace => write!(f, "namespace id must be < 4096"),
+            DlhtError::UnsupportedInMode => {
+                write!(f, "operation not supported in the current table mode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DlhtError {}
+
+/// Outcome of an insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The key was inserted.
+    Inserted,
+    /// The key already existed; the existing value word is returned.
+    AlreadyExists(u64),
+}
+
+impl InsertOutcome {
+    /// Whether the insert took effect.
+    pub fn inserted(self) -> bool {
+        matches!(self, InsertOutcome::Inserted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(DlhtError::ReservedKey.to_string().contains("reserved"));
+        assert!(DlhtError::TableFull.to_string().contains("resizing"));
+        assert!(DlhtError::InvalidNamespace.to_string().contains("4096"));
+    }
+
+    #[test]
+    fn insert_outcome_helpers() {
+        assert!(InsertOutcome::Inserted.inserted());
+        assert!(!InsertOutcome::AlreadyExists(7).inserted());
+    }
+}

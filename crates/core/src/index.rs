@@ -1,0 +1,352 @@
+//! The index: an array of bins plus the shared link-bucket array and the
+//! per-index resize bookkeeping (§3.1, §3.2.5).
+
+use crate::bucket::{LinkBucket, LinkMeta, PrimaryBucket, NO_LINK};
+use crate::config::DlhtConfig;
+use crate::header::BinHeader;
+use crate::prefetch::prefetch_read;
+use dlht_hash::HashKind;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicUsize, Ordering};
+
+/// One generation of the table: bins, link buckets, and resize state.
+///
+/// Indexes are linked into a forward chain through [`Index::next`] by the
+/// resize protocol; the chain is only ever extended at the tail and freed from
+/// the head (oldest first), which is what makes announcing the entered index
+/// sufficient to protect a whole traversal (see `registry.rs`).
+pub struct Index {
+    bins: Box<[PrimaryBucket]>,
+    links: Box<[LinkBucket]>,
+    /// Bump cursor into `links`; link buckets are never individually freed.
+    link_cursor: AtomicU32,
+    num_bins: usize,
+    hash: HashKind,
+
+    /// The index objects are chained oldest -> newest during resizes.
+    next: AtomicPtr<Index>,
+    /// Set by the thread that wins the right to allocate the next index.
+    resize_claimed: AtomicBool,
+    /// Next chunk of bins to be claimed by a transfer helper.
+    chunk_cursor: AtomicUsize,
+    /// Chunks fully transferred so far.
+    chunks_done: AtomicUsize,
+    num_chunks: usize,
+    chunk_bins: usize,
+    /// Monotonically increasing generation number (0 for the initial index).
+    generation: u32,
+}
+
+impl Index {
+    /// Allocate a zeroed index with `num_bins` bins.
+    pub fn new(num_bins: usize, config: &DlhtConfig, generation: u32) -> Self {
+        let num_bins = num_bins.max(2);
+        let num_links = config.link_buckets_for(num_bins);
+        let chunk_bins = config.chunk_bins.max(1);
+        let bins: Box<[PrimaryBucket]> = (0..num_bins).map(|_| PrimaryBucket::new()).collect();
+        let links: Box<[LinkBucket]> = (0..num_links).map(|_| LinkBucket::new()).collect();
+        Index {
+            bins,
+            links,
+            link_cursor: AtomicU32::new(0),
+            num_bins,
+            hash: config.hash,
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            resize_claimed: AtomicBool::new(false),
+            chunk_cursor: AtomicUsize::new(0),
+            chunks_done: AtomicUsize::new(0),
+            num_chunks: num_bins.div_ceil(chunk_bins),
+            chunk_bins,
+            generation,
+        }
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn num_bins(&self) -> usize {
+        self.num_bins
+    }
+
+    /// Number of link buckets in the pool.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of link buckets already handed out.
+    #[inline]
+    pub fn links_used(&self) -> usize {
+        (self.link_cursor.load(Ordering::Relaxed) as usize).min(self.links.len())
+    }
+
+    /// Generation number of this index (0 = initial).
+    #[inline]
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Hash function in use.
+    #[inline]
+    pub fn hash_kind(&self) -> HashKind {
+        self.hash
+    }
+
+    /// Map a key to its bin.
+    #[inline]
+    pub fn bin_of(&self, key: u64) -> usize {
+        (self.hash.hash_u64(key) % self.num_bins as u64) as usize
+    }
+
+    /// The primary bucket of bin `b`.
+    #[inline]
+    pub fn bin(&self, b: usize) -> &PrimaryBucket {
+        &self.bins[b]
+    }
+
+    /// Link bucket `idx`.
+    #[inline]
+    pub fn link(&self, idx: u32) -> &LinkBucket {
+        &self.links[idx as usize]
+    }
+
+    /// Issue a software prefetch for the primary bucket of bin `b` (§3.3).
+    #[inline]
+    pub fn prefetch_bin(&self, b: usize) {
+        prefetch_read(&self.bins[b] as *const PrimaryBucket);
+    }
+
+    /// Allocate `n` consecutive link buckets (n is 1 or 2). Returns the index
+    /// of the first, or `None` when the pool is exhausted — which is a resize
+    /// trigger (§3.2.2 "Chaining buckets").
+    pub fn alloc_link_buckets(&self, n: u32) -> Option<u32> {
+        debug_assert!(n == 1 || n == 2);
+        loop {
+            let cur = self.link_cursor.load(Ordering::Relaxed);
+            let end = cur.checked_add(n)?;
+            if end as usize > self.links.len() {
+                return None;
+            }
+            if self
+                .link_cursor
+                .compare_exchange_weak(cur, end, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(cur);
+            }
+        }
+    }
+
+    /// Resolve bin-relative slot index `slot` to its [`crate::atomic128::AtomicPair`],
+    /// given the bin's current link meta. Returns `None` if the needed link
+    /// bucket is not chained (the slot is unreachable).
+    #[inline]
+    pub fn slot_pair<'a>(
+        &'a self,
+        bin: &'a PrimaryBucket,
+        meta: LinkMeta,
+        slot: usize,
+    ) -> Option<&'a crate::atomic128::AtomicPair> {
+        use crate::bucket::{slot_location, SlotLocation};
+        match slot_location(slot) {
+            SlotLocation::Primary(i) => Some(&bin.slots[i]),
+            SlotLocation::FirstLink(i) => {
+                let l = meta.first();
+                if l == NO_LINK {
+                    None
+                } else {
+                    Some(&self.links[l as usize].slots[i])
+                }
+            }
+            SlotLocation::PairLink { bucket, idx } => {
+                let l = meta.pair();
+                if l == NO_LINK {
+                    None
+                } else {
+                    Some(&self.links[l as usize + bucket].slots[idx])
+                }
+            }
+        }
+    }
+
+    // ----- resize bookkeeping -------------------------------------------------
+
+    /// Pointer to the next (newer) index, if a resize has been initiated.
+    #[inline]
+    pub fn next_ptr(&self) -> *mut Index {
+        self.next.load(Ordering::Acquire)
+    }
+
+    /// Publish the next index (called once, by the resize winner).
+    pub(crate) fn publish_next(&self, next: *mut Index) {
+        self.next.store(next, Ordering::Release);
+    }
+
+    /// Try to become the thread that allocates the next index.
+    pub(crate) fn claim_resize(&self) -> bool {
+        self.resize_claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Whether a resize of this index has been initiated.
+    #[inline]
+    pub fn resize_in_progress(&self) -> bool {
+        self.resize_claimed.load(Ordering::Acquire)
+    }
+
+    /// Claim the next untransferred chunk of bins; returns its bin range.
+    pub(crate) fn claim_chunk(&self) -> Option<std::ops::Range<usize>> {
+        loop {
+            let c = self.chunk_cursor.load(Ordering::Relaxed);
+            if c >= self.num_chunks {
+                return None;
+            }
+            if self
+                .chunk_cursor
+                .compare_exchange_weak(c, c + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                let start = c * self.chunk_bins;
+                let end = ((c + 1) * self.chunk_bins).min(self.num_bins);
+                return Some(start..end);
+            }
+        }
+    }
+
+    /// Record that one chunk has been fully transferred.
+    pub(crate) fn chunk_transferred(&self) {
+        self.chunks_done.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Whether every bin of this index has been transferred to the next one.
+    #[inline]
+    pub fn fully_transferred(&self) -> bool {
+        self.chunks_done.load(Ordering::Acquire) >= self.num_chunks
+    }
+
+    /// Total number of transfer chunks.
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.num_chunks
+    }
+
+    // ----- statistics ----------------------------------------------------------
+
+    /// Number of Valid or Shadow slots (linear scan; intended for stats, not
+    /// the hot path).
+    pub fn occupied_slots(&self) -> usize {
+        self.bins
+            .iter()
+            .map(|b| BinHeader(b.header.load(Ordering::Acquire)).occupied_slots())
+            .sum()
+    }
+
+    /// Total slots addressable right now: 3 per bin plus 4 per handed-out link
+    /// bucket.
+    pub fn addressable_slots(&self) -> usize {
+        self.num_bins * crate::header::PRIMARY_SLOTS
+            + self.links_used() * crate::header::LINK_SLOTS
+    }
+
+    /// Total slots if every link bucket were chained.
+    pub fn max_slots(&self) -> usize {
+        self.num_bins * crate::header::PRIMARY_SLOTS + self.links.len() * crate::header::LINK_SLOTS
+    }
+
+    /// Approximate memory footprint of the index structures in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bins.len() * std::mem::size_of::<PrimaryBucket>()
+            + self.links.len() * std::mem::size_of::<LinkBucket>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> DlhtConfig {
+        DlhtConfig::new(16).with_link_ratio(8)
+    }
+
+    #[test]
+    fn construction_and_sizes() {
+        let idx = Index::new(16, &small_config(), 0);
+        assert_eq!(idx.num_bins(), 16);
+        assert_eq!(idx.num_links(), 2);
+        assert_eq!(idx.max_slots(), 16 * 3 + 2 * 4);
+        assert_eq!(idx.addressable_slots(), 48);
+        assert_eq!(idx.occupied_slots(), 0);
+        assert_eq!(idx.memory_bytes(), 16 * 64 + 2 * 64);
+        assert_eq!(idx.generation(), 0);
+    }
+
+    #[test]
+    fn bin_mapping_respects_modulo() {
+        let idx = Index::new(16, &small_config(), 0);
+        assert_eq!(idx.bin_of(0), 0);
+        assert_eq!(idx.bin_of(5), 5);
+        assert_eq!(idx.bin_of(16), 0);
+        assert_eq!(idx.bin_of(31), 15);
+    }
+
+    #[test]
+    fn link_allocation_is_bounded() {
+        let idx = Index::new(16, &small_config(), 0);
+        assert_eq!(idx.alloc_link_buckets(1), Some(0));
+        assert_eq!(idx.alloc_link_buckets(1), Some(1));
+        assert_eq!(idx.alloc_link_buckets(1), None, "pool exhausted");
+        assert_eq!(idx.links_used(), 2);
+    }
+
+    #[test]
+    fn pair_allocation_never_splits_across_capacity() {
+        let cfg = DlhtConfig::new(24).with_link_ratio(8); // 3 link buckets
+        let idx = Index::new(24, &cfg, 0);
+        assert_eq!(idx.alloc_link_buckets(2), Some(0));
+        // Only one bucket left; a pair request must fail, a single succeeds.
+        assert_eq!(idx.alloc_link_buckets(2), None);
+        assert_eq!(idx.alloc_link_buckets(1), Some(2));
+    }
+
+    #[test]
+    fn chunk_claiming_partitions_all_bins() {
+        let cfg = DlhtConfig::new(100).with_chunk_bins(16);
+        let idx = Index::new(100, &cfg, 0);
+        assert_eq!(idx.num_chunks(), 7);
+        let mut covered = vec![false; 100];
+        while let Some(range) = idx.claim_chunk() {
+            for b in range {
+                assert!(!covered[b], "bin {b} claimed twice");
+                covered[b] = true;
+            }
+            idx.chunk_transferred();
+        }
+        assert!(covered.iter().all(|&c| c));
+        assert!(idx.fully_transferred());
+    }
+
+    #[test]
+    fn resize_claim_is_exclusive() {
+        let idx = Index::new(8, &small_config(), 0);
+        assert!(!idx.resize_in_progress());
+        assert!(idx.claim_resize());
+        assert!(!idx.claim_resize());
+        assert!(idx.resize_in_progress());
+    }
+
+    #[test]
+    fn slot_pair_resolution_needs_links() {
+        let cfg = DlhtConfig::new(8).with_link_ratio(1); // 8 link buckets
+        let idx = Index::new(8, &cfg, 0);
+        let bin = idx.bin(0);
+        let empty = LinkMeta::EMPTY;
+        assert!(idx.slot_pair(bin, empty, 0).is_some());
+        assert!(idx.slot_pair(bin, empty, 2).is_some());
+        assert!(idx.slot_pair(bin, empty, 3).is_none());
+        assert!(idx.slot_pair(bin, empty, 14).is_none());
+
+        let chained = empty.with_first(0).with_pair(1);
+        assert!(idx.slot_pair(bin, chained, 6).is_some());
+        assert!(idx.slot_pair(bin, chained, 7).is_some());
+        assert!(idx.slot_pair(bin, chained, 14).is_some());
+    }
+}

@@ -1,0 +1,172 @@
+//! # DLHT core
+//!
+//! A from-scratch Rust implementation of the **Dandelion HashTable (DLHT)**
+//! from *"DLHT: A Non-blocking Resizable Hashtable with Fast Deletes and
+//! Memory-awareness"* (HPDC 2024).
+//!
+//! DLHT is a concurrent, in-memory, closed-addressing hashtable built on
+//! **bounded cache-line chaining**: the index is an array of bins, each bin is
+//! a chain of at most four 64-byte buckets (one primary + up to three link
+//! buckets), and all of a bin's concurrency metadata lives in a single 8-byte
+//! header so every state transition is one CAS. The design delivers:
+//!
+//! 1. **Lock-free index operations**, including Deletes that reclaim their
+//!    slot instantly (unlike tombstone-based open addressing).
+//! 2. **~One memory access per request**: small keys/values are inlined in the
+//!    index, and Gets perform no write-backs.
+//! 3. **Software prefetching** via an order-preserving batch API that overlaps
+//!    the memory latency of one request with work on others.
+//! 4. **A non-blocking, parallel resize**: requests keep completing (with
+//!    strong consistency) while all threads that hit the full index cooperate
+//!    to migrate 16 Ki-bin chunks to the new index.
+//!
+//! ## Modes
+//!
+//! | Type | Paper mode | Keys | Values |
+//! |---|---|---|---|
+//! | [`DlhtMap`] | Inlined | 8 B | 8 B, stored in the slot |
+//! | [`DlhtAllocMap`] | Allocator | any size | any size, out-of-line record + pointer API |
+//! | [`DlhtSet`] | HashSet | 8 B | none |
+//! | [`SingleThreadMap`] | Single-thread | 8 B | 8 B, no synchronization overhead |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dlht_core::{DlhtMap, Request, Response};
+//!
+//! let map = DlhtMap::with_capacity(10_000);
+//! map.insert(7, 700).unwrap();
+//!
+//! // Batched execution with software prefetching (order preserving).
+//! let batch = [Request::Get(7), Request::Put(7, 701), Request::Get(7)];
+//! let out = map.execute_batch(&batch, false);
+//! assert_eq!(out[2], Response::Value(Some(701)));
+//! ```
+//!
+//! ## Reserved keys
+//!
+//! Keys `u64::MAX` and `u64::MAX - 1` are reserved as the resize protocol's
+//! transfer keys and are rejected by the API.
+
+pub mod atomic128;
+pub mod batch;
+pub mod bucket;
+pub mod config;
+pub mod error;
+pub mod header;
+pub mod index;
+pub mod iter;
+pub mod prefetch;
+pub mod registry;
+pub mod stats;
+pub mod tagged_ptr;
+
+mod alloc_map;
+mod map;
+mod set;
+mod single_thread;
+mod table;
+
+pub use alloc_map::{AllocSession, DlhtAllocMap, MAX_KEY_LEN};
+pub use batch::{Request, Response};
+pub use config::DlhtConfig;
+pub use error::{DlhtError, InsertOutcome};
+pub use map::DlhtMap;
+pub use set::DlhtSet;
+pub use single_thread::SingleThreadMap;
+pub use stats::TableStats;
+pub use table::RawTable;
+pub use tagged_ptr::{TaggedPtr, MAX_NAMESPACES};
+
+// Re-export the substrate crates so downstream users need only one dependency.
+pub use dlht_alloc as alloc;
+pub use dlht_epoch as epoch;
+pub use dlht_hash as hash;
+
+#[cfg(test)]
+mod model_tests {
+    //! Property-based model checking: the single-threaded behaviour of the
+    //! concurrent map must match `std::collections::HashMap` under arbitrary
+    //! operation sequences.
+
+    use crate::{DlhtConfig, DlhtMap};
+    use dlht_hash::HashKind;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u64, u64),
+        Delete(u64),
+        Get(u64),
+        Put(u64, u64),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        // A small key universe maximizes collisions and slot reuse.
+        let key = 0u64..64;
+        let val = 0u64..1_000_000;
+        prop_oneof![
+            (key.clone(), val.clone()).prop_map(|(k, v)| Op::Insert(k, v)),
+            key.clone().prop_map(Op::Delete),
+            key.clone().prop_map(Op::Get),
+            (key, val).prop_map(|(k, v)| Op::Put(k, v)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn matches_std_hashmap(ops in proptest::collection::vec(arb_op(), 1..400)) {
+            // A tiny index with wyhash forces chaining and resizes.
+            let map = DlhtMap::with_config(
+                DlhtConfig::new(4).with_hash(HashKind::WyHash).with_chunk_bins(2),
+            );
+            let mut model: HashMap<u64, u64> = HashMap::new();
+            for op in ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        let inserted = map.insert(k, v).unwrap().inserted();
+                        let expected = !model.contains_key(&k);
+                        if expected {
+                            model.insert(k, v);
+                        }
+                        prop_assert_eq!(inserted, expected);
+                    }
+                    Op::Delete(k) => {
+                        prop_assert_eq!(map.delete(k), model.remove(&k));
+                    }
+                    Op::Get(k) => {
+                        prop_assert_eq!(map.get(k), model.get(&k).copied());
+                    }
+                    Op::Put(k, v) => {
+                        let prev = model.get(&k).copied();
+                        prop_assert_eq!(map.put(k, v), prev);
+                        if prev.is_some() {
+                            model.insert(k, v);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(map.len(), model.len());
+            // Every model pair must be present with the right value.
+            for (k, v) in &model {
+                prop_assert_eq!(map.get(*k), Some(*v));
+            }
+        }
+
+        #[test]
+        fn resize_preserves_random_contents(keys in proptest::collection::hash_set(0u64..100_000, 1..800)) {
+            let map = DlhtMap::with_config(
+                DlhtConfig::new(2).with_hash(HashKind::WyHash).with_chunk_bins(4),
+            );
+            for &k in &keys {
+                prop_assert!(map.insert(k, k ^ 0xABCD).unwrap().inserted());
+            }
+            for &k in &keys {
+                prop_assert_eq!(map.get(k), Some(k ^ 0xABCD));
+            }
+            prop_assert_eq!(map.len(), keys.len());
+        }
+    }
+}

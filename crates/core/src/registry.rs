@@ -1,0 +1,210 @@
+//! Thread registry used to garbage-collect retired indexes after a resize
+//! (§3.2.5, "GC old index"):
+//!
+//! > "we mandate that threads notify each other when finishing a request. We
+//! > implement this with a per-thread pointer. When a thread enters DLHT
+//! > (e.g., on a Get), we set the pointer to the current index. Just before
+//! > the thread leaves DLHT, it sets the pointer to null."
+//!
+//! The registry is a fixed array of cache-padded announcement slots. A thread
+//! lazily claims a slot the first time it touches a given table and caches
+//! the slot id in a thread-local, so the per-request overhead is exactly the
+//! two stores the paper describes (amortized over a batch by the batch API).
+//!
+//! Announcing the *entered* index protects the whole forward chain of `next`
+//! pointers, because retired indexes are freed strictly oldest-first (see
+//! `table.rs`): an index can only be freed once every index before it has
+//! been freed, and an index with a live announcement is never freed.
+
+use crossbeam_utils::CachePadded;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Maximum number of threads that can concurrently operate on one table.
+pub const MAX_THREADS: usize = 1024;
+
+/// Unique id per registry instance, used to key the thread-local slot cache.
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// (registry id -> claimed slot) cache for the current thread.
+    static SLOT_CACHE: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Slot {
+    /// Pointer to the index the thread is currently operating on (as usize),
+    /// or 0 when the thread is outside the table.
+    announced: AtomicUsize,
+    /// Whether this slot has been claimed by some thread.
+    claimed: AtomicBool,
+}
+
+/// Per-table thread registry.
+pub struct ThreadRegistry {
+    id: u64,
+    slots: Box<[CachePadded<Slot>]>,
+}
+
+impl ThreadRegistry {
+    /// Create a registry with capacity for [`MAX_THREADS`] threads.
+    pub fn new() -> Self {
+        Self::with_capacity(MAX_THREADS)
+    }
+
+    /// Create a registry with capacity for `capacity` threads.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ThreadRegistry {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            slots: (0..capacity)
+                .map(|_| {
+                    CachePadded::new(Slot {
+                        announced: AtomicUsize::new(0),
+                        claimed: AtomicBool::new(false),
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    /// Claim (or look up the already-claimed) slot for the calling thread.
+    ///
+    /// # Panics
+    /// Panics if more than `capacity` distinct threads touch the table.
+    pub fn slot_for_current_thread(&self) -> usize {
+        if let Some(slot) = SLOT_CACHE.with(|c| {
+            c.borrow()
+                .iter()
+                .find(|(id, _)| *id == self.id)
+                .map(|(_, s)| *s)
+        }) {
+            return slot;
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot
+                .claimed
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                SLOT_CACHE.with(|c| c.borrow_mut().push((self.id, i)));
+                return i;
+            }
+        }
+        panic!(
+            "ThreadRegistry capacity ({}) exceeded: too many threads touched this table",
+            self.slots.len()
+        );
+    }
+
+    /// Announce that the calling thread's `slot` is operating on `index_ptr`.
+    ///
+    /// Uses `SeqCst` so the announcement is totally ordered against the
+    /// resizer's scan (hazard-pointer style).
+    #[inline]
+    pub fn announce(&self, slot: usize, index_ptr: usize) {
+        self.slots[slot].announced.store(index_ptr, Ordering::SeqCst);
+    }
+
+    /// Read back what `slot` currently announces (used by validation loops).
+    #[inline]
+    pub fn announced(&self, slot: usize) -> usize {
+        self.slots[slot].announced.load(Ordering::SeqCst)
+    }
+
+    /// Clear the announcement for `slot` (thread leaving the table).
+    #[inline]
+    pub fn clear(&self, slot: usize) {
+        self.slots[slot].announced.store(0, Ordering::SeqCst);
+    }
+
+    /// Whether any thread currently announces `index_ptr`.
+    pub fn anyone_announces(&self, index_ptr: usize) -> bool {
+        self.slots
+            .iter()
+            .any(|s| s.claimed.load(Ordering::Acquire) && s.announced.load(Ordering::SeqCst) == index_ptr)
+    }
+
+    /// Number of claimed slots (for stats/tests).
+    pub fn claimed_slots(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.claimed.load(Ordering::Acquire))
+            .count()
+    }
+}
+
+impl Default for ThreadRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_is_stable_per_thread() {
+        let reg = ThreadRegistry::with_capacity(8);
+        let a = reg.slot_for_current_thread();
+        let b = reg.slot_for_current_thread();
+        assert_eq!(a, b);
+        assert_eq!(reg.claimed_slots(), 1);
+    }
+
+    #[test]
+    fn distinct_registries_get_distinct_cache_entries() {
+        let r1 = ThreadRegistry::with_capacity(4);
+        let r2 = ThreadRegistry::with_capacity(4);
+        let s1 = r1.slot_for_current_thread();
+        let s2 = r2.slot_for_current_thread();
+        // Both may be slot 0 in their own registry; announcing in one must not
+        // leak into the other.
+        r1.announce(s1, 0x1000);
+        assert!(r1.anyone_announces(0x1000));
+        assert!(!r2.anyone_announces(0x1000));
+        r2.announce(s2, 0x2000);
+        r1.clear(s1);
+        assert!(!r1.anyone_announces(0x1000));
+        assert!(r2.anyone_announces(0x2000));
+    }
+
+    #[test]
+    fn announcements_from_multiple_threads_are_visible() {
+        let reg = ThreadRegistry::with_capacity(16);
+        std::thread::scope(|s| {
+            for t in 1..=4usize {
+                let reg = &reg;
+                s.spawn(move || {
+                    let slot = reg.slot_for_current_thread();
+                    reg.announce(slot, t * 0x100);
+                    assert!(reg.anyone_announces(t * 0x100));
+                    reg.clear(slot);
+                });
+            }
+        });
+        assert_eq!(reg.claimed_slots(), 4);
+        for t in 1..=4usize {
+            assert!(!reg.anyone_announces(t * 0x100));
+        }
+    }
+
+    #[test]
+    fn exceeding_capacity_panics_in_the_extra_thread() {
+        let reg = ThreadRegistry::with_capacity(1);
+        // First claim from this thread succeeds...
+        let _ = reg.slot_for_current_thread();
+        // ...a second thread must observe a panic when claiming.
+        let overflowed = std::thread::scope(|s| {
+            s.spawn(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    reg.slot_for_current_thread()
+                }))
+                .is_err()
+            })
+            .join()
+            .unwrap()
+        });
+        assert!(overflowed);
+    }
+}

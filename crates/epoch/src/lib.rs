@@ -1,0 +1,482 @@
+//! Quiescent-state epoch-based reclamation, as described for DLHT's
+//! Allocator-mode deletes (§3.2.3):
+//!
+//! > "we offer an epoch-based GC, for which the client can opt-in. Our GC
+//! > remembers the pointers that must be freed. The client periodically
+//! > performs a call from all threads to advance the epoch. After moving to a
+//! > new epoch, our GC frees the pointers of the previous epoch."
+//!
+//! The model is deliberately client-driven: threads that use the table
+//! register a [`LocalHandle`], retire pointers through it when they delete
+//! keys, and periodically call [`LocalHandle::quiescent`] (e.g. once per
+//! request batch). Once every registered handle has announced the current
+//! epoch, [`Collector::try_advance`] moves the global epoch forward and
+//! garbage retired two epochs ago becomes safe to free — at that point no
+//! thread can still hold a reference obtained before the retirement.
+//!
+//! The implementation keeps retired garbage in per-handle bags (no
+//! synchronization on the retire path) and only touches shared state on
+//! `quiescent`/`try_advance`.
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of epoch generations garbage is staged across before being freed.
+/// Freeing at `current - 2` guarantees every thread has passed through at
+/// least one quiescent point since the retirement.
+const GENERATIONS: usize = 3;
+
+/// Maximum number of simultaneously registered handles.
+pub const MAX_HANDLES: usize = 512;
+
+/// A single piece of retired garbage: either a type-erased pointer plus its
+/// deleter, or an arbitrary deferred closure (used when freeing needs context,
+/// e.g. DLHT's Allocator mode releasing a record through its value allocator).
+enum Garbage {
+    Raw {
+        ptr: *mut u8,
+        drop_fn: unsafe fn(*mut u8),
+    },
+    Deferred(Box<dyn FnOnce() + Send>),
+}
+
+// Raw garbage is only ever freed by the thread that owns the bag (or by the
+// collector once all handles are gone), never aliased concurrently.
+unsafe impl Send for Garbage {}
+
+impl Garbage {
+    /// Free the underlying allocation / run the deferred action.
+    ///
+    /// # Safety
+    /// Must be called at most once, after no thread can still reference the
+    /// retired allocation.
+    unsafe fn free(self) {
+        match self {
+            Garbage::Raw { ptr, drop_fn } => unsafe { drop_fn(ptr) },
+            Garbage::Deferred(f) => f(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Bag {
+    items: Vec<Garbage>,
+}
+
+impl Bag {
+    fn free_all(&mut self) {
+        for g in self.items.drain(..) {
+            // SAFETY: the epoch protocol (or collector teardown) guarantees
+            // exclusivity at this point.
+            unsafe { g.free() };
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Per-registered-thread shared state.
+struct SlotState {
+    /// Last global epoch this handle announced as observed.
+    announced: AtomicU64,
+    /// Whether the slot is currently owned by a live handle.
+    in_use: AtomicBool,
+}
+
+/// The shared collector.
+///
+/// Cheap to clone behind an [`Arc`]; typically one per table instance.
+pub struct Collector {
+    epoch: CachePadded<AtomicU64>,
+    slots: Box<[CachePadded<SlotState>]>,
+    /// Garbage abandoned by dropped handles, tagged with its retirement epoch.
+    orphans: Mutex<Vec<(u64, Garbage)>>,
+    /// Total number of pointers freed so far (for tests and stats).
+    freed: AtomicU64,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// Create a collector with the default handle capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(MAX_HANDLES)
+    }
+
+    /// Create a collector able to register up to `capacity` handles.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (0..capacity)
+            .map(|_| {
+                CachePadded::new(SlotState {
+                    announced: AtomicU64::new(0),
+                    in_use: AtomicBool::new(false),
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Collector {
+            epoch: CachePadded::new(AtomicU64::new(GENERATIONS as u64)),
+            slots,
+            orphans: Mutex::new(Vec::new()),
+            freed: AtomicU64::new(0),
+        }
+    }
+
+    /// Current global epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Total number of retired pointers that have been freed.
+    pub fn freed(&self) -> u64 {
+        self.freed.load(Ordering::Relaxed)
+    }
+
+    /// Register a new participant. Returns `None` if all slots are taken.
+    pub fn register(self: &Arc<Self>) -> Option<LocalHandle> {
+        let current = self.epoch();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if slot
+                .in_use
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                slot.announced.store(current, Ordering::Release);
+                return Some(LocalHandle {
+                    collector: Arc::clone(self),
+                    slot: idx,
+                    bags: std::array::from_fn(|_| Bag::default()),
+                    pending: 0,
+                });
+            }
+        }
+        None
+    }
+
+    /// Try to advance the global epoch. Succeeds only when every registered
+    /// handle has announced the current epoch. Returns the new epoch on
+    /// success.
+    pub fn try_advance(&self) -> Option<u64> {
+        let current = self.epoch();
+        for slot in self.slots.iter() {
+            if slot.in_use.load(Ordering::Acquire)
+                && slot.announced.load(Ordering::Acquire) < current
+            {
+                return None;
+            }
+        }
+        match self.epoch.compare_exchange(
+            current,
+            current + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                self.collect_orphans(current + 1);
+                Some(current + 1)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Free orphaned garbage retired at least two epochs before `now`.
+    fn collect_orphans(&self, now: u64) {
+        let mut orphans = self.orphans.lock().unwrap();
+        let mut kept = Vec::with_capacity(orphans.len());
+        for (epoch, g) in orphans.drain(..) {
+            if epoch + 2 <= now {
+                // SAFETY: two full epochs have elapsed since retirement.
+                unsafe { g.free() };
+                self.freed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                kept.push((epoch, g));
+            }
+        }
+        *orphans = kept;
+    }
+
+    /// Number of handles currently registered.
+    pub fn registered(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.in_use.load(Ordering::Acquire))
+            .count()
+    }
+
+    fn unregister(&self, slot: usize, mut bags: [Bag; GENERATIONS]) {
+        // Move any not-yet-freeable garbage into the orphan list so it is
+        // reclaimed by a later advance (or collector teardown).
+        let epoch = self.epoch();
+        let mut orphans = self.orphans.lock().unwrap();
+        for bag in bags.iter_mut() {
+            for g in bag.items.drain(..) {
+                orphans.push((epoch, g));
+            }
+        }
+        drop(orphans);
+        self.slots[slot].in_use.store(false, Ordering::Release);
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        // No handles can be alive (they hold an Arc), so everything left in
+        // the orphan list is unreachable and safe to free.
+        let mut orphans = self.orphans.lock().unwrap();
+        for (_, g) in orphans.drain(..) {
+            unsafe { g.free() };
+            self.freed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A per-thread handle onto a [`Collector`].
+///
+/// Not `Sync`: each handle is owned by one thread at a time (it may be moved).
+pub struct LocalHandle {
+    collector: Arc<Collector>,
+    slot: usize,
+    bags: [Bag; GENERATIONS],
+    pending: usize,
+}
+
+impl LocalHandle {
+    /// The collector this handle belongs to.
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    /// Retire a boxed value; it is freed two epoch advances from now.
+    pub fn retire_box<T: Send + 'static>(&mut self, value: Box<T>) {
+        unsafe fn drop_box<T>(ptr: *mut u8) {
+            // SAFETY: constructed from Box::into_raw of a T below.
+            drop(unsafe { Box::from_raw(ptr.cast::<T>()) });
+        }
+        let ptr = Box::into_raw(value).cast::<u8>();
+        // SAFETY: ptr/drop_fn pair is consistent.
+        unsafe { self.retire_raw(ptr, drop_box::<T>) };
+    }
+
+    /// Retire a raw allocation with a custom deleter.
+    ///
+    /// # Safety
+    /// `ptr` must remain valid until the deleter runs, the deleter must be the
+    /// unique owner-release for `ptr`, and no new references to `ptr` may be
+    /// created after this call.
+    pub unsafe fn retire_raw(&mut self, ptr: *mut u8, drop_fn: unsafe fn(*mut u8)) {
+        let epoch = self.collector.epoch();
+        let bag = &mut self.bags[(epoch as usize) % GENERATIONS];
+        bag.items.push(Garbage::Raw { ptr, drop_fn });
+        self.pending += 1;
+    }
+
+    /// Defer an arbitrary reclamation action until two epoch advances from
+    /// now. The closure typically captures the allocator and allocation size
+    /// needed to release an out-of-line record.
+    pub fn defer(&mut self, f: impl FnOnce() + Send + 'static) {
+        let epoch = self.collector.epoch();
+        let bag = &mut self.bags[(epoch as usize) % GENERATIONS];
+        bag.items.push(Garbage::Deferred(Box::new(f)));
+        self.pending += 1;
+    }
+
+    /// Announce a quiescent point: this thread holds no references obtained
+    /// from the protected structure. Frees any of this handle's garbage that
+    /// has become reclaimable and opportunistically tries to advance the
+    /// global epoch.
+    pub fn quiescent(&mut self) {
+        let collector = Arc::clone(&self.collector);
+        let epoch = collector.epoch();
+        collector.slots[self.slot]
+            .announced
+            .store(epoch, Ordering::Release);
+        // Garbage retired in epoch `epoch - 2` (same bag index as `epoch + 1`)
+        // is now unreachable by every thread.
+        let reclaim_idx = ((epoch + 1) as usize) % GENERATIONS;
+        let n = self.bags[reclaim_idx].len();
+        if n > 0 {
+            self.bags[reclaim_idx].free_all();
+            self.pending -= n;
+            collector.freed.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        collector.try_advance();
+    }
+
+    /// Number of retired-but-not-yet-freed pointers owned by this handle.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        let bags = std::mem::replace(&mut self.bags, std::array::from_fn(|_| Bag::default()));
+        self.collector.unregister(self.slot, bags);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn register_and_unregister() {
+        let c = Arc::new(Collector::with_capacity(2));
+        let h1 = c.register().unwrap();
+        let h2 = c.register().unwrap();
+        assert!(c.register().is_none(), "capacity respected");
+        assert_eq!(c.registered(), 2);
+        drop(h1);
+        assert_eq!(c.registered(), 1);
+        let _h3 = c.register().unwrap();
+        drop(h2);
+    }
+
+    #[test]
+    fn garbage_survives_until_two_advances() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Arc::new(Collector::new());
+        let mut h = c.register().unwrap();
+
+        h.retire_box(Box::new(DropCounter(Arc::clone(&drops))));
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+
+        // One quiescent point is not enough: a concurrent reader registered in
+        // the same epoch could still hold the pointer.
+        h.quiescent();
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+
+        // After two more epoch advances the bag the garbage lives in comes up
+        // for reclamation.
+        h.quiescent();
+        h.quiescent();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        assert_eq!(c.freed(), 1);
+        assert_eq!(h.pending(), 0);
+    }
+
+    #[test]
+    fn epoch_does_not_advance_while_a_handle_lags() {
+        let c = Arc::new(Collector::new());
+        let mut fast = c.register().unwrap();
+        let _lagging = c.register().unwrap();
+
+        let before = c.epoch();
+        for _ in 0..10 {
+            fast.quiescent();
+        }
+        // The lagging handle announced `before` when it registered, so at most
+        // one advance (to `before + 1`) is possible; after that the epoch must
+        // stall until the lagging handle reaches a quiescent point.
+        assert!(c.epoch() <= before + 1, "epoch ran ahead of a lagging handle");
+        let stalled = c.epoch();
+        for _ in 0..10 {
+            fast.quiescent();
+        }
+        assert_eq!(c.epoch(), stalled);
+    }
+
+    #[test]
+    fn dropped_handle_garbage_is_freed_by_collector_teardown() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let c = Arc::new(Collector::new());
+            let mut h = c.register().unwrap();
+            for _ in 0..16 {
+                h.retire_box(Box::new(DropCounter(Arc::clone(&drops))));
+            }
+            drop(h);
+            assert_eq!(drops.load(Ordering::SeqCst), 0, "still staged as orphans");
+            drop(c);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn orphans_are_freed_by_later_advances() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Arc::new(Collector::new());
+        {
+            let mut short_lived = c.register().unwrap();
+            short_lived.retire_box(Box::new(DropCounter(Arc::clone(&drops))));
+        }
+        let mut survivor = c.register().unwrap();
+        for _ in 0..4 {
+            survivor.quiescent();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn multithreaded_retire_and_advance() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Arc::new(Collector::new());
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 500;
+
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let c = Arc::clone(&c);
+                let drops = Arc::clone(&drops);
+                s.spawn(move || {
+                    let mut h = c.register().unwrap();
+                    for i in 0..PER_THREAD {
+                        h.retire_box(Box::new(DropCounter(Arc::clone(&drops))));
+                        if i % 8 == 0 {
+                            h.quiescent();
+                        }
+                    }
+                });
+            }
+        });
+        // All handles dropped; teardown of the collector frees the rest.
+        drop(c);
+        assert_eq!(drops.load(Ordering::SeqCst), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn deferred_closures_run_after_two_advances() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Arc::new(Collector::new());
+        let mut h = c.register().unwrap();
+        {
+            let drops = Arc::clone(&drops);
+            h.defer(move || {
+                drops.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        h.quiescent();
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        h.quiescent();
+        h.quiescent();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn freed_counter_tracks_reclamation() {
+        let c = Arc::new(Collector::new());
+        let mut h = c.register().unwrap();
+        for _ in 0..10 {
+            h.retire_box(Box::new([0u8; 32]));
+        }
+        for _ in 0..5 {
+            h.quiescent();
+        }
+        assert_eq!(c.freed(), 10);
+    }
+}

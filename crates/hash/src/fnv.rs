@@ -1,0 +1,55 @@
+//! FNV-1a — one of the hash functions the DLHT authors evaluated (§3.4.3).
+
+use crate::Hasher64;
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fnv1a;
+
+impl Hasher64 for Fnv1a {
+    #[inline(always)]
+    fn hash_u64(&self, key: u64) -> u64 {
+        self.hash_bytes(&key.to_le_bytes())
+    }
+
+    #[inline]
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        let mut h = OFFSET_BASIS;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
+    fn name(&self) -> &'static str {
+        "fnv1a"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_test_vectors() {
+        // Standard FNV-1a 64 vectors.
+        assert_eq!(Fnv1a.hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv1a.hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv1a.hash_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn u64_path_is_le_bytes() {
+        let k = 0x1122_3344_5566_7788u64;
+        assert_eq!(Fnv1a.hash_u64(k), Fnv1a.hash_bytes(&k.to_le_bytes()));
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(Fnv1a.hash_bytes(b"ab"), Fnv1a.hash_bytes(b"ba"));
+    }
+}

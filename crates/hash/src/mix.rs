@@ -1,0 +1,62 @@
+//! Shared 64-bit mixing primitives.
+
+/// 64x64 -> 128 multiply returning (low, high) halves.
+#[inline(always)]
+pub fn mum(a: u64, b: u64) -> (u64, u64) {
+    let r = (a as u128).wrapping_mul(b as u128);
+    (r as u64, (r >> 64) as u64)
+}
+
+/// wyhash's `_wymix`: multiply-fold of the two 64-bit halves.
+#[inline(always)]
+pub fn wymix(a: u64, b: u64) -> u64 {
+    let (lo, hi) = mum(a, b);
+    lo ^ hi
+}
+
+/// SplitMix64 / Murmur3-style 64-bit finalizer. Full avalanche on one word.
+#[inline(always)]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mum_matches_u128_multiply() {
+        let (lo, hi) = mum(u64::MAX, u64::MAX);
+        let full = (u64::MAX as u128) * (u64::MAX as u128);
+        assert_eq!(lo, full as u64);
+        assert_eq!(hi, (full >> 64) as u64);
+    }
+
+    #[test]
+    fn wymix_is_commutative() {
+        for (a, b) in [(1u64, 2u64), (0xdead, 0xbeef), (u64::MAX, 7)] {
+            assert_eq!(wymix(a, b), wymix(b, a));
+        }
+    }
+
+    #[test]
+    fn mix64_zero_is_zero() {
+        // SplitMix64 finalizer maps 0 to 0; callers that need to avoid the
+        // fixed point xor a constant first (as wyhash does).
+        assert_eq!(mix64(0), 0);
+        assert_ne!(mix64(1), 1);
+    }
+
+    #[test]
+    fn mix64_avalanche_on_single_bit_flip() {
+        let a = mix64(0x1234_5678_9abc_def0);
+        let b = mix64(0x1234_5678_9abc_def1);
+        let differing = (a ^ b).count_ones();
+        assert!(differing >= 16, "only {differing} bits differ");
+    }
+}

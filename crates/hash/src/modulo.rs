@@ -1,0 +1,64 @@
+//! The paper's default "hash": the identity mapping, relying on the table to
+//! take `hash % number_of_bins` (§3.4.3).
+
+use crate::Hasher64;
+
+/// Identity hash: `bin_id = key % number_of_bins` is computed by the table.
+///
+/// This is only appropriate when keys are already well distributed (e.g.
+/// pointers or dense integer ids), which the paper's clients rely on; use
+/// [`crate::WyHash`] otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Modulo;
+
+impl Hasher64 for Modulo {
+    #[inline(always)]
+    fn hash_u64(&self, key: u64) -> u64 {
+        key
+    }
+
+    #[inline]
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        // Fold the bytes into a single word little-endian-wise; for keys up to
+        // 8 bytes this is exactly the inlined key value.
+        let mut out = [0u8; 8];
+        for (i, b) in key.iter().enumerate() {
+            out[i % 8] ^= *b;
+            if i >= 8 {
+                // Cheap rotation so longer keys still involve every byte.
+                out.rotate_left(1);
+            }
+        }
+        u64::from_le_bytes(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "modulo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_on_u64() {
+        for k in [0u64, 1, 12345, u64::MAX] {
+            assert_eq!(Modulo.hash_u64(k), k);
+        }
+    }
+
+    #[test]
+    fn short_bytes_equal_inlined_key() {
+        let key = 0x1122_3344_5566_7788u64;
+        assert_eq!(Modulo.hash_bytes(&key.to_le_bytes()), key);
+        assert_eq!(Modulo.hash_bytes(&[0x7f]), 0x7f);
+    }
+
+    #[test]
+    fn long_bytes_do_not_ignore_tail() {
+        let a = Modulo.hash_bytes(b"aaaaaaaaaaaaaaaa");
+        let b = Modulo.hash_bytes(b"aaaaaaaaaaaaaaab");
+        assert_ne!(a, b);
+    }
+}

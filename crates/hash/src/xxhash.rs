@@ -1,0 +1,174 @@
+//! xxHash64 — one of the hash functions the DLHT authors benchmarked before
+//! settling on wyhash (§3.4.3).
+
+use crate::Hasher64;
+
+const PRIME64_1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME64_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME64_3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME64_4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME64_5: u64 = 0x27D4_EB2F_1656_67C5;
+
+/// xxHash64 with seed 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XxHash64;
+
+#[inline(always)]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME64_2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME64_1)
+}
+
+#[inline(always)]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME64_1)
+        .wrapping_add(PRIME64_4)
+}
+
+#[inline(always)]
+fn avalanche(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME64_2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME64_3);
+    h ^= h >> 32;
+    h
+}
+
+#[inline(always)]
+fn read_u64(data: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&data[at..at + 8]);
+    u64::from_le_bytes(buf)
+}
+
+#[inline(always)]
+fn read_u32(data: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&data[at..at + 4]);
+    u32::from_le_bytes(buf) as u64
+}
+
+impl XxHash64 {
+    /// Hash an arbitrary byte string with an explicit seed.
+    pub fn hash_bytes_seeded(data: &[u8], seed: u64) -> u64 {
+        let len = data.len();
+        let mut p = 0usize;
+        let mut h: u64;
+
+        if len >= 32 {
+            let mut v1 = seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2);
+            let mut v2 = seed.wrapping_add(PRIME64_2);
+            let mut v3 = seed;
+            let mut v4 = seed.wrapping_sub(PRIME64_1);
+            while p + 32 <= len {
+                v1 = round(v1, read_u64(data, p));
+                v2 = round(v2, read_u64(data, p + 8));
+                v3 = round(v3, read_u64(data, p + 16));
+                v4 = round(v4, read_u64(data, p + 24));
+                p += 32;
+            }
+            h = v1
+                .rotate_left(1)
+                .wrapping_add(v2.rotate_left(7))
+                .wrapping_add(v3.rotate_left(12))
+                .wrapping_add(v4.rotate_left(18));
+            h = merge_round(h, v1);
+            h = merge_round(h, v2);
+            h = merge_round(h, v3);
+            h = merge_round(h, v4);
+        } else {
+            h = seed.wrapping_add(PRIME64_5);
+        }
+
+        h = h.wrapping_add(len as u64);
+
+        while p + 8 <= len {
+            h ^= round(0, read_u64(data, p));
+            h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+            p += 8;
+        }
+        if p + 4 <= len {
+            h ^= read_u32(data, p).wrapping_mul(PRIME64_1);
+            h = h.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+            p += 4;
+        }
+        while p < len {
+            h ^= (data[p] as u64).wrapping_mul(PRIME64_5);
+            h = h.rotate_left(11).wrapping_mul(PRIME64_1);
+            p += 1;
+        }
+        avalanche(h)
+    }
+}
+
+impl Hasher64 for XxHash64 {
+    #[inline(always)]
+    fn hash_u64(&self, key: u64) -> u64 {
+        // Specialized 8-byte path: identical to hashing the LE bytes.
+        let mut h = PRIME64_5.wrapping_add(8);
+        h ^= round(0, key);
+        h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        avalanche(h)
+    }
+
+    #[inline]
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        Self::hash_bytes_seeded(key, 0)
+    }
+
+    fn name(&self) -> &'static str {
+        "xxhash64"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_path_matches_byte_path() {
+        for key in [0u64, 1, 0xdead_beef, u64::MAX, 0x0123_4567_89ab_cdef] {
+            assert_eq!(
+                XxHash64.hash_u64(key),
+                XxHash64.hash_bytes(&key.to_le_bytes()),
+                "key {key:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_empty_input_vector() {
+        // xxh64("") with seed 0 is a widely published constant.
+        assert_eq!(XxHash64.hash_bytes(b""), 0xEF46_DB37_51D8_E999);
+    }
+
+    #[test]
+    fn bulk_and_tail_paths_disagree_on_different_inputs() {
+        let long = vec![7u8; 100];
+        let mut long2 = long.clone();
+        long2[99] = 8;
+        assert_ne!(XxHash64.hash_bytes(&long), XxHash64.hash_bytes(&long2));
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        assert_ne!(
+            XxHash64::hash_bytes_seeded(b"dlht", 0),
+            XxHash64::hash_bytes_seeded(b"dlht", 1)
+        );
+    }
+
+    #[test]
+    fn distribution_over_bins() {
+        let bins = 1024u64;
+        let mut histogram = vec![0u32; bins as usize];
+        for k in 0..32768u64 {
+            histogram[(XxHash64.hash_u64(k) % bins) as usize] += 1;
+        }
+        assert!(*histogram.iter().max().unwrap() < 96);
+        assert!(*histogram.iter().min().unwrap() > 4);
+    }
+}

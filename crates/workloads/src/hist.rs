@@ -1,0 +1,176 @@
+//! Log-bucketed latency histogram used for Figure 15 (average and 99th
+//! percentile latency under load).
+
+/// Latency histogram with ~4% relative precision, covering 1 ns to ~17 s.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// buckets[b * SUB + s]: count of samples in that (power-of-two, linear
+    /// subdivision) bucket.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+const BITS: usize = 35; // up to ~34 seconds
+const SUB: usize = 16; // linear subdivisions per power of two
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; BITS * SUB],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(ns: u64) -> usize {
+        let ns = ns.max(1);
+        let msb = 63 - ns.leading_zeros() as usize;
+        let sub = if msb == 0 {
+            0
+        } else {
+            ((ns >> (msb.saturating_sub(4))) & (SUB as u64 - 1)) as usize
+        };
+        (msb.min(BITS - 1)) * SUB + sub
+    }
+
+    /// Approximate lower bound of a bucket in nanoseconds.
+    fn bucket_value(bucket: usize) -> u64 {
+        let msb = bucket / SUB;
+        let sub = bucket % SUB;
+        if msb < 4 {
+            1 << msb
+        } else {
+            (1u64 << msb) + ((sub as u64) << (msb - 4))
+        }
+    }
+
+    /// Record one latency sample.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Merge another histogram into this one (per-thread histograms are merged
+    /// after a run).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Latency at percentile `p` (0.0..=100.0), in nanoseconds.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(b);
+            }
+        }
+        self.max_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.percentile_ns(99.0), 0);
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 200, 300, 400] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean_ns(), 250.0);
+        assert_eq!(h.max_ns(), 400);
+    }
+
+    #[test]
+    fn percentiles_are_order_of_magnitude_correct() {
+        let mut h = LatencyHistogram::new();
+        // 99 fast samples at ~100ns, 1 slow sample at ~1ms.
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        let p50 = h.percentile_ns(50.0);
+        let p99 = h.percentile_ns(99.0);
+        let p100 = h.percentile_ns(100.0);
+        assert!((64..=128).contains(&p50), "p50 = {p50}");
+        assert!(p99 <= 128, "p99 = {p99}");
+        assert!(p100 >= 500_000, "p100 = {p100}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for _ in 0..10 {
+            a.record(50);
+            b.record(5_000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 20);
+        assert!(a.percentile_ns(99.0) >= 4_000);
+        assert_eq!(a.max_ns(), 5_000);
+    }
+
+    #[test]
+    fn buckets_are_monotonic_in_value() {
+        let mut last = 0;
+        for b in 0..(BITS * SUB) {
+            let v = LatencyHistogram::bucket_value(b);
+            assert!(v >= last, "bucket {b}: {v} < {last}");
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Plain-text table / CSV report helpers used by every benchmark binary so
+//! the regenerated tables and figure series share one format.
+
+/// A simple column-aligned table accumulated row by row.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a row of displayable values.
+    pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let mut header_line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            header_line.push_str(&format!("{:<width$}  ", h, width = widths[i]));
+        }
+        out.push_str(header_line.trim_end());
+        out.push('\n');
+        out.push_str(&"-".repeat(header_line.trim_end().len().max(4)));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                line.push_str(&format!("{:<width$}  ", cell, width = w));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (header row + data rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Format a throughput value as `M req/s` with sensible precision.
+pub fn fmt_mops(mops: f64) -> String {
+    if mops >= 100.0 {
+        format!("{mops:.0}")
+    } else if mops >= 10.0 {
+        format!("{mops:.1}")
+    } else {
+        format!("{mops:.2}")
+    }
+}
+
+/// Standard environment-variable scaling knobs shared by all bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchScale {
+    /// Prepopulated keys (`DLHT_KEYS`, default 200_000).
+    pub keys: u64,
+    /// Thread counts to sweep (`DLHT_THREADS`, comma-separated, default "1,2,4").
+    pub threads: Vec<usize>,
+    /// Seconds per measurement point (`DLHT_SECS`, default 0.4).
+    pub secs: f64,
+}
+
+impl BenchScale {
+    /// Read the scaling knobs from the environment.
+    pub fn from_env() -> Self {
+        let keys = std::env::var("DLHT_KEYS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200_000);
+        let threads = std::env::var("DLHT_THREADS")
+            .ok()
+            .map(|v| {
+                v.split(',')
+                    .filter_map(|t| t.trim().parse().ok())
+                    .filter(|&t| t > 0)
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| vec![1, 2, 4]);
+        let secs = std::env::var("DLHT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.4);
+        BenchScale { keys, threads, secs }
+    }
+
+    /// Duration per measurement point.
+    pub fn duration(&self) -> std::time::Duration {
+        std::time::Duration::from_secs_f64(self.secs.max(0.05))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Fig. X", &["map", "threads", "Mreq/s"]);
+        t.row(&["DLHT".into(), "64".into(), "1660".into()]);
+        t.row(&["GrowT-like".into(), "64".into(), "470".into()]);
+        let s = t.render();
+        assert!(s.contains("# Fig. X"));
+        assert!(s.contains("DLHT"));
+        assert!(s.contains("GrowT-like"));
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("map,threads,Mreq/s\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn fmt_mops_precision() {
+        assert_eq!(fmt_mops(1234.6), "1235");
+        assert_eq!(fmt_mops(56.78), "56.8");
+        assert_eq!(fmt_mops(3.456), "3.46");
+    }
+
+    #[test]
+    fn bench_scale_defaults() {
+        // Only check defaults when the variables are unset in the test env.
+        if std::env::var("DLHT_KEYS").is_err() {
+            let s = BenchScale::from_env();
+            assert_eq!(s.keys, 200_000);
+            assert!(!s.threads.is_empty());
+            assert!(s.duration().as_millis() >= 50);
+        }
+    }
+}

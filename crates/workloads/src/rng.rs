@@ -1,0 +1,246 @@
+//! Fast, deterministic random-number generation for workload drivers.
+//!
+//! Request generation must never become the bottleneck when the system under
+//! test serves hundreds of millions of requests per second, so the hot path
+//! uses a hand-rolled xoshiro256** seeded by SplitMix64 (the standard
+//! construction), plus samplers for the paper's access patterns: uniform over
+//! a prepopulated key range and the 1000-hot-keys skew of §5.2.4.
+
+/// SplitMix64: used for seeding and as a cheap stateless mixer.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workhorse generator.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Create a generator from a seed (expanded via SplitMix64).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` (Lemire's multiply-shift reduction).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Key sampler reproducing the paper's access patterns.
+#[derive(Debug, Clone)]
+pub enum KeySampler {
+    /// Uniform over keys `[0, population)` (the default, Table 2).
+    Uniform {
+        /// Number of prepopulated keys.
+        population: u64,
+    },
+    /// `hot_fraction` of accesses go to `hot_keys` keys, the rest uniform over
+    /// the whole population (§5.2.4: 1000 hot keys, varying percentage).
+    HotSet {
+        /// Number of prepopulated keys.
+        population: u64,
+        /// Number of hot keys (the paper uses 1000).
+        hot_keys: u64,
+        /// Fraction of accesses that target the hot set (0.0..=1.0).
+        hot_fraction: f64,
+    },
+    /// Zipfian over `[0, population)` with parameter `theta` (YCSB-style).
+    Zipfian {
+        /// Number of prepopulated keys.
+        population: u64,
+        /// Skew parameter (YCSB default 0.99).
+        theta: f64,
+        /// Precomputed zeta(n, theta).
+        zetan: f64,
+    },
+}
+
+impl KeySampler {
+    /// Uniform sampler.
+    pub fn uniform(population: u64) -> Self {
+        KeySampler::Uniform { population }
+    }
+
+    /// Hot-set sampler (§5.2.4).
+    pub fn hot_set(population: u64, hot_keys: u64, hot_fraction: f64) -> Self {
+        KeySampler::HotSet {
+            population,
+            hot_keys: hot_keys.min(population).max(1),
+            hot_fraction: hot_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Zipfian sampler with parameter `theta`.
+    pub fn zipfian(population: u64, theta: f64) -> Self {
+        let n = population.max(1);
+        let zetan = (1..=n.min(10_000_000)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        KeySampler::Zipfian {
+            population: n,
+            theta,
+            zetan,
+        }
+    }
+
+    /// Number of prepopulated keys this sampler draws from.
+    pub fn population(&self) -> u64 {
+        match *self {
+            KeySampler::Uniform { population }
+            | KeySampler::HotSet { population, .. }
+            | KeySampler::Zipfian { population, .. } => population,
+        }
+    }
+
+    /// Draw a key index in `[0, population)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        match *self {
+            KeySampler::Uniform { population } => rng.next_below(population),
+            KeySampler::HotSet {
+                population,
+                hot_keys,
+                hot_fraction,
+            } => {
+                if rng.next_f64() < hot_fraction {
+                    rng.next_below(hot_keys)
+                } else {
+                    rng.next_below(population)
+                }
+            }
+            KeySampler::Zipfian {
+                population,
+                theta,
+                zetan,
+            } => {
+                // Standard YCSB-style rejection-free zipfian approximation.
+                let u = rng.next_f64();
+                let uz = u * zetan;
+                if uz < 1.0 {
+                    return 0;
+                }
+                if uz < 1.0 + 0.5f64.powf(theta) {
+                    return 1;
+                }
+                let alpha = 1.0 / (1.0 - theta);
+                let eta = (1.0 - (2.0 / population as f64).powf(1.0 - theta))
+                    / (1.0 - 2.0f64.powf(theta) / zetan);
+                let v = (population as f64 * (eta * u - eta + 1.0).powf(alpha)) as u64;
+                v.min(population - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_is_deterministic_and_distinct_per_seed() {
+        let mut a = Xoshiro256::new(1);
+        let mut b = Xoshiro256::new(1);
+        let mut c = Xoshiro256::new(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = Xoshiro256::new(42);
+        for bound in [1u64, 2, 7, 100, 1 << 40] {
+            for _ in 0..1_000 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_sampler_covers_the_range() {
+        let s = KeySampler::uniform(64);
+        let mut rng = Xoshiro256::new(7);
+        let mut seen = vec![false; 64];
+        for _ in 0..10_000 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every key should be hit");
+    }
+
+    #[test]
+    fn hot_set_concentrates_accesses() {
+        let s = KeySampler::hot_set(1_000_000, 1_000, 0.9);
+        let mut rng = Xoshiro256::new(3);
+        let hot = (0..100_000)
+            .filter(|_| s.sample(&mut rng) < 1_000)
+            .count();
+        // 90% go to the hot set directly plus ~0.1% of the uniform remainder.
+        assert!(hot > 85_000, "hot accesses = {hot}");
+    }
+
+    #[test]
+    fn zipfian_is_heavily_skewed_toward_low_ranks() {
+        let s = KeySampler::zipfian(100_000, 0.99);
+        let mut rng = Xoshiro256::new(11);
+        let top10 = (0..50_000).filter(|_| s.sample(&mut rng) < 10).count();
+        assert!(top10 > 10_000, "top-10 keys got only {top10} of 50k accesses");
+        for _ in 0..10_000 {
+            assert!(s.sample(&mut rng) < 100_000);
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Xoshiro256::new(5);
+        for _ in 0..10_000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Smallbank — the write-intensive multi-key OLTP benchmark of §5.3.5
+//! (Fig. 19, Table 4: 3 tables, 6 columns, 6 transactions, 15% reads).
+//!
+//! The three tables (ACCOUNT, SAVINGS, CHECKING) live in one DLHT Inlined-mode
+//! instance with a table tag in the key's top bits. Balances are stored as
+//! integer cents in the 8-byte value word. Multi-row updates lock their rows
+//! through a DLHT HashSet used as a lock manager (the §5.3.3 pattern), so
+//! concurrent transfers never lose updates.
+
+use crate::rng::Xoshiro256;
+use dlht_core::{DlhtMap, DlhtSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const ACCOUNT: u64 = 1 << 56;
+const SAVINGS: u64 = 2 << 56;
+const CHECKING: u64 = 3 << 56;
+
+#[inline]
+fn acct_key(id: u64) -> u64 {
+    ACCOUNT | id
+}
+#[inline]
+fn sav_key(id: u64) -> u64 {
+    SAVINGS | id
+}
+#[inline]
+fn chk_key(id: u64) -> u64 {
+    CHECKING | id
+}
+
+/// The six Smallbank transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmallbankTxn {
+    /// Read both balances (the only read-only transaction, 15%).
+    Balance,
+    /// Add to the checking balance.
+    DepositChecking,
+    /// Add to the savings balance.
+    TransactSavings,
+    /// Move both balances of one customer into another's checking.
+    Amalgamate,
+    /// Deduct a check from the checking balance.
+    WriteCheck,
+    /// Transfer between two customers' checking accounts.
+    SendPayment,
+}
+
+impl SmallbankTxn {
+    /// Sample with the standard write-heavy mix (15% Balance reads).
+    pub fn sample(rng: &mut Xoshiro256) -> SmallbankTxn {
+        match rng.next_below(100) {
+            0..=14 => SmallbankTxn::Balance,
+            15..=31 => SmallbankTxn::DepositChecking,
+            32..=48 => SmallbankTxn::TransactSavings,
+            49..=65 => SmallbankTxn::Amalgamate,
+            66..=82 => SmallbankTxn::WriteCheck,
+            _ => SmallbankTxn::SendPayment,
+        }
+    }
+}
+
+/// A populated Smallbank database over DLHT plus a HashSet lock manager.
+pub struct SmallbankDatabase {
+    map: DlhtMap,
+    locks: DlhtSet,
+    accounts: u64,
+    initial_balance: u64,
+}
+
+impl SmallbankDatabase {
+    /// Populate `accounts` customers (the paper uses 10 M) with a fixed
+    /// starting balance in both savings and checking.
+    pub fn populate(accounts: u64) -> Self {
+        let initial_balance = 10_000;
+        let map = DlhtMap::with_capacity(accounts as usize * 4 + 1024);
+        for id in 0..accounts {
+            map.insert(acct_key(id), id).unwrap();
+            map.insert(sav_key(id), initial_balance).unwrap();
+            map.insert(chk_key(id), initial_balance).unwrap();
+        }
+        SmallbankDatabase {
+            map,
+            locks: DlhtSet::with_capacity(accounts as usize + 1024),
+            accounts,
+            initial_balance,
+        }
+    }
+
+    /// Number of customers.
+    pub fn accounts(&self) -> u64 {
+        self.accounts
+    }
+
+    /// Total money in the bank (savings + checking over all customers).
+    /// Conserved by every transaction except deposits/checks, which we keep
+    /// symmetric in the test harness by pairing them.
+    pub fn total_money(&self) -> i128 {
+        let mut total: i128 = 0;
+        for id in 0..self.accounts {
+            total += self.map.get(sav_key(id)).unwrap_or(0) as i128;
+            total += self.map.get(chk_key(id)).unwrap_or(0) as i128;
+        }
+        total
+    }
+
+    /// Initial per-account balance.
+    pub fn initial_balance(&self) -> u64 {
+        self.initial_balance
+    }
+
+    /// Lock a set of customer ids in ascending order (deadlock-free thanks to
+    /// the ordered, order-preserving lock acquisition — §5.3.3).
+    fn lock(&self, ids: &[u64]) -> bool {
+        let mut sorted: Vec<u64> = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.locks.try_lock_all(&sorted).unwrap_or(false)
+    }
+
+    fn unlock(&self, ids: &[u64]) {
+        let mut sorted: Vec<u64> = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.locks.unlock_all(&sorted);
+    }
+
+    /// Execute one transaction; returns whether it committed.
+    pub fn execute(&self, txn: SmallbankTxn, rng: &mut Xoshiro256) -> bool {
+        let a = rng.next_below(self.accounts);
+        let b = rng.next_below(self.accounts);
+        match txn {
+            SmallbankTxn::Balance => {
+                self.map.get(sav_key(a)).is_some() && self.map.get(chk_key(a)).is_some()
+            }
+            SmallbankTxn::DepositChecking => {
+                if !self.lock(&[a]) {
+                    return false;
+                }
+                let cur = self.map.get(chk_key(a)).unwrap_or(0);
+                let ok = self.map.put(chk_key(a), cur + 10).is_some();
+                self.unlock(&[a]);
+                ok
+            }
+            SmallbankTxn::TransactSavings => {
+                if !self.lock(&[a]) {
+                    return false;
+                }
+                let cur = self.map.get(sav_key(a)).unwrap_or(0);
+                let ok = self.map.put(sav_key(a), cur.saturating_sub(10)).is_some();
+                self.unlock(&[a]);
+                ok
+            }
+            SmallbankTxn::Amalgamate => {
+                if a == b || !self.lock(&[a, b]) {
+                    return false;
+                }
+                let sav = self.map.get(sav_key(a)).unwrap_or(0);
+                let chk = self.map.get(chk_key(a)).unwrap_or(0);
+                let dst = self.map.get(chk_key(b)).unwrap_or(0);
+                self.map.put(sav_key(a), 0);
+                self.map.put(chk_key(a), 0);
+                let ok = self.map.put(chk_key(b), dst + sav + chk).is_some();
+                self.unlock(&[a, b]);
+                ok
+            }
+            SmallbankTxn::WriteCheck => {
+                if !self.lock(&[a]) {
+                    return false;
+                }
+                let cur = self.map.get(chk_key(a)).unwrap_or(0);
+                let ok = self.map.put(chk_key(a), cur.saturating_sub(5)).is_some();
+                self.unlock(&[a]);
+                ok
+            }
+            SmallbankTxn::SendPayment => {
+                if a == b || !self.lock(&[a, b]) {
+                    return false;
+                }
+                let src = self.map.get(chk_key(a)).unwrap_or(0);
+                let amount = 5.min(src);
+                let dst = self.map.get(chk_key(b)).unwrap_or(0);
+                self.map.put(chk_key(a), src - amount);
+                let ok = self.map.put(chk_key(b), dst + amount).is_some();
+                self.unlock(&[a, b]);
+                ok
+            }
+        }
+    }
+}
+
+/// Run Smallbank with `threads` threads for `duration` (Fig. 19, right
+/// series). Returns (committed, attempted, M txns/s).
+pub fn run_smallbank(
+    db: &SmallbankDatabase,
+    threads: usize,
+    duration: Duration,
+) -> crate::tatp::OltpResult {
+    let stop = AtomicBool::new(false);
+    let committed = AtomicU64::new(0);
+    let attempted = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads.max(1) {
+            let db = &db;
+            let stop = &stop;
+            let committed = &committed;
+            let attempted = &attempted;
+            s.spawn(move || {
+                let mut rng = Xoshiro256::new(0x5B + t as u64);
+                let mut local_c = 0u64;
+                let mut local_a = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let txn = SmallbankTxn::sample(&mut rng);
+                    if db.execute(txn, &mut rng) {
+                        local_c += 1;
+                    }
+                    local_a += 1;
+                }
+                committed.fetch_add(local_c, Ordering::Relaxed);
+                attempted.fetch_add(local_a, Ordering::Relaxed);
+            });
+        }
+        let stop = &stop;
+        s.spawn(move || {
+            std::thread::sleep(duration);
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+    let elapsed = start.elapsed();
+    let attempted_n = attempted.load(Ordering::Relaxed);
+    crate::tatp::OltpResult {
+        committed: committed.load(Ordering::Relaxed),
+        attempted: attempted_n,
+        mtps: attempted_n as f64 / elapsed.as_secs_f64() / 1e6,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_and_balances() {
+        let db = SmallbankDatabase::populate(100);
+        assert_eq!(db.accounts(), 100);
+        assert_eq!(db.total_money(), 100 * 2 * db.initial_balance() as i128);
+    }
+
+    #[test]
+    fn mix_is_write_heavy() {
+        let mut rng = Xoshiro256::new(9);
+        let reads = (0..10_000)
+            .filter(|_| SmallbankTxn::sample(&mut rng) == SmallbankTxn::Balance)
+            .count();
+        assert!((1_000..=2_000).contains(&reads), "reads = {reads}");
+    }
+
+    #[test]
+    fn send_payment_and_amalgamate_conserve_money() {
+        let db = SmallbankDatabase::populate(50);
+        let before = db.total_money();
+        let mut rng = Xoshiro256::new(5);
+        for _ in 0..500 {
+            db.execute(SmallbankTxn::SendPayment, &mut rng);
+            db.execute(SmallbankTxn::Amalgamate, &mut rng);
+        }
+        assert_eq!(db.total_money(), before, "transfers must conserve money");
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_money() {
+        let db = SmallbankDatabase::populate(64);
+        let before = db.total_money();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let db = &db;
+                s.spawn(move || {
+                    let mut rng = Xoshiro256::new(t);
+                    for _ in 0..1_000 {
+                        db.execute(SmallbankTxn::SendPayment, &mut rng);
+                    }
+                });
+            }
+        });
+        assert_eq!(db.total_money(), before);
+    }
+
+    #[test]
+    fn short_run_reports_throughput() {
+        let db = SmallbankDatabase::populate(1_000);
+        let r = run_smallbank(&db, 2, Duration::from_millis(50));
+        assert!(r.attempted > 0);
+        assert!(r.mtps > 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! TATP — the read-intensive multi-key OLTP benchmark of §5.3.5 (Fig. 19,
+//! Table 4: 4 tables, 51 columns, 7 transactions, 80% reads).
+//!
+//! The four TATP tables (SUBSCRIBER, ACCESS_INFO, SPECIAL_FACILITY,
+//! CALL_FORWARDING) are stored in a single DLHT Inlined-mode instance, one
+//! namespace-style table tag packed into the top bits of the key — the
+//! "pointer map for a database storage engine" use-case of §3.1. Row payloads
+//! are compacted into the 8-byte value word (TATP's columns are small
+//! integers), which keeps the benchmark memory-resident and single-access the
+//! way the paper runs it.
+
+use crate::rng::Xoshiro256;
+use dlht_core::DlhtMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Table tags (top byte of the key).
+const SUBSCRIBER: u64 = 1 << 56;
+const ACCESS_INFO: u64 = 2 << 56;
+const SPECIAL_FACILITY: u64 = 3 << 56;
+const CALL_FORWARDING: u64 = 4 << 56;
+
+#[inline]
+fn sub_key(s_id: u64) -> u64 {
+    SUBSCRIBER | s_id
+}
+#[inline]
+fn ai_key(s_id: u64, ai_type: u64) -> u64 {
+    ACCESS_INFO | (s_id << 2) | ai_type
+}
+#[inline]
+fn sf_key(s_id: u64, sf_type: u64) -> u64 {
+    SPECIAL_FACILITY | (s_id << 2) | sf_type
+}
+#[inline]
+fn cf_key(s_id: u64, sf_type: u64, start_time: u64) -> u64 {
+    CALL_FORWARDING | (s_id << 7) | (sf_type << 5) | start_time
+}
+
+/// The seven TATP transaction types with their standard mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TatpTxn {
+    /// 35% — read a subscriber row.
+    GetSubscriberData,
+    /// 10% — read special facility + call forwarding rows.
+    GetNewDestination,
+    /// 35% — read an access-info row.
+    GetAccessData,
+    /// 2% — update subscriber + special facility rows.
+    UpdateSubscriberData,
+    /// 14% — update the subscriber's location.
+    UpdateLocation,
+    /// 2% — insert a call-forwarding row.
+    InsertCallForwarding,
+    /// 2% — delete a call-forwarding row.
+    DeleteCallForwarding,
+}
+
+impl TatpTxn {
+    /// Sample a transaction type according to the standard TATP mix.
+    pub fn sample(rng: &mut Xoshiro256) -> TatpTxn {
+        match rng.next_below(100) {
+            0..=34 => TatpTxn::GetSubscriberData,
+            35..=44 => TatpTxn::GetNewDestination,
+            45..=79 => TatpTxn::GetAccessData,
+            80..=81 => TatpTxn::UpdateSubscriberData,
+            82..=95 => TatpTxn::UpdateLocation,
+            96..=97 => TatpTxn::InsertCallForwarding,
+            _ => TatpTxn::DeleteCallForwarding,
+        }
+    }
+
+    /// Whether the transaction is read-only (the mix is 80% reads).
+    pub fn is_read_only(self) -> bool {
+        matches!(
+            self,
+            TatpTxn::GetSubscriberData | TatpTxn::GetNewDestination | TatpTxn::GetAccessData
+        )
+    }
+}
+
+/// A populated TATP database over DLHT.
+pub struct TatpDatabase {
+    map: DlhtMap,
+    subscribers: u64,
+}
+
+impl TatpDatabase {
+    /// Create and populate a database with `subscribers` subscribers (the
+    /// paper uses 1 M).
+    pub fn populate(subscribers: u64) -> Self {
+        // Each subscriber has 1 subscriber row, ~2.5 access-info rows,
+        // ~2.5 special-facility rows and ~1.5 call-forwarding rows.
+        let map = DlhtMap::with_capacity((subscribers as usize) * 8 + 1024);
+        let mut rng = Xoshiro256::new(0x7A7F ^ subscribers);
+        for s in 0..subscribers {
+            map.insert(sub_key(s), rng.next_u64()).unwrap();
+            let ai_rows = 1 + rng.next_below(4);
+            for ai in 0..ai_rows {
+                map.insert(ai_key(s, ai), rng.next_u64()).unwrap();
+            }
+            let sf_rows = 1 + rng.next_below(4);
+            for sf in 0..sf_rows {
+                map.insert(sf_key(s, sf), rng.next_u64()).unwrap();
+                // 0..=3 call-forwarding rows per special facility.
+                for start in 0..rng.next_below(4) {
+                    map.insert(cf_key(s, sf, start * 8), rng.next_u64()).unwrap();
+                }
+            }
+        }
+        TatpDatabase { map, subscribers }
+    }
+
+    /// Number of populated subscribers.
+    pub fn subscribers(&self) -> u64 {
+        self.subscribers
+    }
+
+    /// Total rows across the four tables.
+    pub fn rows(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Execute one transaction; returns `true` if it committed (TATP defines
+    /// some transactions to fail when the probed row does not exist).
+    pub fn execute(&self, txn: TatpTxn, rng: &mut Xoshiro256) -> bool {
+        let s_id = rng.next_below(self.subscribers);
+        match txn {
+            TatpTxn::GetSubscriberData => self.map.get(sub_key(s_id)).is_some(),
+            TatpTxn::GetAccessData => self.map.get(ai_key(s_id, rng.next_below(4))).is_some(),
+            TatpTxn::GetNewDestination => {
+                let sf = rng.next_below(4);
+                let facility = self.map.get(sf_key(s_id, sf));
+                if facility.is_none() {
+                    return false;
+                }
+                self.map.get(cf_key(s_id, sf, rng.next_below(3) * 8)).is_some()
+            }
+            TatpTxn::UpdateSubscriberData => {
+                let bit = rng.next_u64();
+                let a = self.map.put(sub_key(s_id), bit).is_some();
+                let b = self.map.put(sf_key(s_id, rng.next_below(4)), bit).is_some();
+                a && b
+            }
+            TatpTxn::UpdateLocation => self.map.put(sub_key(s_id), rng.next_u64()).is_some(),
+            TatpTxn::InsertCallForwarding => {
+                let sf = rng.next_below(4);
+                if self.map.get(sf_key(s_id, sf)).is_none() {
+                    return false;
+                }
+                self.map
+                    .insert(cf_key(s_id, sf, rng.next_below(3) * 8 + 1), rng.next_u64())
+                    .map(|o| o.inserted())
+                    .unwrap_or(false)
+            }
+            TatpTxn::DeleteCallForwarding => {
+                let sf = rng.next_below(4);
+                self.map
+                    .delete(cf_key(s_id, sf, rng.next_below(3) * 8 + 1))
+                    .is_some()
+            }
+        }
+    }
+}
+
+/// Result of a TATP run.
+#[derive(Debug, Clone)]
+pub struct OltpResult {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Attempted transactions (committed + aborted/failed probes).
+    pub attempted: u64,
+    /// Million transactions per second (attempted, as in the paper).
+    pub mtps: f64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Run TATP with `threads` threads for `duration` (Fig. 19, left series).
+pub fn run_tatp(db: &TatpDatabase, threads: usize, duration: Duration) -> OltpResult {
+    let stop = AtomicBool::new(false);
+    let committed = AtomicU64::new(0);
+    let attempted = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads.max(1) {
+            let db = &db;
+            let stop = &stop;
+            let committed = &committed;
+            let attempted = &attempted;
+            s.spawn(move || {
+                let mut rng = Xoshiro256::new(0x7A7 + t as u64);
+                let mut local_c = 0u64;
+                let mut local_a = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let txn = TatpTxn::sample(&mut rng);
+                    if db.execute(txn, &mut rng) {
+                        local_c += 1;
+                    }
+                    local_a += 1;
+                }
+                committed.fetch_add(local_c, Ordering::Relaxed);
+                attempted.fetch_add(local_a, Ordering::Relaxed);
+            });
+        }
+        let stop = &stop;
+        s.spawn(move || {
+            std::thread::sleep(duration);
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+    let elapsed = start.elapsed();
+    let attempted_n = attempted.load(Ordering::Relaxed);
+    OltpResult {
+        committed: committed.load(Ordering::Relaxed),
+        attempted: attempted_n,
+        mtps: attempted_n as f64 / elapsed.as_secs_f64() / 1e6,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_creates_all_tables() {
+        let db = TatpDatabase::populate(500);
+        assert_eq!(db.subscribers(), 500);
+        // At minimum one subscriber + one access info + one special facility
+        // row per subscriber.
+        assert!(db.rows() >= 1_500, "rows = {}", db.rows());
+    }
+
+    #[test]
+    fn transaction_mix_is_read_heavy() {
+        let mut rng = Xoshiro256::new(1);
+        let reads = (0..10_000)
+            .filter(|_| TatpTxn::sample(&mut rng).is_read_only())
+            .count();
+        assert!((7_500..=8_500).contains(&reads), "reads = {reads}");
+    }
+
+    #[test]
+    fn all_transaction_types_execute() {
+        let db = TatpDatabase::populate(200);
+        let mut rng = Xoshiro256::new(2);
+        let mut committed = 0;
+        for txn in [
+            TatpTxn::GetSubscriberData,
+            TatpTxn::GetNewDestination,
+            TatpTxn::GetAccessData,
+            TatpTxn::UpdateSubscriberData,
+            TatpTxn::UpdateLocation,
+            TatpTxn::InsertCallForwarding,
+            TatpTxn::DeleteCallForwarding,
+        ] {
+            for _ in 0..50 {
+                if db.execute(txn, &mut rng) {
+                    committed += 1;
+                }
+            }
+        }
+        assert!(committed > 0);
+        // Subscriber reads always hit.
+        assert!(db.execute(TatpTxn::GetSubscriberData, &mut rng));
+    }
+
+    #[test]
+    fn short_run_reports_throughput() {
+        let db = TatpDatabase::populate(1_000);
+        let r = run_tatp(&db, 2, Duration::from_millis(50));
+        assert!(r.attempted > 0);
+        assert!(r.committed > 0);
+        assert!(r.committed <= r.attempted);
+        assert!(r.mtps > 0.0);
+    }
+}

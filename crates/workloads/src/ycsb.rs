@@ -1,0 +1,114 @@
+//! YCSB single-key mixes (§5.3.4, Fig. 18).
+//!
+//! The paper evaluates four mixes over DLHT with the default configuration;
+//! the standard YCSB letters map to read/update blends over a zipfian (or
+//! uniform) key distribution:
+//!
+//! | Mix | Reads | Updates |
+//! |---|---|---|
+//! | A | 50% | 50% |
+//! | B | 95% | 5% |
+//! | C | 100% | 0% |
+//! | F | 0% | 100% (update-only, the paper's fourth mix) |
+
+use crate::rng::KeySampler;
+use crate::runner::{run_workload, Mix, RunResult, WorkloadSpec};
+use dlht_baselines::ConcurrentMap;
+use std::time::Duration;
+
+/// The four YCSB mixes the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbMix {
+    /// 50% read / 50% update.
+    A,
+    /// 95% read / 5% update.
+    B,
+    /// 100% read.
+    C,
+    /// Update-only.
+    F,
+}
+
+impl YcsbMix {
+    /// All four evaluated mixes.
+    pub fn all() -> [YcsbMix; 4] {
+        [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::F]
+    }
+
+    /// Read percentage of the mix.
+    pub fn read_pct(self) -> u32 {
+        match self {
+            YcsbMix::A => 50,
+            YcsbMix::B => 95,
+            YcsbMix::C => 100,
+            YcsbMix::F => 0,
+        }
+    }
+
+    /// Display name ("YCSB A", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            YcsbMix::A => "YCSB A",
+            YcsbMix::B => "YCSB B",
+            YcsbMix::C => "YCSB C",
+            YcsbMix::F => "YCSB F",
+        }
+    }
+}
+
+/// Run one YCSB mix against a prepopulated map.
+pub fn run_ycsb(
+    map: &dyn ConcurrentMap,
+    mix: YcsbMix,
+    prepopulated: u64,
+    threads: usize,
+    duration: Duration,
+    zipfian: bool,
+) -> RunResult {
+    let sampler = if zipfian {
+        KeySampler::zipfian(prepopulated, 0.99)
+    } else {
+        KeySampler::uniform(prepopulated)
+    };
+    let spec = WorkloadSpec {
+        mix: Mix::read_update(mix.read_pct()),
+        sampler,
+        ..WorkloadSpec::get_default(prepopulated, threads, duration)
+    };
+    run_workload(map, &spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepopulate;
+    use dlht_baselines::MapKind;
+
+    #[test]
+    fn mix_percentages() {
+        assert_eq!(YcsbMix::A.read_pct(), 50);
+        assert_eq!(YcsbMix::B.read_pct(), 95);
+        assert_eq!(YcsbMix::C.read_pct(), 100);
+        assert_eq!(YcsbMix::F.read_pct(), 0);
+        assert_eq!(YcsbMix::all().len(), 4);
+    }
+
+    #[test]
+    fn all_mixes_run_over_dlht() {
+        let map = MapKind::Dlht.build(20_000);
+        prepopulate(map.as_ref(), 5_000);
+        for mix in YcsbMix::all() {
+            let r = run_ycsb(
+                map.as_ref(),
+                mix,
+                5_000,
+                2,
+                Duration::from_millis(30),
+                true,
+            );
+            assert!(r.total_ops > 0, "{}", mix.name());
+        }
+        // Update-only must not change the population.
+        assert_eq!(map.len(), 5_000);
+    }
+}

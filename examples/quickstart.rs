@@ -1,0 +1,53 @@
+//! Quickstart: the Inlined mode — insert, get, put, delete, batched access,
+//! and table statistics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dlht::{DlhtConfig, DlhtMap, Request, Response};
+use dlht::hash::HashKind;
+
+fn main() {
+    // A map sized for ~1M 8-byte key/value pairs, hashed with wyhash.
+    let map = DlhtMap::with_config(
+        DlhtConfig::for_capacity(1_000_000).with_hash(HashKind::WyHash),
+    );
+
+    // Basic operations. Inserts never overwrite; Puts never insert.
+    map.insert(42, 4200).unwrap();
+    assert_eq!(map.get(42), Some(4200));
+    assert_eq!(map.put(42, 4300), Some(4200));
+    assert_eq!(map.delete(42), Some(4300));
+    assert_eq!(map.get(42), None);
+
+    // Populate a few thousand keys from several threads.
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let map = &map;
+            s.spawn(move || {
+                for k in (t..20_000).step_by(4) {
+                    map.insert(k, k * 10).unwrap();
+                }
+            });
+        }
+    });
+    println!("population: {} keys", map.len());
+
+    // Batched execution: one prefetch sweep, then strictly in-order execution.
+    let batch: Vec<Request> = (0..32).map(|k| Request::Get(k * 100)).collect();
+    let responses = map.execute_batch(&batch, false);
+    let hits = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Value(Some(_))))
+        .count();
+    println!("batched gets: {hits}/32 hits");
+
+    // Structural statistics (occupancy, chaining, resizes).
+    let stats = map.stats();
+    println!(
+        "bins = {}, occupied slots = {}, occupancy = {:.1}%, resizes = {}",
+        stats.bins,
+        stats.occupied_slots,
+        stats.occupancy * 100.0,
+        stats.resizes
+    );
+}

@@ -1,0 +1,51 @@
+//! # dlht — Dandelion HashTable
+//!
+//! Facade crate for the DLHT reproduction (HPDC 2024): re-exports the core
+//! hashtable ([`DlhtMap`], [`DlhtAllocMap`], [`DlhtSet`], [`SingleThreadMap`]),
+//! its configuration, and the substrate crates (hash functions, epoch GC,
+//! value allocators), and hosts the repository-wide examples and integration
+//! tests.
+//!
+//! ```
+//! use dlht::{DlhtMap, Request, Response};
+//!
+//! let map = DlhtMap::with_capacity(1024);
+//! map.insert(1, 100).unwrap();
+//! let out = map.execute_batch(&[Request::Get(1)], false);
+//! assert_eq!(out[0], Response::Value(Some(100)));
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the system
+//! inventory and per-experiment index, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use dlht_core::{
+    AllocSession, DlhtAllocMap, DlhtConfig, DlhtError, DlhtMap, DlhtSet, InsertOutcome, RawTable,
+    Request, Response, SingleThreadMap, TableStats, TaggedPtr, MAX_KEY_LEN, MAX_NAMESPACES,
+};
+
+/// Value allocators for the Allocator mode (system malloc and the pooled
+/// mimalloc stand-in).
+pub use dlht_alloc as alloc;
+/// Client-driven epoch-based reclamation used by Allocator-mode deletes.
+pub use dlht_epoch as epoch;
+/// The hash functions evaluated by the paper (modulo, wyhash, xxhash64, ...).
+pub use dlht_hash as hash;
+/// Low-level building blocks (headers, buckets, batch types, prefetching).
+pub use dlht_core as core;
+
+#[cfg(test)]
+mod smoke {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let map = DlhtMap::with_config(DlhtConfig::new(64).with_hash(hash::HashKind::WyHash));
+        map.insert(5, 50).unwrap();
+        assert_eq!(map.get(5), Some(50));
+        let set = DlhtSet::with_capacity(16);
+        assert!(set.insert(9).unwrap());
+        let stats: TableStats = map.stats();
+        assert_eq!(stats.occupied_slots, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: concurrent correctness of the public API
+//! under mixed workloads, resizes, and batching.
+
+use dlht::hash::HashKind;
+use dlht::{DlhtConfig, DlhtMap, Request, Response};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[test]
+fn mixed_readers_writers_and_resizes_preserve_disjoint_key_ranges() {
+    let map = DlhtMap::with_config(
+        DlhtConfig::new(32)
+            .with_hash(HashKind::WyHash)
+            .with_chunk_bins(8),
+    );
+    // Stable range owned by the main thread.
+    for k in 0..1_000u64 {
+        map.insert(k, k + 1).unwrap();
+    }
+
+    std::thread::scope(|s| {
+        // Writers on disjoint ranges drive repeated growth.
+        for t in 0..3u64 {
+            let map = &map;
+            s.spawn(move || {
+                let base = 100_000 + t * 100_000;
+                for k in 0..4_000u64 {
+                    assert!(map.insert(base + k, k).unwrap().inserted());
+                }
+                for k in 0..2_000u64 {
+                    assert_eq!(map.delete(base + k), Some(k));
+                }
+            });
+        }
+        // Readers continuously validate the stable range.
+        for _ in 0..2 {
+            let map = &map;
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    for k in [0u64, 1, 500, 999] {
+                        assert_eq!(map.get(k), Some(k + 1));
+                    }
+                }
+            });
+        }
+    });
+
+    assert!(map.resizes() > 0, "the tiny initial index must have grown");
+    // Final contents: stable range + the undeleted halves of each writer range.
+    assert_eq!(map.len(), 1_000 + 3 * 2_000);
+    for k in 0..1_000u64 {
+        assert_eq!(map.get(k), Some(k + 1));
+    }
+}
+
+#[test]
+fn puts_never_resurrect_or_corrupt_under_delete_races() {
+    let map = DlhtMap::with_capacity(10_000);
+    for k in 0..100u64 {
+        map.insert(k, 1_000_000 + k).unwrap();
+    }
+    let updates = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        // Updaters put new values on the shared keys.
+        for t in 0..2u64 {
+            let map = &map;
+            let updates = &updates;
+            s.spawn(move || {
+                for round in 0..5_000u64 {
+                    let k = round % 100;
+                    if map.put(k, t * 10_000_000 + round).is_some() {
+                        updates.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // A deleter/reinserter churns the same keys.
+        {
+            let map = &map;
+            s.spawn(move || {
+                for round in 0..2_000u64 {
+                    let k = round % 100;
+                    map.delete(k);
+                    map.insert(k, 1_000_000 + k).unwrap();
+                }
+            });
+        }
+    });
+    assert!(updates.load(Ordering::Relaxed) > 0);
+    // Every key must still resolve to one of the values some writer wrote.
+    for k in 0..100u64 {
+        if let Some(v) = map.get(k) {
+            let plausible = v == 1_000_000 + k
+                || (v >= 10_000_000 && v < 20_000_000)
+                || v < 10_000
+                || (20_000_000..30_000_000).contains(&v);
+            assert!(plausible, "key {k} has implausible value {v}");
+        }
+    }
+}
+
+#[test]
+fn batches_interleaved_with_singles_agree() {
+    let map = DlhtMap::with_capacity(50_000);
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let map = &map;
+            s.spawn(move || {
+                let base = t * 1_000_000;
+                let reqs: Vec<Request> =
+                    (0..500).map(|i| Request::Insert(base + i, i)).collect();
+                let resps = map.execute_batch(&reqs, false);
+                assert!(resps.iter().all(|r| r.succeeded()));
+                // Read them back through the single-request path.
+                for i in 0..500u64 {
+                    assert_eq!(map.get(base + i), Some(i));
+                }
+            });
+        }
+    });
+    assert_eq!(map.len(), 2_000);
+    // And via a batch of gets.
+    let gets: Vec<Request> = (0..500).map(Request::Get).collect();
+    let out = map.execute_batch(&gets, false);
+    for (i, r) in out.iter().enumerate() {
+        assert_eq!(*r, Response::Value(Some(i as u64)));
+    }
+}
+
+#[test]
+fn shadow_inserts_act_as_record_locks_across_threads() {
+    let map = DlhtMap::with_capacity(1_000);
+    // Thread A shadow-inserts (locks) a key; other threads cannot insert it,
+    // and readers cannot see it until committed.
+    map.insert_shadow(77, 770).unwrap();
+    std::thread::scope(|s| {
+        let map = &map;
+        s.spawn(move || {
+            assert!(!map.insert(77, 771).unwrap().inserted());
+            assert_eq!(map.get(77), None);
+        });
+    });
+    assert!(map.commit_shadow(77, true));
+    assert_eq!(map.get(77), Some(770));
+}

@@ -1,0 +1,150 @@
+//! Integration tests across the public modes (Inlined / Allocator / HashSet /
+//! single-thread) and the baseline implementations driven through the shared
+//! `ConcurrentMap` interface.
+
+use dlht::alloc::AllocatorKind;
+use dlht::{DlhtAllocMap, DlhtConfig, DlhtSet, SingleThreadMap};
+use dlht_baselines::{ConcurrentMap, MapKind};
+use dlht_workloads::{prepopulate, run_workload, WorkloadSpec};
+use std::time::Duration;
+
+#[test]
+fn every_map_kind_survives_the_default_workloads() {
+    for kind in MapKind::all() {
+        let map = kind.build(20_000);
+        prepopulate(map.as_ref(), 2_000);
+        let get = run_workload(
+            map.as_ref(),
+            &WorkloadSpec::get_default(2_000, 2, Duration::from_millis(25)),
+        );
+        assert!(get.total_ops > 0, "{}", kind.name());
+        assert_eq!(map.len(), 2_000, "{}: Get workload must not mutate", kind.name());
+    }
+}
+
+#[test]
+fn allocator_mode_namespaces_isolate_tables() {
+    let map = DlhtAllocMap::new(
+        DlhtConfig::for_capacity(10_000)
+            .with_variable_size(true)
+            .with_namespaces(true),
+        AllocatorKind::Pool.build(),
+        0,
+        0,
+    );
+    let mut s = map.session();
+    for id in 0..500u64 {
+        s.insert(1, &id.to_le_bytes(), format!("user-{id}").as_bytes())
+            .unwrap();
+        s.insert(2, &id.to_le_bytes(), &[id as u8; 64]).unwrap();
+    }
+    assert_eq!(map.len(), 1_000);
+    for id in (0..500u64).step_by(7) {
+        assert_eq!(
+            s.get(1, &id.to_le_bytes()).unwrap(),
+            format!("user-{id}").into_bytes()
+        );
+        assert_eq!(s.get(2, &id.to_le_bytes()).unwrap(), vec![id as u8; 64]);
+    }
+    // Deleting from namespace 1 leaves namespace 2 intact.
+    for id in 0..500u64 {
+        assert!(s.delete(1, &id.to_le_bytes()));
+    }
+    s.quiesce();
+    assert_eq!(map.len(), 500);
+    assert!(s.get(1, &3u64.to_le_bytes()).is_none());
+    assert!(s.get(2, &3u64.to_le_bytes()).is_some());
+}
+
+#[test]
+fn hashset_lock_manager_is_exclusive_under_contention() {
+    let locks = DlhtSet::with_capacity(1_024);
+    let mut holders = 0u32;
+    // Single-threaded sanity of try_lock_all / unlock_all semantics.
+    assert!(locks.try_lock_all(&[1, 2, 3]).unwrap());
+    assert!(!locks.try_lock_all(&[3, 4]).unwrap());
+    assert!(!locks.contains(4), "partial acquisition must roll back");
+    locks.unlock_all(&[1, 2, 3]);
+    assert!(locks.is_empty());
+    holders += 1;
+    assert_eq!(holders, 1);
+}
+
+#[test]
+fn single_thread_variant_matches_concurrent_results() {
+    let concurrent = dlht::DlhtMap::with_capacity(10_000);
+    let mut single = SingleThreadMap::with_capacity(10_000);
+    let mut state = 42u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..20_000 {
+        let k = rng() % 2_000;
+        match rng() % 4 {
+            0 => {
+                let a = concurrent.insert(k, k).map(|o| o.inserted()).unwrap_or(false);
+                let b = single.insert(k, k).map(|o| o.inserted()).unwrap_or(false);
+                assert_eq!(a, b);
+            }
+            1 => assert_eq!(concurrent.delete(k), single.delete(k)),
+            2 => assert_eq!(concurrent.get(k), single.get(k)),
+            _ => assert_eq!(concurrent.put(k, k + 9), single.put(k, k + 9)),
+        }
+    }
+    assert_eq!(concurrent.len(), single.len());
+}
+
+#[test]
+fn dlht_and_baselines_agree_on_a_deterministic_trace() {
+    // Apply the same operation trace to DLHT and to each baseline that
+    // supports the full API; final contents must agree.
+    let trace: Vec<(u8, u64)> = (0..5_000u64)
+        .map(|i| (((i * 2_654_435_761) % 4) as u8, (i * 31) % 700))
+        .collect();
+    let reference = MapKind::Dlht.build(10_000);
+    for kind in [MapKind::Clht, MapKind::Growt, MapKind::Cuckoo, MapKind::Tbb, MapKind::Mica] {
+        let candidate = kind.build(10_000);
+        for &(op, key) in &trace {
+            match op {
+                0 => {
+                    candidate.insert(key, key);
+                    reference_insert(&*reference, key, kind);
+                }
+                1 => {
+                    candidate.remove(key);
+                    reference.remove(key);
+                }
+                2 => {
+                    candidate.get(key);
+                    reference.get(key);
+                }
+                _ => {
+                    // Updates: skip for maps without Put support (CLHT).
+                    if candidate.features().non_blocking_puts {
+                        candidate.update(key, key + 1);
+                        reference.update(key, key + 1);
+                    }
+                }
+            }
+        }
+        for key in 0..700u64 {
+            assert_eq!(
+                candidate.get(key).is_some(),
+                reference.get(key).is_some(),
+                "{} diverged from DLHT on key {key}",
+                kind.name()
+            );
+        }
+        // Reset the reference for the next baseline by replaying deletes.
+        for key in 0..700u64 {
+            reference.remove(key);
+        }
+    }
+}
+
+fn reference_insert(map: &dyn ConcurrentMap, key: u64, _kind: MapKind) {
+    map.insert(key, key);
+}
