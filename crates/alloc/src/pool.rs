@@ -19,8 +19,7 @@
 //! working set for the whole run.
 
 use crate::{SystemAllocator, ValueAllocator, VALUE_ALIGN};
-use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
+use dlht_util::{CachePadded, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Smallest size class (bytes).

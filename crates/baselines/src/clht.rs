@@ -13,9 +13,9 @@
 //! Puts; we keep the no-Put restriction (`update` returns `false`) so the
 //! workload runner exercises it the way the paper does.
 
-use crate::api::{ConcurrentMap, MapFeatures};
+use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures};
 use dlht_hash::{Hasher64, WyHash};
-use parking_lot::RwLock;
+use dlht_util::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const SLOTS: usize = 3;
@@ -93,15 +93,24 @@ impl Inner {
         }
     }
 
-    /// `Err(())` when the bucket is full (CLHT must resize).
-    fn insert(&self, key: u64, value: u64) -> Result<bool, ()> {
+    /// `Ok(Some(existing))` when the key is already present, `Err(())` when
+    /// the bucket is full (CLHT must resize).
+    fn insert(&self, key: u64, value: u64) -> Result<Option<u64>, ()> {
         let b = self.bucket_of(key);
         'outer: loop {
             let h = b.header.load(Ordering::Acquire);
-            // Duplicate check among published slots.
+            // Duplicate check among published slots. The value read is only
+            // valid if the header version is unchanged afterwards (seqlock
+            // style, as in `get`) — otherwise the slot may have been reused
+            // for a different key between the key and value loads.
             for s in 0..SLOTS {
                 if slot_state(h, s) == VALID && b.keys[s].load(Ordering::Acquire) == key {
-                    return Ok(false);
+                    let existing = b.vals[s].load(Ordering::Acquire);
+                    let h2 = b.header.load(Ordering::Acquire);
+                    if version(h2) == version(h) {
+                        return Ok(Some(existing));
+                    }
+                    continue 'outer;
                 }
             }
             let Some(free) = (0..SLOTS).find(|&s| slot_state(h, s) == EMPTY) else {
@@ -110,8 +119,7 @@ impl Inner {
             // Claim the slot, fill it, then publish — the same two-phase CAS
             // protocol DLHT inherits from CLHT (§3.2.2).
             let claimed = with_slot_state(h, free, CLAIMED);
-            if b
-                .header
+            if b.header
                 .compare_exchange(h, claimed, Ordering::AcqRel, Ordering::Acquire)
                 .is_err()
             {
@@ -128,30 +136,29 @@ impl Inner {
                         && b.keys[s].load(Ordering::Acquire) == key
                     {
                         // Release our claim and report the duplicate.
+                        let existing = b.vals[s].load(Ordering::Acquire);
                         let released = with_slot_state(h2, free, EMPTY);
-                        if b
-                            .header
+                        if b.header
                             .compare_exchange(h2, released, Ordering::AcqRel, Ordering::Acquire)
                             .is_ok()
                         {
-                            return Ok(false);
+                            return Ok(Some(existing));
                         }
                         continue 'outer;
                     }
                 }
                 let published = with_slot_state(h2, free, VALID);
-                if b
-                    .header
+                if b.header
                     .compare_exchange(h2, published, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    return Ok(true);
+                    return Ok(None);
                 }
             }
         }
     }
 
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: u64) -> Option<u64> {
         let b = self.bucket_of(key);
         loop {
             let h = b.header.load(Ordering::Acquire);
@@ -160,17 +167,17 @@ impl Inner {
             else {
                 let h2 = b.header.load(Ordering::Acquire);
                 if version(h2) == version(h) {
-                    return false;
+                    return None;
                 }
                 continue;
             };
+            let value = b.vals[slot].load(Ordering::Acquire);
             let freed = with_slot_state(h, slot, EMPTY);
-            if b
-                .header
+            if b.header
                 .compare_exchange(h, freed, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                return true;
+                return Some(value);
             }
         }
     }
@@ -234,27 +241,31 @@ impl ClhtMap {
     }
 }
 
-impl ConcurrentMap for ClhtMap {
+impl KvBackend for ClhtMap {
     fn get(&self, key: u64) -> Option<u64> {
         self.inner.read().get(key)
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        if dlht_core::bucket::is_reserved_key(key) {
+            return Err(DlhtError::ReservedKey);
+        }
         loop {
             match self.inner.read().insert(key, value) {
-                Ok(r) => return r,
+                Ok(None) => return Ok(InsertOutcome::Inserted),
+                Ok(Some(existing)) => return Ok(InsertOutcome::AlreadyExists(existing)),
                 Err(()) => {}
             }
             self.grow();
         }
     }
 
-    fn update(&self, _key: u64, _value: u64) -> bool {
+    fn put(&self, _key: u64, _value: u64) -> Option<u64> {
         // The lock-free CLHT variant does not support Puts (Table 1).
-        false
+        None
     }
 
-    fn remove(&self, key: u64) -> bool {
+    fn delete(&self, key: u64) -> Option<u64> {
         self.inner.read().remove(key)
     }
 
@@ -286,7 +297,7 @@ impl ConcurrentMap for ClhtMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::conformance;
+    use crate::conformance;
 
     #[test]
     fn basic_semantics() {
@@ -313,7 +324,7 @@ mod tests {
     fn grows_when_a_bucket_overflows() {
         let m = ClhtMap::with_capacity(8);
         for k in 0..2_000u64 {
-            assert!(m.insert(k, k), "insert {k}");
+            assert!(m.insert(k, k).unwrap().inserted(), "insert {k}");
         }
         assert!(m.resizes() > 0, "CLHT must resize early (low occupancy)");
         assert_eq!(m.len(), 2_000);
@@ -325,8 +336,8 @@ mod tests {
     #[test]
     fn no_put_support() {
         let m = ClhtMap::with_capacity(64);
-        m.insert(1, 1);
-        assert!(!m.update(1, 2));
+        m.insert(1, 1).unwrap();
+        assert_eq!(m.put(1, 2), None);
         assert_eq!(m.get(1), Some(1));
     }
 
@@ -335,8 +346,8 @@ mod tests {
         let m = ClhtMap::with_capacity(64);
         // Repeated insert/delete of colliding keys must not trigger resizes.
         for round in 0..1_000u64 {
-            assert!(m.insert(round, round));
-            assert!(m.remove(round));
+            assert!(m.insert(round, round).unwrap().inserted());
+            assert_eq!(m.delete(round), Some(round));
         }
         assert_eq!(m.resizes(), 0);
         assert_eq!(m.len(), 0);

@@ -3,9 +3,9 @@
 //! per request (two candidate buckets) and does not prefetch, which is why it
 //! stays in the sub-250 M req/s group in the paper.
 
-use crate::api::{ConcurrentMap, MapFeatures};
+use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures};
 use dlht_hash::{Hasher64, Murmur64, WyHash};
-use parking_lot::Mutex;
+use dlht_util::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 const BUCKET_SLOTS: usize = 4;
@@ -68,7 +68,14 @@ impl CuckooMap {
     }
 
     /// Lock two buckets in index order to avoid deadlocks.
-    fn lock_pair(&self, a: usize, b: usize) -> (parking_lot::MutexGuard<'_, Bucket>, Option<parking_lot::MutexGuard<'_, Bucket>>) {
+    fn lock_pair(
+        &self,
+        a: usize,
+        b: usize,
+    ) -> (
+        dlht_util::MutexGuard<'_, Bucket>,
+        Option<dlht_util::MutexGuard<'_, Bucket>>,
+    ) {
         if a == b {
             (self.buckets[a].lock(), None)
         } else if a < b {
@@ -83,10 +90,7 @@ impl CuckooMap {
     }
 
     fn find_in(bucket: &Bucket, key: u64) -> Option<usize> {
-        bucket
-            .slots
-            .iter()
-            .position(|e| e.used && e.key == key)
+        bucket.slots.iter().position(|e| e.used && e.key == key)
     }
 
     fn insert_in(bucket: &mut Bucket, key: u64, value: u64) -> bool {
@@ -141,7 +145,7 @@ impl CuckooMap {
     }
 }
 
-impl ConcurrentMap for CuckooMap {
+impl KvBackend for CuckooMap {
     fn get(&self, key: u64) -> Option<u64> {
         let (b1, b2) = self.bucket_indexes(key);
         {
@@ -154,67 +158,75 @@ impl ConcurrentMap for CuckooMap {
         Self::find_in(&g, key).map(|s| g.slots[s].value)
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        if dlht_core::bucket::is_reserved_key(key) {
+            return Err(DlhtError::ReservedKey);
+        }
         let (b1, b2) = self.bucket_indexes(key);
         {
             let (mut g1, g2) = self.lock_pair(b1, b2);
-            if Self::find_in(&g1, key).is_some()
-                || g2.as_ref().is_some_and(|g| Self::find_in(g, key).is_some())
-            {
-                return false;
+            if let Some(s) = Self::find_in(&g1, key) {
+                return Ok(InsertOutcome::AlreadyExists(g1.slots[s].value));
+            }
+            if let Some(g) = g2.as_ref() {
+                if let Some(s) = Self::find_in(g, key) {
+                    return Ok(InsertOutcome::AlreadyExists(g.slots[s].value));
+                }
             }
             if Self::insert_in(&mut g1, key, value) {
                 self.live.fetch_add(1, Ordering::Relaxed);
-                return true;
+                return Ok(InsertOutcome::Inserted);
             }
             if let Some(mut g2) = g2 {
                 if Self::insert_in(&mut g2, key, value) {
                     self.live.fetch_add(1, Ordering::Relaxed);
-                    return true;
+                    return Ok(InsertOutcome::Inserted);
                 }
             }
         }
         // Both buckets full: displace.
         if self.displace_and_insert(key, value) {
             self.live.fetch_add(1, Ordering::Relaxed);
-            true
+            Ok(InsertOutcome::Inserted)
         } else {
-            false
+            Err(DlhtError::TableFull)
         }
     }
 
-    fn update(&self, key: u64, value: u64) -> bool {
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
         let (b1, b2) = self.bucket_indexes(key);
         let (mut g1, g2) = self.lock_pair(b1, b2);
         if let Some(s) = Self::find_in(&g1, key) {
+            let prev = g1.slots[s].value;
             g1.slots[s].value = value;
-            return true;
+            return Some(prev);
         }
         if let Some(mut g2) = g2 {
             if let Some(s) = Self::find_in(&g2, key) {
+                let prev = g2.slots[s].value;
                 g2.slots[s].value = value;
-                return true;
+                return Some(prev);
             }
         }
-        false
+        None
     }
 
-    fn remove(&self, key: u64) -> bool {
+    fn delete(&self, key: u64) -> Option<u64> {
         let (b1, b2) = self.bucket_indexes(key);
         let (mut g1, g2) = self.lock_pair(b1, b2);
         if let Some(s) = Self::find_in(&g1, key) {
             g1.slots[s].used = false;
             self.live.fetch_sub(1, Ordering::Relaxed);
-            return true;
+            return Some(g1.slots[s].value);
         }
         if let Some(mut g2) = g2 {
             if let Some(s) = Self::find_in(&g2, key) {
                 g2.slots[s].used = false;
                 self.live.fetch_sub(1, Ordering::Relaxed);
-                return true;
+                return Some(g2.slots[s].value);
             }
         }
-        false
+        None
     }
 
     fn len(&self) -> usize {
@@ -243,7 +255,7 @@ impl ConcurrentMap for CuckooMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::conformance;
+    use crate::conformance;
 
     #[test]
     fn basic_semantics() {
@@ -259,7 +271,7 @@ mod tests {
     fn displacement_keeps_all_keys_reachable() {
         let m = CuckooMap::with_capacity(2_000);
         for k in 0..1_500u64 {
-            assert!(m.insert(k, k * 3), "insert {k}");
+            assert!(m.insert(k, k * 3).unwrap().inserted(), "insert {k}");
         }
         for k in 0..1_500u64 {
             assert_eq!(m.get(k), Some(k * 3), "key {k}");
@@ -271,13 +283,16 @@ mod tests {
     fn deletes_make_room_for_new_keys() {
         let m = CuckooMap::with_capacity(256);
         for k in 0..200u64 {
-            assert!(m.insert(k, k));
+            assert!(m.insert(k, k).unwrap().inserted());
         }
         for k in 0..200u64 {
-            assert!(m.remove(k));
+            assert_eq!(m.delete(k), Some(k));
         }
         for k in 1_000..1_200u64 {
-            assert!(m.insert(k, k), "slot reuse after delete must work");
+            assert!(
+                m.insert(k, k).unwrap().inserted(),
+                "slot reuse after delete must work"
+            );
         }
     }
 }

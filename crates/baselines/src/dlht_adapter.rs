@@ -1,46 +1,17 @@
-//! Adapters exposing DLHT itself through the common [`ConcurrentMap`]
-//! interface, in two flavours matching Table 3: `DLHT` (with batching /
-//! software prefetching) and `DLHT-NoBatch`.
+//! Adapters exposing DLHT itself through the common [`KvBackend`] interface,
+//! in two flavours matching Table 3: `DLHT` (with batching / software
+//! prefetching) and `DLHT-NoBatch`.
+//!
+//! `DlhtMap` implements [`KvBackend`] directly; these wrappers exist to pin
+//! the Table 3 display names and, for the NoBatch variant, to turn the batch
+//! entry point into a plain per-request loop so memory latencies are not
+//! overlapped.
 
-use crate::api::{BatchOp, BatchResult, ConcurrentMap, MapFeatures};
-use dlht_core::{DlhtConfig, DlhtMap, Request, Response};
+use dlht_core::{
+    DlhtConfig, DlhtError, DlhtMap, InsertOutcome, KvBackend, MapFeatures, Request, Response,
+    TableStats,
+};
 use std::sync::Arc;
-
-fn dlht_features() -> MapFeatures {
-    MapFeatures {
-        collision_handling: "closed-addressing",
-        lock_free_gets: true,
-        non_blocking_puts: true,
-        non_blocking_inserts: true,
-        deletes_free_slots: true,
-        resizable: true,
-        non_blocking_resize: true,
-        overlaps_memory_accesses: true,
-        inline_values: true,
-    }
-}
-
-fn convert_batch(map: &DlhtMap, ops: &[BatchOp], out: &mut Vec<BatchResult>) {
-    let reqs: Vec<Request> = ops
-        .iter()
-        .map(|op| match *op {
-            BatchOp::Get(k) => Request::Get(k),
-            BatchOp::Put(k, v) => Request::Put(k, v),
-            BatchOp::Insert(k, v) => Request::Insert(k, v),
-            BatchOp::Delete(k) => Request::Delete(k),
-        })
-        .collect();
-    out.clear();
-    for resp in map.execute_batch(&reqs, false) {
-        out.push(match resp {
-            Response::Value(v) => BatchResult::Value(v),
-            Response::Updated(v) => BatchResult::Applied(v.is_some()),
-            Response::Inserted(r) => BatchResult::Applied(matches!(r, Ok(o) if o.inserted())),
-            Response::Deleted(v) => BatchResult::Applied(v.is_some()),
-            Response::Skipped => BatchResult::Applied(false),
-        });
-    }
-}
 
 /// DLHT with its batching (software prefetching) API.
 pub struct DlhtAdapter {
@@ -68,21 +39,29 @@ impl DlhtAdapter {
     }
 }
 
-impl ConcurrentMap for DlhtAdapter {
+impl KvBackend for DlhtAdapter {
     fn get(&self, key: u64) -> Option<u64> {
         self.map.get(key)
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
-        matches!(self.map.insert(key, value), Ok(o) if o.inserted())
+    fn contains(&self, key: u64) -> bool {
+        self.map.contains(key)
     }
 
-    fn update(&self, key: u64, value: u64) -> bool {
-        self.map.put(key, value).is_some()
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        self.map.insert(key, value)
     }
 
-    fn remove(&self, key: u64) -> bool {
-        self.map.delete(key).is_some()
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
+        self.map.put(key, value)
+    }
+
+    fn delete(&self, key: u64) -> Option<u64> {
+        self.map.delete(key)
+    }
+
+    fn upsert(&self, key: u64, value: u64) -> Result<Option<u64>, DlhtError> {
+        self.map.upsert(key, value)
     }
 
     fn len(&self) -> usize {
@@ -94,15 +73,19 @@ impl ConcurrentMap for DlhtAdapter {
     }
 
     fn features(&self) -> MapFeatures {
-        dlht_features()
+        MapFeatures::dlht()
+    }
+
+    fn stats(&self) -> TableStats {
+        self.map.stats()
     }
 
     fn supports_batching(&self) -> bool {
         true
     }
 
-    fn execute_batch(&self, ops: &[BatchOp], out: &mut Vec<BatchResult>) {
-        convert_batch(&self.map, ops, out);
+    fn execute_batch(&self, requests: &[Request], stop_on_failure: bool) -> Vec<Response> {
+        self.map.execute_batch(requests, stop_on_failure)
     }
 }
 
@@ -129,21 +112,29 @@ impl DlhtNoBatchAdapter {
     }
 }
 
-impl ConcurrentMap for DlhtNoBatchAdapter {
+impl KvBackend for DlhtNoBatchAdapter {
     fn get(&self, key: u64) -> Option<u64> {
         self.map.get(key)
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
-        matches!(self.map.insert(key, value), Ok(o) if o.inserted())
+    fn contains(&self, key: u64) -> bool {
+        self.map.contains(key)
     }
 
-    fn update(&self, key: u64, value: u64) -> bool {
-        self.map.put(key, value).is_some()
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        self.map.insert(key, value)
     }
 
-    fn remove(&self, key: u64) -> bool {
-        self.map.delete(key).is_some()
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
+        self.map.put(key, value)
+    }
+
+    fn delete(&self, key: u64) -> Option<u64> {
+        self.map.delete(key)
+    }
+
+    fn upsert(&self, key: u64, value: u64) -> Result<Option<u64>, DlhtError> {
+        self.map.upsert(key, value)
     }
 
     fn len(&self) -> usize {
@@ -157,15 +148,22 @@ impl ConcurrentMap for DlhtNoBatchAdapter {
     fn features(&self) -> MapFeatures {
         MapFeatures {
             overlaps_memory_accesses: false,
-            ..dlht_features()
+            ..MapFeatures::dlht()
         }
     }
+
+    fn stats(&self) -> TableStats {
+        self.map.stats()
+    }
+
+    // supports_batching stays false and execute_batch stays the default
+    // per-request loop: no prefetch sweep, no enter/leave amortization.
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::conformance;
+    use crate::conformance;
 
     #[test]
     fn adapter_basic_semantics() {
@@ -179,20 +177,29 @@ mod tests {
     }
 
     #[test]
-    fn batch_conversion_roundtrips() {
+    fn batched_requests_resolve_in_order() {
         let m = DlhtAdapter::with_capacity(256);
-        let ops = vec![
-            BatchOp::Insert(1, 10),
-            BatchOp::Get(1),
-            BatchOp::Put(1, 11),
-            BatchOp::Get(1),
-            BatchOp::Delete(1),
-            BatchOp::Get(1),
+        let reqs = vec![
+            Request::Insert(1, 10),
+            Request::Get(1),
+            Request::Put(1, 11),
+            Request::Get(1),
+            Request::Delete(1),
+            Request::Get(1),
         ];
-        let mut out = Vec::new();
-        m.execute_batch(&ops, &mut out);
-        assert_eq!(out[1], BatchResult::Value(Some(10)));
-        assert_eq!(out[3], BatchResult::Value(Some(11)));
-        assert_eq!(out[5], BatchResult::Value(None));
+        let out = m.execute_batch(&reqs, false);
+        assert_eq!(out[1], Response::Value(Some(10)));
+        assert_eq!(out[2], Response::Updated(Some(10)));
+        assert_eq!(out[3], Response::Value(Some(11)));
+        assert_eq!(out[4], Response::Deleted(Some(11)));
+        assert_eq!(out[5], Response::Value(None));
+    }
+
+    #[test]
+    fn nobatch_adapter_still_answers_batches_without_prefetching() {
+        let m = DlhtNoBatchAdapter::with_capacity(64);
+        assert!(!m.supports_batching());
+        let out = m.execute_batch(&[Request::Insert(5, 50), Request::Get(5)], false);
+        assert_eq!(out[1], Response::Value(Some(50)));
     }
 }

@@ -3,8 +3,8 @@
 //! that cannot reclaim slots, upsert-only writes, and batches whose requests
 //! may be **reordered** (Table 1, §2.2, §5.3.3).
 
-use crate::api::{BatchOp, BatchResult, ConcurrentMap, MapFeatures};
 use crate::open_addr::{is_unsupported_key, CellArray, InsertCell};
+use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures, Request, Response};
 
 const MAX_PROBES: u64 = 256;
 
@@ -20,21 +20,9 @@ impl DramhitLikeMap {
             cells: CellArray::new(capacity * 5 / 3),
         }
     }
-
-    /// The only write DRAMHiT exposes: insert-or-update.
-    pub fn upsert_only(&self, key: u64, value: u64) -> bool {
-        if is_unsupported_key(key) {
-            return false;
-        }
-        match self.cells.insert(key, value, MAX_PROBES, false) {
-            InsertCell::Inserted => true,
-            InsertCell::Exists(_) => self.cells.update(key, value, MAX_PROBES, false),
-            InsertCell::Full => false,
-        }
-    }
 }
 
-impl ConcurrentMap for DramhitLikeMap {
+impl KvBackend for DramhitLikeMap {
     fn get(&self, key: u64) -> Option<u64> {
         if is_unsupported_key(key) {
             return None;
@@ -42,25 +30,37 @@ impl ConcurrentMap for DramhitLikeMap {
         self.cells.get(key, MAX_PROBES, false)
     }
 
-    /// DRAMHiT cannot express a pure Insert: this may silently update.
-    fn insert(&self, key: u64, value: u64) -> bool {
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
         if is_unsupported_key(key) {
-            return false;
+            return Err(DlhtError::ReservedKey);
         }
-        matches!(
-            self.cells.insert(key, value, MAX_PROBES, false),
-            InsertCell::Inserted
-        )
+        match self.cells.insert(key, value, MAX_PROBES, false) {
+            InsertCell::Inserted => Ok(InsertOutcome::Inserted),
+            InsertCell::Exists(v) => Ok(InsertOutcome::AlreadyExists(v)),
+            InsertCell::Full => Err(DlhtError::TableFull),
+        }
     }
 
-    /// DRAMHiT cannot express a pure Put either: this may silently insert.
-    fn update(&self, key: u64, value: u64) -> bool {
-        self.upsert_only(key, value)
-    }
-
-    fn remove(&self, key: u64) -> bool {
+    /// DRAMHiT cannot express a pure Put: this may silently insert (the
+    /// upsert-only write of the original design), in which case there is no
+    /// previous value to report.
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
         if is_unsupported_key(key) {
-            return false;
+            return None;
+        }
+        match self.cells.insert(key, value, MAX_PROBES, false) {
+            InsertCell::Inserted => None,
+            InsertCell::Exists(prev) => {
+                self.cells.update(key, value, MAX_PROBES, false);
+                Some(prev)
+            }
+            InsertCell::Full => None,
+        }
+    }
+
+    fn delete(&self, key: u64) -> Option<u64> {
+        if is_unsupported_key(key) {
+            return None;
         }
         self.cells.remove(key, MAX_PROBES, false)
     }
@@ -95,32 +95,34 @@ impl ConcurrentMap for DramhitLikeMap {
     /// requests are **reordered** (grouped by home cell) to maximize overlap.
     /// Results are written back in submission order, but their effects may
     /// interleave differently than submitted, which is what can deadlock a
-    /// lock manager built on top (§5.3.3).
-    fn execute_batch(&self, ops: &[BatchOp], out: &mut Vec<BatchResult>) {
-        out.clear();
-        out.resize(ops.len(), BatchResult::Value(None));
+    /// lock manager built on top (§5.3.3). For the same reason,
+    /// `stop_on_failure` cannot be honored: dependent batches are not
+    /// supported by a reordering engine, so every request executes.
+    fn execute_batch(&self, requests: &[Request], _stop_on_failure: bool) -> Vec<Response> {
+        let mut out = vec![Response::Value(None); requests.len()];
         // Prefetch sweep.
-        for op in ops {
-            dlht_core::prefetch::prefetch_read(self.cells.home_cell_ptr(op.key()));
+        for req in requests {
+            dlht_core::prefetch::prefetch_read(self.cells.home_cell_ptr(req.key()));
         }
         // Reorder by home-cell address (asynchronous engine emulation).
-        let mut order: Vec<usize> = (0..ops.len()).collect();
-        order.sort_by_key(|&i| self.cells.home_cell_ptr(ops[i].key()) as usize);
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| self.cells.home_cell_ptr(requests[i].key()) as usize);
         for i in order {
-            out[i] = match ops[i] {
-                BatchOp::Get(k) => BatchResult::Value(self.get(k)),
-                BatchOp::Put(k, v) => BatchResult::Applied(self.update(k, v)),
-                BatchOp::Insert(k, v) => BatchResult::Applied(self.insert(k, v)),
-                BatchOp::Delete(k) => BatchResult::Applied(self.remove(k)),
+            out[i] = match requests[i] {
+                Request::Get(k) => Response::Value(self.get(k)),
+                Request::Put(k, v) => Response::Updated(self.put(k, v)),
+                Request::Insert(k, v) => Response::Inserted(self.insert(k, v)),
+                Request::Delete(k) => Response::Deleted(self.delete(k)),
             };
         }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::conformance;
+    use crate::conformance;
 
     #[test]
     fn basic_semantics() {
@@ -133,24 +135,29 @@ mod tests {
     }
 
     #[test]
-    fn update_silently_inserts() {
+    fn put_silently_inserts() {
         let m = DramhitLikeMap::with_capacity(64);
-        assert!(m.update(5, 50), "upsert-only write must insert missing keys");
+        assert_eq!(
+            m.put(5, 50),
+            None,
+            "upsert-only write must insert missing keys without a previous value"
+        );
         assert_eq!(m.get(5), Some(50));
+        assert_eq!(m.put(5, 51), Some(50));
+        assert_eq!(m.get(5), Some(51));
     }
 
     #[test]
     fn batch_results_follow_submission_order_even_if_execution_reorders() {
         let m = DramhitLikeMap::with_capacity(256);
         for k in 0..50u64 {
-            m.insert(k, k);
+            m.insert(k, k).unwrap();
         }
-        let ops: Vec<BatchOp> = (0..50u64).rev().map(BatchOp::Get).collect();
-        let mut out = Vec::new();
-        m.execute_batch(&ops, &mut out);
+        let reqs: Vec<Request> = (0..50u64).rev().map(Request::Get).collect();
+        let out = m.execute_batch(&reqs, false);
         for (i, r) in out.iter().enumerate() {
             let expected_key = 49 - i as u64;
-            assert_eq!(*r, BatchResult::Value(Some(expected_key)));
+            assert_eq!(*r, Response::Value(Some(expected_key)));
         }
     }
 
@@ -160,12 +167,11 @@ mod tests {
         // out of order — demonstrate the behavioural difference from DLHT by
         // checking a dependent sequence is NOT guaranteed to succeed.
         let m = DramhitLikeMap::with_capacity(256);
-        let ops = vec![BatchOp::Insert(10, 1), BatchOp::Get(10)];
-        let mut out = Vec::new();
-        m.execute_batch(&ops, &mut out);
+        let reqs = vec![Request::Insert(10, 1), Request::Get(10)];
+        let out = m.execute_batch(&reqs, false);
         // Whatever the internal order, results land in submission slots.
         assert_eq!(out.len(), 2);
-        assert!(matches!(out[0], BatchResult::Applied(_)));
-        assert!(matches!(out[1], BatchResult::Value(_)));
+        assert!(matches!(out[0], Response::Inserted(_)));
+        assert!(matches!(out[1], Response::Value(_)));
     }
 }

@@ -2,8 +2,8 @@
 //! resizing**, and tombstone "deletes" that can never reclaim index slots
 //! (Table 1, §2.2).
 
-use crate::api::{ConcurrentMap, MapFeatures};
 use crate::open_addr::{is_unsupported_key, CellArray, InsertCell};
+use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures};
 
 const MAX_PROBES: u64 = 256;
 
@@ -26,7 +26,7 @@ impl FollyLikeMap {
     }
 }
 
-impl ConcurrentMap for FollyLikeMap {
+impl KvBackend for FollyLikeMap {
     fn get(&self, key: u64) -> Option<u64> {
         if is_unsupported_key(key) {
             return None;
@@ -34,26 +34,27 @@ impl ConcurrentMap for FollyLikeMap {
         self.cells.get(key, MAX_PROBES, false)
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
         if is_unsupported_key(key) {
-            return false;
+            return Err(DlhtError::ReservedKey);
         }
-        matches!(
-            self.cells.insert(key, value, MAX_PROBES, false),
-            InsertCell::Inserted
-        )
+        match self.cells.insert(key, value, MAX_PROBES, false) {
+            InsertCell::Inserted => Ok(InsertOutcome::Inserted),
+            InsertCell::Exists(v) => Ok(InsertOutcome::AlreadyExists(v)),
+            InsertCell::Full => Err(DlhtError::TableFull),
+        }
     }
 
-    fn update(&self, key: u64, value: u64) -> bool {
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
         if is_unsupported_key(key) {
-            return false;
+            return None;
         }
         self.cells.update(key, value, MAX_PROBES, false)
     }
 
-    fn remove(&self, key: u64) -> bool {
+    fn delete(&self, key: u64) -> Option<u64> {
         if is_unsupported_key(key) {
-            return false;
+            return None;
         }
         self.cells.remove(key, MAX_PROBES, false)
     }
@@ -84,7 +85,7 @@ impl ConcurrentMap for FollyLikeMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::conformance;
+    use crate::conformance;
 
     #[test]
     fn basic_semantics() {
@@ -101,23 +102,26 @@ mod tests {
         let m = FollyLikeMap::with_capacity(64);
         let before = m.fill_ratio();
         for k in 0..50u64 {
-            assert!(m.insert(k, k));
-            assert!(m.remove(k));
+            assert!(m.insert(k, k).unwrap().inserted());
+            assert_eq!(m.delete(k), Some(k));
         }
         assert_eq!(m.len(), 0);
         assert!(m.fill_ratio() > before, "tombstones must accumulate");
         // Eventually inserts start failing even though nothing is alive.
         let mut failed = false;
         for k in 1_000..10_000u64 {
-            if !m.insert(k, k) {
-                m.remove(k);
+            if m.insert(k, k).is_err() {
+                m.delete(k);
             }
-            if !m.insert(k + 100_000, k) {
+            if m.insert(k + 100_000, k).is_err() {
                 failed = true;
                 break;
             }
-            m.remove(k + 100_000);
+            m.delete(k + 100_000);
         }
-        assert!(failed, "a non-resizable tombstone table must eventually fill");
+        assert!(
+            failed,
+            "a non-resizable tombstone table must eventually fill"
+        );
     }
 }

@@ -12,9 +12,9 @@
 //! * during a migration **all** operations block until every element has been
 //!   copied (here: a writer lock held for the whole migration).
 
-use crate::api::{ConcurrentMap, MapFeatures};
 use crate::open_addr::{is_unsupported_key, CellArray, InsertCell};
-use parking_lot::RwLock;
+use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures};
+use dlht_util::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const MAX_PROBES: u64 = 128;
@@ -78,7 +78,7 @@ impl GrowtLikeMap {
     }
 }
 
-impl ConcurrentMap for GrowtLikeMap {
+impl KvBackend for GrowtLikeMap {
     fn get(&self, key: u64) -> Option<u64> {
         if is_unsupported_key(key) {
             return None;
@@ -86,17 +86,17 @@ impl ConcurrentMap for GrowtLikeMap {
         self.inner.read().get(key, MAX_PROBES, false)
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
         if is_unsupported_key(key) {
-            return false;
+            return Err(DlhtError::ReservedKey);
         }
         loop {
             {
                 let guard = self.inner.read();
                 if guard.fill_ratio() < FILL_THRESHOLD {
                     match guard.insert(key, value, MAX_PROBES, false) {
-                        InsertCell::Inserted => return true,
-                        InsertCell::Exists(_) => return false,
+                        InsertCell::Inserted => return Ok(InsertOutcome::Inserted),
+                        InsertCell::Exists(v) => return Ok(InsertOutcome::AlreadyExists(v)),
                         InsertCell::Full => {}
                     }
                 }
@@ -105,16 +105,16 @@ impl ConcurrentMap for GrowtLikeMap {
         }
     }
 
-    fn update(&self, key: u64, value: u64) -> bool {
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
         if is_unsupported_key(key) {
-            return false;
+            return None;
         }
         self.inner.read().update(key, value, MAX_PROBES, false)
     }
 
-    fn remove(&self, key: u64) -> bool {
+    fn delete(&self, key: u64) -> Option<u64> {
         if is_unsupported_key(key) {
-            return false;
+            return None;
         }
         self.inner.read().remove(key, MAX_PROBES, false)
     }
@@ -145,7 +145,7 @@ impl ConcurrentMap for GrowtLikeMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::conformance;
+    use crate::conformance;
 
     #[test]
     fn basic_semantics() {
@@ -164,8 +164,8 @@ mod tests {
         // migrations even though only one key is ever alive.
         let m = GrowtLikeMap::with_capacity(256);
         for k in 0..20_000u64 {
-            assert!(m.insert(k, k), "insert {k}");
-            assert!(m.remove(k), "remove {k}");
+            assert!(m.insert(k, k).unwrap().inserted(), "insert {k}");
+            assert_eq!(m.delete(k), Some(k), "delete {k}");
         }
         assert!(
             m.migrations() >= 5,
@@ -179,7 +179,7 @@ mod tests {
     fn growth_preserves_contents() {
         let m = GrowtLikeMap::with_capacity(64);
         for k in 0..10_000u64 {
-            assert!(m.insert(k, k * 7));
+            assert!(m.insert(k, k * 7).unwrap().inserted());
         }
         assert!(m.migrations() > 0);
         for k in 0..10_000u64 {

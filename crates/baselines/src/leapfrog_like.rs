@@ -3,8 +3,8 @@
 //! (Figure 1's `Leapfrog` bar; dropped from later graphs because, like Cuckoo
 //! and TBB, it stays below 250 M req/s in the paper's testbed).
 
-use crate::api::{ConcurrentMap, MapFeatures};
 use crate::open_addr::{is_unsupported_key, CellArray, InsertCell};
+use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures};
 
 const MAX_PROBES: u64 = 128;
 
@@ -22,7 +22,7 @@ impl LeapfrogLikeMap {
     }
 }
 
-impl ConcurrentMap for LeapfrogLikeMap {
+impl KvBackend for LeapfrogLikeMap {
     fn get(&self, key: u64) -> Option<u64> {
         if is_unsupported_key(key) {
             return None;
@@ -30,26 +30,27 @@ impl ConcurrentMap for LeapfrogLikeMap {
         self.cells.get(key, MAX_PROBES, true)
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
         if is_unsupported_key(key) {
-            return false;
+            return Err(DlhtError::ReservedKey);
         }
-        matches!(
-            self.cells.insert(key, value, MAX_PROBES, true),
-            InsertCell::Inserted
-        )
+        match self.cells.insert(key, value, MAX_PROBES, true) {
+            InsertCell::Inserted => Ok(InsertOutcome::Inserted),
+            InsertCell::Exists(v) => Ok(InsertOutcome::AlreadyExists(v)),
+            InsertCell::Full => Err(DlhtError::TableFull),
+        }
     }
 
-    fn update(&self, key: u64, value: u64) -> bool {
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
         if is_unsupported_key(key) {
-            return false;
+            return None;
         }
         self.cells.update(key, value, MAX_PROBES, true)
     }
 
-    fn remove(&self, key: u64) -> bool {
+    fn delete(&self, key: u64) -> Option<u64> {
         if is_unsupported_key(key) {
-            return false;
+            return None;
         }
         self.cells.remove(key, MAX_PROBES, true)
     }
@@ -80,7 +81,7 @@ impl ConcurrentMap for LeapfrogLikeMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::conformance;
+    use crate::conformance;
 
     #[test]
     fn basic_semantics() {

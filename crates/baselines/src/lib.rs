@@ -1,7 +1,8 @@
 //! From-scratch re-implementations of the concurrent hashtables the DLHT
-//! paper compares against (Table 3), plus adapters exposing DLHT itself
-//! through the same [`ConcurrentMap`] interface so the workload runner can
-//! drive all of them interchangeably.
+//! paper compares against (Table 3), all exposed through the **single**
+//! [`KvBackend`] operations trait from `dlht-core` — the same trait DLHT's
+//! own modes implement — so the workload runner and every benchmark drive
+//! them interchangeably with one `Request`/`Response` vocabulary.
 //!
 //! | Type | Stands in for | Key properties reproduced |
 //! |---|---|---|
@@ -20,7 +21,6 @@
 //! prefetching properties that Table 1 attributes to the original, which is
 //! what drives the performance comparison in §5.
 
-mod api;
 mod clht;
 mod cuckoo;
 mod dlht_adapter;
@@ -32,7 +32,6 @@ mod mica_like;
 mod open_addr;
 mod tbb_like;
 
-pub use api::{BatchOp, BatchResult, ConcurrentMap, MapFeatures};
 pub use clht::ClhtMap;
 pub use cuckoo::CuckooMap;
 pub use dlht_adapter::{DlhtAdapter, DlhtNoBatchAdapter};
@@ -43,6 +42,10 @@ pub use leapfrog_like::LeapfrogLikeMap;
 pub use mica_like::MicaLikeMap;
 pub use open_addr::CellArray;
 pub use tbb_like::ShardedStdMap;
+
+// The one operations API everything here implements (re-exported so
+// downstream crates need only this dependency to drive any table).
+pub use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures, Request, Response};
 
 /// Identifier for every hashtable in the evaluation (Table 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,8 +123,9 @@ impl MapKind {
         }
     }
 
-    /// Instantiate the hashtable sized for `capacity` keys.
-    pub fn build(self, capacity: usize) -> Box<dyn ConcurrentMap> {
+    /// Instantiate the hashtable sized for `capacity` keys, behind the
+    /// unified operations trait.
+    pub fn build(self, capacity: usize) -> Box<dyn KvBackend> {
         match self {
             MapKind::Dlht => Box::new(DlhtAdapter::with_capacity(capacity)),
             MapKind::DlhtNoBatch => Box::new(DlhtNoBatchAdapter::with_capacity(capacity)),
@@ -137,6 +141,65 @@ impl MapKind {
     }
 }
 
+/// Shared conformance checks run against every implementation.
+#[cfg(test)]
+pub(crate) mod conformance {
+    use super::*;
+
+    /// Basic single-threaded semantics every backend must satisfy.
+    pub fn basic_semantics<M: KvBackend>(map: &M) {
+        let name = map.name();
+        assert_eq!(map.get(1), None, "{name}");
+        assert!(map.insert(1, 10).unwrap().inserted(), "{name}");
+        assert!(
+            !map.insert(1, 11).unwrap().inserted(),
+            "{name}: duplicate insert must fail"
+        );
+        assert_eq!(map.get(1), Some(10), "{name}");
+        assert!(map.contains(1), "{name}");
+        // Backends that support pure updates must report the previous value
+        // and reflect the new one; the rest must leave the old value intact.
+        match map.put(1, 12) {
+            Some(prev) => {
+                assert_eq!(prev, 10, "{name}");
+                assert_eq!(map.get(1), Some(12), "{name}");
+            }
+            None => assert_eq!(map.get(1), Some(10), "{name}"),
+        }
+        // Removal (tombstone or reclaiming) must hide the key from Gets and
+        // report the removed value.
+        let current = map.get(1).unwrap();
+        if let Some(removed) = map.delete(1) {
+            assert_eq!(removed, current, "{name}");
+            assert_eq!(map.get(1), None, "{name}");
+            assert_eq!(map.delete(1), None, "{name}: double delete must fail");
+        }
+        // Misses stay misses.
+        assert_eq!(map.get(999), None, "{name}");
+    }
+
+    /// Concurrent smoke test: unique-winner inserts plus read stability.
+    pub fn concurrent_inserts<M: KvBackend>(map: &M, keys: u64) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let wins = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for k in 0..keys {
+                        if matches!(map.insert(k, k * 2), Ok(o) if o.inserted()) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), keys, "{}", map.name());
+        for k in 0..keys {
+            assert_eq!(map.get(k), Some(k * 2), "{} key {k}", map.name());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,7 +209,7 @@ mod tests {
         for kind in MapKind::all() {
             let map = kind.build(4_096);
             assert_eq!(map.name(), kind.name());
-            assert!(map.insert(1, 10), "{}", kind.name());
+            assert!(map.insert(1, 10).unwrap().inserted(), "{}", kind.name());
             assert_eq!(map.get(1), Some(10), "{}", kind.name());
             assert_eq!(map.len(), 1, "{}", kind.name());
         }
@@ -171,6 +234,41 @@ mod tests {
             let f = kind.build(64).features();
             let is_dlht = matches!(kind, MapKind::Dlht | MapKind::DlhtNoBatch);
             assert_eq!(f.non_blocking_resize, is_dlht, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn every_kind_executes_the_unified_batch_api() {
+        for kind in MapKind::all() {
+            let map = kind.build(4_096);
+            let reqs = [
+                Request::Insert(1, 10),
+                Request::Get(1),
+                Request::Delete(1),
+                Request::Get(1),
+            ];
+            let out = map.execute_batch(&reqs, false);
+            assert_eq!(out.len(), 4, "{}", kind.name());
+            assert_eq!(out[1], Response::Value(Some(10)), "{}", kind.name());
+            assert_eq!(out[3], Response::Value(None), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn default_upsert_works_for_every_kind() {
+        for kind in MapKind::all() {
+            let map = kind.build(4_096);
+            assert_eq!(map.upsert(7, 70).unwrap(), None, "{}", kind.name());
+            // Kinds with pure-Put support overwrite; the others (CLHT has no
+            // Put) terminate reporting the existing value unchanged.
+            match map.upsert(7, 71).unwrap() {
+                Some(prev) => {
+                    assert_eq!(prev, 70, "{}", kind.name());
+                    let now = map.get(7).unwrap();
+                    assert!(now == 71 || now == 70, "{}", kind.name());
+                }
+                None => assert_eq!(map.get(7), Some(70), "{}", kind.name()),
+            }
         }
     }
 }

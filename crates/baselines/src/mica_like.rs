@@ -3,9 +3,9 @@
 //! in the index — every request chases a pointer into a separate value store,
 //! and every Insert/Delete (de)allocates (Table 1, §2.2, §5.1.2).
 
-use crate::api::{BatchOp, BatchResult, ConcurrentMap, MapFeatures};
+use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures, Request, Response};
 use dlht_hash::{Hasher64, WyHash};
-use parking_lot::Mutex;
+use dlht_util::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One bucket: a small spin-locked vector of (key, boxed value) entries —
@@ -42,49 +42,50 @@ impl MicaLikeMap {
     }
 }
 
-impl ConcurrentMap for MicaLikeMap {
+impl KvBackend for MicaLikeMap {
     fn get(&self, key: u64) -> Option<u64> {
         let b = self.bucket_of(key);
         let entries = b.entries.lock();
-        entries
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|(_, v)| **v)
+        entries.iter().find(|(k, _)| *k == key).map(|(_, v)| **v)
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        if dlht_core::bucket::is_reserved_key(key) {
+            return Err(DlhtError::ReservedKey);
+        }
         let b = self.bucket_of(key);
         let mut entries = b.entries.lock();
-        if entries.iter().any(|(k, _)| *k == key) {
-            return false;
+        if let Some((_, v)) = entries.iter().find(|(k, _)| *k == key) {
+            return Ok(InsertOutcome::AlreadyExists(**v));
         }
         // The allocation per insert is intentional (non-inlined design).
         entries.push((key, Box::new(value)));
         self.live.fetch_add(1, Ordering::Relaxed);
-        true
+        Ok(InsertOutcome::Inserted)
     }
 
-    fn update(&self, key: u64, value: u64) -> bool {
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
         let b = self.bucket_of(key);
         let mut entries = b.entries.lock();
         if let Some((_, v)) = entries.iter_mut().find(|(k, _)| *k == key) {
+            let prev = **v;
             **v = value;
-            true
+            Some(prev)
         } else {
-            false
+            None
         }
     }
 
-    fn remove(&self, key: u64) -> bool {
+    fn delete(&self, key: u64) -> Option<u64> {
         let b = self.bucket_of(key);
         let mut entries = b.entries.lock();
         if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
             // Deallocation per delete, as in MICA's non-inlined store.
-            entries.swap_remove(pos);
+            let (_, v) = entries.swap_remove(pos);
             self.live.fetch_sub(1, Ordering::Relaxed);
-            true
+            Some(*v)
         } else {
-            false
+            None
         }
     }
 
@@ -115,27 +116,20 @@ impl ConcurrentMap for MicaLikeMap {
     }
 
     /// Batched execution with a prefetch sweep (MICA pioneered this
-    /// technique); requests execute in order.
-    fn execute_batch(&self, ops: &[BatchOp], out: &mut Vec<BatchResult>) {
-        out.clear();
-        for op in ops {
-            dlht_core::prefetch::prefetch_read(self.bucket_of(op.key()) as *const Bucket);
+    /// technique); requests then execute in order through the shared serial
+    /// loop, so the batch contract lives in one place.
+    fn execute_batch(&self, requests: &[Request], stop_on_failure: bool) -> Vec<Response> {
+        for req in requests {
+            dlht_core::prefetch::prefetch_read(self.bucket_of(req.key()) as *const Bucket);
         }
-        for op in ops {
-            out.push(match *op {
-                BatchOp::Get(k) => BatchResult::Value(self.get(k)),
-                BatchOp::Put(k, v) => BatchResult::Applied(self.update(k, v)),
-                BatchOp::Insert(k, v) => BatchResult::Applied(self.insert(k, v)),
-                BatchOp::Delete(k) => BatchResult::Applied(self.remove(k)),
-            });
-        }
+        dlht_core::kv::execute_serial(self, requests, stop_on_failure)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::conformance;
+    use crate::conformance;
 
     #[test]
     fn basic_semantics() {
@@ -151,7 +145,7 @@ mod tests {
     fn collisions_chain_in_the_bucket() {
         let m = MicaLikeMap::with_capacity(16);
         for k in 0..200u64 {
-            assert!(m.insert(k, k + 1));
+            assert!(m.insert(k, k + 1).unwrap().inserted());
         }
         assert_eq!(m.len(), 200);
         for k in 0..200u64 {
@@ -162,16 +156,17 @@ mod tests {
     #[test]
     fn batch_executes_in_order() {
         let m = MicaLikeMap::with_capacity(64);
-        let ops = vec![
-            BatchOp::Insert(1, 1),
-            BatchOp::Put(1, 2),
-            BatchOp::Get(1),
-            BatchOp::Delete(1),
-            BatchOp::Get(1),
+        let reqs = vec![
+            Request::Insert(1, 1),
+            Request::Put(1, 2),
+            Request::Get(1),
+            Request::Delete(1),
+            Request::Get(1),
         ];
-        let mut out = Vec::new();
-        m.execute_batch(&ops, &mut out);
-        assert_eq!(out[2], BatchResult::Value(Some(2)));
-        assert_eq!(out[4], BatchResult::Value(None));
+        let out = m.execute_batch(&reqs, false);
+        assert_eq!(out[1], Response::Updated(Some(1)));
+        assert_eq!(out[2], Response::Value(Some(2)));
+        assert_eq!(out[3], Response::Deleted(Some(2)));
+        assert_eq!(out[4], Response::Value(None));
     }
 }

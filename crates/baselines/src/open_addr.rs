@@ -97,7 +97,11 @@ impl CellArray {
     #[inline]
     fn slot_of(&self, key: u64, probe: u64, quadratic: bool) -> usize {
         let h = WyHash.hash_u64(key);
-        let offset = if quadratic { probe * (probe + 1) / 2 } else { probe };
+        let offset = if quadratic {
+            probe * (probe + 1) / 2
+        } else {
+            probe
+        };
         ((h.wrapping_add(offset)) & self.mask) as usize
     }
 
@@ -170,44 +174,49 @@ impl CellArray {
         InsertCell::Full
     }
 
-    /// Update an existing key with a plain store on the value word.
-    pub fn update(&self, key: u64, value: u64, max_probes: u64, quadratic: bool) -> bool {
+    /// Update an existing key with a plain store on the value word; returns
+    /// the previous value. (Like the designs it stands in for, the "previous
+    /// value" read is not atomic with the store under racing updaters.)
+    pub fn update(&self, key: u64, value: u64, max_probes: u64, quadratic: bool) -> Option<u64> {
         let enc = encode_key(key);
         for p in 0..max_probes {
             let idx = self.slot_of(key, p, quadratic);
             let cell = self.cell_key(idx);
             if cell == enc {
+                let prev = self.vals[idx].load(Ordering::Acquire);
                 self.vals[idx].store(value, Ordering::Release);
-                return true;
+                return Some(prev);
             }
             if cell == EMPTY {
-                return false;
+                return None;
             }
         }
-        false
+        None
     }
 
-    /// Tombstone `key`. The cell is *not* freed for reuse.
-    pub fn remove(&self, key: u64, max_probes: u64, quadratic: bool) -> bool {
+    /// Tombstone `key`, returning its value. The cell is *not* freed for
+    /// reuse.
+    pub fn remove(&self, key: u64, max_probes: u64, quadratic: bool) -> Option<u64> {
         let enc = encode_key(key);
         for p in 0..max_probes {
             let idx = self.slot_of(key, p, quadratic);
             let cell = self.cell_key(idx);
             if cell == enc {
+                let prev = self.vals[idx].load(Ordering::Acquire);
                 if self.keys[idx]
                     .compare_exchange(enc, TOMBSTONE, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
                     self.live.fetch_sub(1, Ordering::Relaxed);
-                    return true;
+                    return Some(prev);
                 }
-                return false;
+                return None;
             }
             if cell == EMPTY {
-                return false;
+                return None;
             }
         }
-        false
+        None
     }
 
     /// Visit every live pair.
@@ -240,11 +249,11 @@ mod tests {
         assert!(matches!(a.insert(5, 50, 64, false), InsertCell::Inserted));
         assert!(matches!(a.insert(5, 51, 64, false), InsertCell::Exists(50)));
         assert_eq!(a.get(5, 64, false), Some(50));
-        assert!(a.update(5, 52, 64, false));
+        assert_eq!(a.update(5, 52, 64, false), Some(50));
         assert_eq!(a.get(5, 64, false), Some(52));
-        assert!(a.remove(5, 64, false));
+        assert_eq!(a.remove(5, 64, false), Some(52));
         assert_eq!(a.get(5, 64, false), None);
-        assert!(!a.remove(5, 64, false));
+        assert_eq!(a.remove(5, 64, false), None);
         assert_eq!(a.live(), 0);
         assert_eq!(a.used(), 1, "tombstoned cell stays consumed");
     }

@@ -2,9 +2,9 @@
 //! general-purpose hash map (Figure 1's `TBB` bar). Fine-grained locking but
 //! no inlining guarantees, no prefetching, and allocation per insert.
 
-use crate::api::{ConcurrentMap, MapFeatures};
+use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures};
 use dlht_hash::{Hasher64, WyHash};
-use parking_lot::RwLock;
+use dlht_util::RwLock;
 use std::collections::HashMap;
 
 const DEFAULT_SHARDS: usize = 64;
@@ -37,33 +37,37 @@ impl ShardedStdMap {
     }
 }
 
-impl ConcurrentMap for ShardedStdMap {
+impl KvBackend for ShardedStdMap {
     fn get(&self, key: u64) -> Option<u64> {
         self.shard_of(key).read().get(&key).copied()
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        if dlht_core::bucket::is_reserved_key(key) {
+            return Err(DlhtError::ReservedKey);
+        }
         let mut shard = self.shard_of(key).write();
-        if shard.contains_key(&key) {
-            false
+        if let Some(&existing) = shard.get(&key) {
+            Ok(InsertOutcome::AlreadyExists(existing))
         } else {
             shard.insert(key, value);
-            true
+            Ok(InsertOutcome::Inserted)
         }
     }
 
-    fn update(&self, key: u64, value: u64) -> bool {
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
         let mut shard = self.shard_of(key).write();
         if let Some(v) = shard.get_mut(&key) {
+            let prev = *v;
             *v = value;
-            true
+            Some(prev)
         } else {
-            false
+            None
         }
     }
 
-    fn remove(&self, key: u64) -> bool {
-        self.shard_of(key).write().remove(&key).is_some()
+    fn delete(&self, key: u64) -> Option<u64> {
+        self.shard_of(key).write().remove(&key)
     }
 
     fn len(&self) -> usize {
@@ -92,7 +96,7 @@ impl ConcurrentMap for ShardedStdMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::conformance;
+    use crate::conformance;
 
     #[test]
     fn basic_semantics() {
@@ -109,7 +113,7 @@ mod tests {
         let m = ShardedStdMap::with_capacity_and_shards(1_000, 7);
         assert_eq!(m.shards.len(), 8, "rounded to a power of two");
         for k in 0..1_000u64 {
-            assert!(m.insert(k, k));
+            assert!(m.insert(k, k).unwrap().inserted());
         }
         assert_eq!(m.len(), 1_000);
     }

@@ -1,31 +1,24 @@
-//! Criterion benchmark: single-threaded Get cost across DLHT and every
-//! baseline (laptop-scale proxy for Fig. 1 / Fig. 3 orderings).
+//! Micro-benchmark: single-threaded Get cost across DLHT and every baseline
+//! (laptop-scale proxy for Fig. 1 / Fig. 3 orderings), all driven through the
+//! unified `KvBackend` trait.
+//!
+//! Run with: `cargo bench -p dlht-bench --bench baseline_gets`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dlht_baselines::MapKind;
+use dlht_bench::microbench;
 use std::hint::black_box;
 
-fn bench_baseline_gets(c: &mut Criterion) {
+fn main() {
     let keys: u64 = 100_000;
-    let mut group = c.benchmark_group("baseline_gets");
-    group.sample_size(20);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
     for kind in MapKind::all() {
         let map = kind.build(keys as usize * 2);
         for k in 0..keys {
-            map.insert(k, k);
+            let _ = map.insert(k, k);
         }
         let mut i = 0u64;
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                i = (i + 7919) % keys;
-                black_box(map.get(black_box(i)))
-            })
+        microbench(kind.name(), 1_000_000, || {
+            i = (i + 7919) % keys;
+            black_box(map.get(black_box(i)));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_baseline_gets);
-criterion_main!(benches);

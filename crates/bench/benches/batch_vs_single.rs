@@ -1,47 +1,43 @@
-//! Criterion benchmark: batched (prefetching) vs one-at-a-time Gets — a
-//! laptop-scale proxy for Fig. 12.
+//! Micro-benchmark: batched (prefetching) vs one-at-a-time Gets — a
+//! laptop-scale proxy for Fig. 12, driven through the unified batch API.
+//!
+//! Run with: `cargo bench -p dlht-bench --bench batch_vs_single`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlht_bench::microbench;
 use dlht_core::{DlhtMap, Request};
 use dlht_workloads::Xoshiro256;
 use std::hint::black_box;
 
-fn bench_batch_vs_single(c: &mut Criterion) {
+fn main() {
     let keys: u64 = 200_000;
     let map = DlhtMap::with_capacity(keys as usize * 2);
     for k in 0..keys {
         map.insert(k, k).unwrap();
     }
 
-    let mut group = c.benchmark_group("batch_vs_single");
-    group.sample_size(20);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
-
     for &batch in &[1usize, 8, 24, 64] {
-        group.throughput(Throughput::Elements(batch as u64));
-        group.bench_with_input(BenchmarkId::new("batched_get", batch), &batch, |b, &batch| {
-            let mut rng = Xoshiro256::new(1);
-            let mut reqs = Vec::with_capacity(batch);
-            b.iter(|| {
+        let mut rng = Xoshiro256::new(1);
+        let mut reqs = Vec::with_capacity(batch);
+        microbench(
+            &format!("batched_get/{batch} (per batch)"),
+            2_000_000 / batch as u64,
+            || {
                 reqs.clear();
                 for _ in 0..batch {
                     reqs.push(Request::Get(rng.next_below(keys)));
                 }
-                black_box(map.execute_batch(&reqs, false))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("single_get", batch), &batch, |b, &batch| {
-            let mut rng = Xoshiro256::new(1);
-            b.iter(|| {
+                black_box(map.execute_batch(&reqs, false));
+            },
+        );
+        let mut rng = Xoshiro256::new(1);
+        microbench(
+            &format!("single_get/{batch} (per batch)"),
+            2_000_000 / batch as u64,
+            || {
                 for _ in 0..batch {
                     black_box(map.get(rng.next_below(keys)));
                 }
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_batch_vs_single);
-criterion_main!(benches);

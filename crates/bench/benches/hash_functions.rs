@@ -1,30 +1,22 @@
-//! Criterion benchmark: the hash functions the DLHT authors evaluated
-//! (§3.4.3) on 8-byte and 64-byte keys.
+//! Micro-benchmark: the hash functions the DLHT authors evaluated (§3.4.3)
+//! on 8-byte and 64-byte keys.
+//!
+//! Run with: `cargo bench -p dlht-bench --bench hash_functions`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dlht_bench::microbench;
 use dlht_hash::HashKind;
 use std::hint::black_box;
 
-fn bench_hash_functions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hash_functions");
-    group.sample_size(30);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
     let long_key = vec![0xA5u8; 64];
     for kind in HashKind::all() {
-        group.bench_function(format!("{}_u64", kind.name()), |b| {
-            let mut k = 0u64;
-            b.iter(|| {
-                k = k.wrapping_add(0x9E37_79B9);
-                black_box(kind.hash_u64(black_box(k)))
-            })
+        let mut k = 0u64;
+        microbench(&format!("{}_u64", kind.name()), 4_000_000, || {
+            k = k.wrapping_add(0x9E37_79B9);
+            black_box(kind.hash_u64(black_box(k)));
         });
-        group.bench_function(format!("{}_64B", kind.name()), |b| {
-            b.iter(|| black_box(kind.hash_bytes(black_box(&long_key))))
+        microbench(&format!("{}_64B", kind.name()), 4_000_000, || {
+            black_box(kind.hash_bytes(black_box(&long_key)));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_hash_functions);
-criterion_main!(benches);

@@ -1,55 +1,41 @@
-//! Criterion micro-benchmarks: single-operation cost of Get / Insert /
-//! Delete / Put on DLHT (laptop-scale regression tracking for Fig. 3/5/6).
+//! Micro-benchmark: single-operation cost of Get / Insert / Delete / Put on
+//! DLHT (laptop-scale regression tracking for Fig. 3/5/6).
+//!
+//! Run with: `cargo bench -p dlht-bench --bench micro_ops`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dlht_bench::microbench;
 use dlht_core::DlhtMap;
 use std::hint::black_box;
 
-fn bench_micro_ops(c: &mut Criterion) {
+fn main() {
     let keys: u64 = 100_000;
     let map = DlhtMap::with_capacity(keys as usize * 2);
     for k in 0..keys {
         map.insert(k, k).unwrap();
     }
 
-    let mut group = c.benchmark_group("micro_ops");
-    group.sample_size(20);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+    let mut i = 0u64;
+    microbench("get_hit", 2_000_000, || {
+        i = (i + 7919) % keys;
+        black_box(map.get(black_box(i)));
+    });
 
     let mut i = 0u64;
-    group.bench_function("get_hit", |b| {
-        b.iter(|| {
-            i = (i + 7919) % keys;
-            black_box(map.get(black_box(i)))
-        })
+    microbench("get_miss", 2_000_000, || {
+        i = (i + 7919) % keys;
+        black_box(map.get(black_box(i + 10_000_000)));
     });
 
-    group.bench_function("get_miss", |b| {
-        b.iter(|| {
-            i = (i + 7919) % keys;
-            black_box(map.get(black_box(i + 10_000_000)))
-        })
-    });
-
-    group.bench_function("put", |b| {
-        b.iter(|| {
-            i = (i + 7919) % keys;
-            black_box(map.put(black_box(i), black_box(i * 2)))
-        })
+    let mut i = 0u64;
+    microbench("put", 2_000_000, || {
+        i = (i + 7919) % keys;
+        black_box(map.put(black_box(i), black_box(i * 2)));
     });
 
     let mut fresh = keys + 1;
-    group.bench_function("insert_then_delete", |b| {
-        b.iter(|| {
-            fresh += 1;
-            map.insert(black_box(fresh), fresh).unwrap();
-            black_box(map.delete(black_box(fresh)))
-        })
+    microbench("insert_then_delete", 1_000_000, || {
+        fresh += 1;
+        map.insert(black_box(fresh), fresh).unwrap();
+        black_box(map.delete(black_box(fresh)));
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_micro_ops);
-criterion_main!(benches);

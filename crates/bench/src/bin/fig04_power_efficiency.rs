@@ -50,5 +50,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!("Expected shape: DLHT most efficient, then DRAMHiT-like, then the resizable baselines.");
+    println!(
+        "Expected shape: DLHT most efficient, then DRAMHiT-like, then the resizable baselines."
+    );
 }

@@ -26,5 +26,7 @@ fn main() {
         ..WorkloadSpec::get_default(keys, threads, duration)
     });
     throughput_table("Fig. 6 — Put-heavy throughput (M req/s)", &points, &scale).print();
-    println!("Expected shape: DLHT first (paper: 1042 M req/s), DRAMHiT-like close, MICA-like last.");
+    println!(
+        "Expected shape: DLHT first (paper: 1042 M req/s), DRAMHiT-like close, MICA-like last."
+    );
 }

@@ -24,7 +24,12 @@ fn main() {
             // Start deliberately tiny so every design must resize repeatedly.
             let map = kind.build(1_024);
             let r = populate_growing(map.as_ref(), keys, threads);
-            assert_eq!(map.len(), keys as usize, "{}: population lost keys", kind.name());
+            assert_eq!(
+                map.len(),
+                keys as usize,
+                "{}: population lost keys",
+                kind.name()
+            );
             table.row(&[
                 kind.name().to_string(),
                 threads.to_string(),

@@ -4,9 +4,7 @@
 
 use dlht_baselines::MapKind;
 use dlht_bench::print_header;
-use dlht_workloads::{
-    fmt_mops, prepopulate, run_workload, BenchScale, Table, WorkloadSpec,
-};
+use dlht_workloads::{fmt_mops, prepopulate, run_workload, BenchScale, Table, WorkloadSpec};
 
 fn main() {
     let scale = BenchScale::from_env();

@@ -4,9 +4,7 @@
 use dlht_baselines::DlhtAdapter;
 use dlht_bench::print_header;
 use dlht_core::DlhtConfig;
-use dlht_workloads::{
-    fmt_mops, prepopulate, run_workload, BenchScale, Table, WorkloadSpec,
-};
+use dlht_workloads::{fmt_mops, prepopulate, run_workload, BenchScale, Table, WorkloadSpec};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -20,9 +18,8 @@ fn main() {
     let keys = scale.keys;
 
     // Get / Get-Resizing / InsDel maps: resizing disabled vs enabled.
-    let no_resize = DlhtAdapter::with_config(
-        DlhtConfig::for_capacity(keys as usize * 2).with_resizing(false),
-    );
+    let no_resize =
+        DlhtAdapter::with_config(DlhtConfig::for_capacity(keys as usize * 2).with_resizing(false));
     let with_resize =
         DlhtAdapter::with_config(DlhtConfig::for_capacity(keys as usize * 2).with_resizing(true));
     prepopulate(&no_resize, keys);

@@ -3,9 +3,7 @@
 
 use dlht_baselines::MapKind;
 use dlht_bench::{build_prepopulated, print_header};
-use dlht_workloads::{
-    fmt_mops, run_workload, BenchScale, KeySampler, Table, WorkloadSpec,
-};
+use dlht_workloads::{fmt_mops, run_workload, BenchScale, KeySampler, Table, WorkloadSpec};
 
 fn main() {
     let scale = BenchScale::from_env();

@@ -4,8 +4,8 @@
 
 use dlht_baselines::DlhtAdapter;
 use dlht_bench::print_header;
+use dlht_core::DlhtAllocMap;
 use dlht_core::DlhtConfig;
-use dlht_core::{DlhtAllocMap};
 use dlht_hash::HashKind;
 use dlht_workloads::{
     fmt_mops, prepopulate, run_workload, BenchScale, Table, WorkloadSpec, Xoshiro256,
@@ -30,7 +30,11 @@ fn measure_inlined(config: DlhtConfig, scale: &BenchScale) -> (f64, f64) {
 
 /// Measure Get and InsDel throughput of an Allocator-mode configuration with
 /// 32-byte values (the figure's default value size).
-fn measure_alloc(config: DlhtConfig, allocator: dlht_core::alloc::AllocatorKind, scale: &BenchScale) -> (f64, f64) {
+fn measure_alloc(
+    config: DlhtConfig,
+    allocator: dlht_core::alloc::AllocatorKind,
+    scale: &BenchScale,
+) -> (f64, f64) {
     let keys = scale.keys.min(100_000);
     let map = DlhtAllocMap::new(config, allocator.build(), 8, 32);
     let mut session = map.session();
@@ -75,7 +79,11 @@ fn main() {
     // Inlined-mode bars: default, +resizing, +wyhash (stacked).
     let default_cfg = DlhtConfig::new(base_bins).with_resizing(false);
     let (g, i) = measure_inlined(default_cfg.clone(), &scale);
-    table.row(&["default (no features)".to_string(), fmt_mops(g), fmt_mops(i)]);
+    table.row(&[
+        "default (no features)".to_string(),
+        fmt_mops(g),
+        fmt_mops(i),
+    ]);
 
     let resizing = default_cfg.clone().with_resizing(true);
     let (g, i) = measure_inlined(resizing.clone(), &scale);
@@ -87,19 +95,35 @@ fn main() {
 
     // Allocator-mode bars (32-byte values): variable sizes, namespaces, malloc.
     let alloc_base = DlhtConfig::new(base_bins).with_hash(HashKind::WyHash);
-    let (g, i) = measure_alloc(alloc_base.clone(), dlht_core::alloc::AllocatorKind::Pool, &scale);
-    table.row(&["allocator mode (fixed sizes, pool)".to_string(), fmt_mops(g), fmt_mops(i)]);
+    let (g, i) = measure_alloc(
+        alloc_base.clone(),
+        dlht_core::alloc::AllocatorKind::Pool,
+        &scale,
+    );
+    table.row(&[
+        "allocator mode (fixed sizes, pool)".to_string(),
+        fmt_mops(g),
+        fmt_mops(i),
+    ]);
 
     let var = alloc_base.clone().with_variable_size(true);
     let (g, i) = measure_alloc(var.clone(), dlht_core::alloc::AllocatorKind::Pool, &scale);
-    table.row(&["+ variable key/value sizes".to_string(), fmt_mops(g), fmt_mops(i)]);
+    table.row(&[
+        "+ variable key/value sizes".to_string(),
+        fmt_mops(g),
+        fmt_mops(i),
+    ]);
 
     let ns = var.clone().with_namespaces(true);
     let (g, i) = measure_alloc(ns.clone(), dlht_core::alloc::AllocatorKind::Pool, &scale);
     table.row(&["+ namespaces".to_string(), fmt_mops(g), fmt_mops(i)]);
 
     let (g, i) = measure_alloc(ns, dlht_core::alloc::AllocatorKind::System, &scale);
-    table.row(&["+ no mimalloc (system malloc)".to_string(), fmt_mops(g), fmt_mops(i)]);
+    table.row(&[
+        "+ no mimalloc (system malloc)".to_string(),
+        fmt_mops(g),
+        fmt_mops(i),
+    ]);
 
     table.print();
     println!("Expected shape: each feature shaves a little throughput; the allocator swap mainly hurts InsDel.");

@@ -48,11 +48,9 @@ fn run_concurrent_map(map: &DlhtMap, keys: u64, ops: u64, workload: &str, batche
                     done += BATCH as u64;
                 }
             } else {
-                let mut next = keys + 1;
-                for _ in 0..ops / 2 {
+                for next in keys + 1..keys + 1 + ops / 2 {
                     map.insert(next, next).unwrap();
                     map.delete(next);
-                    next += 1;
                 }
             }
         }
@@ -91,11 +89,9 @@ fn run_single_thread_map(
                     done += BATCH as u64;
                 }
             } else {
-                let mut next = keys + 1;
-                for _ in 0..ops / 2 {
+                for next in keys + 1..keys + 1 + ops / 2 {
                     map.insert(next, next).unwrap();
                     map.delete(next);
-                    next += 1;
                 }
             }
         }
@@ -114,7 +110,12 @@ fn main() {
     let ops = (keys * 4).max(100_000);
     let mut table = Table::new(
         "Fig. 16 — single-thread throughput (M req/s)",
-        &["workload", "thread-safe DLHT", "single-thread optimized", "speedup"],
+        &[
+            "workload",
+            "thread-safe DLHT",
+            "single-thread optimized",
+            "speedup",
+        ],
     );
     for (workload, resizing, batched) in [
         ("InsDel", false, true),

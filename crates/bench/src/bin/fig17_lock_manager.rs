@@ -15,7 +15,12 @@ fn main() {
     let records = scale.keys;
     let mut table = Table::new(
         "Fig. 17 — lock/unlock throughput (M ops/s)",
-        &["threads", "DLHT (batched)", "DLHT-NoBatch", "conflicts (batched)"],
+        &[
+            "threads",
+            "DLHT (batched)",
+            "DLHT-NoBatch",
+            "conflicts (batched)",
+        ],
     );
     for &threads in &scale.threads {
         let batched = run_lock_manager(records, 8, threads, scale.duration(), true);

@@ -21,7 +21,14 @@ fn main() {
     for &threads in &scale.threads {
         let mut row = vec![threads.to_string()];
         for mix in YcsbMix::all() {
-            let r = run_ycsb(map.as_ref(), mix, scale.keys, threads, scale.duration(), true);
+            let r = run_ycsb(
+                map.as_ref(),
+                mix,
+                scale.keys,
+                threads,
+                scale.duration(),
+                true,
+            );
             row.push(fmt_mops(r.mops));
         }
         table.row(&row);

@@ -29,5 +29,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!("Expected shape: both scale with threads; TATP (80% reads) ahead of Smallbank (15% reads).");
+    println!(
+        "Expected shape: both scale with threads; TATP (80% reads) ahead of Smallbank (15% reads)."
+    );
 }

@@ -18,7 +18,12 @@ fn main() {
     let map = build_prepopulated(MapKind::Dlht, &scale);
     let mut table = Table::new(
         "CXL emulation — Get throughput (M req/s)",
-        &["extra latency (ns)", "DLHT (batched)", "DLHT-NoBatch", "batched / unbatched"],
+        &[
+            "extra latency (ns)",
+            "DLHT (batched)",
+            "DLHT-NoBatch",
+            "batched / unbatched",
+        ],
     );
     for &latency_ns in &[0u64, 150, 300, 600] {
         let mut batched_spec = WorkloadSpec::get_default(scale.keys, threads, scale.duration());

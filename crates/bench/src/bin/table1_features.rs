@@ -1,7 +1,7 @@
 //! Table 1: the feature matrix (collision handling, non-blocking operations,
 //! memory-access awareness) plus the occupancy-until-resize study of §5.1.5.
 
-use dlht_baselines::{ConcurrentMap, DlhtAdapter, MapKind};
+use dlht_baselines::{DlhtAdapter, KvBackend, MapKind};
 use dlht_bench::print_header;
 use dlht_core::DlhtConfig;
 use dlht_hash::HashKind;
@@ -18,7 +18,7 @@ fn dlht_occupancy_until_resize(bins: usize) -> f64 {
     );
     let mut k = 0u64;
     loop {
-        map.insert(k, k);
+        let _ = map.insert(k, k);
         k += 1;
         if map.inner().resizes() > 0 {
             break;
@@ -35,7 +35,7 @@ fn clht_occupancy_until_resize(capacity: usize) -> f64 {
     let map = dlht_baselines::ClhtMap::with_capacity(capacity);
     let mut k = 0u64;
     loop {
-        map.insert(k, k);
+        let _ = map.insert(k, k);
         k += 1;
         if map.resizes() > 0 {
             break;

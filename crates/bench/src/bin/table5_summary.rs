@@ -37,7 +37,13 @@ fn main() {
 
     let mut table = Table::new(
         "Table 5 — DLHT advantage over each baseline (ratio > 1 means DLHT is faster)",
-        &["baseline", "Get ratio", "InsDel ratio", "Population ratio", "paper says"],
+        &[
+            "baseline",
+            "Get ratio",
+            "InsDel ratio",
+            "Population ratio",
+            "paper says",
+        ],
     );
     let paper = [
         (MapKind::Clht, "3.5x Gets, ~3x InsDel, 8x population"),
@@ -50,7 +56,10 @@ fn main() {
     for (kind, note) in paper {
         let (get, insdel) = measure(kind, &scale, threads);
         let pop = if kind.build(64).features().resizable {
-            format!("{:.1}x", dlht_pop / population(kind, &scale, threads).max(1e-9))
+            format!(
+                "{:.1}x",
+                dlht_pop / population(kind, &scale, threads).max(1e-9)
+            )
         } else {
             "n/a".to_string()
         };

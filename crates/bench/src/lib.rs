@@ -8,7 +8,7 @@
 //! laptop/CI box (defaults) or can be scaled toward the paper's 100 M-key,
 //! 71-thread configuration on a large server.
 
-use dlht_baselines::{ConcurrentMap, MapKind};
+use dlht_baselines::{KvBackend, MapKind};
 use dlht_workloads::{prepopulate, run_workload, BenchScale, RunResult, Table, WorkloadSpec};
 
 /// A figure/table sweep point: one map kind at one thread count.
@@ -93,10 +93,36 @@ pub fn print_header(figure: &str, paper_setup: &str, scale: &BenchScale) {
 }
 
 /// Build and prepopulate one map kind at the sweep scale.
-pub fn build_prepopulated(kind: MapKind, scale: &BenchScale) -> Box<dyn ConcurrentMap> {
+pub fn build_prepopulated(kind: MapKind, scale: &BenchScale) -> Box<dyn KvBackend> {
     let map = kind.build(scale.keys as usize * 2);
     prepopulate(map.as_ref(), scale.keys);
     map
+}
+
+/// Minimal self-contained micro-benchmark harness used by the `benches/`
+/// targets (`harness = false`; the environment builds without external
+/// benchmarking frameworks): runs `op` in a warm-up pass and three timed
+/// passes, printing the best ns/op and derived M ops/s.
+pub fn microbench<F: FnMut()>(name: &str, iters: u64, mut op: F) {
+    let warmup = (iters / 10).max(1);
+    for _ in 0..warmup {
+        op();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    println!(
+        "{name:<40} {best:>10.1} ns/op   {:>8.2} M ops/s",
+        1e3 / best
+    );
 }
 
 #[cfg(test)]

@@ -187,7 +187,8 @@ impl DlhtAllocMap {
         unsafe {
             if self.config().variable_size {
                 let header = &*(ptr as *const VarHeader);
-                let key = std::slice::from_raw_parts(ptr.add(VAR_HEADER_LEN), header.key_len as usize);
+                let key =
+                    std::slice::from_raw_parts(ptr.add(VAR_HEADER_LEN), header.key_len as usize);
                 let value = std::slice::from_raw_parts(
                     ptr.add(VAR_HEADER_LEN + header.key_len as usize),
                     header.val_len as usize,
@@ -195,7 +196,8 @@ impl DlhtAllocMap {
                 (key, value)
             } else {
                 let key = std::slice::from_raw_parts(ptr, self.fixed_key_len);
-                let value = std::slice::from_raw_parts(ptr.add(self.fixed_key_len), self.fixed_val_len);
+                let value =
+                    std::slice::from_raw_parts(ptr.add(self.fixed_key_len), self.fixed_val_len);
                 (key, value)
             }
         }
@@ -387,7 +389,9 @@ mod tests {
 
     fn var_map() -> DlhtAllocMap {
         DlhtAllocMap::new(
-            DlhtConfig::new(256).with_variable_size(true).with_namespaces(true),
+            DlhtConfig::new(256)
+                .with_variable_size(true)
+                .with_namespaces(true),
             AllocatorKind::System.build(),
             0,
             0,
@@ -440,10 +444,7 @@ mod tests {
     fn invalid_namespace_is_rejected() {
         let map = var_map();
         let mut s = map.session();
-        assert_eq!(
-            s.insert(4096, b"k", b"v"),
-            Err(DlhtError::InvalidNamespace)
-        );
+        assert_eq!(s.insert(4096, b"k", b"v"), Err(DlhtError::InvalidNamespace));
     }
 
     #[test]

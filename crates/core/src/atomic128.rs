@@ -64,11 +64,7 @@ impl AtomicPair {
     /// with `new`. Returns `Ok(())` on success and `Err(observed_pair)` on
     /// failure.
     #[inline]
-    pub fn compare_exchange(
-        &self,
-        current: (u64, u64),
-        new: (u64, u64),
-    ) -> Result<(), (u64, u64)> {
+    pub fn compare_exchange(&self, current: (u64, u64), new: (u64, u64)) -> Result<(), (u64, u64)> {
         #[cfg(target_arch = "x86_64")]
         {
             if cmpxchg16b_supported() {
@@ -87,7 +83,10 @@ impl AtomicPair {
         new: (u64, u64),
     ) -> Result<(), (u64, u64)> {
         let _guard = fallback_lock(self as *const _ as usize);
-        let observed = (self.lo.load(Ordering::Relaxed), self.hi.load(Ordering::Relaxed));
+        let observed = (
+            self.lo.load(Ordering::Relaxed),
+            self.hi.load(Ordering::Relaxed),
+        );
         if observed == current {
             self.lo.store(new.0, Ordering::Relaxed);
             self.hi.store(new.1, Ordering::Relaxed);

@@ -164,7 +164,7 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_insert_counts_as_failure_for_lock_managers(){
+    fn duplicate_insert_counts_as_failure_for_lock_managers() {
         let t = table();
         let reqs = vec![
             Request::Insert(1, 0),

@@ -23,7 +23,7 @@ pub const TRANSFER_KEY_ODD: u64 = u64::MAX - 1;
 /// a racing Put can never mistake it for its own key).
 #[inline]
 pub fn transfer_key_for_bin(bin: usize) -> u64 {
-    if bin % 2 == 0 {
+    if bin.is_multiple_of(2) {
         TRANSFER_KEY_EVEN
     } else {
         TRANSFER_KEY_ODD
@@ -212,10 +212,22 @@ mod tests {
         assert_eq!(slot_location(2), SlotLocation::Primary(2));
         assert_eq!(slot_location(3), SlotLocation::FirstLink(0));
         assert_eq!(slot_location(6), SlotLocation::FirstLink(3));
-        assert_eq!(slot_location(7), SlotLocation::PairLink { bucket: 0, idx: 0 });
-        assert_eq!(slot_location(10), SlotLocation::PairLink { bucket: 0, idx: 3 });
-        assert_eq!(slot_location(11), SlotLocation::PairLink { bucket: 1, idx: 0 });
-        assert_eq!(slot_location(14), SlotLocation::PairLink { bucket: 1, idx: 3 });
+        assert_eq!(
+            slot_location(7),
+            SlotLocation::PairLink { bucket: 0, idx: 0 }
+        );
+        assert_eq!(
+            slot_location(10),
+            SlotLocation::PairLink { bucket: 0, idx: 3 }
+        );
+        assert_eq!(
+            slot_location(11),
+            SlotLocation::PairLink { bucket: 1, idx: 0 }
+        );
+        assert_eq!(
+            slot_location(14),
+            SlotLocation::PairLink { bucket: 1, idx: 3 }
+        );
     }
 
     #[test]

@@ -169,7 +169,10 @@ mod tests {
         let keys = 100_000;
         let c = DlhtConfig::for_capacity(keys);
         let slots = c.num_bins * 3 + c.link_buckets_for(c.num_bins) * 4;
-        assert!(slots > keys, "must have more slots ({slots}) than keys ({keys})");
+        assert!(
+            slots > keys,
+            "must have more slots ({slots}) than keys ({keys})"
+        );
         // ...but not absurdly oversized either.
         assert!(slots < keys * 4);
     }

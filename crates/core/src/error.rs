@@ -25,7 +25,10 @@ impl fmt::Display for DlhtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DlhtError::ReservedKey => {
-                write!(f, "keys u64::MAX and u64::MAX-1 are reserved as transfer keys")
+                write!(
+                    f,
+                    "keys u64::MAX and u64::MAX-1 are reserved as transfer keys"
+                )
             }
             DlhtError::TableFull => write!(f, "bin full and resizing is disabled"),
             DlhtError::KeyTooLong => write!(f, "key exceeds the configured maximum length"),

@@ -246,40 +246,50 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Deterministic pseudo-random property checks (offline replacement for
+    //! the former proptest strategies).
 
-    fn arb_state() -> impl Strategy<Value = SlotState> {
-        prop_oneof![
-            Just(SlotState::Invalid),
-            Just(SlotState::TryInsert),
-            Just(SlotState::Valid),
-            Just(SlotState::Shadow),
-        ]
+    use super::*;
+    use dlht_util::splitmix64 as splitmix;
+
+    fn state_of(n: u64) -> SlotState {
+        match n % 4 {
+            0 => SlotState::Invalid,
+            1 => SlotState::TryInsert,
+            2 => SlotState::Valid,
+            _ => SlotState::Shadow,
+        }
     }
 
-    proptest! {
-        #[test]
-        fn arbitrary_sequences_of_mutations_roundtrip(
-            ops in proptest::collection::vec((0usize..SLOTS_PER_BIN, arb_state()), 1..64)
-        ) {
+    #[test]
+    fn arbitrary_sequences_of_mutations_roundtrip() {
+        for seed in 0..256u64 {
+            let mut rng = 0xBEEF ^ (seed << 17);
             let mut h = BinHeader::EMPTY;
             let mut model = [SlotState::Invalid; SLOTS_PER_BIN];
-            for (i, s) in ops {
+            let ops = 1 + splitmix(&mut rng) as usize % 63;
+            for _ in 0..ops {
+                let i = splitmix(&mut rng) as usize % SLOTS_PER_BIN;
+                let s = state_of(splitmix(&mut rng));
                 h = h.with_slot_state(i, s);
                 model[i] = s;
             }
-            for i in 0..SLOTS_PER_BIN {
-                prop_assert_eq!(h.slot_state(i), model[i]);
+            for (i, expected) in model.iter().enumerate() {
+                assert_eq!(h.slot_state(i), *expected, "seed {seed} slot {i}");
             }
-            prop_assert_eq!(h.bin_state(), BinState::NoTransfer);
+            assert_eq!(h.bin_state(), BinState::NoTransfer, "seed {seed}");
         }
+    }
 
-        #[test]
-        fn version_only_changes_by_one_per_mutation(slot in 0usize..SLOTS_PER_BIN, s in arb_state()) {
+    #[test]
+    fn version_only_changes_by_one_per_mutation() {
+        let mut rng = 0x5EED_u64;
+        for _ in 0..256 {
+            let slot = splitmix(&mut rng) as usize % SLOTS_PER_BIN;
+            let s = state_of(splitmix(&mut rng));
             let h = BinHeader(0xABCD_EF01_2345_6789 & !(0b11 << 32)); // arbitrary, NoTransfer
             let h2 = h.with_slot_state(slot, s);
-            prop_assert_eq!(h2.version(), h.version().wrapping_add(1));
+            assert_eq!(h2.version(), h.version().wrapping_add(1));
         }
     }
 }

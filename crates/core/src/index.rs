@@ -243,8 +243,7 @@ impl Index {
     /// Total slots addressable right now: 3 per bin plus 4 per handed-out link
     /// bucket.
     pub fn addressable_slots(&self) -> usize {
-        self.num_bins * crate::header::PRIMARY_SLOTS
-            + self.links_used() * crate::header::LINK_SLOTS
+        self.num_bins * crate::header::PRIMARY_SLOTS + self.links_used() * crate::header::LINK_SLOTS
     }
 
     /// Total slots if every link bucket were chained.
@@ -312,7 +311,7 @@ mod tests {
         let cfg = DlhtConfig::new(100).with_chunk_bins(16);
         let idx = Index::new(100, &cfg, 0);
         assert_eq!(idx.num_chunks(), 7);
-        let mut covered = vec![false; 100];
+        let mut covered = [false; 100];
         while let Some(range) = idx.claim_chunk() {
             for b in range {
                 assert!(!covered[b], "bin {b} claimed twice");

@@ -75,19 +75,24 @@ impl DlhtMap {
     }
 
     /// Insert if absent, otherwise update — a convenience composition of
-    /// [`DlhtMap::insert`] and [`DlhtMap::put`]. Returns the previous value.
-    pub fn upsert(&self, key: u64, value: u64) -> Option<u64> {
+    /// [`DlhtMap::insert`] and [`DlhtMap::put`]. Returns the previous value on
+    /// update, `Ok(None)` on a fresh insert.
+    ///
+    /// Insert failures (reserved key, table full with resizing disabled) are
+    /// propagated; earlier versions silently reported them as "no previous
+    /// value", which made a full table indistinguishable from a successful
+    /// first insert.
+    pub fn upsert(&self, key: u64, value: u64) -> Result<Option<u64>, DlhtError> {
         loop {
-            match self.table.insert(key, value) {
-                Ok(o) if o.inserted() => return None,
-                Ok(_) => {
+            match self.table.insert(key, value)? {
+                o if o.inserted() => return Ok(None),
+                _ => {
                     // Key existed; try to overwrite. A concurrent delete may
                     // remove it between the two calls — retry the insert then.
                     if let Some(prev) = self.table.put(key, value) {
-                        return Some(prev);
+                        return Ok(Some(prev));
                     }
                 }
-                Err(_) => return None,
             }
         }
     }
@@ -185,9 +190,29 @@ mod tests {
     #[test]
     fn upsert_inserts_then_updates() {
         let m = DlhtMap::with_capacity(16);
-        assert_eq!(m.upsert(5, 1), None);
-        assert_eq!(m.upsert(5, 2), Some(1));
+        assert_eq!(m.upsert(5, 1).unwrap(), None);
+        assert_eq!(m.upsert(5, 2).unwrap(), Some(1));
         assert_eq!(m.get(5), Some(2));
+    }
+
+    #[test]
+    fn upsert_propagates_insert_errors() {
+        let m = DlhtMap::with_capacity(16);
+        assert_eq!(m.upsert(u64::MAX, 1), Err(DlhtError::ReservedKey));
+        // A tiny fixed-size table eventually reports TableFull.
+        let full = DlhtMap::with_config(crate::DlhtConfig::new(2).with_resizing(false));
+        let mut saw_full = false;
+        for k in 0..1_000u64 {
+            match full.upsert(k, k) {
+                Ok(_) => {}
+                Err(DlhtError::TableFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_full);
     }
 
     #[test]
@@ -213,7 +238,7 @@ mod tests {
                 let m = std::sync::Arc::clone(&m);
                 s.spawn(move || {
                     for k in 0..1_000u64 {
-                        m.upsert(k, t);
+                        m.upsert(k, t).unwrap();
                     }
                 });
             }

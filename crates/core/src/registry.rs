@@ -16,7 +16,7 @@
 //! `table.rs`): an index can only be freed once every index before it has
 //! been freed, and an index with a live announcement is never freed.
 
-use crossbeam_utils::CachePadded;
+use dlht_util::CachePadded;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
@@ -102,7 +102,9 @@ impl ThreadRegistry {
     /// resizer's scan (hazard-pointer style).
     #[inline]
     pub fn announce(&self, slot: usize, index_ptr: usize) {
-        self.slots[slot].announced.store(index_ptr, Ordering::SeqCst);
+        self.slots[slot]
+            .announced
+            .store(index_ptr, Ordering::SeqCst);
     }
 
     /// Read back what `slot` currently announces (used by validation loops).
@@ -119,9 +121,9 @@ impl ThreadRegistry {
 
     /// Whether any thread currently announces `index_ptr`.
     pub fn anyone_announces(&self, index_ptr: usize) -> bool {
-        self.slots
-            .iter()
-            .any(|s| s.claimed.load(Ordering::Acquire) && s.announced.load(Ordering::SeqCst) == index_ptr)
+        self.slots.iter().any(|s| {
+            s.claimed.load(Ordering::Acquire) && s.announced.load(Ordering::SeqCst) == index_ptr
+        })
     }
 
     /// Number of claimed slots (for stats/tests).

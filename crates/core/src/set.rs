@@ -42,7 +42,10 @@ impl DlhtSet {
     /// Insert `key`. Returns `Ok(true)` if it was inserted, `Ok(false)` if it
     /// was already present.
     pub fn insert(&self, key: u64) -> Result<bool, DlhtError> {
-        Ok(matches!(self.table.insert(key, 0)?, InsertOutcome::Inserted))
+        Ok(matches!(
+            self.table.insert(key, 0)?,
+            InsertOutcome::Inserted
+        ))
     }
 
     /// Whether `key` is in the set.

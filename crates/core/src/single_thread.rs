@@ -230,7 +230,7 @@ impl SingleThreadMap {
                 continue;
             }
             // Chain link buckets on demand.
-            if slot >= PRIMARY_SLOTS && slot < PRIMARY_SLOTS + LINK_SLOTS {
+            if (PRIMARY_SLOTS..PRIMARY_SLOTS + LINK_SLOTS).contains(&slot) {
                 if self.bins[bin_no].link_first == NO_LINK {
                     if self.links_used >= self.links.len() {
                         return Err(());
@@ -331,9 +331,7 @@ mod tests {
 
     #[test]
     fn grows_transparently() {
-        let mut m = SingleThreadMap::with_config(
-            DlhtConfig::new(4).with_hash(HashKind::WyHash),
-        );
+        let mut m = SingleThreadMap::with_config(DlhtConfig::new(4).with_hash(HashKind::WyHash));
         for k in 0..5_000u64 {
             assert!(m.insert(k, k * 2).unwrap().inserted());
         }
@@ -347,9 +345,7 @@ mod tests {
     #[test]
     fn matches_std_hashmap_on_random_ops() {
         use std::collections::HashMap;
-        let mut m = SingleThreadMap::with_config(
-            DlhtConfig::new(8).with_hash(HashKind::WyHash),
-        );
+        let mut m = SingleThreadMap::with_config(DlhtConfig::new(8).with_hash(HashKind::WyHash));
         let mut model: HashMap<u64, u64> = HashMap::new();
         let mut state = 0x12345678u64;
         let mut rng = move || {
@@ -404,8 +400,9 @@ mod tests {
 
     #[test]
     fn table_full_without_resizing() {
-        let mut m =
-            SingleThreadMap::with_config(DlhtConfig::new(2).with_link_ratio(1).with_resizing(false));
+        let mut m = SingleThreadMap::with_config(
+            DlhtConfig::new(2).with_link_ratio(1).with_resizing(false),
+        );
         let mut err = None;
         for k in 0..200u64 {
             if let Err(e) = m.insert(k * 2, k) {

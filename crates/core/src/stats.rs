@@ -4,7 +4,10 @@
 use crate::index::Index;
 
 /// A snapshot of the current index generation's structure.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The all-zero [`Default`] snapshot is what [`crate::KvBackend::stats`]
+/// reports for designs without a DLHT-style index.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TableStats {
     /// Bins in the current index.
     pub bins: usize,

@@ -171,7 +171,9 @@ impl RawTable {
             return false;
         }
         let guard = self.enter();
-        let r = self.run_mutating(guard.index_ptr(), |idx| self.finish_shadow_in(idx, key, commit));
+        let r = self.run_mutating(guard.index_ptr(), |idx| {
+            self.finish_shadow_in(idx, key, commit)
+        });
         drop(guard);
         r
     }
@@ -258,11 +260,7 @@ impl RawTable {
     }
 
     /// Drive a read-only closure across Busy/Moved outcomes.
-    fn run_readonly<T>(
-        &self,
-        start: *mut Index,
-        mut op: impl FnMut(&Index) -> Probe<T>,
-    ) -> T {
+    fn run_readonly<T>(&self, start: *mut Index, mut op: impl FnMut(&Index) -> Probe<T>) -> T {
         let mut idx_ptr = start;
         loop {
             // SAFETY: protected by the caller's EnterGuard.
@@ -347,6 +345,7 @@ impl RawTable {
 
     /// Scan the bin (under header snapshot `h`) for `key` among slots whose
     /// state is in `states`. Returns (slot index, value word).
+    #[allow(clippy::too_many_arguments)]
     fn scan_for_key(
         &self,
         idx: &Index,
@@ -397,9 +396,7 @@ impl RawTable {
             }
             let meta = LinkMeta(bin.link.load(Ordering::Acquire));
             // Step 2: the key must not already exist (shadow entries count).
-            if let Some((_, existing)) =
-                self.scan_for_key(idx, bin, h, meta, key, true, None)
-            {
+            if let Some((_, existing)) = self.scan_for_key(idx, bin, h, meta, key, true, None) {
                 // Validate the snapshot the same way a Get does.
                 let h2 = BinHeader(bin.header.load(Ordering::Acquire));
                 if h2.version() == h.version() {
@@ -549,8 +546,7 @@ impl RawTable {
                 BinState::NoTransfer => {}
             }
             let meta = LinkMeta(bin.link.load(Ordering::Acquire));
-            let Some((slot, value)) = self.scan_for_key(idx, bin, h, meta, key, false, None)
-            else {
+            let Some((slot, value)) = self.scan_for_key(idx, bin, h, meta, key, false, None) else {
                 let h2 = BinHeader(bin.header.load(Ordering::Acquire));
                 if h2.version() == h.version() {
                     return Probe::Done(None);

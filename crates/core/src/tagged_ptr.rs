@@ -123,16 +123,23 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Deterministic pseudo-random property checks (offline replacement for
+    //! the former proptest strategies).
 
-    proptest! {
-        #[test]
-        fn roundtrip_any_48bit_pointer(addr in 0u64..(1 << 48), ns in 0u16..4096, ks in 0usize..=8) {
+    use super::*;
+    use dlht_util::splitmix64 as splitmix;
+
+    #[test]
+    fn roundtrip_any_48bit_pointer() {
+        let mut rng = 0x7A66_u64;
+        for i in 0..4_096u64 {
+            let addr = splitmix(&mut rng) & ((1 << 48) - 1);
+            let ns = (splitmix(&mut rng) % 4096) as u16;
+            let ks = (splitmix(&mut rng) % 9) as usize;
             let t = TaggedPtr::pack(addr as *mut u8, ns, ks).unwrap();
-            prop_assert_eq!(t.ptr() as u64, addr);
-            prop_assert_eq!(t.namespace(), ns);
-            prop_assert_eq!(t.key_size(), ks);
+            assert_eq!(t.ptr() as u64, addr, "case {i}");
+            assert_eq!(t.namespace(), ns, "case {i}");
+            assert_eq!(t.key_size(), ks, "case {i}");
         }
     }
 }

@@ -18,7 +18,7 @@
 //! synchronization on the retire path) and only touches shared state on
 //! `quiescent`/`try_advance`.
 
-use crossbeam_utils::CachePadded;
+use dlht_util::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -172,12 +172,10 @@ impl Collector {
                 return None;
             }
         }
-        match self.epoch.compare_exchange(
-            current,
-            current + 1,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
+        match self
+            .epoch
+            .compare_exchange(current, current + 1, Ordering::AcqRel, Ordering::Acquire)
+        {
             Ok(_) => {
                 self.collect_orphans(current + 1);
                 Some(current + 1)
@@ -383,7 +381,10 @@ mod tests {
         // The lagging handle announced `before` when it registered, so at most
         // one advance (to `before + 1`) is possible; after that the epoch must
         // stall until the lagging handle reaches a quiescent point.
-        assert!(c.epoch() <= before + 1, "epoch ran ahead of a lagging handle");
+        assert!(
+            c.epoch() <= before + 1,
+            "epoch ran ahead of a lagging handle"
+        );
         let stalled = c.epoch();
         for _ in 0..10 {
             fast.quiescent();

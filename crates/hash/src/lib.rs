@@ -136,7 +136,10 @@ mod tests {
                 continue;
             }
             let changed = (0u64..1024).filter(|&k| kind.hash_u64(k) != k).count();
-            assert!(changed > 1000, "{name} left too many keys unhashed: {changed}");
+            assert!(
+                changed > 1000,
+                "{name} left too many keys unhashed: {changed}"
+            );
         }
     }
 

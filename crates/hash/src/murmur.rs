@@ -82,8 +82,14 @@ mod tests {
 
     #[test]
     fn tail_bytes_matter() {
-        assert_ne!(Murmur64.hash_bytes(b"12345678x"), Murmur64.hash_bytes(b"12345678y"));
-        assert_ne!(Murmur64.hash_bytes(b"1234567"), Murmur64.hash_bytes(b"12345678"));
+        assert_ne!(
+            Murmur64.hash_bytes(b"12345678x"),
+            Murmur64.hash_bytes(b"12345678y")
+        );
+        assert_ne!(
+            Murmur64.hash_bytes(b"1234567"),
+            Murmur64.hash_bytes(b"12345678")
+        );
     }
 
     #[test]

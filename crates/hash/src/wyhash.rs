@@ -185,25 +185,40 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Deterministic pseudo-random property checks (offline replacement for
+    //! the former proptest strategies).
 
-    proptest! {
-        #[test]
-        fn bytes_hash_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..256), seed in any::<u64>()) {
-            prop_assert_eq!(
+    use super::*;
+    use dlht_util::splitmix64 as splitmix;
+
+    fn random_bytes(rng: &mut u64, max_len: usize) -> Vec<u8> {
+        let len = splitmix(rng) as usize % max_len;
+        (0..len).map(|_| splitmix(rng) as u8).collect()
+    }
+
+    #[test]
+    fn bytes_hash_is_deterministic() {
+        let mut rng = 0x11_u64;
+        for _ in 0..512 {
+            let data = random_bytes(&mut rng, 256);
+            let seed = splitmix(&mut rng);
+            assert_eq!(
                 WyHash::hash_bytes_seeded(&data, seed),
                 WyHash::hash_bytes_seeded(&data, seed)
             );
         }
+    }
 
-        #[test]
-        fn appending_a_byte_changes_hash(data in proptest::collection::vec(any::<u8>(), 0..128), extra in any::<u8>()) {
+    #[test]
+    fn appending_a_byte_changes_hash() {
+        let mut rng = 0x22_u64;
+        for _ in 0..512 {
+            let data = random_bytes(&mut rng, 128);
             let mut longer = data.clone();
-            longer.push(extra);
+            longer.push(splitmix(&mut rng) as u8);
             // Not a cryptographic guarantee, but collisions here would be
             // astronomically unlikely and would indicate a length-handling bug.
-            prop_assert_ne!(WyHash.hash_bytes(&data), WyHash.hash_bytes(&longer));
+            assert_ne!(WyHash.hash_bytes(&data), WyHash.hash_bytes(&longer));
         }
     }
 }

@@ -87,12 +87,18 @@ impl XxHash64 {
 
         while p + 8 <= len {
             h ^= round(0, read_u64(data, p));
-            h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+            h = h
+                .rotate_left(27)
+                .wrapping_mul(PRIME64_1)
+                .wrapping_add(PRIME64_4);
             p += 8;
         }
         if p + 4 <= len {
             h ^= read_u32(data, p).wrapping_mul(PRIME64_1);
-            h = h.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+            h = h
+                .rotate_left(23)
+                .wrapping_mul(PRIME64_2)
+                .wrapping_add(PRIME64_3);
             p += 4;
         }
         while p < len {
@@ -110,7 +116,10 @@ impl Hasher64 for XxHash64 {
         // Specialized 8-byte path: identical to hashing the LE bytes.
         let mut h = PRIME64_5.wrapping_add(8);
         h ^= round(0, key);
-        h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
         avalanche(h)
     }
 

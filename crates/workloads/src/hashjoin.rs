@@ -7,7 +7,7 @@
 //! prefetching can overlap the random index accesses. Throughput is reported
 //! as `(|R| + |S|) / runtime` tuples per second, as in the paper.
 
-use dlht_core::{DlhtMap, Request, Response};
+use dlht_core::{DlhtMap, KvBackend, Request, Response};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -26,8 +26,9 @@ pub struct JoinResult {
     pub mtuples_per_sec: f64,
 }
 
-/// Run the non-partitioned join: build `r_tuples` keys, probe `s_tuples`
-/// lookups from `threads` threads, with or without DLHT batching.
+/// Run the non-partitioned join over DLHT (the paper's configuration): build
+/// `r_tuples` keys, probe `s_tuples` lookups from `threads` threads, with or
+/// without batching.
 pub fn run_hash_join(
     r_tuples: u64,
     s_tuples: u64,
@@ -36,6 +37,18 @@ pub fn run_hash_join(
     batched: bool,
 ) -> JoinResult {
     let map = DlhtMap::with_capacity(r_tuples as usize + 1);
+    run_hash_join_on(&map, r_tuples, s_tuples, threads, batch_size, batched)
+}
+
+/// Run the non-partitioned join against any [`KvBackend`].
+pub fn run_hash_join_on(
+    map: &dyn KvBackend,
+    r_tuples: u64,
+    s_tuples: u64,
+    threads: usize,
+    batch_size: usize,
+    batched: bool,
+) -> JoinResult {
     let threads = threads.max(1) as u64;
     let matches = AtomicU64::new(0);
     let start = Instant::now();
@@ -44,7 +57,6 @@ pub fn run_hash_join(
     // i (the "row id" of the 16-byte tuple).
     std::thread::scope(|s| {
         for t in 0..threads {
-            let map = &map;
             s.spawn(move || {
                 let mut k = t;
                 while k < r_tuples {
@@ -59,7 +71,6 @@ pub fn run_hash_join(
     // in workload A's primary-key/foreign-key join).
     std::thread::scope(|s| {
         for t in 0..threads {
-            let map = &map;
             let matches = &matches;
             s.spawn(move || {
                 let mut local_matches = 0u64;

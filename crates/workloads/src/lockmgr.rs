@@ -1,13 +1,14 @@
 //! Database lock manager over DLHT's HashSet mode (§5.3.3, Fig. 17).
 //!
-//! Locking a record inserts its key into the HashSet; unlocking deletes it.
+//! Locking a record inserts its key into the table; unlocking deletes it.
 //! Transactions lock a handful of keys in a globally consistent (sorted)
 //! order and then release them — two-phase-locking style — which requires the
 //! hashtable's batching to preserve request order (the property DRAMHiT's
-//! reordering batches violate).
+//! reordering batches violate). The workload drives any [`KvBackend`]; the
+//! default entry point uses [`DlhtSet`], the paper's configuration.
 
 use crate::rng::Xoshiro256;
-use dlht_core::{DlhtSet, Request, Response};
+use dlht_core::{DlhtSet, KvBackend, Request, Response};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -26,9 +27,10 @@ pub struct LockMgrResult {
     pub elapsed: Duration,
 }
 
-/// Run the lock-manager workload: each transaction locks `locks_per_txn`
-/// records (sorted order), then unlocks them. With `batched`, the lock and
-/// unlock phases are submitted as order-preserving DLHT batches.
+/// Run the lock-manager workload over DLHT's HashSet mode (the paper's
+/// configuration): each transaction locks `locks_per_txn` records (sorted
+/// order), then unlocks them. With `batched`, the lock and unlock phases are
+/// submitted as order-preserving batches.
 pub fn run_lock_manager(
     records: u64,
     locks_per_txn: usize,
@@ -37,6 +39,19 @@ pub fn run_lock_manager(
     batched: bool,
 ) -> LockMgrResult {
     let set = DlhtSet::with_capacity(records as usize + 1024);
+    run_lock_manager_on(&set, records, locks_per_txn, threads, duration, batched)
+}
+
+/// Run the lock-manager workload against any [`KvBackend`] used as a lock
+/// table (insert = lock, delete = unlock).
+pub fn run_lock_manager_on(
+    locks: &dyn KvBackend,
+    records: u64,
+    locks_per_txn: usize,
+    threads: usize,
+    duration: Duration,
+    batched: bool,
+) -> LockMgrResult {
     let stop = AtomicBool::new(false);
     let lock_ops = AtomicU64::new(0);
     let acquired = AtomicU64::new(0);
@@ -45,7 +60,7 @@ pub fn run_lock_manager(
 
     std::thread::scope(|s| {
         for t in 0..threads.max(1) {
-            let set = &set;
+            let locks = &locks;
             let stop = &stop;
             let lock_ops = &lock_ops;
             let acquired = &acquired;
@@ -68,30 +83,41 @@ pub fn run_lock_manager(
                         // whatever was acquired.
                         let reqs: Vec<Request> =
                             keys.iter().map(|&k| Request::Insert(k, 0)).collect();
-                        let resps = set.raw().execute_batch(&reqs, true);
-                        ops += resps.iter().filter(|r| !matches!(r, Response::Skipped)).count()
-                            as u64;
+                        let resps = locks.execute_batch(&reqs, true);
+                        ops += resps
+                            .iter()
+                            .filter(|r| !matches!(r, Response::Skipped))
+                            .count() as u64;
                         let all = resps.iter().all(|r| r.succeeded());
-                        let held: Vec<u64> = keys
+                        let unlocks: Vec<Request> = keys
                             .iter()
                             .zip(resps.iter())
                             .filter(|(_, r)| r.succeeded())
-                            .map(|(k, _)| *k)
+                            .map(|(&k, _)| Request::Delete(k))
                             .collect();
-                        let unlocks: Vec<Request> =
-                            held.iter().map(|&k| Request::Delete(k)).collect();
                         if !unlocks.is_empty() {
-                            set.raw().execute_batch(&unlocks, false);
                             ops += unlocks.len() as u64;
+                            locks.execute_batch(&unlocks, false);
                         }
                         all
                     } else {
-                        let all = set.try_lock_all(&keys).unwrap_or(false);
-                        if all {
-                            ops += keys.len() as u64 * 2;
-                            set.unlock_all(&keys);
-                        } else {
-                            ops += keys.len() as u64;
+                        // Unbatched two-phase locking through the same trait:
+                        // acquire in sorted order, roll back on the first
+                        // conflict.
+                        let mut held = 0usize;
+                        let mut all = true;
+                        for &k in &keys {
+                            ops += 1;
+                            if matches!(locks.insert(k, 0), Ok(o) if o.inserted()) {
+                                held += 1;
+                            } else {
+                                all = false;
+                                break;
+                            }
+                        }
+                        for &k in &keys[..held] {
+                            ops += 1;
+                            locks.delete(k);
                         }
                         all
                     };
@@ -150,5 +176,25 @@ mod tests {
         let r = run_lock_manager(8, 3, 4, Duration::from_millis(60), true);
         assert!(r.conflicted > 0, "contention must cause conflicts");
         assert!(r.acquired > 0, "some transactions must still succeed");
+    }
+
+    #[test]
+    fn lock_table_is_empty_after_a_run() {
+        let set = DlhtSet::with_capacity(2_048);
+        let r = run_lock_manager_on(&set, 1_000, 4, 2, Duration::from_millis(40), true);
+        assert!(r.lock_ops > 0);
+        assert!(
+            set.is_empty(),
+            "every acquired lock must have been released"
+        );
+    }
+
+    #[test]
+    fn any_backend_can_serve_as_the_lock_table() {
+        // The unified trait means the lock manager also runs over a baseline.
+        let map = dlht_core::DlhtMap::with_capacity(2_048);
+        let r = run_lock_manager_on(&map, 1_000, 3, 2, Duration::from_millis(40), false);
+        assert!(r.acquired > 0);
+        assert!(map.is_empty());
     }
 }

@@ -2,8 +2,7 @@
 //! resize-timeline experiment showing Gets continuing during a non-blocking
 //! resize (Fig. 8).
 
-use dlht_baselines::ConcurrentMap;
-use dlht_core::{DlhtConfig, DlhtMap};
+use dlht_core::{DlhtConfig, DlhtMap, KvBackend};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -21,7 +20,7 @@ pub struct PopulationResult {
 /// Insert `keys` fresh keys into `map` from `threads` threads, starting from a
 /// deliberately small index so the map must grow repeatedly (Fig. 7: "Avg.
 /// Population throughput: Inserting 800M keys over a growing index").
-pub fn populate_growing(map: &dyn ConcurrentMap, keys: u64, threads: usize) -> PopulationResult {
+pub fn populate_growing(map: &dyn KvBackend, keys: u64, threads: usize) -> PopulationResult {
     let threads = threads.max(1) as u64;
     let start = Instant::now();
     std::thread::scope(|s| {
@@ -29,7 +28,7 @@ pub fn populate_growing(map: &dyn ConcurrentMap, keys: u64, threads: usize) -> P
             s.spawn(move || {
                 let mut k = t;
                 while k < keys {
-                    map.insert(k, k);
+                    let _ = map.insert(k, k);
                     k += threads;
                 }
             });
@@ -94,7 +93,7 @@ pub fn resize_timeline(
                     let k = rng.next_below(prepopulated);
                     std::hint::black_box(map.get(k));
                     local += 1;
-                    if local % 256 == 0 {
+                    if local.is_multiple_of(256) {
                         gets.fetch_add(256, Ordering::Relaxed);
                     }
                 }
@@ -115,7 +114,7 @@ pub fn resize_timeline(
                         break;
                     }
                     let _ = map.insert(base + i, i);
-                    if i % 256 == 0 {
+                    if i.is_multiple_of(256) {
                         inserts.fetch_add(256, Ordering::Relaxed);
                     }
                 }

@@ -26,7 +26,8 @@ impl Table {
 
     /// Append a row of displayable values.
     pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Number of data rows.
@@ -134,7 +135,11 @@ impl BenchScale {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0.4);
-        BenchScale { keys, threads, secs }
+        BenchScale {
+            keys,
+            threads,
+            secs,
+        }
     }
 
     /// Duration per measurement point.

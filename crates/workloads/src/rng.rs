@@ -119,7 +119,9 @@ impl KeySampler {
     /// Zipfian sampler with parameter `theta`.
     pub fn zipfian(population: u64, theta: f64) -> Self {
         let n = population.max(1);
-        let zetan = (1..=n.min(10_000_000)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zetan = (1..=n.min(10_000_000))
+            .map(|i| 1.0 / (i as f64).powf(theta))
+            .sum();
         KeySampler::Zipfian {
             population: n,
             theta,
@@ -206,7 +208,7 @@ mod tests {
     fn uniform_sampler_covers_the_range() {
         let s = KeySampler::uniform(64);
         let mut rng = Xoshiro256::new(7);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for _ in 0..10_000 {
             seen[s.sample(&mut rng) as usize] = true;
         }
@@ -217,9 +219,7 @@ mod tests {
     fn hot_set_concentrates_accesses() {
         let s = KeySampler::hot_set(1_000_000, 1_000, 0.9);
         let mut rng = Xoshiro256::new(3);
-        let hot = (0..100_000)
-            .filter(|_| s.sample(&mut rng) < 1_000)
-            .count();
+        let hot = (0..100_000).filter(|_| s.sample(&mut rng) < 1_000).count();
         // 90% go to the hot set directly plus ~0.1% of the uniform remainder.
         assert!(hot > 85_000, "hot accesses = {hot}");
     }
@@ -229,7 +229,10 @@ mod tests {
         let s = KeySampler::zipfian(100_000, 0.99);
         let mut rng = Xoshiro256::new(11);
         let top10 = (0..50_000).filter(|_| s.sample(&mut rng) < 10).count();
-        assert!(top10 > 10_000, "top-10 keys got only {top10} of 50k accesses");
+        assert!(
+            top10 > 10_000,
+            "top-10 keys got only {top10} of 50k accesses"
+        );
         for _ in 0..10_000 {
             assert!(s.sample(&mut rng) < 100_000);
         }

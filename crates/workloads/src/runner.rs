@@ -14,7 +14,7 @@
 
 use crate::hist::LatencyHistogram;
 use crate::rng::{KeySampler, Xoshiro256};
-use dlht_baselines::{BatchOp, BatchResult, ConcurrentMap};
+use dlht_core::{KvBackend, Request};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -34,15 +34,35 @@ pub struct Mix {
 
 impl Mix {
     /// 100% Gets (the paper's default `Get` workload).
-    pub const GET: Mix = Mix { get: 100, put: 0, insert: 0, delete: 0 };
+    pub const GET: Mix = Mix {
+        get: 100,
+        put: 0,
+        insert: 0,
+        delete: 0,
+    };
     /// 50% Inserts + 50% Deletes (the paper's default `InsDel` workload).
-    pub const INS_DEL: Mix = Mix { get: 0, put: 0, insert: 100, delete: 0 };
+    pub const INS_DEL: Mix = Mix {
+        get: 0,
+        put: 0,
+        insert: 100,
+        delete: 0,
+    };
     /// 50% Gets + 50% Puts (the Put-heavy workload of §5.1.3).
-    pub const PUT_HEAVY: Mix = Mix { get: 50, put: 50, insert: 0, delete: 0 };
+    pub const PUT_HEAVY: Mix = Mix {
+        get: 50,
+        put: 50,
+        insert: 0,
+        delete: 0,
+    };
 
     /// A read/update mix with `read` percent Gets and the rest Puts.
     pub const fn read_update(read: u32) -> Mix {
-        Mix { get: read, put: 100 - read, insert: 0, delete: 0 }
+        Mix {
+            get: read,
+            put: 100 - read,
+            insert: 0,
+            delete: 0,
+        }
     }
 }
 
@@ -145,9 +165,9 @@ impl RunResult {
 }
 
 /// Prepopulate `map` with keys `0..n` (value = key, as in the paper's setup).
-pub fn prepopulate(map: &dyn ConcurrentMap, n: u64) {
+pub fn prepopulate(map: &dyn KvBackend, n: u64) {
     for k in 0..n {
-        map.insert(k, k);
+        let _ = map.insert(k, k);
     }
 }
 
@@ -168,7 +188,7 @@ fn spin_ns(ns: u64) {
 /// The map must already be prepopulated (see [`prepopulate`]); Gets and Puts
 /// target prepopulated keys, Inserts target fresh keys disjoint from the
 /// prepopulated range and from other threads.
-pub fn run_workload(map: &dyn ConcurrentMap, spec: &WorkloadSpec) -> RunResult {
+pub fn run_workload(map: &dyn KvBackend, spec: &WorkloadSpec) -> RunResult {
     let stop = AtomicBool::new(false);
     let threads = spec.threads.max(1);
     let batching = spec.batch_size > 1 && map.supports_batching();
@@ -179,9 +199,7 @@ pub fn run_workload(map: &dyn ConcurrentMap, spec: &WorkloadSpec) -> RunResult {
         for tid in 0..threads {
             let stop = &stop;
             let spec_ref = spec;
-            handles.push(s.spawn(move || {
-                run_thread(map, spec_ref, tid as u64, stop, batching)
-            }));
+            handles.push(s.spawn(move || run_thread(map, spec_ref, tid as u64, stop, batching)));
         }
         // Timer thread.
         let duration = spec.duration;
@@ -209,7 +227,7 @@ pub fn run_workload(map: &dyn ConcurrentMap, spec: &WorkloadSpec) -> RunResult {
 }
 
 fn run_thread(
-    map: &dyn ConcurrentMap,
+    map: &dyn KvBackend,
     spec: &WorkloadSpec,
     tid: u64,
     stop: &AtomicBool,
@@ -221,8 +239,7 @@ fn run_thread(
     // Fresh-key space for Inserts: above the prepopulated range, per thread.
     let mut next_fresh = spec.prepopulated + 1 + tid * (1 << 40);
     let batch_size = spec.batch_size.max(1);
-    let mut batch: Vec<BatchOp> = Vec::with_capacity(batch_size * 2);
-    let mut out: Vec<BatchResult> = Vec::with_capacity(batch_size * 2);
+    let mut batch: Vec<Request> = Vec::with_capacity(batch_size * 2);
     let mix = spec.mix;
 
     while !stop.load(Ordering::Relaxed) {
@@ -232,19 +249,19 @@ fn run_thread(
         for _ in 0..build {
             let dice = rng.next_below(100) as u32;
             if dice < mix.get {
-                batch.push(BatchOp::Get(spec.sampler.sample(&mut rng)));
+                batch.push(Request::Get(spec.sampler.sample(&mut rng)));
             } else if dice < mix.get + mix.put {
                 let k = spec.sampler.sample(&mut rng);
-                batch.push(BatchOp::Put(k, rng.next_u64()));
+                batch.push(Request::Put(k, rng.next_u64()));
             } else if dice < mix.get + mix.put + mix.insert {
                 let k = next_fresh;
                 next_fresh += 1;
-                batch.push(BatchOp::Insert(k, k));
+                batch.push(Request::Insert(k, k));
                 if spec.insert_then_delete {
-                    batch.push(BatchOp::Delete(k));
+                    batch.push(Request::Delete(k));
                 }
             } else {
-                batch.push(BatchOp::Delete(spec.sampler.sample(&mut rng)));
+                batch.push(Request::Delete(spec.sampler.sample(&mut rng)));
             }
         }
 
@@ -256,22 +273,22 @@ fn run_thread(
 
         if batching {
             spin_ns(spec.remote_latency_ns); // one exposed miss per batch
-            map.execute_batch(&batch, &mut out);
+            std::hint::black_box(map.execute_batch(&batch, false));
         } else {
-            for op in &batch {
+            for req in &batch {
                 spin_ns(spec.remote_latency_ns);
-                match *op {
-                    BatchOp::Get(k) => {
+                match *req {
+                    Request::Get(k) => {
                         std::hint::black_box(map.get(k));
                     }
-                    BatchOp::Put(k, v) => {
-                        std::hint::black_box(map.update(k, v));
+                    Request::Put(k, v) => {
+                        std::hint::black_box(map.put(k, v));
                     }
-                    BatchOp::Insert(k, v) => {
-                        std::hint::black_box(map.insert(k, v));
+                    Request::Insert(k, v) => {
+                        std::hint::black_box(map.insert(k, v).is_ok());
                     }
-                    BatchOp::Delete(k) => {
-                        std::hint::black_box(map.remove(k));
+                    Request::Delete(k) => {
+                        std::hint::black_box(map.delete(k));
                     }
                 }
             }
@@ -305,7 +322,11 @@ mod tests {
     fn get_workload_reports_throughput() {
         let map = MapKind::Dlht.build(10_000);
         prepopulate(map.as_ref(), 5_000);
-        let spec = quick(WorkloadSpec::get_default(5_000, 2, Duration::from_millis(50)));
+        let spec = quick(WorkloadSpec::get_default(
+            5_000,
+            2,
+            Duration::from_millis(50),
+        ));
         let r = run_workload(map.as_ref(), &spec);
         assert!(r.total_ops > 0);
         assert!(r.mops > 0.0);
@@ -316,7 +337,11 @@ mod tests {
     fn insdel_workload_leaves_population_unchanged() {
         let map = MapKind::Dlht.build(50_000);
         prepopulate(map.as_ref(), 1_000);
-        let spec = quick(WorkloadSpec::insdel_default(1_000, 2, Duration::from_millis(50)));
+        let spec = quick(WorkloadSpec::insdel_default(
+            1_000,
+            2,
+            Duration::from_millis(50),
+        ));
         let r = run_workload(map.as_ref(), &spec);
         assert!(r.total_ops > 0);
         assert_eq!(map.len(), 1_000, "every inserted key must also be deleted");
@@ -326,8 +351,12 @@ mod tests {
     fn latency_recording_populates_histogram() {
         let map = MapKind::Dlht.build(10_000);
         prepopulate(map.as_ref(), 1_000);
-        let spec = quick(WorkloadSpec::get_default(1_000, 1, Duration::from_millis(50)))
-            .with_latency_recording();
+        let spec = quick(WorkloadSpec::get_default(
+            1_000,
+            1,
+            Duration::from_millis(50),
+        ))
+        .with_latency_recording();
         let r = run_workload(map.as_ref(), &spec);
         assert!(r.latency.count() > 0);
         assert!(r.latency.mean_ns() > 0.0);
@@ -339,8 +368,12 @@ mod tests {
         for kind in [MapKind::Clht, MapKind::Mica, MapKind::Tbb] {
             let map = kind.build(10_000);
             prepopulate(map.as_ref(), 1_000);
-            let spec = quick(WorkloadSpec::get_default(1_000, 2, Duration::from_millis(30)))
-                .without_batching();
+            let spec = quick(WorkloadSpec::get_default(
+                1_000,
+                2,
+                Duration::from_millis(30),
+            ))
+            .without_batching();
             let r = run_workload(map.as_ref(), &spec);
             assert!(r.total_ops > 0, "{}", kind.name());
         }
@@ -350,7 +383,11 @@ mod tests {
     fn put_heavy_mix_executes_puts() {
         let map = MapKind::Dlht.build(10_000);
         prepopulate(map.as_ref(), 1_000);
-        let mut spec = quick(WorkloadSpec::get_default(1_000, 2, Duration::from_millis(40)));
+        let mut spec = quick(WorkloadSpec::get_default(
+            1_000,
+            2,
+            Duration::from_millis(40),
+        ));
         spec.mix = Mix::PUT_HEAVY;
         let r = run_workload(map.as_ref(), &spec);
         assert!(r.total_ops > 0);

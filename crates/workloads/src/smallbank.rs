@@ -8,7 +8,7 @@
 //! concurrent transfers never lose updates.
 
 use crate::rng::Xoshiro256;
-use dlht_core::{DlhtMap, DlhtSet};
+use dlht_core::{DlhtMap, DlhtSet, KvBackend};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -60,20 +60,28 @@ impl SmallbankTxn {
     }
 }
 
-/// A populated Smallbank database over DLHT plus a HashSet lock manager.
-pub struct SmallbankDatabase {
-    map: DlhtMap,
+/// A populated Smallbank database over any [`KvBackend`] (DLHT Inlined mode
+/// by default) plus a HashSet lock manager.
+pub struct SmallbankDatabase<B: KvBackend = DlhtMap> {
+    map: B,
     locks: DlhtSet,
     accounts: u64,
     initial_balance: u64,
 }
 
-impl SmallbankDatabase {
+impl SmallbankDatabase<DlhtMap> {
     /// Populate `accounts` customers (the paper uses 10 M) with a fixed
     /// starting balance in both savings and checking.
     pub fn populate(accounts: u64) -> Self {
-        let initial_balance = 10_000;
         let map = DlhtMap::with_capacity(accounts as usize * 4 + 1024);
+        Self::populate_with(map, accounts)
+    }
+}
+
+impl<B: KvBackend> SmallbankDatabase<B> {
+    /// Populate `accounts` customers into an arbitrary backend.
+    pub fn populate_with(map: B, accounts: u64) -> Self {
+        let initial_balance = 10_000;
         for id in 0..accounts {
             map.insert(acct_key(id), id).unwrap();
             map.insert(sav_key(id), initial_balance).unwrap();
@@ -191,8 +199,8 @@ impl SmallbankDatabase {
 
 /// Run Smallbank with `threads` threads for `duration` (Fig. 19, right
 /// series). Returns (committed, attempted, M txns/s).
-pub fn run_smallbank(
-    db: &SmallbankDatabase,
+pub fn run_smallbank<B: KvBackend>(
+    db: &SmallbankDatabase<B>,
     threads: usize,
     duration: Duration,
 ) -> crate::tatp::OltpResult {

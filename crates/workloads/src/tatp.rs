@@ -10,7 +10,7 @@
 //! way the paper runs it.
 
 use crate::rng::Xoshiro256;
-use dlht_core::DlhtMap;
+use dlht_core::{DlhtMap, KvBackend};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -79,19 +79,27 @@ impl TatpTxn {
     }
 }
 
-/// A populated TATP database over DLHT.
-pub struct TatpDatabase {
-    map: DlhtMap,
+/// A populated TATP database over any [`KvBackend`] (DLHT Inlined mode by
+/// default, the paper's configuration).
+pub struct TatpDatabase<B: KvBackend = DlhtMap> {
+    map: B,
     subscribers: u64,
 }
 
-impl TatpDatabase {
+impl TatpDatabase<DlhtMap> {
     /// Create and populate a database with `subscribers` subscribers (the
-    /// paper uses 1 M).
+    /// paper uses 1 M) over a DLHT Inlined-mode instance.
     pub fn populate(subscribers: u64) -> Self {
         // Each subscriber has 1 subscriber row, ~2.5 access-info rows,
         // ~2.5 special-facility rows and ~1.5 call-forwarding rows.
         let map = DlhtMap::with_capacity((subscribers as usize) * 8 + 1024);
+        Self::populate_with(map, subscribers)
+    }
+}
+
+impl<B: KvBackend> TatpDatabase<B> {
+    /// Populate `subscribers` subscribers into an arbitrary backend.
+    pub fn populate_with(map: B, subscribers: u64) -> Self {
         let mut rng = Xoshiro256::new(0x7A7F ^ subscribers);
         for s in 0..subscribers {
             map.insert(sub_key(s), rng.next_u64()).unwrap();
@@ -104,7 +112,8 @@ impl TatpDatabase {
                 map.insert(sf_key(s, sf), rng.next_u64()).unwrap();
                 // 0..=3 call-forwarding rows per special facility.
                 for start in 0..rng.next_below(4) {
-                    map.insert(cf_key(s, sf, start * 8), rng.next_u64()).unwrap();
+                    map.insert(cf_key(s, sf, start * 8), rng.next_u64())
+                        .unwrap();
                 }
             }
         }
@@ -134,7 +143,9 @@ impl TatpDatabase {
                 if facility.is_none() {
                     return false;
                 }
-                self.map.get(cf_key(s_id, sf, rng.next_below(3) * 8)).is_some()
+                self.map
+                    .get(cf_key(s_id, sf, rng.next_below(3) * 8))
+                    .is_some()
             }
             TatpTxn::UpdateSubscriberData => {
                 let bit = rng.next_u64();
@@ -177,7 +188,11 @@ pub struct OltpResult {
 }
 
 /// Run TATP with `threads` threads for `duration` (Fig. 19, left series).
-pub fn run_tatp(db: &TatpDatabase, threads: usize, duration: Duration) -> OltpResult {
+pub fn run_tatp<B: KvBackend>(
+    db: &TatpDatabase<B>,
+    threads: usize,
+    duration: Duration,
+) -> OltpResult {
     let stop = AtomicBool::new(false);
     let committed = AtomicU64::new(0);
     let attempted = AtomicU64::new(0);

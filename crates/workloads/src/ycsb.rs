@@ -13,7 +13,7 @@
 
 use crate::rng::KeySampler;
 use crate::runner::{run_workload, Mix, RunResult, WorkloadSpec};
-use dlht_baselines::ConcurrentMap;
+use dlht_core::KvBackend;
 use std::time::Duration;
 
 /// The four YCSB mixes the paper reports.
@@ -58,7 +58,7 @@ impl YcsbMix {
 
 /// Run one YCSB mix against a prepopulated map.
 pub fn run_ycsb(
-    map: &dyn ConcurrentMap,
+    map: &dyn KvBackend,
     mix: YcsbMix,
     prepopulated: u64,
     threads: usize,
@@ -98,14 +98,7 @@ mod tests {
         let map = MapKind::Dlht.build(20_000);
         prepopulate(map.as_ref(), 5_000);
         for mix in YcsbMix::all() {
-            let r = run_ycsb(
-                map.as_ref(),
-                mix,
-                5_000,
-                2,
-                Duration::from_millis(30),
-                true,
-            );
+            let r = run_ycsb(map.as_ref(), mix, 5_000, 2, Duration::from_millis(30), true);
             assert!(r.total_ops > 0, "{}", mix.name());
         }
         // Update-only must not change the population.

@@ -1,17 +1,19 @@
-//! Non-partitioned hash join over DLHT (§5.3.6): build the small relation
-//! into the table, then stream the probe relation through the batched API so
-//! software prefetching hides the random index accesses.
+//! Non-partitioned hash join over DLHT (§5.3.6), driven through the unified
+//! `KvBackend` API: build the small relation into the table, then stream the
+//! probe relation through the batched `Request`/`Response` path so software
+//! prefetching hides the random index accesses.
 //!
 //! Run with: `cargo run --release --example hash_join`
 
-use dlht::{DlhtMap, Request, Response};
+use dlht::{DlhtMap, KvBackend, Request, Response};
 use std::time::Instant;
 
 fn main() {
     // R (build): 2^17 tuples, S (probe): 2^21 tuples — scaled-down workload A.
     let r_tuples: u64 = 1 << 17;
     let s_tuples: u64 = 1 << 21;
-    let map = DlhtMap::with_capacity(r_tuples as usize);
+    let table = DlhtMap::with_capacity(r_tuples as usize);
+    let map: &dyn KvBackend = &table;
 
     let start = Instant::now();
     for key in 0..r_tuples {
@@ -42,7 +44,10 @@ fn main() {
 
     let total = (r_tuples + s_tuples) as f64;
     println!("build : {} tuples in {:?}", r_tuples, build_time);
-    println!("probe : {} tuples in {:?}, {} matches", s_tuples, probe_time, matches);
+    println!(
+        "probe : {} tuples in {:?}, {} matches",
+        s_tuples, probe_time, matches
+    );
     println!(
         "join throughput: {:.1} M tuples/s (checksum {join_sum})",
         total / (build_time + probe_time).as_secs_f64() / 1e6

@@ -1,20 +1,21 @@
-//! A database lock manager over the HashSet mode (§5.3.3): inserting a key
-//! locks a record, deleting it releases the lock, and order-preserving
-//! batches implement two-phase locking without deadlocks.
+//! A database lock manager over the HashSet mode (§5.3.3), driven entirely
+//! through the unified `KvBackend` batch API: inserting a key locks a record,
+//! deleting it releases the lock, and order-preserving batches implement
+//! two-phase locking without deadlocks.
 //!
 //! Run with: `cargo run --release --example lock_manager`
 
-use dlht::{DlhtSet, Request};
+use dlht::{DlhtSet, KvBackend, Request};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn main() {
-    let locks = DlhtSet::with_capacity(100_000);
+    let set = DlhtSet::with_capacity(100_000);
+    let locks: &dyn KvBackend = &set;
     let committed = AtomicU64::new(0);
     let aborted = AtomicU64::new(0);
 
     std::thread::scope(|s| {
         for t in 0..4u64 {
-            let locks = &locks;
             let committed = &committed;
             let aborted = &aborted;
             s.spawn(move || {
@@ -36,7 +37,7 @@ fn main() {
                     // at the first busy lock.
                     let lock_reqs: Vec<Request> =
                         records.iter().map(|&r| Request::Insert(r, t)).collect();
-                    let resps = locks.raw().execute_batch(&lock_reqs, true);
+                    let resps = locks.execute_batch(&lock_reqs, true);
                     let all_locked = resps.iter().all(|r| r.succeeded());
 
                     if all_locked {
@@ -52,7 +53,7 @@ fn main() {
                         .map(|(&r, _)| Request::Delete(r))
                         .collect();
                     if !held.is_empty() {
-                        locks.raw().execute_batch(&held, false);
+                        locks.execute_batch(&held, false);
                     }
                 }
             });
@@ -64,6 +65,9 @@ fn main() {
         committed.load(Ordering::Relaxed),
         aborted.load(Ordering::Relaxed)
     );
-    assert!(locks.is_empty(), "every acquired lock must have been released");
+    assert!(
+        locks.is_empty(),
+        "every acquired lock must have been released"
+    );
     println!("all locks released: table is empty");
 }

@@ -1,48 +1,59 @@
-//! Quickstart: the Inlined mode — insert, get, put, delete, batched access,
-//! and table statistics.
+//! Quickstart: the typed `Dlht<K, V>` facade and the unified `KvBackend`
+//! operations API — insert, get, put, delete, batched access, statistics.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dlht::{DlhtConfig, DlhtMap, Request, Response};
-use dlht::hash::HashKind;
+use dlht::{Dlht, KvBackend, Request, Response};
 
 fn main() {
-    // A map sized for ~1M 8-byte key/value pairs, hashed with wyhash.
-    let map = DlhtMap::with_config(
-        DlhtConfig::for_capacity(1_000_000).with_hash(HashKind::WyHash),
-    );
+    // The typed facade picks the paper mode from the types: u64 -> u64 packs
+    // into the Inlined 8 B/8 B slots; String -> Vec<u8> goes out of line.
+    let ids: Dlht<u64, u64> = Dlht::with_capacity(1_000_000);
+    let docs: Dlht<String, Vec<u8>> = Dlht::with_capacity(10_000);
+    println!("Dlht<u64, u64> mode      : {}", ids.mode());
+    println!("Dlht<String, Vec<u8>> mode: {}", docs.mode());
 
     // Basic operations. Inserts never overwrite; Puts never insert.
-    map.insert(42, 4200).unwrap();
-    assert_eq!(map.get(42), Some(4200));
-    assert_eq!(map.put(42, 4300), Some(4200));
-    assert_eq!(map.delete(42), Some(4300));
-    assert_eq!(map.get(42), None);
+    ids.insert(&42, &4200).unwrap();
+    assert_eq!(ids.get(&42), Some(4200));
+    assert_eq!(ids.put(&42, &4300).unwrap(), Some(4200));
+    assert_eq!(ids.remove(&42), Some(4300));
+
+    docs.insert(&"hello".to_string(), &b"world".to_vec())
+        .unwrap();
+    assert_eq!(docs.get(&"hello".to_string()), Some(b"world".to_vec()));
 
     // Populate a few thousand keys from several threads.
     std::thread::scope(|s| {
         for t in 0..4u64 {
-            let map = &map;
+            let ids = &ids;
             s.spawn(move || {
                 for k in (t..20_000).step_by(4) {
-                    map.insert(k, k * 10).unwrap();
+                    ids.insert(&k, &(k * 10)).unwrap();
                 }
             });
         }
     });
-    println!("population: {} keys", map.len());
+    println!("population: {} keys", ids.len());
 
-    // Batched execution: one prefetch sweep, then strictly in-order execution.
+    // Typed batched lookup: one prefetch sweep, in-order execution.
+    let keys: Vec<u64> = (0..32).map(|k| k * 100).collect();
+    let hits = ids.get_many(&keys).iter().filter(|v| v.is_some()).count();
+    println!("typed batched gets: {hits}/32 hits");
+
+    // The same table through the unified KvBackend trait — the interface the
+    // workload runner drives every table (DLHT and baselines) with.
+    let backend: &dyn KvBackend = ids.inline_map().unwrap();
     let batch: Vec<Request> = (0..32).map(|k| Request::Get(k * 100)).collect();
-    let responses = map.execute_batch(&batch, false);
+    let responses = backend.execute_batch(&batch, false);
     let hits = responses
         .iter()
         .filter(|r| matches!(r, Response::Value(Some(_))))
         .count();
-    println!("batched gets: {hits}/32 hits");
+    println!("trait batched gets: {hits}/32 hits");
 
     // Structural statistics (occupancy, chaining, resizes).
-    let stats = map.stats();
+    let stats = backend.stats();
     println!(
         "bins = {}, occupied slots = {}, occupancy = {:.1}%, resizes = {}",
         stats.bins,

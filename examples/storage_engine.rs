@@ -1,16 +1,37 @@
 //! Allocator mode as a database storage engine's primary index (§3.1 use
-//! case 2): variable-size keys and values in one index, namespaces to keep
-//! different tables from colliding, and the pointer API for zero-copy reads.
+//! case 2): the typed facade for everyday rows, plus the advanced
+//! namespace/pointer API for zero-copy reads.
 //!
 //! Run with: `cargo run --release --example storage_engine`
 
 use dlht::alloc::AllocatorKind;
-use dlht::{DlhtAllocMap, DlhtConfig};
+use dlht::{Dlht, DlhtAllocMap, DlhtConfig};
 
 const USERS: u16 = 1; // namespace for the "users" table
 const ORDERS: u16 = 2; // namespace for the "orders" table
 
 fn main() {
+    // Everyday path: the typed facade routes String -> Vec<u8> rows to the
+    // Allocator mode automatically (variable-size records, epoch-GC deletes).
+    let rows: Dlht<String, Vec<u8>> = Dlht::with_capacity(100_000);
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let rows = &rows;
+            s.spawn(move || {
+                for i in 0..2_500u64 {
+                    let id = t * 10_000 + i;
+                    let row = format!("user-{id}:name=alice,age=30").into_bytes();
+                    rows.insert(&format!("user/{id}"), &row).unwrap();
+                }
+            });
+        }
+    });
+    println!("typed rows indexed: {}", rows.len());
+    let got = rows.get(&"user/10001".to_string()).expect("row must exist");
+    println!("user/10001 row = {} bytes", got.len());
+
+    // Advanced path: the raw Allocator-mode map with namespaces and the
+    // pointer API (no value copy on reads).
     let index = DlhtAllocMap::new(
         DlhtConfig::for_capacity(100_000)
             .with_variable_size(true)
@@ -42,7 +63,7 @@ fn main() {
             });
         }
     });
-    println!("rows indexed: {}", index.len());
+    println!("namespaced rows indexed: {}", index.len());
 
     // Point lookups with the pointer API (no value copy).
     let mut session = index.session();
@@ -59,6 +80,9 @@ fn main() {
     // by the epoch GC after the next quiescent points.
     assert!(session.delete(ORDERS, &key));
     session.quiesce();
-    println!("after delete: order row present = {}", session.contains(ORDERS, &key));
+    println!(
+        "after delete: order row present = {}",
+        session.contains(ORDERS, &key)
+    );
     println!("stats: {:?}", index.stats());
 }

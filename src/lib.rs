@@ -1,38 +1,76 @@
 //! # dlht — Dandelion HashTable
 //!
-//! Facade crate for the DLHT reproduction (HPDC 2024): re-exports the core
-//! hashtable ([`DlhtMap`], [`DlhtAllocMap`], [`DlhtSet`], [`SingleThreadMap`]),
-//! its configuration, and the substrate crates (hash functions, epoch GC,
-//! value allocators), and hosts the repository-wide examples and integration
-//! tests.
+//! Facade crate for the DLHT reproduction (HPDC 2024). It re-exports:
+//!
+//! * the **typed facade** [`Dlht<K, V>`] — one generic table that picks the
+//!   right paper mode at compile time (Inlined slots for 8-byte-encodable
+//!   types, Allocator-mode records for everything else);
+//! * the **unified operations API** [`KvBackend`] + [`Request`]/[`Response`]
+//!   — the single trait implemented by every DLHT mode *and* every baseline
+//!   hashtable in `dlht-baselines`, so workloads and benchmarks drive any
+//!   table interchangeably;
+//! * the mode-specific types ([`DlhtMap`], [`DlhtAllocMap`], [`DlhtSet`],
+//!   [`SingleThreadMap`]) and the substrate crates (hash functions, epoch GC,
+//!   value allocators).
+//!
+//! The same generic code path serves inline and out-of-line pairs:
 //!
 //! ```
-//! use dlht::{DlhtMap, Request, Response};
+//! use dlht::{Dlht, DlhtError, KvCodec};
+//!
+//! fn exercise<K: KvCodec, V: KvCodec + PartialEq + std::fmt::Debug>(
+//!     map: &Dlht<K, V>,
+//!     key: K,
+//!     value: V,
+//! ) -> Result<(), DlhtError> {
+//!     assert!(map.insert(&key, &value)?);
+//!     assert_eq!(map.get(&key).as_ref(), Some(&value));
+//!     assert_eq!(map.remove(&key), Some(value));
+//!     Ok(())
+//! }
+//!
+//! // Inlined mode: both halves pack into the 8-byte slot words.
+//! let ids: Dlht<u64, u64> = Dlht::with_capacity(1024);
+//! exercise(&ids, 42, 4200).unwrap();
+//!
+//! // Allocator mode: out-of-line records, epoch-GC'd deletes.
+//! let docs: Dlht<String, Vec<u8>> = Dlht::with_capacity(1024);
+//! exercise(&docs, "answer".to_string(), vec![42u8; 100]).unwrap();
+//! ```
+//!
+//! And the unified batch API works on any backend:
+//!
+//! ```
+//! use dlht::{DlhtMap, KvBackend, Request, Response};
 //!
 //! let map = DlhtMap::with_capacity(1024);
-//! map.insert(1, 100).unwrap();
-//! let out = map.execute_batch(&[Request::Get(1)], false);
+//! let backend: &dyn KvBackend = &map;
+//! backend.insert(1, 100).unwrap();
+//! let out = backend.execute_batch(&[Request::Get(1)], false);
 //! assert_eq!(out[0], Response::Value(Some(100)));
 //! ```
 //!
-//! See `README.md` for the architecture overview, `DESIGN.md` for the system
-//! inventory and per-experiment index, and `EXPERIMENTS.md` for
-//! paper-vs-measured results.
+//! See `README.md` for the architecture overview, the mode-selection table,
+//! and the migration notes from the pre-`KvBackend` API.
 
 pub use dlht_core::{
-    AllocSession, DlhtAllocMap, DlhtConfig, DlhtError, DlhtMap, DlhtSet, InsertOutcome, RawTable,
-    Request, Response, SingleThreadMap, TableStats, TaggedPtr, MAX_KEY_LEN, MAX_NAMESPACES,
+    AllocSession, ByteCodec, Dlht, DlhtAllocMap, DlhtConfig, DlhtError, DlhtMap, DlhtSet, Inline8,
+    InsertOutcome, KvBackend, KvCodec, MapFeatures, RawTable, Request, Response, SingleThreadMap,
+    TableStats, TaggedPtr, MAX_KEY_LEN, MAX_NAMESPACES,
 };
+
+// Codec-implementation macros for user newtypes.
+pub use dlht_core::{impl_bytes_codec, impl_inline8_codec};
 
 /// Value allocators for the Allocator mode (system malloc and the pooled
 /// mimalloc stand-in).
 pub use dlht_alloc as alloc;
+/// Low-level building blocks (headers, buckets, batch types, prefetching).
+pub use dlht_core as core;
 /// Client-driven epoch-based reclamation used by Allocator-mode deletes.
 pub use dlht_epoch as epoch;
 /// The hash functions evaluated by the paper (modulo, wyhash, xxhash64, ...).
 pub use dlht_hash as hash;
-/// Low-level building blocks (headers, buckets, batch types, prefetching).
-pub use dlht_core as core;
 
 #[cfg(test)]
 mod smoke {
@@ -47,5 +85,15 @@ mod smoke {
         assert!(set.insert(9).unwrap());
         let stats: TableStats = map.stats();
         assert_eq!(stats.occupied_slots, 1);
+    }
+
+    #[test]
+    fn typed_facade_and_backend_trait_compose() {
+        let typed: Dlht<u64, u64> = Dlht::with_capacity(64);
+        typed.insert(&1, &10).unwrap();
+        // The inline path is a real DlhtMap, which is itself a KvBackend.
+        let backend: &dyn KvBackend = typed.inline_map().unwrap();
+        assert_eq!(backend.get(1), Some(10));
+        assert_eq!(backend.name(), "DLHT");
     }
 }

@@ -90,7 +90,7 @@ fn puts_never_resurrect_or_corrupt_under_delete_races() {
     for k in 0..100u64 {
         if let Some(v) = map.get(k) {
             let plausible = v == 1_000_000 + k
-                || (v >= 10_000_000 && v < 20_000_000)
+                || (10_000_000..20_000_000).contains(&v)
                 || v < 10_000
                 || (20_000_000..30_000_000).contains(&v);
             assert!(plausible, "key {k} has implausible value {v}");
@@ -106,8 +106,7 @@ fn batches_interleaved_with_singles_agree() {
             let map = &map;
             s.spawn(move || {
                 let base = t * 1_000_000;
-                let reqs: Vec<Request> =
-                    (0..500).map(|i| Request::Insert(base + i, i)).collect();
+                let reqs: Vec<Request> = (0..500).map(|i| Request::Insert(base + i, i)).collect();
                 let resps = map.execute_batch(&reqs, false);
                 assert!(resps.iter().all(|r| r.succeeded()));
                 // Read them back through the single-request path.

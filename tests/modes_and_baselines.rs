@@ -1,10 +1,10 @@
 //! Integration tests across the public modes (Inlined / Allocator / HashSet /
 //! single-thread) and the baseline implementations driven through the shared
-//! `ConcurrentMap` interface.
+//! `KvBackend` interface.
 
 use dlht::alloc::AllocatorKind;
-use dlht::{DlhtAllocMap, DlhtConfig, DlhtSet, SingleThreadMap};
-use dlht_baselines::{ConcurrentMap, MapKind};
+use dlht::{DlhtAllocMap, DlhtConfig, DlhtSet, KvBackend, SingleThreadMap};
+use dlht_baselines::MapKind;
 use dlht_workloads::{prepopulate, run_workload, WorkloadSpec};
 use std::time::Duration;
 
@@ -18,7 +18,12 @@ fn every_map_kind_survives_the_default_workloads() {
             &WorkloadSpec::get_default(2_000, 2, Duration::from_millis(25)),
         );
         assert!(get.total_ops > 0, "{}", kind.name());
-        assert_eq!(map.len(), 2_000, "{}: Get workload must not mutate", kind.name());
+        assert_eq!(
+            map.len(),
+            2_000,
+            "{}: Get workload must not mutate",
+            kind.name()
+        );
     }
 }
 
@@ -85,7 +90,10 @@ fn single_thread_variant_matches_concurrent_results() {
         let k = rng() % 2_000;
         match rng() % 4 {
             0 => {
-                let a = concurrent.insert(k, k).map(|o| o.inserted()).unwrap_or(false);
+                let a = concurrent
+                    .insert(k, k)
+                    .map(|o| o.inserted())
+                    .unwrap_or(false);
                 let b = single.insert(k, k).map(|o| o.inserted()).unwrap_or(false);
                 assert_eq!(a, b);
             }
@@ -105,17 +113,23 @@ fn dlht_and_baselines_agree_on_a_deterministic_trace() {
         .map(|i| (((i * 2_654_435_761) % 4) as u8, (i * 31) % 700))
         .collect();
     let reference = MapKind::Dlht.build(10_000);
-    for kind in [MapKind::Clht, MapKind::Growt, MapKind::Cuckoo, MapKind::Tbb, MapKind::Mica] {
+    for kind in [
+        MapKind::Clht,
+        MapKind::Growt,
+        MapKind::Cuckoo,
+        MapKind::Tbb,
+        MapKind::Mica,
+    ] {
         let candidate = kind.build(10_000);
         for &(op, key) in &trace {
             match op {
                 0 => {
-                    candidate.insert(key, key);
-                    reference_insert(&*reference, key, kind);
+                    let _ = candidate.insert(key, key);
+                    let _ = reference.insert(key, key);
                 }
                 1 => {
-                    candidate.remove(key);
-                    reference.remove(key);
+                    candidate.delete(key);
+                    reference.delete(key);
                 }
                 2 => {
                     candidate.get(key);
@@ -124,8 +138,8 @@ fn dlht_and_baselines_agree_on_a_deterministic_trace() {
                 _ => {
                     // Updates: skip for maps without Put support (CLHT).
                     if candidate.features().non_blocking_puts {
-                        candidate.update(key, key + 1);
-                        reference.update(key, key + 1);
+                        candidate.put(key, key + 1);
+                        reference.put(key, key + 1);
                     }
                 }
             }
@@ -140,11 +154,7 @@ fn dlht_and_baselines_agree_on_a_deterministic_trace() {
         }
         // Reset the reference for the next baseline by replaying deletes.
         for key in 0..700u64 {
-            reference.remove(key);
+            reference.delete(key);
         }
     }
-}
-
-fn reference_insert(map: &dyn ConcurrentMap, key: u64, _kind: MapKind) {
-    map.insert(key, key);
 }
