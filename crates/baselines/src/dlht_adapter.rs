@@ -8,8 +8,8 @@
 //! overlapped.
 
 use dlht_core::{
-    DlhtConfig, DlhtError, DlhtMap, InsertOutcome, KvBackend, MapFeatures, Request, Response,
-    TableStats,
+    Batch, BatchPolicy, DlhtConfig, DlhtError, DlhtMap, InsertOutcome, KvBackend, MapFeatures,
+    Request, Response, TableStats,
 };
 use std::sync::Arc;
 
@@ -84,8 +84,20 @@ impl KvBackend for DlhtAdapter {
         true
     }
 
-    fn execute_batch(&self, requests: &[Request], stop_on_failure: bool) -> Vec<Response> {
-        self.map.execute_batch(requests, stop_on_failure)
+    fn prefetch_key(&self, key: u64) {
+        self.map.prefetch(key)
+    }
+
+    fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.map.execute(batch, policy)
+    }
+
+    fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.map.execute_prefetched(batch, policy)
+    }
+
+    fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        self.map.execute_batch(requests, policy)
     }
 }
 
@@ -156,8 +168,9 @@ impl KvBackend for DlhtNoBatchAdapter {
         self.map.stats()
     }
 
-    // supports_batching stays false and execute_batch stays the default
-    // per-request loop: no prefetch sweep, no enter/leave amortization.
+    // supports_batching stays false and execute stays the default per-request
+    // loop (and prefetch_key the default no-op): no prefetch sweep, no
+    // enter/leave amortization.
 }
 
 #[cfg(test)]
@@ -187,7 +200,7 @@ mod tests {
             Request::Delete(1),
             Request::Get(1),
         ];
-        let out = m.execute_batch(&reqs, false);
+        let out = m.execute_batch(&reqs, BatchPolicy::RunAll);
         assert_eq!(out[1], Response::Value(Some(10)));
         assert_eq!(out[2], Response::Updated(Some(10)));
         assert_eq!(out[3], Response::Value(Some(11)));
@@ -199,7 +212,24 @@ mod tests {
     fn nobatch_adapter_still_answers_batches_without_prefetching() {
         let m = DlhtNoBatchAdapter::with_capacity(64);
         assert!(!m.supports_batching());
-        let out = m.execute_batch(&[Request::Insert(5, 50), Request::Get(5)], false);
+        let out = m.execute_batch(
+            &[Request::Insert(5, 50), Request::Get(5)],
+            BatchPolicy::RunAll,
+        );
         assert_eq!(out[1], Response::Value(Some(50)));
+    }
+
+    #[test]
+    fn adapter_reuses_batch_storage() {
+        let m = DlhtAdapter::with_capacity(256);
+        let mut batch = Batch::with_capacity(2);
+        for round in 0..4u64 {
+            batch.clear();
+            batch.push_insert(round, round);
+            batch.push_get(round);
+            m.execute(&mut batch, BatchPolicy::RunAll);
+            assert_eq!(batch.responses()[1], Response::Value(Some(round)));
+        }
+        assert_eq!(m.len(), 4);
     }
 }

@@ -4,7 +4,10 @@
 //! may be **reordered** (Table 1, §2.2, §5.3.3).
 
 use crate::open_addr::{is_unsupported_key, CellArray, InsertCell};
-use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures, Request, Response};
+use dlht_core::{
+    Batch, BatchPolicy, DlhtError, InsertOutcome, KvBackend, MapFeatures, Pipeline, Request,
+    Response,
+};
 
 const MAX_PROBES: u64 = 256;
 
@@ -19,6 +22,15 @@ impl DramhitLikeMap {
         DramhitLikeMap {
             cells: CellArray::new(capacity * 5 / 3),
         }
+    }
+
+    /// Open the native pipelined submission interface — the shape DRAMHiT's
+    /// own API has: prefetch the home cell at submit time, keep up to `depth`
+    /// requests in flight, and execute each flushed chunk through the
+    /// reordering engine ([`BatchPolicy::Unordered`]). Responses still come
+    /// back in submission order; execution within a chunk does not.
+    pub fn pipeline(&self, depth: usize) -> Pipeline<'_, Self> {
+        Pipeline::with_flush_policy(self, depth, BatchPolicy::Unordered)
     }
 }
 
@@ -91,18 +103,39 @@ impl KvBackend for DramhitLikeMap {
         true
     }
 
+    fn prefetch_key(&self, key: u64) {
+        dlht_core::prefetch::prefetch_read(self.cells.home_cell_ptr(key));
+    }
+
     /// Batched execution with prefetching, but — faithfully to DRAMHiT — the
     /// requests are **reordered** (grouped by home cell) to maximize overlap.
     /// Results are written back in submission order, but their effects may
     /// interleave differently than submitted, which is what can deadlock a
     /// lock manager built on top (§5.3.3). For the same reason,
-    /// `stop_on_failure` cannot be honored: dependent batches are not
-    /// supported by a reordering engine, so every request executes.
-    fn execute_batch(&self, requests: &[Request], _stop_on_failure: bool) -> Vec<Response> {
-        let mut out = vec![Response::Value(None); requests.len()];
-        // Prefetch sweep.
-        for req in requests {
-            dlht_core::prefetch::prefetch_read(self.cells.home_cell_ptr(req.key()));
+    /// [`BatchPolicy::StopOnFailure`] cannot be honored: dependent batches
+    /// are not supported by a reordering engine, so every request executes
+    /// regardless of policy. [`BatchPolicy::Unordered`] is this engine's
+    /// native mode.
+    fn execute(&self, batch: &mut Batch, _policy: BatchPolicy) {
+        self.execute_reordered(batch, true)
+    }
+
+    /// Pipeline flushes arrive with every home cell already prefetched at
+    /// submit time — skip the sweep, keep the reordering engine.
+    fn execute_prefetched(&self, batch: &mut Batch, _policy: BatchPolicy) {
+        self.execute_reordered(batch, false)
+    }
+}
+
+impl DramhitLikeMap {
+    /// The reordering engine behind both batch entry points.
+    fn execute_reordered(&self, batch: &mut Batch, prefetch_sweep: bool) {
+        let (requests, out) = batch.begin_execution();
+        out.resize(requests.len(), Response::Value(None));
+        if prefetch_sweep {
+            for req in requests {
+                dlht_core::prefetch::prefetch_read(self.cells.home_cell_ptr(req.key()));
+            }
         }
         // Reorder by home-cell address (asynchronous engine emulation).
         let mut order: Vec<usize> = (0..requests.len()).collect();
@@ -115,7 +148,6 @@ impl KvBackend for DramhitLikeMap {
                 Request::Delete(k) => Response::Deleted(self.delete(k)),
             };
         }
-        out
     }
 }
 
@@ -154,7 +186,7 @@ mod tests {
             m.insert(k, k).unwrap();
         }
         let reqs: Vec<Request> = (0..50u64).rev().map(Request::Get).collect();
-        let out = m.execute_batch(&reqs, false);
+        let out = m.execute_batch(&reqs, BatchPolicy::Unordered);
         for (i, r) in out.iter().enumerate() {
             let expected_key = 49 - i as u64;
             assert_eq!(*r, Response::Value(Some(expected_key)));
@@ -168,10 +200,30 @@ mod tests {
         // checking a dependent sequence is NOT guaranteed to succeed.
         let m = DramhitLikeMap::with_capacity(256);
         let reqs = vec![Request::Insert(10, 1), Request::Get(10)];
-        let out = m.execute_batch(&reqs, false);
+        let out = m.execute_batch(&reqs, BatchPolicy::RunAll);
         // Whatever the internal order, results land in submission slots.
         assert_eq!(out.len(), 2);
         assert!(matches!(out[0], Response::Inserted(_)));
         assert!(matches!(out[1], Response::Value(_)));
+    }
+
+    #[test]
+    fn native_pipeline_prefetches_and_completes_in_submission_order() {
+        let m = DramhitLikeMap::with_capacity(4_096);
+        for k in 0..500u64 {
+            m.insert(k, k + 7).unwrap();
+        }
+        let mut pipe = m.pipeline(16);
+        let mut got = Vec::new();
+        for k in 0..500u64 {
+            if let Some(r) = pipe.submit(Request::Get(k)) {
+                got.push(r);
+            }
+        }
+        pipe.drain_into(&mut got);
+        assert_eq!(got.len(), 500);
+        for (k, r) in got.iter().enumerate() {
+            assert_eq!(*r, Response::Value(Some(k as u64 + 7)));
+        }
     }
 }

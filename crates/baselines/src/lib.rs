@@ -45,7 +45,10 @@ pub use tbb_like::ShardedStdMap;
 
 // The one operations API everything here implements (re-exported so
 // downstream crates need only this dependency to drive any table).
-pub use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures, Request, Response};
+pub use dlht_core::{
+    Batch, BatchExecutor, BatchPolicy, DlhtError, InsertOutcome, KvBackend, MapFeatures, Pipeline,
+    Request, Response,
+};
 
 /// Identifier for every hashtable in the evaluation (Table 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -247,10 +250,60 @@ mod tests {
                 Request::Delete(1),
                 Request::Get(1),
             ];
-            let out = map.execute_batch(&reqs, false);
+            let out = map.execute_batch(&reqs, BatchPolicy::RunAll);
             assert_eq!(out.len(), 4, "{}", kind.name());
             assert_eq!(out[1], Response::Value(Some(10)), "{}", kind.name());
             assert_eq!(out[3], Response::Value(None), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn every_kind_reuses_a_batch_buffer() {
+        for kind in MapKind::all() {
+            let map = kind.build(4_096);
+            let mut batch = Batch::with_capacity(2);
+            for round in 0..4u64 {
+                batch.clear();
+                batch.push_insert(round, round * 2);
+                batch.push_get(round);
+                map.execute(&mut batch, BatchPolicy::RunAll);
+                assert_eq!(
+                    batch.responses()[1],
+                    Response::Value(Some(round * 2)),
+                    "{}",
+                    kind.name()
+                );
+            }
+            assert_eq!(map.len(), 4, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn every_kind_drives_a_pipeline_in_submission_order() {
+        // The generic prefetch pipeline works over any backend — designs
+        // without prefetch support just skip the submit-time hint.
+        for kind in MapKind::all() {
+            let map = kind.build(4_096);
+            for k in 0..200u64 {
+                map.insert(k, k + 1).unwrap();
+            }
+            let mut pipe = Pipeline::new(map.as_ref(), 8);
+            let mut got = Vec::new();
+            for k in 0..200u64 {
+                if let Some(r) = pipe.submit(Request::Get(k)) {
+                    got.push(r);
+                }
+            }
+            pipe.drain_into(&mut got);
+            assert_eq!(got.len(), 200, "{}", kind.name());
+            for (k, r) in got.iter().enumerate() {
+                assert_eq!(
+                    *r,
+                    Response::Value(Some(k as u64 + 1)),
+                    "{} key {k}",
+                    kind.name()
+                );
+            }
         }
     }
 

@@ -3,7 +3,7 @@
 //! in the index — every request chases a pointer into a separate value store,
 //! and every Insert/Delete (de)allocates (Table 1, §2.2, §5.1.2).
 
-use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures, Request, Response};
+use dlht_core::{DlhtError, InsertOutcome, KvBackend, MapFeatures};
 use dlht_hash::{Hasher64, WyHash};
 use dlht_util::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -115,14 +115,24 @@ impl KvBackend for MicaLikeMap {
         true
     }
 
+    fn prefetch_key(&self, key: u64) {
+        dlht_core::prefetch::prefetch_read(self.bucket_of(key) as *const Bucket);
+    }
+
     /// Batched execution with a prefetch sweep (MICA pioneered this
     /// technique); requests then execute in order through the shared serial
     /// loop, so the batch contract lives in one place.
-    fn execute_batch(&self, requests: &[Request], stop_on_failure: bool) -> Vec<Response> {
-        for req in requests {
+    fn execute(&self, batch: &mut dlht_core::Batch, policy: dlht_core::BatchPolicy) {
+        for req in batch.requests() {
             dlht_core::prefetch::prefetch_read(self.bucket_of(req.key()) as *const Bucket);
         }
-        dlht_core::kv::execute_serial(self, requests, stop_on_failure)
+        dlht_core::kv::execute_serial(self, batch, policy)
+    }
+
+    /// Pipeline flushes arrive with every bucket already prefetched at
+    /// submit time — skip the sweep.
+    fn execute_prefetched(&self, batch: &mut dlht_core::Batch, policy: dlht_core::BatchPolicy) {
+        dlht_core::kv::execute_serial(self, batch, policy)
     }
 }
 
@@ -130,6 +140,7 @@ impl KvBackend for MicaLikeMap {
 mod tests {
     use super::*;
     use crate::conformance;
+    use dlht_core::{Request, Response};
 
     #[test]
     fn basic_semantics() {
@@ -163,7 +174,7 @@ mod tests {
             Request::Delete(1),
             Request::Get(1),
         ];
-        let out = m.execute_batch(&reqs, false);
+        let out = m.execute_batch(&reqs, dlht_core::BatchPolicy::RunAll);
         assert_eq!(out[1], Response::Updated(Some(1)));
         assert_eq!(out[2], Response::Value(Some(2)));
         assert_eq!(out[3], Response::Deleted(Some(2)));

@@ -3,7 +3,7 @@
 //! InsDel-Resize-NoBatch, and Get.
 
 use dlht_bench::print_header;
-use dlht_core::{DlhtConfig, DlhtMap, Request, SingleThreadMap};
+use dlht_core::{Batch, BatchPolicy, DlhtConfig, DlhtMap, SingleThreadMap};
 use dlht_workloads::{fmt_mops, BenchScale, Table, Xoshiro256};
 use std::time::Instant;
 
@@ -11,18 +11,19 @@ const BATCH: usize = 16;
 
 fn run_concurrent_map(map: &DlhtMap, keys: u64, ops: u64, workload: &str, batched: bool) -> f64 {
     let mut rng = Xoshiro256::new(7);
+    let mut batch = Batch::with_capacity(BATCH);
     let t = Instant::now();
     match workload {
         "Get" => {
             if batched {
-                let mut reqs = Vec::with_capacity(BATCH);
                 let mut done = 0;
                 while done < ops {
-                    reqs.clear();
+                    batch.clear();
                     for _ in 0..BATCH {
-                        reqs.push(Request::Get(rng.next_below(keys)));
+                        batch.push_get(rng.next_below(keys));
                     }
-                    std::hint::black_box(map.execute_batch(&reqs, false));
+                    map.execute(&mut batch, BatchPolicy::RunAll);
+                    std::hint::black_box(batch.responses());
                     done += BATCH as u64;
                 }
             } else {
@@ -34,17 +35,17 @@ fn run_concurrent_map(map: &DlhtMap, keys: u64, ops: u64, workload: &str, batche
         _ => {
             // InsDel: insert a fresh key then delete it, optionally batched.
             if batched {
-                let mut reqs = Vec::with_capacity(BATCH);
                 let mut next = keys + 1;
                 let mut done = 0;
                 while done < ops {
-                    reqs.clear();
+                    batch.clear();
                     for _ in 0..BATCH / 2 {
-                        reqs.push(Request::Insert(next, next));
-                        reqs.push(Request::Delete(next));
+                        batch.push_insert(next, next);
+                        batch.push_delete(next);
                         next += 1;
                     }
-                    std::hint::black_box(map.execute_batch(&reqs, false));
+                    map.execute(&mut batch, BatchPolicy::RunAll);
+                    std::hint::black_box(batch.responses());
                     done += BATCH as u64;
                 }
             } else {
@@ -66,6 +67,7 @@ fn run_single_thread_map(
     batched: bool,
 ) -> f64 {
     let mut rng = Xoshiro256::new(7);
+    let mut batch = Batch::with_capacity(BATCH);
     let t = Instant::now();
     match workload {
         "Get" => {
@@ -75,17 +77,17 @@ fn run_single_thread_map(
         }
         _ => {
             if batched {
-                let mut reqs = Vec::with_capacity(BATCH);
                 let mut next = keys + 1;
                 let mut done = 0;
                 while done < ops {
-                    reqs.clear();
+                    batch.clear();
                     for _ in 0..BATCH / 2 {
-                        reqs.push(Request::Insert(next, next));
-                        reqs.push(Request::Delete(next));
+                        batch.push_insert(next, next);
+                        batch.push_delete(next);
                         next += 1;
                     }
-                    std::hint::black_box(map.execute_batch(&reqs, false));
+                    map.execute(&mut batch, BatchPolicy::RunAll);
+                    std::hint::black_box(batch.responses());
                     done += BATCH as u64;
                 }
             } else {

@@ -103,7 +103,14 @@ pub fn build_prepopulated(kind: MapKind, scale: &BenchScale) -> Box<dyn KvBacken
 /// targets (`harness = false`; the environment builds without external
 /// benchmarking frameworks): runs `op` in a warm-up pass and three timed
 /// passes, printing the best ns/op and derived M ops/s.
-pub fn microbench<F: FnMut()>(name: &str, iters: u64, mut op: F) {
+pub fn microbench<F: FnMut()>(name: &str, iters: u64, op: F) {
+    let best = microbench_ns(name, iters, op);
+    let _ = best;
+}
+
+/// [`microbench`] returning the best ns/op (so callers can also emit the
+/// measurement machine-readably, e.g. as JSON for the perf trajectory).
+pub fn microbench_ns<F: FnMut()>(name: &str, iters: u64, mut op: F) -> f64 {
     let warmup = (iters / 10).max(1);
     for _ in 0..warmup {
         op();
@@ -123,6 +130,7 @@ pub fn microbench<F: FnMut()>(name: &str, iters: u64, mut op: F) {
         "{name:<40} {best:>10.1} ns/op   {:>8.2} M ops/s",
         1e3 / best
     );
+    best
 }
 
 #[cfg(test)]

@@ -279,6 +279,15 @@ impl AllocSession<'_> {
         }
     }
 
+    /// Issue a software prefetch for the index bin `key` hashes to under
+    /// `namespace` — the batch/pipeline interoperation hook (§3.3): prefetch
+    /// a handful of keys, then issue the lookups, so the random index
+    /// accesses overlap.
+    pub fn prefetch(&mut self, namespace: u16, key: &[u8]) {
+        let (word, _) = self.map.key_word(namespace, key);
+        self.map.table.prefetch(word);
+    }
+
     /// Look up `key`, invoking `f` on the value bytes without copying them
     /// (the pointer API of §3.2.1).
     pub fn get_with<R>(

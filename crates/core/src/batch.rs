@@ -6,6 +6,33 @@
 //! reorder — a property §5.3.3 shows can deadlock a lock manager). The
 //! enter/leave index-GC notifications are paid once per batch instead of once
 //! per request.
+//!
+//! The submission surface is built from three pieces:
+//!
+//! * [`Request`] / [`Response`] — the operation vocabulary shared by every
+//!   backend in the repository;
+//! * [`Batch`] — a reusable buffer owning request **and** response storage,
+//!   so steady-state batch execution performs zero heap allocations;
+//! * [`BatchPolicy`] — what happens when a request in the batch fails.
+//!
+//! One-shot callers can use the slice convenience
+//! [`crate::KvBackend::execute_batch`]; hot loops should hold a [`Batch`]
+//! (or a [`crate::Pipeline`]) and re-fill it:
+//!
+//! ```
+//! use dlht_core::{Batch, BatchPolicy, DlhtMap, Response};
+//!
+//! let map = DlhtMap::with_capacity(1024);
+//! let mut batch = Batch::with_capacity(3);
+//! for round in 0..10u64 {
+//!     batch.clear(); // keeps the allocations
+//!     batch.push_insert(round, round * 10);
+//!     batch.push_get(round);
+//!     batch.push_delete(round);
+//!     map.execute(&mut batch, BatchPolicy::RunAll);
+//!     assert_eq!(batch.responses()[1], Response::Value(Some(round * 10)));
+//! }
+//! ```
 
 use crate::error::{DlhtError, InsertOutcome};
 use crate::table::RawTable;
@@ -45,14 +72,14 @@ pub enum Response {
     /// Result of a `Delete`: the removed value if the key existed.
     Deleted(Option<u64>),
     /// The request was skipped because an earlier request failed and the
-    /// batch was submitted with `stop_on_failure`.
+    /// batch was submitted with [`BatchPolicy::StopOnFailure`].
     Skipped,
 }
 
 impl Response {
     /// Whether the request "succeeded" in the sense used by
-    /// `execute_batch(_, stop_on_failure = true)`: Gets/Puts/Deletes succeed
-    /// when the key was found, Inserts when the key was actually inserted.
+    /// [`BatchPolicy::StopOnFailure`]: Gets/Puts/Deletes succeed when the key
+    /// was found, Inserts when the key was actually inserted.
     pub fn succeeded(&self) -> bool {
         match self {
             Response::Value(v) => v.is_some(),
@@ -62,30 +89,248 @@ impl Response {
             Response::Skipped => false,
         }
     }
+
+    /// Whether this slot was skipped by [`BatchPolicy::StopOnFailure`].
+    ///
+    /// Callers inspecting per-slot results should match on
+    /// [`Response::Skipped`] explicitly rather than conflating "skipped" with
+    /// "executed and failed" — a skipped request had **no effect** on the
+    /// table.
+    #[inline]
+    pub fn is_skipped(&self) -> bool {
+        matches!(self, Response::Skipped)
+    }
+}
+
+/// What happens when a request in a batch does not succeed
+/// (see [`Response::succeeded`]).
+///
+/// This replaces the historical bare `stop_on_failure: bool` argument that
+/// leaked through every layer of the repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BatchPolicy {
+    /// Execute every request regardless of failures (the common case).
+    #[default]
+    RunAll,
+    /// The first request that does not succeed terminates the batch; the
+    /// remaining slots are filled with [`Response::Skipped`] and have no
+    /// effect — the behaviour DLHT offers to clients such as lock managers
+    /// (§3.3, §5.3.3).
+    StopOnFailure,
+    /// The caller does not depend on execution order: backends whose engine
+    /// reorders requests (DRAMHiT-like) may do so freely. DLHT itself still
+    /// executes in submission order — its no-reorder guarantee is
+    /// unconditional (§5.3.3) — so on DLHT this behaves like
+    /// [`BatchPolicy::RunAll`]. Responses always land in submission slots.
+    Unordered,
+}
+
+impl BatchPolicy {
+    /// Whether the first failing request terminates the batch.
+    #[inline]
+    pub fn stops_on_failure(self) -> bool {
+        matches!(self, BatchPolicy::StopOnFailure)
+    }
+
+    /// Whether the backend is allowed (not required) to reorder execution.
+    #[inline]
+    pub fn allows_reordering(self) -> bool {
+        matches!(self, BatchPolicy::Unordered)
+    }
+}
+
+/// A reusable batch of requests that owns its response storage.
+///
+/// `Batch` is the repository's steady-state submission buffer: push requests,
+/// hand the batch to [`crate::KvBackend::execute`] (or
+/// [`crate::Session::execute`]), read [`Batch::responses`], then
+/// [`Batch::clear`] and re-fill. Both internal `Vec`s retain their capacity
+/// across `clear`, so a warm batch executes without touching the allocator —
+/// unlike the PR-1 `execute_batch(&[Request], bool) -> Vec<Response>` shape,
+/// which allocated a fresh response vector per call.
+///
+/// Response slot `i` always corresponds to request slot `i`, for every
+/// backend (even the reordering DRAMHiT-like baseline writes results back in
+/// submission order).
+#[derive(Debug, Default, Clone)]
+pub struct Batch {
+    requests: Vec<Request>,
+    responses: Vec<Response>,
+}
+
+impl Batch {
+    /// Create an empty batch.
+    pub fn new() -> Self {
+        Batch::default()
+    }
+
+    /// Create an empty batch with room for `capacity` requests (and their
+    /// responses) before any reallocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Batch {
+            requests: Vec::with_capacity(capacity),
+            responses: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Queue a request.
+    #[inline]
+    pub fn push(&mut self, request: Request) {
+        self.requests.push(request);
+    }
+
+    /// Queue a `Get(key)`.
+    #[inline]
+    pub fn push_get(&mut self, key: u64) {
+        self.push(Request::Get(key));
+    }
+
+    /// Queue a `Put(key, value)`.
+    #[inline]
+    pub fn push_put(&mut self, key: u64, value: u64) {
+        self.push(Request::Put(key, value));
+    }
+
+    /// Queue an `Insert(key, value)`.
+    #[inline]
+    pub fn push_insert(&mut self, key: u64, value: u64) {
+        self.push(Request::Insert(key, value));
+    }
+
+    /// Queue a `Delete(key)`.
+    #[inline]
+    pub fn push_delete(&mut self, key: u64) {
+        self.push(Request::Delete(key));
+    }
+
+    /// Number of queued requests.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether no requests are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Request capacity before the next reallocation.
+    pub fn capacity(&self) -> usize {
+        self.requests.capacity()
+    }
+
+    /// Drop all queued requests and responses, **keeping** both allocations —
+    /// the reuse entry point for steady-state execution.
+    pub fn clear(&mut self) {
+        self.requests.clear();
+        self.responses.clear();
+    }
+
+    /// The queued requests, in submission order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// The responses of the most recent execution, one per request in
+    /// submission order. Empty until the batch has been executed.
+    pub fn responses(&self) -> &[Response] {
+        &self.responses
+    }
+
+    /// Consume the batch and return the response storage (one-shot callers).
+    pub fn into_responses(self) -> Vec<Response> {
+        self.responses
+    }
+
+    /// Split the batch for an executor: clears (and pre-reserves) the
+    /// response vector and returns `(requests, responses)`.
+    ///
+    /// **Executor contract** (for [`crate::KvBackend::execute`]
+    /// implementations only): push exactly one [`Response`] per request, in
+    /// submission-slot order. Regular callers never need this.
+    pub fn begin_execution(&mut self) -> (&[Request], &mut Vec<Response>) {
+        self.responses.clear();
+        self.responses.reserve(self.requests.len());
+        (&self.requests, &mut self.responses)
+    }
+}
+
+impl From<&[Request]> for Batch {
+    fn from(requests: &[Request]) -> Self {
+        Batch {
+            requests: requests.to_vec(),
+            responses: Vec::with_capacity(requests.len()),
+        }
+    }
+}
+
+impl FromIterator<Request> for Batch {
+    fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
+        Batch {
+            requests: iter.into_iter().collect(),
+            responses: Vec::new(),
+        }
+    }
+}
+
+impl Extend<Request> for Batch {
+    fn extend<I: IntoIterator<Item = Request>>(&mut self, iter: I) {
+        self.requests.extend(iter);
+    }
 }
 
 impl RawTable {
-    /// Execute `requests` in order, writing one [`Response`] per request.
+    /// Execute the queued requests of `batch` in order, writing one
+    /// [`Response`] per request into the batch's own response storage.
     ///
     /// Memory latencies of the requests are overlapped by prefetching every
-    /// request's bin up front. If `stop_on_failure` is set, the first request
-    /// that does not succeed (see [`Response::succeeded`]) terminates the
-    /// batch and the remaining responses are [`Response::Skipped`] — the
-    /// behaviour DLHT offers to clients such as lock managers (§3.3).
-    pub fn execute_batch(&self, requests: &[Request], stop_on_failure: bool) -> Vec<Response> {
-        let mut responses = Vec::with_capacity(requests.len());
+    /// request's bin up front, and the enter/leave index-GC announcement is
+    /// paid once for the whole batch (§3.3). A warm (reused) batch executes
+    /// with zero heap allocations.
+    pub fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
         let guard = self.enter();
-        // SAFETY: the guard keeps the entered index generation (and the chain
-        // forward from it) alive.
-        let idx = unsafe { &*guard.index_ptr() };
-        // Prefetch sweep: one software prefetch per distinct request bin.
-        for req in requests {
-            idx.prefetch_bin(idx.bin_of(req.key()));
+        self.execute_entered(guard.index_ptr(), batch, policy, true);
+        drop(guard);
+    }
+
+    /// [`RawTable::execute`] without the up-front prefetch sweep, for callers
+    /// (the [`crate::Pipeline`]) that already prefetched every request's bin
+    /// at submit time — sweeping again here would add no latency-hiding
+    /// distance.
+    pub fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        let guard = self.enter();
+        self.execute_entered(guard.index_ptr(), batch, policy, false);
+        drop(guard);
+    }
+
+    /// Batch execution body, starting from an already-announced index
+    /// generation (shared by [`RawTable::execute`] and [`crate::Session`]).
+    ///
+    /// The caller must hold the `EnterGuard` that produced `start` for the
+    /// whole call.
+    pub(crate) fn execute_entered(
+        &self,
+        start: *mut crate::index::Index,
+        batch: &mut Batch,
+        policy: BatchPolicy,
+        prefetch_sweep: bool,
+    ) {
+        // SAFETY: the caller's guard keeps the entered index generation (and
+        // the chain forward from it) alive.
+        let idx = unsafe { &*start };
+        let (requests, responses) = batch.begin_execution();
+        // Prefetch sweep: one software prefetch per request bin (skipped when
+        // the caller prefetched at submit time).
+        if prefetch_sweep {
+            for req in requests {
+                idx.prefetch_bin(idx.bin_of(req.key()));
+            }
         }
-        // Execute strictly in order. The guarded variants reuse this batch's
-        // single enter/leave announcement, which is exactly how the paper
-        // amortizes the index-GC notifications over a batch (§3.3).
-        let start = guard.index_ptr();
+        // Execute strictly in order — DLHT's no-reorder guarantee holds even
+        // under `BatchPolicy::Unordered` (§5.3.3). The guarded variants reuse
+        // the caller's single enter/leave announcement, which is exactly how
+        // the paper amortizes the index-GC notifications over a batch (§3.3).
         let mut stopped = false;
         for req in requests {
             if stopped {
@@ -103,15 +348,20 @@ impl RawTable {
                 )),
                 Request::Delete(k) => Response::Deleted(self.delete_guarded(start, k)),
             };
-            if stop_on_failure && !resp.succeeded() {
-                responses.push(resp);
+            if policy.stops_on_failure() && !resp.succeeded() {
                 stopped = true;
-                continue;
             }
             responses.push(resp);
         }
-        drop(guard);
-        responses
+    }
+
+    /// One-shot convenience over [`RawTable::execute`]: builds a temporary
+    /// [`Batch`] from `requests` and returns the responses. Allocates per
+    /// call; hot loops should hold a reusable [`Batch`] instead.
+    pub fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        let mut batch = Batch::from(requests);
+        self.execute(&mut batch, policy);
+        batch.into_responses()
     }
 }
 
@@ -135,7 +385,7 @@ mod tests {
             Request::Delete(1),
             Request::Get(1),
         ];
-        let resps = t.execute_batch(&reqs, false);
+        let resps = t.execute_batch(&reqs, BatchPolicy::RunAll);
         assert_eq!(resps[1], Response::Value(Some(10)));
         assert_eq!(resps[2], Response::Updated(Some(10)));
         assert_eq!(resps[3], Response::Value(Some(11)));
@@ -153,11 +403,12 @@ mod tests {
             Request::Insert(8, 80),
             Request::Delete(7),
         ];
-        let resps = t.execute_batch(&reqs, true);
+        let resps = t.execute_batch(&reqs, BatchPolicy::StopOnFailure);
         assert_eq!(resps[0], Response::Value(Some(70)));
         assert_eq!(resps[1], Response::Value(None));
         assert_eq!(resps[2], Response::Skipped);
         assert_eq!(resps[3], Response::Skipped);
+        assert!(resps[2].is_skipped() && resps[3].is_skipped());
         // The skipped requests must not have executed.
         assert_eq!(t.get(8), None);
         assert_eq!(t.get(7), Some(70));
@@ -171,7 +422,7 @@ mod tests {
             Request::Insert(1, 0), // lock already held -> failure
             Request::Insert(2, 0),
         ];
-        let resps = t.execute_batch(&reqs, true);
+        let resps = t.execute_batch(&reqs, BatchPolicy::StopOnFailure);
         assert!(resps[0].succeeded());
         assert!(!resps[1].succeeded());
         assert_eq!(resps[2], Response::Skipped);
@@ -192,10 +443,56 @@ mod tests {
             t.insert(k, k * 2).unwrap();
         }
         let reqs: Vec<Request> = (0..256u64).map(Request::Get).collect();
-        let resps = t.execute_batch(&reqs, false);
+        let resps = t.execute_batch(&reqs, BatchPolicy::RunAll);
         for k in 0..256u64 {
             let expected = if k < 128 { Some(k * 2) } else { None };
             assert_eq!(resps[k as usize], Response::Value(expected));
         }
+    }
+
+    #[test]
+    fn reused_batch_keeps_capacity_and_clears_responses() {
+        let t = table();
+        let mut batch = Batch::with_capacity(4);
+        for round in 0..16u64 {
+            batch.clear();
+            batch.push_insert(round, round);
+            batch.push_get(round);
+            batch.push_delete(round);
+            t.execute(&mut batch, BatchPolicy::RunAll);
+            assert_eq!(batch.responses().len(), 3);
+            assert_eq!(batch.responses()[1], Response::Value(Some(round)));
+        }
+        assert!(batch.capacity() >= 4);
+        batch.clear();
+        assert!(batch.is_empty());
+        assert!(batch.responses().is_empty());
+    }
+
+    #[test]
+    fn unordered_policy_still_executes_in_order_on_dlht() {
+        let t = table();
+        let mut batch: Batch = [
+            Request::Insert(9, 90),
+            Request::Get(9),
+            Request::Delete(9),
+            Request::Get(9),
+        ]
+        .into_iter()
+        .collect();
+        t.execute(&mut batch, BatchPolicy::Unordered);
+        assert_eq!(batch.responses()[1], Response::Value(Some(90)));
+        assert_eq!(batch.responses()[3], Response::Value(None));
+    }
+
+    #[test]
+    fn batch_collectors_and_extend() {
+        let mut b: Batch = (0..4u64).map(Request::Get).collect();
+        assert_eq!(b.len(), 4);
+        b.extend([Request::Delete(1)]);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.requests()[4], Request::Delete(1));
+        let from_slice = Batch::from(&[Request::Get(1)][..]);
+        assert_eq!(from_slice.len(), 1);
     }
 }

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicUsize, Ordering}
 
 /// One generation of the table: bins, link buckets, and resize state.
 ///
-/// Indexes are linked into a forward chain through [`Index::next`] by the
+/// Indexes are linked into a forward chain through `Index::next` by the
 /// resize protocol; the chain is only ever extended at the tail and freed from
 /// the head (oldest first), which is what makes announcing the entered index
 /// sufficient to protect a whole traversal (see `registry.rs`).

@@ -9,7 +9,7 @@
 //! operation set (§3.2): Get / Insert / Put / Delete, plus the
 //! order-preserving batch entry point of §3.3.
 
-use crate::batch::{Request, Response};
+use crate::batch::{Batch, BatchPolicy, Request, Response};
 use crate::error::{DlhtError, InsertOutcome};
 use crate::map::DlhtMap;
 use crate::set::DlhtSet;
@@ -134,37 +134,57 @@ pub trait KvBackend: Send + Sync {
         TableStats::default()
     }
 
-    /// Whether [`KvBackend::execute_batch`] actually overlaps memory accesses
+    /// Whether [`KvBackend::execute`] actually overlaps memory accesses
     /// (software prefetching) rather than falling back to a loop.
     fn supports_batching(&self) -> bool {
         false
     }
 
-    /// Execute a batch of requests, one [`Response`] per request, in
-    /// submission order. With `stop_on_failure`, the first request that does
-    /// not succeed (see [`Response::succeeded`]) terminates the batch and the
-    /// remaining responses are [`Response::Skipped`] — the behaviour DLHT
-    /// offers to clients such as lock managers (§3.3).
+    /// Issue a software prefetch for wherever `key` lives (a bin, a home
+    /// cell, a bucket). A no-op by default; designs with prefetch support
+    /// override it — it is what a [`crate::Pipeline`] calls at submit time.
+    fn prefetch_key(&self, _key: u64) {}
+
+    /// Execute the queued requests of `batch`, one [`Response`] per request
+    /// in submission-slot order, into the batch's own (reused) response
+    /// storage. Execution itself follows submission order unless the design
+    /// documents otherwise (DRAMHiT-like reordering under
+    /// [`BatchPolicy::Unordered`]).
     ///
-    /// The default implementation loops over the single-request operations
-    /// (see [`execute_serial`]); designs with software prefetching override
-    /// it.
-    fn execute_batch(&self, requests: &[Request], stop_on_failure: bool) -> Vec<Response> {
-        execute_serial(self, requests, stop_on_failure)
+    /// This is the steady-state entry point: a warm [`Batch`] executes with
+    /// zero heap allocations. The default implementation loops over the
+    /// single-request operations (see [`execute_serial`]); designs with
+    /// software prefetching override it.
+    fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        execute_serial(self, batch, policy)
+    }
+
+    /// [`KvBackend::execute`] for a batch whose requests were already
+    /// prefetched individually (via [`KvBackend::prefetch_key`], as the
+    /// [`crate::Pipeline`] does at submit time): designs with an up-front
+    /// prefetch sweep skip it here rather than prefetch every bin twice.
+    /// Defaults to plain [`KvBackend::execute`].
+    fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.execute(batch, policy)
+    }
+
+    /// One-shot convenience over [`KvBackend::execute`]: copies `requests`
+    /// into a temporary [`Batch`] and returns its responses. Allocates per
+    /// call — hot paths should hold a reusable [`Batch`] instead.
+    fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        let mut batch = Batch::from(requests);
+        self.execute(&mut batch, policy);
+        batch.into_responses()
     }
 }
 
-/// Execute `requests` serially through `backend`'s single-request operations,
-/// honoring the `stop_on_failure` contract. This is the body of the default
-/// [`KvBackend::execute_batch`]; overriders that only add a prefetch sweep
+/// Execute a batch serially through `backend`'s single-request operations,
+/// honoring the [`BatchPolicy`] contract. This is the body of the default
+/// [`KvBackend::execute`]; overriders that only add a prefetch sweep
 /// (e.g. the MICA-like baseline) delegate here so the batch contract lives in
 /// one place.
-pub fn execute_serial<B: KvBackend + ?Sized>(
-    backend: &B,
-    requests: &[Request],
-    stop_on_failure: bool,
-) -> Vec<Response> {
-    let mut out = Vec::with_capacity(requests.len());
+pub fn execute_serial<B: KvBackend + ?Sized>(backend: &B, batch: &mut Batch, policy: BatchPolicy) {
+    let (requests, out) = batch.begin_execution();
     let mut stopped = false;
     for req in requests {
         if stopped {
@@ -177,12 +197,11 @@ pub fn execute_serial<B: KvBackend + ?Sized>(
             Request::Insert(k, v) => Response::Inserted(backend.insert(k, v)),
             Request::Delete(k) => Response::Deleted(backend.delete(k)),
         };
-        if stop_on_failure && !resp.succeeded() {
+        if policy.stops_on_failure() && !resp.succeeded() {
             stopped = true;
         }
         out.push(resp);
     }
-    out
 }
 
 /// Blanket impl so `Arc<M>` can be used wherever a backend is expected.
@@ -220,8 +239,17 @@ impl<M: KvBackend + ?Sized> KvBackend for std::sync::Arc<M> {
     fn supports_batching(&self) -> bool {
         (**self).supports_batching()
     }
-    fn execute_batch(&self, requests: &[Request], stop_on_failure: bool) -> Vec<Response> {
-        (**self).execute_batch(requests, stop_on_failure)
+    fn prefetch_key(&self, key: u64) {
+        (**self).prefetch_key(key)
+    }
+    fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        (**self).execute(batch, policy)
+    }
+    fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        (**self).execute_prefetched(batch, policy)
+    }
+    fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        (**self).execute_batch(requests, policy)
     }
 }
 
@@ -260,8 +288,17 @@ impl<M: KvBackend + ?Sized> KvBackend for Box<M> {
     fn supports_batching(&self) -> bool {
         (**self).supports_batching()
     }
-    fn execute_batch(&self, requests: &[Request], stop_on_failure: bool) -> Vec<Response> {
-        (**self).execute_batch(requests, stop_on_failure)
+    fn prefetch_key(&self, key: u64) {
+        (**self).prefetch_key(key)
+    }
+    fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        (**self).execute(batch, policy)
+    }
+    fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        (**self).execute_prefetched(batch, policy)
+    }
+    fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        (**self).execute_batch(requests, policy)
     }
 }
 
@@ -299,8 +336,17 @@ impl KvBackend for DlhtMap {
     fn supports_batching(&self) -> bool {
         true
     }
-    fn execute_batch(&self, requests: &[Request], stop_on_failure: bool) -> Vec<Response> {
-        DlhtMap::execute_batch(self, requests, stop_on_failure)
+    fn prefetch_key(&self, key: u64) {
+        DlhtMap::prefetch(self, key)
+    }
+    fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        DlhtMap::execute(self, batch, policy)
+    }
+    fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.raw().execute_prefetched(batch, policy)
+    }
+    fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        DlhtMap::execute_batch(self, requests, policy)
     }
 }
 
@@ -335,8 +381,17 @@ impl KvBackend for RawTable {
     fn supports_batching(&self) -> bool {
         true
     }
-    fn execute_batch(&self, requests: &[Request], stop_on_failure: bool) -> Vec<Response> {
-        RawTable::execute_batch(self, requests, stop_on_failure)
+    fn prefetch_key(&self, key: u64) {
+        RawTable::prefetch(self, key)
+    }
+    fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        RawTable::execute(self, batch, policy)
+    }
+    fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        RawTable::execute_prefetched(self, batch, policy)
+    }
+    fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        RawTable::execute_batch(self, requests, policy)
     }
 }
 
@@ -377,8 +432,17 @@ impl KvBackend for DlhtSet {
     fn supports_batching(&self) -> bool {
         true
     }
-    fn execute_batch(&self, requests: &[Request], stop_on_failure: bool) -> Vec<Response> {
-        self.raw().execute_batch(requests, stop_on_failure)
+    fn prefetch_key(&self, key: u64) {
+        self.raw().prefetch(key)
+    }
+    fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.raw().execute(batch, policy)
+    }
+    fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.raw().execute_prefetched(batch, policy)
+    }
+    fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        self.raw().execute_batch(requests, policy)
     }
 }
 
@@ -432,11 +496,26 @@ mod tests {
             Request::Insert(1, 0), // duplicate -> failure
             Request::Insert(2, 0),
         ];
-        let out = KvBackend::execute_batch(&set, &reqs, true);
+        let out = KvBackend::execute_batch(&set, &reqs, BatchPolicy::StopOnFailure);
         assert!(out[0].succeeded());
         assert!(!out[1].succeeded());
         assert_eq!(out[2], Response::Skipped);
         assert!(!KvBackend::contains(&set, 2));
+    }
+
+    #[test]
+    fn trait_execute_reuses_batch_storage() {
+        let map = DlhtMap::with_capacity(256);
+        let backend: &dyn KvBackend = &map;
+        let mut batch = Batch::with_capacity(2);
+        for round in 0..8u64 {
+            batch.clear();
+            batch.push_insert(round, round * 7);
+            batch.push_get(round);
+            backend.execute(&mut batch, BatchPolicy::RunAll);
+            assert_eq!(batch.responses()[1], Response::Value(Some(round * 7)));
+        }
+        assert_eq!(map.len(), 8);
     }
 
     #[test]
@@ -457,7 +536,7 @@ mod tests {
         assert_eq!(b.insert(u64::MAX, 1), Err(DlhtError::ReservedKey));
         assert_eq!(b.insert(u64::MAX - 1, 1), Err(DlhtError::ReservedKey));
         assert_eq!(b.upsert(u64::MAX, 1), Err(DlhtError::ReservedKey));
-        let out = b.execute_batch(&[Request::Insert(u64::MAX, 1)], false);
+        let out = b.execute_batch(&[Request::Insert(u64::MAX, 1)], BatchPolicy::RunAll);
         assert_eq!(out[0], Response::Inserted(Err(DlhtError::ReservedKey)));
     }
 }

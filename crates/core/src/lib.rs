@@ -38,15 +38,27 @@
 //! ## Quick start
 //!
 //! ```
-//! use dlht_core::{DlhtMap, Request, Response};
+//! use dlht_core::{Batch, BatchPolicy, DlhtMap, Request, Response};
 //!
 //! let map = DlhtMap::with_capacity(10_000);
 //! map.insert(7, 700).unwrap();
 //!
-//! // Batched execution with software prefetching (order preserving).
-//! let batch = [Request::Get(7), Request::Put(7, 701), Request::Get(7)];
-//! let out = map.execute_batch(&batch, false);
-//! assert_eq!(out[2], Response::Value(Some(701)));
+//! // Batched execution with software prefetching (order preserving). The
+//! // batch owns request and response storage; clear() + re-push makes
+//! // steady-state execution allocation-free.
+//! let mut batch = Batch::with_capacity(3);
+//! batch.push_get(7);
+//! batch.push_put(7, 701);
+//! batch.push_get(7);
+//! map.execute(&mut batch, BatchPolicy::RunAll);
+//! assert_eq!(batch.responses()[2], Response::Value(Some(701)));
+//!
+//! // Or keep a stream of operations in flight with a bounded pipeline:
+//! // prefetch at submit, order-preserving completion.
+//! let session = map.session();
+//! let mut pipe = session.pipeline(16);
+//! pipe.submit(Request::Get(7));
+//! assert_eq!(pipe.drain()[0], Response::Value(Some(701)));
 //! ```
 //!
 //! ## Reserved keys
@@ -63,8 +75,10 @@ pub mod header;
 pub mod index;
 pub mod iter;
 pub mod kv;
+pub mod pipeline;
 pub mod prefetch;
 pub mod registry;
+pub mod session;
 pub mod stats;
 pub mod tagged_ptr;
 pub mod typed;
@@ -76,17 +90,19 @@ mod single_thread;
 mod table;
 
 pub use alloc_map::{AllocSession, DlhtAllocMap, MAX_KEY_LEN};
-pub use batch::{Request, Response};
+pub use batch::{Batch, BatchPolicy, Request, Response};
 pub use config::DlhtConfig;
 pub use error::{DlhtError, InsertOutcome};
 pub use kv::{KvBackend, MapFeatures};
 pub use map::DlhtMap;
+pub use pipeline::{BatchExecutor, Pipeline};
+pub use session::Session;
 pub use set::DlhtSet;
 pub use single_thread::SingleThreadMap;
 pub use stats::TableStats;
 pub use table::RawTable;
 pub use tagged_ptr::{TaggedPtr, MAX_NAMESPACES};
-pub use typed::{ByteCodec, Dlht, Inline8, KvCodec};
+pub use typed::{ByteCodec, Dlht, Inline8, KvCodec, TypedBatch, TypedResponse};
 
 // Re-export the substrate crates so downstream users need only one dependency.
 pub use dlht_alloc as alloc;

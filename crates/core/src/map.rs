@@ -3,9 +3,10 @@
 //! cache for a query engine, a pointer-to-pointer map for a storage engine —
 //! and the one all the headline numbers (Figures 3–8) are measured on.
 
-use crate::batch::{Request, Response};
+use crate::batch::{Batch, BatchPolicy, Request, Response};
 use crate::config::DlhtConfig;
 use crate::error::{DlhtError, InsertOutcome};
+use crate::session::Session;
 use crate::stats::TableStats;
 use crate::table::RawTable;
 
@@ -115,11 +116,36 @@ impl DlhtMap {
         self.table.commit_shadow(key, commit)
     }
 
-    /// Execute a batch of requests in order, overlapping their memory
-    /// latencies with software prefetching (§3.3).
+    /// Execute the queued requests of `batch` in order, overlapping their
+    /// memory latencies with software prefetching (§3.3). The batch's own
+    /// response storage is reused, so a warm batch executes with zero heap
+    /// allocations — see [`Batch`].
     #[inline]
-    pub fn execute_batch(&self, requests: &[Request], stop_on_failure: bool) -> Vec<Response> {
-        self.table.execute_batch(requests, stop_on_failure)
+    pub fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.table.execute(batch, policy)
+    }
+
+    /// [`DlhtMap::execute`] without the up-front prefetch sweep, for callers
+    /// that already prefetched each request's bin (see
+    /// [`RawTable::execute_prefetched`]).
+    #[inline]
+    pub fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.table.execute_prefetched(batch, policy)
+    }
+
+    /// One-shot convenience over [`DlhtMap::execute`]: builds a temporary
+    /// [`Batch`] from `requests` and returns the responses (allocates per
+    /// call).
+    #[inline]
+    pub fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        self.table.execute_batch(requests, policy)
+    }
+
+    /// Open a per-thread [`Session`] with a cached registry slot — the entry
+    /// point for reusable batches and the bounded prefetch
+    /// [`crate::Pipeline`].
+    pub fn session(&self) -> Session<'_> {
+        Session::new(&self.table)
     }
 
     /// Prefetch the bin `key` hashes to (coroutine interoperation, §3.3).

@@ -1,0 +1,236 @@
+//! Per-thread submission sessions (§3.2.5 + §3.3).
+//!
+//! Every DLHT request must announce itself to the [`crate::registry::ThreadRegistry`]
+//! so retired indexes can be garbage-collected after a resize. The plain
+//! operations look the announcement slot up through a thread-local on every
+//! call; a [`Session`] claims the slot **once** and reuses it, making the
+//! per-request overhead exactly the two stores the paper describes — and it
+//! is the factory for the [`Pipeline`] submission interface.
+//!
+//! ```
+//! use dlht_core::{Batch, BatchPolicy, DlhtMap, Request, Response};
+//!
+//! let map = DlhtMap::with_capacity(1024);
+//! let session = map.session(); // per-thread handle
+//!
+//! // Slot-cached single operations...
+//! session.insert(1, 100).unwrap();
+//! assert_eq!(session.get(1), Some(100));
+//!
+//! // ...reusable batches...
+//! let mut batch = Batch::with_capacity(2);
+//! batch.push_put(1, 101);
+//! batch.push_get(1);
+//! session.execute(&mut batch, BatchPolicy::RunAll);
+//! assert_eq!(batch.responses()[1], Response::Value(Some(101)));
+//!
+//! // ...and bounded prefetch pipelines.
+//! let mut pipe = session.pipeline(16);
+//! pipe.submit(Request::Delete(1));
+//! assert_eq!(pipe.drain()[0], Response::Deleted(Some(101)));
+//! ```
+
+use crate::batch::{Batch, BatchPolicy};
+use crate::error::{DlhtError, InsertOutcome};
+use crate::header::SlotState;
+use crate::pipeline::{BatchExecutor, Pipeline};
+use crate::table::{EnterGuard, RawTable};
+use std::marker::PhantomData;
+
+/// A per-thread handle over a [`RawTable`] (or any mode wrapping one) with a
+/// pre-claimed registry announcement slot.
+///
+/// `Session` is deliberately **not** `Send`/`Sync`: the cached slot belongs to
+/// the creating thread. Create one session per worker thread (they are cheap)
+/// and drive batches or a [`Pipeline`] through it.
+pub struct Session<'t> {
+    table: &'t RawTable,
+    /// The claimed announcement slot; `None` when resizing is disabled and
+    /// the enter/leave protocol is skipped entirely (§3.4.5).
+    slot: Option<usize>,
+    /// Pins the session to its creating thread.
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<'t> Session<'t> {
+    pub(crate) fn new(table: &'t RawTable) -> Self {
+        let slot = table
+            .config()
+            .resizing
+            .then(|| table.registry().slot_for_current_thread());
+        Session {
+            table,
+            slot,
+            _not_send: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn enter(&self) -> EnterGuard<'t> {
+        match self.slot {
+            Some(slot) => self.table.enter_with_slot(slot),
+            None => self.table.enter(),
+        }
+    }
+
+    /// The table this session operates on.
+    pub fn table(&self) -> &'t RawTable {
+        self.table
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let guard = self.enter();
+        let r = self.table.get_guarded(guard.index_ptr(), key);
+        drop(guard);
+        r
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert `key -> value`; fails (without overwriting) if the key exists.
+    pub fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        let guard = self.enter();
+        let r = self
+            .table
+            .insert_guarded(guard.index_ptr(), key, value, SlotState::Valid);
+        drop(guard);
+        r
+    }
+
+    /// Update an existing key's value; returns the previous value.
+    pub fn put(&self, key: u64, value: u64) -> Option<u64> {
+        let guard = self.enter();
+        let r = self.table.put_guarded(guard.index_ptr(), key, value);
+        drop(guard);
+        r
+    }
+
+    /// Delete `key`, returning its value if it was present.
+    pub fn delete(&self, key: u64) -> Option<u64> {
+        let guard = self.enter();
+        let r = self.table.delete_guarded(guard.index_ptr(), key);
+        drop(guard);
+        r
+    }
+
+    /// Issue a software prefetch for the bin `key` hashes to.
+    pub fn prefetch(&self, key: u64) {
+        let guard = self.enter();
+        // SAFETY: protected by the guard.
+        let idx = unsafe { &*guard.index_ptr() };
+        idx.prefetch_bin(idx.bin_of(key));
+        drop(guard);
+    }
+
+    /// Execute `batch` in order with the prefetch sweep, reusing the batch's
+    /// response storage — see [`RawTable::execute`]. One enter/leave
+    /// announcement (through the cached slot) covers the whole batch.
+    pub fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        let guard = self.enter();
+        self.table
+            .execute_entered(guard.index_ptr(), batch, policy, true);
+        drop(guard);
+    }
+
+    /// [`Session::execute`] without the up-front prefetch sweep, for batches
+    /// whose requests were already prefetched one by one (the pipeline's
+    /// flush path).
+    pub fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        let guard = self.enter();
+        self.table
+            .execute_entered(guard.index_ptr(), batch, policy, false);
+        drop(guard);
+    }
+
+    /// Open a bounded prefetch [`Pipeline`] of `depth` in-flight requests
+    /// submitting through this session.
+    pub fn pipeline(&self, depth: usize) -> Pipeline<'_, Self> {
+        Pipeline::new(self, depth)
+    }
+}
+
+impl BatchExecutor for Session<'_> {
+    fn issue_prefetch(&self, key: u64) {
+        Session::prefetch(self, key);
+    }
+
+    fn run(&self, batch: &mut Batch, policy: BatchPolicy) {
+        Session::execute(self, batch, policy);
+    }
+
+    fn run_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        Session::execute_prefetched(self, batch, policy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{Request, Response};
+    use crate::config::DlhtConfig;
+    use crate::map::DlhtMap;
+
+    #[test]
+    fn session_single_ops_roundtrip() {
+        let map = DlhtMap::with_capacity(256);
+        let s = map.session();
+        assert!(s.insert(1, 10).unwrap().inserted());
+        assert_eq!(s.get(1), Some(10));
+        assert!(s.contains(1));
+        assert_eq!(s.put(1, 11), Some(10));
+        assert_eq!(s.delete(1), Some(11));
+        assert_eq!(s.get(1), None);
+    }
+
+    #[test]
+    fn session_without_resizing_skips_the_registry() {
+        let map = DlhtMap::with_config(DlhtConfig::new(64).with_resizing(false));
+        let s = map.session();
+        assert!(s.slot.is_none());
+        assert!(s.insert(2, 20).unwrap().inserted());
+        assert_eq!(s.get(2), Some(20));
+    }
+
+    #[test]
+    fn session_batches_and_pipeline_share_the_cached_slot() {
+        let map = DlhtMap::with_capacity(1024);
+        let s = map.session();
+        let mut batch = Batch::new();
+        for k in 0..32u64 {
+            batch.push_insert(k, k);
+        }
+        s.execute(&mut batch, BatchPolicy::RunAll);
+        assert!(batch.responses().iter().all(|r| r.succeeded()));
+
+        let mut pipe = s.pipeline(8);
+        let mut hits = 0usize;
+        for k in 0..64u64 {
+            if let Some(Response::Value(Some(_))) = pipe.submit(Request::Get(k)) {
+                hits += 1;
+            }
+        }
+        for r in pipe.drain() {
+            if matches!(r, Response::Value(Some(_))) {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 32);
+    }
+
+    #[test]
+    fn sessions_survive_resizes() {
+        let map = DlhtMap::with_config(DlhtConfig::new(4).with_chunk_bins(2));
+        let s = map.session();
+        for k in 0..2_000u64 {
+            s.insert(k, k).unwrap();
+        }
+        assert!(map.resizes() > 0, "the tiny index must have grown");
+        for k in 0..2_000u64 {
+            assert_eq!(s.get(k), Some(k), "key {k} lost across resize");
+        }
+    }
+}

@@ -99,6 +99,12 @@ impl DlhtSet {
         self.table.stats()
     }
 
+    /// Open a per-thread [`crate::Session`] with a cached registry slot —
+    /// lock managers drive their order-preserving batches through this.
+    pub fn session(&self) -> crate::Session<'_> {
+        crate::Session::new(&self.table)
+    }
+
     /// Borrow the underlying raw table (advanced / benchmarking use).
     pub fn raw(&self) -> &RawTable {
         &self.table

@@ -277,19 +277,19 @@ impl SingleThreadMap {
         }
     }
 
-    /// Execute a batch of requests in order with a prefetch sweep, mirroring
-    /// the concurrent batch API (§3.3) without any synchronization cost.
-    pub fn execute_batch(
-        &mut self,
-        requests: &[crate::batch::Request],
-        stop_on_failure: bool,
-    ) -> Vec<crate::batch::Response> {
+    /// Execute the queued requests of `batch` in order with a prefetch
+    /// sweep, mirroring the concurrent batch API (§3.3) without any
+    /// synchronization cost. The batch's response storage is reused across
+    /// calls — see [`crate::Batch`].
+    pub fn execute(&mut self, batch: &mut crate::batch::Batch, policy: crate::batch::BatchPolicy) {
         use crate::batch::{Request, Response};
+        // Split the borrow up front: the request slice stays untouched while
+        // the operations below mutate the bins.
+        let (requests, out) = batch.begin_execution();
         for req in requests {
             let bin_no = self.bin_of(req.key());
             prefetch_read(&self.bins[bin_no] as *const StBin);
         }
-        let mut out = Vec::with_capacity(requests.len());
         let mut stopped = false;
         for req in requests {
             if stopped {
@@ -302,12 +302,23 @@ impl SingleThreadMap {
                 Request::Insert(k, v) => Response::Inserted(self.insert(k, v)),
                 Request::Delete(k) => Response::Deleted(self.delete(k)),
             };
-            if stop_on_failure && !resp.succeeded() {
+            if policy.stops_on_failure() && !resp.succeeded() {
                 stopped = true;
             }
             out.push(resp);
         }
-        out
+    }
+
+    /// One-shot convenience over [`SingleThreadMap::execute`] (allocates per
+    /// call).
+    pub fn execute_batch(
+        &mut self,
+        requests: &[crate::batch::Request],
+        policy: crate::batch::BatchPolicy,
+    ) -> Vec<crate::batch::Response> {
+        let mut batch = crate::batch::Batch::from(requests);
+        self.execute(&mut batch, policy);
+        batch.into_responses()
     }
 }
 
@@ -382,7 +393,7 @@ mod tests {
 
     #[test]
     fn batch_api_without_synchronization() {
-        use crate::batch::{Request, Response};
+        use crate::batch::{BatchPolicy, Request, Response};
         let mut m = SingleThreadMap::with_capacity(64);
         let resps = m.execute_batch(
             &[
@@ -391,11 +402,27 @@ mod tests {
                 Request::Get(2),
                 Request::Insert(2, 2),
             ],
-            true,
+            BatchPolicy::StopOnFailure,
         );
         assert_eq!(resps[1], Response::Value(Some(1)));
         assert_eq!(resps[2], Response::Value(None));
         assert_eq!(resps[3], Response::Skipped);
+    }
+
+    #[test]
+    fn reusable_batch_on_the_single_thread_map() {
+        use crate::batch::{Batch, BatchPolicy, Response};
+        let mut m = SingleThreadMap::with_capacity(64);
+        let mut batch = Batch::with_capacity(3);
+        for round in 0..10u64 {
+            batch.clear();
+            batch.push_insert(round, round);
+            batch.push_get(round);
+            batch.push_delete(round);
+            m.execute(&mut batch, BatchPolicy::RunAll);
+            assert_eq!(batch.responses()[1], Response::Value(Some(round)));
+        }
+        assert!(m.is_empty());
     }
 
     #[test]

@@ -116,7 +116,13 @@ impl RawTable {
                 index: self.current.load(Ordering::Acquire),
             };
         }
-        let slot = self.registry.slot_for_current_thread();
+        self.enter_with_slot(self.registry.slot_for_current_thread())
+    }
+
+    /// [`RawTable::enter`] with an already-claimed registry slot — the
+    /// [`crate::Session`] fast path, which caches its slot at construction and
+    /// skips the thread-local lookup on every request.
+    pub(crate) fn enter_with_slot(&self, slot: usize) -> EnterGuard<'_> {
         loop {
             let p = self.current.load(Ordering::SeqCst);
             self.registry.announce(slot, p as usize);
@@ -130,6 +136,12 @@ impl RawTable {
             // The index changed between load and announce; re-announce so the
             // resizer never misses us.
         }
+    }
+
+    /// The per-table thread registry (used by [`crate::Session`] to claim its
+    /// announcement slot once).
+    pub(crate) fn registry(&self) -> &ThreadRegistry {
+        &self.registry
     }
 
     // ------------------------------------------------------------------

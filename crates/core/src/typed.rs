@@ -37,11 +37,19 @@
 //! slot words are fingerprints that avoid the reserved range internally).
 
 use crate::alloc_map::DlhtAllocMap;
+use crate::batch::{Batch, BatchPolicy, Response};
 use crate::config::DlhtConfig;
 use crate::error::DlhtError;
 use crate::map::DlhtMap;
 use crate::stats::TableStats;
+use std::cell::RefCell;
 use std::marker::PhantomData;
+
+thread_local! {
+    /// Scratch batch reused by [`Dlht::get_many_into`] so the typed batched
+    /// lookup allocates nothing in steady state.
+    static GET_MANY_SCRATCH: RefCell<Batch> = RefCell::new(Batch::new());
+}
 
 /// Lossless encoding of a type into the 8-byte inline slot word.
 ///
@@ -467,32 +475,84 @@ impl<K: KvCodec, V: KvCodec> Dlht<K, V> {
     }
 
     /// Batched lookup. On the Inlined path the keys go through the
-    /// order-preserving prefetched batch API (§3.3); on the Allocator path
-    /// they are looked up in order within one session.
+    /// order-preserving prefetched batch API (§3.3); on the Allocator path a
+    /// prefetch sweep over every key's bin precedes the in-order lookups of
+    /// one session. Allocates the result vector; hot loops should pass a
+    /// reused buffer to [`Dlht::get_many_into`] instead.
     pub fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        let mut out = Vec::with_capacity(keys.len());
+        self.get_many_into(keys, &mut out);
+        out
+    }
+
+    /// [`Dlht::get_many`] into a caller-provided buffer (`out` is cleared
+    /// first, its capacity is kept). On the Inlined path the request batch
+    /// itself comes from a thread-local scratch [`Batch`], so steady-state
+    /// calls perform no heap allocation beyond what `out` needs the first
+    /// time.
+    pub fn get_many_into(&self, keys: &[K], out: &mut Vec<Option<V>>) {
+        out.clear();
+        out.reserve(keys.len());
         match &self.inner {
             Inner::Inline(map) => {
-                let reqs: Vec<crate::Request> = keys
-                    .iter()
-                    .map(|k| crate::Request::Get(k.encode_word()))
-                    .collect();
-                map.execute_batch(&reqs, false)
-                    .into_iter()
-                    .map(|r| match r {
-                        crate::Response::Value(v) => v.map(V::decode_word),
+                let run = |batch: &mut Batch, out: &mut Vec<Option<V>>| {
+                    batch.clear();
+                    for k in keys {
+                        batch.push_get(k.encode_word());
+                    }
+                    map.execute(batch, BatchPolicy::RunAll);
+                    out.extend(batch.responses().iter().map(|r| match r {
+                        Response::Value(v) => v.map(V::decode_word),
                         _ => None,
-                    })
-                    .collect()
+                    }));
+                };
+                // A user codec that re-enters get_many from encode/decode
+                // would find the scratch borrowed; fall back to a local batch
+                // rather than panicking on the RefCell.
+                GET_MANY_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+                    Ok(mut batch) => run(&mut batch, out),
+                    Err(_) => run(&mut Batch::with_capacity(keys.len()), out),
+                })
             }
             Inner::Alloc(map) => {
+                // Encode every key once into a flat buffer, prefetch-sweep
+                // the bins, then look up in order — the §3.3 overlap pattern
+                // applied to out-of-line records.
+                let mut flat = Vec::new();
+                let mut ranges = Vec::with_capacity(keys.len());
+                for k in keys {
+                    let start = flat.len();
+                    k.encode_bytes(&mut flat);
+                    ranges.push(start..flat.len());
+                }
                 let mut s = map.session();
-                keys.iter()
-                    .map(|k| {
-                        let kb = Self::key_bytes(k);
-                        s.get_with(0, &kb, V::decode_bytes)
-                    })
-                    .collect()
+                for r in &ranges {
+                    s.prefetch(0, &flat[r.clone()]);
+                }
+                for r in &ranges {
+                    out.push(s.get_with(0, &flat[r.clone()], V::decode_bytes));
+                }
             }
+        }
+    }
+
+    /// Execute a typed batch (see [`TypedBatch`]) through the
+    /// order-preserving prefetched batch path.
+    ///
+    /// Only available on Inlined-mode instantiations — the Allocator mode
+    /// offers no word-encoded batch path (§3.2.4 exposes the pointer API
+    /// instead) and reports [`DlhtError::UnsupportedInMode`].
+    pub fn execute(
+        &self,
+        batch: &mut TypedBatch<K, V>,
+        policy: BatchPolicy,
+    ) -> Result<(), DlhtError> {
+        match &self.inner {
+            Inner::Inline(map) => {
+                map.execute(&mut batch.raw, policy);
+                Ok(())
+            }
+            Inner::Alloc(_) => Err(DlhtError::UnsupportedInMode),
         }
     }
 
@@ -532,6 +592,133 @@ impl<K: KvCodec, V: KvCodec> Dlht<K, V> {
             Inner::Inline(_) => None,
             Inner::Alloc(map) => Some(map),
         }
+    }
+}
+
+/// A typed view of one executed batch slot — [`Response`] with the value
+/// word decoded back to `V`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypedResponse<V> {
+    /// Result of a `Get`.
+    Value(Option<V>),
+    /// Result of a `Put`: the previous value if the key existed.
+    Updated(Option<V>),
+    /// Result of an `Insert`: whether the key was inserted.
+    Inserted(Result<bool, DlhtError>),
+    /// Result of a `Delete`: the removed value if the key existed.
+    Deleted(Option<V>),
+    /// Skipped under [`BatchPolicy::StopOnFailure`]; had no effect.
+    Skipped,
+}
+
+/// A reusable typed batch builder over [`Dlht<K, V>`]: push typed requests,
+/// execute through [`Dlht::execute`], and read responses decoded back to `V`.
+///
+/// Wraps a word-encoded [`Batch`], so it shares its zero-allocation reuse
+/// property: [`TypedBatch::clear`] keeps both buffers' capacity.
+///
+/// Requests are word-encoded at push time, so `TypedBatch` serves **inline**
+/// codecs (`K::INLINE && V::INLINE`); pushing a non-inline key or value
+/// panics (its codec has no word encoding), and executing against an
+/// Allocator-mode table reports [`DlhtError::UnsupportedInMode`].
+///
+/// ```
+/// use dlht_core::{BatchPolicy, Dlht, TypedBatch, TypedResponse};
+///
+/// let map: Dlht<u64, u64> = Dlht::with_capacity(256);
+/// let mut batch: TypedBatch<u64, u64> = TypedBatch::new();
+/// batch.push_insert(&1, &100);
+/// batch.push_get(&1);
+/// map.execute(&mut batch, BatchPolicy::RunAll).unwrap();
+/// assert_eq!(batch.response(1), Some(TypedResponse::Value(Some(100))));
+/// ```
+pub struct TypedBatch<K: KvCodec, V: KvCodec> {
+    raw: Batch,
+    _marker: PhantomData<fn(K, V)>,
+}
+
+impl<K: KvCodec, V: KvCodec> TypedBatch<K, V> {
+    /// Create an empty typed batch.
+    pub fn new() -> Self {
+        TypedBatch {
+            raw: Batch::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Create an empty typed batch with room for `capacity` requests.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TypedBatch {
+            raw: Batch::with_capacity(capacity),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Queue a lookup of `key`.
+    pub fn push_get(&mut self, key: &K) {
+        self.raw.push_get(key.encode_word());
+    }
+
+    /// Queue an update of `key` to `value`.
+    pub fn push_put(&mut self, key: &K, value: &V) {
+        self.raw.push_put(key.encode_word(), value.encode_word());
+    }
+
+    /// Queue an insert of `key -> value`.
+    pub fn push_insert(&mut self, key: &K, value: &V) {
+        self.raw.push_insert(key.encode_word(), value.encode_word());
+    }
+
+    /// Queue a delete of `key`.
+    pub fn push_delete(&mut self, key: &K) {
+        self.raw.push_delete(key.encode_word());
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Drop all requests and responses, keeping both allocations.
+    pub fn clear(&mut self) {
+        self.raw.clear();
+    }
+
+    /// The decoded response in slot `i` of the most recent execution.
+    pub fn response(&self, i: usize) -> Option<TypedResponse<V>> {
+        self.raw.responses().get(i).map(Self::decode)
+    }
+
+    /// Iterate over the decoded responses of the most recent execution, in
+    /// submission order.
+    pub fn responses(&self) -> impl Iterator<Item = TypedResponse<V>> + '_ {
+        self.raw.responses().iter().map(Self::decode)
+    }
+
+    /// The word-encoded batch underneath (advanced use).
+    pub fn raw(&self) -> &Batch {
+        &self.raw
+    }
+
+    fn decode(r: &Response) -> TypedResponse<V> {
+        match *r {
+            Response::Value(v) => TypedResponse::Value(v.map(V::decode_word)),
+            Response::Updated(v) => TypedResponse::Updated(v.map(V::decode_word)),
+            Response::Inserted(r) => TypedResponse::Inserted(r.map(|o| o.inserted())),
+            Response::Deleted(v) => TypedResponse::Deleted(v.map(V::decode_word)),
+            Response::Skipped => TypedResponse::Skipped,
+        }
+    }
+}
+
+impl<K: KvCodec, V: KvCodec> Default for TypedBatch<K, V> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -608,6 +795,79 @@ mod tests {
         assert_eq!(signed.insert(&-1, &1), Err(DlhtError::ReservedKey));
         assert_eq!(signed.insert(&-2, &1), Err(DlhtError::ReservedKey));
         assert!(signed.insert(&-3, &1).unwrap());
+    }
+
+    #[test]
+    fn typed_batch_roundtrip_and_reuse() {
+        let map: Dlht<u64, u64> = Dlht::with_capacity(256);
+        let mut batch: TypedBatch<u64, u64> = TypedBatch::with_capacity(4);
+        for round in 0..8u64 {
+            batch.clear();
+            batch.push_insert(&round, &(round * 10));
+            batch.push_get(&round);
+            batch.push_put(&round, &(round * 10 + 1));
+            batch.push_delete(&round);
+            map.execute(&mut batch, BatchPolicy::RunAll).unwrap();
+            let out: Vec<_> = batch.responses().collect();
+            assert_eq!(out[0], TypedResponse::Inserted(Ok(true)));
+            assert_eq!(out[1], TypedResponse::Value(Some(round * 10)));
+            assert_eq!(out[2], TypedResponse::Updated(Some(round * 10)));
+            assert_eq!(out[3], TypedResponse::Deleted(Some(round * 10 + 1)));
+        }
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn typed_batch_stop_on_failure_marks_skipped() {
+        let map: Dlht<u64, u64> = Dlht::with_capacity(64);
+        let mut batch: TypedBatch<u64, u64> = TypedBatch::new();
+        batch.push_insert(&1, &10);
+        batch.push_insert(&1, &11); // duplicate -> failure
+        batch.push_insert(&2, &20);
+        map.execute(&mut batch, BatchPolicy::StopOnFailure).unwrap();
+        assert_eq!(batch.response(0), Some(TypedResponse::Inserted(Ok(true))));
+        assert_eq!(batch.response(1), Some(TypedResponse::Inserted(Ok(false))));
+        assert_eq!(batch.response(2), Some(TypedResponse::Skipped));
+        assert_eq!(map.get(&2), None, "skipped insert must not execute");
+    }
+
+    #[test]
+    fn typed_batch_is_unsupported_in_allocator_mode() {
+        // String -> u64 runs in Allocator mode, where the word-encoded batch
+        // path does not exist. An empty batch never touches the key codec, so
+        // this exercises exactly the mode check.
+        let alloc: Dlht<String, u64> = Dlht::with_capacity(64);
+        assert_eq!(alloc.mode(), "allocator");
+        let mut batch: TypedBatch<String, u64> = TypedBatch::new();
+        assert_eq!(
+            alloc.execute(&mut batch, BatchPolicy::RunAll),
+            Err(DlhtError::UnsupportedInMode)
+        );
+    }
+
+    #[test]
+    fn get_many_into_reuses_caller_buffer() {
+        let inline: Dlht<u64, u64> = Dlht::with_capacity(512);
+        for i in 0..100u64 {
+            inline.insert(&i, &(i + 1)).unwrap();
+        }
+        let keys: Vec<u64> = (0..128).collect();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            inline.get_many_into(&keys, &mut out);
+            assert_eq!(out.len(), 128);
+            for (i, v) in out.iter().enumerate() {
+                let expect = if i < 100 { Some(i as u64 + 1) } else { None };
+                assert_eq!(*v, expect);
+            }
+        }
+
+        // Allocator path with the prefetch sweep.
+        let bytes: Dlht<String, Vec<u8>> = Dlht::with_capacity(64);
+        bytes.insert(&"x".to_string(), &vec![9]).unwrap();
+        let mut bout = Vec::new();
+        bytes.get_many_into(&["x".to_string(), "y".to_string()], &mut bout);
+        assert_eq!(bout, vec![Some(vec![9]), None]);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! prefetching can overlap the random index accesses. Throughput is reported
 //! as `(|R| + |S|) / runtime` tuples per second, as in the paper.
 
-use dlht_core::{DlhtMap, KvBackend, Request, Response};
+use dlht_core::{Batch, BatchPolicy, DlhtMap, KvBackend, Response};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -75,17 +75,24 @@ pub fn run_hash_join_on(
             s.spawn(move || {
                 let mut local_matches = 0u64;
                 let mut probe = t;
-                let mut batch: Vec<Request> = Vec::with_capacity(batch_size.max(1));
+                // One reusable batch per thread: the probe loop allocates
+                // nothing once the buffers are warm.
+                let mut batch = Batch::with_capacity(batch_size.max(1));
                 while probe < s_tuples {
                     if batched {
                         batch.clear();
                         while batch.len() < batch_size && probe < s_tuples {
-                            batch.push(Request::Get(probe % r_tuples));
+                            batch.push_get(probe % r_tuples);
                             probe += threads;
                         }
-                        for resp in map.execute_batch(&batch, false) {
-                            if matches!(resp, Response::Value(Some(_))) {
-                                local_matches += 1;
+                        map.execute(&mut batch, BatchPolicy::RunAll);
+                        for resp in batch.responses() {
+                            match resp {
+                                Response::Value(Some(_)) => local_matches += 1,
+                                Response::Value(None) => {}
+                                // RunAll never skips, and a Get-only batch
+                                // yields only Value responses.
+                                other => unreachable!("unexpected probe response {other:?}"),
                             }
                         }
                     } else {

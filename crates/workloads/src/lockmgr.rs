@@ -8,7 +8,7 @@
 //! default entry point uses [`DlhtSet`], the paper's configuration.
 
 use crate::rng::Xoshiro256;
-use dlht_core::{DlhtSet, KvBackend, Request, Response};
+use dlht_core::{Batch, BatchPolicy, DlhtSet, KvBackend, Response};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -71,6 +71,10 @@ pub fn run_lock_manager_on(
                 let mut ok = 0u64;
                 let mut busy = 0u64;
                 let mut keys = Vec::with_capacity(locks_per_txn);
+                // Reused across transactions: the steady-state lock/unlock
+                // phases allocate nothing.
+                let mut lock_batch = Batch::with_capacity(locks_per_txn);
+                let mut unlock_batch = Batch::with_capacity(locks_per_txn);
                 while !stop.load(Ordering::Relaxed) {
                     keys.clear();
                     for _ in 0..locks_per_txn {
@@ -80,24 +84,33 @@ pub fn run_lock_manager_on(
                     keys.dedup();
                     let got_all = if batched {
                         // Lock phase: stop at the first busy lock, then release
-                        // whatever was acquired.
-                        let reqs: Vec<Request> =
-                            keys.iter().map(|&k| Request::Insert(k, 0)).collect();
-                        let resps = locks.execute_batch(&reqs, true);
-                        ops += resps
-                            .iter()
-                            .filter(|r| !matches!(r, Response::Skipped))
-                            .count() as u64;
-                        let all = resps.iter().all(|r| r.succeeded());
-                        let unlocks: Vec<Request> = keys
-                            .iter()
-                            .zip(resps.iter())
-                            .filter(|(_, r)| r.succeeded())
-                            .map(|(&k, _)| Request::Delete(k))
-                            .collect();
-                        if !unlocks.is_empty() {
-                            ops += unlocks.len() as u64;
-                            locks.execute_batch(&unlocks, false);
+                        // whatever was acquired. A skipped slot was never
+                        // attempted, so it is neither counted as an operation
+                        // nor released.
+                        lock_batch.clear();
+                        for &k in &keys {
+                            lock_batch.push_insert(k, 0);
+                        }
+                        locks.execute(&mut lock_batch, BatchPolicy::StopOnFailure);
+                        let mut all = true;
+                        unlock_batch.clear();
+                        for (&k, resp) in keys.iter().zip(lock_batch.responses()) {
+                            match resp {
+                                Response::Skipped => all = false, // never attempted
+                                r if r.succeeded() => {
+                                    ops += 1;
+                                    unlock_batch.push_delete(k);
+                                }
+                                _ => {
+                                    // Attempted but busy: counted, not held.
+                                    ops += 1;
+                                    all = false;
+                                }
+                            }
+                        }
+                        if !unlock_batch.is_empty() {
+                            ops += unlock_batch.len() as u64;
+                            locks.execute(&mut unlock_batch, BatchPolicy::RunAll);
                         }
                         all
                     } else {

@@ -14,7 +14,7 @@
 
 use crate::hist::LatencyHistogram;
 use crate::rng::{KeySampler, Xoshiro256};
-use dlht_core::{KvBackend, Request};
+use dlht_core::{Batch, BatchPolicy, KvBackend, Pipeline, Request};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -81,6 +81,13 @@ pub struct WorkloadSpec {
     pub duration: Duration,
     /// Requests per batch; 0 or 1 disables batching.
     pub batch_size: usize,
+    /// When > 0, requests are driven through a bounded prefetch
+    /// [`Pipeline`] of this depth instead of discrete batches: every request
+    /// is prefetched at submit time and executes (order-preserving) once
+    /// `pipeline_depth` later requests are in flight behind it. Per-operation
+    /// latency recording is unavailable in this mode (execution is deferred,
+    /// so a submit-side timestamp would measure the wrong requests).
+    pub pipeline_depth: usize,
     /// When true (the paper's InsDel pattern) every Insert of a fresh key is
     /// immediately followed by a Delete of the same key.
     pub insert_then_delete: bool,
@@ -102,6 +109,7 @@ impl WorkloadSpec {
             threads,
             duration,
             batch_size: 16,
+            pipeline_depth: 0,
             insert_then_delete: false,
             record_latency: false,
             remote_latency_ns: 0,
@@ -126,6 +134,13 @@ impl WorkloadSpec {
     /// Set the batch size.
     pub fn with_batch_size(mut self, batch: usize) -> Self {
         self.batch_size = batch;
+        self
+    }
+
+    /// Drive requests through a bounded prefetch [`Pipeline`] of `depth`
+    /// in-flight requests (0 restores discrete batches).
+    pub fn with_pipeline(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
         self
     }
 
@@ -239,43 +254,62 @@ fn run_thread(
     // Fresh-key space for Inserts: above the prepopulated range, per thread.
     let mut next_fresh = spec.prepopulated + 1 + tid * (1 << 40);
     let batch_size = spec.batch_size.max(1);
-    let mut batch: Vec<Request> = Vec::with_capacity(batch_size * 2);
+    // Reused across every iteration: steady-state execution touches the
+    // allocator only while the buffers warm up.
+    let mut batch = Batch::with_capacity(batch_size * 2);
+    let mut pipeline = (spec.pipeline_depth > 0).then(|| Pipeline::new(map, spec.pipeline_depth));
     let mix = spec.mix;
 
     while !stop.load(Ordering::Relaxed) {
         batch.clear();
         // Build one batch worth of requests (a single request when unbatched).
-        let build = if batching { batch_size } else { 1 };
+        let build = if batching || pipeline.is_some() {
+            batch_size
+        } else {
+            1
+        };
         for _ in 0..build {
             let dice = rng.next_below(100) as u32;
             if dice < mix.get {
-                batch.push(Request::Get(spec.sampler.sample(&mut rng)));
+                batch.push_get(spec.sampler.sample(&mut rng));
             } else if dice < mix.get + mix.put {
                 let k = spec.sampler.sample(&mut rng);
-                batch.push(Request::Put(k, rng.next_u64()));
+                batch.push_put(k, rng.next_u64());
             } else if dice < mix.get + mix.put + mix.insert {
                 let k = next_fresh;
                 next_fresh += 1;
-                batch.push(Request::Insert(k, k));
+                batch.push_insert(k, k);
                 if spec.insert_then_delete {
-                    batch.push(Request::Delete(k));
+                    batch.push_delete(k);
                 }
             } else {
-                batch.push(Request::Delete(spec.sampler.sample(&mut rng)));
+                batch.push_delete(spec.sampler.sample(&mut rng));
             }
         }
 
-        let t0 = if spec.record_latency {
+        // Latency is not recorded in pipeline mode: execution lags submission
+        // by up to `depth` requests, so a timestamp around the submit loop
+        // would charge earlier requests' execution to this window.
+        let t0 = if spec.record_latency && pipeline.is_none() {
             Some(Instant::now())
         } else {
             None
         };
 
-        if batching {
+        if let Some(pipe) = pipeline.as_mut() {
+            // Pipelined submission: prefetch now, execute once `depth` later
+            // requests are in flight. Responses (which lag the submissions)
+            // are consumed on the spot.
+            spin_ns(spec.remote_latency_ns); // one exposed miss per window
+            for req in batch.requests() {
+                std::hint::black_box(pipe.submit(*req));
+            }
+        } else if batching {
             spin_ns(spec.remote_latency_ns); // one exposed miss per batch
-            std::hint::black_box(map.execute_batch(&batch, false));
+            map.execute(&mut batch, BatchPolicy::RunAll);
+            std::hint::black_box(batch.responses());
         } else {
-            for req in &batch {
+            for req in batch.requests() {
                 spin_ns(spec.remote_latency_ns);
                 match *req {
                     Request::Get(k) => {
@@ -301,6 +335,10 @@ fn run_thread(
             }
         }
         ops_done += batch.len() as u64;
+    }
+    // Everything still in flight executes here (counted above at submission).
+    if let Some(mut pipe) = pipeline {
+        pipe.flush();
     }
     (ops_done, hist)
 }
@@ -377,6 +415,25 @@ mod tests {
             let r = run_workload(map.as_ref(), &spec);
             assert!(r.total_ops > 0, "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn pipelined_runs_report_throughput_and_leave_population_unchanged() {
+        let map = MapKind::Dlht.build(50_000);
+        prepopulate(map.as_ref(), 1_000);
+        let spec = quick(WorkloadSpec::insdel_default(
+            1_000,
+            2,
+            Duration::from_millis(50),
+        ))
+        .with_pipeline(16);
+        let r = run_workload(map.as_ref(), &spec);
+        assert!(r.total_ops > 0);
+        assert_eq!(
+            map.len(),
+            1_000,
+            "pipelined InsDel must execute every submitted request"
+        );
     }
 
     #[test]

@@ -1,11 +1,16 @@
 //! A database lock manager over the HashSet mode (§5.3.3), driven entirely
-//! through the unified `KvBackend` batch API: inserting a key locks a record,
-//! deleting it releases the lock, and order-preserving batches implement
-//! two-phase locking without deadlocks.
+//! through the unified batch API: inserting a key locks a record, deleting it
+//! releases the lock, and order-preserving batches implement two-phase
+//! locking without deadlocks.
+//!
+//! Each worker reuses one [`Batch`] for its lock phase and one for its unlock
+//! phase, so the steady-state transaction loop performs no heap allocations;
+//! [`BatchPolicy::StopOnFailure`] expresses "stop at the first busy lock",
+//! and skipped slots (never attempted) are handled explicitly.
 //!
 //! Run with: `cargo run --release --example lock_manager`
 
-use dlht::{DlhtSet, KvBackend, Request};
+use dlht::{Batch, BatchPolicy, DlhtSet, KvBackend, Response};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn main() {
@@ -26,6 +31,8 @@ fn main() {
                     seed ^= seed << 17;
                     seed
                 };
+                let mut lock_batch = Batch::with_capacity(4);
+                let mut unlock_batch = Batch::with_capacity(4);
                 for _ in 0..10_000 {
                     // A transaction touches 4 records; lock them in sorted
                     // order (two-phase locking).
@@ -35,25 +42,31 @@ fn main() {
 
                     // Lock phase as a single order-preserving batch that stops
                     // at the first busy lock.
-                    let lock_reqs: Vec<Request> =
-                        records.iter().map(|&r| Request::Insert(r, t)).collect();
-                    let resps = locks.execute_batch(&lock_reqs, true);
-                    let all_locked = resps.iter().all(|r| r.succeeded());
+                    lock_batch.clear();
+                    for &r in &records {
+                        lock_batch.push_insert(r, t);
+                    }
+                    locks.execute(&mut lock_batch, BatchPolicy::StopOnFailure);
 
+                    // Release exactly what was acquired: skipped slots were
+                    // never attempted, failed slots were busy — neither holds
+                    // a lock.
+                    let mut all_locked = true;
+                    unlock_batch.clear();
+                    for (&r, resp) in records.iter().zip(lock_batch.responses()) {
+                        match resp {
+                            Response::Skipped => all_locked = false,
+                            resp if resp.succeeded() => unlock_batch.push_delete(r),
+                            _ => all_locked = false,
+                        }
+                    }
                     if all_locked {
                         committed.fetch_add(1, Ordering::Relaxed);
                     } else {
                         aborted.fetch_add(1, Ordering::Relaxed);
                     }
-                    // Release whatever was acquired (unlock phase).
-                    let held: Vec<Request> = records
-                        .iter()
-                        .zip(resps.iter())
-                        .filter(|(_, r)| r.succeeded())
-                        .map(|(&r, _)| Request::Delete(r))
-                        .collect();
-                    if !held.is_empty() {
-                        locks.execute_batch(&held, false);
+                    if !unlock_batch.is_empty() {
+                        locks.execute(&mut unlock_batch, BatchPolicy::RunAll);
                     }
                 }
             });

@@ -1,9 +1,10 @@
 //! Quickstart: the typed `Dlht<K, V>` facade and the unified `KvBackend`
-//! operations API — insert, get, put, delete, batched access, statistics.
+//! operations API — insert, get, put, delete, batched and pipelined access,
+//! statistics.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dlht::{Dlht, KvBackend, Request, Response};
+use dlht::{Batch, BatchPolicy, Dlht, KvBackend, Request, Response, TypedBatch, TypedResponse};
 
 fn main() {
     // The typed facade picks the paper mode from the types: u64 -> u64 packs
@@ -36,21 +37,57 @@ fn main() {
     });
     println!("population: {} keys", ids.len());
 
-    // Typed batched lookup: one prefetch sweep, in-order execution.
+    // Typed batched lookup into a reused buffer: one prefetch sweep,
+    // in-order execution, no per-call result vector.
     let keys: Vec<u64> = (0..32).map(|k| k * 100).collect();
-    let hits = ids.get_many(&keys).iter().filter(|v| v.is_some()).count();
+    let mut results = Vec::new();
+    ids.get_many_into(&keys, &mut results);
+    let hits = results.iter().filter(|v| v.is_some()).count();
     println!("typed batched gets: {hits}/32 hits");
 
+    // Mixed typed batch: requests and decoded responses share one reusable
+    // buffer.
+    let mut tbatch: TypedBatch<u64, u64> = TypedBatch::with_capacity(3);
+    tbatch.push_insert(&777_777, &1);
+    tbatch.push_get(&777_777);
+    tbatch.push_delete(&777_777);
+    ids.execute(&mut tbatch, BatchPolicy::RunAll).unwrap();
+    assert_eq!(tbatch.response(1), Some(TypedResponse::Value(Some(1))));
+
     // The same table through the unified KvBackend trait — the interface the
-    // workload runner drives every table (DLHT and baselines) with.
+    // workload runner drives every table (DLHT and baselines) with. The
+    // Batch owns request *and* response storage: clear() + refill executes
+    // with zero steady-state allocations.
     let backend: &dyn KvBackend = ids.inline_map().unwrap();
-    let batch: Vec<Request> = (0..32).map(|k| Request::Get(k * 100)).collect();
-    let responses = backend.execute_batch(&batch, false);
-    let hits = responses
+    let mut batch = Batch::with_capacity(32);
+    for k in 0..32u64 {
+        batch.push_get(k * 100);
+    }
+    backend.execute(&mut batch, BatchPolicy::RunAll);
+    let hits = batch
+        .responses()
         .iter()
         .filter(|r| matches!(r, Response::Value(Some(_))))
         .count();
     println!("trait batched gets: {hits}/32 hits");
+
+    // Or keep a bounded stream of requests in flight: a session caches the
+    // thread's registry slot, and its pipeline prefetches at submit time with
+    // order-preserving completion (depth-16 window here).
+    let session = ids.inline_map().unwrap().session();
+    let mut pipe = session.pipeline(16);
+    let mut hits = 0usize;
+    for k in 0..32u64 {
+        if let Some(Response::Value(Some(_))) = pipe.submit(Request::Get(k * 100)) {
+            hits += 1;
+        }
+    }
+    hits += pipe
+        .drain()
+        .iter()
+        .filter(|r| matches!(r, Response::Value(Some(_))))
+        .count();
+    println!("pipelined gets    : {hits}/32 hits");
 
     // Structural statistics (occupancy, chaining, resizes).
     let stats = backend.stats();

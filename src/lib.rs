@@ -38,25 +38,37 @@
 //! exercise(&docs, "answer".to_string(), vec![42u8; 100]).unwrap();
 //! ```
 //!
-//! And the unified batch API works on any backend:
+//! And the unified batch-and-pipeline API works on any backend. A reusable
+//! [`Batch`] owns request *and* response storage (zero allocations once
+//! warm), [`BatchPolicy`] replaces the old `stop_on_failure: bool`, and a
+//! bounded [`Pipeline`] keeps a stream of prefetched operations in flight
+//! with order-preserving completion:
 //!
 //! ```
-//! use dlht::{DlhtMap, KvBackend, Request, Response};
+//! use dlht::{Batch, BatchPolicy, DlhtMap, KvBackend, Pipeline, Request, Response};
 //!
 //! let map = DlhtMap::with_capacity(1024);
 //! let backend: &dyn KvBackend = &map;
 //! backend.insert(1, 100).unwrap();
-//! let out = backend.execute_batch(&[Request::Get(1)], false);
-//! assert_eq!(out[0], Response::Value(Some(100)));
+//!
+//! let mut batch = Batch::with_capacity(1);
+//! batch.push_get(1);
+//! backend.execute(&mut batch, BatchPolicy::RunAll);
+//! assert_eq!(batch.responses()[0], Response::Value(Some(100)));
+//!
+//! let mut pipe = Pipeline::new(backend, 8);
+//! pipe.submit(Request::Get(1));
+//! assert_eq!(pipe.drain()[0], Response::Value(Some(100)));
 //! ```
 //!
 //! See `README.md` for the architecture overview, the mode-selection table,
-//! and the migration notes from the pre-`KvBackend` API.
+//! and the migration notes from the pre-`Batch` API.
 
 pub use dlht_core::{
-    AllocSession, ByteCodec, Dlht, DlhtAllocMap, DlhtConfig, DlhtError, DlhtMap, DlhtSet, Inline8,
-    InsertOutcome, KvBackend, KvCodec, MapFeatures, RawTable, Request, Response, SingleThreadMap,
-    TableStats, TaggedPtr, MAX_KEY_LEN, MAX_NAMESPACES,
+    AllocSession, Batch, BatchExecutor, BatchPolicy, ByteCodec, Dlht, DlhtAllocMap, DlhtConfig,
+    DlhtError, DlhtMap, DlhtSet, Inline8, InsertOutcome, KvBackend, KvCodec, MapFeatures, Pipeline,
+    RawTable, Request, Response, Session, SingleThreadMap, TableStats, TaggedPtr, TypedBatch,
+    TypedResponse, MAX_KEY_LEN, MAX_NAMESPACES,
 };
 
 // Codec-implementation macros for user newtypes.

@@ -2,7 +2,7 @@
 //! under mixed workloads, resizes, and batching.
 
 use dlht::hash::HashKind;
-use dlht::{DlhtConfig, DlhtMap, Request, Response};
+use dlht::{Batch, BatchPolicy, DlhtConfig, DlhtMap, Pipeline, Request, Response};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 #[test]
@@ -107,7 +107,7 @@ fn batches_interleaved_with_singles_agree() {
             s.spawn(move || {
                 let base = t * 1_000_000;
                 let reqs: Vec<Request> = (0..500).map(|i| Request::Insert(base + i, i)).collect();
-                let resps = map.execute_batch(&reqs, false);
+                let resps = map.execute_batch(&reqs, BatchPolicy::RunAll);
                 assert!(resps.iter().all(|r| r.succeeded()));
                 // Read them back through the single-request path.
                 for i in 0..500u64 {
@@ -119,10 +119,96 @@ fn batches_interleaved_with_singles_agree() {
     assert_eq!(map.len(), 2_000);
     // And via a batch of gets.
     let gets: Vec<Request> = (0..500).map(Request::Get).collect();
-    let out = map.execute_batch(&gets, false);
+    let out = map.execute_batch(&gets, BatchPolicy::RunAll);
     for (i, r) in out.iter().enumerate() {
         assert_eq!(*r, Response::Value(Some(i as u64)));
     }
+}
+
+#[test]
+fn reused_batches_race_deletes_and_resizes_with_order_preserved() {
+    // Batches of writes over a tiny growing index, racing deleters and a
+    // resize storm: every thread's responses must arrive in submission order
+    // with the per-thread invariants intact (slot i of the batch answers
+    // request i). Each worker owns a disjoint key range so the expected
+    // values are exact even under heavy interleaving.
+    let map = DlhtMap::with_config(
+        DlhtConfig::new(16)
+            .with_hash(HashKind::WyHash)
+            .with_chunk_bins(4),
+    );
+    std::thread::scope(|s| {
+        // Batch workers: insert -> get -> put -> get -> delete -> get per key,
+        // all through one reused Batch per thread.
+        for t in 0..3u64 {
+            let map = &map;
+            s.spawn(move || {
+                let base = 10_000_000 * (t + 1);
+                let mut batch = Batch::with_capacity(24);
+                for round in 0..400u64 {
+                    batch.clear();
+                    for i in 0..4u64 {
+                        let k = base + round * 4 + i;
+                        batch.push_insert(k, k);
+                        batch.push_get(k);
+                        batch.push_put(k, k + 1);
+                        batch.push_get(k);
+                        batch.push_delete(k);
+                        batch.push_get(k);
+                    }
+                    map.execute(&mut batch, BatchPolicy::RunAll);
+                    let resps = batch.responses();
+                    assert_eq!(resps.len(), 24);
+                    for i in 0..4usize {
+                        let k = base + round * 4 + i as u64;
+                        let r = &resps[i * 6..i * 6 + 6];
+                        assert!(matches!(r[0], Response::Inserted(Ok(o)) if o.inserted()));
+                        assert_eq!(r[1], Response::Value(Some(k)), "slot order broken");
+                        assert_eq!(r[2], Response::Updated(Some(k)));
+                        assert_eq!(r[3], Response::Value(Some(k + 1)));
+                        assert_eq!(r[4], Response::Deleted(Some(k + 1)));
+                        assert_eq!(r[5], Response::Value(None));
+                    }
+                }
+            });
+        }
+        // A pipeline worker doing the same dance through submit/drain.
+        {
+            let map = &map;
+            s.spawn(move || {
+                let base = 50_000_000u64;
+                let mut pipe = Pipeline::new(map, 12);
+                let mut got = Vec::new();
+                for k in base..base + 1_000 {
+                    for req in [Request::Insert(k, k), Request::Get(k), Request::Delete(k)] {
+                        if let Some(r) = pipe.submit(req) {
+                            got.push(r);
+                        }
+                    }
+                }
+                pipe.drain_into(&mut got);
+                assert_eq!(got.len(), 3_000);
+                for (i, chunk) in got.chunks(3).enumerate() {
+                    let k = base + i as u64;
+                    assert_eq!(chunk[1], Response::Value(Some(k)), "pipeline order broken");
+                    assert_eq!(chunk[2], Response::Deleted(Some(k)));
+                }
+            });
+        }
+        // Resize drivers: grow the shared range so the index migrates under
+        // the batches.
+        for t in 0..2u64 {
+            let map = &map;
+            s.spawn(move || {
+                let base = 1_000_000 * (t + 1);
+                for k in 0..3_000u64 {
+                    assert!(map.insert(base + k, k).unwrap().inserted());
+                }
+            });
+        }
+    });
+    assert!(map.resizes() > 0, "the tiny index must have resized");
+    assert_eq!(map.len(), 2 * 3_000, "only the resize drivers' keys remain");
 }
 
 #[test]

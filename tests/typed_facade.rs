@@ -4,7 +4,8 @@
 //! identity property test for the `Inline8` encoding.
 
 use dlht::{
-    impl_inline8_codec, Dlht, DlhtError, DlhtMap, Inline8, KvBackend, KvCodec, Request, Response,
+    impl_inline8_codec, BatchPolicy, Dlht, DlhtError, DlhtMap, Inline8, KvBackend, KvCodec,
+    Request, Response, TypedBatch, TypedResponse,
 };
 use dlht_util::splitmix64 as splitmix;
 
@@ -73,7 +74,7 @@ fn reserved_keys_rejected_through_the_batch_path() {
                 Request::Put(k, 2),
                 Request::Delete(k),
             ],
-            false,
+            BatchPolicy::RunAll,
         );
         assert_eq!(
             out[0],
@@ -84,10 +85,10 @@ fn reserved_keys_rejected_through_the_batch_path() {
         assert_eq!(out[2], Response::Updated(None), "{k}");
         assert_eq!(out[3], Response::Deleted(None), "{k}");
     }
-    // With stop_on_failure, the reserved-key insert terminates the batch.
+    // With StopOnFailure, the reserved-key insert terminates the batch.
     let out = backend.execute_batch(
         &[Request::Insert(u64::MAX, 1), Request::Insert(7, 70)],
-        true,
+        BatchPolicy::StopOnFailure,
     );
     assert!(!out[0].succeeded());
     assert_eq!(out[1], Response::Skipped);
@@ -196,7 +197,60 @@ fn typed_inline_facade_matches_trait_view() {
     assert_eq!(backend.get(3), Some(33));
     assert_eq!(backend.get(4), Some(44));
     assert_eq!(backend.len(), typed.len());
-    let out = backend.execute_batch(&[Request::Get(3), Request::Get(4)], false);
+    let out = backend.execute_batch(&[Request::Get(3), Request::Get(4)], BatchPolicy::RunAll);
     assert_eq!(out[0], Response::Value(Some(33)));
     assert_eq!(out[1], Response::Value(Some(44)));
+}
+
+// ---- typed batches through the facade --------------------------------------
+
+#[test]
+fn typed_batch_decodes_newtype_values() {
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Score(u32);
+    impl Inline8 for Score {
+        fn to_word(self) -> u64 {
+            self.0 as u64
+        }
+        fn from_word(word: u64) -> Self {
+            Score(word as u32)
+        }
+    }
+    impl_inline8_codec!(Score);
+
+    let map: Dlht<OrderId, Score> = Dlht::with_capacity(256);
+    let mut batch: TypedBatch<OrderId, Score> = TypedBatch::with_capacity(3);
+    for round in 0..5u64 {
+        batch.clear();
+        batch.push_insert(&OrderId(round), &Score(round as u32 * 10));
+        batch.push_get(&OrderId(round));
+        batch.push_put(&OrderId(round), &Score(1));
+        map.execute(&mut batch, BatchPolicy::RunAll).unwrap();
+        assert_eq!(batch.response(0), Some(TypedResponse::Inserted(Ok(true))));
+        assert_eq!(
+            batch.response(1),
+            Some(TypedResponse::Value(Some(Score(round as u32 * 10))))
+        );
+        assert_eq!(
+            batch.response(2),
+            Some(TypedResponse::Updated(Some(Score(round as u32 * 10))))
+        );
+    }
+    assert_eq!(map.len(), 5);
+}
+
+#[test]
+fn get_many_into_matches_get_many_and_reuses_buffers() {
+    let map: Dlht<u64, u64> = Dlht::with_capacity(1024);
+    for k in 0..200u64 {
+        map.insert(&k, &(k ^ 0xFF)).unwrap();
+    }
+    let keys: Vec<u64> = (0..256).collect();
+    let alloc_free = map.get_many(&keys);
+    let mut reused = Vec::new();
+    for _ in 0..2 {
+        map.get_many_into(&keys, &mut reused);
+    }
+    assert_eq!(alloc_free, reused);
+    assert_eq!(reused.iter().filter(|v| v.is_some()).count(), 200);
 }

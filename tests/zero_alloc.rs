@@ -1,0 +1,108 @@
+//! Steady-state allocation accounting for the submission API: once a
+//! reusable [`Batch`] (or [`Pipeline`]) is warm, re-executing it must not
+//! touch the heap at all. Verified with a counting global allocator, which is
+//! why this lives in its own integration-test binary.
+
+use dlht::{Batch, BatchPolicy, DlhtMap, Request, Response};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to the system allocator; the counter has no
+// effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_batch_reexecution_allocates_nothing() {
+    // Ample capacity: the InsDel pattern below never triggers a resize, and
+    // the link-bucket pool is preallocated with the index.
+    let map = DlhtMap::with_capacity(100_000);
+    for k in 0..10_000u64 {
+        map.insert(k, k).unwrap();
+    }
+
+    let mut batch = Batch::with_capacity(64);
+    let fill = |batch: &mut Batch, round: u64| {
+        batch.clear();
+        for i in 0..16u64 {
+            let k = (round * 16 + i) % 10_000;
+            batch.push_get(k);
+            batch.push_put(k, k + 1);
+        }
+        // Fresh insert + delete of the same key (the paper's InsDel shape).
+        let fresh = 1_000_000 + round;
+        batch.push_insert(fresh, fresh);
+        batch.push_delete(fresh);
+    };
+
+    // Warm-up: claims the registry slot, grows the response vector once.
+    for round in 0..4u64 {
+        fill(&mut batch, round);
+        map.execute(&mut batch, BatchPolicy::RunAll);
+    }
+
+    let before = allocations();
+    for round in 0..100u64 {
+        fill(&mut batch, round);
+        map.execute(&mut batch, BatchPolicy::RunAll);
+        assert_eq!(batch.responses().len(), 34);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state Batch re-execution must perform zero heap allocations"
+    );
+}
+
+#[test]
+fn warm_pipeline_submission_allocates_nothing() {
+    let map = DlhtMap::with_capacity(100_000);
+    for k in 0..10_000u64 {
+        map.insert(k, k).unwrap();
+    }
+    let session = map.session();
+    let mut pipe = session.pipeline(16);
+
+    // Warm-up: fills the ring buffers and the scratch batch.
+    for k in 0..200u64 {
+        std::hint::black_box(pipe.submit(Request::Get(k % 10_000)));
+    }
+
+    let before = allocations();
+    let mut hits = 0u64;
+    for k in 0..10_000u64 {
+        if let Some(Response::Value(Some(_))) = pipe.submit(Request::Get(k % 10_000)) {
+            hits += 1;
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state pipeline submission must perform zero heap allocations"
+    );
+    assert!(hits > 0);
+}
