@@ -336,7 +336,7 @@ mod tests {
     #[test]
     fn no_put_support() {
         let m = ClhtMap::with_capacity(64);
-        m.insert(1, 1).unwrap();
+        let _ = m.insert(1, 1).unwrap();
         assert_eq!(m.put(1, 2), None);
         assert_eq!(m.get(1), Some(1));
     }

@@ -9,7 +9,7 @@
 
 use dlht_core::{
     Batch, BatchPolicy, DlhtConfig, DlhtError, DlhtMap, InsertOutcome, KvBackend, MapFeatures,
-    Request, Response, TableStats,
+    Request, Response, ShardedTable, TableStats,
 };
 use std::sync::Arc;
 
@@ -171,6 +171,106 @@ impl KvBackend for DlhtNoBatchAdapter {
     // supports_batching stays false and execute stays the default per-request
     // loop (and prefetch_key the default no-op): no prefetch sweep, no
     // enter/leave amortization.
+}
+
+/// Display name for a sharded-DLHT front of `shards` shards. Applies the
+/// same power-of-two rounding as `ShardedTable` itself, so the label always
+/// matches the table actually built — the single source of truth shared by
+/// [`ShardedDlhtAdapter`] and `MapKind::name`.
+pub(crate) fn sharded_display_name(shards: usize) -> &'static str {
+    match shards.max(1).next_power_of_two() {
+        1 => "DLHT-1shard",
+        2 => "DLHT-2shards",
+        4 => "DLHT-4shards",
+        8 => "DLHT-8shards",
+        16 => "DLHT-16shards",
+        _ => "DLHT-Sharded",
+    }
+}
+
+/// The shard-partitioned DLHT front (`ShardedTable`) with a display name
+/// that spells out its fan-out, so sweep tables comparing several shard
+/// counts stay readable.
+pub struct ShardedDlhtAdapter {
+    table: ShardedTable,
+    name: &'static str,
+}
+
+impl ShardedDlhtAdapter {
+    /// Wrap a sharded table of `shards` shards sized for `capacity` keys in
+    /// total.
+    pub fn with_capacity(shards: usize, capacity: usize) -> Self {
+        let table = ShardedTable::with_capacity(shards, capacity);
+        let name = sharded_display_name(table.num_shards());
+        ShardedDlhtAdapter { table, name }
+    }
+
+    /// Access the wrapped sharded table (per-shard stats, sessions).
+    pub fn inner(&self) -> &ShardedTable {
+        &self.table
+    }
+}
+
+impl KvBackend for ShardedDlhtAdapter {
+    fn get(&self, key: u64) -> Option<u64> {
+        self.table.get(key)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.table.contains(key)
+    }
+
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        self.table.insert(key, value)
+    }
+
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
+        self.table.put(key, value)
+    }
+
+    fn delete(&self, key: u64) -> Option<u64> {
+        self.table.delete(key)
+    }
+
+    fn upsert(&self, key: u64, value: u64) -> Result<Option<u64>, DlhtError> {
+        self.table.upsert(key, value)
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn features(&self) -> MapFeatures {
+        MapFeatures::dlht()
+    }
+
+    fn stats(&self) -> TableStats {
+        self.table.stats()
+    }
+
+    fn supports_batching(&self) -> bool {
+        true
+    }
+
+    fn prefetch_key(&self, key: u64) {
+        self.table.prefetch(key)
+    }
+
+    fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.table.execute(batch, policy)
+    }
+
+    fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.table.execute_prefetched(batch, policy)
+    }
+
+    fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        self.table.execute_batch(requests, policy)
+    }
 }
 
 #[cfg(test)]

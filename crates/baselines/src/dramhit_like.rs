@@ -183,7 +183,7 @@ mod tests {
     fn batch_results_follow_submission_order_even_if_execution_reorders() {
         let m = DramhitLikeMap::with_capacity(256);
         for k in 0..50u64 {
-            m.insert(k, k).unwrap();
+            let _ = m.insert(k, k).unwrap();
         }
         let reqs: Vec<Request> = (0..50u64).rev().map(Request::Get).collect();
         let out = m.execute_batch(&reqs, BatchPolicy::Unordered);
@@ -211,7 +211,7 @@ mod tests {
     fn native_pipeline_prefetches_and_completes_in_submission_order() {
         let m = DramhitLikeMap::with_capacity(4_096);
         for k in 0..500u64 {
-            m.insert(k, k + 7).unwrap();
+            let _ = m.insert(k, k + 7).unwrap();
         }
         let mut pipe = m.pipeline(16);
         let mut got = Vec::new();

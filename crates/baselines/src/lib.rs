@@ -34,7 +34,7 @@ mod tbb_like;
 
 pub use clht::ClhtMap;
 pub use cuckoo::CuckooMap;
-pub use dlht_adapter::{DlhtAdapter, DlhtNoBatchAdapter};
+pub use dlht_adapter::{DlhtAdapter, DlhtNoBatchAdapter, ShardedDlhtAdapter};
 pub use dramhit_like::DramhitLikeMap;
 pub use folly_like::FollyLikeMap;
 pub use growt_like::GrowtLikeMap;
@@ -50,13 +50,17 @@ pub use dlht_core::{
     Request, Response,
 };
 
-/// Identifier for every hashtable in the evaluation (Table 3).
+/// Identifier for every hashtable in the evaluation (Table 3), plus the
+/// shard-partitioned DLHT front added on top of the paper's set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MapKind {
     /// DLHT with batching (software prefetching).
     Dlht,
     /// DLHT issuing requests one at a time.
     DlhtNoBatch,
+    /// DLHT partitioned over this many independent shards (rounded up to a
+    /// power of two), each resizing on its own — `dlht_core::ShardedTable`.
+    DlhtSharded(u8),
     /// CLHT-like closed-addressing baseline.
     Clht,
     /// GrowT-like open-addressing resizable baseline.
@@ -76,11 +80,13 @@ pub enum MapKind {
 }
 
 impl MapKind {
-    /// All evaluated hashtables (the full Figure 1 set).
+    /// All evaluated hashtables (the full Figure 1 set, plus the sharded
+    /// DLHT front at its default fan-out).
     pub fn all() -> Vec<MapKind> {
         vec![
             MapKind::Dlht,
             MapKind::DlhtNoBatch,
+            MapKind::DlhtSharded(4),
             MapKind::Clht,
             MapKind::Growt,
             MapKind::Folly,
@@ -107,14 +113,21 @@ impl MapKind {
 
     /// Hashtables that support growing their index (Figure 7).
     pub fn resizable() -> Vec<MapKind> {
-        vec![MapKind::Dlht, MapKind::Clht, MapKind::Growt]
+        vec![
+            MapKind::Dlht,
+            MapKind::DlhtSharded(4),
+            MapKind::Clht,
+            MapKind::Growt,
+        ]
     }
 
-    /// Display name (matches Table 3).
+    /// Display name (matches Table 3; the sharded front names its fan-out
+    /// for the common power-of-two counts).
     pub fn name(self) -> &'static str {
         match self {
             MapKind::Dlht => "DLHT",
             MapKind::DlhtNoBatch => "DLHT-NoBatch",
+            MapKind::DlhtSharded(n) => dlht_adapter::sharded_display_name(n as usize),
             MapKind::Clht => "CLHT",
             MapKind::Growt => "GrowT-like",
             MapKind::Folly => "Folly-like",
@@ -132,6 +145,10 @@ impl MapKind {
         match self {
             MapKind::Dlht => Box::new(DlhtAdapter::with_capacity(capacity)),
             MapKind::DlhtNoBatch => Box::new(DlhtNoBatchAdapter::with_capacity(capacity)),
+            MapKind::DlhtSharded(shards) => Box::new(ShardedDlhtAdapter::with_capacity(
+                (shards as usize).max(1),
+                capacity,
+            )),
             MapKind::Clht => Box::new(ClhtMap::with_capacity(capacity)),
             MapKind::Growt => Box::new(GrowtLikeMap::with_capacity(capacity)),
             MapKind::Folly => Box::new(FollyLikeMap::with_capacity(capacity)),
@@ -219,6 +236,16 @@ mod tests {
     }
 
     #[test]
+    fn sharded_kind_and_adapter_agree_on_names_after_rounding() {
+        // The shard count rounds up to a power of two inside the table; the
+        // MapKind label and the built adapter's name() must agree anyway.
+        for n in [1u8, 2, 3, 4, 5, 8, 16, 32] {
+            let kind = MapKind::DlhtSharded(n);
+            assert_eq!(kind.build(64).name(), kind.name(), "shards={n}");
+        }
+    }
+
+    #[test]
     fn kind_subsets_are_consistent() {
         let all = MapKind::all();
         for k in MapKind::fastest() {
@@ -235,7 +262,10 @@ mod tests {
     fn only_dlht_has_a_non_blocking_resize() {
         for kind in MapKind::all() {
             let f = kind.build(64).features();
-            let is_dlht = matches!(kind, MapKind::Dlht | MapKind::DlhtNoBatch);
+            let is_dlht = matches!(
+                kind,
+                MapKind::Dlht | MapKind::DlhtNoBatch | MapKind::DlhtSharded(_)
+            );
             assert_eq!(f.non_blocking_resize, is_dlht, "{}", kind.name());
         }
     }
@@ -285,7 +315,7 @@ mod tests {
         for kind in MapKind::all() {
             let map = kind.build(4_096);
             for k in 0..200u64 {
-                map.insert(k, k + 1).unwrap();
+                let _ = map.insert(k, k + 1).unwrap();
             }
             let mut pipe = Pipeline::new(map.as_ref(), 8);
             let mut got = Vec::new();

@@ -25,7 +25,7 @@ fn main() {
     let keys: u64 = 200_000;
     let map = DlhtMap::with_capacity(keys as usize * 2);
     for k in 0..keys {
-        map.insert(k, k).unwrap();
+        let _ = map.insert(k, k).unwrap();
     }
     const WIDTHS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 

@@ -11,7 +11,7 @@ fn main() {
     let keys: u64 = 100_000;
     let map = DlhtMap::with_capacity(keys as usize * 2);
     for k in 0..keys {
-        map.insert(k, k).unwrap();
+        let _ = map.insert(k, k).unwrap();
     }
 
     let mut i = 0u64;
@@ -35,7 +35,7 @@ fn main() {
     let mut fresh = keys + 1;
     microbench("insert_then_delete", 1_000_000, || {
         fresh += 1;
-        map.insert(black_box(fresh), fresh).unwrap();
+        let _ = map.insert(black_box(fresh), fresh).unwrap();
         black_box(map.delete(black_box(fresh)));
     });
 }

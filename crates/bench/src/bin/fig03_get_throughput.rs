@@ -13,9 +13,13 @@ fn main() {
     );
     let keys = scale.keys;
     let duration = scale.duration();
-    let points = sweep(&MapKind::fastest(), &scale, |threads| {
+    // The paper's fastest set, plus the sharded DLHT front at the
+    // `--shards` / DLHT_SHARDS fan-out (default 4).
+    let mut kinds = MapKind::fastest();
+    kinds.push(MapKind::DlhtSharded(scale.shards_u8()));
+    let points = sweep(&kinds, &scale, |threads| {
         WorkloadSpec::get_default(keys, threads, duration)
     });
     throughput_table("Fig. 3 — Get throughput (M req/s)", &points, &scale).print();
-    println!("Expected shape: DLHT > DRAMHiT-like > (CLHT, GrowT-like, Folly-like, DLHT-NoBatch) > MICA-like.");
+    println!("Expected shape: DLHT > DRAMHiT-like > (CLHT, GrowT-like, Folly-like, DLHT-NoBatch) > MICA-like; sharded DLHT tracks DLHT and pulls ahead as threads contend on resizes.");
 }

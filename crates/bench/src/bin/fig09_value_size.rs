@@ -28,7 +28,7 @@ fn main() {
             // Inlined mode.
             let map = DlhtMap::with_capacity(keys as usize * 2);
             for k in 0..keys {
-                map.insert(k, k).unwrap();
+                let _ = map.insert(k, k).unwrap();
             }
             let mut rng = Xoshiro256::new(1);
             let t = Instant::now();
@@ -39,7 +39,7 @@ fn main() {
             let t = Instant::now();
             for i in 0..ops / 2 {
                 let k = keys + 1 + i;
-                map.insert(k, k).unwrap();
+                let _ = map.insert(k, k).unwrap();
                 map.delete(k);
             }
             let insdel = ops_per_sec(ops / 2 * 2, t);

@@ -16,14 +16,27 @@ fn main() {
     let duration = scale.duration();
     let keys = scale.keys;
     let map = build_prepopulated(MapKind::Dlht, &scale);
+    // Sharded front at the --shards / DLHT_SHARDS fan-out: skew also skews
+    // the per-shard load, which is exactly what shard-local resizes absorb.
+    let sharded = build_prepopulated(MapKind::DlhtSharded(scale.shards_u8()), &scale);
     let mut table = Table::new(
         "Fig. 13 — throughput vs skewed-access percentage (M req/s)",
-        &["hot %", "Get", "Get-NoBatch", "InsDel-hot-deletes"],
+        &[
+            "hot %",
+            "Get",
+            "Get-Sharded",
+            "Get-NoBatch",
+            "InsDel-hot-deletes",
+        ],
     );
     for &hot_pct in &[0u32, 25, 50, 75, 90, 99, 100] {
         let sampler = KeySampler::hot_set(keys, 1_000, hot_pct as f64 / 100.0);
         let get = run_workload(
             map.as_ref(),
+            &WorkloadSpec::get_default(keys, threads, duration).with_sampler(sampler.clone()),
+        );
+        let get_sharded = run_workload(
+            sharded.as_ref(),
             &WorkloadSpec::get_default(keys, threads, duration).with_sampler(sampler.clone()),
         );
         let get_nobatch = run_workload(
@@ -42,6 +55,7 @@ fn main() {
         table.row(&[
             hot_pct.to_string(),
             fmt_mops(get.mops),
+            fmt_mops(get_sharded.mops),
             fmt_mops(get_nobatch.mops),
             fmt_mops(insdel.mops),
         ]);

@@ -50,7 +50,7 @@ fn run_concurrent_map(map: &DlhtMap, keys: u64, ops: u64, workload: &str, batche
                 }
             } else {
                 for next in keys + 1..keys + 1 + ops / 2 {
-                    map.insert(next, next).unwrap();
+                    let _ = map.insert(next, next).unwrap();
                     map.delete(next);
                 }
             }
@@ -92,7 +92,7 @@ fn run_single_thread_map(
                 }
             } else {
                 for next in keys + 1..keys + 1 + ops / 2 {
-                    map.insert(next, next).unwrap();
+                    let _ = map.insert(next, next).unwrap();
                     map.delete(next);
                 }
             }
@@ -129,8 +129,8 @@ fn main() {
         let concurrent = DlhtMap::with_config(cfg.clone());
         let mut single = SingleThreadMap::with_config(cfg);
         for k in 0..keys {
-            concurrent.insert(k, k).unwrap();
-            single.insert(k, k).unwrap();
+            let _ = concurrent.insert(k, k).unwrap();
+            let _ = single.insert(k, k).unwrap();
         }
         let base = run_concurrent_map(&concurrent, keys, ops, workload, batched);
         let opt = run_single_thread_map(&mut single, keys, ops, workload, batched);

@@ -144,6 +144,7 @@ mod tests {
             keys: 2_000,
             threads: vec![1, 2],
             secs: 0.03,
+            shards: 2,
         };
         let kinds = [MapKind::Dlht, MapKind::Clht];
         let points = sweep(&kinds, &scale, |threads| {

@@ -61,6 +61,8 @@ impl Request {
 }
 
 /// The result of one request in a batch.
+#[must_use = "a Response reports whether (and how) the request took effect; \
+              inspect it or bind it to `_`"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Response {
     /// Result of a `Get`: the value if present.
@@ -152,6 +154,7 @@ impl BatchPolicy {
 /// Response slot `i` always corresponds to request slot `i`, for every
 /// backend (even the reordering DRAMHiT-like baseline writes results back in
 /// submission order).
+#[must_use = "a Batch does nothing until executed (KvBackend::execute / Session::execute)"]
 #[derive(Debug, Default, Clone)]
 pub struct Batch {
     requests: Vec<Request>,
@@ -396,7 +399,7 @@ mod tests {
     #[test]
     fn stop_on_failure_skips_the_rest() {
         let t = table();
-        t.insert(7, 70).unwrap();
+        let _ = t.insert(7, 70).unwrap();
         let reqs = vec![
             Request::Get(7),
             Request::Get(999), // miss -> failure
@@ -440,7 +443,7 @@ mod tests {
     fn large_batch_with_prefetching_matches_sequential_results() {
         let t = table();
         for k in 0..128u64 {
-            t.insert(k, k * 2).unwrap();
+            let _ = t.insert(k, k * 2).unwrap();
         }
         let reqs: Vec<Request> = (0..256u64).map(Request::Get).collect();
         let resps = t.execute_batch(&reqs, BatchPolicy::RunAll);

@@ -43,6 +43,8 @@ impl fmt::Display for DlhtError {
 impl std::error::Error for DlhtError {}
 
 /// Outcome of an insert.
+#[must_use = "an insert may not have taken effect (AlreadyExists); \
+              check `inserted()` or bind to `_`"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertOutcome {
     /// The key was inserted.

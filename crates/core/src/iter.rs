@@ -60,7 +60,7 @@ mod tests {
     fn iterates_all_pairs_exactly_once() {
         let t = RawTable::with_config(DlhtConfig::new(128));
         for k in 0..64u64 {
-            t.insert(k, k + 1).unwrap();
+            let _ = t.insert(k, k + 1).unwrap();
         }
         let iter = super::Iter::new(&t);
         assert_eq!(iter.remaining(), 64);
@@ -76,7 +76,7 @@ mod tests {
     fn snapshot_is_unaffected_by_later_mutations() {
         let t = RawTable::with_config(DlhtConfig::new(128));
         for k in 0..10u64 {
-            t.insert(k, k).unwrap();
+            let _ = t.insert(k, k).unwrap();
         }
         let iter = super::Iter::new(&t);
         // Mutate after the snapshot was taken.
@@ -91,7 +91,7 @@ mod tests {
     fn concurrent_iteration_sees_stable_keys() {
         let t = std::sync::Arc::new(RawTable::with_config(DlhtConfig::new(512)));
         for k in 0..100u64 {
-            t.insert(k, 1).unwrap();
+            let _ = t.insert(k, 1).unwrap();
         }
         std::thread::scope(|s| {
             // Churn on a disjoint key range.
@@ -100,7 +100,7 @@ mod tests {
                 s.spawn(move || {
                     for round in 0..50u64 {
                         for k in 1_000..1_050u64 {
-                            t.insert(k, round).unwrap();
+                            let _ = t.insert(k, round).unwrap();
                         }
                         for k in 1_000..1_050u64 {
                             t.delete(k);

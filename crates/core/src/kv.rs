@@ -13,6 +13,7 @@ use crate::batch::{Batch, BatchPolicy, Request, Response};
 use crate::error::{DlhtError, InsertOutcome};
 use crate::map::DlhtMap;
 use crate::set::DlhtSet;
+use crate::sharded::ShardedTable;
 use crate::stats::TableStats;
 use crate::table::RawTable;
 
@@ -395,9 +396,64 @@ impl KvBackend for RawTable {
     }
 }
 
+/// The sharded front through the unified API: same per-key semantics as
+/// [`DlhtMap`], with shard-local (independent) resizes and per-shard-run
+/// batch execution — see [`ShardedTable`].
+impl KvBackend for ShardedTable {
+    fn get(&self, key: u64) -> Option<u64> {
+        ShardedTable::get(self, key)
+    }
+    fn contains(&self, key: u64) -> bool {
+        ShardedTable::contains(self, key)
+    }
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        ShardedTable::insert(self, key, value)
+    }
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
+        ShardedTable::put(self, key, value)
+    }
+    fn delete(&self, key: u64) -> Option<u64> {
+        ShardedTable::delete(self, key)
+    }
+    fn upsert(&self, key: u64, value: u64) -> Result<Option<u64>, DlhtError> {
+        ShardedTable::upsert(self, key, value)
+    }
+    fn len(&self) -> usize {
+        ShardedTable::len(self)
+    }
+    fn name(&self) -> &'static str {
+        "DLHT-Sharded"
+    }
+    fn features(&self) -> MapFeatures {
+        MapFeatures::dlht()
+    }
+    fn stats(&self) -> TableStats {
+        ShardedTable::stats(self)
+    }
+    fn supports_batching(&self) -> bool {
+        true
+    }
+    fn prefetch_key(&self, key: u64) {
+        ShardedTable::prefetch(self, key)
+    }
+    fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        ShardedTable::execute(self, batch, policy)
+    }
+    fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        ShardedTable::execute_prefetched(self, batch, policy)
+    }
+    fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        ShardedTable::execute_batch(self, requests, policy)
+    }
+}
+
 /// The HashSet mode through the unified API: values are ignored on insert
 /// (stored as the given word) and a member key reads back its stored word.
-/// `put` is not meaningful for a set and returns `None`.
+/// `put` is not meaningful for a set and returns `None` — and batches go
+/// through the serial default so `execute(Put(..))` agrees with `put`
+/// (delegating to the raw table would let a batch update a member's stored
+/// word, which the single-request surface cannot express). Callers that want
+/// the prefetched batch engine underneath can drop to [`DlhtSet::raw`].
 impl KvBackend for DlhtSet {
     fn get(&self, key: u64) -> Option<u64> {
         self.raw().get(key)
@@ -429,21 +485,11 @@ impl KvBackend for DlhtSet {
     fn stats(&self) -> TableStats {
         DlhtSet::stats(self)
     }
-    fn supports_batching(&self) -> bool {
-        true
-    }
     fn prefetch_key(&self, key: u64) {
         self.raw().prefetch(key)
     }
-    fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
-        self.raw().execute(batch, policy)
-    }
-    fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
-        self.raw().execute_prefetched(batch, policy)
-    }
-    fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
-        self.raw().execute_batch(requests, policy)
-    }
+    // `supports_batching` stays false and `execute` stays the serial default
+    // so the batch surface matches the single-request one (no Puts on sets).
 }
 
 #[cfg(test)]

@@ -203,8 +203,8 @@ mod tests {
     fn basic_api() {
         let m = DlhtMap::with_capacity(100);
         assert!(m.is_empty());
-        m.insert(1, 10).unwrap();
-        m.insert(2, 20).unwrap();
+        let _ = m.insert(1, 10).unwrap();
+        let _ = m.insert(2, 20).unwrap();
         assert_eq!(m.len(), 2);
         assert_eq!(m.get(1), Some(10));
         assert_eq!(m.put(2, 21), Some(20));
@@ -245,7 +245,7 @@ mod tests {
     fn iterator_yields_all_pairs() {
         let m = DlhtMap::with_capacity(64);
         for k in 0..40u64 {
-            m.insert(k, k * k).unwrap();
+            let _ = m.insert(k, k * k).unwrap();
         }
         let mut items: Vec<_> = m.iter().collect();
         items.sort_unstable();

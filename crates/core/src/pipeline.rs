@@ -108,6 +108,8 @@ impl<B: KvBackend + ?Sized> BatchExecutor for B {
 /// Dropping a pipeline **executes** any still-pending requests (discarding
 /// their responses), so a submitted write always takes effect. Call
 /// [`Pipeline::drain`] first when the responses matter.
+#[must_use = "a Pipeline executes requests only when driven (submit/poll/drain); \
+              dropping it unused discards the prefetch window"]
 pub struct Pipeline<'a, E: BatchExecutor + ?Sized> {
     exec: &'a E,
     depth: usize,
@@ -261,7 +263,7 @@ mod tests {
     fn responses_preserve_submission_order() {
         let map = DlhtMap::with_capacity(1024);
         for k in 0..64u64 {
-            map.insert(k, k * 3).unwrap();
+            let _ = map.insert(k, k * 3).unwrap();
         }
         let mut pipe = Pipeline::new(&map, 8);
         let mut got = Vec::new();

@@ -66,7 +66,7 @@ impl<'t> Session<'t> {
     }
 
     #[inline]
-    fn enter(&self) -> EnterGuard<'t> {
+    pub(crate) fn enter(&self) -> EnterGuard<'t> {
         match self.slot {
             Some(slot) => self.table.enter_with_slot(slot),
             None => self.table.enter(),
@@ -226,7 +226,7 @@ mod tests {
         let map = DlhtMap::with_config(DlhtConfig::new(4).with_chunk_bins(2));
         let s = map.session();
         for k in 0..2_000u64 {
-            s.insert(k, k).unwrap();
+            let _ = s.insert(k, k).unwrap();
         }
         assert!(map.resizes() > 0, "the tiny index must have grown");
         for k in 0..2_000u64 {

@@ -1,0 +1,695 @@
+//! Shard-partitioned front over N independent [`RawTable`]s — the scaling
+//! axis *above* the single-table index.
+//!
+//! DLHT's own index already scales across threads (§5.1), but a single table
+//! still shares one link-bucket pool, one resize, and one thread registry.
+//! [`ShardedTable`] partitions the key space over a power-of-two number of
+//! independent [`RawTable`] shards so that:
+//!
+//! * **Resizes are shard-local.** A hot shard grows (non-blocking, §3.2.5)
+//!   without the sibling shards participating in — or even noticing — the
+//!   transfer. Cold shards keep their smaller, cache-friendlier indexes.
+//! * **Contention is partitioned.** Registry announcements, link-bucket
+//!   allocation, and retire/GC bookkeeping are all per shard.
+//! * **The operations API is unchanged.** `ShardedTable` implements the full
+//!   [`crate::KvBackend`] contract — including the batch entry points and the
+//!   prefetch hooks a [`Pipeline`] drives — so every workload, benchmark, and
+//!   example drives it interchangeably with a single table.
+//!
+//! ## Routing
+//!
+//! A key's shard is selected from the **high bits** of a finalizing mix of
+//! its configured hash ([`dlht_hash::mix64`]), while each shard's bin index
+//! keeps using the *unmixed* hash modulo the shard's bin count — exactly what
+//! a single `RawTable` does. The two selections draw from independent parts
+//! of the hash, so sharding leaves per-shard bin indexing undisturbed, and a
+//! key's shard never changes: shard count is fixed at construction, so
+//! routing is stable across any number of per-shard resizes.
+//!
+//! ## Batch semantics
+//!
+//! [`ShardedTable::execute`] splits a batch into per-shard runs:
+//!
+//! * Under [`BatchPolicy::RunAll`] / [`BatchPolicy::StopOnFailure`] requests
+//!   execute strictly in submission order (runs interleave exactly as
+//!   submitted), and a failure under `StopOnFailure` skips every later
+//!   request **across all shards**.
+//! * Under [`BatchPolicy::Unordered`] the runs execute shard-by-shard —
+//!   cross-shard reordering that batches each shard's memory traffic —
+//!   while requests *within* one shard keep their relative order and every
+//!   response still lands in its submission slot.
+//!
+//! ```
+//! use dlht_core::{Batch, BatchPolicy, KvBackend, Response, ShardedTable};
+//!
+//! let table = ShardedTable::with_capacity(4, 10_000);
+//! table.insert(7, 700).unwrap();
+//!
+//! let mut batch = Batch::with_capacity(2);
+//! batch.push_get(7);
+//! batch.push_put(7, 701);
+//! table.execute(&mut batch, BatchPolicy::RunAll);
+//! assert_eq!(batch.responses()[0], Response::Value(Some(700)));
+//! assert_eq!(table.shard_stats().len(), 4);
+//! ```
+
+use crate::batch::{Batch, BatchPolicy, Request, Response};
+use crate::config::DlhtConfig;
+use crate::error::{DlhtError, InsertOutcome};
+use crate::header::SlotState;
+use crate::pipeline::{BatchExecutor, Pipeline};
+use crate::session::Session;
+use crate::stats::TableStats;
+use crate::table::{EnterGuard, RawTable};
+use dlht_hash::mix64;
+use std::cell::RefCell;
+
+/// Upper bound on the shard count (sanity cap, far above any useful fan-out).
+pub const MAX_SHARDS: usize = 1 << 12;
+
+thread_local! {
+    /// Per-request shard indexes of the batch currently executing on this
+    /// thread, so routing (hash + mix) is computed once per request instead
+    /// of once per sweep/pass — and without a per-batch allocation once warm.
+    static ROUTE_SCRATCH: RefCell<Vec<u16>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A hashtable partitioned over independent [`RawTable`] shards (module docs
+/// above for the design).
+///
+/// All operations take `&self` and are thread-safe. Shard count is rounded up
+/// to a power of two and fixed for the table's lifetime.
+pub struct ShardedTable {
+    shards: Box<[RawTable]>,
+    /// `log2(shards.len())`; routing takes this many *high* bits of the mixed
+    /// hash, so 0 bits (one shard) routes everything to shard 0.
+    shard_bits: u32,
+    config: DlhtConfig,
+}
+
+impl ShardedTable {
+    /// Create a table of `shards` shards (rounded up to a power of two,
+    /// clamped to `1..=`[`MAX_SHARDS`]) whose **combined** initial bin budget
+    /// is `config.num_bins` — each shard starts with `num_bins / shards` bins
+    /// (at least 2) and all other knobs of `config`.
+    pub fn with_config(shards: usize, config: DlhtConfig) -> Self {
+        let shards = shards.clamp(1, MAX_SHARDS).next_power_of_two();
+        let shard_bits = shards.trailing_zeros();
+        let per_shard = DlhtConfig {
+            num_bins: (config.num_bins / shards).max(2),
+            ..config.clone()
+        };
+        ShardedTable {
+            shards: (0..shards)
+                .map(|_| RawTable::with_config(per_shard.clone()))
+                .collect(),
+            shard_bits,
+            config,
+        }
+    }
+
+    /// Create a table of `shards` shards sized to hold about `keys` pairs in
+    /// total before any shard's first resize.
+    pub fn with_capacity(shards: usize, keys: usize) -> Self {
+        Self::with_config(shards, DlhtConfig::for_capacity(keys))
+    }
+
+    /// Create a table of `shards` shards with `num_bins` total bins and
+    /// default configuration.
+    pub fn new(shards: usize, num_bins: usize) -> Self {
+        Self::with_config(shards, DlhtConfig::new(num_bins))
+    }
+
+    /// The configuration the table was built from (shard count excluded; the
+    /// per-shard bin budget is `num_bins / num_shards`).
+    pub fn config(&self) -> &DlhtConfig {
+        &self.config
+    }
+
+    /// Number of shards (a power of two).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `key` routes to. Stable for the table's lifetime — resizes
+    /// never move a key across shards.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        if self.shard_bits == 0 {
+            return 0;
+        }
+        // High bits of a finalizing mix of the configured hash: independent
+        // of the `hash % bins` index each shard computes from the same key.
+        (mix64(self.config.hash.hash_u64(key)) >> (64 - self.shard_bits)) as usize
+    }
+
+    /// Borrow shard `i` (stats, targeted tests, advanced use).
+    pub fn shard(&self, i: usize) -> &RawTable {
+        &self.shards[i]
+    }
+
+    /// Iterate over the shards in routing order.
+    pub fn shards(&self) -> impl Iterator<Item = &RawTable> {
+        self.shards.iter()
+    }
+
+    #[inline]
+    fn route(&self, key: u64) -> &RawTable {
+        &self.shards[self.shard_of(key)]
+    }
+
+    // ------------------------------------------------------------------
+    // Single-request operations (route + delegate)
+    // ------------------------------------------------------------------
+
+    /// Look up `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.route(key).get(key)
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.route(key).contains(key)
+    }
+
+    /// Insert `key -> value`; fails (without overwriting) if the key exists.
+    #[inline]
+    pub fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        self.route(key).insert(key, value)
+    }
+
+    /// Update an existing key's value; returns the previous value.
+    #[inline]
+    pub fn put(&self, key: u64, value: u64) -> Option<u64> {
+        self.route(key).put(key, value)
+    }
+
+    /// Delete `key`, returning its value. The slot is immediately reusable.
+    #[inline]
+    pub fn delete(&self, key: u64) -> Option<u64> {
+        self.route(key).delete(key)
+    }
+
+    /// Insert if absent, otherwise update; returns the previous value on
+    /// update and propagates insert errors (same contract as
+    /// [`crate::DlhtMap::upsert`]).
+    pub fn upsert(&self, key: u64, value: u64) -> Result<Option<u64>, DlhtError> {
+        let shard = self.route(key);
+        loop {
+            match shard.insert(key, value)? {
+                o if o.inserted() => return Ok(None),
+                _ => {
+                    if let Some(prev) = shard.put(key, value) {
+                        return Ok(Some(prev));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shadow-insert (transactional lock, §3.2.2) on the key's shard.
+    #[inline]
+    pub fn insert_shadow(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        self.route(key).insert_shadow(key, value)
+    }
+
+    /// Commit (`true`) or abort (`false`) a prior shadow insert.
+    #[inline]
+    pub fn commit_shadow(&self, key: u64, commit: bool) -> bool {
+        self.route(key).commit_shadow(key, commit)
+    }
+
+    /// Issue a software prefetch for the bin `key` hashes to in its shard.
+    #[inline]
+    pub fn prefetch(&self, key: u64) {
+        self.route(key).prefetch(key)
+    }
+
+    // ------------------------------------------------------------------
+    // Batch execution (per-shard runs; see module docs)
+    // ------------------------------------------------------------------
+
+    /// Execute the queued requests of `batch` (with the up-front prefetch
+    /// sweep), writing one [`Response`] per request into the batch's own
+    /// response storage — the sharded counterpart of [`RawTable::execute`].
+    /// Each shard's enter/leave announcement is paid once per batch.
+    pub fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        if self.shards.len() == 1 {
+            return self.shards[0].execute(batch, policy);
+        }
+        let guards: Vec<EnterGuard<'_>> = self.shards.iter().map(|s| s.enter()).collect();
+        self.execute_with_guards(&guards, batch, policy, true);
+    }
+
+    /// [`ShardedTable::execute`] without the up-front prefetch sweep, for
+    /// callers (the [`Pipeline`]) that already prefetched every request's bin
+    /// at submit time.
+    pub fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        if self.shards.len() == 1 {
+            return self.shards[0].execute_prefetched(batch, policy);
+        }
+        let guards: Vec<EnterGuard<'_>> = self.shards.iter().map(|s| s.enter()).collect();
+        self.execute_with_guards(&guards, batch, policy, false);
+    }
+
+    /// One-shot convenience over [`ShardedTable::execute`] (allocates per
+    /// call; hot loops should hold a reusable [`Batch`]).
+    pub fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        let mut batch = Batch::from(requests);
+        self.execute(&mut batch, policy);
+        batch.into_responses()
+    }
+
+    /// Execute one request on shard `s`, starting from that shard's pinned
+    /// index generation.
+    ///
+    /// SAFETY contract: `start` must come from a live [`EnterGuard`] on shard
+    /// `s` held by the caller for the whole call.
+    fn exec_one(&self, s: usize, start: *mut crate::index::Index, req: Request) -> Response {
+        let shard = &self.shards[s];
+        match req {
+            Request::Get(k) => Response::Value(shard.get_guarded(start, k)),
+            Request::Put(k, v) => Response::Updated(shard.put_guarded(start, k, v)),
+            Request::Insert(k, v) => {
+                Response::Inserted(shard.insert_guarded(start, k, v, SlotState::Valid))
+            }
+            Request::Delete(k) => Response::Deleted(shard.delete_guarded(start, k)),
+        }
+    }
+
+    /// Batch execution body over already-entered shards: `guards[s]` must be
+    /// a live guard on shard `s` (one per shard, held by the caller for the
+    /// whole call). Shared by [`ShardedTable::execute`] and
+    /// [`ShardedSession`], which differ only in how the guards were obtained.
+    pub(crate) fn execute_with_guards(
+        &self,
+        guards: &[EnterGuard<'_>],
+        batch: &mut Batch,
+        policy: BatchPolicy,
+        prefetch_sweep: bool,
+    ) {
+        debug_assert_eq!(guards.len(), self.shards.len());
+        ROUTE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut routes) => {
+                self.execute_routed(guards, batch, policy, prefetch_sweep, &mut routes)
+            }
+            // Re-entrant execution on the same thread (a guard-protected
+            // callback executing another batch) falls back to a local buffer.
+            Err(_) => self.execute_routed(guards, batch, policy, prefetch_sweep, &mut Vec::new()),
+        })
+    }
+
+    fn execute_routed(
+        &self,
+        guards: &[EnterGuard<'_>],
+        batch: &mut Batch,
+        policy: BatchPolicy,
+        prefetch_sweep: bool,
+        routes: &mut Vec<u16>,
+    ) {
+        let (requests, responses) = batch.begin_execution();
+        // Route every request once; the sweep and both execution paths below
+        // reuse the result instead of re-hashing per pass.
+        routes.clear();
+        routes.extend(requests.iter().map(|r| self.shard_of(r.key()) as u16));
+        if prefetch_sweep {
+            for (req, &s) in requests.iter().zip(routes.iter()) {
+                // SAFETY: guards[s] pins shard s's entered index generation.
+                let idx = unsafe { &*guards[s as usize].index_ptr() };
+                idx.prefetch_bin(idx.bin_of(req.key()));
+            }
+        }
+        if policy.allows_reordering() {
+            // Cross-shard reordering: run shard-by-shard so each shard's
+            // memory traffic batches together; within one shard submission
+            // order is kept, and responses scatter back to submission slots.
+            // `Unordered` never stops on failure, so no skip handling here.
+            responses.resize(requests.len(), Response::Skipped);
+            for (s, guard) in guards.iter().enumerate() {
+                let start = guard.index_ptr();
+                for (i, req) in requests.iter().enumerate() {
+                    if routes[i] as usize == s {
+                        responses[i] = self.exec_one(s, start, *req);
+                    }
+                }
+            }
+        } else {
+            // Submission order across shards; a StopOnFailure failure skips
+            // every later request regardless of which shard it routes to.
+            let mut stopped = false;
+            for (req, &s) in requests.iter().zip(routes.iter()) {
+                if stopped {
+                    responses.push(Response::Skipped);
+                    continue;
+                }
+                let s = s as usize;
+                let resp = self.exec_one(s, guards[s].index_ptr(), *req);
+                if policy.stops_on_failure() && !resp.succeeded() {
+                    stopped = true;
+                }
+                responses.push(resp);
+            }
+        }
+    }
+
+    /// Open a per-thread [`ShardedSession`] with one cached registry slot per
+    /// shard — the entry point for reusable batches and the bounded prefetch
+    /// [`Pipeline`] over a sharded table.
+    pub fn session(&self) -> ShardedSession<'_> {
+        ShardedSession::new(self)
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-table scans and statistics (aggregate across shards)
+    // ------------------------------------------------------------------
+
+    /// Visit every live pair across all shards (weakly consistent snapshot).
+    pub fn for_each(&self, mut f: impl FnMut(u64, u64)) {
+        for shard in self.shards.iter() {
+            shard.for_each(&mut f);
+        }
+    }
+
+    /// Number of live keys across all shards (linear scan).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether no shard holds any key.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Total resizes across all shards since creation. Shards resize
+    /// independently — see [`ShardedTable::shard_stats`] for the breakdown.
+    pub fn resizes(&self) -> u64 {
+        self.shards.iter().map(|s| s.resizes()).sum()
+    }
+
+    /// Aggregated structural statistics: sums across shards, with
+    /// `occupancy` recomputed from the summed slot counts and `generation`
+    /// reporting the **highest** shard generation (shards resize
+    /// independently, so generations diverge on skewed load).
+    pub fn stats(&self) -> TableStats {
+        let mut agg = TableStats::default();
+        for shard in self.shards.iter() {
+            let s = shard.stats();
+            agg.bins += s.bins;
+            agg.link_buckets += s.link_buckets;
+            agg.links_used += s.links_used;
+            agg.occupied_slots += s.occupied_slots;
+            agg.addressable_slots += s.addressable_slots;
+            agg.max_slots += s.max_slots;
+            agg.resizes += s.resizes;
+            agg.generation = agg.generation.max(s.generation);
+            agg.index_bytes += s.index_bytes;
+        }
+        agg.occupancy = if agg.max_slots == 0 {
+            0.0
+        } else {
+            agg.occupied_slots as f64 / agg.max_slots as f64
+        };
+        agg
+    }
+
+    /// Per-shard statistics, in routing order — the view that makes
+    /// independent shard resizes observable (a hot shard's `resizes` /
+    /// `generation` advance while its siblings' stay put).
+    pub fn shard_stats(&self) -> Vec<TableStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Free retired index generations on every shard.
+    pub fn collect_retired(&self) {
+        for shard in self.shards.iter() {
+            shard.collect_retired();
+        }
+    }
+
+    /// Retired-but-not-yet-freed index generations summed across shards.
+    pub fn retired_indexes(&self) -> usize {
+        self.shards.iter().map(|s| s.retired_indexes()).sum()
+    }
+}
+
+/// A per-thread handle over a [`ShardedTable`] with one pre-claimed registry
+/// slot **per shard**, so batch execution pays each shard's enter/leave
+/// announcement through a cached slot instead of a thread-local lookup.
+///
+/// Like [`Session`], a `ShardedSession` is deliberately not `Send`/`Sync`:
+/// the cached slots belong to the creating thread. It is the
+/// [`BatchExecutor`] a [`Pipeline`] drives over a sharded table.
+pub struct ShardedSession<'t> {
+    table: &'t ShardedTable,
+    sessions: Box<[Session<'t>]>,
+    /// Reused guard storage for batch execution: cleared (announcements
+    /// dropped) after every batch, capacity kept — so a warm session
+    /// executes batches without touching the allocator.
+    guards: RefCell<Vec<EnterGuard<'t>>>,
+}
+
+impl<'t> ShardedSession<'t> {
+    pub(crate) fn new(table: &'t ShardedTable) -> Self {
+        ShardedSession {
+            table,
+            sessions: table.shards.iter().map(Session::new).collect(),
+            guards: RefCell::new(Vec::with_capacity(table.num_shards())),
+        }
+    }
+
+    /// Enter every shard through the cached slots, run `batch`, and release
+    /// the announcements, reusing the guard buffer across calls.
+    fn run_entered(&self, batch: &mut Batch, policy: BatchPolicy, prefetch_sweep: bool) {
+        let mut guards = self.guards.borrow_mut();
+        guards.extend(self.sessions.iter().map(|s| s.enter()));
+        self.table
+            .execute_with_guards(&guards, batch, policy, prefetch_sweep);
+        guards.clear();
+    }
+
+    /// The table this session operates on.
+    pub fn table(&self) -> &'t ShardedTable {
+        self.table
+    }
+
+    #[inline]
+    fn session_for(&self, key: u64) -> &Session<'t> {
+        &self.sessions[self.table.shard_of(key)]
+    }
+
+    /// Look up `key` through the shard-local cached slot.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.session_for(key).get(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.session_for(key).contains(key)
+    }
+
+    /// Insert `key -> value`; fails (without overwriting) if the key exists.
+    pub fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        self.session_for(key).insert(key, value)
+    }
+
+    /// Update an existing key's value; returns the previous value.
+    pub fn put(&self, key: u64, value: u64) -> Option<u64> {
+        self.session_for(key).put(key, value)
+    }
+
+    /// Delete `key`, returning its value if it was present.
+    pub fn delete(&self, key: u64) -> Option<u64> {
+        self.session_for(key).delete(key)
+    }
+
+    /// Issue a software prefetch for the bin `key` hashes to in its shard.
+    pub fn prefetch(&self, key: u64) {
+        self.session_for(key).prefetch(key)
+    }
+
+    /// Execute `batch` with the prefetch sweep — same per-shard run
+    /// semantics as [`ShardedTable::execute`], but every shard is entered
+    /// through this session's cached slots.
+    pub fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.run_entered(batch, policy, true);
+    }
+
+    /// [`ShardedSession::execute`] without the up-front prefetch sweep (the
+    /// pipeline's flush path).
+    pub fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.run_entered(batch, policy, false);
+    }
+
+    /// Open a bounded prefetch [`Pipeline`] of `depth` in-flight requests
+    /// submitting through this session's shard-local slots.
+    pub fn pipeline(&self, depth: usize) -> Pipeline<'_, Self> {
+        Pipeline::new(self, depth)
+    }
+}
+
+impl BatchExecutor for ShardedSession<'_> {
+    fn issue_prefetch(&self, key: u64) {
+        ShardedSession::prefetch(self, key);
+    }
+
+    fn run(&self, batch: &mut Batch, policy: BatchPolicy) {
+        ShardedSession::execute(self, batch, policy);
+    }
+
+    fn run_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        ShardedSession::execute_prefetched(self, batch, policy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlht_hash::HashKind;
+
+    fn small(shards: usize) -> ShardedTable {
+        ShardedTable::with_config(
+            shards,
+            DlhtConfig::new(64)
+                .with_hash(HashKind::WyHash)
+                .with_chunk_bins(4),
+        )
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(ShardedTable::with_capacity(1, 64).num_shards(), 1);
+        assert_eq!(ShardedTable::with_capacity(3, 64).num_shards(), 4);
+        assert_eq!(ShardedTable::with_capacity(8, 64).num_shards(), 8);
+        assert_eq!(ShardedTable::with_capacity(0, 64).num_shards(), 1);
+    }
+
+    #[test]
+    fn routing_covers_every_shard() {
+        let t = small(8);
+        let mut seen = [false; 8];
+        for k in 0..1_000u64 {
+            let s = t.shard_of(k);
+            assert!(s < 8);
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 keys must touch all 8 shards");
+    }
+
+    #[test]
+    fn basic_ops_roundtrip_across_shards() {
+        let t = small(4);
+        for k in 0..200u64 {
+            assert!(t.insert(k, k * 3).unwrap().inserted());
+        }
+        assert_eq!(t.len(), 200);
+        for k in 0..200u64 {
+            assert_eq!(t.get(k), Some(k * 3));
+            assert_eq!(t.put(k, k), Some(k * 3));
+        }
+        assert_eq!(t.upsert(1_000, 1).unwrap(), None);
+        assert_eq!(t.upsert(1_000, 2).unwrap(), Some(1));
+        for k in 0..200u64 {
+            assert_eq!(t.delete(k), Some(k));
+        }
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.delete(1_000), Some(2));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reserved_keys_are_rejected_on_every_shard_route() {
+        let t = small(4);
+        assert_eq!(t.insert(u64::MAX, 1), Err(DlhtError::ReservedKey));
+        assert_eq!(t.insert(u64::MAX - 1, 1), Err(DlhtError::ReservedKey));
+        assert_eq!(t.upsert(u64::MAX, 1), Err(DlhtError::ReservedKey));
+        assert_eq!(t.get(u64::MAX), None);
+        assert_eq!(t.delete(u64::MAX), None);
+        assert_eq!(t.put(u64::MAX, 1), None);
+    }
+
+    #[test]
+    fn shadow_inserts_route_to_the_owning_shard() {
+        let t = small(4);
+        assert!(t.insert_shadow(5, 50).unwrap().inserted());
+        assert_eq!(t.get(5), None);
+        assert!(!t.insert(5, 51).unwrap().inserted());
+        assert!(t.commit_shadow(5, true));
+        assert_eq!(t.get(5), Some(50));
+        assert!(t.insert_shadow(6, 60).unwrap().inserted());
+        assert!(t.commit_shadow(6, false));
+        assert_eq!(t.get(6), None);
+    }
+
+    #[test]
+    fn for_each_and_stats_aggregate() {
+        let t = small(4);
+        for k in 0..300u64 {
+            let _ = t.insert(k, k + 1).unwrap();
+        }
+        let mut seen = std::collections::HashMap::new();
+        t.for_each(|k, v| {
+            seen.insert(k, v);
+        });
+        assert_eq!(seen.len(), 300);
+        let agg = t.stats();
+        assert_eq!(agg.occupied_slots, 300);
+        let per: usize = t.shard_stats().iter().map(|s| s.occupied_slots).sum();
+        assert_eq!(per, 300);
+        assert_eq!(
+            agg.bins,
+            t.shard_stats().iter().map(|s| s.bins).sum::<usize>()
+        );
+        assert!(agg.occupancy > 0.0 && agg.occupancy <= 1.0);
+    }
+
+    #[test]
+    fn sharded_session_and_pipeline_roundtrip() {
+        let t = small(4);
+        let session = t.session();
+        for k in 0..64u64 {
+            let _ = session.insert(k, k + 7).unwrap();
+        }
+        let mut batch = Batch::with_capacity(8);
+        for k in 0..8u64 {
+            batch.push_get(k);
+        }
+        session.execute(&mut batch, BatchPolicy::RunAll);
+        for (k, r) in batch.responses().iter().enumerate() {
+            assert_eq!(*r, Response::Value(Some(k as u64 + 7)));
+        }
+
+        let mut pipe = session.pipeline(8);
+        let mut got = Vec::new();
+        for k in 0..64u64 {
+            if let Some(r) = pipe.submit(Request::Get(k)) {
+                got.push(r);
+            }
+        }
+        pipe.drain_into(&mut got);
+        assert_eq!(got.len(), 64);
+        for (k, r) in got.iter().enumerate() {
+            assert_eq!(*r, Response::Value(Some(k as u64 + 7)));
+        }
+    }
+
+    #[test]
+    fn drop_frees_all_shards_after_resizes() {
+        let t = ShardedTable::with_config(
+            2,
+            DlhtConfig::new(4)
+                .with_hash(HashKind::WyHash)
+                .with_chunk_bins(2),
+        );
+        for k in 0..3_000u64 {
+            let _ = t.insert(k, k).unwrap();
+        }
+        assert!(t.resizes() > 0);
+        t.collect_retired();
+        assert_eq!(t.retired_indexes(), 0);
+        drop(t); // miri-style sanity: Drop walks every shard's chain
+    }
+}

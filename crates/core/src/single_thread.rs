@@ -258,7 +258,7 @@ impl SingleThreadMap {
         let new_bins = self.bins.len() * factor;
         let mut bigger = SingleThreadMap::with_config(self.config.clone().with_bins(new_bins));
         self.for_each(|k, v| {
-            bigger
+            let _ = bigger
                 .insert(k, v)
                 .expect("reinsertion into a larger index cannot fail");
         });

@@ -985,7 +985,7 @@ mod tests {
     fn put_updates_only_existing_keys() {
         let t = small_table();
         assert_eq!(t.put(9, 1), None);
-        t.insert(9, 90).unwrap();
+        let _ = t.insert(9, 90).unwrap();
         assert_eq!(t.put(9, 91), Some(90));
         assert_eq!(t.get(9), Some(91));
     }
@@ -1099,7 +1099,7 @@ mod tests {
     fn stats_reflect_occupancy() {
         let t = small_table();
         for i in 0..50u64 {
-            t.insert(i, i).unwrap();
+            let _ = t.insert(i, i).unwrap();
         }
         let s = t.stats();
         assert_eq!(s.occupied_slots, 50);
@@ -1111,7 +1111,7 @@ mod tests {
     fn for_each_sees_all_pairs() {
         let t = small_table();
         for i in 0..100u64 {
-            t.insert(i, i + 1000).unwrap();
+            let _ = t.insert(i, i + 1000).unwrap();
         }
         let mut seen = std::collections::HashMap::new();
         t.for_each(|k, v| {
@@ -1160,7 +1160,7 @@ mod tests {
         ));
         // Pre-populate a stable set that is never deleted.
         for k in 0..500u64 {
-            t.insert(k, k * 3).unwrap();
+            let _ = t.insert(k, k * 3).unwrap();
         }
         std::thread::scope(|s| {
             // Mutators: insert/delete their own disjoint key ranges.
@@ -1199,7 +1199,7 @@ mod tests {
     #[test]
     fn concurrent_puts_last_value_wins_and_no_corruption() {
         let t = std::sync::Arc::new(small_table());
-        t.insert(42, 0).unwrap();
+        let _ = t.insert(42, 0).unwrap();
         std::thread::scope(|s| {
             for tid in 1..=4u64 {
                 let t = std::sync::Arc::clone(&t);
@@ -1225,7 +1225,7 @@ mod tests {
             .with_hash(HashKind::WyHash);
         let t = std::sync::Arc::new(RawTable::with_config(cfg));
         for k in 0..200u64 {
-            t.insert(k, k + 7).unwrap();
+            let _ = t.insert(k, k + 7).unwrap();
         }
         std::thread::scope(|s| {
             // Writer drives repeated growth.
@@ -1233,7 +1233,7 @@ mod tests {
                 let t = std::sync::Arc::clone(&t);
                 s.spawn(move || {
                     for k in 1_000..6_000u64 {
-                        t.insert(k, k).unwrap();
+                        let _ = t.insert(k, k).unwrap();
                     }
                 });
             }

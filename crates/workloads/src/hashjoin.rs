@@ -60,7 +60,7 @@ pub fn run_hash_join_on(
             s.spawn(move || {
                 let mut k = t;
                 while k < r_tuples {
-                    map.insert(k, k).unwrap();
+                    let _ = map.insert(k, k).unwrap();
                     k += threads;
                 }
             });

@@ -103,7 +103,8 @@ pub fn fmt_mops(mops: f64) -> String {
     }
 }
 
-/// Standard environment-variable scaling knobs shared by all bench binaries.
+/// Standard scaling knobs shared by all bench binaries, read from the
+/// environment and (for the shard count) from the command line.
 #[derive(Debug, Clone)]
 pub struct BenchScale {
     /// Prepopulated keys (`DLHT_KEYS`, default 200_000).
@@ -112,11 +113,21 @@ pub struct BenchScale {
     pub threads: Vec<usize>,
     /// Seconds per measurement point (`DLHT_SECS`, default 0.4).
     pub secs: f64,
+    /// Shard count for the sharded-DLHT configurations (`--shards N` on the
+    /// command line, falling back to `DLHT_SHARDS`, default 4). Rounded up to
+    /// a power of two by the table itself.
+    pub shards: usize,
 }
 
 impl BenchScale {
-    /// Read the scaling knobs from the environment.
+    /// Read the scaling knobs from the environment (and `--shards N` /
+    /// `--shards=N` from the process arguments).
     pub fn from_env() -> Self {
+        Self::from_env_and_args(std::env::args().skip(1))
+    }
+
+    /// [`BenchScale::from_env`] with an explicit argument list (testable).
+    pub fn from_env_and_args(args: impl IntoIterator<Item = String>) -> Self {
         let keys = std::env::var("DLHT_KEYS")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -135,10 +146,19 @@ impl BenchScale {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0.4);
+        let shards = parse_shards_arg(args)
+            .or_else(|| {
+                std::env::var("DLHT_SHARDS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .filter(|&s| s > 0)
+            .unwrap_or(4);
         BenchScale {
             keys,
             threads,
             secs,
+            shards,
         }
     }
 
@@ -146,6 +166,26 @@ impl BenchScale {
     pub fn duration(&self) -> std::time::Duration {
         std::time::Duration::from_secs_f64(self.secs.max(0.05))
     }
+
+    /// The shard count clamped to what a `MapKind::DlhtSharded` payload can
+    /// carry.
+    pub fn shards_u8(&self) -> u8 {
+        self.shards.min(u8::MAX as usize) as u8
+    }
+}
+
+/// Scan an argument list for `--shards N` or `--shards=N`.
+fn parse_shards_arg(args: impl IntoIterator<Item = String>) -> Option<usize> {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if let Some(v) = arg.strip_prefix("--shards=") {
+            return v.parse().ok();
+        }
+        if arg == "--shards" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -178,10 +218,33 @@ mod tests {
     fn bench_scale_defaults() {
         // Only check defaults when the variables are unset in the test env.
         if std::env::var("DLHT_KEYS").is_err() {
-            let s = BenchScale::from_env();
+            let s = BenchScale::from_env_and_args([]);
             assert_eq!(s.keys, 200_000);
             assert!(!s.threads.is_empty());
             assert!(s.duration().as_millis() >= 50);
+            if std::env::var("DLHT_SHARDS").is_err() {
+                assert_eq!(s.shards, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn shards_flag_parses_both_spellings() {
+        assert_eq!(
+            parse_shards_arg(["--shards".into(), "8".into()]),
+            Some(8usize)
+        );
+        assert_eq!(parse_shards_arg(["--shards=2".into()]), Some(2usize));
+        assert_eq!(
+            parse_shards_arg(["--other".into(), "--shards".into(), "16".into()]),
+            Some(16usize)
+        );
+        assert_eq!(parse_shards_arg(["--shards".into()]), None);
+        assert_eq!(parse_shards_arg([]), None);
+        if std::env::var("DLHT_SHARDS").is_err() {
+            let s = BenchScale::from_env_and_args(["--shards".into(), "8".into()]);
+            assert_eq!(s.shards, 8);
+            assert_eq!(s.shards_u8(), 8);
         }
     }
 }

@@ -83,9 +83,9 @@ impl<B: KvBackend> SmallbankDatabase<B> {
     pub fn populate_with(map: B, accounts: u64) -> Self {
         let initial_balance = 10_000;
         for id in 0..accounts {
-            map.insert(acct_key(id), id).unwrap();
-            map.insert(sav_key(id), initial_balance).unwrap();
-            map.insert(chk_key(id), initial_balance).unwrap();
+            let _ = map.insert(acct_key(id), id).unwrap();
+            let _ = map.insert(sav_key(id), initial_balance).unwrap();
+            let _ = map.insert(chk_key(id), initial_balance).unwrap();
         }
         SmallbankDatabase {
             map,

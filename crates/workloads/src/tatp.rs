@@ -102,17 +102,18 @@ impl<B: KvBackend> TatpDatabase<B> {
     pub fn populate_with(map: B, subscribers: u64) -> Self {
         let mut rng = Xoshiro256::new(0x7A7F ^ subscribers);
         for s in 0..subscribers {
-            map.insert(sub_key(s), rng.next_u64()).unwrap();
+            let _ = map.insert(sub_key(s), rng.next_u64()).unwrap();
             let ai_rows = 1 + rng.next_below(4);
             for ai in 0..ai_rows {
-                map.insert(ai_key(s, ai), rng.next_u64()).unwrap();
+                let _ = map.insert(ai_key(s, ai), rng.next_u64()).unwrap();
             }
             let sf_rows = 1 + rng.next_below(4);
             for sf in 0..sf_rows {
-                map.insert(sf_key(s, sf), rng.next_u64()).unwrap();
+                let _ = map.insert(sf_key(s, sf), rng.next_u64()).unwrap();
                 // 0..=3 call-forwarding rows per special facility.
                 for start in 0..rng.next_below(4) {
-                    map.insert(cf_key(s, sf, start * 8), rng.next_u64())
+                    let _ = map
+                        .insert(cf_key(s, sf, start * 8), rng.next_u64())
                         .unwrap();
                 }
             }

@@ -18,7 +18,7 @@ fn main() {
 
     let start = Instant::now();
     for key in 0..r_tuples {
-        map.insert(key, key * 2).unwrap(); // payload = "row id"
+        let _ = map.insert(key, key * 2).unwrap(); // payload = "row id"
     }
     let build_time = start.elapsed();
 

@@ -11,7 +11,10 @@
 //!   table interchangeably;
 //! * the mode-specific types ([`DlhtMap`], [`DlhtAllocMap`], [`DlhtSet`],
 //!   [`SingleThreadMap`]) and the substrate crates (hash functions, epoch GC,
-//!   value allocators).
+//!   value allocators);
+//! * the **sharded front** [`ShardedTable`] / [`DlhtShards<K, V>`] — N
+//!   independent DLHT shards with shard-local (independent) resizes behind
+//!   the same `KvBackend` and typed surfaces.
 //!
 //! The same generic code path serves inline and out-of-line pairs:
 //!
@@ -66,9 +69,10 @@
 
 pub use dlht_core::{
     AllocSession, Batch, BatchExecutor, BatchPolicy, ByteCodec, Dlht, DlhtAllocMap, DlhtConfig,
-    DlhtError, DlhtMap, DlhtSet, Inline8, InsertOutcome, KvBackend, KvCodec, MapFeatures, Pipeline,
-    RawTable, Request, Response, Session, SingleThreadMap, TableStats, TaggedPtr, TypedBatch,
-    TypedResponse, MAX_KEY_LEN, MAX_NAMESPACES,
+    DlhtError, DlhtMap, DlhtSet, DlhtShards, Inline8, InsertOutcome, KvBackend, KvCodec,
+    MapFeatures, Pipeline, RawTable, Request, Response, Session, ShardedSession, ShardedTable,
+    SingleThreadMap, TableStats, TaggedPtr, TypedBatch, TypedResponse, MAX_KEY_LEN, MAX_NAMESPACES,
+    MAX_SHARDS,
 };
 
 // Codec-implementation macros for user newtypes.
@@ -91,7 +95,7 @@ mod smoke {
     #[test]
     fn facade_reexports_are_usable() {
         let map = DlhtMap::with_config(DlhtConfig::new(64).with_hash(hash::HashKind::WyHash));
-        map.insert(5, 50).unwrap();
+        let _ = map.insert(5, 50).unwrap();
         assert_eq!(map.get(5), Some(50));
         let set = DlhtSet::with_capacity(16);
         assert!(set.insert(9).unwrap());

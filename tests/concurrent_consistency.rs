@@ -14,7 +14,7 @@ fn mixed_readers_writers_and_resizes_preserve_disjoint_key_ranges() {
     );
     // Stable range owned by the main thread.
     for k in 0..1_000u64 {
-        map.insert(k, k + 1).unwrap();
+        let _ = map.insert(k, k + 1).unwrap();
     }
 
     std::thread::scope(|s| {
@@ -56,7 +56,7 @@ fn mixed_readers_writers_and_resizes_preserve_disjoint_key_ranges() {
 fn puts_never_resurrect_or_corrupt_under_delete_races() {
     let map = DlhtMap::with_capacity(10_000);
     for k in 0..100u64 {
-        map.insert(k, 1_000_000 + k).unwrap();
+        let _ = map.insert(k, 1_000_000 + k).unwrap();
     }
     let updates = AtomicU64::new(0);
     std::thread::scope(|s| {
@@ -80,7 +80,7 @@ fn puts_never_resurrect_or_corrupt_under_delete_races() {
                 for round in 0..2_000u64 {
                     let k = round % 100;
                     map.delete(k);
-                    map.insert(k, 1_000_000 + k).unwrap();
+                    let _ = map.insert(k, 1_000_000 + k).unwrap();
                 }
             });
         }
@@ -216,7 +216,7 @@ fn shadow_inserts_act_as_record_locks_across_threads() {
     let map = DlhtMap::with_capacity(1_000);
     // Thread A shadow-inserts (locks) a key; other threads cannot insert it,
     // and readers cannot see it until committed.
-    map.insert_shadow(77, 770).unwrap();
+    let _ = map.insert_shadow(77, 770).unwrap();
     std::thread::scope(|s| {
         let map = &map;
         s.spawn(move || {

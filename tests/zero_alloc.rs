@@ -40,7 +40,7 @@ fn warm_batch_reexecution_allocates_nothing() {
     // the link-bucket pool is preallocated with the index.
     let map = DlhtMap::with_capacity(100_000);
     for k in 0..10_000u64 {
-        map.insert(k, k).unwrap();
+        let _ = map.insert(k, k).unwrap();
     }
 
     let mut batch = Batch::with_capacity(64);
@@ -81,7 +81,7 @@ fn warm_batch_reexecution_allocates_nothing() {
 fn warm_pipeline_submission_allocates_nothing() {
     let map = DlhtMap::with_capacity(100_000);
     for k in 0..10_000u64 {
-        map.insert(k, k).unwrap();
+        let _ = map.insert(k, k).unwrap();
     }
     let session = map.session();
     let mut pipe = session.pipeline(16);
