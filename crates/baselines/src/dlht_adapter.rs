@@ -80,6 +80,10 @@ impl KvBackend for DlhtAdapter {
         self.map.stats()
     }
 
+    fn retired_indexes(&self) -> usize {
+        self.map.raw().retired_indexes()
+    }
+
     fn supports_batching(&self) -> bool {
         true
     }
@@ -168,6 +172,10 @@ impl KvBackend for DlhtNoBatchAdapter {
         self.map.stats()
     }
 
+    fn retired_indexes(&self) -> usize {
+        self.map.raw().retired_indexes()
+    }
+
     // supports_batching stays false and execute stays the default per-request
     // loop (and prefetch_key the default no-op): no prefetch sweep, no
     // enter/leave amortization.
@@ -250,6 +258,10 @@ impl KvBackend for ShardedDlhtAdapter {
 
     fn stats(&self) -> TableStats {
         self.table.stats()
+    }
+
+    fn retired_indexes(&self) -> usize {
+        self.table.retired_indexes()
     }
 
     fn supports_batching(&self) -> bool {

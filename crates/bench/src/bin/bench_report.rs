@@ -1,0 +1,331 @@
+//! `bench_report <old> <new> [--fail-threshold PCT]` — render a markdown
+//! regression diff between two recorded benchmark runs.
+//!
+//! Each argument is either one `BENCH_*.json` file or a directory containing
+//! several (e.g. the `DLHT_BENCH_DIR` a `run_all` invocation filled, or the
+//! checked-in `benchmarks/baseline/`). Data points are matched across the
+//! two runs by (scenario, series, axes) and compared on throughput and
+//! p50/p99 latency; the report goes to stdout as GitHub-flavored markdown.
+//!
+//! Exit status is 0 unless `--fail-threshold PCT` is given and some matched
+//! point's throughput regressed by more than PCT percent (for CI gating on a
+//! stable machine; the default is report-only because baseline and CI
+//! hardware rarely agree).
+
+use dlht_bench::Json;
+use dlht_workloads::Table;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+/// One loaded run: every point keyed by (scenario, series, rendered axes).
+struct Run {
+    label: String,
+    tier: Option<String>,
+    points: BTreeMap<(String, String, String), Json>,
+    /// scenario -> figure (from headers).
+    figures: BTreeMap<String, String>,
+}
+
+fn load_run(arg: &str) -> Result<Run, String> {
+    let path = Path::new(arg);
+    let files: Vec<PathBuf> = if path.is_dir() {
+        let mut fs: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("cannot read directory {arg}: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        fs.sort();
+        if fs.is_empty() {
+            return Err(format!("{arg} contains no BENCH_*.json files"));
+        }
+        fs
+    } else if path.is_file() {
+        vec![path.to_path_buf()]
+    } else {
+        return Err(format!("{arg} is neither a file nor a directory"));
+    };
+
+    let mut run = Run {
+        label: arg.to_string(),
+        tier: None,
+        points: BTreeMap::new(),
+        figures: BTreeMap::new(),
+    };
+    for file in files {
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let record =
+                Json::parse(line).map_err(|e| format!("{}:{}: {e}", file.display(), lineno + 1))?;
+            let scenario = record
+                .get("scenario")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string();
+            match record.get("type").and_then(Json::as_str) {
+                Some("header") => {
+                    if let Some(fig) = record.get("figure").and_then(Json::as_str) {
+                        run.figures.insert(scenario.clone(), fig.to_string());
+                    }
+                    if run.tier.is_none() {
+                        run.tier = record
+                            .get("tier")
+                            .and_then(Json::as_str)
+                            .map(str::to_string);
+                    }
+                }
+                Some("point") => {
+                    let series = record
+                        .get("series")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    let axes = record.get("axes").map(Json::render).unwrap_or_default();
+                    run.points.insert((scenario, series, axes), record);
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(run)
+}
+
+/// Human-readable axes: `{"threads":4}` -> `threads=4`.
+fn axes_label(axes_json: &str) -> String {
+    match Json::parse(axes_json) {
+        Ok(json) => json
+            .entries()
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.render().trim_matches('"')))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .unwrap_or_default(),
+        Err(_) => axes_json.to_string(),
+    }
+}
+
+fn mops(point: &Json) -> Option<f64> {
+    point.get("mops").and_then(Json::as_f64)
+}
+
+fn lat_ns(point: &Json, which: &str) -> Option<u64> {
+    point
+        .get("lat")
+        .and_then(|l| l.get(which))
+        .and_then(Json::as_u64)
+}
+
+fn pct_delta(old: f64, new: f64) -> Option<f64> {
+    (old.abs() > 1e-12).then(|| (new / old - 1.0) * 100.0)
+}
+
+fn fmt_delta(delta: Option<f64>) -> String {
+    match delta {
+        Some(d) => format!("{d:+.1}%"),
+        None => "n/a".to_string(),
+    }
+}
+
+fn fmt_lat(ns: Option<u64>) -> String {
+    match ns {
+        Some(ns) => format!("{ns}"),
+        None => "-".to_string(),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fail_threshold: Option<f64> = None;
+    if let Some(i) = args.iter().position(|a| a == "--fail-threshold") {
+        if i + 1 >= args.len() {
+            eprintln!("--fail-threshold requires a percentage");
+            exit(2);
+        }
+        fail_threshold = args[i + 1].parse().ok();
+        if fail_threshold.is_none() {
+            eprintln!("invalid --fail-threshold value: {}", args[i + 1]);
+            exit(2);
+        }
+        args.drain(i..=i + 1);
+    }
+    if args.len() != 2 {
+        eprintln!("usage: bench_report <old file|dir> <new file|dir> [--fail-threshold PCT]");
+        exit(2);
+    }
+    let old = load_run(&args[0]).unwrap_or_else(|e| {
+        eprintln!("error loading old run: {e}");
+        exit(2);
+    });
+    let new = load_run(&args[1]).unwrap_or_else(|e| {
+        eprintln!("error loading new run: {e}");
+        exit(2);
+    });
+
+    println!("# dlht-bench regression report");
+    println!();
+    for (role, run) in [("old", &old), ("new", &new)] {
+        println!(
+            "- {role}: `{}` — {} points, tier {}",
+            run.label,
+            run.points.len(),
+            run.tier.as_deref().unwrap_or("?")
+        );
+    }
+    println!();
+
+    // Scenarios present in either run, in registry order where known.
+    let mut scenarios: Vec<String> = dlht_bench::REGISTRY
+        .iter()
+        .map(|s| s.name.to_string())
+        .filter(|name| {
+            old.points.keys().any(|(s, _, _)| s == name)
+                || new.points.keys().any(|(s, _, _)| s == name)
+        })
+        .collect();
+    for (s, _, _) in old.points.keys().chain(new.points.keys()) {
+        if !scenarios.contains(s) {
+            scenarios.push(s.clone());
+        }
+    }
+
+    let mut worst: Option<(f64, String)> = None;
+    let mut best: Option<(f64, String)> = None;
+    let mut only_old: Vec<String> = Vec::new();
+    let mut only_new: Vec<String> = Vec::new();
+    let mut matched = 0usize;
+    let mut violations: Vec<String> = Vec::new();
+
+    for scenario in &scenarios {
+        let figure = new
+            .figures
+            .get(scenario)
+            .or_else(|| old.figures.get(scenario))
+            .cloned()
+            .unwrap_or_default();
+        println!("## {scenario} ({figure})");
+        println!();
+        let mut table = Table::new(
+            scenario,
+            &[
+                "series", "axes", "old M/s", "new M/s", "Δ", "old p50", "new p50", "old p99",
+                "new p99", "Δ p99",
+            ],
+        );
+        for ((s, series, axes), new_point) in &new.points {
+            if s != scenario {
+                continue;
+            }
+            let key = (s.clone(), series.clone(), axes.clone());
+            let Some(old_point) = old.points.get(&key) else {
+                only_new.push(format!("{scenario} / {series} / {}", axes_label(axes)));
+                continue;
+            };
+            matched += 1;
+            let (old_mops, new_mops) = (mops(old_point), mops(new_point));
+            let delta = match (old_mops, new_mops) {
+                (Some(o), Some(n)) => pct_delta(o, n),
+                _ => None,
+            };
+            if let Some(d) = delta {
+                let label = format!("{scenario} / {series} / {}", axes_label(axes));
+                if worst.as_ref().is_none_or(|(w, _)| d < *w) {
+                    worst = Some((d, label.clone()));
+                }
+                if best.as_ref().is_none_or(|(b, _)| d > *b) {
+                    best = Some((d, label.clone()));
+                }
+                if let Some(t) = fail_threshold {
+                    if d < -t {
+                        violations.push(format!("{label}: {d:+.1}%"));
+                    }
+                }
+            }
+            let (old_p99, new_p99) = (lat_ns(old_point, "p99_ns"), lat_ns(new_point, "p99_ns"));
+            let p99_delta = match (old_p99, new_p99) {
+                (Some(o), Some(n)) if o > 0 => pct_delta(o as f64, n as f64),
+                _ => None,
+            };
+            table.row(&[
+                series.clone(),
+                axes_label(axes),
+                old_mops.map(|m| format!("{m:.2}")).unwrap_or("-".into()),
+                new_mops.map(|m| format!("{m:.2}")).unwrap_or("-".into()),
+                fmt_delta(delta),
+                fmt_lat(lat_ns(old_point, "p50_ns")),
+                fmt_lat(lat_ns(new_point, "p50_ns")),
+                fmt_lat(old_p99),
+                fmt_lat(new_p99),
+                fmt_delta(p99_delta),
+            ]);
+        }
+        only_old.extend(
+            old.points
+                .keys()
+                .filter(|(s, series, axes)| {
+                    s == scenario
+                        && !new
+                            .points
+                            .contains_key(&(s.clone(), series.clone(), axes.clone()))
+                })
+                .map(|(s, series, axes)| format!("{s} / {series} / {}", axes_label(axes))),
+        );
+        if table.is_empty() {
+            println!("_no matching data points_");
+        } else {
+            print!("{}", table.to_markdown());
+        }
+        println!();
+    }
+
+    println!("## Summary");
+    println!();
+    println!(
+        "- matched points: {matched} (only in old: {}, only in new: {})",
+        only_old.len(),
+        only_new.len()
+    );
+    for (role, unmatched) in [("only in old", &only_old), ("only in new", &only_new)] {
+        const LIST_CAP: usize = 12;
+        for label in unmatched.iter().take(LIST_CAP) {
+            println!("  - {role}: {label}");
+        }
+        if unmatched.len() > LIST_CAP {
+            println!("  - {role}: ... and {} more", unmatched.len() - LIST_CAP);
+        }
+    }
+    if let Some((d, label)) = worst {
+        println!("- worst throughput change: {d:+.1}% ({label})");
+    }
+    if let Some((d, label)) = best {
+        println!("- best throughput change: {d:+.1}% ({label})");
+    }
+    if matched == 0 {
+        println!("- no comparable points — are these runs from the same schema/scenarios?");
+    }
+    if let Some(t) = fail_threshold {
+        if violations.is_empty() {
+            println!("- threshold check: no point regressed by more than {t}%");
+        } else {
+            println!(
+                "- threshold check FAILED ({} points regressed by more than {t}%):",
+                violations.len()
+            );
+            for v in &violations {
+                println!("  - {v}");
+            }
+            exit(1);
+        }
+    }
+}

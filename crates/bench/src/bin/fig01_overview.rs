@@ -2,39 +2,51 @@
 //! and InsDel (Delete) workloads at the highest thread count.
 
 use dlht_baselines::MapKind;
-use dlht_bench::{build_prepopulated, print_header};
-use dlht_workloads::{fmt_mops, run_workload, BenchScale, Table, WorkloadSpec};
+use dlht_bench::{build_prepopulated, run_scenario};
+use dlht_workloads::{fmt_mops, Table, WorkloadSpec};
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 1 (throughput of state-of-the-art hashtables and DLHT, 64 threads, 100M objects)",
-        "2x18-core Xeon, 64 threads, 100M prepopulated keys, uniform access",
-        &scale,
-    );
-    let threads = *scale.threads.iter().max().unwrap_or(&1);
-    let mut table = Table::new(
-        "Fig. 1 — Get and InsDel throughput (M req/s)",
-        &["map", "Get", "InsDel"],
-    );
-    for kind in MapKind::all() {
-        let map = build_prepopulated(kind, &scale);
-        let get = run_workload(
-            map.as_ref(),
-            &WorkloadSpec::get_default(scale.keys, threads, scale.duration()),
+    run_scenario("fig01_overview", |ctx| {
+        let scale = ctx.scale.clone();
+        let threads = *scale.threads.iter().max().unwrap_or(&1);
+        let mut table = Table::new(
+            "Fig. 1 — Get and InsDel throughput (M req/s)",
+            &["map", "Get", "InsDel"],
         );
-        let insdel = run_workload(
-            map.as_ref(),
-            &WorkloadSpec::insdel_default(scale.keys, threads, scale.duration()),
+        for kind in MapKind::all() {
+            let map = build_prepopulated(kind, &scale);
+            let mut mops = Vec::new();
+            // Capture stats/retired right after each workload's run, so the
+            // Get point doesn't carry the later InsDel run's mutations.
+            for (workload, spec) in [
+                (
+                    "Get",
+                    WorkloadSpec::get_default(scale.keys, threads, scale.duration()),
+                ),
+                (
+                    "InsDel",
+                    WorkloadSpec::insdel_default(scale.keys, threads, scale.duration()),
+                ),
+            ] {
+                let r = ctx.measure(map.as_ref(), &spec);
+                ctx.point(kind.name())
+                    .axis("workload", workload)
+                    .axis("threads", threads)
+                    .result(&r)
+                    .stats(&map.stats())
+                    .retired(map.retired_indexes())
+                    .emit();
+                mops.push(r.mops);
+            }
+            table.row(&[
+                kind.name().to_string(),
+                fmt_mops(mops[0]),
+                fmt_mops(mops[1]),
+            ]);
+        }
+        ctx.table(&table);
+        ctx.note(
+            "Paper reference points: DLHT 1660 M Gets/s; all others < 1000 M; DLHT ~12x GrowT on deletes.",
         );
-        table.row(&[
-            kind.name().to_string(),
-            fmt_mops(get.mops),
-            fmt_mops(insdel.mops),
-        ]);
-    }
-    table.print();
-    println!(
-        "Paper reference points: DLHT 1660 M Gets/s; all others < 1000 M; DLHT ~12x GrowT on deletes."
-    );
+    });
 }

@@ -1,25 +1,24 @@
 //! Figure 3: Get throughput vs thread count for the fastest designs.
 
 use dlht_baselines::MapKind;
-use dlht_bench::{print_header, sweep, throughput_table};
-use dlht_workloads::{BenchScale, WorkloadSpec};
+use dlht_bench::{run_scenario, throughput_table};
+use dlht_workloads::WorkloadSpec;
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 3 (Get throughput)",
-        "100% Gets, uniform over 100M keys, 1..71 threads",
-        &scale,
-    );
-    let keys = scale.keys;
-    let duration = scale.duration();
-    // The paper's fastest set, plus the sharded DLHT front at the
-    // `--shards` / DLHT_SHARDS fan-out (default 4).
-    let mut kinds = MapKind::fastest();
-    kinds.push(MapKind::DlhtSharded(scale.shards_u8()));
-    let points = sweep(&kinds, &scale, |threads| {
-        WorkloadSpec::get_default(keys, threads, duration)
+    run_scenario("fig03_get_throughput", |ctx| {
+        let scale = ctx.scale.clone();
+        // The paper's fastest set, plus the sharded DLHT front at the
+        // `--shards` / DLHT_SHARDS fan-out (default 4).
+        let mut kinds = MapKind::fastest();
+        kinds.push(MapKind::DlhtSharded(scale.shards_u8()));
+        let points = ctx.sweep(&kinds, |threads| {
+            WorkloadSpec::get_default(scale.keys, threads, scale.duration())
+        });
+        ctx.emit_sweep(&points);
+        ctx.table(&throughput_table(
+            "Fig. 3 — Get throughput (M req/s)",
+            &points,
+            &scale,
+        ));
     });
-    throughput_table("Fig. 3 — Get throughput (M req/s)", &points, &scale).print();
-    println!("Expected shape: DLHT > DRAMHiT-like > (CLHT, GrowT-like, Folly-like, DLHT-NoBatch) > MICA-like; sharded DLHT tracks DLHT and pulls ahead as threads contend on resizes.");
 }

@@ -5,52 +5,53 @@
 //! accesses per request ⇒ higher efficiency) is what this reproduces.
 
 use dlht_baselines::MapKind;
-use dlht_bench::{print_header, sweep};
+use dlht_bench::run_scenario;
 use dlht_workloads::power::{efficiency_mops_per_watt, PowerInput};
-use dlht_workloads::{BenchScale, Table, WorkloadSpec};
+use dlht_workloads::{Table, WorkloadSpec};
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 4 (Get power-efficiency, modeled)",
-        "100% Gets; paper peaks at 3.35 M req/s/W for DLHT",
-        &scale,
-    );
-    let keys = scale.keys;
-    let duration = scale.duration();
-    let kinds = [
-        MapKind::Dlht,
-        MapKind::DlhtNoBatch,
-        MapKind::Dramhit,
-        MapKind::Growt,
-        MapKind::Clht,
-        MapKind::Mica,
-    ];
-    let points = sweep(&kinds, &scale, |threads| {
-        WorkloadSpec::get_default(keys, threads, duration)
+    run_scenario("fig04_power_efficiency", |ctx| {
+        let scale = ctx.scale.clone();
+        let kinds = [
+            MapKind::Dlht,
+            MapKind::DlhtNoBatch,
+            MapKind::Dramhit,
+            MapKind::Growt,
+            MapKind::Clht,
+            MapKind::Mica,
+        ];
+        let points = ctx.sweep(&kinds, |threads| {
+            WorkloadSpec::get_default(scale.keys, threads, scale.duration())
+        });
+        let mut table = Table::new(
+            "Fig. 4 — Get power efficiency (M req/s per modeled watt)",
+            &["map", "threads", "Mreq/s", "modeled W", "Mreq/s/W"],
+        );
+        for p in &points {
+            let features = p.kind.build(64).features();
+            let input = PowerInput {
+                mops: p.result.mops,
+                threads: p.threads,
+                write_fraction: 0.0,
+            };
+            let watts = dlht_workloads::power::modeled_power(&features, input);
+            let efficiency = efficiency_mops_per_watt(&features, input);
+            ctx.point(p.kind.name())
+                .axis("threads", p.threads)
+                .result(&p.result)
+                .stats(&p.stats)
+                .retired(p.retired)
+                .extra("modeled_watts", watts)
+                .extra("mops_per_watt", efficiency)
+                .emit();
+            table.row(&[
+                p.kind.name().to_string(),
+                p.threads.to_string(),
+                dlht_workloads::fmt_mops(p.result.mops),
+                format!("{watts:.1}"),
+                format!("{efficiency:.3}"),
+            ]);
+        }
+        ctx.table(&table);
     });
-    let mut table = Table::new(
-        "Fig. 4 — Get power efficiency (M req/s per modeled watt)",
-        &["map", "threads", "Mreq/s", "modeled W", "Mreq/s/W"],
-    );
-    for p in &points {
-        let features = p.kind.build(64).features();
-        let input = PowerInput {
-            mops: p.result.mops,
-            threads: p.threads,
-            write_fraction: 0.0,
-        };
-        let watts = dlht_workloads::power::modeled_power(&features, input);
-        table.row(&[
-            p.kind.name().to_string(),
-            p.threads.to_string(),
-            dlht_workloads::fmt_mops(p.result.mops),
-            format!("{watts:.1}"),
-            format!("{:.3}", efficiency_mops_per_watt(&features, input)),
-        ]);
-    }
-    table.print();
-    println!(
-        "Expected shape: DLHT most efficient, then DRAMHiT-like, then the resizable baselines."
-    );
 }

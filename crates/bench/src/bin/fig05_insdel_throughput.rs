@@ -2,28 +2,27 @@
 //! threads — the workload where tombstone-based open addressing collapses.
 
 use dlht_baselines::MapKind;
-use dlht_bench::{print_header, sweep, throughput_table};
-use dlht_workloads::{BenchScale, WorkloadSpec};
+use dlht_bench::{run_scenario, throughput_table};
+use dlht_workloads::WorkloadSpec;
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 5 (InsDel throughput)",
-        "Insert immediately followed by Delete of the same key; empty 100M-capacity tables",
-        &scale,
-    );
-    let keys = scale.keys;
-    let duration = scale.duration();
-    let kinds = [
-        MapKind::Dlht,
-        MapKind::DlhtNoBatch,
-        MapKind::Clht,
-        MapKind::Growt,
-        MapKind::Mica,
-    ];
-    let points = sweep(&kinds, &scale, |threads| {
-        WorkloadSpec::insdel_default(keys, threads, duration)
+    run_scenario("fig05_insdel_throughput", |ctx| {
+        let scale = ctx.scale.clone();
+        let kinds = [
+            MapKind::Dlht,
+            MapKind::DlhtNoBatch,
+            MapKind::Clht,
+            MapKind::Growt,
+            MapKind::Mica,
+        ];
+        let points = ctx.sweep(&kinds, |threads| {
+            WorkloadSpec::insdel_default(scale.keys, threads, scale.duration())
+        });
+        ctx.emit_sweep(&points);
+        ctx.table(&throughput_table(
+            "Fig. 5 — InsDel throughput (M req/s)",
+            &points,
+            &scale,
+        ));
     });
-    throughput_table("Fig. 5 — InsDel throughput (M req/s)", &points, &scale).print();
-    println!("Expected shape: DLHT ~3x CLHT and >10x GrowT-like (which must keep migrating to shed tombstones).");
 }

@@ -1,32 +1,29 @@
 //! Figure 6: Put-heavy workload (50% Gets / 50% Puts) throughput vs threads.
 
 use dlht_baselines::MapKind;
-use dlht_bench::{print_header, sweep, throughput_table};
-use dlht_workloads::{BenchScale, Mix, WorkloadSpec};
+use dlht_bench::{run_scenario, throughput_table};
+use dlht_workloads::{Mix, WorkloadSpec};
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 6 (Put-heavy throughput)",
-        "50% Gets + 50% Puts over 100M prepopulated keys; CLHT omitted (no Puts)",
-        &scale,
-    );
-    let keys = scale.keys;
-    let duration = scale.duration();
-    let kinds = [
-        MapKind::Dlht,
-        MapKind::DlhtNoBatch,
-        MapKind::Growt,
-        MapKind::Folly,
-        MapKind::Dramhit,
-        MapKind::Mica,
-    ];
-    let points = sweep(&kinds, &scale, |threads| WorkloadSpec {
-        mix: Mix::PUT_HEAVY,
-        ..WorkloadSpec::get_default(keys, threads, duration)
+    run_scenario("fig06_put_heavy", |ctx| {
+        let scale = ctx.scale.clone();
+        let kinds = [
+            MapKind::Dlht,
+            MapKind::DlhtNoBatch,
+            MapKind::Growt,
+            MapKind::Folly,
+            MapKind::Dramhit,
+            MapKind::Mica,
+        ];
+        let points = ctx.sweep(&kinds, |threads| WorkloadSpec {
+            mix: Mix::PUT_HEAVY,
+            ..WorkloadSpec::get_default(scale.keys, threads, scale.duration())
+        });
+        ctx.emit_sweep(&points);
+        ctx.table(&throughput_table(
+            "Fig. 6 — Put-heavy throughput (M req/s)",
+            &points,
+            &scale,
+        ));
     });
-    throughput_table("Fig. 6 — Put-heavy throughput (M req/s)", &points, &scale).print();
-    println!(
-        "Expected shape: DLHT first (paper: 1042 M req/s), DRAMHiT-like close, MICA-like last."
-    );
 }

@@ -2,42 +2,46 @@
 //! initially small index that must grow on demand (resizable designs only).
 
 use dlht_baselines::MapKind;
-use dlht_bench::print_header;
+use dlht_bench::run_scenario;
 use dlht_workloads::population::populate_growing;
-use dlht_workloads::{fmt_mops, BenchScale, Table};
+use dlht_workloads::{fmt_mops, Table};
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 7 (population of a growing index)",
-        "800M keys inserted into a small growing index; DLHT 3.9x GrowT, 8x CLHT",
-        &scale,
-    );
-    // Population size: 4x the sweep keys so several growth steps happen.
-    let keys = scale.keys * 4;
-    let mut table = Table::new(
-        "Fig. 7 — Population throughput (M inserts/s), growing index",
-        &["map", "threads", "keys", "M inserts/s"],
-    );
-    for kind in MapKind::resizable() {
-        for &threads in &scale.threads {
-            // Start deliberately tiny so every design must resize repeatedly.
-            let map = kind.build(1_024);
-            let r = populate_growing(map.as_ref(), keys, threads);
-            assert_eq!(
-                map.len(),
-                keys as usize,
-                "{}: population lost keys",
-                kind.name()
-            );
-            table.row(&[
-                kind.name().to_string(),
-                threads.to_string(),
-                keys.to_string(),
-                fmt_mops(r.mops),
-            ]);
+    run_scenario("fig07_population", |ctx| {
+        let scale = ctx.scale.clone();
+        // Population size: 4x the sweep keys so several growth steps happen.
+        let keys = scale.keys * 4;
+        let mut table = Table::new(
+            "Fig. 7 — Population throughput (M inserts/s), growing index",
+            &["map", "threads", "keys", "M inserts/s"],
+        );
+        for kind in MapKind::resizable() {
+            for &threads in &scale.threads {
+                // Start deliberately tiny so every design must resize repeatedly.
+                let map = kind.build(1_024);
+                let r = populate_growing(map.as_ref(), keys, threads);
+                assert_eq!(
+                    map.len(),
+                    keys as usize,
+                    "{}: population lost keys",
+                    kind.name()
+                );
+                ctx.point(kind.name())
+                    .axis("threads", threads)
+                    .axis("keys", keys)
+                    .mops(r.mops)
+                    .ops(keys)
+                    .stats(&map.stats())
+                    .retired(map.retired_indexes())
+                    .emit();
+                table.row(&[
+                    kind.name().to_string(),
+                    threads.to_string(),
+                    keys.to_string(),
+                    fmt_mops(r.mops),
+                ]);
+            }
         }
-    }
-    table.print();
-    println!("Expected shape: DLHT fastest (parallel non-blocking resize), GrowT-like next, CLHT flat beyond a few threads.");
+        ctx.table(&table);
+    });
 }

@@ -1,84 +1,103 @@
 //! Figure 8: Gets and Inserts over time while DLHT's non-blocking resize
 //! transfers the whole index; Get throughput dips but never stops.
 
-use dlht_bench::print_header;
+use dlht_bench::run_scenario;
 use dlht_workloads::population::{resize_timeline, resize_timeline_sharded};
-use dlht_workloads::{BenchScale, Table};
+use dlht_workloads::Table;
 use std::time::Duration;
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 8 (Gets and Inserts during a non-blocking resize)",
-        "32 Get threads + 32 Insert threads, 800M -> 1.6B keys; Gets keep completing",
-        &scale,
-    );
-    let get_threads = scale.threads.iter().max().copied().unwrap_or(1);
-    let insert_threads = get_threads;
-    let samples = resize_timeline(
-        scale.keys,
-        scale.keys * 4,
-        get_threads,
-        insert_threads,
-        Duration::from_millis(50),
-        (scale.keys / 16).max(64) as usize,
-    );
-    let mut table = Table::new(
-        "Fig. 8 — throughput timeline during growth",
-        &["t (ms)", "Gets (M/s)", "Inserts (M/s)", "index generation"],
-    );
-    for s in &samples {
-        table.row(&[
-            s.at_ms.to_string(),
-            format!("{:.2}", s.get_mops),
-            format!("{:.2}", s.insert_mops),
-            s.generation.to_string(),
-        ]);
-    }
-    table.print();
-    let grew = samples.last().map(|s| s.generation).unwrap_or(0);
-    let gets_always_progress = samples.iter().all(|s| s.get_mops > 0.0 || s.at_ms < 100);
-    println!("Index generations completed: {grew}");
-    println!("Gets progressed in every window: {gets_always_progress}");
-    println!("Expected shape: Get throughput dips while bins are transferred, then recovers; it never drops to zero.");
-    println!();
+    run_scenario("fig08_resize_timeline", |ctx| {
+        let scale = ctx.scale.clone();
+        let get_threads = scale.threads.iter().max().copied().unwrap_or(1);
+        let insert_threads = get_threads;
+        let samples = resize_timeline(
+            scale.keys,
+            scale.keys * 4,
+            get_threads,
+            insert_threads,
+            Duration::from_millis(50),
+            (scale.keys / 16).max(64) as usize,
+        );
+        let mut table = Table::new(
+            "Fig. 8 — throughput timeline during growth",
+            &["t (ms)", "Gets (M/s)", "Inserts (M/s)", "index generation"],
+        );
+        for (window, s) in samples.iter().enumerate() {
+            // The axis is the sample *index* (stable across runs, so
+            // bench_report can match points); the wall-clock timestamp is
+            // jittery and travels as an extra field.
+            for (series, mops) in [("Gets", s.get_mops), ("Inserts", s.insert_mops)] {
+                ctx.point(series)
+                    .axis("window", window)
+                    .mops(mops)
+                    .extra("t_ms", s.at_ms)
+                    .extra("generation", s.generation)
+                    .emit();
+            }
+            table.row(&[
+                s.at_ms.to_string(),
+                format!("{:.2}", s.get_mops),
+                format!("{:.2}", s.insert_mops),
+                s.generation.to_string(),
+            ]);
+        }
+        ctx.table(&table);
+        let grew = samples.last().map(|s| s.generation).unwrap_or(0);
+        let gets_always_progress = samples.iter().all(|s| s.get_mops > 0.0 || s.at_ms < 100);
+        ctx.note(&format!("Index generations completed: {grew}"));
+        ctx.note(&format!(
+            "Gets progressed in every window: {gets_always_progress}"
+        ));
+        ctx.note("");
 
-    // Same experiment over the sharded front: each shard grows on its own,
-    // so the dips shrink to the fraction of keys routed to the shard
-    // currently transferring.
-    let sharded = resize_timeline_sharded(
-        scale.keys,
-        scale.keys * 4,
-        get_threads,
-        insert_threads,
-        Duration::from_millis(50),
-        (scale.keys / 16).max(64) as usize,
-        scale.shards,
-    );
-    let mut stable = Table::new(
-        &format!(
-            "Fig. 8b — same timeline over {} independent shards (--shards)",
-            sharded.shard_resizes.len()
-        ),
-        &[
-            "t (ms)",
-            "Gets (M/s)",
-            "Inserts (M/s)",
-            "max shard generation",
-        ],
-    );
-    for s in &sharded.samples {
-        stable.row(&[
-            s.at_ms.to_string(),
-            format!("{:.2}", s.get_mops),
-            format!("{:.2}", s.insert_mops),
-            s.generation.to_string(),
-        ]);
-    }
-    stable.print();
-    println!(
-        "Resizes per shard (independent): {:?}",
-        sharded.shard_resizes
-    );
-    println!("Expected shape: the same growth spread over shard-local resizes — Gets on the other shards never see a transfer.");
+        // Same experiment over the sharded front: each shard grows on its
+        // own, so the dips shrink to the fraction of keys routed to the
+        // shard currently transferring.
+        let sharded = resize_timeline_sharded(
+            scale.keys,
+            scale.keys * 4,
+            get_threads,
+            insert_threads,
+            Duration::from_millis(50),
+            (scale.keys / 16).max(64) as usize,
+            scale.shards,
+        );
+        let mut stable = Table::new(
+            &format!(
+                "Fig. 8b — same timeline over {} independent shards (--shards)",
+                sharded.shard_resizes.len()
+            ),
+            &[
+                "t (ms)",
+                "Gets (M/s)",
+                "Inserts (M/s)",
+                "max shard generation",
+            ],
+        );
+        for (window, s) in sharded.samples.iter().enumerate() {
+            for (series, mops) in [
+                ("Gets-Sharded", s.get_mops),
+                ("Inserts-Sharded", s.insert_mops),
+            ] {
+                ctx.point(series)
+                    .axis("window", window)
+                    .mops(mops)
+                    .extra("t_ms", s.at_ms)
+                    .extra("generation", s.generation)
+                    .emit();
+            }
+            stable.row(&[
+                s.at_ms.to_string(),
+                format!("{:.2}", s.get_mops),
+                format!("{:.2}", s.insert_mops),
+                s.generation.to_string(),
+            ]);
+        }
+        ctx.table(&stable);
+        ctx.note(&format!(
+            "Resizes per shard (independent): {:?}",
+            sharded.shard_resizes
+        ));
+    });
 }

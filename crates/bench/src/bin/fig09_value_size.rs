@@ -1,98 +1,89 @@
 //! Figure 9: varying the value size from 8 B (inlined) to 1.5 KB (Allocator
 //! mode) for the Get, InsDel, and Get-Access workloads.
 
-use dlht_bench::print_header;
+use dlht_bench::{run_scenario, timed_mops};
 use dlht_core::{DlhtAllocMap, DlhtConfig, DlhtMap};
-use dlht_workloads::{fmt_mops, BenchScale, Table, Xoshiro256};
-use std::time::Instant;
-
-fn ops_per_sec(ops: u64, start: Instant) -> f64 {
-    ops as f64 / start.elapsed().as_secs_f64() / 1e6
-}
+use dlht_workloads::{fmt_mops, Table};
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 9 (varying value size: Get, InsDel, Get-Access)",
-        "8B..1.5KB values; Gets return pointers so only Get-Access pays for large values",
-        &scale,
-    );
-    let keys = scale.keys.min(50_000);
-    let ops = (keys * 4).max(50_000);
-    let mut table = Table::new(
-        "Fig. 9 — throughput vs value size (M req/s, single thread)",
-        &["value bytes", "Get", "InsDel", "Get-Access"],
-    );
-    for &value_size in &[8usize, 16, 64, 256, 1024, 1536] {
-        let (get, insdel, get_access) = if value_size == 8 {
-            // Inlined mode.
-            let map = DlhtMap::with_capacity(keys as usize * 2);
-            for k in 0..keys {
-                let _ = map.insert(k, k).unwrap();
-            }
-            let mut rng = Xoshiro256::new(1);
-            let t = Instant::now();
-            for _ in 0..ops {
-                std::hint::black_box(map.get(rng.next_below(keys)));
-            }
-            let get = ops_per_sec(ops, t);
-            let t = Instant::now();
-            for i in 0..ops / 2 {
-                let k = keys + 1 + i;
-                let _ = map.insert(k, k).unwrap();
-                map.delete(k);
-            }
-            let insdel = ops_per_sec(ops / 2 * 2, t);
-            (get, insdel, get)
-        } else {
-            // Allocator mode with fixed-size values.
-            let map = DlhtAllocMap::new(
-                DlhtConfig::for_capacity(keys as usize * 2),
-                dlht_core::alloc::AllocatorKind::Pool.build(),
-                8,
-                value_size,
-            );
-            let mut session = map.session();
-            let value = vec![7u8; value_size];
-            for k in 0..keys {
-                session.insert(0, &k.to_le_bytes(), &value).unwrap();
-            }
-            let mut rng = Xoshiro256::new(2);
-            let t = Instant::now();
-            for _ in 0..ops {
-                let k = rng.next_below(keys).to_le_bytes();
-                std::hint::black_box(session.get_with(0, &k, |_| ()));
-            }
-            let get = ops_per_sec(ops, t);
-            let t = Instant::now();
-            let mut sum = 0u64;
-            for _ in 0..ops / 4 {
-                let k = rng.next_below(keys).to_le_bytes();
-                sum += session
-                    .get_with(0, &k, |v| v.iter().map(|&b| b as u64).sum::<u64>())
-                    .unwrap_or(0);
-            }
-            std::hint::black_box(sum);
-            let get_access = ops_per_sec(ops / 4, t);
-            let t = Instant::now();
-            for i in 0..ops / 8 {
-                let k = (keys + 1 + i).to_le_bytes();
-                session.insert(0, &k, &value).unwrap();
-                session.delete(0, &k);
-                if i % 128 == 0 {
-                    session.quiesce();
+    run_scenario("fig09_value_size", |ctx| {
+        let scale = ctx.scale.clone();
+        let keys = scale.keys.min(50_000);
+        let ops = (keys * 4).max(50_000);
+        let warmup = ops / 10;
+        let mut table = Table::new(
+            "Fig. 9 — throughput vs value size (M req/s, single thread)",
+            &["value bytes", "Get", "InsDel", "Get-Access"],
+        );
+        for &value_size in &[8usize, 16, 64, 256, 1024, 1536] {
+            let (get, insdel, get_access) = if value_size == 8 {
+                // Inlined mode.
+                let map = DlhtMap::with_capacity(keys as usize * 2);
+                for k in 0..keys {
+                    let _ = map.insert(k, k).unwrap();
                 }
+                let mut rng = scale.stream("fig09/inline/get");
+                let get = timed_mops(ops, warmup, |_| {
+                    std::hint::black_box(map.get(rng.next_below(keys)));
+                });
+                // Two operations (insert + delete of a fresh key) per step.
+                let insdel = 2.0
+                    * timed_mops(ops / 2, warmup / 2, |i| {
+                        let k = keys + 1 + i;
+                        let _ = map.insert(k, k).unwrap();
+                        map.delete(k);
+                    });
+                (get, insdel, get)
+            } else {
+                // Allocator mode with fixed-size values.
+                let map = DlhtAllocMap::new(
+                    DlhtConfig::for_capacity(keys as usize * 2),
+                    dlht_core::alloc::AllocatorKind::Pool.build(),
+                    8,
+                    value_size,
+                );
+                let mut session = map.session();
+                let value = vec![7u8; value_size];
+                for k in 0..keys {
+                    session.insert(0, &k.to_le_bytes(), &value).unwrap();
+                }
+                let mut rng = scale.stream("fig09/alloc/get");
+                let get = timed_mops(ops, warmup, |_| {
+                    let k = rng.next_below(keys).to_le_bytes();
+                    std::hint::black_box(session.get_with(0, &k, |_| ()));
+                });
+                let mut sum = 0u64;
+                let get_access = timed_mops(ops / 4, warmup / 4, |_| {
+                    let k = rng.next_below(keys).to_le_bytes();
+                    sum += session
+                        .get_with(0, &k, |v| v.iter().map(|&b| b as u64).sum::<u64>())
+                        .unwrap_or(0);
+                });
+                std::hint::black_box(sum);
+                let insdel = 2.0
+                    * timed_mops(ops / 8, warmup / 8, |i| {
+                        let k = (keys + 1 + i).to_le_bytes();
+                        session.insert(0, &k, &value).unwrap();
+                        session.delete(0, &k);
+                        if i % 128 == 0 {
+                            session.quiesce();
+                        }
+                    });
+                (get, insdel, get_access)
+            };
+            for (series, mops) in [("Get", get), ("InsDel", insdel), ("Get-Access", get_access)] {
+                ctx.point(series)
+                    .axis("value_bytes", value_size)
+                    .mops(mops)
+                    .emit();
             }
-            let insdel = ops_per_sec(ops / 8 * 2, t);
-            (get, insdel, get_access)
-        };
-        table.row(&[
-            value_size.to_string(),
-            fmt_mops(get),
-            fmt_mops(insdel),
-            fmt_mops(get_access),
-        ]);
-    }
-    table.print();
-    println!("Expected shape: Get nearly flat (pointer API), InsDel degrades with allocation size, Get-Access drops fastest.");
+            table.row(&[
+                value_size.to_string(),
+                fmt_mops(get),
+                fmt_mops(insdel),
+                fmt_mops(get_access),
+            ]);
+        }
+        ctx.table(&table);
+    });
 }

@@ -2,59 +2,57 @@
 //! larger than 8 B leave only a signature in the slot and force a pointer
 //! dereference on every Get.
 
-use dlht_bench::print_header;
+use dlht_bench::{run_scenario, timed_mops};
 use dlht_core::{DlhtAllocMap, DlhtConfig};
-use dlht_workloads::{fmt_mops, BenchScale, Table, Xoshiro256};
-use std::time::Instant;
+use dlht_workloads::{fmt_mops, Table};
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 10 (varying key size: Get, InsDel)",
-        "8B..256B keys, 8B values; steep drop past 8B keys (signature + dereference)",
-        &scale,
-    );
-    let keys = scale.keys.min(50_000);
-    let ops = (keys * 4).max(50_000);
-    let mut table = Table::new(
-        "Fig. 10 — throughput vs key size (M req/s, single thread)",
-        &["key bytes", "Get", "InsDel"],
-    );
-    for &key_size in &[8usize, 16, 32, 64, 128, 256] {
-        let map = DlhtAllocMap::new(
-            DlhtConfig::for_capacity(keys as usize * 2).with_variable_size(true),
-            dlht_core::alloc::AllocatorKind::Pool.build(),
-            0,
-            0,
+    run_scenario("fig10_key_size", |ctx| {
+        let scale = ctx.scale.clone();
+        let keys = scale.keys.min(50_000);
+        let ops = (keys * 4).max(50_000);
+        let mut table = Table::new(
+            "Fig. 10 — throughput vs key size (M req/s, single thread)",
+            &["key bytes", "Get", "InsDel"],
         );
-        let mut session = map.session();
-        let make_key = |i: u64| -> Vec<u8> {
-            let mut k = vec![0u8; key_size];
-            k[..8].copy_from_slice(&i.to_le_bytes());
-            k
-        };
-        for i in 0..keys {
-            session.insert(0, &make_key(i), &i.to_le_bytes()).unwrap();
-        }
-        let mut rng = Xoshiro256::new(3);
-        let t = Instant::now();
-        for _ in 0..ops {
-            let k = make_key(rng.next_below(keys));
-            std::hint::black_box(session.get_with(0, &k, |_| ()));
-        }
-        let get = ops as f64 / t.elapsed().as_secs_f64() / 1e6;
-        let t = Instant::now();
-        for i in 0..ops / 8 {
-            let k = make_key(keys + 1 + i);
-            session.insert(0, &k, &i.to_le_bytes()).unwrap();
-            session.delete(0, &k);
-            if i % 128 == 0 {
-                session.quiesce();
+        for &key_size in &[8usize, 16, 32, 64, 128, 256] {
+            let map = DlhtAllocMap::new(
+                DlhtConfig::for_capacity(keys as usize * 2).with_variable_size(true),
+                dlht_core::alloc::AllocatorKind::Pool.build(),
+                0,
+                0,
+            );
+            let mut session = map.session();
+            let make_key = |i: u64| -> Vec<u8> {
+                let mut k = vec![0u8; key_size];
+                k[..8].copy_from_slice(&i.to_le_bytes());
+                k
+            };
+            for i in 0..keys {
+                session.insert(0, &make_key(i), &i.to_le_bytes()).unwrap();
             }
+            let mut rng = scale.stream("fig10/get");
+            let get = timed_mops(ops, ops / 10, |_| {
+                let k = make_key(rng.next_below(keys));
+                std::hint::black_box(session.get_with(0, &k, |_| ()));
+            });
+            let insdel = 2.0
+                * timed_mops(ops / 8, ops / 80, |i| {
+                    let k = make_key(keys + 1 + i);
+                    session.insert(0, &k, &i.to_le_bytes()).unwrap();
+                    session.delete(0, &k);
+                    if i % 128 == 0 {
+                        session.quiesce();
+                    }
+                });
+            for (series, mops) in [("Get", get), ("InsDel", insdel)] {
+                ctx.point(series)
+                    .axis("key_bytes", key_size)
+                    .mops(mops)
+                    .emit();
+            }
+            table.row(&[key_size.to_string(), fmt_mops(get), fmt_mops(insdel)]);
         }
-        let insdel = (ops / 8 * 2) as f64 / t.elapsed().as_secs_f64() / 1e6;
-        table.row(&[key_size.to_string(), fmt_mops(get), fmt_mops(insdel)]);
-    }
-    table.print();
-    println!("Expected shape: clear drop from 8B to 16B keys (extra dereference + larger allocations), gentle decline after.");
+        ctx.table(&table);
+    });
 }

@@ -3,49 +3,51 @@
 //! once the index no longer fits in the caches.
 
 use dlht_baselines::MapKind;
-use dlht_bench::print_header;
-use dlht_workloads::{fmt_mops, prepopulate, run_workload, BenchScale, Table, WorkloadSpec};
+use dlht_bench::run_scenario;
+use dlht_workloads::{fmt_mops, prepopulate, Table, WorkloadSpec};
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 11 (varying index size: Get, Get-NoBatch, InsDel)",
-        "1MB (8K keys) .. 64GB (1B keys) index; batching only helps once the index exceeds the caches",
-        &scale,
-    );
-    let threads = *scale.threads.iter().max().unwrap_or(&1);
-    let duration = scale.duration();
-    let mut table = Table::new(
-        "Fig. 11 — throughput vs prepopulated keys (M req/s)",
-        &["keys", "Get", "Get-NoBatch", "InsDel"],
-    );
-    let sizes: Vec<u64> = [8_192u64, 65_536, 262_144, 1_048_576, 4_194_304]
-        .iter()
-        .copied()
-        .filter(|&k| k <= scale.keys.max(8_192) * 32)
-        .collect();
-    for keys in sizes {
-        let map = MapKind::Dlht.build(keys as usize * 2);
-        prepopulate(map.as_ref(), keys);
-        let get = run_workload(
-            map.as_ref(),
-            &WorkloadSpec::get_default(keys, threads, duration),
+    run_scenario("fig11_index_size", |ctx| {
+        let scale = ctx.scale.clone();
+        let threads = *scale.threads.iter().max().unwrap_or(&1);
+        let duration = scale.duration();
+        let mut table = Table::new(
+            "Fig. 11 — throughput vs prepopulated keys (M req/s)",
+            &["keys", "Get", "Get-NoBatch", "InsDel"],
         );
-        let get_nobatch = run_workload(
-            map.as_ref(),
-            &WorkloadSpec::get_default(keys, threads, duration).without_batching(),
-        );
-        let insdel = run_workload(
-            map.as_ref(),
-            &WorkloadSpec::insdel_default(keys, threads, duration),
-        );
-        table.row(&[
-            keys.to_string(),
-            fmt_mops(get.mops),
-            fmt_mops(get_nobatch.mops),
-            fmt_mops(insdel.mops),
-        ]);
-    }
-    table.print();
-    println!("Expected shape: Get and Get-NoBatch converge for cache-resident sizes; the gap widens as the index grows.");
+        let sizes: Vec<u64> = [8_192u64, 65_536, 262_144, 1_048_576, 4_194_304]
+            .iter()
+            .copied()
+            .filter(|&k| k <= scale.keys.max(8_192) * 32)
+            .collect();
+        for keys in sizes {
+            let map = MapKind::Dlht.build(keys as usize * 2);
+            prepopulate(map.as_ref(), keys);
+            let specs = [
+                ("Get", WorkloadSpec::get_default(keys, threads, duration)),
+                (
+                    "Get-NoBatch",
+                    WorkloadSpec::get_default(keys, threads, duration).without_batching(),
+                ),
+                (
+                    "InsDel",
+                    WorkloadSpec::insdel_default(keys, threads, duration),
+                ),
+            ];
+            let mut row = vec![keys.to_string()];
+            for (series, spec) in specs {
+                let r = ctx.measure(map.as_ref(), &spec);
+                ctx.point(series)
+                    .axis("keys", keys)
+                    .axis("threads", threads)
+                    .result(&r)
+                    .stats(&map.stats())
+                    .retired(map.retired_indexes())
+                    .emit();
+                row.push(fmt_mops(r.mops));
+            }
+            table.row(&row);
+        }
+        ctx.table(&table);
+    });
 }

@@ -2,64 +2,73 @@
 //! of the requests (Get, Get-NoBatch, InsDel).
 
 use dlht_baselines::MapKind;
-use dlht_bench::{build_prepopulated, print_header};
-use dlht_workloads::{fmt_mops, run_workload, BenchScale, KeySampler, Table, WorkloadSpec};
+use dlht_bench::{build_prepopulated, run_scenario};
+use dlht_workloads::{fmt_mops, KeySampler, Table, WorkloadSpec};
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 13 (skew with 1000 hot keys)",
-        "0%..100% of accesses to 1000 hot keys; Gets speed up with locality, InsDel suffers conflicts",
-        &scale,
-    );
-    let threads = *scale.threads.iter().max().unwrap_or(&1);
-    let duration = scale.duration();
-    let keys = scale.keys;
-    let map = build_prepopulated(MapKind::Dlht, &scale);
-    // Sharded front at the --shards / DLHT_SHARDS fan-out: skew also skews
-    // the per-shard load, which is exactly what shard-local resizes absorb.
-    let sharded = build_prepopulated(MapKind::DlhtSharded(scale.shards_u8()), &scale);
-    let mut table = Table::new(
-        "Fig. 13 — throughput vs skewed-access percentage (M req/s)",
-        &[
-            "hot %",
-            "Get",
-            "Get-Sharded",
-            "Get-NoBatch",
-            "InsDel-hot-deletes",
-        ],
-    );
-    for &hot_pct in &[0u32, 25, 50, 75, 90, 99, 100] {
-        let sampler = KeySampler::hot_set(keys, 1_000, hot_pct as f64 / 100.0);
-        let get = run_workload(
-            map.as_ref(),
-            &WorkloadSpec::get_default(keys, threads, duration).with_sampler(sampler.clone()),
+    run_scenario("fig13_skew", |ctx| {
+        let scale = ctx.scale.clone();
+        let threads = *scale.threads.iter().max().unwrap_or(&1);
+        let duration = scale.duration();
+        let keys = scale.keys;
+        let map = build_prepopulated(MapKind::Dlht, &scale);
+        // Sharded front at the --shards / DLHT_SHARDS fan-out: skew also
+        // skews the per-shard load, which is exactly what shard-local
+        // resizes absorb.
+        let sharded = build_prepopulated(MapKind::DlhtSharded(scale.shards_u8()), &scale);
+        let mut table = Table::new(
+            "Fig. 13 — throughput vs skewed-access percentage (M req/s)",
+            &[
+                "hot %",
+                "Get",
+                "Get-Sharded",
+                "Get-NoBatch",
+                "InsDel-hot-deletes",
+            ],
         );
-        let get_sharded = run_workload(
-            sharded.as_ref(),
-            &WorkloadSpec::get_default(keys, threads, duration).with_sampler(sampler.clone()),
-        );
-        let get_nobatch = run_workload(
-            map.as_ref(),
-            &WorkloadSpec::get_default(keys, threads, duration)
-                .with_sampler(sampler.clone())
-                .without_batching(),
-        );
-        // InsDel under skew: deletes target the hot set, inserts are fresh.
-        let mut insdel_spec = WorkloadSpec::insdel_default(keys, threads, duration);
-        insdel_spec.mix.insert = 50;
-        insdel_spec.mix.delete = 50;
-        insdel_spec.insert_then_delete = false;
-        insdel_spec.sampler = sampler;
-        let insdel = run_workload(map.as_ref(), &insdel_spec);
-        table.row(&[
-            hot_pct.to_string(),
-            fmt_mops(get.mops),
-            fmt_mops(get_sharded.mops),
-            fmt_mops(get_nobatch.mops),
-            fmt_mops(insdel.mops),
-        ]);
-    }
-    table.print();
-    println!("Expected shape: Get rises with skew; at 100% skew Get-NoBatch overtakes batched Get; InsDel falls under contention.");
+        for &hot_pct in &[0u32, 25, 50, 75, 90, 99, 100] {
+            let sampler = KeySampler::hot_set(keys, 1_000, hot_pct as f64 / 100.0);
+            let get = ctx.measure(
+                map.as_ref(),
+                &WorkloadSpec::get_default(keys, threads, duration).with_sampler(sampler.clone()),
+            );
+            let get_sharded = ctx.measure(
+                sharded.as_ref(),
+                &WorkloadSpec::get_default(keys, threads, duration).with_sampler(sampler.clone()),
+            );
+            let get_nobatch = ctx.measure(
+                map.as_ref(),
+                &WorkloadSpec::get_default(keys, threads, duration)
+                    .with_sampler(sampler.clone())
+                    .without_batching(),
+            );
+            // InsDel under skew: deletes target the hot set, inserts are fresh.
+            let mut insdel_spec = WorkloadSpec::insdel_default(keys, threads, duration);
+            insdel_spec.mix.insert = 50;
+            insdel_spec.mix.delete = 50;
+            insdel_spec.insert_then_delete = false;
+            insdel_spec.sampler = sampler;
+            let insdel = ctx.measure(map.as_ref(), &insdel_spec);
+            for (series, r) in [
+                ("Get", &get),
+                ("Get-Sharded", &get_sharded),
+                ("Get-NoBatch", &get_nobatch),
+                ("InsDel-hot-deletes", &insdel),
+            ] {
+                ctx.point(series)
+                    .axis("hot_pct", hot_pct)
+                    .axis("threads", threads)
+                    .result(r)
+                    .emit();
+            }
+            table.row(&[
+                hot_pct.to_string(),
+                fmt_mops(get.mops),
+                fmt_mops(get_sharded.mops),
+                fmt_mops(get_nobatch.mops),
+                fmt_mops(insdel.mops),
+            ]);
+        }
+        ctx.table(&table);
+    });
 }

@@ -3,25 +3,23 @@
 //! stacked and one-at-a-time, for the Get and InsDel workloads.
 
 use dlht_baselines::DlhtAdapter;
-use dlht_bench::print_header;
+use dlht_bench::{run_scenario, timed_mops, ScenarioCtx};
 use dlht_core::DlhtAllocMap;
 use dlht_core::DlhtConfig;
 use dlht_hash::HashKind;
-use dlht_workloads::{
-    fmt_mops, prepopulate, run_workload, BenchScale, Table, WorkloadSpec, Xoshiro256,
-};
-use std::time::Instant;
+use dlht_workloads::{fmt_mops, prepopulate, Table, WorkloadSpec};
 
 /// Measure Get and InsDel throughput of an Inlined-mode configuration.
-fn measure_inlined(config: DlhtConfig, scale: &BenchScale) -> (f64, f64) {
+fn measure_inlined(ctx: &ScenarioCtx, config: DlhtConfig) -> (f64, f64) {
+    let scale = &ctx.scale;
     let threads = *scale.threads.iter().max().unwrap_or(&1);
     let map = DlhtAdapter::with_config(config);
     prepopulate(&map, scale.keys);
-    let get = run_workload(
+    let get = ctx.measure(
         &map,
         &WorkloadSpec::get_default(scale.keys, threads, scale.duration()),
     );
-    let insdel = run_workload(
+    let insdel = ctx.measure(
         &map,
         &WorkloadSpec::insdel_default(scale.keys, threads, scale.duration()),
     );
@@ -31,10 +29,11 @@ fn measure_inlined(config: DlhtConfig, scale: &BenchScale) -> (f64, f64) {
 /// Measure Get and InsDel throughput of an Allocator-mode configuration with
 /// 32-byte values (the figure's default value size).
 fn measure_alloc(
+    ctx: &ScenarioCtx,
     config: DlhtConfig,
     allocator: dlht_core::alloc::AllocatorKind,
-    scale: &BenchScale,
 ) -> (f64, f64) {
+    let scale = &ctx.scale;
     let keys = scale.keys.min(100_000);
     let map = DlhtAllocMap::new(config, allocator.build(), 8, 32);
     let mut session = map.session();
@@ -43,88 +42,87 @@ fn measure_alloc(
         session.insert(0, &k.to_le_bytes(), &value).unwrap();
     }
     let ops = (keys * 2).max(20_000);
-    let mut rng = Xoshiro256::new(9);
-    let t = Instant::now();
-    for _ in 0..ops {
+    let mut rng = scale.stream("fig14/alloc");
+    let get = timed_mops(ops, ops / 10, |_| {
         let k = rng.next_below(keys).to_le_bytes();
         std::hint::black_box(session.get_with(0, &k, |_| ()));
-    }
-    let get = ops as f64 / t.elapsed().as_secs_f64() / 1e6;
-    let t = Instant::now();
-    for i in 0..ops / 4 {
-        let k = (keys + 1 + i).to_le_bytes();
-        session.insert(0, &k, &value).unwrap();
-        session.delete(0, &k);
-        if i % 64 == 0 {
-            session.quiesce();
-        }
-    }
-    let insdel = (ops / 4 * 2) as f64 / t.elapsed().as_secs_f64() / 1e6;
+    });
+    let insdel = 2.0
+        * timed_mops(ops / 4, ops / 40, |i| {
+            let k = (keys + 1 + i).to_le_bytes();
+            session.insert(0, &k, &value).unwrap();
+            session.delete(0, &k);
+            if i % 64 == 0 {
+                session.quiesce();
+            }
+        });
     (get, insdel)
 }
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 14 (cost of enabling features, stacked and single)",
-        "default -> +resizing -> +wyhash -> +variable sizes -> +namespaces -> no mimalloc; 32B values",
-        &scale,
-    );
-    let mut table = Table::new(
-        "Fig. 14 — throughput with features enabled (M req/s)",
-        &["configuration", "Get", "InsDel"],
-    );
-    let base_bins = DlhtConfig::for_capacity(scale.keys as usize * 2).num_bins;
+    run_scenario("fig14_features", |ctx| {
+        let mut table = Table::new(
+            "Fig. 14 — throughput with features enabled (M req/s)",
+            &["configuration", "Get", "InsDel"],
+        );
+        let base_bins = DlhtConfig::for_capacity(ctx.scale.keys as usize * 2).num_bins;
 
-    // Inlined-mode bars: default, +resizing, +wyhash (stacked).
-    let default_cfg = DlhtConfig::new(base_bins).with_resizing(false);
-    let (g, i) = measure_inlined(default_cfg.clone(), &scale);
-    table.row(&[
-        "default (no features)".to_string(),
-        fmt_mops(g),
-        fmt_mops(i),
-    ]);
+        // Inlined-mode bars: default, +resizing, +wyhash (stacked).
+        let default_cfg = DlhtConfig::new(base_bins).with_resizing(false);
+        let resizing = default_cfg.clone().with_resizing(true);
+        let hashed = resizing.clone().with_hash(HashKind::WyHash);
+        let inlined: [(&str, DlhtConfig); 3] = [
+            ("default (no features)", default_cfg),
+            ("+ resizing checks", resizing),
+            ("+ wyhash", hashed),
+        ];
+        let mut rows: Vec<(String, f64, f64)> = Vec::new();
+        for (label, cfg) in inlined {
+            let (g, i) = measure_inlined(ctx, cfg);
+            rows.push((label.to_string(), g, i));
+        }
 
-    let resizing = default_cfg.clone().with_resizing(true);
-    let (g, i) = measure_inlined(resizing.clone(), &scale);
-    table.row(&["+ resizing checks".to_string(), fmt_mops(g), fmt_mops(i)]);
+        // Allocator-mode bars (32-byte values): variable sizes, namespaces,
+        // malloc.
+        let alloc_base = DlhtConfig::new(base_bins).with_hash(HashKind::WyHash);
+        let var = alloc_base.clone().with_variable_size(true);
+        let ns = var.clone().with_namespaces(true);
+        let alloc: [(&str, DlhtConfig, dlht_core::alloc::AllocatorKind); 4] = [
+            (
+                "allocator mode (fixed sizes, pool)",
+                alloc_base,
+                dlht_core::alloc::AllocatorKind::Pool,
+            ),
+            (
+                "+ variable key/value sizes",
+                var,
+                dlht_core::alloc::AllocatorKind::Pool,
+            ),
+            (
+                "+ namespaces",
+                ns.clone(),
+                dlht_core::alloc::AllocatorKind::Pool,
+            ),
+            (
+                "+ no mimalloc (system malloc)",
+                ns,
+                dlht_core::alloc::AllocatorKind::System,
+            ),
+        ];
+        for (label, cfg, kind) in alloc {
+            let (g, i) = measure_alloc(ctx, cfg, kind);
+            rows.push((label.to_string(), g, i));
+        }
 
-    let hashed = resizing.clone().with_hash(HashKind::WyHash);
-    let (g, i) = measure_inlined(hashed.clone(), &scale);
-    table.row(&["+ wyhash".to_string(), fmt_mops(g), fmt_mops(i)]);
-
-    // Allocator-mode bars (32-byte values): variable sizes, namespaces, malloc.
-    let alloc_base = DlhtConfig::new(base_bins).with_hash(HashKind::WyHash);
-    let (g, i) = measure_alloc(
-        alloc_base.clone(),
-        dlht_core::alloc::AllocatorKind::Pool,
-        &scale,
-    );
-    table.row(&[
-        "allocator mode (fixed sizes, pool)".to_string(),
-        fmt_mops(g),
-        fmt_mops(i),
-    ]);
-
-    let var = alloc_base.clone().with_variable_size(true);
-    let (g, i) = measure_alloc(var.clone(), dlht_core::alloc::AllocatorKind::Pool, &scale);
-    table.row(&[
-        "+ variable key/value sizes".to_string(),
-        fmt_mops(g),
-        fmt_mops(i),
-    ]);
-
-    let ns = var.clone().with_namespaces(true);
-    let (g, i) = measure_alloc(ns.clone(), dlht_core::alloc::AllocatorKind::Pool, &scale);
-    table.row(&["+ namespaces".to_string(), fmt_mops(g), fmt_mops(i)]);
-
-    let (g, i) = measure_alloc(ns, dlht_core::alloc::AllocatorKind::System, &scale);
-    table.row(&[
-        "+ no mimalloc (system malloc)".to_string(),
-        fmt_mops(g),
-        fmt_mops(i),
-    ]);
-
-    table.print();
-    println!("Expected shape: each feature shaves a little throughput; the allocator swap mainly hurts InsDel.");
+        for (label, get, insdel) in &rows {
+            for (workload, mops) in [("Get", *get), ("InsDel", *insdel)] {
+                ctx.point(label.as_str())
+                    .axis("workload", workload)
+                    .mops(mops)
+                    .emit();
+            }
+            table.row(&[label.clone(), fmt_mops(*get), fmt_mops(*insdel)]);
+        }
+        ctx.table(&table);
+    });
 }

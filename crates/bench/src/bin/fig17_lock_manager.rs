@@ -1,37 +1,43 @@
 //! Figure 17: database lock manager built on DLHT's HashSet mode — locks and
 //! unlocks per second with and without order-preserving batching.
 
-use dlht_bench::print_header;
+use dlht_bench::run_scenario;
 use dlht_workloads::lockmgr::run_lock_manager;
-use dlht_workloads::{fmt_mops, BenchScale, Table};
+use dlht_workloads::{fmt_mops, Table};
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 17 (lock manager over HashSet)",
-        "locks/unlocks per second; batching peaks near 1.5B ops/s, ~2.2x the unbatched variant",
-        &scale,
-    );
-    let records = scale.keys;
-    let mut table = Table::new(
-        "Fig. 17 — lock/unlock throughput (M ops/s)",
-        &[
-            "threads",
-            "DLHT (batched)",
-            "DLHT-NoBatch",
-            "conflicts (batched)",
-        ],
-    );
-    for &threads in &scale.threads {
-        let batched = run_lock_manager(records, 8, threads, scale.duration(), true);
-        let unbatched = run_lock_manager(records, 8, threads, scale.duration(), false);
-        table.row(&[
-            threads.to_string(),
-            fmt_mops(batched.mops),
-            fmt_mops(unbatched.mops),
-            batched.conflicted.to_string(),
-        ]);
-    }
-    table.print();
-    println!("Expected shape: batched locking scales with threads and stays ahead of the unbatched variant.");
+    run_scenario("fig17_lock_manager", |ctx| {
+        let scale = ctx.scale.clone();
+        let records = scale.keys;
+        let mut table = Table::new(
+            "Fig. 17 — lock/unlock throughput (M ops/s)",
+            &[
+                "threads",
+                "DLHT (batched)",
+                "DLHT-NoBatch",
+                "conflicts (batched)",
+            ],
+        );
+        for &threads in &scale.threads {
+            // Warm-up pass (discarded) then the measured pass, per variant.
+            let _ = run_lock_manager(records, 8, threads, scale.warmup(), true);
+            let batched = run_lock_manager(records, 8, threads, scale.duration(), true);
+            let _ = run_lock_manager(records, 8, threads, scale.warmup(), false);
+            let unbatched = run_lock_manager(records, 8, threads, scale.duration(), false);
+            for (series, r) in [("batched", &batched), ("unbatched", &unbatched)] {
+                ctx.point(series)
+                    .axis("threads", threads)
+                    .mops(r.mops)
+                    .extra("conflicts", r.conflicted)
+                    .emit();
+            }
+            table.row(&[
+                threads.to_string(),
+                fmt_mops(batched.mops),
+                fmt_mops(unbatched.mops),
+                batched.conflicted.to_string(),
+            ]);
+        }
+        ctx.table(&table);
+    });
 }

@@ -2,37 +2,39 @@
 //! thread count grows.
 
 use dlht_baselines::MapKind;
-use dlht_bench::{build_prepopulated, print_header};
+use dlht_bench::{build_prepopulated, run_scenario};
 use dlht_workloads::ycsb::{run_ycsb, YcsbMix};
-use dlht_workloads::{fmt_mops, BenchScale, Table};
+use dlht_workloads::{fmt_mops, Table};
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 18 (YCSB mixes)",
-        "YCSB A/B/C/F over DLHT; read-only C roughly 2x the update-only F at saturation",
-        &scale,
-    );
-    let map = build_prepopulated(MapKind::Dlht, &scale);
-    let mut table = Table::new(
-        "Fig. 18 — YCSB throughput (M req/s)",
-        &["threads", "YCSB A", "YCSB B", "YCSB C", "YCSB F"],
-    );
-    for &threads in &scale.threads {
-        let mut row = vec![threads.to_string()];
-        for mix in YcsbMix::all() {
-            let r = run_ycsb(
-                map.as_ref(),
-                mix,
-                scale.keys,
-                threads,
-                scale.duration(),
-                true,
-            );
-            row.push(fmt_mops(r.mops));
+    run_scenario("fig18_ycsb", |ctx| {
+        let scale = ctx.scale.clone();
+        let map = build_prepopulated(MapKind::Dlht, &scale);
+        let mut table = Table::new(
+            "Fig. 18 — YCSB throughput (M req/s)",
+            &["threads", "YCSB A", "YCSB B", "YCSB C", "YCSB F"],
+        );
+        for &threads in &scale.threads {
+            let mut row = vec![threads.to_string()];
+            for mix in YcsbMix::all() {
+                // Warm-up pass (discarded) then the measured pass.
+                let _ = run_ycsb(map.as_ref(), mix, scale.keys, threads, scale.warmup(), true);
+                let r = run_ycsb(
+                    map.as_ref(),
+                    mix,
+                    scale.keys,
+                    threads,
+                    scale.duration(),
+                    true,
+                );
+                ctx.point(mix.name())
+                    .axis("threads", threads)
+                    .mops(r.mops)
+                    .emit();
+                row.push(fmt_mops(r.mops));
+            }
+            table.row(&row);
         }
-        table.row(&row);
-    }
-    table.print();
-    println!("Expected shape: all mixes scale with threads; C (read-only) highest, F (update-only) lowest.");
+        ctx.table(&table);
+    });
 }

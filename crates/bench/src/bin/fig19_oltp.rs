@@ -1,35 +1,35 @@
 //! Figure 19: multi-key OLTP benchmarks — TATP (read-intensive) and
 //! Smallbank (write-intensive) transactions per second over DLHT.
 
-use dlht_bench::print_header;
+use dlht_bench::run_scenario;
 use dlht_workloads::smallbank::{run_smallbank, SmallbankDatabase};
 use dlht_workloads::tatp::{run_tatp, TatpDatabase};
-use dlht_workloads::{BenchScale, Table};
+use dlht_workloads::Table;
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 19 (TATP and Smallbank)",
-        "1M TATP subscribers, 10M Smallbank accounts; paper: 175M / 129M txns/s at 64 threads",
-        &scale,
-    );
-    let tatp_db = TatpDatabase::populate((scale.keys / 4).max(1_000));
-    let smallbank_db = SmallbankDatabase::populate((scale.keys / 2).max(1_000));
-    let mut table = Table::new(
-        "Fig. 19 — transactions per second (millions)",
-        &["threads", "TATP (M txn/s)", "Smallbank (M txn/s)"],
-    );
-    for &threads in &scale.threads {
-        let tatp = run_tatp(&tatp_db, threads, scale.duration());
-        let smallbank = run_smallbank(&smallbank_db, threads, scale.duration());
-        table.row(&[
-            threads.to_string(),
-            format!("{:.2}", tatp.mtps),
-            format!("{:.2}", smallbank.mtps),
-        ]);
-    }
-    table.print();
-    println!(
-        "Expected shape: both scale with threads; TATP (80% reads) ahead of Smallbank (15% reads)."
-    );
+    run_scenario("fig19_oltp", |ctx| {
+        let scale = ctx.scale.clone();
+        let tatp_db = TatpDatabase::populate((scale.keys / 4).max(1_000));
+        let smallbank_db = SmallbankDatabase::populate((scale.keys / 2).max(1_000));
+        let mut table = Table::new(
+            "Fig. 19 — transactions per second (millions)",
+            &["threads", "TATP (M txn/s)", "Smallbank (M txn/s)"],
+        );
+        for &threads in &scale.threads {
+            // Warm-up pass (discarded) then the measured pass.
+            let _ = run_tatp(&tatp_db, threads, scale.warmup());
+            let tatp = run_tatp(&tatp_db, threads, scale.duration());
+            let _ = run_smallbank(&smallbank_db, threads, scale.warmup());
+            let smallbank = run_smallbank(&smallbank_db, threads, scale.duration());
+            for (series, mtps) in [("TATP", tatp.mtps), ("Smallbank", smallbank.mtps)] {
+                ctx.point(series).axis("threads", threads).mops(mtps).emit();
+            }
+            table.row(&[
+                threads.to_string(),
+                format!("{:.2}", tatp.mtps),
+                format!("{:.2}", smallbank.mtps),
+            ]);
+        }
+        ctx.table(&table);
+    });
 }

@@ -1,33 +1,52 @@
 //! Figure 20: non-partitioned hash join (workload A: |S| = 16 × |R|) over
 //! DLHT with and without batching.
 
-use dlht_bench::print_header;
+use dlht_bench::run_scenario;
 use dlht_workloads::hashjoin::run_hash_join;
-use dlht_workloads::{fmt_mops, BenchScale, Table};
+use dlht_workloads::{fmt_mops, Table};
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Figure 20 (non-partitioned hash join, workload A)",
-        "build 2^27 tuples, probe 2^31; DLHT reaches 1.4B tuples/s, 2.2x DLHT-NoBatch",
-        &scale,
-    );
-    let r_tuples = scale.keys;
-    let s_tuples = scale.keys * 16;
-    let mut table = Table::new(
-        "Fig. 20 — join throughput ((|R|+|S|)/runtime, M tuples/s)",
-        &["threads", "DLHT (batched)", "DLHT-NoBatch"],
-    );
-    for &threads in &scale.threads {
-        let batched = run_hash_join(r_tuples, s_tuples, threads, 32, true);
-        let unbatched = run_hash_join(r_tuples, s_tuples, threads, 32, false);
-        assert_eq!(batched.matches, batched.probe_tuples);
-        table.row(&[
-            threads.to_string(),
-            fmt_mops(batched.mtuples_per_sec),
-            fmt_mops(unbatched.mtuples_per_sec),
-        ]);
-    }
-    table.print();
-    println!("Expected shape: batching (prefetching the probe side) clearly ahead of the unbatched join.");
+    run_scenario("fig20_hash_join", |ctx| {
+        let scale = ctx.scale.clone();
+        let r_tuples = scale.keys;
+        let s_tuples = scale.keys * 16;
+        let mut table = Table::new(
+            "Fig. 20 — join throughput ((|R|+|S|)/runtime, M tuples/s)",
+            &["threads", "DLHT (batched)", "DLHT-NoBatch"],
+        );
+        for &threads in &scale.threads {
+            // Warm-up join at 1/8 scale (discarded) before each measured one.
+            let _ = run_hash_join(
+                (r_tuples / 8).max(1),
+                (s_tuples / 8).max(1),
+                threads,
+                32,
+                true,
+            );
+            let batched = run_hash_join(r_tuples, s_tuples, threads, 32, true);
+            let _ = run_hash_join(
+                (r_tuples / 8).max(1),
+                (s_tuples / 8).max(1),
+                threads,
+                32,
+                false,
+            );
+            let unbatched = run_hash_join(r_tuples, s_tuples, threads, 32, false);
+            assert_eq!(batched.matches, batched.probe_tuples);
+            for (series, r) in [("batched", &batched), ("unbatched", &unbatched)] {
+                ctx.point(series)
+                    .axis("threads", threads)
+                    .mops(r.mtuples_per_sec)
+                    .ops(r.build_tuples + r.probe_tuples)
+                    .extra("matches", r.matches)
+                    .emit();
+            }
+            table.row(&[
+                threads.to_string(),
+                fmt_mops(batched.mtuples_per_sec),
+                fmt_mops(unbatched.mtuples_per_sec),
+            ]);
+        }
+        ctx.table(&table);
+    });
 }

@@ -4,41 +4,46 @@
 //! variant pays it on every request.
 
 use dlht_baselines::MapKind;
-use dlht_bench::{build_prepopulated, print_header};
-use dlht_workloads::{fmt_mops, run_workload, BenchScale, Table, WorkloadSpec};
+use dlht_bench::{build_prepopulated, run_scenario};
+use dlht_workloads::{fmt_mops, Table, WorkloadSpec};
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Section 5.3.2 (CXL / remote-memory emulation)",
-        "paper pins DLHT memory on the remote socket; here a per-miss delay is injected (DESIGN.md substitution)",
-        &scale,
-    );
-    let threads = *scale.threads.iter().max().unwrap_or(&1);
-    let map = build_prepopulated(MapKind::Dlht, &scale);
-    let mut table = Table::new(
-        "CXL emulation — Get throughput (M req/s)",
-        &[
-            "extra latency (ns)",
-            "DLHT (batched)",
-            "DLHT-NoBatch",
-            "batched / unbatched",
-        ],
-    );
-    for &latency_ns in &[0u64, 150, 300, 600] {
-        let mut batched_spec = WorkloadSpec::get_default(scale.keys, threads, scale.duration());
-        batched_spec.remote_latency_ns = latency_ns;
-        let mut unbatched_spec = batched_spec.clone().without_batching();
-        unbatched_spec.remote_latency_ns = latency_ns;
-        let batched = run_workload(map.as_ref(), &batched_spec);
-        let unbatched = run_workload(map.as_ref(), &unbatched_spec);
-        table.row(&[
-            latency_ns.to_string(),
-            fmt_mops(batched.mops),
-            fmt_mops(unbatched.mops),
-            format!("{:.1}x", batched.mops / unbatched.mops.max(1e-9)),
-        ]);
-    }
-    table.print();
-    println!("Expected shape: the batched/unbatched gap widens as the emulated memory latency grows (paper: 2.9x at remote-socket latency).");
+    run_scenario("fig_cxl_emulation", |ctx| {
+        let scale = ctx.scale.clone();
+        let threads = *scale.threads.iter().max().unwrap_or(&1);
+        let map = build_prepopulated(MapKind::Dlht, &scale);
+        let mut table = Table::new(
+            "CXL emulation — Get throughput (M req/s)",
+            &[
+                "extra latency (ns)",
+                "DLHT (batched)",
+                "DLHT-NoBatch",
+                "batched / unbatched",
+            ],
+        );
+        for &latency_ns in &[0u64, 150, 300, 600] {
+            let mut batched_spec = WorkloadSpec::get_default(scale.keys, threads, scale.duration());
+            batched_spec.remote_latency_ns = latency_ns;
+            let mut unbatched_spec = batched_spec.clone().without_batching();
+            unbatched_spec.remote_latency_ns = latency_ns;
+            let batched = ctx.measure(map.as_ref(), &batched_spec);
+            let unbatched = ctx.measure(map.as_ref(), &unbatched_spec);
+            let ratio = batched.mops / unbatched.mops.max(1e-9);
+            for (series, r) in [("batched", &batched), ("unbatched", &unbatched)] {
+                ctx.point(series)
+                    .axis("latency_ns", latency_ns)
+                    .axis("threads", threads)
+                    .result(r)
+                    .extra("batched_over_unbatched", ratio)
+                    .emit();
+            }
+            table.row(&[
+                latency_ns.to_string(),
+                fmt_mops(batched.mops),
+                fmt_mops(unbatched.mops),
+                format!("{ratio:.1}x"),
+            ]);
+        }
+        ctx.table(&table);
+    });
 }

@@ -1,64 +1,85 @@
-//! Run the entire figure/table suite sequentially. Each experiment is also
-//! available as its own binary; this wrapper exists so
-//! `cargo run --release -p dlht-bench --bin run_all` regenerates everything
-//! the paper's evaluation section reports, at the environment-selected scale.
+//! Run the entire figure/table suite sequentially, driven by the scenario
+//! registry. Each experiment is also available as its own binary; this
+//! wrapper exists so `cargo run --release -p dlht-bench --bin run_all --
+//! --smoke` (CI tier) or `-- --full` (environment-scaled) regenerates
+//! everything the paper's evaluation section reports **and** leaves one
+//! schema-versioned `BENCH_<scenario>.json` artifact per scenario
+//! (`DLHT_BENCH_DIR`, default the working directory) for `bench_report`
+//! to diff against another run.
 
+use dlht_bench::REGISTRY;
 use std::process::Command;
-
-const EXPERIMENTS: &[&str] = &[
-    "fig01_overview",
-    "table1_features",
-    "fig03_get_throughput",
-    "fig04_power_efficiency",
-    "fig05_insdel_throughput",
-    "fig06_put_heavy",
-    "fig07_population",
-    "fig08_resize_timeline",
-    "fig09_value_size",
-    "fig10_key_size",
-    "fig11_index_size",
-    "fig12_batch_size",
-    "fig13_skew",
-    "fig14_features",
-    "fig15_latency",
-    "fig16_single_thread",
-    "fig17_lock_manager",
-    "fig18_ycsb",
-    "fig19_oltp",
-    "fig20_hash_join",
-    "fig_cxl_emulation",
-    "table5_summary",
-];
+use std::time::Instant;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = dlht_workloads::BenchScale::from_env_and_args(args.iter().cloned());
+    let bench_dir = std::env::var("DLHT_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
     let exe_dir = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(|d| d.to_path_buf()))
         .expect("cannot locate the bench binaries");
+    eprintln!(
+        "Running all {} scenarios at tier {} (BENCH_*.json -> {bench_dir})",
+        REGISTRY.len(),
+        scale.tier.name()
+    );
+    let started = Instant::now();
     let mut failures = Vec::new();
-    for exp in EXPERIMENTS {
-        println!("\n================================================================");
-        println!("  {exp}");
-        println!("================================================================");
-        let path = exe_dir.join(exp);
-        let status = Command::new(&path).status();
+    for scenario in REGISTRY {
+        eprintln!("\n================================================================");
+        eprintln!("  {} ({})", scenario.name, scenario.figure);
+        eprintln!("================================================================");
+        let t = Instant::now();
+        let path = exe_dir.join(scenario.name);
+        // The resolved tier and shard count travel by environment so every
+        // child applies the same configuration the wrapper resolved
+        // (children don't re-parse --smoke / --shards).
+        let status = Command::new(&path)
+            .env("DLHT_TIER", scale.tier.name())
+            .env("DLHT_SHARDS", scale.shards.to_string())
+            .status();
         match status {
-            Ok(s) if s.success() => {}
+            Ok(s) if s.success() => {
+                let artifact =
+                    std::path::Path::new(&bench_dir).join(format!("BENCH_{}.json", scenario.name));
+                if artifact.is_file() {
+                    eprintln!(
+                        "  -> ok in {:.1}s ({})",
+                        t.elapsed().as_secs_f64(),
+                        artifact.display()
+                    );
+                } else {
+                    eprintln!(
+                        "{}: exited cleanly but wrote no {}",
+                        scenario.name,
+                        artifact.display()
+                    );
+                    failures.push(scenario.name);
+                }
+            }
             Ok(s) => {
-                eprintln!("{exp} exited with {s}");
-                failures.push(*exp);
+                eprintln!("{} exited with {s}", scenario.name);
+                failures.push(scenario.name);
             }
             Err(e) => {
-                eprintln!("failed to launch {exp} ({e}); run it via `cargo run --release -p dlht-bench --bin {exp}`");
-                failures.push(*exp);
+                eprintln!(
+                    "failed to launch {} ({e}); run it via `cargo run --release -p dlht-bench --bin {}`",
+                    scenario.name, scenario.name
+                );
+                failures.push(scenario.name);
             }
         }
     }
-    println!("\n================================================================");
+    eprintln!("\n================================================================");
     if failures.is_empty() {
-        println!("All {} experiments completed.", EXPERIMENTS.len());
+        eprintln!(
+            "All {} scenarios completed in {:.1}s; diff two runs with `bench_report <old> <new>`.",
+            REGISTRY.len(),
+            started.elapsed().as_secs_f64()
+        );
     } else {
-        println!("Completed with {} failures: {:?}", failures.len(), failures);
+        eprintln!("Completed with {} failures: {:?}", failures.len(), failures);
         std::process::exit(1);
     }
 }

@@ -2,10 +2,10 @@
 //! memory-access awareness) plus the occupancy-until-resize study of §5.1.5.
 
 use dlht_baselines::{DlhtAdapter, KvBackend, MapKind};
-use dlht_bench::print_header;
+use dlht_bench::run_scenario;
 use dlht_core::DlhtConfig;
 use dlht_hash::HashKind;
-use dlht_workloads::{BenchScale, Table};
+use dlht_workloads::Table;
 
 /// Measure DLHT's occupancy when an insert-only population first triggers a
 /// resize (wyhash, link buckets limited to one-fifth of the bins as in
@@ -45,64 +45,80 @@ fn clht_occupancy_until_resize(capacity: usize) -> f64 {
 }
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Table 1 (key features for memory-resident performance) + §5.1.5 occupancy",
-        "feature matrix of GrowT, Folly, DRAMHiT, MICA, CLHT, DLHT; occupancy until resize with wyhash",
-        &scale,
-    );
-    let mut table = Table::new(
-        "Table 1 — feature matrix",
-        &[
-            "map",
-            "collision handling",
-            "lock-free gets",
-            "puts",
-            "inserts",
-            "deletes free slots",
-            "resizable",
-            "non-blocking resize",
-            "prefetching",
-            "inlined values",
-        ],
-    );
-    let yes_no = |b: bool| if b { "yes" } else { "no" }.to_string();
-    for kind in MapKind::all() {
-        let f = kind.build(64).features();
-        table.row(&[
-            kind.name().to_string(),
-            f.collision_handling.to_string(),
-            yes_no(f.lock_free_gets),
-            yes_no(f.non_blocking_puts),
-            yes_no(f.non_blocking_inserts),
-            yes_no(f.deletes_free_slots),
-            yes_no(f.resizable),
-            yes_no(f.non_blocking_resize),
-            yes_no(f.overlaps_memory_accesses),
-            yes_no(f.inline_values),
-        ]);
-    }
-    table.print();
+    run_scenario("table1_features", |ctx| {
+        let scale = ctx.scale.clone();
+        let mut table = Table::new(
+            "Table 1 — feature matrix",
+            &[
+                "map",
+                "collision handling",
+                "lock-free gets",
+                "puts",
+                "inserts",
+                "deletes free slots",
+                "resizable",
+                "non-blocking resize",
+                "prefetching",
+                "inlined values",
+            ],
+        );
+        let yes_no = |b: bool| if b { "yes" } else { "no" }.to_string();
+        for kind in MapKind::all() {
+            let f = kind.build(64).features();
+            ctx.point(kind.name())
+                .axis("table", "features")
+                .extra("collision_handling", f.collision_handling)
+                .extra("lock_free_gets", f.lock_free_gets)
+                .extra("non_blocking_puts", f.non_blocking_puts)
+                .extra("non_blocking_inserts", f.non_blocking_inserts)
+                .extra("deletes_free_slots", f.deletes_free_slots)
+                .extra("resizable", f.resizable)
+                .extra("non_blocking_resize", f.non_blocking_resize)
+                .extra("prefetching", f.overlaps_memory_accesses)
+                .extra("inline_values", f.inline_values)
+                .emit();
+            table.row(&[
+                kind.name().to_string(),
+                f.collision_handling.to_string(),
+                yes_no(f.lock_free_gets),
+                yes_no(f.non_blocking_puts),
+                yes_no(f.non_blocking_inserts),
+                yes_no(f.deletes_free_slots),
+                yes_no(f.resizable),
+                yes_no(f.non_blocking_resize),
+                yes_no(f.overlaps_memory_accesses),
+                yes_no(f.inline_values),
+            ]);
+        }
+        ctx.table(&table);
 
-    let bins = (scale.keys as usize / 2).max(4_096);
-    let mut occ = Table::new(
-        "§5.1.5 — occupancy until resize (wyhash)",
-        &["map", "occupancy at first resize", "paper"],
-    );
-    occ.row(&[
-        "DLHT (links = bins/5)".to_string(),
-        format!("{:.0}%", dlht_occupancy_until_resize(bins) * 100.0),
-        "61-72%".to_string(),
-    ]);
-    occ.row(&[
-        "CLHT (no chaining)".to_string(),
-        format!("{:.0}%", clht_occupancy_until_resize(bins * 3) * 100.0),
-        "1-5%".to_string(),
-    ]);
-    occ.row(&[
-        "open-addressing rebuild threshold (GrowT codebase)".to_string(),
-        "30%".to_string(),
-        "30-50%".to_string(),
-    ]);
-    occ.print();
+        let bins = (scale.keys as usize / 2).max(4_096);
+        let dlht_occ = dlht_occupancy_until_resize(bins);
+        let clht_occ = clht_occupancy_until_resize(bins * 3);
+        let mut occ = Table::new(
+            "§5.1.5 — occupancy until resize (wyhash)",
+            &["map", "occupancy at first resize", "paper"],
+        );
+        for (series, occupancy, paper) in [
+            ("DLHT (links = bins/5)", dlht_occ, "61-72%"),
+            ("CLHT (no chaining)", clht_occ, "1-5%"),
+        ] {
+            ctx.point(series)
+                .axis("table", "occupancy_until_resize")
+                .extra("occupancy", occupancy)
+                .extra("paper_range", paper)
+                .emit();
+            occ.row(&[
+                series.to_string(),
+                format!("{:.0}%", occupancy * 100.0),
+                paper.to_string(),
+            ]);
+        }
+        occ.row(&[
+            "open-addressing rebuild threshold (GrowT codebase)".to_string(),
+            "30%".to_string(),
+            "30-50%".to_string(),
+        ]);
+        ctx.table(&occ);
+    });
 }

@@ -2,74 +2,82 @@
 //! Get throughput ratio, InsDel ratio, and population ratio.
 
 use dlht_baselines::MapKind;
-use dlht_bench::{build_prepopulated, print_header};
+use dlht_bench::{build_prepopulated, run_scenario, ScenarioCtx};
 use dlht_workloads::population::populate_growing;
-use dlht_workloads::{run_workload, BenchScale, Table, WorkloadSpec};
+use dlht_workloads::{Table, WorkloadSpec};
 
-fn measure(kind: MapKind, scale: &BenchScale, threads: usize) -> (f64, f64) {
+fn measure(ctx: &ScenarioCtx, kind: MapKind, threads: usize) -> (f64, f64) {
+    let scale = &ctx.scale;
     let map = build_prepopulated(kind, scale);
-    let get = run_workload(
+    let get = ctx.measure(
         map.as_ref(),
         &WorkloadSpec::get_default(scale.keys, threads, scale.duration()),
     );
-    let insdel = run_workload(
+    let insdel = ctx.measure(
         map.as_ref(),
         &WorkloadSpec::insdel_default(scale.keys, threads, scale.duration()),
     );
     (get.mops, insdel.mops)
 }
 
-fn population(kind: MapKind, scale: &BenchScale, threads: usize) -> f64 {
+fn population(ctx: &ScenarioCtx, kind: MapKind, threads: usize) -> f64 {
     let map = kind.build(1_024);
-    populate_growing(map.as_ref(), scale.keys * 2, threads).mops
+    populate_growing(map.as_ref(), ctx.scale.keys * 2, threads).mops
 }
 
 fn main() {
-    let scale = BenchScale::from_env();
-    print_header(
-        "Table 5 (comparison summary of DLHT and the fastest baselines)",
-        "paper: CLHT 3.5x slower Gets / 8x slower population; GrowT 12.8x slower InsDel; MICA 4.8x slower Gets; DRAMHiT 1.7x slower Gets",
-        &scale,
-    );
-    let threads = *scale.threads.iter().max().unwrap_or(&1);
-    let (dlht_get, dlht_insdel) = measure(MapKind::Dlht, &scale, threads);
-    let dlht_pop = population(MapKind::Dlht, &scale, threads);
+    run_scenario("table5_summary", |ctx| {
+        let threads = *ctx.scale.threads.iter().max().unwrap_or(&1);
+        let (dlht_get, dlht_insdel) = measure(ctx, MapKind::Dlht, threads);
+        let dlht_pop = population(ctx, MapKind::Dlht, threads);
 
-    let mut table = Table::new(
-        "Table 5 — DLHT advantage over each baseline (ratio > 1 means DLHT is faster)",
-        &[
-            "baseline",
-            "Get ratio",
-            "InsDel ratio",
-            "Population ratio",
-            "paper says",
-        ],
-    );
-    let paper = [
-        (MapKind::Clht, "3.5x Gets, ~3x InsDel, 8x population"),
-        (MapKind::Growt, "3.5x Gets, 12.8x InsDel, 3.9x population"),
-        (MapKind::Folly, "3.5x Gets"),
-        (MapKind::Dramhit, "1.7x Gets"),
-        (MapKind::Mica, "4.8x Gets"),
-        (MapKind::DlhtNoBatch, "2.2x Gets (value of prefetching)"),
-    ];
-    for (kind, note) in paper {
-        let (get, insdel) = measure(kind, &scale, threads);
-        let pop = if kind.build(64).features().resizable {
-            format!(
-                "{:.1}x",
-                dlht_pop / population(kind, &scale, threads).max(1e-9)
-            )
-        } else {
-            "n/a".to_string()
-        };
-        table.row(&[
-            kind.name().to_string(),
-            format!("{:.1}x", dlht_get / get.max(1e-9)),
-            format!("{:.1}x", dlht_insdel / insdel.max(1e-9)),
-            pop,
-            note.to_string(),
-        ]);
-    }
-    table.print();
+        let mut table = Table::new(
+            "Table 5 — DLHT advantage over each baseline (ratio > 1 means DLHT is faster)",
+            &[
+                "baseline",
+                "Get ratio",
+                "InsDel ratio",
+                "Population ratio",
+                "paper says",
+            ],
+        );
+        let paper = [
+            (MapKind::Clht, "3.5x Gets, ~3x InsDel, 8x population"),
+            (MapKind::Growt, "3.5x Gets, 12.8x InsDel, 3.9x population"),
+            (MapKind::Folly, "3.5x Gets"),
+            (MapKind::Dramhit, "1.7x Gets"),
+            (MapKind::Mica, "4.8x Gets"),
+            (MapKind::DlhtNoBatch, "2.2x Gets (value of prefetching)"),
+        ];
+        for (kind, note) in paper {
+            let (get, insdel) = measure(ctx, kind, threads);
+            let get_ratio = dlht_get / get.max(1e-9);
+            let insdel_ratio = dlht_insdel / insdel.max(1e-9);
+            let pop_ratio = if kind.build(64).features().resizable {
+                Some(dlht_pop / population(ctx, kind, threads).max(1e-9))
+            } else {
+                None
+            };
+            let mut point = ctx
+                .point(kind.name())
+                .axis("threads", threads)
+                .extra("get_ratio", get_ratio)
+                .extra("insdel_ratio", insdel_ratio)
+                .extra("paper_says", note);
+            if let Some(p) = pop_ratio {
+                point = point.extra("population_ratio", p);
+            }
+            point.emit();
+            table.row(&[
+                kind.name().to_string(),
+                format!("{get_ratio:.1}x"),
+                format!("{insdel_ratio:.1}x"),
+                pop_ratio
+                    .map(|p| format!("{p:.1}x"))
+                    .unwrap_or_else(|| "n/a".to_string()),
+                note.to_string(),
+            ]);
+        }
+        ctx.table(&table);
+    });
 }

@@ -1,49 +1,41 @@
-//! Shared helpers for the benchmark binaries that regenerate every table and
-//! figure of the DLHT paper's evaluation (§5). Each figure/table has its own
-//! binary (`cargo run --release -p dlht-bench --bin fig03_get_throughput`);
-//! `run_all` executes the whole suite.
+//! The unified benchmark harness behind every table and figure of the DLHT
+//! paper's evaluation (§5).
+//!
+//! Each figure/table has its own binary (`cargo run --release -p dlht-bench
+//! --bin fig03_get_throughput`), but they all run on one shared [`scenario`]
+//! harness: a static [`scenario::REGISTRY`] describing what each binary
+//! reproduces, a common driver with explicit warmup/measure phases, and one
+//! schema-versioned JSON line per data point written to `BENCH_<name>.json`
+//! (stdout carries the same JSON; human-readable tables go to stderr).
+//! `run_all` executes the whole suite (`--smoke` for the CI tier, `--full`
+//! for the environment-scaled defaults) and `bench_report` renders a markdown
+//! regression diff between two recorded runs.
 //!
 //! Scaling: all binaries read `DLHT_KEYS`, `DLHT_THREADS` (comma-separated
-//! sweep) and `DLHT_SECS` from the environment so the same code runs on a
-//! laptop/CI box (defaults) or can be scaled toward the paper's 100 M-key,
-//! 71-thread configuration on a large server.
+//! sweep), `DLHT_SECS` and `DLHT_SEED` from the environment so the same code
+//! runs on a laptop/CI box (defaults) or can be scaled toward the paper's
+//! 100 M-key, 71-thread configuration on a large server. See
+//! `docs/BENCHMARKS.md` for the binary → paper-figure map and the JSON
+//! schema.
+//!
+//! # Example: inspect the registry and build a scenario context
+//!
+//! ```
+//! use dlht_bench::{find, REGISTRY};
+//!
+//! assert_eq!(REGISTRY.len(), 22);
+//! let fig3 = find("fig03_get_throughput").unwrap();
+//! assert_eq!(fig3.figure, "Figure 3");
+//! ```
+
+pub mod json;
+pub mod scenario;
+
+pub use json::Json;
+pub use scenario::{find, run_scenario, Scenario, ScenarioCtx, SweepPoint, REGISTRY, SCHEMA};
 
 use dlht_baselines::{KvBackend, MapKind};
-use dlht_workloads::{prepopulate, run_workload, BenchScale, RunResult, Table, WorkloadSpec};
-
-/// A figure/table sweep point: one map kind at one thread count.
-#[derive(Debug, Clone)]
-pub struct SweepPoint {
-    /// Hashtable under test.
-    pub kind: MapKind,
-    /// Threads used.
-    pub threads: usize,
-    /// Measured result.
-    pub result: RunResult,
-}
-
-/// Run `spec_for(threads)` against every map kind in `kinds`, prepopulating
-/// each map with `scale.keys` keys, and return all sweep points.
-pub fn sweep<F>(kinds: &[MapKind], scale: &BenchScale, mut spec_for: F) -> Vec<SweepPoint>
-where
-    F: FnMut(usize) -> WorkloadSpec,
-{
-    let mut points = Vec::new();
-    for &kind in kinds {
-        for &threads in &scale.threads {
-            let map = kind.build(scale.keys as usize * 2);
-            prepopulate(map.as_ref(), scale.keys);
-            let spec = spec_for(threads);
-            let result = run_workload(map.as_ref(), &spec);
-            points.push(SweepPoint {
-                kind,
-                threads,
-                result,
-            });
-        }
-    }
-    points
-}
+use dlht_workloads::{prepopulate, BenchScale, Table};
 
 /// Render sweep points as a "threads × map" throughput table (M req/s), the
 /// shape of the paper's line plots.
@@ -78,25 +70,26 @@ pub fn throughput_table(title: &str, points: &[SweepPoint], scale: &BenchScale) 
     table
 }
 
-/// Standard preamble printed by every binary: what is being reproduced and at
-/// what scale.
-pub fn print_header(figure: &str, paper_setup: &str, scale: &BenchScale) {
-    println!("== Reproducing {figure} ==");
-    println!("Paper setup    : {paper_setup}");
-    println!(
-        "This run       : {} keys, threads {:?}, {:.2}s per point (scale with DLHT_KEYS/DLHT_THREADS/DLHT_SECS)",
-        scale.keys,
-        scale.threads,
-        scale.duration().as_secs_f64()
-    );
-    println!();
-}
-
 /// Build and prepopulate one map kind at the sweep scale.
 pub fn build_prepopulated(kind: MapKind, scale: &BenchScale) -> Box<dyn KvBackend> {
     let map = kind.build(scale.keys as usize * 2);
     prepopulate(map.as_ref(), scale.keys);
     map
+}
+
+/// Run `warmup_iters` untimed passes of `op(i)` followed by `iters` timed
+/// ones, returning M ops/s — the warmup/measure shape for the hand-rolled
+/// single-thread loops (Figs. 9/10/14/16) that don't go through the
+/// multi-threaded workload runner.
+pub fn timed_mops<F: FnMut(u64)>(iters: u64, warmup_iters: u64, mut op: F) -> f64 {
+    for i in 0..warmup_iters {
+        op(i);
+    }
+    let t = std::time::Instant::now();
+    for i in warmup_iters..warmup_iters + iters {
+        op(i);
+    }
+    iters as f64 / t.elapsed().as_secs_f64() / 1e6
 }
 
 /// Minimal self-contained micro-benchmark harness used by the `benches/`
@@ -136,7 +129,7 @@ pub fn microbench_ns<F: FnMut()>(name: &str, iters: u64, mut op: F) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
+    use dlht_workloads::{Tier, WorkloadSpec};
 
     #[test]
     fn sweep_and_table_shapes_match() {
@@ -145,10 +138,14 @@ mod tests {
             threads: vec![1, 2],
             secs: 0.03,
             shards: 2,
+            seed: 1,
+            tier: Tier::Smoke,
         };
+        let meta = find("fig03_get_throughput").unwrap();
+        let ctx = ScenarioCtx::for_test(meta, scale.clone());
         let kinds = [MapKind::Dlht, MapKind::Clht];
-        let points = sweep(&kinds, &scale, |threads| {
-            WorkloadSpec::get_default(2_000, threads, Duration::from_millis(30))
+        let points = ctx.sweep(&kinds, |threads| {
+            WorkloadSpec::get_default(2_000, threads, std::time::Duration::from_millis(30))
         });
         assert_eq!(points.len(), 4);
         let table = throughput_table("test", &points, &scale);
@@ -156,5 +153,13 @@ mod tests {
         let rendered = table.render();
         assert!(rendered.contains("DLHT"));
         assert!(rendered.contains("CLHT"));
+    }
+
+    #[test]
+    fn timed_mops_reports_positive_throughput() {
+        let mut acc = 0u64;
+        let mops = timed_mops(10_000, 1_000, |i| acc = acc.wrapping_add(i));
+        std::hint::black_box(acc);
+        assert!(mops > 0.0);
     }
 }

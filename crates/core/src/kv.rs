@@ -135,6 +135,14 @@ pub trait KvBackend: Send + Sync {
         TableStats::default()
     }
 
+    /// Retired-but-not-yet-freed index generations (a proxy for resize memory
+    /// still awaiting epoch reclamation, captured per data point by the
+    /// benchmark harness). Designs without DLHT-style index retirement
+    /// report 0.
+    fn retired_indexes(&self) -> usize {
+        0
+    }
+
     /// Whether [`KvBackend::execute`] actually overlaps memory accesses
     /// (software prefetching) rather than falling back to a loop.
     fn supports_batching(&self) -> bool {
@@ -237,6 +245,9 @@ impl<M: KvBackend + ?Sized> KvBackend for std::sync::Arc<M> {
     fn stats(&self) -> TableStats {
         (**self).stats()
     }
+    fn retired_indexes(&self) -> usize {
+        (**self).retired_indexes()
+    }
     fn supports_batching(&self) -> bool {
         (**self).supports_batching()
     }
@@ -286,6 +297,9 @@ impl<M: KvBackend + ?Sized> KvBackend for Box<M> {
     fn stats(&self) -> TableStats {
         (**self).stats()
     }
+    fn retired_indexes(&self) -> usize {
+        (**self).retired_indexes()
+    }
     fn supports_batching(&self) -> bool {
         (**self).supports_batching()
     }
@@ -334,6 +348,9 @@ impl KvBackend for DlhtMap {
     fn stats(&self) -> TableStats {
         DlhtMap::stats(self)
     }
+    fn retired_indexes(&self) -> usize {
+        self.raw().retired_indexes()
+    }
     fn supports_batching(&self) -> bool {
         true
     }
@@ -378,6 +395,9 @@ impl KvBackend for RawTable {
     }
     fn stats(&self) -> TableStats {
         RawTable::stats(self)
+    }
+    fn retired_indexes(&self) -> usize {
+        RawTable::retired_indexes(self)
     }
     fn supports_batching(&self) -> bool {
         true
@@ -429,6 +449,9 @@ impl KvBackend for ShardedTable {
     }
     fn stats(&self) -> TableStats {
         ShardedTable::stats(self)
+    }
+    fn retired_indexes(&self) -> usize {
+        ShardedTable::retired_indexes(self)
     }
     fn supports_batching(&self) -> bool {
         true
@@ -484,6 +507,9 @@ impl KvBackend for DlhtSet {
     }
     fn stats(&self) -> TableStats {
         DlhtSet::stats(self)
+    }
+    fn retired_indexes(&self) -> usize {
+        self.raw().retired_indexes()
     }
     fn prefetch_key(&self, key: u64) {
         self.raw().prefetch(key)

@@ -94,6 +94,32 @@ impl LatencyHistogram {
         self.max_ns
     }
 
+    /// Snapshot the fixed percentile set every benchmark record reports.
+    ///
+    /// ```
+    /// use dlht_workloads::LatencyHistogram;
+    ///
+    /// let mut h = LatencyHistogram::new();
+    /// for ns in [100u64, 200, 300, 400] {
+    ///     h.record(ns);
+    /// }
+    /// let s = h.summary();
+    /// assert_eq!(s.samples, 4);
+    /// assert_eq!(s.max_ns, 400);
+    /// assert!(s.p99_ns >= s.p50_ns);
+    /// ```
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            samples: self.count,
+            mean_ns: self.mean_ns(),
+            p50_ns: self.percentile_ns(50.0),
+            p90_ns: self.percentile_ns(90.0),
+            p99_ns: self.percentile_ns(99.0),
+            p999_ns: self.percentile_ns(99.9),
+            max_ns: self.max_ns,
+        }
+    }
+
     /// Latency at percentile `p` (0.0..=100.0), in nanoseconds.
     pub fn percentile_ns(&self, p: f64) -> u64 {
         if self.count == 0 {
@@ -111,9 +137,45 @@ impl LatencyHistogram {
     }
 }
 
+/// The fixed percentile set captured into every `BENCH_*.json` data point
+/// (see `dlht-bench`'s scenario harness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of recorded samples (0 when latency recording was off).
+    pub samples: u64,
+    /// Mean latency in nanoseconds (exact, not bucketed).
+    pub mean_ns: f64,
+    /// Median latency (bucket lower bound, ~4% relative precision).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Largest recorded sample (exact).
+    pub max_ns: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summary_matches_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        let s = h.summary();
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.p50_ns, h.percentile_ns(50.0));
+        assert_eq!(s.p99_ns, h.percentile_ns(99.0));
+        assert_eq!(s.p999_ns, h.percentile_ns(99.9));
+        assert_eq!(s.max_ns, 1_000_000);
+        assert!(s.mean_ns > 100.0);
+    }
 
     #[test]
     fn empty_histogram() {

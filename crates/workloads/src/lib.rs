@@ -15,7 +15,28 @@
 //!   benchmarks of §5.3.4–5.3.5.
 //! * [`hashjoin`] — the non-partitioned OLAP join of §5.3.6.
 //! * [`lockmgr`] — the HashSet-based database lock manager of §5.3.3.
-//! * [`report`] — table/CSV rendering shared by the `dlht-bench` binaries.
+//! * [`report`] — table/CSV/markdown rendering plus [`BenchScale`], the
+//!   one-source-of-truth run configuration (keys, threads, seconds, shards,
+//!   seed, smoke/full tier) every `dlht-bench` scenario embeds in its
+//!   `BENCH_*.json` header.
+//!
+//! # Example: measure a workload
+//!
+//! ```
+//! use dlht_baselines::MapKind;
+//! use dlht_workloads::{prepopulate, run_workload, WorkloadSpec};
+//! use std::time::Duration;
+//!
+//! let map = MapKind::Dlht.build(4_096);
+//! prepopulate(map.as_ref(), 1_000);
+//! let spec = WorkloadSpec::get_default(1_000, 2, Duration::from_millis(30))
+//!     .with_seed(42)
+//!     .with_latency_recording();
+//! let result = run_workload(map.as_ref(), &spec);
+//! assert!(result.total_ops > 0);
+//! let lat = result.latency.summary();
+//! assert!(lat.p99_ns >= lat.p50_ns);
+//! ```
 
 pub mod hashjoin;
 pub mod hist;
@@ -29,8 +50,8 @@ pub mod smallbank;
 pub mod tatp;
 pub mod ycsb;
 
-pub use hist::LatencyHistogram;
-pub use report::{fmt_mops, BenchScale, Table};
+pub use hist::{LatencyHistogram, LatencySummary};
+pub use report::{fmt_mops, BenchScale, Table, Tier, DEFAULT_SEED};
 pub use rng::{KeySampler, SplitMix64, Xoshiro256};
 pub use runner::{prepopulate, run_workload, Mix, RunResult, WorkloadSpec};
 

@@ -86,9 +86,33 @@ impl Table {
         out
     }
 
+    /// Render as a GitHub-flavored markdown table (used by `bench_report`).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
     /// Print the rendered table to stdout.
     pub fn print(&self) {
         println!("{}", self.render());
+    }
+
+    /// Print the rendered table to stderr (the scenario harness keeps stdout
+    /// for machine-readable JSON lines and stderr for human-readable tables).
+    pub fn print_stderr(&self) {
+        eprintln!("{}", self.render());
     }
 }
 
@@ -103,35 +127,85 @@ pub fn fmt_mops(mops: f64) -> String {
     }
 }
 
+/// Measurement tier: how much time/data a benchmark run spends per point.
+///
+/// Selected with `--smoke` / `--full` on the command line or `DLHT_TIER`
+/// in the environment (the flag wins). The tier only changes the *defaults*;
+/// explicit `DLHT_KEYS`/`DLHT_THREADS`/`DLHT_SECS` still override it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// CI-sized: small key counts and short points, the whole 22-scenario
+    /// suite completes in about a minute. Catches wiring regressions and
+    /// produces a comparable (if noisy) perf trajectory.
+    Smoke,
+    /// The environment-scaled defaults (and the ceiling for scaling toward
+    /// the paper's 100 M-key, 71-thread setup via the `DLHT_*` variables).
+    #[default]
+    Full,
+}
+
+impl Tier {
+    /// Name as it appears in `BENCH_*.json` headers and `DLHT_TIER`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Smoke => "smoke",
+            Tier::Full => "full",
+        }
+    }
+}
+
 /// Standard scaling knobs shared by all bench binaries, read from the
-/// environment and (for the shard count) from the command line.
+/// environment and the command line. This is the **one source of truth** for
+/// a benchmark run's configuration — including the RNG seed — and is embedded
+/// verbatim in every `BENCH_*.json` header the scenario harness writes.
 #[derive(Debug, Clone)]
 pub struct BenchScale {
-    /// Prepopulated keys (`DLHT_KEYS`, default 200_000).
+    /// Prepopulated keys (`DLHT_KEYS`; default 200_000 full / 20_000 smoke).
     pub keys: u64,
-    /// Thread counts to sweep (`DLHT_THREADS`, comma-separated, default "1,2,4").
+    /// Thread counts to sweep (`DLHT_THREADS`, comma-separated; default
+    /// "1,2,4" full / "1,2" smoke).
     pub threads: Vec<usize>,
-    /// Seconds per measurement point (`DLHT_SECS`, default 0.4).
+    /// Seconds per measurement point (`DLHT_SECS`; default 0.4 full /
+    /// 0.06 smoke).
     pub secs: f64,
     /// Shard count for the sharded-DLHT configurations (`--shards N` on the
     /// command line, falling back to `DLHT_SHARDS`, default 4). Rounded up to
     /// a power of two by the table itself.
     pub shards: usize,
+    /// Root RNG seed (`DLHT_SEED`, default `0xD1E7`). Every workload stream
+    /// derives from it (see [`BenchScale::seed_for`]); figure binaries must
+    /// not invent their own constants.
+    pub seed: u64,
+    /// Measurement tier (`--smoke` / `--full` / `DLHT_TIER`).
+    pub tier: Tier,
 }
+
+/// The default root seed (`0xD1E7` — "DLHT"), kept identical to the constant
+/// the workload runner historically hard-coded so default runs stay
+/// bit-compatible.
+pub const DEFAULT_SEED: u64 = 0xD1_E7;
 
 impl BenchScale {
     /// Read the scaling knobs from the environment (and `--shards N` /
-    /// `--shards=N` from the process arguments).
+    /// `--shards=N`, `--smoke`, `--full` from the process arguments).
     pub fn from_env() -> Self {
         Self::from_env_and_args(std::env::args().skip(1))
     }
 
     /// [`BenchScale::from_env`] with an explicit argument list (testable).
     pub fn from_env_and_args(args: impl IntoIterator<Item = String>) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        let tier = parse_tier_arg(&args)
+            .or_else(|| std::env::var("DLHT_TIER").ok().and_then(|v| parse_tier(&v)))
+            .unwrap_or_default();
+        let (default_keys, default_threads, default_secs) = match tier {
+            Tier::Smoke => (20_000, vec![1, 2], 0.06),
+            Tier::Full => (200_000, vec![1, 2, 4], 0.4),
+        };
         let keys = std::env::var("DLHT_KEYS")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(200_000);
+            .unwrap_or(default_keys);
         let threads = std::env::var("DLHT_THREADS")
             .ok()
             .map(|v| {
@@ -141,12 +215,12 @@ impl BenchScale {
                     .collect::<Vec<usize>>()
             })
             .filter(|v| !v.is_empty())
-            .unwrap_or_else(|| vec![1, 2, 4]);
+            .unwrap_or(default_threads);
         let secs = std::env::var("DLHT_SECS")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(0.4);
-        let shards = parse_shards_arg(args)
+            .unwrap_or(default_secs);
+        let shards = parse_shards_arg(&args)
             .or_else(|| {
                 std::env::var("DLHT_SHARDS")
                     .ok()
@@ -154,17 +228,58 @@ impl BenchScale {
             })
             .filter(|&s| s > 0)
             .unwrap_or(4);
+        let seed = std::env::var("DLHT_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
         BenchScale {
             keys,
             threads,
             secs,
             shards,
+            seed,
+            tier,
         }
     }
 
     /// Duration per measurement point.
     pub fn duration(&self) -> std::time::Duration {
         std::time::Duration::from_secs_f64(self.secs.max(0.05))
+    }
+
+    /// Warm-up duration preceding every measured point: a quarter of the
+    /// measurement time, clamped to 20–200 ms.
+    pub fn warmup(&self) -> std::time::Duration {
+        std::time::Duration::from_secs_f64((self.secs / 4.0).clamp(0.02, 0.2))
+    }
+
+    /// Derive a named sub-seed from the root [`BenchScale::seed`].
+    ///
+    /// Distinct labels yield statistically independent streams while keeping
+    /// the whole run reproducible from the single recorded seed:
+    ///
+    /// ```
+    /// use dlht_workloads::BenchScale;
+    ///
+    /// let scale = BenchScale::from_env_and_args([]);
+    /// let a = scale.seed_for("fig09/get");
+    /// assert_eq!(a, scale.seed_for("fig09/get"));
+    /// assert_ne!(a, scale.seed_for("fig09/insdel"));
+    /// ```
+    pub fn seed_for(&self, label: &str) -> u64 {
+        // FNV-1a over the label, folded into the root seed via SplitMix64.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut sm = crate::rng::SplitMix64::new(self.seed ^ h);
+        sm.next_u64()
+    }
+
+    /// A [`crate::Xoshiro256`] stream derived from the root seed and `label`.
+    pub fn stream(&self, label: &str) -> crate::Xoshiro256 {
+        crate::Xoshiro256::new(self.seed_for(label))
     }
 
     /// The shard count clamped to what a `MapKind::DlhtSharded` payload can
@@ -175,8 +290,8 @@ impl BenchScale {
 }
 
 /// Scan an argument list for `--shards N` or `--shards=N`.
-fn parse_shards_arg(args: impl IntoIterator<Item = String>) -> Option<usize> {
-    let mut args = args.into_iter();
+fn parse_shards_arg(args: &[String]) -> Option<usize> {
+    let mut args = args.iter();
     while let Some(arg) = args.next() {
         if let Some(v) = arg.strip_prefix("--shards=") {
             return v.parse().ok();
@@ -186,6 +301,28 @@ fn parse_shards_arg(args: impl IntoIterator<Item = String>) -> Option<usize> {
         }
     }
     None
+}
+
+/// Scan an argument list for `--smoke` / `--full` (last one wins).
+fn parse_tier_arg(args: &[String]) -> Option<Tier> {
+    let mut tier = None;
+    for arg in args {
+        match arg.as_str() {
+            "--smoke" => tier = Some(Tier::Smoke),
+            "--full" => tier = Some(Tier::Full),
+            _ => {}
+        }
+    }
+    tier
+}
+
+/// Parse a `DLHT_TIER` value.
+fn parse_tier(v: &str) -> Option<Tier> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "smoke" => Some(Tier::Smoke),
+        "full" => Some(Tier::Full),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -217,7 +354,7 @@ mod tests {
     #[test]
     fn bench_scale_defaults() {
         // Only check defaults when the variables are unset in the test env.
-        if std::env::var("DLHT_KEYS").is_err() {
+        if std::env::var("DLHT_KEYS").is_err() && std::env::var("DLHT_TIER").is_err() {
             let s = BenchScale::from_env_and_args([]);
             assert_eq!(s.keys, 200_000);
             assert!(!s.threads.is_empty());
@@ -231,20 +368,60 @@ mod tests {
     #[test]
     fn shards_flag_parses_both_spellings() {
         assert_eq!(
-            parse_shards_arg(["--shards".into(), "8".into()]),
+            parse_shards_arg(&["--shards".into(), "8".into()]),
             Some(8usize)
         );
-        assert_eq!(parse_shards_arg(["--shards=2".into()]), Some(2usize));
+        assert_eq!(parse_shards_arg(&["--shards=2".into()]), Some(2usize));
         assert_eq!(
-            parse_shards_arg(["--other".into(), "--shards".into(), "16".into()]),
+            parse_shards_arg(&["--other".into(), "--shards".into(), "16".into()]),
             Some(16usize)
         );
-        assert_eq!(parse_shards_arg(["--shards".into()]), None);
-        assert_eq!(parse_shards_arg([]), None);
+        assert_eq!(parse_shards_arg(&["--shards".into()]), None);
+        assert_eq!(parse_shards_arg(&[]), None);
         if std::env::var("DLHT_SHARDS").is_err() {
             let s = BenchScale::from_env_and_args(["--shards".into(), "8".into()]);
             assert_eq!(s.shards, 8);
             assert_eq!(s.shards_u8(), 8);
         }
+    }
+
+    #[test]
+    fn smoke_tier_shrinks_the_defaults() {
+        if std::env::var("DLHT_TIER").is_ok() {
+            return;
+        }
+        let smoke = BenchScale::from_env_and_args(["--smoke".into()]);
+        assert_eq!(smoke.tier, Tier::Smoke);
+        assert_eq!(smoke.tier.name(), "smoke");
+        let full = BenchScale::from_env_and_args(["--full".into()]);
+        assert_eq!(full.tier, Tier::Full);
+        if std::env::var("DLHT_KEYS").is_err() && std::env::var("DLHT_SECS").is_err() {
+            assert!(smoke.keys < full.keys);
+            assert!(smoke.secs < full.secs);
+        }
+        // Warmup stays within its clamp in both tiers.
+        for s in [&smoke, &full] {
+            let w = s.warmup().as_secs_f64();
+            assert!((0.02..=0.2).contains(&w), "warmup = {w}");
+        }
+    }
+
+    #[test]
+    fn seed_streams_are_deterministic_and_label_distinct() {
+        let scale = BenchScale::from_env_and_args([]);
+        assert_eq!(scale.seed_for("a"), scale.seed_for("a"));
+        assert_ne!(scale.seed_for("a"), scale.seed_for("b"));
+        let mut s1 = scale.stream("x");
+        let mut s2 = scale.stream("x");
+        assert_eq!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn table_markdown_has_separator_row() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |\n|---|---|\n"));
+        assert!(md.contains("| 1 | 2 |"));
     }
 }

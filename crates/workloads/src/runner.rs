@@ -97,6 +97,17 @@ pub struct WorkloadSpec {
     /// remote-memory emulation (§5.3.2). Applied once per unbatched request
     /// and once per batch when batching (prefetching overlaps the latency).
     pub remote_latency_ns: u64,
+    /// Root RNG seed; each worker thread derives its stream from it. Defaults
+    /// to [`crate::report::DEFAULT_SEED`] — the scenario harness overwrites it
+    /// with the run-wide `BenchScale::seed` so the seed recorded in
+    /// `BENCH_*.json` is the one that actually drove the keys.
+    pub seed: u64,
+    /// Offset added to every thread's fresh-insert key space (must stay below
+    /// 2^39 so thread spaces cannot overlap). The harness sets a nonzero salt
+    /// on its **warmup** pass so that mixes whose inserts are not followed by
+    /// deletes (e.g. Fig. 13's hot-delete InsDel) leave no residue colliding
+    /// with the measured pass's fresh keys.
+    pub fresh_key_salt: u64,
 }
 
 impl WorkloadSpec {
@@ -113,6 +124,8 @@ impl WorkloadSpec {
             insert_then_delete: false,
             record_latency: false,
             remote_latency_ns: 0,
+            seed: crate::report::DEFAULT_SEED,
+            fresh_key_salt: 0,
         }
     }
 
@@ -153,6 +166,13 @@ impl WorkloadSpec {
     /// Record per-operation latencies.
     pub fn with_latency_recording(mut self) -> Self {
         self.record_latency = true;
+        self
+    }
+
+    /// Use an explicit root seed (one source of truth per benchmark run; the
+    /// scenario harness sets this from `BenchScale::seed`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 }
@@ -248,11 +268,12 @@ fn run_thread(
     stop: &AtomicBool,
     batching: bool,
 ) -> (u64, LatencyHistogram) {
-    let mut rng = Xoshiro256::new(0xD1_E7 ^ (tid + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = Xoshiro256::new(spec.seed ^ (tid + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut hist = LatencyHistogram::new();
     let mut ops_done: u64 = 0;
-    // Fresh-key space for Inserts: above the prepopulated range, per thread.
-    let mut next_fresh = spec.prepopulated + 1 + tid * (1 << 40);
+    // Fresh-key space for Inserts: above the prepopulated range, per thread
+    // (plus the harness's warmup salt, which is < 2^39 < the 2^40 stride).
+    let mut next_fresh = spec.prepopulated + 1 + spec.fresh_key_salt + tid * (1 << 40);
     let batch_size = spec.batch_size.max(1);
     // Reused across every iteration: steady-state execution touches the
     // allocator only while the buffers warm up.
@@ -434,6 +455,13 @@ mod tests {
             1_000,
             "pipelined InsDel must execute every submitted request"
         );
+    }
+
+    #[test]
+    fn seed_defaults_to_the_shared_constant_and_is_overridable() {
+        let spec = WorkloadSpec::get_default(100, 1, Duration::from_millis(10));
+        assert_eq!(spec.seed, crate::report::DEFAULT_SEED);
+        assert_eq!(spec.with_seed(99).seed, 99);
     }
 
     #[test]
