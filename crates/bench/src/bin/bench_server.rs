@@ -1,0 +1,179 @@
+//! `server` scenario: throughput of the `dlht-net` wire protocol over TCP
+//! loopback, sweeping connection count × client pipeline depth.
+//!
+//! The scenario starts an in-process [`DlhtServer`] over a prepopulated
+//! [`ShardedTable`] on an ephemeral port, then drives 100%-GET traffic from
+//! `connections` client threads (one TCP connection each, mirroring the
+//! server's thread-per-connection model). Depth 1 issues one request per
+//! network round trip; depth `d` pipelines `d` requests per round trip,
+//! which the server drains into **one** prefetched batch execution — so the
+//! depth axis is simultaneously the wire-pipelining axis and the server-side
+//! batch-size axis (paper §3.3 over a socket).
+//!
+//! One extra series runs YCSB A *over the wire* through [`RemoteBackend`],
+//! demonstrating that the whole workload harness drives a remote table
+//! unchanged (the same switch `fig18_ycsb --server <addr>` exposes).
+//!
+//! Expected shape (the acceptance bar for the subsystem): pipelined depth
+//! ≥ 8 beats unpipelined (depth 1) by ≥ 2× at every connection count — each
+//! point records its `speedup_vs_depth1`.
+
+use dlht_bench::run_scenario;
+use dlht_core::{KvBackend, Request, Response, ShardedTable};
+use dlht_net::{DlhtClient, DlhtServer, RemoteBackend};
+use dlht_workloads::ycsb::{run_ycsb, YcsbMix};
+use dlht_workloads::{fmt_mops, prepopulate, Table, Xoshiro256};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Pipeline depths swept at every connection count (1 = no pipelining).
+const DEPTHS: [usize; 3] = [1, 8, 32];
+
+/// Drive 100%-GET traffic from `connections` clients at `depth`, returning
+/// (total ops, wall time).
+fn run_wire_gets(
+    addr: std::net::SocketAddr,
+    connections: usize,
+    depth: usize,
+    keys: u64,
+    seed: u64,
+    duration: Duration,
+) -> (u64, Duration) {
+    let started = Instant::now();
+    let totals: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|tid| {
+                s.spawn(move || {
+                    let mut client = DlhtClient::connect(addr).expect("connect to bench server");
+                    let mut rng = Xoshiro256::new(
+                        seed ^ (tid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut reqs: Vec<Request> = Vec::with_capacity(depth);
+                    let mut resps: Vec<Response> = Vec::with_capacity(depth);
+                    let deadline = Instant::now() + duration;
+                    let mut ops = 0u64;
+                    while Instant::now() < deadline {
+                        reqs.clear();
+                        for _ in 0..depth {
+                            reqs.push(Request::Get(rng.next_below(keys.max(1))));
+                        }
+                        if depth == 1 {
+                            let r = client.request(reqs[0]).expect("wire get");
+                            std::hint::black_box(&r);
+                        } else {
+                            resps.clear();
+                            client
+                                .pipelined_into(&reqs, &mut resps)
+                                .expect("pipelined wire gets");
+                            std::hint::black_box(&resps);
+                        }
+                        ops += depth as u64;
+                    }
+                    ops
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    (totals.iter().sum(), started.elapsed())
+}
+
+fn main() {
+    run_scenario("server", |ctx| {
+        let scale = ctx.scale.clone();
+        let table = Arc::new(ShardedTable::with_capacity(
+            scale.shards,
+            scale.keys as usize * 2,
+        ));
+        prepopulate(&*table as &dyn KvBackend, scale.keys);
+        let server = DlhtServer::bind("127.0.0.1:0", table).expect("bind bench server");
+        let addr = server.local_addr();
+        ctx.note(&format!(
+            "Serving on {addr} ({} shards, {} keys prepopulated).",
+            scale.shards, scale.keys
+        ));
+
+        let mut table_out = Table::new(
+            "dlht-net — GET throughput over TCP loopback (M req/s)",
+            &[
+                "connections",
+                "depth 1",
+                "depth 8",
+                "depth 32",
+                "depth8/depth1",
+            ],
+        );
+        let connection_counts = scale.threads.clone();
+        for &connections in &connection_counts {
+            let mut mops_by_depth: Vec<(usize, f64)> = Vec::new();
+            for depth in DEPTHS {
+                let seed = scale.seed_for(&format!("server/c{connections}/d{depth}"));
+                // Warm-up pass (discarded): connections, caches, allocator.
+                let _ = run_wire_gets(addr, connections, depth, scale.keys, seed, scale.warmup());
+                let (ops, elapsed) =
+                    run_wire_gets(addr, connections, depth, scale.keys, seed, scale.duration());
+                let mops = ops as f64 / elapsed.as_secs_f64() / 1e6;
+                mops_by_depth.push((depth, mops));
+                let depth1 = mops_by_depth[0].1;
+                let mut point = ctx
+                    .point("GET")
+                    .axis("connections", connections)
+                    .axis("depth", depth)
+                    .mops(mops)
+                    .ops(ops);
+                if depth >= 8 && depth1 > 0.0 {
+                    point = point.extra("speedup_vs_depth1", mops / depth1);
+                }
+                point.emit();
+            }
+            let depth1 = mops_by_depth[0].1;
+            let speedup8 = mops_by_depth[1].1 / depth1.max(f64::MIN_POSITIVE);
+            table_out.row(&[
+                connections.to_string(),
+                fmt_mops(mops_by_depth[0].1),
+                fmt_mops(mops_by_depth[1].1),
+                fmt_mops(mops_by_depth[2].1),
+                format!("{speedup8:.1}x"),
+            ]);
+        }
+
+        // YCSB A over the wire: the whole workload harness driving the
+        // remote backend (one connection per worker thread) unchanged.
+        let connections = *connection_counts.last().unwrap_or(&1);
+        let remote = RemoteBackend::connect(addr.to_string()).expect("connect remote backend");
+        let _ = run_ycsb(
+            &remote,
+            YcsbMix::A,
+            scale.keys,
+            connections,
+            scale.warmup(),
+            true,
+        );
+        let r = run_ycsb(
+            &remote,
+            YcsbMix::A,
+            scale.keys,
+            connections,
+            scale.duration(),
+            true,
+        );
+        ctx.point("YCSB A (wire)")
+            .axis("connections", connections)
+            .result(&r)
+            .emit();
+        table_out.row(&[
+            format!("{connections} (YCSB A)"),
+            "-".into(),
+            fmt_mops(r.mops),
+            "-".into(),
+            "-".into(),
+        ]);
+
+        ctx.table(&table_out);
+        let counters = server.shutdown();
+        ctx.note(&format!(
+            "Server counters: {} connections, {} ops in {} batches ({} protocol errors).",
+            counters.connections, counters.ops, counters.batches, counters.protocol_errors
+        ));
+    });
+}

@@ -1,15 +1,34 @@
 //! Figure 18: the four single-key YCSB mixes (A, B, C, F) over DLHT as the
 //! thread count grows.
+//!
+//! With `--server <addr>` (or `DLHT_SERVER`) the same sweep runs **over the
+//! wire** against a `dlht_server` process through `dlht-net`'s
+//! [`RemoteBackend`] — one TCP connection per worker thread, one `BATCH`
+//! frame per request batch. Series names are unchanged so `bench_report`
+//! diffs a local run against a wire run point by point.
 
-use dlht_baselines::MapKind;
+use dlht_baselines::{KvBackend, MapKind};
 use dlht_bench::{build_prepopulated, run_scenario};
+use dlht_net::RemoteBackend;
 use dlht_workloads::ycsb::{run_ycsb, YcsbMix};
-use dlht_workloads::{fmt_mops, Table};
+use dlht_workloads::{fmt_mops, prepopulate_batched, Table};
 
 fn main() {
     run_scenario("fig18_ycsb", |ctx| {
         let scale = ctx.scale.clone();
-        let map = build_prepopulated(MapKind::Dlht, &scale);
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let map: Box<dyn KvBackend> = match dlht_net::server_addr_from_args(args) {
+            Some(addr) => {
+                let remote = RemoteBackend::connect(&addr)
+                    .unwrap_or_else(|e| panic!("cannot reach --server {addr}: {e}"));
+                ctx.note(&format!("Running YCSB over the wire against {addr}."));
+                // Batched prepopulation: one round trip per 128 inserts
+                // (duplicates are harmless if the server was prestocked).
+                prepopulate_batched(&remote, scale.keys, 128);
+                Box::new(remote)
+            }
+            None => build_prepopulated(MapKind::Dlht, &scale),
+        };
         let mut table = Table::new(
             "Fig. 18 — YCSB throughput (M req/s)",
             &["threads", "YCSB A", "YCSB B", "YCSB C", "YCSB F"],

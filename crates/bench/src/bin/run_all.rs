@@ -31,7 +31,7 @@ fn main() {
         eprintln!("  {} ({})", scenario.name, scenario.figure);
         eprintln!("================================================================");
         let t = Instant::now();
-        let path = exe_dir.join(scenario.name);
+        let path = exe_dir.join(scenario.bin);
         // The resolved tier and shard count travel by environment so every
         // child applies the same configuration the wrapper resolved
         // (children don't re-parse --smoke / --shards).
@@ -65,7 +65,7 @@ fn main() {
             Err(e) => {
                 eprintln!(
                     "failed to launch {} ({e}); run it via `cargo run --release -p dlht-bench --bin {}`",
-                    scenario.name, scenario.name
+                    scenario.name, scenario.bin
                 );
                 failures.push(scenario.name);
             }

@@ -47,9 +47,13 @@ pub const SCHEMA: &str = "dlht-bench/v1";
 /// Static description of one registered benchmark scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scenario {
-    /// Binary name (`cargo run --release -p dlht-bench --bin <name>`), also
-    /// the `BENCH_<name>.json` artifact name.
+    /// Scenario name, also the `BENCH_<name>.json` artifact name.
     pub name: &'static str,
+    /// Binary name (`cargo run --release -p dlht-bench --bin <bin>`).
+    /// Identical to `name` for the paper figures; the wire-protocol scenario
+    /// keeps its artifact (`BENCH_server.json`) shorter than its binary
+    /// (`bench_server`).
+    pub bin: &'static str,
     /// Paper figure/table/section this reproduces.
     pub figure: &'static str,
     /// One-line title.
@@ -67,6 +71,7 @@ pub struct Scenario {
 pub const REGISTRY: &[Scenario] = &[
     Scenario {
         name: "fig01_overview",
+        bin: "fig01_overview",
         figure: "Figure 1",
         title: "headline Get and InsDel throughput of all maps",
         paper_setup: "2x18-core Xeon, 64 threads, 100M prepopulated keys, uniform access",
@@ -75,6 +80,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "table1_features",
+        bin: "table1_features",
         figure: "Table 1 + §5.1.5",
         title: "feature matrix and occupancy-until-resize",
         paper_setup: "feature matrix of GrowT, Folly, DRAMHiT, MICA, CLHT, DLHT; wyhash occupancy",
@@ -83,6 +89,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig03_get_throughput",
+        bin: "fig03_get_throughput",
         figure: "Figure 3",
         title: "Get throughput vs thread count",
         paper_setup: "100% Gets, uniform over 100M keys, 1..71 threads",
@@ -91,6 +98,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig04_power_efficiency",
+        bin: "fig04_power_efficiency",
         figure: "Figure 4",
         title: "Get power-efficiency (modeled)",
         paper_setup: "100% Gets; paper peaks at 3.35 M req/s/W for DLHT (RAPL → model substitution)",
@@ -99,6 +107,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig05_insdel_throughput",
+        bin: "fig05_insdel_throughput",
         figure: "Figure 5",
         title: "InsDel throughput vs thread count",
         paper_setup: "Insert immediately followed by Delete of the same key; empty 100M-capacity tables",
@@ -107,6 +116,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig06_put_heavy",
+        bin: "fig06_put_heavy",
         figure: "Figure 6",
         title: "Put-heavy (50% Get / 50% Put) throughput",
         paper_setup: "50% Gets + 50% Puts over 100M prepopulated keys; CLHT omitted (no Puts)",
@@ -115,6 +125,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig07_population",
+        bin: "fig07_population",
         figure: "Figure 7",
         title: "population throughput of a growing index",
         paper_setup: "800M keys inserted into a small growing index",
@@ -123,6 +134,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig08_resize_timeline",
+        bin: "fig08_resize_timeline",
         figure: "Figure 8",
         title: "Gets and Inserts during a non-blocking resize",
         paper_setup: "32 Get threads + 32 Insert threads, 800M -> 1.6B keys",
@@ -131,6 +143,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig09_value_size",
+        bin: "fig09_value_size",
         figure: "Figure 9",
         title: "throughput vs value size (8B..1.5KB)",
         paper_setup: "8B..1.5KB values; Gets return pointers so only Get-Access pays for large values",
@@ -139,6 +152,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig10_key_size",
+        bin: "fig10_key_size",
         figure: "Figure 10",
         title: "throughput vs key size (8B..256B)",
         paper_setup: "8B..256B keys, 8B values; >8B keys leave only a signature in the slot",
@@ -147,6 +161,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig11_index_size",
+        bin: "fig11_index_size",
         figure: "Figure 11",
         title: "throughput vs index size",
         paper_setup: "1MB (8K keys) .. 64GB (1B keys) index",
@@ -155,6 +170,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig12_batch_size",
+        bin: "fig12_batch_size",
         figure: "Figure 12",
         title: "throughput vs batch size (1..128)",
         paper_setup: "batch 1..128; gains saturate around 24 (MSHR/TLB limits)",
@@ -163,6 +179,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig13_skew",
+        bin: "fig13_skew",
         figure: "Figure 13",
         title: "skewed access with 1000 hot keys",
         paper_setup: "0%..100% of accesses to 1000 hot keys",
@@ -171,6 +188,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig14_features",
+        bin: "fig14_features",
         figure: "Figure 14",
         title: "throughput cost of enabling features",
         paper_setup: "default -> +resizing -> +wyhash -> +variable sizes -> +namespaces -> no mimalloc; 32B values",
@@ -179,6 +197,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig15_latency",
+        bin: "fig15_latency",
         figure: "Figure 15",
         title: "average and p99 latency vs offered load",
         paper_setup: "average in the 100s of ns, tail below 1us even under high load",
@@ -187,6 +206,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig16_single_thread",
+        bin: "fig16_single_thread",
         figure: "Figure 16",
         title: "single-threaded synchronization-free optimizations",
         paper_setup: "InsDel +31%, InsDel-Resize +35%, InsDel-Resize-NoBatch +91%, Get unchanged",
@@ -195,6 +215,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig17_lock_manager",
+        bin: "fig17_lock_manager",
         figure: "Figure 17",
         title: "database lock manager over HashSet mode",
         paper_setup: "locks/unlocks per second; batching peaks near 1.5B ops/s, ~2.2x unbatched",
@@ -203,6 +224,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig18_ycsb",
+        bin: "fig18_ycsb",
         figure: "Figure 18",
         title: "YCSB A/B/C/F mixes",
         paper_setup: "read-only C roughly 2x the update-only F at saturation",
@@ -211,6 +233,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig19_oltp",
+        bin: "fig19_oltp",
         figure: "Figure 19",
         title: "TATP and Smallbank transactions per second",
         paper_setup: "1M TATP subscribers, 10M Smallbank accounts; paper: 175M / 129M txns/s at 64 threads",
@@ -219,6 +242,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig20_hash_join",
+        bin: "fig20_hash_join",
         figure: "Figure 20",
         title: "non-partitioned hash join (workload A)",
         paper_setup: "build 2^27 tuples, probe 2^31; DLHT reaches 1.4B tuples/s, 2.2x DLHT-NoBatch",
@@ -227,6 +251,7 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "fig_cxl_emulation",
+        bin: "fig_cxl_emulation",
         figure: "§5.3.2",
         title: "remote-memory (CXL) emulation",
         paper_setup: "paper pins DLHT memory on the remote socket; here a per-miss delay is injected",
@@ -235,11 +260,21 @@ pub const REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "table5_summary",
+        bin: "table5_summary",
         figure: "Table 5",
         title: "DLHT advantage over each baseline",
         paper_setup: "CLHT 3.5x slower Gets / 8x slower population; GrowT 12.8x slower InsDel; MICA 4.8x; DRAMHiT 1.7x",
         axes: "baseline × {Get ratio, InsDel ratio, Population ratio}",
         expected: "every ratio > 1 (DLHT faster), with the InsDel gap largest against GrowT-like",
+    },
+    Scenario {
+        name: "server",
+        bin: "bench_server",
+        figure: "dlht-net (no paper counterpart)",
+        title: "pipelined wire-protocol serving over the sharded table",
+        paper_setup: "Pelikan-style pipelined TCP service; wire pipelining drains into DLHT's prefetched batch execution (§3.3)",
+        axes: "connections × pipeline depth (GETs over TCP loopback, plus YCSB-A over the wire)",
+        expected: "pipelined (depth >= 8) throughput >= 2x unpipelined at the same connection count",
     },
 ];
 
@@ -668,10 +703,18 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_cover_all_figures() {
         let mut names: Vec<&str> = REGISTRY.iter().map(|s| s.name).collect();
-        assert_eq!(names.len(), 22, "one scenario per figure/table binary");
+        assert_eq!(
+            names.len(),
+            23,
+            "one scenario per figure/table binary plus the wire-protocol server"
+        );
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 22, "duplicate scenario names");
+        assert_eq!(names.len(), 23, "duplicate scenario names");
+        let mut bins: Vec<&str> = REGISTRY.iter().map(|s| s.bin).collect();
+        bins.sort_unstable();
+        bins.dedup();
+        assert_eq!(bins.len(), 23, "duplicate scenario binaries");
         for fig in [
             "Figure 1",
             "Table 1",
@@ -695,6 +738,7 @@ mod tests {
             "Figure 20",
             "§5.3.2",
             "Table 5",
+            "dlht-net",
         ] {
             assert!(
                 REGISTRY.iter().any(|s| s.figure.starts_with(fig)),

@@ -58,6 +58,16 @@ impl Request {
             Request::Get(k) | Request::Put(k, _) | Request::Insert(k, _) | Request::Delete(k) => k,
         }
     }
+
+    /// The value this request carries, if the operation has one (`Put` and
+    /// `Insert`) — what a wire codec writes after the key.
+    #[inline]
+    pub fn value(&self) -> Option<u64> {
+        match *self {
+            Request::Put(_, v) | Request::Insert(_, v) => Some(v),
+            Request::Get(_) | Request::Delete(_) => None,
+        }
+    }
 }
 
 /// The result of one request in a batch.

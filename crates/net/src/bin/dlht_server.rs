@@ -1,0 +1,60 @@
+//! Standalone `dlht-net` server: a sharded DLHT serving the wire protocol
+//! over TCP until the process is terminated.
+//!
+//! ```text
+//! dlht_server [--addr 127.0.0.1:4455] [--shards 4] [--capacity 1000000]
+//!             [--keys N]
+//! ```
+//!
+//! `--keys N` prepopulates keys `0..N` (value = key), matching the workload
+//! harness's `dlht_workloads::prepopulate` convention so a remote YCSB run
+//! finds the key space it expects.
+
+use dlht_core::{KvBackend, ShardedTable};
+use dlht_net::{flag_value, DlhtServer};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:4455".to_string());
+    let shards: usize = flag_value(&args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let capacity: usize = flag_value(&args, "--capacity")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let keys: u64 = flag_value(&args, "--keys")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    let table = Arc::new(ShardedTable::with_capacity(shards, capacity));
+    for k in 0..keys {
+        let _ = table
+            .insert(k, k)
+            .unwrap_or_else(|e| panic!("prepopulating key {k}: {e}"));
+    }
+    let server = DlhtServer::bind(&addr, table.clone())
+        .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    eprintln!(
+        "dlht_server listening on {} ({} shards, capacity {}, {} prepopulated keys)",
+        server.local_addr(),
+        table.num_shards(),
+        capacity,
+        keys
+    );
+    // Serve until the process is terminated; print a counter line every few
+    // seconds so an operator sees traffic.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let c = server.counters();
+        eprintln!(
+            "connections={} active={} ops={} batches={} protocol_errors={} keys={}",
+            c.connections,
+            c.active,
+            c.ops,
+            c.batches,
+            c.protocol_errors,
+            table.len()
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! # dlht-net
+//!
+//! A pipelined key-value wire protocol and server/client subsystem over the
+//! DLHT sharded table — the layer that lets the repository answer requests
+//! from outside the process.
+//!
+//! The design follows the shape production cache servers (Twitter's Pelikan,
+//! memcached's binary protocol) converged on: a thin, dependency-free,
+//! length-prefixed binary protocol whose **client-side pipelining maps
+//! directly onto server-side batched execution** — which is exactly the
+//! interface DLHT's batch + prefetch engine (paper §3.3) was built for.
+//! Requests a client writes back-to-back are drained by the server into one
+//! reusable [`dlht_core::Batch`], prefetched at decode time, and executed
+//! via `execute_prefetched`: wire pipelining ≙ prefetch pipeline depth.
+//!
+//! ## Pieces
+//!
+//! * [`wire`] — the versioned frame codec: `GET`/`PUT`/`INSERT`/`DELETE`
+//!   plus `BATCH` (explicit [`dlht_core::BatchPolicy`]), `STATS` (typed),
+//!   `LEN` and `PING`, with zero-copy decode into [`dlht_core::Request`].
+//! * [`service`] — the transport-independent connection engine (frames →
+//!   batch → responses) every transport shares.
+//! * [`server`] — [`DlhtServer`]: thread-per-connection over
+//!   `std::net::TcpListener`, one cached [`dlht_core::ShardedSession`] per
+//!   connection, graceful shutdown, live counters.
+//! * [`client`] — [`DlhtClient`]: a pipelining client over any
+//!   `Read + Write` transport (TCP or loopback).
+//! * [`loopback`] — a deterministic in-process transport so protocol tests
+//!   run offline, plus [`LoopbackBackend`] which puts any
+//!   [`dlht_core::KvBackend`] behind the wire for the differential oracle.
+//! * [`remote`] — [`RemoteBackend`]: a server presented as a local
+//!   `KvBackend` (one connection per worker thread), so workloads like YCSB
+//!   run over the wire unchanged.
+//!
+//! ## Example (in-process loopback; the TCP path is identical)
+//!
+//! ```
+//! use dlht_core::{BatchPolicy, Request, Response, ShardedTable};
+//! use dlht_net::{loopback_client, BackendEngine};
+//! use std::sync::Arc;
+//!
+//! let table = Arc::new(ShardedTable::with_capacity(4, 10_000));
+//! let mut client = loopback_client(BackendEngine(table));
+//!
+//! client.insert(7, 700).unwrap();
+//! assert_eq!(client.get(7).unwrap(), Some(700));
+//!
+//! // Pipelined: one flush, one server-side prefetched batch execution.
+//! let reqs: Vec<Request> = (0..16).map(Request::Get).collect();
+//! let resps = client.pipelined(&reqs).unwrap();
+//! assert_eq!(resps[7], Response::Value(Some(700)));
+//!
+//! // Typed stats — no string parsing.
+//! let stats = client.stats().unwrap();
+//! assert_eq!(stats.table.occupied_slots, 1);
+//! ```
+//!
+//! Over TCP: [`DlhtServer::bind`] + [`DlhtClient::connect`] — see
+//! `examples/server.rs` / `examples/client.rs` at the workspace root.
+
+pub mod client;
+pub mod loopback;
+pub mod remote;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use client::{DlhtClient, NetError};
+pub use loopback::{loopback_client, LoopbackBackend, LoopbackTransport};
+pub use remote::{flag_value, server_addr_from_args, RemoteBackend};
+pub use server::{DlhtServer, ServerCounters};
+pub use service::{BackendEngine, ConnStats, Service, ServiceEngine};
+pub use wire::{RemoteStats, WireError, MAX_PAYLOAD, VERSION};

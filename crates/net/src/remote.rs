@@ -1,0 +1,250 @@
+//! [`RemoteBackend`]: a `dlht-net` server presented as a local
+//! [`KvBackend`], so every workload, benchmark, and test harness in the
+//! repository can run **over the wire** unchanged (`--server <addr>` in the
+//! workload-driving binaries).
+//!
+//! The workload runner drives one shared `&dyn KvBackend` from many threads;
+//! a TCP connection cannot be shared that way without serializing everything
+//! behind a lock. `RemoteBackend` therefore keeps **one connection per
+//! (thread, backend)** in a thread-local registry — mirroring the server's
+//! thread-per-connection model, so an N-thread workload run exercises N
+//! server connections. Batch execution maps to one `BATCH` frame (one round
+//! trip per batch: wire batching ≙ table batching).
+//!
+//! Network failures inside the `KvBackend` surface (which has no error
+//! channel for Gets/Puts/Deletes) **panic** with context rather than
+//! silently reporting misses — a measurement harness must never turn a dead
+//! server into plausible-looking data.
+
+use crate::client::{DlhtClient, NetError};
+use crate::wire::RemoteStats;
+use dlht_core::{
+    Batch, BatchPolicy, DlhtError, InsertOutcome, KvBackend, MapFeatures, Request, Response,
+    TableStats,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_BACKEND_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's open connections, one per live [`RemoteBackend`].
+    static CONNECTIONS: RefCell<HashMap<u64, DlhtClient<TcpStream>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// A remote `dlht-net` server behind the [`KvBackend`] trait (module docs
+/// above).
+pub struct RemoteBackend {
+    addr: String,
+    id: u64,
+}
+
+impl RemoteBackend {
+    /// Connect to `addr` (e.g. `127.0.0.1:4455`), validating the server with
+    /// a `PING` round trip.
+    pub fn connect(addr: impl Into<String>) -> Result<RemoteBackend, NetError> {
+        let backend = RemoteBackend {
+            addr: addr.into(),
+            id: NEXT_BACKEND_ID.fetch_add(1, Ordering::Relaxed),
+        };
+        backend.try_with_conn(|c| c.ping())?;
+        Ok(backend)
+    }
+
+    /// The server address this backend talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Run `f` on this thread's connection, opening it on first use. A
+    /// failed operation drops the connection so the next call reconnects.
+    fn try_with_conn<R>(
+        &self,
+        f: impl FnOnce(&mut DlhtClient<TcpStream>) -> Result<R, NetError>,
+    ) -> Result<R, NetError> {
+        CONNECTIONS.with(|cell| {
+            let mut conns = cell.borrow_mut();
+            let client = match conns.entry(self.id) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(DlhtClient::connect(&self.addr)?)
+                }
+            };
+            let result = f(client);
+            // A transport/protocol failure poisons the connection; a table
+            // error (reserved key, full table) is a healthy response.
+            if matches!(result, Err(ref e) if !matches!(e, NetError::Table(_))) {
+                conns.remove(&self.id);
+            }
+            result
+        })
+    }
+
+    fn with_conn<R>(&self, f: impl FnOnce(&mut DlhtClient<TcpStream>) -> Result<R, NetError>) -> R {
+        self.try_with_conn(f)
+            .unwrap_or_else(|e| panic!("remote backend {} failed: {e}", self.addr))
+    }
+
+    /// Typed statistics snapshot from the server.
+    pub fn remote_stats(&self) -> RemoteStats {
+        self.with_conn(|c| c.stats())
+    }
+}
+
+impl Drop for RemoteBackend {
+    fn drop(&mut self) {
+        // Release the dropping thread's connection for this backend so
+        // repeated create/drop cycles on one thread don't accumulate open
+        // sockets. Other threads' entries (keyed by this backend's unique
+        // id, never reused) die with their threads.
+        let _ = CONNECTIONS.try_with(|cell| {
+            if let Ok(mut conns) = cell.try_borrow_mut() {
+                conns.remove(&self.id);
+            }
+        });
+    }
+}
+
+impl KvBackend for RemoteBackend {
+    fn get(&self, key: u64) -> Option<u64> {
+        self.with_conn(|c| c.get(key))
+    }
+
+    fn insert(&self, key: u64, value: u64) -> Result<InsertOutcome, DlhtError> {
+        self.try_with_conn(|c| c.insert(key, value))
+            .map_err(|e| match e {
+                NetError::Table(table_err) => table_err,
+                other => panic!("remote backend {} failed: {other}", self.addr),
+            })
+    }
+
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
+        self.with_conn(|c| c.put(key, value))
+    }
+
+    fn delete(&self, key: u64) -> Option<u64> {
+        self.with_conn(|c| c.delete(key))
+    }
+
+    fn len(&self) -> usize {
+        self.with_conn(|c| c.server_len()) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "DLHT-Remote"
+    }
+
+    fn features(&self) -> MapFeatures {
+        MapFeatures::dlht()
+    }
+
+    fn stats(&self) -> TableStats {
+        self.remote_stats().table
+    }
+
+    fn retired_indexes(&self) -> usize {
+        self.remote_stats().retired as usize
+    }
+
+    fn supports_batching(&self) -> bool {
+        true
+    }
+
+    fn execute(&self, batch: &mut Batch, policy: BatchPolicy) {
+        self.with_conn(|c| c.execute(batch, policy));
+    }
+
+    fn execute_batch(&self, requests: &[Request], policy: BatchPolicy) -> Vec<Response> {
+        let mut batch = Batch::from(requests);
+        self.execute(&mut batch, policy);
+        batch.into_responses()
+    }
+}
+
+/// Scan an argument list for `--name VALUE` / `--name=VALUE` (the one flag
+/// parser the `dlht-net` binaries and examples share). A flag with a
+/// missing value yields `None`.
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let eq = format!("{name}=");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(v) = arg.strip_prefix(&eq) {
+            return Some(v.to_string());
+        }
+        if arg == name {
+            return iter.next().cloned();
+        }
+    }
+    None
+}
+
+/// Scan an argument list for `--server ADDR` / `--server=ADDR`, falling back
+/// to the `DLHT_SERVER` environment variable — the remote-backend switch the
+/// workload-driving binaries share.
+pub fn server_addr_from_args<I: IntoIterator<Item = String>>(args: I) -> Option<String> {
+    let args: Vec<String> = args.into_iter().collect();
+    flag_value(&args, "--server")
+        .or_else(|| std::env::var("DLHT_SERVER").ok().filter(|v| !v.is_empty()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::DlhtServer;
+    use dlht_core::ShardedTable;
+    use std::sync::Arc;
+
+    #[test]
+    fn server_addr_parses_both_spellings() {
+        assert_eq!(
+            server_addr_from_args(["--server".into(), "1.2.3.4:5".into()]),
+            Some("1.2.3.4:5".to_string())
+        );
+        assert_eq!(
+            server_addr_from_args(["--server=h:1".into()]),
+            Some("h:1".to_string())
+        );
+        if std::env::var("DLHT_SERVER").is_err() {
+            assert_eq!(server_addr_from_args(["--smoke".into()]), None);
+            assert_eq!(server_addr_from_args(["--server".into()]), None);
+        }
+    }
+
+    #[test]
+    fn remote_backend_roundtrip_and_multithreaded_connections() {
+        let table = Arc::new(ShardedTable::with_capacity(2, 4_096));
+        let server = DlhtServer::bind("127.0.0.1:0", table).expect("bind");
+        let remote = RemoteBackend::connect(server.local_addr().to_string()).expect("connect");
+        assert!(remote.insert(1, 10).unwrap().inserted());
+        assert_eq!(remote.get(1), Some(10));
+        // Each worker thread gets its own connection.
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let remote = &remote;
+                s.spawn(move || {
+                    for k in 0..50u64 {
+                        let key = 1_000 + t * 100 + k;
+                        assert!(remote.insert(key, key).unwrap().inserted());
+                        assert_eq!(remote.get(key), Some(key));
+                    }
+                });
+            }
+        });
+        assert_eq!(remote.len(), 1 + 150);
+        let out = remote.execute_batch(
+            &[Request::Get(1), Request::Delete(1), Request::Get(1)],
+            BatchPolicy::RunAll,
+        );
+        assert_eq!(out[0], Response::Value(Some(10)));
+        assert_eq!(out[2], Response::Value(None));
+        let counters = server.shutdown();
+        assert!(
+            counters.connections >= 4,
+            "main + 3 worker threads = at least 4 connections, saw {}",
+            counters.connections
+        );
+    }
+}

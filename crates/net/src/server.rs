@@ -1,0 +1,379 @@
+//! The TCP server: thread-per-connection serving over a shared
+//! [`ShardedTable`].
+//!
+//! Every accepted connection gets its own OS thread and its own
+//! [`dlht_core::ShardedSession`] — a per-thread handle with one cached registry slot
+//! per shard — so the enter/leave announcements of batch execution go
+//! through cached slots exactly as the paper's §3.2.5 protocol intends. The
+//! connection loop reads whatever bytes the socket has, hands them to the
+//! shared [`Service`] engine (which drains every complete pipelined frame
+//! into one prefetched batch execution), and writes the response bytes back
+//! in one flush.
+//!
+//! Shutdown is graceful and bounded: [`DlhtServer::shutdown`] flips a flag,
+//! unblocks the acceptor, shuts down every live socket, and joins all
+//! threads — no connection is left mid-frame (its in-flight requests are
+//! answered before the read that observes the closed socket).
+
+use crate::service::{ConnStats, Service};
+use dlht_core::ShardedTable;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often a blocked connection read wakes up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    active: AtomicU64,
+    frames: AtomicU64,
+    ops: AtomicU64,
+    batches: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Connections accepted since bind.
+    pub connections: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Request frames decoded across all connections.
+    pub frames: u64,
+    /// Table operations executed across all connections.
+    pub ops: u64,
+    /// Batch executions (drained pipeline windows + explicit `BATCH`
+    /// frames).
+    pub batches: u64,
+    /// Connections closed for violating the protocol.
+    pub protocol_errors: u64,
+}
+
+/// A running `dlht-net` TCP server (handle). Dropping the handle without
+/// calling [`DlhtServer::shutdown`] leaves the threads serving until the
+/// process exits.
+pub struct DlhtServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept_thread: JoinHandle<()>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl DlhtServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `table`. Returns as soon as the listener is live.
+    pub fn bind(addr: impl ToSocketAddrs, table: Arc<ShardedTable>) -> std::io::Result<DlhtServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let shutdown = shutdown.clone();
+            let counters = counters.clone();
+            let conns = conns.clone();
+            let workers = workers.clone();
+            std::thread::spawn(move || {
+                accept_loop(listener, table, shutdown, counters, conns, workers)
+            })
+        };
+
+        Ok(DlhtServer {
+            local_addr,
+            shutdown,
+            counters,
+            accept_thread,
+            conns,
+            workers,
+        })
+    }
+
+    /// The address the server is listening on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot the server-wide counters. Per-connection contributions are
+    /// folded in as each connection's processing loop runs, so the numbers
+    /// are live, not close-time.
+    pub fn counters(&self) -> ServerCounters {
+        ServerCounters {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            active: self.counters.active.load(Ordering::Relaxed),
+            frames: self.counters.frames.load(Ordering::Relaxed),
+            ops: self.counters.ops.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Gracefully stop: unblock the acceptor, close every live connection,
+    /// and join all threads. Returns the final counter snapshot.
+    pub fn shutdown(self) -> ServerCounters {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection; the acceptor
+        // re-checks the flag before handling it. An unspecified bind address
+        // (0.0.0.0 / ::) is not connectable on every platform — wake through
+        // the matching loopback address instead.
+        let mut wake_addr = self.local_addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(match wake_addr.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake_addr);
+        let _ = self.accept_thread.join();
+        // Unblock connection reads immediately rather than waiting for their
+        // next poll tick.
+        for stream in self.conns.lock().expect("conns lock").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for handle in workers {
+            let _ = handle.join();
+        }
+        ServerCounters {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            active: self.counters.active.load(Ordering::Relaxed),
+            frames: self.counters.frames.load(Ordering::Relaxed),
+            ops: self.counters.ops.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    table: Arc<ShardedTable>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A persistent accept error (EMFILE under fd pressure, ...)
+                // must not busy-spin the acceptor.
+                std::thread::sleep(POLL_INTERVAL);
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_id = counters.connections.fetch_add(1, Ordering::Relaxed);
+        counters.active.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_nodelay(true);
+        // The read timeout doubles as the shutdown poll interval.
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        if let Ok(clone) = stream.try_clone() {
+            conns.lock().expect("conns lock").insert(conn_id, clone);
+        }
+        let handle = {
+            let table = table.clone();
+            let shutdown = shutdown.clone();
+            let counters = counters.clone();
+            let conns = conns.clone();
+            std::thread::spawn(move || {
+                serve_connection(stream, &table, &shutdown, &counters);
+                counters.active.fetch_sub(1, Ordering::Relaxed);
+                // Release this connection's cloned fd; the handle itself is
+                // reaped by the acceptor (or joined at shutdown).
+                conns.lock().expect("conns lock").remove(&conn_id);
+            })
+        };
+        // Long-running servers must not accumulate one JoinHandle per
+        // closed connection: drop finished handles before tracking the new
+        // one (shutdown still joins everything live).
+        let mut workers = workers.lock().expect("workers lock");
+        workers.retain(|h| !h.is_finished());
+        workers.push(handle);
+    }
+}
+
+/// One connection's lifetime: a cached [`dlht_core::ShardedSession`] wrapped
+/// in a [`Service`], fed from the socket until EOF, error, protocol
+/// violation, or server shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    table: &ShardedTable,
+    shutdown: &AtomicBool,
+    counters: &Counters,
+) {
+    let session = table.session();
+    let mut service = Service::new(session);
+    let mut chunk = vec![0u8; 64 * 1024];
+    // Unconsumed tail (an incomplete frame) carried between reads.
+    let mut pending: Vec<u8> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
+    let mut reported = ConnStats::default();
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        pending.extend_from_slice(&chunk[..n]);
+        out.clear();
+        let result = service.process(&pending, &mut out);
+        let failed = result.is_err();
+        if let Ok(consumed) = result {
+            pending.drain(..consumed);
+        }
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            break;
+        }
+        fold_stats(counters, &mut reported, service.stats());
+        if failed {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
+    }
+    fold_stats(counters, &mut reported, service.stats());
+}
+
+/// Fold the delta between the service's counters and what was already
+/// reported into the server-wide totals.
+fn fold_stats(counters: &Counters, reported: &mut ConnStats, now: ConnStats) {
+    counters
+        .frames
+        .fetch_add(now.frames - reported.frames, Ordering::Relaxed);
+    counters
+        .ops
+        .fetch_add(now.ops - reported.ops, Ordering::Relaxed);
+    counters
+        .batches
+        .fetch_add(now.batches - reported.batches, Ordering::Relaxed);
+    *reported = now;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::DlhtClient;
+    use dlht_core::{BatchPolicy, KvBackend, Request, Response};
+
+    fn start() -> (DlhtServer, Arc<ShardedTable>) {
+        let table = Arc::new(ShardedTable::with_capacity(4, 4_096));
+        let server = DlhtServer::bind("127.0.0.1:0", table.clone()).expect("bind");
+        (server, table)
+    }
+
+    #[test]
+    fn tcp_roundtrip_singles_and_stats() {
+        let (server, table) = start();
+        let mut client = DlhtClient::connect(server.local_addr()).expect("connect");
+        client.ping().unwrap();
+        assert!(client.insert(1, 10).unwrap().inserted());
+        assert_eq!(client.get(1).unwrap(), Some(10));
+        assert_eq!(client.put(1, 11).unwrap(), Some(10));
+        assert_eq!(client.delete(1).unwrap(), Some(11));
+        assert_eq!(client.get(1).unwrap(), None);
+        assert!(matches!(
+            client.insert(u64::MAX, 1),
+            Err(crate::client::NetError::Table(
+                dlht_core::DlhtError::ReservedKey
+            ))
+        ));
+        let _ = client.insert(2, 20).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.table.occupied_slots, 1);
+        assert_eq!(client.server_len().unwrap(), 1);
+        assert_eq!(table.get(2), Some(20), "served writes hit the real table");
+        let counters = server.shutdown();
+        assert_eq!(counters.connections, 1);
+        assert_eq!(counters.protocol_errors, 0);
+        assert!(counters.ops >= 7);
+    }
+
+    #[test]
+    fn pipelined_and_batch_paths_match_local_semantics() {
+        let (server, table) = start();
+        let mut client = DlhtClient::connect(server.local_addr()).expect("connect");
+        let reqs: Vec<Request> = (0..32u64).map(|k| Request::Insert(k, k * 3)).collect();
+        let resps = client.pipelined(&reqs).unwrap();
+        assert!(resps.iter().all(|r| r.succeeded()));
+        let out = client
+            .execute_requests(
+                &[
+                    Request::Get(31),
+                    Request::Get(999), // miss -> stop
+                    Request::Delete(0),
+                ],
+                BatchPolicy::StopOnFailure,
+            )
+            .unwrap();
+        assert_eq!(out[0], Response::Value(Some(93)));
+        assert_eq!(out[2], Response::Skipped);
+        assert_eq!(table.len(), 32, "skipped delete must not run");
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_closes_the_connection_but_not_the_server() {
+        let (server, _table) = start();
+        // Connection 1 sends garbage and must be rejected.
+        {
+            let mut bad = TcpStream::connect(server.local_addr()).unwrap();
+            bad.write_all(&[0xAB; 32]).unwrap();
+            let mut buf = Vec::new();
+            let _ = bad.read_to_end(&mut buf); // server replies ERR then closes
+            let (frame, _) = crate::wire::decode_frame(&buf).unwrap().unwrap();
+            assert_eq!(frame.opcode, crate::wire::resp::ERR);
+        }
+        // Connection 2 still works.
+        let mut good = DlhtClient::connect(server.local_addr()).unwrap();
+        assert!(good.insert(5, 50).unwrap().inserted());
+        assert_eq!(good.get(5).unwrap(), Some(50));
+        let counters = server.shutdown();
+        assert_eq!(counters.protocol_errors, 1);
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads_quickly() {
+        let (server, _) = start();
+        let mut clients: Vec<_> = (0..4)
+            .map(|_| DlhtClient::connect(server.local_addr()).unwrap())
+            .collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            assert!(c.insert(i as u64, 1).unwrap().inserted());
+        }
+        let t = std::time::Instant::now();
+        let counters = server.shutdown();
+        assert!(
+            t.elapsed() < Duration::from_secs(2),
+            "graceful shutdown must be bounded"
+        );
+        assert_eq!(counters.connections, 4);
+        assert_eq!(counters.active, 0);
+    }
+}

@@ -1,0 +1,886 @@
+//! The `dlht-net` wire protocol: dependency-free, length-prefixed binary
+//! frames that decode zero-copy into the [`Request`]/[`Response`] vocabulary
+//! of `dlht-core`.
+//!
+//! ## Framing
+//!
+//! Every frame — request or response — carries the same fixed 8-byte header
+//! followed by an opcode-specific payload (all integers little-endian):
+//!
+//! ```text
+//! byte 0    : magic (0xD1)
+//! byte 1    : protocol version (1)
+//! byte 2    : opcode
+//! byte 3    : reserved (must be 0 in version 1)
+//! bytes 4..8: payload length (u32 LE, capped at MAX_PAYLOAD)
+//! ```
+//!
+//! The magic byte makes desynchronized or non-protocol bytes fail fast; the
+//! version byte lets a future frame layout coexist on the same port.
+//! Decoding is incremental: [`decode_frame`] returns `Ok(None)` while a frame
+//! is still incomplete (read more bytes) and `Err` only for frames that can
+//! never become valid (bad magic/version/opcode, oversized or malformed
+//! payload) — a decoder must never panic on attacker-controlled input.
+//!
+//! ## Request opcodes
+//!
+//! | opcode | payload | meaning |
+//! |---|---|---|
+//! | `GET` | key u64 | [`Request::Get`] |
+//! | `PUT` | key u64, value u64 | [`Request::Put`] |
+//! | `INSERT` | key u64, value u64 | [`Request::Insert`] |
+//! | `DELETE` | key u64 | [`Request::Delete`] |
+//! | `BATCH` | policy u8, count u32, then `count` packed requests | one [`dlht_core::Batch`] under an explicit [`BatchPolicy`] |
+//! | `STATS` | empty | typed [`RemoteStats`] snapshot |
+//! | `LEN` | empty | live-key count |
+//! | `PING` | arbitrary (echoed) | liveness / handshake |
+//!
+//! Plain request frames need no batch envelope: a client that pipelines
+//! several of them in one write gets them drained into **one** server-side
+//! batch (wire pipelining ≙ prefetch pipeline depth) and receives one
+//! `RESP` frame per request, in submission order.
+//!
+//! ## Response opcodes
+//!
+//! `RESP` (one encoded [`Response`]), `RESP_BATCH` (count + encoded
+//! responses in submission-slot order), `RESP_STATS`, `RESP_LEN`, `PONG`,
+//! and `ERR` (error code + UTF-8 message; the server closes the connection
+//! after sending it).
+
+use dlht_core::{BatchPolicy, DlhtError, InsertOutcome, Request, Response, TableStats};
+
+/// First byte of every frame.
+pub const MAGIC: u8 = 0xD1;
+/// Wire protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed frame header length in bytes.
+pub const HEADER_LEN: usize = 8;
+/// Maximum payload length a peer may send; longer frames are a protocol
+/// error (the length prefix is attacker-controlled — never trust it with an
+/// allocation).
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Request opcodes.
+pub mod op {
+    /// `Get(key)`.
+    pub const GET: u8 = 0x01;
+    /// `Put(key, value)`.
+    pub const PUT: u8 = 0x02;
+    /// `Insert(key, value)`.
+    pub const INSERT: u8 = 0x03;
+    /// `Delete(key)`.
+    pub const DELETE: u8 = 0x04;
+    /// Explicit batch with a [`super::BatchPolicy`].
+    pub const BATCH: u8 = 0x05;
+    /// Typed statistics snapshot.
+    pub const STATS: u8 = 0x06;
+    /// Live-key count.
+    pub const LEN: u8 = 0x07;
+    /// Echo (liveness probe).
+    pub const PING: u8 = 0x08;
+}
+
+/// Response opcodes (high bit set).
+pub mod resp {
+    /// One encoded `Response`.
+    pub const RESP: u8 = 0x81;
+    /// `count` encoded `Response`s in submission-slot order.
+    pub const RESP_BATCH: u8 = 0x85;
+    /// Typed statistics payload.
+    pub const RESP_STATS: u8 = 0x86;
+    /// Live-key count (u64).
+    pub const RESP_LEN: u8 = 0x87;
+    /// Echoed `PING` payload.
+    pub const PONG: u8 = 0x88;
+    /// Protocol error: code u8 + UTF-8 message; the connection closes.
+    pub const ERR: u8 = 0xFF;
+}
+
+/// A decode-side protocol violation. Every variant is terminal for the
+/// connection that produced it: the server answers with an [`resp::ERR`]
+/// frame and closes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// First byte of a frame was not [`MAGIC`].
+    BadMagic(u8),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Reserved header byte was nonzero.
+    BadReserved(u8),
+    /// Opcode not defined in this protocol version.
+    UnknownOpcode(u8),
+    /// Payload length above [`MAX_PAYLOAD`].
+    Oversized(usize),
+    /// Payload length inconsistent with the opcode's layout.
+    BadPayload { opcode: u8, len: usize },
+    /// A `BATCH` payload whose contents disagree with its count.
+    BadBatch,
+    /// Unknown [`BatchPolicy`] discriminant.
+    BadPolicy(u8),
+    /// Unknown response tag.
+    BadResponseTag(u8),
+    /// Unknown [`DlhtError`] code.
+    BadErrorCode(u8),
+}
+
+impl WireError {
+    /// Stable error code carried in [`resp::ERR`] frames.
+    pub fn code(&self) -> u8 {
+        match self {
+            WireError::BadMagic(_) => 1,
+            WireError::BadVersion(_) => 2,
+            WireError::BadReserved(_) => 3,
+            WireError::UnknownOpcode(_) => 4,
+            WireError::Oversized(_) => 5,
+            WireError::BadPayload { .. } => 6,
+            WireError::BadBatch => 7,
+            WireError::BadPolicy(_) => 8,
+            WireError::BadResponseTag(_) => 9,
+            WireError::BadErrorCode(_) => 10,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(b) => write!(f, "bad frame magic {b:#04x} (expected {MAGIC:#04x})"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadReserved(b) => write!(f, "reserved header byte must be 0, got {b:#04x}"),
+            WireError::UnknownOpcode(o) => write!(f, "unknown opcode {o:#04x}"),
+            WireError::Oversized(n) => write!(f, "payload of {n} bytes exceeds {MAX_PAYLOAD}"),
+            WireError::BadPayload { opcode, len } => {
+                write!(
+                    f,
+                    "payload of {len} bytes is invalid for opcode {opcode:#04x}"
+                )
+            }
+            WireError::BadBatch => write!(f, "batch payload disagrees with its request count"),
+            WireError::BadPolicy(p) => write!(f, "unknown batch policy {p}"),
+            WireError::BadResponseTag(t) => write!(f, "unknown response tag {t}"),
+            WireError::BadErrorCode(c) => write!(f, "unknown table error code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded frame borrowing its payload from the receive buffer
+/// (zero-copy; see [`decode_frame`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// The frame's opcode (request or response).
+    pub opcode: u8,
+    /// The opcode-specific payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// Append a frame header for `opcode` with `payload_len` payload bytes.
+///
+/// The caller appends the payload right after.
+///
+/// # Panics
+///
+/// If `payload_len` exceeds [`MAX_PAYLOAD`] — silently emitting a frame
+/// every conforming peer must reject would fail far from the bug, so the
+/// check holds in release builds too. The crate's own encoders stay under
+/// the cap by construction ([`DlhtClient::execute`](crate::DlhtClient)
+/// splits large batches); direct [`encode_batch`] callers must keep
+/// `5 + 17 × requests` within the cap themselves.
+pub fn put_header(buf: &mut Vec<u8>, opcode: u8, payload_len: usize) {
+    assert!(
+        payload_len <= MAX_PAYLOAD,
+        "frame payload of {payload_len} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD})"
+    );
+    buf.push(MAGIC);
+    buf.push(VERSION);
+    buf.push(opcode);
+    buf.push(0);
+    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// * `Ok(Some((frame, consumed)))` — a complete frame; the caller advances
+///   its buffer by `consumed` bytes. The frame's payload borrows from `buf`.
+/// * `Ok(None)` — the frame at the front is not complete yet; read more.
+/// * `Err(_)` — the stream is not (or no longer) speaking this protocol;
+///   the connection must close.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame<'_>, usize)>, WireError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    // Validate the header bytes that have arrived so far, so garbage fails
+    // immediately instead of waiting for 8 bytes of it.
+    if buf[0] != MAGIC {
+        return Err(WireError::BadMagic(buf[0]));
+    }
+    if buf.len() >= 2 && buf[1] != VERSION {
+        return Err(WireError::BadVersion(buf[1]));
+    }
+    if buf.len() >= 4 && buf[3] != 0 {
+        return Err(WireError::BadReserved(buf[3]));
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let opcode = buf[2];
+    let len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    if buf.len() < HEADER_LEN + len {
+        return Ok(None);
+    }
+    Ok(Some((
+        Frame {
+            opcode,
+            payload: &buf[HEADER_LEN..HEADER_LEN + len],
+        },
+        HEADER_LEN + len,
+    )))
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+fn read_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[..8].try_into().expect("length checked by caller"))
+}
+
+/// Encode one plain request frame (`GET`/`PUT`/`INSERT`/`DELETE`).
+pub fn encode_request(buf: &mut Vec<u8>, req: Request) {
+    let (opcode, len) = match req {
+        Request::Get(_) | Request::Delete(_) => (request_opcode(req), 8),
+        Request::Put(..) | Request::Insert(..) => (request_opcode(req), 16),
+    };
+    put_header(buf, opcode, len);
+    buf.extend_from_slice(&req.key().to_le_bytes());
+    if let Some(v) = req.value() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// The plain-frame opcode for `req`.
+pub fn request_opcode(req: Request) -> u8 {
+    match req {
+        Request::Get(_) => op::GET,
+        Request::Put(..) => op::PUT,
+        Request::Insert(..) => op::INSERT,
+        Request::Delete(_) => op::DELETE,
+    }
+}
+
+/// Decode the payload of a plain request frame.
+pub fn decode_request(opcode: u8, payload: &[u8]) -> Result<Request, WireError> {
+    let bad = || WireError::BadPayload {
+        opcode,
+        len: payload.len(),
+    };
+    match opcode {
+        op::GET | op::DELETE => {
+            if payload.len() != 8 {
+                return Err(bad());
+            }
+            let k = read_u64(payload);
+            Ok(if opcode == op::GET {
+                Request::Get(k)
+            } else {
+                Request::Delete(k)
+            })
+        }
+        op::PUT | op::INSERT => {
+            if payload.len() != 16 {
+                return Err(bad());
+            }
+            let k = read_u64(payload);
+            let v = read_u64(&payload[8..]);
+            Ok(if opcode == op::PUT {
+                Request::Put(k, v)
+            } else {
+                Request::Insert(k, v)
+            })
+        }
+        other => Err(WireError::UnknownOpcode(other)),
+    }
+}
+
+/// Wire discriminant of a [`BatchPolicy`].
+pub fn policy_code(policy: BatchPolicy) -> u8 {
+    match policy {
+        BatchPolicy::RunAll => 0,
+        BatchPolicy::StopOnFailure => 1,
+        BatchPolicy::Unordered => 2,
+    }
+}
+
+/// Inverse of [`policy_code`].
+pub fn decode_policy(code: u8) -> Result<BatchPolicy, WireError> {
+    match code {
+        0 => Ok(BatchPolicy::RunAll),
+        1 => Ok(BatchPolicy::StopOnFailure),
+        2 => Ok(BatchPolicy::Unordered),
+        other => Err(WireError::BadPolicy(other)),
+    }
+}
+
+/// Encode an explicit `BATCH` frame: `policy`, then `reqs` packed as
+/// `(op u8, key u64[, value u64])` items.
+pub fn encode_batch(buf: &mut Vec<u8>, reqs: &[Request], policy: BatchPolicy) {
+    let body: usize = 5 + reqs
+        .iter()
+        .map(|r| if r.value().is_some() { 17 } else { 9 })
+        .sum::<usize>();
+    put_header(buf, op::BATCH, body);
+    buf.push(policy_code(policy));
+    buf.extend_from_slice(&(reqs.len() as u32).to_le_bytes());
+    for req in reqs {
+        buf.push(request_opcode(*req));
+        buf.extend_from_slice(&req.key().to_le_bytes());
+        if let Some(v) = req.value() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Decode a `BATCH` payload header, returning the policy, the declared
+/// request count, and the packed items for [`BatchIter`].
+pub fn decode_batch_header(payload: &[u8]) -> Result<(BatchPolicy, u32, &[u8]), WireError> {
+    if payload.len() < 5 {
+        return Err(WireError::BadBatch);
+    }
+    let policy = decode_policy(payload[0])?;
+    let count = u32::from_le_bytes(payload[1..5].try_into().expect("length checked"));
+    Ok((policy, count, &payload[5..]))
+}
+
+/// Zero-copy iterator over the packed requests of a `BATCH` payload.
+///
+/// Yields `Err` (and then stops) if an item is malformed; after `count`
+/// items the remaining bytes must be empty or the batch is malformed —
+/// validated by [`BatchIter::finish`].
+pub struct BatchIter<'a> {
+    items: &'a [u8],
+    remaining: u32,
+    poisoned: bool,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Iterate the `items` section of a batch payload (from
+    /// [`decode_batch_header`]).
+    pub fn new(items: &'a [u8], count: u32) -> Self {
+        BatchIter {
+            items,
+            remaining: count,
+            poisoned: false,
+        }
+    }
+
+    /// Stop iteration and make [`BatchIter::finish`] report the batch as
+    /// malformed.
+    fn poison(&mut self, err: WireError) -> Option<Result<Request, WireError>> {
+        self.items = &[];
+        self.remaining = 0;
+        self.poisoned = true;
+        Some(Err(err))
+    }
+
+    /// Validate that the payload held exactly `count` well-formed items.
+    pub fn finish(self) -> Result<(), WireError> {
+        if !self.poisoned && self.remaining == 0 && self.items.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::BadBatch)
+        }
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = Result<Request, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // The declared count promises another item; an exhausted payload is
+        // a malformed batch, not a clean end (count > items).
+        let Some(&opcode) = self.items.first() else {
+            return self.poison(WireError::BadBatch);
+        };
+        self.remaining -= 1;
+        let body_len = match opcode {
+            op::GET | op::DELETE => 8,
+            op::PUT | op::INSERT => 16,
+            other => return self.poison(WireError::UnknownOpcode(other)),
+        };
+        if self.items.len() < 1 + body_len {
+            return self.poison(WireError::BadBatch);
+        }
+        let req = decode_request(opcode, &self.items[1..1 + body_len]);
+        self.items = &self.items[1 + body_len..];
+        Some(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+const TAG_VALUE_NONE: u8 = 0;
+const TAG_VALUE_SOME: u8 = 1;
+const TAG_UPDATED_NONE: u8 = 2;
+const TAG_UPDATED_SOME: u8 = 3;
+const TAG_INSERTED: u8 = 4;
+const TAG_EXISTS: u8 = 5;
+const TAG_INSERT_ERR: u8 = 6;
+const TAG_DELETED_NONE: u8 = 7;
+const TAG_DELETED_SOME: u8 = 8;
+const TAG_SKIPPED: u8 = 9;
+
+/// Stable wire code of a [`DlhtError`].
+pub fn error_code(err: DlhtError) -> u8 {
+    match err {
+        DlhtError::ReservedKey => 1,
+        DlhtError::TableFull => 2,
+        DlhtError::KeyTooLong => 3,
+        DlhtError::InvalidNamespace => 4,
+        DlhtError::UnsupportedInMode => 5,
+    }
+}
+
+/// Inverse of [`error_code`].
+pub fn decode_error(code: u8) -> Result<DlhtError, WireError> {
+    match code {
+        1 => Ok(DlhtError::ReservedKey),
+        2 => Ok(DlhtError::TableFull),
+        3 => Ok(DlhtError::KeyTooLong),
+        4 => Ok(DlhtError::InvalidNamespace),
+        5 => Ok(DlhtError::UnsupportedInMode),
+        other => Err(WireError::BadErrorCode(other)),
+    }
+}
+
+/// Append one encoded [`Response`] body (tag byte + optional word) —
+/// the unit `RESP` and `RESP_BATCH` payloads are built from.
+pub fn encode_response_body(buf: &mut Vec<u8>, resp: Response) {
+    let (tag, word) = match resp {
+        Response::Value(None) => (TAG_VALUE_NONE, None),
+        Response::Value(Some(v)) => (TAG_VALUE_SOME, Some(v)),
+        Response::Updated(None) => (TAG_UPDATED_NONE, None),
+        Response::Updated(Some(v)) => (TAG_UPDATED_SOME, Some(v)),
+        Response::Inserted(Ok(InsertOutcome::Inserted)) => (TAG_INSERTED, None),
+        Response::Inserted(Ok(InsertOutcome::AlreadyExists(v))) => (TAG_EXISTS, Some(v)),
+        Response::Inserted(Err(e)) => {
+            buf.push(TAG_INSERT_ERR);
+            buf.push(error_code(e));
+            return;
+        }
+        Response::Deleted(None) => (TAG_DELETED_NONE, None),
+        Response::Deleted(Some(v)) => (TAG_DELETED_SOME, Some(v)),
+        Response::Skipped => (TAG_SKIPPED, None),
+    };
+    buf.push(tag);
+    if let Some(v) = word {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decode one response body from the front of `bytes`, returning the
+/// response and how many bytes it occupied.
+pub fn decode_response_body(bytes: &[u8]) -> Result<(Response, usize), WireError> {
+    let tag = *bytes.first().ok_or(WireError::BadResponseTag(0xFF))?;
+    let word = |resp: fn(u64) -> Response| -> Result<(Response, usize), WireError> {
+        if bytes.len() < 9 {
+            return Err(WireError::BadPayload {
+                opcode: resp::RESP,
+                len: bytes.len(),
+            });
+        }
+        Ok((resp(read_u64(&bytes[1..])), 9))
+    };
+    match tag {
+        TAG_VALUE_NONE => Ok((Response::Value(None), 1)),
+        TAG_VALUE_SOME => word(|v| Response::Value(Some(v))),
+        TAG_UPDATED_NONE => Ok((Response::Updated(None), 1)),
+        TAG_UPDATED_SOME => word(|v| Response::Updated(Some(v))),
+        TAG_INSERTED => Ok((Response::Inserted(Ok(InsertOutcome::Inserted)), 1)),
+        TAG_EXISTS => word(|v| Response::Inserted(Ok(InsertOutcome::AlreadyExists(v)))),
+        TAG_INSERT_ERR => {
+            let code = *bytes.get(1).ok_or(WireError::BadPayload {
+                opcode: resp::RESP,
+                len: bytes.len(),
+            })?;
+            Ok((Response::Inserted(Err(decode_error(code)?)), 2))
+        }
+        TAG_DELETED_NONE => Ok((Response::Deleted(None), 1)),
+        TAG_DELETED_SOME => word(|v| Response::Deleted(Some(v))),
+        TAG_SKIPPED => Ok((Response::Skipped, 1)),
+        other => Err(WireError::BadResponseTag(other)),
+    }
+}
+
+/// Encoded length of one response body (tag + optional word / error code).
+pub fn response_body_len(resp: Response) -> usize {
+    match resp {
+        Response::Value(Some(_))
+        | Response::Updated(Some(_))
+        | Response::Inserted(Ok(InsertOutcome::AlreadyExists(_)))
+        | Response::Deleted(Some(_)) => 9,
+        Response::Inserted(Err(_)) => 2,
+        _ => 1,
+    }
+}
+
+/// Encode one `RESP` frame.
+pub fn encode_response(buf: &mut Vec<u8>, resp: Response) {
+    put_header(buf, resp::RESP, response_body_len(resp));
+    encode_response_body(buf, resp);
+}
+
+/// Decode a `RESP` payload (exactly one response body).
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let (r, used) = decode_response_body(payload)?;
+    if used != payload.len() {
+        return Err(WireError::BadPayload {
+            opcode: resp::RESP,
+            len: payload.len(),
+        });
+    }
+    Ok(r)
+}
+
+/// Encode a `RESP_BATCH` frame: count, then one response body per
+/// submission slot.
+pub fn encode_batch_responses(buf: &mut Vec<u8>, resps: &[Response]) {
+    let body: usize = 4 + resps.iter().map(|r| response_body_len(*r)).sum::<usize>();
+    put_header(buf, resp::RESP_BATCH, body);
+    buf.extend_from_slice(&(resps.len() as u32).to_le_bytes());
+    for r in resps {
+        encode_response_body(buf, *r);
+    }
+}
+
+/// Decode a `RESP_BATCH` payload, appending the responses to `out` in
+/// submission-slot order. Returns the response count.
+pub fn decode_batch_responses(payload: &[u8], out: &mut Vec<Response>) -> Result<u32, WireError> {
+    let bad = || WireError::BadPayload {
+        opcode: resp::RESP_BATCH,
+        len: payload.len(),
+    };
+    if payload.len() < 4 {
+        return Err(bad());
+    }
+    let count = u32::from_le_bytes(payload[..4].try_into().expect("length checked"));
+    // Every response body is at least one byte, so a count the payload
+    // cannot hold is malformed — validated *before* the count (an untrusted
+    // 4-byte field) sizes any allocation.
+    if count as usize > payload.len() - 4 {
+        return Err(bad());
+    }
+    let mut rest = &payload[4..];
+    out.reserve(count as usize);
+    for _ in 0..count {
+        let (r, used) = decode_response_body(rest)?;
+        out.push(r);
+        rest = &rest[used..];
+    }
+    if !rest.is_empty() {
+        return Err(bad());
+    }
+    Ok(count)
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// The typed statistics snapshot a `STATS` round trip carries: the table's
+/// structural [`TableStats`] plus the retired-index count — no string
+/// parsing on the caller side.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RemoteStats {
+    /// Structural statistics as reported by `KvBackend::stats()`.
+    pub table: TableStats,
+    /// Retired-but-unfreed index generations (`KvBackend::retired_indexes()`).
+    pub retired: u64,
+}
+
+/// `RESP_STATS` payload length: ten u64 fields plus the occupancy f64.
+pub const STATS_PAYLOAD_LEN: usize = 11 * 8;
+
+/// Encode a `RESP_STATS` frame from a stats snapshot.
+pub fn encode_stats(buf: &mut Vec<u8>, stats: &TableStats, retired: usize) {
+    put_header(buf, resp::RESP_STATS, STATS_PAYLOAD_LEN);
+    for v in [
+        stats.bins as u64,
+        stats.link_buckets as u64,
+        stats.links_used as u64,
+        stats.occupied_slots as u64,
+        stats.addressable_slots as u64,
+        stats.max_slots as u64,
+        stats.resizes,
+        stats.generation as u64,
+        stats.index_bytes as u64,
+        retired as u64,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.extend_from_slice(&stats.occupancy.to_le_bytes());
+}
+
+/// Decode a `RESP_STATS` payload.
+pub fn decode_stats(payload: &[u8]) -> Result<RemoteStats, WireError> {
+    if payload.len() != STATS_PAYLOAD_LEN {
+        return Err(WireError::BadPayload {
+            opcode: resp::RESP_STATS,
+            len: payload.len(),
+        });
+    }
+    let f = |i: usize| read_u64(&payload[i * 8..]);
+    Ok(RemoteStats {
+        table: TableStats {
+            bins: f(0) as usize,
+            link_buckets: f(1) as usize,
+            links_used: f(2) as usize,
+            occupied_slots: f(3) as usize,
+            addressable_slots: f(4) as usize,
+            max_slots: f(5) as usize,
+            resizes: f(6),
+            generation: f(7) as u32,
+            index_bytes: f(8) as usize,
+            occupancy: f64::from_le_bytes(payload[80..88].try_into().expect("length checked")),
+        },
+        retired: f(9),
+    })
+}
+
+/// Encode an empty-payload request frame (`STATS` / `LEN`).
+pub fn encode_empty(buf: &mut Vec<u8>, opcode: u8) {
+    put_header(buf, opcode, 0);
+}
+
+/// Encode a `RESP_LEN` frame.
+pub fn encode_len(buf: &mut Vec<u8>, len: u64) {
+    put_header(buf, resp::RESP_LEN, 8);
+    buf.extend_from_slice(&len.to_le_bytes());
+}
+
+/// Decode a `RESP_LEN` payload.
+pub fn decode_len(payload: &[u8]) -> Result<u64, WireError> {
+    if payload.len() != 8 {
+        return Err(WireError::BadPayload {
+            opcode: resp::RESP_LEN,
+            len: payload.len(),
+        });
+    }
+    Ok(read_u64(payload))
+}
+
+/// Encode an `ERR` frame for `err` (the server closes after sending it).
+pub fn encode_error_frame(buf: &mut Vec<u8>, err: &WireError) {
+    let msg = err.to_string();
+    let msg = &msg.as_bytes()[..msg.len().min(255)];
+    put_header(buf, resp::ERR, 1 + msg.len());
+    buf.push(err.code());
+    buf.extend_from_slice(msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let mut buf = Vec::new();
+        put_header(&mut buf, op::GET, 8);
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        let (frame, used) = decode_frame(&buf).unwrap().unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(frame.opcode, op::GET);
+        assert_eq!(frame.payload.len(), 8);
+    }
+
+    #[test]
+    fn incomplete_frames_ask_for_more() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, Request::Put(1, 2));
+        for cut in 0..buf.len() {
+            assert_eq!(
+                decode_frame(&buf[..cut]).unwrap(),
+                None,
+                "prefix of {cut} bytes must be incomplete, not an error"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_fail_before_the_full_header_arrives() {
+        assert_eq!(decode_frame(&[0x00]), Err(WireError::BadMagic(0x00)));
+        assert_eq!(decode_frame(&[MAGIC, 9]), Err(WireError::BadVersion(9)));
+        assert_eq!(
+            decode_frame(&[MAGIC, VERSION, op::GET, 7]),
+            Err(WireError::BadReserved(7))
+        );
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut buf = vec![MAGIC, VERSION, op::GET, 0];
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Oversized(u32::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn request_roundtrip_all_ops() {
+        for req in [
+            Request::Get(42),
+            Request::Put(1, 2),
+            Request::Insert(u64::MAX, 0),
+            Request::Delete(7),
+        ] {
+            let mut buf = Vec::new();
+            encode_request(&mut buf, req);
+            let (frame, used) = decode_frame(&buf).unwrap().unwrap();
+            assert_eq!(used, buf.len());
+            assert_eq!(decode_request(frame.opcode, frame.payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_with_policy() {
+        let reqs = [
+            Request::Insert(1, 10),
+            Request::Get(1),
+            Request::Put(1, 11),
+            Request::Delete(1),
+        ];
+        for policy in [
+            BatchPolicy::RunAll,
+            BatchPolicy::StopOnFailure,
+            BatchPolicy::Unordered,
+        ] {
+            let mut buf = Vec::new();
+            encode_batch(&mut buf, &reqs, policy);
+            let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+            assert_eq!(frame.opcode, op::BATCH);
+            let (p, count, items) = decode_batch_header(frame.payload).unwrap();
+            assert_eq!(p, policy);
+            assert_eq!(count, 4);
+            let mut iter = BatchIter::new(items, count);
+            let decoded: Vec<Request> = iter.by_ref().map(|r| r.unwrap()).collect();
+            assert_eq!(decoded, reqs);
+            iter.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_with_trailing_garbage_is_rejected() {
+        let mut buf = Vec::new();
+        encode_batch(&mut buf, &[Request::Get(1)], BatchPolicy::RunAll);
+        // Re-declare the frame with one extra payload byte.
+        let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+        let mut payload = frame.payload.to_vec();
+        payload.push(0xEE);
+        let (policy, count, items) = decode_batch_header(&payload).unwrap();
+        assert_eq!(policy, BatchPolicy::RunAll);
+        let mut iter = BatchIter::new(items, count);
+        assert!(iter.by_ref().all(|r| r.is_ok()));
+        assert_eq!(iter.finish(), Err(WireError::BadBatch));
+    }
+
+    #[test]
+    fn batch_declaring_one_more_item_than_payload_is_rejected() {
+        // Regression: count = items + 1 used to slip past finish() because
+        // `remaining` was decremented before the empty-payload check.
+        for present in 0..3usize {
+            let reqs: Vec<Request> = (0..present as u64).map(Request::Get).collect();
+            let mut buf = Vec::new();
+            encode_batch(&mut buf, &reqs, BatchPolicy::RunAll);
+            let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+            let (_, count, items) = decode_batch_header(frame.payload).unwrap();
+            let mut iter = BatchIter::new(items, count + 1); // lie by one
+            let decoded: Vec<_> = iter.by_ref().collect();
+            assert_eq!(decoded.len(), present + 1, "{present} present");
+            assert!(decoded[..present].iter().all(|r| r.is_ok()));
+            assert_eq!(decoded[present], Err(WireError::BadBatch));
+            assert_eq!(iter.finish(), Err(WireError::BadBatch), "{present} present");
+        }
+    }
+
+    #[test]
+    fn batch_response_count_cannot_outgrow_its_payload() {
+        // An untrusted count must be validated before it sizes allocations.
+        let mut buf = Vec::new();
+        put_header(&mut buf, resp::RESP_BATCH, 4);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+        let mut out = Vec::new();
+        assert!(decode_batch_responses(frame.payload, &mut out).is_err());
+        assert_eq!(out.capacity(), 0, "no allocation for a lying count");
+    }
+
+    #[test]
+    fn response_roundtrip_every_variant() {
+        let variants = [
+            Response::Value(None),
+            Response::Value(Some(7)),
+            Response::Updated(None),
+            Response::Updated(Some(u64::MAX)),
+            Response::Inserted(Ok(InsertOutcome::Inserted)),
+            Response::Inserted(Ok(InsertOutcome::AlreadyExists(3))),
+            Response::Inserted(Err(DlhtError::ReservedKey)),
+            Response::Inserted(Err(DlhtError::TableFull)),
+            Response::Inserted(Err(DlhtError::KeyTooLong)),
+            Response::Inserted(Err(DlhtError::InvalidNamespace)),
+            Response::Inserted(Err(DlhtError::UnsupportedInMode)),
+            Response::Deleted(None),
+            Response::Deleted(Some(0)),
+            Response::Skipped,
+        ];
+        for resp in variants {
+            let mut buf = Vec::new();
+            encode_response(&mut buf, resp);
+            let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+            assert_eq!(frame.opcode, super::resp::RESP);
+            assert_eq!(decode_response(frame.payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip_preserves_every_field() {
+        let stats = TableStats {
+            bins: 1024,
+            link_buckets: 128,
+            links_used: 7,
+            occupied_slots: 900,
+            addressable_slots: 3093,
+            max_slots: 3584,
+            occupancy: 0.251_953_125,
+            resizes: 3,
+            generation: 3,
+            index_bytes: 65536,
+        };
+        let mut buf = Vec::new();
+        encode_stats(&mut buf, &stats, 2);
+        let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+        let decoded = decode_stats(frame.payload).unwrap();
+        assert_eq!(decoded.table, stats);
+        assert_eq!(decoded.retired, 2);
+    }
+
+    #[test]
+    fn error_frames_carry_code_and_message() {
+        let mut buf = Vec::new();
+        encode_error_frame(&mut buf, &WireError::BadMagic(0x42));
+        let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+        assert_eq!(frame.opcode, resp::ERR);
+        assert_eq!(frame.payload[0], WireError::BadMagic(0x42).code());
+        assert!(std::str::from_utf8(&frame.payload[1..])
+            .unwrap()
+            .contains("magic"));
+    }
+}

@@ -53,7 +53,7 @@ pub mod ycsb;
 pub use hist::{LatencyHistogram, LatencySummary};
 pub use report::{fmt_mops, BenchScale, Table, Tier, DEFAULT_SEED};
 pub use rng::{KeySampler, SplitMix64, Xoshiro256};
-pub use runner::{prepopulate, run_workload, Mix, RunResult, WorkloadSpec};
+pub use runner::{prepopulate, prepopulate_batched, run_workload, Mix, RunResult, WorkloadSpec};
 
 #[cfg(test)]
 mod integration {

@@ -134,7 +134,7 @@ pub fn fmt_mops(mops: f64) -> String {
 /// explicit `DLHT_KEYS`/`DLHT_THREADS`/`DLHT_SECS` still override it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Tier {
-    /// CI-sized: small key counts and short points, the whole 22-scenario
+    /// CI-sized: small key counts and short points, the whole 23-scenario
     /// suite completes in about a minute. Catches wiring regressions and
     /// produces a comparable (if noisy) perf trajectory.
     Smoke,

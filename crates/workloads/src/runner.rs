@@ -206,6 +206,24 @@ pub fn prepopulate(map: &dyn KvBackend, n: u64) {
     }
 }
 
+/// [`prepopulate`] through the batch path, `chunk` inserts per
+/// `execute_batch` call. Same final contents; essential for remote backends
+/// (`dlht-net`'s `--server` mode), where each batch is one network round
+/// trip instead of `n` of them.
+pub fn prepopulate_batched(map: &dyn KvBackend, n: u64, chunk: usize) {
+    let chunk = (chunk.max(1) as u64).min(n.max(1));
+    let mut batch = Batch::with_capacity(chunk as usize);
+    let mut k = 0u64;
+    while k < n {
+        batch.clear();
+        while k < n && (batch.len() as u64) < chunk {
+            batch.push_insert(k, k);
+            k += 1;
+        }
+        map.execute(&mut batch, BatchPolicy::RunAll);
+    }
+}
+
 /// Busy-wait for approximately `ns` nanoseconds (remote-memory emulation).
 #[inline]
 fn spin_ns(ns: u64) {
@@ -375,6 +393,25 @@ mod tests {
             threads: 2,
             ..spec
         }
+    }
+
+    #[test]
+    fn prepopulate_batched_matches_prepopulate() {
+        let a = MapKind::Dlht.build(10_000);
+        let b = MapKind::Dlht.build(10_000);
+        prepopulate(a.as_ref(), 1_000);
+        prepopulate_batched(b.as_ref(), 1_000, 128);
+        assert_eq!(a.len(), b.len());
+        for k in 0..1_000u64 {
+            assert_eq!(a.get(k), b.get(k), "key {k}");
+        }
+        // Chunk edge cases: zero chunk clamps to 1, chunk > n finishes.
+        let c = MapKind::Dlht.build(256);
+        prepopulate_batched(c.as_ref(), 10, 0);
+        assert_eq!(c.len(), 10);
+        let d = MapKind::Dlht.build(256);
+        prepopulate_batched(d.as_ref(), 10, 64);
+        assert_eq!(d.len(), 10);
     }
 
     #[test]

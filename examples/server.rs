@@ -1,0 +1,72 @@
+//! Serve a sharded DLHT over TCP with the `dlht-net` wire protocol.
+//!
+//! ```text
+//! cargo run --release --example server                     # self-demo, exits
+//! cargo run --release --example server -- --addr 127.0.0.1:4455   # serve until Ctrl-C
+//! ```
+//!
+//! With `--addr` the server runs until the process is killed (pair it with
+//! `--example client`); without arguments it binds an ephemeral port, runs
+//! an in-process client demo, prints the counters, and shuts down
+//! gracefully — the whole connection → `ShardedSession` → `Batch` →
+//! `ShardedTable` path in one run.
+
+use dlht::{KvBackend, ShardedTable};
+use dlht_net::{DlhtClient, DlhtServer};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = dlht_net::flag_value(&args, "--addr");
+
+    let table = Arc::new(ShardedTable::with_capacity(4, 100_000));
+    let serve_forever = addr.is_some();
+    let server = DlhtServer::bind(addr.as_deref().unwrap_or("127.0.0.1:0"), table.clone())
+        .expect("bind dlht-net server");
+    println!(
+        "serving on {} ({} shards)",
+        server.local_addr(),
+        table.num_shards()
+    );
+
+    if serve_forever {
+        println!("press Ctrl-C to stop");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(5));
+            let c = server.counters();
+            println!(
+                "connections={} active={} ops={} batches={} keys={}",
+                c.connections,
+                c.active,
+                c.ops,
+                c.batches,
+                table.len()
+            );
+        }
+    }
+
+    // Self-demo: a real TCP client against our own server.
+    let mut client = DlhtClient::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+    for k in 0..1_000u64 {
+        assert!(client.insert(k, k * 10).expect("insert").inserted());
+    }
+    let reqs: Vec<dlht::Request> = (0..1_000).map(dlht::Request::Get).collect();
+    let hits = client
+        .pipelined(&reqs)
+        .expect("pipelined gets")
+        .iter()
+        .filter(|r| r.succeeded())
+        .count();
+    let stats = client.stats().expect("stats");
+    println!(
+        "demo: {hits}/1000 pipelined GET hits; server holds {} keys at {:.0}% occupancy",
+        client.server_len().expect("len"),
+        stats.table.occupancy * 100.0
+    );
+    let counters = server.shutdown();
+    println!(
+        "shutdown: served {} ops in {} batches over {} connection(s)",
+        counters.ops, counters.batches, counters.connections
+    );
+}

@@ -9,6 +9,12 @@
 //! has no pure Put, DRAMHiT's Put silently inserts, open-addressing designs
 //! reject their sentinel keys — are probed up front, not hard-coded.
 //!
+//! The same sequences also replay **through the wire**: the `dlht-net`
+//! loopback transport serves each backend behind the binary protocol
+//! (singles, pipelined plain frames, and `BATCH` frames under all three
+//! `BatchPolicy` values), so the oracle validates the encode → decode →
+//! batch-execute → encode path too.
+//!
 //! `DLHT_STRESS=1` (or any positive integer) multiplies the seed count; the
 //! CI stress step runs these suites that way.
 
@@ -378,6 +384,84 @@ fn differential_singles_and_batches_all_backends() {
         for (name, map) in all_backends() {
             let _ = &name;
             differential_run(map.as_ref(), seed, 300);
+        }
+    }
+}
+
+#[test]
+fn differential_loopback_wire_backends() {
+    // The same oracle, but every backend is served **through the wire**: the
+    // dlht-net loopback transport encodes every operation into frames, the
+    // server-side Service decodes and executes them, and the response frames
+    // decode back — so the whole protocol path (singles, one-shot batches
+    // under all three BatchPolicy values, upserts, reserved keys) is
+    // validated against the BTreeMap model. `name()` passes through, so the
+    // capability probing treats each wrapped table like the bare one.
+    let seeds = 2 * stress();
+    for seed in 0..seeds {
+        for (name, map) in all_backends() {
+            let _ = &name;
+            let wire = dlht_net::LoopbackBackend::new(std::sync::Arc::from(map));
+            differential_run(&wire, seed, 250);
+        }
+    }
+}
+
+#[test]
+fn differential_loopback_pipelined_singles() {
+    // RunAll batches travel as pipelined plain frames (the server drains
+    // them into one prefetched batch — wire pipelining ≙ batching); policies
+    // needing the envelope still use BATCH frames. Same oracle either way.
+    let seeds = stress();
+    for seed in 0..seeds {
+        for (name, map) in all_backends() {
+            let _ = &name;
+            let wire = dlht_net::LoopbackBackend::with_pipelined_singles(std::sync::Arc::from(map));
+            differential_run(&wire, seed ^ 0x5151, 250);
+        }
+    }
+}
+
+#[test]
+fn differential_pipeline_over_the_wire() {
+    // The generic prefetch Pipeline driving a loopback-served backend: every
+    // flush becomes a pipelined wire window. Depths beyond the flush chunk
+    // exercise multi-frame drains.
+    for depth in [1usize, 4, 16] {
+        for (caps_probe_name, map) in all_backends() {
+            let wire = dlht_net::LoopbackBackend::new(std::sync::Arc::from(map));
+            let caps = probe_caps(&wire);
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut rng = 0x00C0_FFEE ^ ((depth as u64) << 40);
+            let mut submitted: Vec<Request> = Vec::new();
+            let mut responses: Vec<Response> = Vec::new();
+            {
+                let mut pipe = Pipeline::new(&wire, depth);
+                for step in 0..100u64 {
+                    let req = if caps.ordered {
+                        random_request(&mut rng)
+                    } else {
+                        random_request_on(step % UNIVERSE, &mut rng)
+                    };
+                    submitted.push(req);
+                    if let Some(r) = pipe.submit(req) {
+                        responses.push(r);
+                    }
+                }
+                pipe.drain_into(&mut responses);
+            }
+            assert_eq!(responses.len(), submitted.len(), "{caps_probe_name}");
+            for (step, (req, resp)) in submitted.iter().zip(&responses).enumerate() {
+                let ctx = format!("{caps_probe_name} wire-pipeline depth {depth} step {step}");
+                check_response(&mut model, &caps, *req, *resp, &ctx);
+            }
+            for k in (0..UNIVERSE).chain(SPECIAL_KEYS) {
+                assert_eq!(
+                    wire.get(k),
+                    model.get(&k).copied(),
+                    "{caps_probe_name} depth {depth}: final state diverged at key {k:#x}"
+                );
+            }
         }
     }
 }
