@@ -17,6 +17,8 @@
 //! every Insert of an out-of-line key/value allocates through it and every
 //! Delete eventually releases through it (via the epoch GC).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod pool;
 mod system;
 
@@ -98,8 +100,12 @@ impl<A: ValueAllocator> ValueAllocator for CountingAllocator<A> {
         self.inner.alloc(size)
     }
 
+    // SAFETY: pure forwarding wrapper — the caller's obligations on `ptr` and
+    // `size` are exactly the inner allocator's.
     unsafe fn dealloc(&self, ptr: *mut u8, size: usize) {
         self.deallocs.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `alloc` forwards to `inner.alloc`, so a pointer the caller
+        // got from us came from `inner` with the same size.
         unsafe { self.inner.dealloc(ptr, size) }
     }
 
@@ -114,7 +120,10 @@ impl<A: ValueAllocator + ?Sized> ValueAllocator for Arc<A> {
         (**self).alloc(size)
     }
 
+    // SAFETY: pure forwarding wrapper — `Arc` adds sharing, not new invariants.
     unsafe fn dealloc(&self, ptr: *mut u8, size: usize) {
+        // SAFETY: `alloc` forwards to the inner allocator, so the caller's
+        // pointer/size contract transfers unchanged.
         unsafe { (**self).dealloc(ptr, size) }
     }
 
@@ -164,10 +173,13 @@ mod tests {
             assert!(!p.is_null());
             assert_eq!(p as usize % VALUE_ALIGN, 0, "misaligned for size {s}");
             // Touch the whole allocation to catch undersized slabs.
+            // SAFETY: `p` was just returned by `alloc(s)`, so `s` bytes are
+            // writable.
             unsafe { std::ptr::write_bytes(p, 0xAB, s) };
             ptrs.push((p, s));
         }
         for (p, s) in ptrs {
+            // SAFETY: each pointer came from `a.alloc(s)` and is freed once.
             unsafe { a.dealloc(p, s) };
         }
     }
@@ -190,6 +202,7 @@ mod tests {
         assert_eq!(a.allocs(), 2);
         assert_eq!(a.bytes(), 192);
         assert_eq!(a.live(), 2);
+        // SAFETY: both pointers came from `a.alloc` with the same sizes.
         unsafe {
             a.dealloc(p1, 64);
             a.dealloc(p2, 128);
@@ -204,8 +217,10 @@ mod tests {
         let sys = AllocatorKind::System.build();
         assert_ne!(pool.name(), sys.name());
         let p = pool.alloc(40);
+        // SAFETY: `p` came from `pool.alloc(40)`.
         unsafe { pool.dealloc(p, 40) };
         let p = sys.alloc(40);
+        // SAFETY: `p` came from `sys.alloc(40)`.
         unsafe { sys.dealloc(p, 40) };
     }
 }

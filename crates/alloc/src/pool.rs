@@ -41,8 +41,8 @@ struct ClassState {
     remaining: usize,
 }
 
-// Raw pointers are only handed out under the shard lock; the blocks they point
-// to are plain memory.
+// SAFETY: the raw pointers are plain byte blocks carved from slabs — they own
+// no thread-affine state, and they are only touched under the shard lock.
 unsafe impl Send for ClassState {}
 
 impl ClassState {
@@ -77,8 +77,11 @@ pub struct PoolAllocator {
     fallback_allocs: AtomicU64,
 }
 
-// All shared state is behind Mutexes / atomics.
+// SAFETY: every field is either an atomic counter or a Mutex-guarded
+// structure; the raw slab pointers inside are only read/written under those
+// locks, so the type is safe to move and share across threads.
 unsafe impl Send for PoolAllocator {}
+// SAFETY: as above — all mutation happens behind Mutexes or atomics.
 unsafe impl Sync for PoolAllocator {}
 
 impl Default for PoolAllocator {
@@ -175,6 +178,9 @@ impl ValueAllocator for PoolAllocator {
         ptr
     }
 
+    // SAFETY: pooled blocks are recycled onto a free list (no memory is
+    // touched through `ptr`); oversized blocks forward to the backing
+    // allocator they came from.
     unsafe fn dealloc(&self, ptr: *mut u8, size: usize) {
         let Some(class_idx) = Self::class_of(size) else {
             // SAFETY: oversized allocations came from the backing allocator.
@@ -221,10 +227,12 @@ mod tests {
     fn blocks_are_recycled() {
         let pool = PoolAllocator::new();
         let p1 = pool.alloc(100);
+        // SAFETY: `p1` came from `pool.alloc(100)` and is not used after.
         unsafe { pool.dealloc(p1, 100) };
         // Same size class from the same thread should reuse the block.
         let p2 = pool.alloc(120);
         assert_eq!(p1, p2);
+        // SAFETY: `p2` came from `pool.alloc(120)` and is not used after.
         unsafe { pool.dealloc(p2, 120) };
     }
 
@@ -232,7 +240,10 @@ mod tests {
     fn oversized_requests_fall_back() {
         let pool = PoolAllocator::new();
         let p = pool.alloc(1 << 20);
+        // SAFETY: `p` was just returned by `alloc(1 << 20)`, so the whole
+        // range is writable; it is freed once with the same size.
         unsafe { std::ptr::write_bytes(p, 1, 1 << 20) };
+        // SAFETY: see above.
         unsafe { pool.dealloc(p, 1 << 20) };
         assert_eq!(pool.fallback_allocs(), 1);
     }
@@ -240,11 +251,13 @@ mod tests {
     #[test]
     fn many_small_allocations_do_not_overlap() {
         let pool = PoolAllocator::new();
-        let mut ptrs: Vec<*mut u8> = (0..10_000).map(|_| pool.alloc(24)).collect();
+        let count = dlht_util::miri_scaled(10_000) as usize;
+        let mut ptrs: Vec<*mut u8> = (0..count).map(|_| pool.alloc(24)).collect();
         ptrs.sort_unstable();
         ptrs.dedup();
-        assert_eq!(ptrs.len(), 10_000, "duplicate pointers handed out");
+        assert_eq!(ptrs.len(), count, "duplicate pointers handed out");
         for p in ptrs {
+            // SAFETY: each pointer came from `pool.alloc(24)`, freed once.
             unsafe { pool.dealloc(p, 24) };
         }
     }
@@ -253,27 +266,32 @@ mod tests {
     fn concurrent_alloc_dealloc() {
         use std::sync::Arc;
         let pool = Arc::new(PoolAllocator::new());
+        let iters = dlht_util::miri_scaled(2_000) as usize;
         std::thread::scope(|s| {
             for t in 0..4 {
                 let pool = Arc::clone(&pool);
                 s.spawn(move || {
                     let mut live = Vec::new();
-                    for i in 0..2_000usize {
+                    for i in 0..iters {
                         let size = 16 + ((i * 7 + t) % 200);
                         let p = pool.alloc(size);
+                        // SAFETY: `p` was just returned by `alloc(size)`.
                         unsafe { std::ptr::write_bytes(p, i as u8, size) };
                         live.push((p, size));
                         if i % 3 == 0 {
                             let (p, s) = live.swap_remove(i % live.len());
+                            // SAFETY: `(p, s)` was removed from `live`, so it
+                            // is freed exactly once with its alloc size.
                             unsafe { pool.dealloc(p, s) };
                         }
                     }
                     for (p, s) in live {
+                        // SAFETY: remaining live blocks, each freed once.
                         unsafe { pool.dealloc(p, s) };
                     }
                 });
             }
         });
-        assert!(pool.pooled_allocs() >= 8_000);
+        assert!(pool.pooled_allocs() >= (4 * iters) as u64);
     }
 }

@@ -33,6 +33,8 @@ impl ValueAllocator for SystemAllocator {
         ptr
     }
 
+    // SAFETY: `Self::layout` is deterministic, so the layout passed here is
+    // byte-for-byte the one `alloc` used for this pointer.
     unsafe fn dealloc(&self, ptr: *mut u8, size: usize) {
         // SAFETY: caller contract — ptr came from `alloc(size)` above.
         unsafe { dealloc(ptr, Self::layout(size)) }
@@ -52,6 +54,7 @@ mod tests {
         let a = SystemAllocator::new();
         let p = a.alloc(0);
         assert!(!p.is_null());
+        // SAFETY: `p` came from `a.alloc(0)` and is freed once.
         unsafe { a.dealloc(p, 0) };
     }
 
@@ -61,6 +64,7 @@ mod tests {
         for size in [1, 7, 16, 33, 1000] {
             let p = a.alloc(size);
             assert_eq!(p as usize % VALUE_ALIGN, 0);
+            // SAFETY: `p` came from `a.alloc(size)` and is freed once.
             unsafe { a.dealloc(p, size) };
         }
     }

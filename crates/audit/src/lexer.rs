@@ -1,0 +1,348 @@
+//! A small hand-rolled Rust *line lexer*.
+//!
+//! The audit rules do not need a full token tree — they need to know, for
+//! every source line, (a) what the line's code looks like **with comments
+//! removed and literal contents blanked**, and (b) what comment text the line
+//! carries. Everything else (finding `unsafe`, matching parentheses, counting
+//! braces) is plain string scanning over the sanitized code, which is immune
+//! to `unsafe` appearing inside a string or a doc comment.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments
+//! (`/* /* */ */`, `/** .. */`), string literals with escapes, raw strings
+//! with up to 255 `#`s (`r#"..."#`, `br##"..."##`), byte strings, char and
+//! byte-char literals (escapes included), and lifetimes (`'a` is *not* a char
+//! literal). Literal contents are replaced by spaces but the delimiters are
+//! kept, so column positions and paren/brace balance survive sanitization.
+
+/// One source line after lexing.
+#[derive(Debug, Clone, Default)]
+pub struct LexedLine {
+    /// The line with comments stripped and string/char contents blanked.
+    pub code: String,
+    /// Concatenated text of every comment that touches this line (including
+    /// the interior lines of a block comment).
+    pub comment: String,
+}
+
+/// A whole file after lexing.
+#[derive(Debug, Clone, Default)]
+pub struct LexedFile {
+    pub lines: Vec<LexedLine>,
+}
+
+impl LexedFile {
+    /// Sanitized code of line `i` (0-based), or `""` past the end.
+    pub fn code(&self, i: usize) -> &str {
+        self.lines.get(i).map(|l| l.code.as_str()).unwrap_or("")
+    }
+
+    /// Comment text of line `i` (0-based), or `""` past the end.
+    pub fn comment(&self, i: usize) -> &str {
+        self.lines.get(i).map(|l| l.comment.as_str()).unwrap_or("")
+    }
+}
+
+/// Lexer state that can span line boundaries.
+enum Mode {
+    Code,
+    /// Inside a block comment at the given nesting depth.
+    Block(u32),
+    /// Inside a regular string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` followed by `hashes` `#`s.
+    RawStr {
+        hashes: u32,
+    },
+}
+
+/// Lex `source` into per-line sanitized code + comment text.
+pub fn lex(source: &str) -> LexedFile {
+    let mut out = LexedFile::default();
+    let mut mode = Mode::Code;
+
+    for raw_line in source.split('\n') {
+        let bytes: Vec<char> = raw_line.chars().collect();
+        let mut code = String::with_capacity(raw_line.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+
+        while i < bytes.len() {
+            match mode {
+                Mode::Block(depth) => {
+                    if starts(&bytes, i, "*/") {
+                        comment.push_str("*/");
+                        i += 2;
+                        if depth == 1 {
+                            mode = Mode::Code;
+                        } else {
+                            mode = Mode::Block(depth - 1);
+                        }
+                    } else if starts(&bytes, i, "/*") {
+                        comment.push_str("/*");
+                        i += 2;
+                        mode = Mode::Block(depth + 1);
+                    } else {
+                        comment.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if bytes[i] == '\\' {
+                        // Escape: blank the escape and what it escapes. A
+                        // trailing `\` continues the string on the next line.
+                        code.push(' ');
+                        if i + 1 < bytes.len() {
+                            code.push(' ');
+                        }
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        code.push('"');
+                        i += 1;
+                        mode = Mode::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr { hashes } => {
+                    if bytes[i] == '"' && has_hashes(&bytes, i + 1, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    let c = bytes[i];
+                    if starts(&bytes, i, "//") {
+                        // Line comment: the rest of the line is comment text.
+                        comment.push_str(&bytes[i..].iter().collect::<String>());
+                        i = bytes.len();
+                    } else if starts(&bytes, i, "/*") {
+                        comment.push_str("/*");
+                        i += 2;
+                        mode = Mode::Block(1);
+                    } else if c == '"' {
+                        code.push('"');
+                        i += 1;
+                        mode = Mode::Str;
+                    } else if let Some(h) = raw_string_start(&bytes, i) {
+                        // r"..." / r#"..."# / br#"..."# — emit the prefix.
+                        let prefix_len = raw_prefix_len(&bytes, i, h);
+                        for _ in 0..prefix_len {
+                            code.push(bytes[i]);
+                            i += 1;
+                        }
+                        mode = Mode::RawStr { hashes: h };
+                    } else if c == '\'' && !prev_is_ident(&code) {
+                        // Char literal or lifetime. `'a` (lifetime) keeps only
+                        // the quote; `'a'`, `'\n'`, `'\u{1F600}'` are blanked.
+                        if let Some(end) = char_literal_end(&bytes, i) {
+                            code.push('\'');
+                            for _ in i + 1..end {
+                                code.push(' ');
+                            }
+                            code.push('\'');
+                            i = end + 1;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        // A line comment never spans lines; block comments / strings keep
+        // their mode for the next line.
+        out.lines.push(LexedLine { code, comment });
+    }
+    out
+}
+
+fn starts(bytes: &[char], i: usize, pat: &str) -> bool {
+    let pat: Vec<char> = pat.chars().collect();
+    bytes.len() >= i + pat.len() && bytes[i..i + pat.len()] == pat[..]
+}
+
+fn has_hashes(bytes: &[char], i: usize, n: u32) -> bool {
+    let n = n as usize;
+    bytes.len() >= i + n && bytes[i..i + n].iter().all(|&c| c == '#')
+}
+
+/// If a raw-string literal (`r"`, `r#"`, `br##"`, ...) starts at `i`, return
+/// the number of `#`s; the previous character must not be part of an
+/// identifier (so `var` ending in `r` followed by `"x"` is not a raw string).
+fn raw_string_start(bytes: &[char], i: usize) -> Option<u32> {
+    if i > 0 && is_ident_char(bytes[i - 1]) {
+        return None;
+    }
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') && hashes < 255 {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Length of the `r##"`-style prefix (including the opening quote).
+fn raw_prefix_len(bytes: &[char], i: usize, hashes: u32) -> usize {
+    let b = usize::from(bytes.get(i) == Some(&'b'));
+    b + 1 + hashes as usize + 1
+}
+
+/// If a char (or byte-char) literal starts at the `'` at position `i`, return
+/// the index of its closing `'`. Returns `None` for lifetimes.
+fn char_literal_end(bytes: &[char], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == '\\' {
+        // Escaped char: position i+2 is the escape body's first character
+        // (which may itself be `'` as in `'\''`), so the closing quote is the
+        // first `'` at or after i+3 (covers `\n`, `\\`, `\x41`, `\u{..}`).
+        let mut j = i + 3;
+        while j < bytes.len() {
+            if bytes[j] == '\'' {
+                return Some(j);
+            }
+            j += 1;
+        }
+        None
+    } else if next == '\'' {
+        // `''` is not a valid literal; treat as two quotes.
+        None
+    } else if bytes.get(i + 2) == Some(&'\'') {
+        Some(i + 2)
+    } else {
+        // `'static`, `'a` — a lifetime.
+        None
+    }
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    // `b'x'` byte-char: the `b` prefix is an identifier char but the literal
+    // is still a char literal; only suppress for longer identifiers.
+    let mut it = code.chars().rev();
+    match it.next() {
+        Some(c) if is_ident_char(c) => c != 'b' || it.next().map(is_ident_char).unwrap_or(false),
+        _ => false,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let f = lex("let x = 1; // unsafe in a comment");
+        assert_eq!(f.code(0).trim_end(), "let x = 1;");
+        assert!(f.comment(0).contains("unsafe in a comment"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let f = lex("/// # Safety\n/// must be valid\npub unsafe fn f() {}");
+        assert!(f.comment(0).contains("# Safety"));
+        assert!(f.code(0).trim().is_empty());
+        assert!(f.code(2).contains("unsafe fn f"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = lex("a /* one /* two */ still */ b\nc /* open\nunsafe { }\n*/ d");
+        assert_eq!(f.code(0).replace(' ', ""), "ab");
+        assert!(f.comment(0).contains("two"));
+        assert_eq!(f.code(1).trim_end(), "c");
+        assert!(
+            f.code(2).trim().is_empty(),
+            "code inside comment is blanked"
+        );
+        assert!(f.comment(2).contains("unsafe"));
+        assert_eq!(f.code(3).replace(' ', ""), "d");
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_structure_kept() {
+        let f = lex(r#"call("unsafe { } // not a comment", x);"#);
+        assert!(!f.code(0).contains("unsafe"));
+        assert!(f.comment(0).is_empty());
+        assert!(f.code(0).contains("call(\""));
+        assert!(f.code(0).ends_with(", x);"));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_string() {
+        let f = lex(r#"let s = "a\"unsafe\""; let t = 2;"#);
+        assert!(!f.code(0).contains("unsafe"));
+        assert!(f.code(0).contains("let t = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let f = lex(r##"let s = r#"unsafe { "quoted" }"#; tail();"##);
+        assert!(!f.code(0).contains("unsafe"));
+        assert!(f.code(0).contains("tail();"));
+    }
+
+    #[test]
+    fn multi_line_strings_blank_every_line() {
+        let f = lex("let s = \"line one\nunsafe {\n}\"; after();");
+        assert!(!f.code(1).contains("unsafe"));
+        assert!(f.code(2).contains("after();"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let f = lex("let c = '{'; let l: &'static str = x; let e = '\\'';");
+        // The brace inside the char literal must be blanked...
+        assert!(!f.code(0).contains('{'));
+        // ...but the lifetime must not swallow `static str`.
+        assert!(f.code(0).contains("static str"));
+        assert!(f.code(0).contains("let e ="));
+    }
+
+    #[test]
+    fn byte_char_and_byte_string() {
+        let f = lex(r#"let a = b'{'; let b = b"unsafe"; done();"#);
+        assert!(!f.code(0).contains('{'));
+        assert!(!f.code(0).contains("unsafe"));
+        assert!(f.code(0).contains("done();"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let f = lex(r#"let var = "x"; more();"#);
+        assert!(f.code(0).contains("more();"));
+    }
+
+    #[test]
+    fn trailing_backslash_continues_string() {
+        let f = lex("let s = \"abc\\\ndef\"; after();");
+        assert!(f.code(1).contains("after();"));
+        assert!(!f.code(1).contains("def"));
+    }
+}

@@ -1,0 +1,110 @@
+//! # dlht-audit
+//!
+//! A dependency-free, source-level static analyzer that machine-checks the
+//! repository's `unsafe`/atomics discipline (see `docs/CORRECTNESS.md`):
+//!
+//! * every `unsafe` site carries a `// SAFETY:` justification,
+//! * every atomic operation names its `Ordering` at the call site,
+//! * `SeqCst` only appears with an `// ORDERING:` rationale,
+//! * `transmute` / `static mut` / `#[allow]` only with an `// AUDIT:` tag,
+//! * every crate root carries the agreed lint header.
+//!
+//! The analyzer is built on a small hand-rolled lexer ([`lexer`]) rather than
+//! `syn` — the repository builds fully offline — and is wired into CI (the
+//! `audit` job) and into `cargo test` (the `workspace_clean` integration test
+//! re-audits the whole workspace on every run).
+//!
+//! Run it directly with `cargo run -p dlht-audit` from the workspace root; it
+//! exits non-zero when any finding is reported.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_file, check_source, FileKind, Finding, Rule};
+
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into while walking a workspace.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "benchmarks"];
+
+/// Classify `path` (relative to the workspace root) for rule strictness.
+pub fn classify(path: &Path) -> FileKind {
+    let s = path.to_string_lossy().replace('\\', "/");
+    if s.ends_with("src/lib.rs") {
+        FileKind::CrateRoot
+    } else if s
+        .split('/')
+        .any(|c| c == "tests" || c == "examples" || c == "benches")
+    {
+        FileKind::Test
+    } else {
+        FileKind::Normal
+    }
+}
+
+/// Recursively collect every `.rs` file under `root`, skipping `SKIP_DIRS`.
+pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Audit the workspace rooted at `root`. Returns every finding, sorted by
+/// file and line. Paths in findings are reported relative to `root`.
+pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in collect_rust_files(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let source = std::fs::read_to_string(&path)?;
+        let lexed = lexer::lex(&source);
+        findings.extend(check_file(
+            &rel.to_string_lossy().replace('\\', "/"),
+            &lexed,
+            classify(&rel),
+        ));
+    }
+    findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(
+            classify(Path::new("crates/core/src/lib.rs")),
+            FileKind::CrateRoot
+        );
+        assert_eq!(classify(Path::new("src/lib.rs")), FileKind::CrateRoot);
+        assert_eq!(
+            classify(Path::new("crates/core/src/table.rs")),
+            FileKind::Normal
+        );
+        assert_eq!(classify(Path::new("tests/zero_alloc.rs")), FileKind::Test);
+        assert_eq!(
+            classify(Path::new("crates/epoch/tests/drop_count.rs")),
+            FileKind::Test
+        );
+        assert_eq!(classify(Path::new("examples/sharded.rs")), FileKind::Test);
+    }
+}

@@ -1,0 +1,47 @@
+//! `dlht_audit` — run the unsafe/atomics audit over the workspace.
+//!
+//! ```text
+//! dlht_audit [ROOT]     # default ROOT: the current directory
+//! ```
+//!
+//! Prints one `file:line: [rule] message` diagnostic per finding and exits
+//! with status 1 if there were any (0 when clean, 2 on usage/IO errors).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: dlht_audit [ROOT]\n\nAudits every .rs file under ROOT (default: .) for the\nunsafe/atomics rules described in docs/CORRECTNESS.md.");
+        return ExitCode::from(2);
+    }
+    let root = PathBuf::from(args.first().map(String::as_str).unwrap_or("."));
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "dlht_audit: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    match dlht_audit::audit_workspace(&root) {
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                eprintln!("dlht_audit: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("dlht_audit: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("dlht_audit: IO error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! The self-gate: re-audit the whole workspace on every `cargo test` run.
+//!
+//! This is what turns `dlht_audit` from a CI convenience into an invariant:
+//! a PR cannot land an unjustified `unsafe` block, an implicit atomic
+//! ordering, or a stray `SeqCst` without this test going red.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/audit -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/audit has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let findings = dlht_audit::audit_workspace(&root).expect("audit IO");
+    if !findings.is_empty() {
+        let mut msg = format!("{} audit finding(s):\n", findings.len());
+        for f in &findings {
+            msg.push_str(&format!("  {f}\n"));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn a_planted_violation_is_caught() {
+    // The acceptance fixture: a deliberately bad file must produce findings
+    // (i.e. the binary would exit non-zero on a workspace containing it).
+    let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    let findings =
+        dlht_audit::check_source("crates/x/src/planted.rs", bad, dlht_audit::FileKind::Normal);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == dlht_audit::Rule::UnsafeNeedsSafety),
+        "planted violation was not caught: {findings:?}"
+    );
+}

@@ -21,6 +21,8 @@
 //! prefetching properties that Table 1 attributes to the original, which is
 //! what drives the performance comparison in §5.
 
+#![forbid(unsafe_code)]
+
 mod clht;
 mod cuckoo;
 mod dlht_adapter;

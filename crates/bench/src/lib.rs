@@ -28,6 +28,8 @@
 //! assert_eq!(fig3.figure, "Figure 3");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod scenario;
 

@@ -184,6 +184,9 @@ impl DlhtAllocMap {
     /// `ptr` must point to a live record written by [`Self::write_record`]
     /// with the same configuration.
     unsafe fn read_record<'a>(&self, ptr: *const u8) -> (&'a [u8], &'a [u8]) {
+        // SAFETY: caller contract — `ptr` is a live record laid out by
+        // `write_record` under the same configuration, so the header (in
+        // variable mode) and the key/value ranges are all in bounds.
         unsafe {
             if self.config().variable_size {
                 let header = &*(ptr as *const VarHeader);
@@ -338,7 +341,10 @@ impl AllocSession<'_> {
         if !exact && rec_key != key {
             return None;
         }
+        // SAFETY: `rec_val` was sliced out of the record at `ptr`, so both
+        // pointers are in the same allocation and the offset is in bounds.
         let offset = unsafe { rec_val.as_ptr().offset_from(ptr) } as usize;
+        // SAFETY: as above — `ptr + offset` is the value's start, in bounds.
         Some((unsafe { ptr.add(offset) }, rec_val.len()))
     }
 

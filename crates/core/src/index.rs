@@ -229,6 +229,12 @@ impl Index {
         self.num_chunks
     }
 
+    /// Chunks recorded as fully transferred so far (for the invariant sweep).
+    #[inline]
+    pub fn chunks_done(&self) -> usize {
+        self.chunks_done.load(Ordering::Acquire)
+    }
+
     // ----- statistics ----------------------------------------------------------
 
     /// Number of Valid or Shadow slots (linear scan; intended for stats, not

@@ -67,6 +67,8 @@
 //! Keys `u64::MAX` and `u64::MAX - 1` are reserved as the resize protocol's
 //! transfer keys and are rejected by the API.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod atomic128;
 pub mod batch;
 pub mod bucket;

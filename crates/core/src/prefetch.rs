@@ -12,7 +12,9 @@
 /// algorithms remain correct, only the latency-hiding benefit disappears).
 #[inline(always)]
 pub fn prefetch_read<T>(ptr: *const T) {
-    #[cfg(target_arch = "x86_64")]
+    // Miri has no model for prefetch hints (and would reject the possibly
+    // dangling pointer), so the intrinsic is compiled out under it.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         // SAFETY: prefetch is a hint; it never faults, even on invalid
         // addresses, and has no architectural side effects.
@@ -20,7 +22,7 @@ pub fn prefetch_read<T>(ptr: *const T) {
             std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8)
         }
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
     {
         let _ = ptr;
     }
@@ -30,15 +32,17 @@ pub fn prefetch_read<T>(ptr: *const T) {
 /// `ptr` (used for bins about to be CASed by Inserts/Deletes in a batch).
 #[inline(always)]
 pub fn prefetch_write<T>(ptr: *const T) {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         // _MM_HINT_ET0 is not exposed on stable; T0 into L1 is the closest
         // hint and what the reference implementations use in practice.
+        // SAFETY: prefetch is a hint; it never faults, even on invalid
+        // addresses, and has no architectural side effects.
         unsafe {
             std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8)
         }
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
     {
         let _ = ptr;
     }

@@ -102,26 +102,37 @@ impl ThreadRegistry {
     /// resizer's scan (hazard-pointer style).
     #[inline]
     pub fn announce(&self, slot: usize, index_ptr: usize) {
+        // ORDERING: SeqCst — the hazard-pointer publish must be totally
+        // ordered against the retirer's `anyone_announces` scan; with anything
+        // weaker the store and the scan could both miss each other and a live
+        // index could be freed.
         self.slots[slot]
             .announced
-            .store(index_ptr, Ordering::SeqCst);
+            .store(index_ptr, Ordering::SeqCst); // ORDERING: see above
     }
 
     /// Read back what `slot` currently announces (used by validation loops).
     #[inline]
     pub fn announced(&self, slot: usize) -> usize {
+        // ORDERING: SeqCst — reads the hazard slot on the same total order as
+        // `announce`/`clear` so validation loops can't see a stale value.
         self.slots[slot].announced.load(Ordering::SeqCst)
     }
 
     /// Clear the announcement for `slot` (thread leaving the table).
     #[inline]
     pub fn clear(&self, slot: usize) {
+        // ORDERING: SeqCst — un-publishing participates in the same total
+        // order as `announce`, so a retirer never frees while we still hold.
         self.slots[slot].announced.store(0, Ordering::SeqCst);
     }
 
     /// Whether any thread currently announces `index_ptr`.
     pub fn anyone_announces(&self, index_ptr: usize) -> bool {
         self.slots.iter().any(|s| {
+            // ORDERING: SeqCst on `announced` — the retirement scan must be
+            // totally ordered against every `announce` (hazard-pointer
+            // handshake); see `announce` for the failure mode.
             s.claimed.load(Ordering::Acquire) && s.announced.load(Ordering::SeqCst) == index_ptr
         })
     }

@@ -433,6 +433,18 @@ impl ShardedTable {
     pub fn retired_indexes(&self) -> usize {
         self.shards.iter().map(|s| s.retired_indexes()).sum()
     }
+
+    /// Run [`RawTable::check_invariants`] on every shard, labelling failures
+    /// with the shard index. Quiescent-point use only, like the per-shard
+    /// sweep.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard
+                .check_invariants()
+                .map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
+    }
 }
 
 /// A per-thread handle over a [`ShardedTable`] with one pre-claimed registry
@@ -690,6 +702,8 @@ mod tests {
         assert!(t.resizes() > 0);
         t.collect_retired();
         assert_eq!(t.retired_indexes(), 0);
-        drop(t); // miri-style sanity: Drop walks every shard's chain
+        t.check_invariants()
+            .expect("structural sweep after resizes");
+        drop(t); // Drop walks every shard's chain
     }
 }

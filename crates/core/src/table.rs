@@ -47,6 +47,8 @@ pub struct RawTable {
 // SAFETY: all interior state is atomics / mutex-protected; the raw Index
 // pointers are managed by the hazard/retire protocol described in registry.rs.
 unsafe impl Send for RawTable {}
+// SAFETY: as above — shared access goes through atomics, the registry
+// handshake, or the retired-list Mutex.
 unsafe impl Sync for RawTable {}
 
 /// RAII announcement that the current thread is operating on the table
@@ -124,8 +126,13 @@ impl RawTable {
     /// skips the thread-local lookup on every request.
     pub(crate) fn enter_with_slot(&self, slot: usize) -> EnterGuard<'_> {
         loop {
+            // ORDERING: SeqCst on both `current` loads — the load/announce/
+            // re-check handshake must be totally ordered against the resizer's
+            // swap-then-scan; with weaker orders the re-check could pass while
+            // the resizer's scan missed the announcement.
             let p = self.current.load(Ordering::SeqCst);
             self.registry.announce(slot, p as usize);
+            // ORDERING: SeqCst — see above; pairs with the first load.
             if self.current.load(Ordering::SeqCst) == p {
                 return EnterGuard {
                     table: self,
@@ -357,6 +364,10 @@ impl RawTable {
 
     /// Scan the bin (under header snapshot `h`) for `key` among slots whose
     /// state is in `states`. Returns (slot index, value word).
+    // AUDIT: allow(too_many_arguments) — the argument list mirrors the bin
+    // probe state (index, bucket, header snapshot, link meta, key, filters)
+    // that every caller already holds; bundling them would just add a struct
+    // with one user.
     #[allow(clippy::too_many_arguments)]
     fn scan_for_key(
         &self,
@@ -602,6 +613,9 @@ impl RawTable {
                 // The dw-CAS covers both words: if the slot was deleted and
                 // reused for another key, or the resize swapped in a transfer
                 // key, the CAS fails and we re-examine the bin.
+                // ORDERING: fixed inside AtomicPair::compare_exchange
+                // (lock cmpxchg16b is sequentially consistent; the fallback
+                // pairs an Acquire lock with a Release fence).
                 match pair.compare_exchange((key, old), (key, value)) {
                     Ok(()) => return Probe::Done(Some(old)),
                     Err(_) => continue 'retry,
@@ -702,9 +716,13 @@ impl RawTable {
             std::hint::spin_loop();
         }
         // Redirect new entrants to the new index; whoever wins retires `old`.
+        // ORDERING: SeqCst — the index swap must be totally ordered against
+        // the SeqCst load/announce handshake in `enter_with_slot`, so a reader
+        // either sees the new index or its announcement of the old one is
+        // visible to `collect_retired`'s scan.
         if self
             .current
-            .compare_exchange(old_ptr, new_ptr, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(old_ptr, new_ptr, Ordering::SeqCst, Ordering::SeqCst) // ORDERING: see above
             .is_ok()
         {
             self.retired.lock().unwrap().push_back(old_ptr as usize);
@@ -766,6 +784,8 @@ impl RawTable {
                 if is_reserved_key(k) {
                     break (k, v);
                 }
+                // ORDERING: fixed inside AtomicPair::compare_exchange (see
+                // the Put path above for the same justification).
                 if pair.compare_exchange((k, v), (tkey, v)).is_ok() {
                     break (k, v);
                 }
@@ -934,6 +954,140 @@ impl RawTable {
     }
 }
 
+// ----------------------------------------------------------------------
+// Structural invariant sweep (debug/test support)
+// ----------------------------------------------------------------------
+
+impl RawTable {
+    /// Walk every index generation, bin, and slot and verify the table's
+    /// structural invariants, returning a description of the first violation.
+    ///
+    /// Intended for *quiescent points* in tests — the torture and
+    /// model-differential suites run it between workload phases. The sweep
+    /// pins the index chain with an `EnterGuard` so nothing is freed
+    /// underneath it, but concurrent mutators can make per-bin checks fail
+    /// spuriously, so do not call it while a workload is running.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        {
+            // The retired list must never hold null or duplicate pointers —
+            // either would become a bad free in `collect_retired`.
+            let retired = self.retired.lock().unwrap();
+            for (i, &p) in retired.iter().enumerate() {
+                if p == 0 {
+                    return Err(format!("retired[{i}] is null"));
+                }
+                if retired.iter().skip(i + 1).any(|&q| q == p) {
+                    return Err(format!("retired[{i}] {p:#x} appears twice"));
+                }
+            }
+        }
+        let guard = self.enter();
+        let mut ptr = guard.index_ptr();
+        let mut prev_generation: Option<u32> = None;
+        let mut result = Ok(());
+        while !ptr.is_null() {
+            // SAFETY: the chain is pinned by `guard` (indexes are freed
+            // oldest-first and only when no announcement references them), so
+            // every node from the entered index onward stays alive.
+            let idx = unsafe { &*ptr };
+            let next = idx.next_ptr();
+            if let Some(prev) = prev_generation {
+                if idx.generation() <= prev {
+                    result = Err(format!(
+                        "index chain generations not increasing: {} then {}",
+                        prev,
+                        idx.generation()
+                    ));
+                    break;
+                }
+            }
+            prev_generation = Some(idx.generation());
+            result = Self::check_index(idx, !next.is_null());
+            if result.is_err() {
+                break;
+            }
+            ptr = next;
+        }
+        drop(guard);
+        result
+    }
+
+    /// Invariants local to one index generation.
+    fn check_index(idx: &Index, has_next: bool) -> Result<(), String> {
+        let g = idx.generation();
+        if idx.chunks_done() > idx.num_chunks() {
+            return Err(format!(
+                "gen {g}: chunks_done {} exceeds num_chunks {}",
+                idx.chunks_done(),
+                idx.num_chunks()
+            ));
+        }
+        if idx.fully_transferred() && !has_next {
+            return Err(format!("gen {g}: fully transferred but no next index"));
+        }
+        let mut keys: Vec<u64> = Vec::with_capacity(SLOTS_PER_BIN);
+        for b in 0..idx.num_bins() {
+            let bin = idx.bin(b);
+            let h = BinHeader(bin.header.load(Ordering::Acquire));
+            let meta = LinkMeta(bin.link.load(Ordering::Acquire));
+            let links_used = idx.links_used();
+            if meta.first() != NO_LINK && (meta.first() as usize) >= links_used {
+                return Err(format!(
+                    "gen {g} bin {b}: first link {} outside handed-out range {links_used}",
+                    meta.first()
+                ));
+            }
+            if meta.pair() != NO_LINK && (meta.pair() as usize + 2) > links_used {
+                return Err(format!(
+                    "gen {g} bin {b}: pair link {} outside handed-out range {links_used}",
+                    meta.pair()
+                ));
+            }
+            if h.bin_state() == BinState::DoneTransfer && !has_next {
+                return Err(format!("gen {g} bin {b}: DoneTransfer but no next index"));
+            }
+            keys.clear();
+            let extent = h.occupied_extent();
+            for slot in 0..extent {
+                let st = h.slot_state(slot);
+                if st == SlotState::Invalid {
+                    continue;
+                }
+                let Some(pair) = idx.slot_pair(bin, meta, slot) else {
+                    return Err(format!(
+                        "gen {g} bin {b} slot {slot}: state {st:?} but its link bucket is not chained"
+                    ));
+                };
+                if st != SlotState::Valid {
+                    continue;
+                }
+                let key = pair.load_lo(Ordering::Acquire);
+                if is_reserved_key(key) {
+                    // Transfer keys are legal only in bins the resize has
+                    // touched.
+                    if h.bin_state() == BinState::NoTransfer {
+                        return Err(format!(
+                            "gen {g} bin {b} slot {slot}: reserved transfer key in a NoTransfer bin"
+                        ));
+                    }
+                    continue;
+                }
+                if h.bin_state() == BinState::NoTransfer && idx.bin_of(key) != b {
+                    return Err(format!(
+                        "gen {g} bin {b} slot {slot}: key {key:#x} hashes to bin {}",
+                        idx.bin_of(key)
+                    ));
+                }
+                if keys.contains(&key) {
+                    return Err(format!("gen {g} bin {b}: duplicate key {key:#x}"));
+                }
+                keys.push(key);
+            }
+        }
+        Ok(())
+    }
+}
+
 impl Drop for RawTable {
     fn drop(&mut self) {
         // Exclusive access: free all retired generations and the live chain.
@@ -946,6 +1100,8 @@ impl Drop for RawTable {
         while !ptr.is_null() {
             // SAFETY: exclusive access on drop; walk the remaining chain.
             let next = unsafe { (*ptr).next_ptr() };
+            // SAFETY: each chain node was Box::into_raw'd at creation and is
+            // freed exactly once here.
             drop(unsafe { Box::from_raw(ptr) });
             ptr = next;
         }
@@ -1168,7 +1324,7 @@ mod tests {
                 let t = std::sync::Arc::clone(&t);
                 s.spawn(move || {
                     let base = 10_000 + tid * 10_000;
-                    for round in 0..200u64 {
+                    for round in 0..dlht_util::miri_scaled(200) {
                         for k in 0..20u64 {
                             let key = base + k;
                             assert!(t.insert(key, round).unwrap().inserted());
@@ -1184,7 +1340,7 @@ mod tests {
             for _ in 0..2 {
                 let t = std::sync::Arc::clone(&t);
                 s.spawn(move || {
-                    for _ in 0..2_000 {
+                    for _ in 0..dlht_util::miri_scaled(2_000) {
                         let k = 499;
                         assert_eq!(t.get(k), Some(k * 3));
                         assert_eq!(t.get(77), Some(77 * 3));
@@ -1200,11 +1356,12 @@ mod tests {
     fn concurrent_puts_last_value_wins_and_no_corruption() {
         let t = std::sync::Arc::new(small_table());
         let _ = t.insert(42, 0).unwrap();
+        let per_thread = dlht_util::miri_scaled(5_000);
         std::thread::scope(|s| {
             for tid in 1..=4u64 {
                 let t = std::sync::Arc::clone(&t);
                 s.spawn(move || {
-                    for i in 0..5_000u64 {
+                    for i in 0..per_thread {
                         let v = tid * 1_000_000 + i;
                         assert!(t.put(42, v).is_some());
                     }
@@ -1215,7 +1372,7 @@ mod tests {
         let tid = v / 1_000_000;
         let i = v % 1_000_000;
         assert!((1..=4).contains(&tid));
-        assert!(i < 5_000);
+        assert!(i < per_thread);
     }
 
     #[test]
@@ -1227,12 +1384,13 @@ mod tests {
         for k in 0..200u64 {
             let _ = t.insert(k, k + 7).unwrap();
         }
+        let growth_keys = dlht_util::miri_scaled(5_000);
         std::thread::scope(|s| {
             // Writer drives repeated growth.
             {
                 let t = std::sync::Arc::clone(&t);
                 s.spawn(move || {
-                    for k in 1_000..6_000u64 {
+                    for k in 1_000..1_000 + growth_keys {
                         let _ = t.insert(k, k).unwrap();
                     }
                 });
@@ -1241,7 +1399,7 @@ mod tests {
             for _ in 0..3 {
                 let t = std::sync::Arc::clone(&t);
                 s.spawn(move || {
-                    for _ in 0..3_000 {
+                    for _ in 0..dlht_util::miri_scaled(3_000) {
                         for k in [0u64, 50, 199] {
                             assert_eq!(t.get(k), Some(k + 7));
                         }
@@ -1253,7 +1411,7 @@ mod tests {
         for k in 0..200u64 {
             assert_eq!(t.get(k), Some(k + 7));
         }
-        for k in 1_000..6_000u64 {
+        for k in 1_000..1_000 + growth_keys {
             assert_eq!(t.get(k), Some(k));
         }
         // After the dust settles, retired indexes should be collectable.

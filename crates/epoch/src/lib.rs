@@ -18,6 +18,8 @@
 //! synchronization on the retire path) and only touches shared state on
 //! `quiescent`/`try_advance`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use dlht_util::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -41,8 +43,9 @@ enum Garbage {
     Deferred(Box<dyn FnOnce() + Send>),
 }
 
-// Raw garbage is only ever freed by the thread that owns the bag (or by the
-// collector once all handles are gone), never aliased concurrently.
+// SAFETY: raw garbage is only ever freed by the thread that owns the bag (or
+// by the collector once all handles are gone), never aliased concurrently; the
+// deferred variant already requires `Send` of its closure.
 unsafe impl Send for Garbage {}
 
 impl Garbage {
@@ -53,6 +56,8 @@ impl Garbage {
     /// retired allocation.
     unsafe fn free(self) {
         match self {
+            // SAFETY: `drop_fn` was registered with `ptr` at retire time and
+            // the caller guarantees single, exclusive reclamation.
             Garbage::Raw { ptr, drop_fn } => unsafe { drop_fn(ptr) },
             Garbage::Deferred(f) => f(),
         }
@@ -200,6 +205,46 @@ impl Collector {
         *orphans = kept;
     }
 
+    /// Verify the collector's structural invariants, returning a description
+    /// of the first violation.
+    ///
+    /// Intended for quiescent points in tests: concurrent `quiescent` calls
+    /// can advance the epoch mid-sweep and make the checks fail spuriously.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let epoch = self.epoch();
+        if epoch < GENERATIONS as u64 {
+            return Err(format!(
+                "global epoch {epoch} below its initial value {GENERATIONS}"
+            ));
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.in_use.load(Ordering::Acquire) {
+                let announced = slot.announced.load(Ordering::Acquire);
+                if announced > epoch {
+                    return Err(format!(
+                        "slot {i} announced epoch {announced} ahead of global {epoch}"
+                    ));
+                }
+            }
+        }
+        let orphans = self.orphans.lock().unwrap();
+        for (i, (retired_at, _)) in orphans.iter().enumerate() {
+            if *retired_at > epoch {
+                return Err(format!(
+                    "orphan {i} retired at future epoch {retired_at} (global {epoch})"
+                ));
+            }
+            // Anything two epochs old is freed by `collect_orphans` on every
+            // advance, so at a quiescent point nothing freeable may linger.
+            if retired_at + 2 <= epoch {
+                return Err(format!(
+                    "orphan {i} retired at {retired_at} was freeable at epoch {epoch} but not freed"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Number of handles currently registered.
     pub fn registered(&self) -> usize {
         self.slots
@@ -229,6 +274,8 @@ impl Drop for Collector {
         // the orphan list is unreachable and safe to free.
         let mut orphans = self.orphans.lock().unwrap();
         for (_, g) in orphans.drain(..) {
+            // SAFETY: every handle holds an Arc<Collector>, so reaching Drop
+            // means no handle (and no reader) can still reference the garbage.
             unsafe { g.free() };
             self.freed.fetch_add(1, Ordering::Relaxed);
         }
@@ -253,6 +300,8 @@ impl LocalHandle {
 
     /// Retire a boxed value; it is freed two epoch advances from now.
     pub fn retire_box<T: Send + 'static>(&mut self, value: Box<T>) {
+        // SAFETY: only ever registered below with a pointer produced by
+        // `Box::into_raw` on a `Box<T>`.
         unsafe fn drop_box<T>(ptr: *mut u8) {
             // SAFETY: constructed from Box::into_raw of a T below.
             drop(unsafe { Box::from_raw(ptr.cast::<T>()) });
@@ -310,6 +359,20 @@ impl LocalHandle {
     /// Number of retired-but-not-yet-freed pointers owned by this handle.
     pub fn pending(&self) -> usize {
         self.pending
+    }
+
+    /// Verify this handle's bookkeeping (the `pending` counter must equal the
+    /// total garbage staged across its bags) plus the shared collector's
+    /// invariants.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let staged: usize = self.bags.iter().map(|b| b.len()).sum();
+        if staged != self.pending {
+            return Err(format!(
+                "handle slot {}: pending counter {} but {} staged in bags",
+                self.slot, self.pending, staged
+            ));
+        }
+        self.collector.check_invariants()
     }
 }
 
@@ -428,7 +491,7 @@ mod tests {
         let drops = Arc::new(AtomicUsize::new(0));
         let c = Arc::new(Collector::new());
         const THREADS: usize = 4;
-        const PER_THREAD: usize = 500;
+        let per_thread = dlht_util::miri_scaled(500) as usize;
 
         std::thread::scope(|s| {
             for _ in 0..THREADS {
@@ -436,7 +499,7 @@ mod tests {
                 let drops = Arc::clone(&drops);
                 s.spawn(move || {
                     let mut h = c.register().unwrap();
-                    for i in 0..PER_THREAD {
+                    for i in 0..per_thread {
                         h.retire_box(Box::new(DropCounter(Arc::clone(&drops))));
                         if i % 8 == 0 {
                             h.quiescent();
@@ -447,7 +510,7 @@ mod tests {
         });
         // All handles dropped; teardown of the collector frees the rest.
         drop(c);
-        assert_eq!(drops.load(Ordering::SeqCst), THREADS * PER_THREAD);
+        assert_eq!(drops.load(Ordering::SeqCst), THREADS * per_thread);
     }
 
     #[test]

@@ -58,6 +58,8 @@
 //! Over TCP: [`DlhtServer::bind`] + [`DlhtClient::connect`] — see
 //! `examples/server.rs` / `examples/client.rs` at the workspace root.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod loopback;
 pub mod remote;

@@ -121,7 +121,10 @@ impl DlhtServer {
     /// Gracefully stop: unblock the acceptor, close every live connection,
     /// and join all threads. Returns the final counter snapshot.
     pub fn shutdown(self) -> ServerCounters {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // A plain stop flag needs no total order — Release here pairs with the
+        // Acquire polls in the acceptor and connection loops, and the
+        // subsequent joins provide the actual synchronization.
+        self.shutdown.store(true, Ordering::Release);
         // Wake the blocking accept with a throwaway connection; the acceptor
         // re-checks the flag before handling it. An unspecified bind address
         // (0.0.0.0 / ::) is not connectable on every platform — wake through
@@ -167,7 +170,7 @@ fn accept_loop(
         let (stream, _) = match listener.accept() {
             Ok(accepted) => accepted,
             Err(_) => {
-                if shutdown.load(Ordering::SeqCst) {
+                if shutdown.load(Ordering::Acquire) {
                     return;
                 }
                 // A persistent accept error (EMFILE under fd pressure, ...)
@@ -176,7 +179,7 @@ fn accept_loop(
                 continue;
             }
         };
-        if shutdown.load(Ordering::SeqCst) {
+        if shutdown.load(Ordering::Acquire) {
             return;
         }
         let conn_id = counters.connections.fetch_add(1, Ordering::Relaxed);
@@ -227,7 +230,7 @@ fn serve_connection(
     let mut reported = ConnStats::default();
 
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        if shutdown.load(Ordering::Acquire) {
             break;
         }
         let n = match stream.read(&mut chunk) {

@@ -8,6 +8,8 @@
 //! * [`Mutex`] / [`RwLock`] — `parking_lot`-style locks (no poisoning, guards
 //!   returned directly) layered over `std::sync`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 
 /// splitmix64 — the tiny deterministic generator shared by the repository's
@@ -19,6 +21,23 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Scale an iteration count down when running under Miri.
+///
+/// Miri interprets every memory access, so the multi-thread stress loops that
+/// finish in milliseconds natively would run for hours. Tests on the curated
+/// Miri list (see `docs/CORRECTNESS.md`) wrap their round counts in this so
+/// the same test body exercises the same interleavings at a tractable scale:
+/// natively the count passes through untouched; under Miri it is divided by
+/// 64 (but never below 1).
+#[inline]
+pub fn miri_scaled(n: u64) -> u64 {
+    if cfg!(miri) {
+        (n / 64).max(1)
+    } else {
+        n
+    }
 }
 
 /// Pads and aligns a value to (at least) one cache line so that adjacent
@@ -185,6 +204,19 @@ mod tests {
         let mut m = CachePadded::new(vec![1, 2]);
         m.push(3);
         assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn miri_scaled_passes_through_natively() {
+        if cfg!(miri) {
+            assert_eq!(miri_scaled(6_400), 100);
+            assert_eq!(miri_scaled(10), 1);
+            assert_eq!(miri_scaled(0), 1);
+        } else {
+            assert_eq!(miri_scaled(6_400), 6_400);
+            assert_eq!(miri_scaled(10), 10);
+            assert_eq!(miri_scaled(0), 0);
+        }
     }
 
     #[test]

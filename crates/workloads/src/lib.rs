@@ -38,6 +38,8 @@
 //! assert!(lat.p99_ns >= lat.p50_ns);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod hashjoin;
 pub mod hist;
 pub mod lockmgr;

@@ -67,6 +67,8 @@
 //! See `README.md` for the architecture overview, the mode-selection table,
 //! and the migration notes from the pre-`Batch` API.
 
+#![forbid(unsafe_code)]
+
 pub use dlht_core::{
     AllocSession, Batch, BatchExecutor, BatchPolicy, ByteCodec, Dlht, DlhtAllocMap, DlhtConfig,
     DlhtError, DlhtMap, DlhtSet, DlhtShards, Inline8, InsertOutcome, KvBackend, KvCodec,

@@ -389,6 +389,34 @@ fn differential_singles_and_batches_all_backends() {
 }
 
 #[test]
+fn differential_core_tables_pass_structural_sweep() {
+    // The DLHT cores from `all_backends`, re-run with the concrete types in
+    // hand so the full `check_invariants()` structural sweep (every index
+    // generation, bin, link chain, and slot) can run at the quiescent end of
+    // every seed — the tiny indexes guarantee the sequences crossed resizes.
+    let tiny = DlhtConfig::new(8)
+        .with_hash(dlht::hash::HashKind::WyHash)
+        .with_chunk_bins(2);
+    let seeds = 2 * stress();
+    for seed in 0..seeds {
+        let table = RawTable::with_config(tiny.clone());
+        differential_run(&table, seed, 300);
+        table.collect_retired();
+        table
+            .check_invariants()
+            .expect("RawTable structural sweep after the differential run");
+        for shards in [1usize, 2, 8] {
+            let sharded = ShardedTable::with_config(shards, tiny.clone());
+            differential_run(&sharded, seed, 300);
+            sharded.collect_retired();
+            sharded
+                .check_invariants()
+                .expect("ShardedTable structural sweep after the differential run");
+        }
+    }
+}
+
+#[test]
 fn differential_loopback_wire_backends() {
     // The same oracle, but every backend is served **through the wire**: the
     // dlht-net loopback transport encodes every operation into frames, the

@@ -7,7 +7,9 @@
 //!   checks its own final writes),
 //! * `current_generation()` is monotonic under concurrent observation,
 //! * `collect_retired` / `retired_indexes` drain to **zero** at quiescence,
-//! * shards resize independently (a hot shard grows, its siblings do not).
+//! * shards resize independently (a hot shard grows, its siblings do not),
+//! * `check_invariants()` — the full structural sweep over every index
+//!   generation, bin, and slot — passes at every quiescent point.
 //!
 //! `DLHT_STRESS=1` (or any positive integer) multiplies the round counts.
 
@@ -171,6 +173,9 @@ fn torture_grow_with_racing_deletes_and_shadow_commits() {
         0,
         "retired index generations leaked at quiescence"
     );
+    table
+        .check_invariants()
+        .expect("structural sweep after the torture");
 }
 
 #[test]
@@ -208,6 +213,9 @@ fn torture_gets_never_block_and_stable_keys_survive() {
     assert!(table.resizes() > 0);
     table.collect_retired();
     assert_eq!(table.retired_indexes(), 0);
+    table
+        .check_invariants()
+        .expect("structural sweep after reader torture");
 }
 
 #[test]
@@ -230,6 +238,9 @@ fn torture_table_full_is_clean_when_resizing_disabled() {
     }
     assert_eq!(table.resizes(), 0);
     assert_eq!(table.retired_indexes(), 0);
+    table
+        .check_invariants()
+        .expect("structural sweep of the full table");
 }
 
 #[test]
@@ -301,4 +312,7 @@ fn torture_sharded_hot_shard_grows_alone() {
     }
     table.collect_retired();
     assert_eq!(table.retired_indexes(), 0);
+    table
+        .check_invariants()
+        .expect("structural sweep across all shards");
 }

@@ -14,15 +14,21 @@ struct CountingAlloc;
 // SAFETY: delegates directly to the system allocator; the counter has no
 // effect on the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout to the system allocator unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds the GlobalAlloc contract for `layout`.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: forwards to the system allocator `ptr` came from.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: caller upholds the GlobalAlloc contract for `ptr`/`layout`.
         unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: forwards to the system allocator `ptr` came from.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds the GlobalAlloc contract for the arguments.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
