@@ -155,6 +155,10 @@ impl PoolAllocator {
 }
 
 impl ValueAllocator for PoolAllocator {
+    // HOT: per-Put allocation path — must not panic. `shard_index()` and
+    // `class_of()` are in range by construction; the `else` arms serve the
+    // (unreachable) stray index a full class-sized block from the backing
+    // allocator, which stays sound if it is later recycled onto a free list.
     fn alloc(&self, size: usize) -> *mut u8 {
         let Some(class_idx) = Self::class_of(size) else {
             self.fallback_allocs.fetch_add(1, Ordering::Relaxed);
@@ -162,8 +166,14 @@ impl ValueAllocator for PoolAllocator {
         };
         self.pooled_allocs.fetch_add(1, Ordering::Relaxed);
         let block = Self::class_bytes(class_idx);
-        let mut shard = self.shards[Self::shard_index()].lock();
-        let class = &mut shard.classes[class_idx];
+        let Some(slot) = self.shards.get(Self::shard_index()) else {
+            return self.backing.alloc(block);
+        };
+        let mut shard = slot.lock();
+        let Some(class) = shard.classes.get_mut(class_idx) else {
+            drop(shard);
+            return self.backing.alloc(block);
+        };
         if let Some(ptr) = class.free.pop() {
             return ptr;
         }
@@ -181,14 +191,22 @@ impl ValueAllocator for PoolAllocator {
     // SAFETY: pooled blocks are recycled onto a free list (no memory is
     // touched through `ptr`); oversized blocks forward to the backing
     // allocator they came from.
+    // HOT: per-Delete reclamation path — must not panic. The indexes are in
+    // range by construction; on the (unreachable) stray index the block is
+    // leaked rather than freed, which is memory-safe.
     unsafe fn dealloc(&self, ptr: *mut u8, size: usize) {
         let Some(class_idx) = Self::class_of(size) else {
             // SAFETY: oversized allocations came from the backing allocator.
             unsafe { self.backing.dealloc(ptr, size) };
             return;
         };
-        let mut shard = self.shards[Self::shard_index()].lock();
-        shard.classes[class_idx].free.push(ptr);
+        let Some(slot) = self.shards.get(Self::shard_index()) else {
+            return;
+        };
+        let mut shard = slot.lock();
+        if let Some(class) = shard.classes.get_mut(class_idx) {
+            class.free.push(ptr);
+        }
     }
 
     fn name(&self) -> &'static str {

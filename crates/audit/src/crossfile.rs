@@ -1,0 +1,482 @@
+//! Pass 2: cross-file rules over the workspace inventory.
+//!
+//! Three rules (see `docs/CORRECTNESS.md` for the contract):
+//!
+//! 6. **acquire-release-pairing** — an atomic field with a `Release`/`AcqRel`
+//!    store-side op but no `Acquire`-side load anywhere in the workspace (or
+//!    the converse) is flagged at its declaration; a `Relaxed` RMW on an
+//!    otherwise-ordered field is flagged at the site unless it carries an
+//!    `// ORDERING:` justification.
+//! 7. **guard-escape** — a non-test plain-`pub` fn in `crates/core` or
+//!    `crates/epoch` returning `*const`/`*mut` must take a `&Guard`-typed
+//!    parameter (any `…Guard` type name) or carry `// ESCAPE:` with a
+//!    justification: raw pointers may not outlive the guard that makes them
+//!    safe to dereference.
+//! 8. **no-panic-hot-path** — a fn tagged `// HOT:` must not contain
+//!    `panic!`/`assert!`/`todo!`/`unimplemented!`/`unreachable!`,
+//!    `.unwrap()`/`.expect()`, or bare slice indexing; `debug_assert!` is
+//!    allowed (compiled out of release hot paths).
+
+use crate::inventory::{AnalyzedFile, AtomicOp, Inventory, OpKind};
+use crate::rules::{has_annotation, FileKind, Finding, Rule};
+use crate::tokens::{Delim, Tok};
+
+/// Run all cross-file rules.
+pub fn check_crossfile(files: &[AnalyzedFile], inv: &Inventory) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_pairing(inv, &mut findings);
+    check_guard_escape(files, &mut findings);
+    check_no_panic_hot_path(files, &mut findings);
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: acquire-release pairing
+// ---------------------------------------------------------------------------
+
+fn check_pairing(inv: &Inventory, findings: &mut Vec<Finding>) {
+    // Pool op sites by field name (documented workspace-wide heuristic).
+    let mut seen: Vec<&str> = Vec::new();
+    for decl in &inv.fields {
+        if seen.contains(&decl.name.as_str()) {
+            continue;
+        }
+        seen.push(&decl.name);
+        // Test-scope ops are excluded wholesale: a test harness's SeqCst
+        // counter must not mark a production field of the same name as
+        // "ordered" (name pooling would otherwise flag its Relaxed RMWs).
+        let ops: Vec<&AtomicOp> = inv
+            .ops
+            .iter()
+            .filter(|o| !o.in_test && o.field.as_deref() == Some(decl.name.as_str()))
+            .collect();
+        if ops.is_empty() {
+            continue;
+        }
+        let release_side = ops
+            .iter()
+            .any(|o| matches!(o.kind, OpKind::Store | OpKind::Rmw) && o.ord.release_side());
+        let acquire_side = ops
+            .iter()
+            .any(|o| matches!(o.kind, OpKind::Load | OpKind::Rmw) && o.ord.acquire_side());
+        match (release_side, acquire_side) {
+            (true, false) => findings.push(Finding::new(
+                &decl.file,
+                decl.line,
+                Rule::AcquireReleasePairing,
+                format!(
+                    "atomic field `{}` has a Release-side store but no Acquire-side \
+                     load anywhere in the workspace",
+                    decl.name
+                ),
+            )),
+            (false, true) => findings.push(Finding::new(
+                &decl.file,
+                decl.line,
+                Rule::AcquireReleasePairing,
+                format!(
+                    "atomic field `{}` has an Acquire-side load but no Release-side \
+                     store anywhere in the workspace",
+                    decl.name
+                ),
+            )),
+            _ => {}
+        }
+        // Mixed-ordering hazard: a Relaxed RMW on a field other sites order.
+        if release_side || acquire_side {
+            for o in &ops {
+                if o.kind == OpKind::Rmw && o.ord.relaxed_only() && !o.annotated {
+                    findings.push(Finding::new(
+                        &o.file,
+                        o.line,
+                        Rule::AcquireReleasePairing,
+                        format!(
+                            "Relaxed `{}` on ordered atomic field `{}` without an \
+                             `// ORDERING:` justification",
+                            o.method, decl.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: guard escape
+// ---------------------------------------------------------------------------
+
+/// Crates whose public raw-pointer returns must be guard-bound.
+const GUARDED_CRATES: &[&str] = &["crates/core/", "crates/epoch/"];
+
+fn check_guard_escape(files: &[AnalyzedFile], findings: &mut Vec<Finding>) {
+    for f in files {
+        if !GUARDED_CRATES.iter().any(|c| f.path.starts_with(c)) || f.kind == FileKind::Test {
+            continue;
+        }
+        let p = &f.parsed;
+        for func in &p.fns {
+            if func.is_test || func.vis != crate::parse::Vis::Pub {
+                continue;
+            }
+            if !returns_raw_ptr(p, func.ret) {
+                continue;
+            }
+            let has_guard_param = p.toks.toks
+                [func.params.0.min(p.toks.toks.len())..func.params.1.min(p.toks.toks.len())]
+                .iter()
+                .any(|t| matches!(&t.tok, Tok::Word(w) if w.ends_with("Guard")));
+            if has_guard_param || has_annotation(&p.lexed, func.decl_line, &["ESCAPE:"]) {
+                continue;
+            }
+            findings.push(Finding::new(
+                &f.path,
+                func.decl_line + 1,
+                Rule::GuardEscape,
+                format!(
+                    "pub fn `{}` returns a raw pointer but takes no `&Guard`-typed \
+                     parameter and carries no `// ESCAPE:` justification",
+                    func.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Does the return-type token range contain `*const` / `*mut`?
+fn returns_raw_ptr(p: &crate::parse::ParsedFile, ret: (usize, usize)) -> bool {
+    let toks = &p.toks.toks;
+    let (a, b) = (ret.0.min(toks.len()), ret.1.min(toks.len()));
+    (a..b).any(|i| {
+        matches!(toks[i].tok, Tok::Punct('*'))
+            && matches!(toks.get(i + 1), Some(t) if t.tok.is_word("const") || t.tok.is_word("mut"))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: no panics on hot paths
+// ---------------------------------------------------------------------------
+
+/// Macro names that unwind (or abort) at runtime.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "todo",
+    "unimplemented",
+    "unreachable",
+];
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression: `let [a, b] = ...` destructures, `return [x]` / `in [..]`
+/// build arrays, `mut`/`ref` appear in slice patterns.
+const KEYWORDS_BEFORE_BRACKET: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "else", "match", "if", "while", "move", "box", "yield",
+];
+
+fn check_no_panic_hot_path(files: &[AnalyzedFile], findings: &mut Vec<Finding>) {
+    for f in files {
+        let p = &f.parsed;
+        for func in &p.fns {
+            let Some((b0, b1)) = func.body else { continue };
+            if !has_annotation(&p.lexed, func.decl_line, &["HOT:"]) {
+                continue;
+            }
+            let toks = &p.toks;
+            let mut i = b0;
+            let end = b1.min(toks.toks.len());
+            let mut flag = |line0: usize, what: String| {
+                findings.push(Finding::new(
+                    &f.path,
+                    line0 + 1,
+                    Rule::NoPanicHotPath,
+                    format!("{what} in hot-path fn `{}` (tagged `// HOT:`)", func.name),
+                ));
+            };
+            while i < end {
+                match toks.get(i) {
+                    Some(Tok::Word(w)) if matches!(toks.get(i + 1), Some(Tok::Punct('!'))) => {
+                        if w.starts_with("debug_assert") {
+                            // Allowed: compiled out of release builds. Skip
+                            // its argument tree (indexing inside is fine).
+                            if matches!(toks.get(i + 2), Some(Tok::Open(_))) {
+                                i = toks.match_of(i + 2).map(|c| c + 1).unwrap_or(i + 2);
+                                continue;
+                            }
+                        } else if PANIC_MACROS.contains(&w.as_str()) {
+                            flag(toks.line(i), format!("`{w}!`"));
+                        }
+                        i += 1;
+                    }
+                    Some(Tok::Punct('.'))
+                        if matches!(toks.get(i + 1), Some(Tok::Word(w)) if w == "unwrap" || w == "expect")
+                            && matches!(toks.get(i + 2), Some(Tok::Open(Delim::Paren))) =>
+                    {
+                        let w = toks.get(i + 1).and_then(Tok::word).unwrap_or("unwrap");
+                        flag(toks.line(i + 1), format!("`.{w}()`"));
+                        i += 2;
+                    }
+                    Some(Tok::Open(Delim::Bracket)) => {
+                        // Bare indexing: `expr[...]` — previous token ends an
+                        // expression. `vec![..]` is excluded (prev is `!`),
+                        // and a keyword before `[` starts an array/slice
+                        // pattern or expression (`let [a, b] = ...`), not an
+                        // index.
+                        let indexing = i > b0
+                            && (matches!(
+                                toks.get(i - 1),
+                                Some(Tok::Word(w)) if !KEYWORDS_BEFORE_BRACKET.contains(&w.as_str())
+                            ) || matches!(
+                                toks.get(i - 1),
+                                Some(Tok::Close(Delim::Bracket)) | Some(Tok::Close(Delim::Paren))
+                            ));
+                        if indexing {
+                            flag(toks.line(i), "bare slice indexing".to_string());
+                        }
+                        i += 1;
+                    }
+                    None => break,
+                    _ => i += 1,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_source;
+
+    fn analyze(path: &str, src: &str) -> Vec<Finding> {
+        let file = AnalyzedFile {
+            path: path.to_string(),
+            kind: FileKind::Normal,
+            parsed: parse_source(src, false),
+        };
+        let files = [file];
+        let inv = crate::inventory::build(&files);
+        check_crossfile(&files, &inv)
+    }
+
+    fn analyze_many(files: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<AnalyzedFile> = files
+            .iter()
+            .map(|(path, src)| AnalyzedFile {
+                path: path.to_string(),
+                kind: FileKind::Normal,
+                parsed: parse_source(src, false),
+            })
+            .collect();
+        let inv = crate::inventory::build(&files);
+        check_crossfile(&files, &inv)
+    }
+
+    // --- rule 6 -----------------------------------------------------------
+
+    #[test]
+    fn one_sided_release_store_is_flagged() {
+        let f = analyze(
+            "crates/x/src/lib.rs",
+            "struct R { flag: AtomicU64 }\nimpl R {\n    fn set(&self) { self.flag.store(1, Ordering::Release); }\n    fn get(&self) -> u64 { self.flag.load(Ordering::Relaxed) }\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::AcquireReleasePairing);
+        assert!(f[0].message.contains("no Acquire-side load"), "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn one_sided_acquire_load_is_flagged() {
+        let f = analyze(
+            "crates/x/src/lib.rs",
+            "struct R { flag: AtomicU64 }\nimpl R {\n    fn set(&self) { self.flag.store(1, Ordering::Relaxed); }\n    fn get(&self) -> u64 { self.flag.load(Ordering::Acquire) }\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("no Release-side store"), "{f:?}");
+    }
+
+    #[test]
+    fn paired_field_is_clean_even_across_files() {
+        let f = analyze_many(&[
+            (
+                "crates/x/src/writer.rs",
+                "struct W { flag: AtomicU64 }\nimpl W { fn set(&self) { self.flag.store(1, Ordering::Release); } }\n",
+            ),
+            (
+                "crates/x/src/reader.rs",
+                "fn watch(w: &W) -> u64 { w.flag.load(Ordering::Acquire) }\n",
+            ),
+        ]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn all_relaxed_counter_is_not_flagged() {
+        let f = analyze(
+            "crates/x/src/lib.rs",
+            "struct C { hits: AtomicU64 }\nimpl C {\n    fn bump(&self) { self.hits.fetch_add(1, Ordering::Relaxed); }\n    fn read(&self) -> u64 { self.hits.load(Ordering::Relaxed) }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_file_ops_do_not_poison_name_pooling() {
+        // A test harness's SeqCst counter named `live` must not mark a
+        // production field of the same name as "ordered".
+        let prod = AnalyzedFile {
+            path: "crates/x/src/lib.rs".to_string(),
+            kind: FileKind::Normal,
+            parsed: parse_source(
+                "struct T { live: AtomicUsize }\nimpl T {\n    fn ins(&self) { self.live.fetch_add(1, Ordering::Relaxed); }\n    fn len(&self) -> usize { self.live.load(Ordering::Relaxed) }\n}\n",
+                false,
+            ),
+        };
+        let test = AnalyzedFile {
+            path: "crates/x/tests/drop_count.rs".to_string(),
+            kind: FileKind::Test,
+            parsed: parse_source(
+                "fn track(live: &AtomicUsize) { live.fetch_add(1, Ordering::SeqCst); }\nfn check(live: &AtomicUsize) -> usize { live.load(Ordering::SeqCst) }\n",
+                true,
+            ),
+        };
+        let files = [prod, test];
+        let inv = crate::inventory::build(&files);
+        let f = check_crossfile(&files, &inv);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn relaxed_rmw_on_ordered_field_needs_justification() {
+        let src = "struct C { refs: AtomicU64 }\nimpl C {\n    fn acquire(&self) -> u64 { self.refs.load(Ordering::Acquire) }\n    fn publish(&self) { self.refs.store(0, Ordering::Release); }\n    fn bump(&self) { self.refs.fetch_add(1, Ordering::Relaxed); }\n}\n";
+        let f = analyze("crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("Relaxed `fetch_add`"), "{f:?}");
+        assert_eq!(f[0].line, 5);
+
+        let justified = src.replace(
+            "    fn bump(&self) {",
+            "    // ORDERING: counter only; the Release store publishes.\n    fn bump(&self) {",
+        );
+        // Annotation must be at the site, so put it on the op line instead.
+        let justified = justified.replace(
+            "self.refs.fetch_add(1, Ordering::Relaxed);",
+            "self.refs.fetch_add(1, Ordering::Relaxed); // ORDERING: counter only.",
+        );
+        assert!(analyze("crates/x/src/lib.rs", &justified).is_empty());
+    }
+
+    #[test]
+    fn cas_with_acqrel_success_pairs_both_sides() {
+        let f = analyze(
+            "crates/x/src/lib.rs",
+            "struct L { cell: AtomicU64 }\nimpl L {\n    fn lock(&self) { let _ = self.cell.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire); }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn forwarded_order_param_satisfies_pairing() {
+        let f = analyze(
+            "crates/x/src/lib.rs",
+            "struct P { lo: AtomicU64 }\nimpl P {\n    fn load(&self, order: Ordering) -> u64 { self.lo.load(order) }\n    fn store(&self, v: u64, order: Ordering) { self.lo.store(v, order) }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // --- rule 7 -----------------------------------------------------------
+
+    #[test]
+    fn pub_raw_ptr_return_without_guard_is_flagged() {
+        let src = "impl Index {\n    pub fn next_ptr(&self) -> *mut Index {\n        self.next.load(Ordering::Acquire)\n    }\n    pub fn len(&self) -> usize { 0 }\n}\nstruct Index { next: AtomicPtr<Index> }\nfn pair(i: &Index) { i.next.store(p, Ordering::Release); }\n";
+        let f = analyze("crates/core/src/index.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::GuardEscape);
+        assert!(f[0].message.contains("next_ptr"));
+    }
+
+    #[test]
+    fn guard_param_or_escape_annotation_clears_it() {
+        let with_guard = "pub fn next_ptr<'g>(&self, _g: &'g EnterGuard) -> *mut Index { x }\n";
+        assert!(analyze("crates/core/src/index.rs", with_guard).is_empty());
+        let with_escape = "// ESCAPE: value copy, never dereferenced without a guard.\npub fn ptr(self) -> *mut u8 { x }\n";
+        assert!(analyze("crates/core/src/index.rs", with_escape).is_empty());
+    }
+
+    #[test]
+    fn rule_is_scoped_to_core_and_epoch_non_test() {
+        let src = "pub fn raw() -> *const u8 { x }\n";
+        assert!(!analyze("crates/core/src/x.rs", src).is_empty());
+        assert!(!analyze("crates/epoch/src/lib.rs", src).is_empty());
+        assert!(analyze("crates/net/src/x.rs", src).is_empty());
+        // Private and pub(crate) fns are exempt.
+        assert!(analyze("crates/core/src/x.rs", "fn raw() -> *const u8 { x }\n").is_empty());
+        assert!(analyze(
+            "crates/core/src/x.rs",
+            "pub(crate) fn raw() -> *const u8 { x }\n"
+        )
+        .is_empty());
+        // Test scope is exempt.
+        assert!(analyze(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    pub fn raw() -> *const u8 { x }\n}\n"
+        )
+        .is_empty());
+    }
+
+    // --- rule 8 -----------------------------------------------------------
+
+    #[test]
+    fn untagged_fn_may_panic() {
+        let f = analyze(
+            "crates/x/src/lib.rs",
+            "fn cold(v: &[u8]) -> u8 { v[0] + v.first().copied().unwrap() }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn hot_fn_rejects_unwrap_expect_and_panics() {
+        let src = "// HOT: probe loop.\nfn probe(v: &[u8]) -> u8 {\n    let x = v.first().unwrap();\n    let y = v.last().expect(\"non-empty\");\n    if *x == 0 { panic!(\"zero\"); }\n    assert!(*y > 0);\n    todo!()\n}\n";
+        let f = analyze("crates/x/src/lib.rs", src);
+        let msgs: Vec<&str> = f.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(f.len(), 5, "{msgs:?}");
+        assert!(msgs.iter().all(|m| m.contains("hot-path fn `probe`")));
+        assert!(msgs.iter().any(|m| m.contains("`.unwrap()`")));
+        assert!(msgs.iter().any(|m| m.contains("`.expect()`")));
+        assert!(msgs.iter().any(|m| m.contains("`panic!`")));
+        assert!(msgs.iter().any(|m| m.contains("`assert!`")));
+        assert!(msgs.iter().any(|m| m.contains("`todo!`")));
+    }
+
+    #[test]
+    fn hot_fn_rejects_bare_indexing_but_allows_debug_assert() {
+        let src = "// HOT: decode path.\nfn decode(buf: &[u8]) -> u8 {\n    debug_assert!(buf[0] > 0);\n    buf[1]\n}\n";
+        let f = analyze("crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("bare slice indexing"));
+        assert_eq!(f[0].line, 4, "the debug_assert! index is allowed");
+    }
+
+    #[test]
+    fn hot_fn_clean_body_passes() {
+        let src = "// HOT: steady-state submit.\nfn submit(v: &[u8]) -> Option<u8> {\n    let head = v.first()?;\n    v.get(1).map(|b| b.wrapping_add(*head))\n}\n";
+        assert!(analyze("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn array_types_and_macro_brackets_are_not_indexing() {
+        let src = "// HOT: shuffles.\nfn f() -> [u8; 2] {\n    let v: Vec<[u8; 2]> = vec![[0, 0]];\n    [0, 1]\n}\n";
+        assert!(analyze("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn slice_patterns_are_not_indexing() {
+        // `let [..] = ...` destructures a fixed-size array (panic-free);
+        // only `expr[...]` is an index.
+        let src = "// HOT: header split.\nfn f(h: &[u8; 4]) -> u8 {\n    let [a, _, _, b] = *h;\n    if let [x, ..] = h.as_slice() { return *x; }\n    a.wrapping_add(b)\n}\n";
+        let f = analyze("crates/x/src/lib.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,391 @@
+//! Pass 1 of the two-pass audit: the workspace inventory.
+//!
+//! Walks every parsed file and records, workspace-wide:
+//!
+//! * **atomic struct fields and statics** (any type whose name starts with
+//!   `Atomic`), keyed by field name;
+//! * **every atomic load/store/RMW/fence site**, with the receiver field it
+//!   targets (resolved as the last identifier in the field-access chain
+//!   before the method, so `self.slots[i].announced.store(..)` targets
+//!   `announced`) and the `Ordering`s named in its argument list;
+//! * nothing else — function signatures and hot-path tags stay on the
+//!   [`crate::parse::ParsedFile`]s, which pass 2 reads directly.
+//!
+//! The receiver resolution is deliberately name-based: two structs sharing a
+//! field name pool their sites (documented in `docs/CORRECTNESS.md`). That
+//! trades a little precision for zero type inference — and errs toward *not*
+//! flagging, since pooled sites can only add acquire/release evidence.
+
+use crate::parse::ParsedFile;
+use crate::rules::FileKind;
+use crate::tokens::{Delim, Tok};
+
+/// One analyzed file: path (workspace-relative, `/`-separated), rule
+/// strictness class, and the parsed representation.
+#[derive(Debug, Clone)]
+pub struct AnalyzedFile {
+    pub path: String,
+    pub kind: FileKind,
+    pub parsed: ParsedFile,
+}
+
+/// Methods whose call sites are atomic operations (mirrors rule 2).
+pub const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+/// What an atomic operation does to its cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    Load,
+    Store,
+    /// Read-modify-write: `fetch_*`, `compare_exchange*`, `fetch_update`.
+    Rmw,
+    /// A standalone `fence` / `compiler_fence`.
+    Fence,
+}
+
+/// The ordering evidence collected from one call's argument list.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OrderInfo {
+    pub relaxed: bool,
+    pub acquire: bool,
+    pub release: bool,
+    pub acqrel: bool,
+    pub seqcst: bool,
+    /// No literal ordering named, but an `order`-named parameter is forwarded
+    /// (counts as potentially satisfying either side).
+    pub forwarded: bool,
+}
+
+impl OrderInfo {
+    /// Any ordering information at all? Calls with none are either not
+    /// atomics (`Vec::load`?) or already rule-2 findings; pass 2 skips them.
+    pub fn any(&self) -> bool {
+        self.relaxed || self.acquire || self.release || self.acqrel || self.seqcst || self.forwarded
+    }
+
+    /// Could this call publish (release-side)?
+    pub fn release_side(&self) -> bool {
+        self.release || self.acqrel || self.seqcst || self.forwarded
+    }
+
+    /// Could this call observe a publication (acquire-side)?
+    pub fn acquire_side(&self) -> bool {
+        self.acquire || self.acqrel || self.seqcst || self.forwarded
+    }
+
+    /// Strictly `Relaxed` only.
+    pub fn relaxed_only(&self) -> bool {
+        self.relaxed
+            && !(self.acquire || self.release || self.acqrel || self.seqcst || self.forwarded)
+    }
+}
+
+/// An atomic field or static declaration.
+#[derive(Debug, Clone)]
+pub struct AtomicFieldDecl {
+    pub file: String,
+    /// 1-based declaration line.
+    pub line: usize,
+    pub name: String,
+    /// Declaring struct name, or `"static"`.
+    pub owner: String,
+    pub ty: String,
+}
+
+/// One atomic operation site.
+#[derive(Debug, Clone)]
+pub struct AtomicOp {
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Resolved receiver field/static name (`None` when the receiver is not a
+    /// plain identifier, e.g. a method-call result).
+    pub field: Option<String>,
+    pub method: String,
+    pub kind: OpKind,
+    pub ord: OrderInfo,
+    /// In test scope (test file or `#[cfg(test)]`).
+    pub in_test: bool,
+    /// Carries an `// ORDERING:` justification at the site.
+    pub annotated: bool,
+}
+
+/// The workspace-wide atomics inventory.
+#[derive(Debug, Clone, Default)]
+pub struct Inventory {
+    pub fields: Vec<AtomicFieldDecl>,
+    pub ops: Vec<AtomicOp>,
+}
+
+/// Build the inventory over every analyzed file.
+pub fn build(files: &[AnalyzedFile]) -> Inventory {
+    let mut inv = Inventory::default();
+    for f in files {
+        collect_fields(f, &mut inv);
+        collect_ops(f, &mut inv);
+    }
+    inv
+}
+
+fn is_atomic_type(parsed: &ParsedFile, ty: (usize, usize)) -> Option<String> {
+    parsed.toks.toks[ty.0.min(parsed.toks.toks.len())..ty.1.min(parsed.toks.toks.len())]
+        .iter()
+        .find_map(|t| match &t.tok {
+            Tok::Word(w) if w.starts_with("Atomic") => Some(w.clone()),
+            _ => None,
+        })
+}
+
+fn collect_fields(f: &AnalyzedFile, inv: &mut Inventory) {
+    let p = &f.parsed;
+    for s in &p.structs {
+        if s.is_test {
+            continue;
+        }
+        for field in &s.fields {
+            if let Some(ty) = is_atomic_type(p, field.ty) {
+                inv.fields.push(AtomicFieldDecl {
+                    file: f.path.clone(),
+                    line: field.line + 1,
+                    name: field.name.clone(),
+                    owner: s.name.clone(),
+                    ty,
+                });
+            }
+        }
+    }
+    for st in &p.statics {
+        if st.is_test {
+            continue;
+        }
+        if let Some(ty) = is_atomic_type(p, st.ty) {
+            inv.fields.push(AtomicFieldDecl {
+                file: f.path.clone(),
+                line: st.line + 1,
+                name: st.name.clone(),
+                owner: "static".to_string(),
+                ty,
+            });
+        }
+    }
+}
+
+/// Extract ordering evidence from the argument tokens of one call.
+fn order_info(p: &ParsedFile, args: (usize, usize)) -> OrderInfo {
+    let mut o = OrderInfo::default();
+    let mut saw_order_word = false;
+    for t in &p.toks.toks[args.0.min(p.toks.toks.len())..args.1.min(p.toks.toks.len())] {
+        if let Tok::Word(w) = &t.tok {
+            match w.as_str() {
+                "Relaxed" => o.relaxed = true,
+                "Acquire" => o.acquire = true,
+                "Release" => o.release = true,
+                "AcqRel" => o.acqrel = true,
+                "SeqCst" => o.seqcst = true,
+                // The `Ordering::` path qualifier is not a forwarded param.
+                "Ordering" => {}
+                w if w.to_lowercase().contains("order") => saw_order_word = true,
+                _ => {}
+            }
+        }
+    }
+    if saw_order_word && !(o.relaxed || o.acquire || o.release || o.acqrel || o.seqcst) {
+        o.forwarded = true;
+    }
+    o
+}
+
+fn collect_ops(f: &AnalyzedFile, inv: &mut Inventory) {
+    let p = &f.parsed;
+    let toks = &p.toks;
+    let n = toks.toks.len();
+    for i in 0..n {
+        // Method-call form: `. method (`
+        if let Some(Tok::Punct('.')) = toks.get(i) {
+            let Some(Tok::Word(m)) = toks.get(i + 1) else {
+                continue;
+            };
+            if !ATOMIC_METHODS.contains(&m.as_str()) {
+                continue;
+            }
+            let Some(Tok::Open(Delim::Paren)) = toks.get(i + 2) else {
+                continue;
+            };
+            let Some(close) = toks.match_of(i + 2) else {
+                continue;
+            };
+            let args = (i + 3, close);
+            let ord = order_info(p, args);
+            if !ord.any() {
+                continue; // zero-arg `.load()` etc. — some other type
+            }
+            let field = match (i > 0).then(|| toks.get(i - 1)).flatten() {
+                Some(Tok::Word(w)) if w != "self" => Some(w.clone()),
+                _ => None,
+            };
+            let line = toks.line(i + 1);
+            push_op(f, inv, line, field, m.clone(), method_kind(m), ord);
+        }
+        // Free-fn form: `fence (` / `compiler_fence (` not preceded by `.`.
+        if let Some(Tok::Word(m)) = toks.get(i) {
+            if (m == "fence" || m == "compiler_fence")
+                && !matches!(
+                    (i > 0).then(|| toks.get(i - 1)).flatten(),
+                    Some(Tok::Punct('.'))
+                )
+            {
+                if let Some(Tok::Open(Delim::Paren)) = toks.get(i + 1) {
+                    if let Some(close) = toks.match_of(i + 1) {
+                        let ord = order_info(p, (i + 2, close));
+                        if ord.any() {
+                            let line = toks.line(i);
+                            push_op(f, inv, line, None, m.clone(), OpKind::Fence, ord);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn method_kind(m: &str) -> OpKind {
+    match m {
+        "load" => OpKind::Load,
+        "store" => OpKind::Store,
+        _ => OpKind::Rmw,
+    }
+}
+
+fn push_op(
+    f: &AnalyzedFile,
+    inv: &mut Inventory,
+    line0: usize,
+    field: Option<String>,
+    method: String,
+    kind: OpKind,
+    ord: OrderInfo,
+) {
+    let p = &f.parsed;
+    inv.ops.push(AtomicOp {
+        file: f.path.clone(),
+        line: line0 + 1,
+        field,
+        method,
+        kind,
+        ord,
+        in_test: f.kind == FileKind::Test || p.line_in_test(line0),
+        annotated: crate::rules::has_annotation(&p.lexed, line0, &["ORDERING:"]),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_source;
+
+    fn analyze(src: &str) -> Inventory {
+        let f = AnalyzedFile {
+            path: "crates/x/src/lib.rs".into(),
+            kind: FileKind::Normal,
+            parsed: parse_source(src, false),
+        };
+        build(std::slice::from_ref(&f))
+    }
+
+    #[test]
+    fn fields_and_statics_are_inventoried() {
+        let inv = analyze(
+            "struct Reg {\n    announced: AtomicU64,\n    name: String,\n}\nstatic EPOCH: AtomicUsize = AtomicUsize::new(0);\n",
+        );
+        let names: Vec<(&str, &str)> = inv
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_str()))
+            .collect();
+        assert_eq!(names, [("announced", "Reg"), ("EPOCH", "static")]);
+        assert_eq!(inv.fields[0].ty, "AtomicU64");
+        assert_eq!(inv.fields[0].line, 2);
+    }
+
+    #[test]
+    fn test_scope_fields_are_skipped() {
+        let inv = analyze(
+            "#[cfg(test)]\nmod tests {\n    struct T { x: AtomicU64 }\n    static S: AtomicU64 = AtomicU64::new(0);\n}\n",
+        );
+        assert!(inv.fields.is_empty(), "{:?}", inv.fields);
+    }
+
+    #[test]
+    fn receiver_chain_resolves_the_last_field() {
+        let inv = analyze(
+            "fn f(&self) {\n    self.slots[i].announced.store(1, Ordering::Release);\n    self.current.load(Ordering::Acquire);\n    pair().load(Ordering::Relaxed);\n}\n",
+        );
+        let fields: Vec<Option<&str>> = inv.ops.iter().map(|o| o.field.as_deref()).collect();
+        assert_eq!(fields, [Some("announced"), Some("current"), None]);
+        assert_eq!(inv.ops[0].kind, OpKind::Store);
+        assert!(inv.ops[0].ord.release && !inv.ops[0].ord.acquire);
+        assert_eq!(inv.ops[1].kind, OpKind::Load);
+        assert!(inv.ops[1].ord.acquire);
+    }
+
+    #[test]
+    fn compare_exchange_collects_both_orderings() {
+        let inv = analyze(
+            "fn f(x: &AtomicU64) {\n    x.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).ok();\n}\n",
+        );
+        assert_eq!(inv.ops.len(), 1);
+        let o = &inv.ops[0];
+        assert_eq!(o.kind, OpKind::Rmw);
+        assert!(o.ord.acqrel && o.ord.acquire);
+        assert!(o.ord.release_side() && o.ord.acquire_side());
+    }
+
+    #[test]
+    fn forwarded_order_parameter_counts_for_both_sides() {
+        let inv = analyze("fn load(&self, order: Ordering) -> u64 { self.lo.load(order) }\n");
+        assert_eq!(inv.ops.len(), 1);
+        let o = &inv.ops[0];
+        assert!(o.ord.forwarded && !o.ord.relaxed);
+        assert!(o.ord.release_side() && o.ord.acquire_side());
+    }
+
+    #[test]
+    fn ordering_path_qualifier_is_not_a_forwarded_param() {
+        let inv = analyze("fn f(x: &AtomicU64) { x.store(1, Ordering::Relaxed); }\n");
+        let o = &inv.ops[0];
+        assert!(o.ord.relaxed_only(), "{o:?}");
+    }
+
+    #[test]
+    fn no_ordering_info_means_no_op_record() {
+        // `results.load(k)` on some non-atomic type must not pollute pairing.
+        let inv = analyze("fn f(r: &Cache) { r.load(key); r.store(key, val); }\n");
+        assert!(inv.ops.is_empty(), "{:?}", inv.ops);
+    }
+
+    #[test]
+    fn fences_and_test_scope_and_annotations() {
+        let inv = analyze(
+            "fn f() {\n    // ORDERING: pairs with the lock release.\n    fence(Ordering::Acquire);\n}\n#[cfg(test)]\nmod tests {\n    fn t(x: &AtomicU64) { x.load(Ordering::SeqCst); }\n}\n",
+        );
+        assert_eq!(inv.ops.len(), 2);
+        assert_eq!(inv.ops[0].kind, OpKind::Fence);
+        assert!(inv.ops[0].annotated);
+        assert!(!inv.ops[0].in_test);
+        assert!(inv.ops[1].in_test);
+    }
+}

@@ -1,7 +1,9 @@
 //! # dlht-audit
 //!
 //! A dependency-free, source-level static analyzer that machine-checks the
-//! repository's `unsafe`/atomics discipline (see `docs/CORRECTNESS.md`):
+//! repository's `unsafe`/atomics discipline (see `docs/CORRECTNESS.md`).
+//!
+//! **Per-file rules** (pass over each file independently):
 //!
 //! * every `unsafe` site carries a `// SAFETY:` justification,
 //! * every atomic operation names its `Ordering` at the call site,
@@ -9,20 +11,40 @@
 //! * `transmute` / `static mut` / `#[allow]` only with an `// AUDIT:` tag,
 //! * every crate root carries the agreed lint header.
 //!
-//! The analyzer is built on a small hand-rolled lexer ([`lexer`]) rather than
-//! `syn` — the repository builds fully offline — and is wired into CI (the
-//! `audit` job) and into `cargo test` (the `workspace_clean` integration test
-//! re-audits the whole workspace on every run).
+//! **Cross-file rules** (two-pass: [`inventory`] then [`crossfile`]):
 //!
-//! Run it directly with `cargo run -p dlht-audit` from the workspace root; it
-//! exits non-zero when any finding is reported.
+//! * every atomic field with a `Release`-side store has an `Acquire`-side
+//!   load somewhere in the workspace (and the converse),
+//! * a plain-`pub` fn in `core`/`epoch` returning `*const`/`*mut` takes a
+//!   `&Guard`-typed parameter or carries `// ESCAPE:`,
+//! * functions tagged `// HOT:` contain no panics, `unwrap`/`expect`, or
+//!   bare slice indexing.
+//!
+//! The pipeline is [`lexer`] (sanitized lines) → [`tokens`] (token stream
+//! with delimiter pairing) → [`parse`] (items, signatures, `#[cfg(test)]`
+//! scoping) → rules. No `syn`: the repository builds fully offline.
+//!
+//! Diagnostics serialize to a schema-versioned JSON document ([`json`]) and
+//! gate CI through a suppression [`baseline`] (`audit.baseline.json`): only
+//! findings *not* in the baseline fail a run.
+//!
+//! Run it with `cargo run -p dlht-audit` from the workspace root; see
+//! `main.rs` for the CLI (`--format json`, `--update-baseline`, ...).
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod crossfile;
+pub mod inventory;
+pub mod json;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod tokens;
 
-pub use rules::{check_file, check_source, FileKind, Finding, Rule};
+pub use baseline::Baseline;
+pub use inventory::AnalyzedFile;
+pub use rules::{check_file, check_source, FileKind, Finding, Rule, Severity, ALL_RULES};
 
 use std::path::{Path, PathBuf};
 
@@ -67,20 +89,34 @@ pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Audit the workspace rooted at `root`. Returns every finding, sorted by
-/// file and line. Paths in findings are reported relative to `root`.
-pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+/// Pass 1: lex, tokenize, and parse every `.rs` file under `root`. Paths are
+/// reported relative to `root`, `/`-separated.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<AnalyzedFile>> {
+    let mut files = Vec::new();
     for path in collect_rust_files(root)? {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         let source = std::fs::read_to_string(&path)?;
-        let lexed = lexer::lex(&source);
-        findings.extend(check_file(
-            &rel.to_string_lossy().replace('\\', "/"),
-            &lexed,
-            classify(&rel),
-        ));
+        let kind = classify(&rel);
+        files.push(AnalyzedFile {
+            path: rel.to_string_lossy().replace('\\', "/"),
+            kind,
+            parsed: parse::parse_source(&source, kind == FileKind::Test),
+        });
     }
+    Ok(files)
+}
+
+/// Audit the workspace rooted at `root` with all eight rules (per-file and
+/// cross-file). Returns every finding, sorted by file and line. Paths in
+/// findings are reported relative to `root`.
+pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let files = analyze_workspace(root)?;
+    let mut findings = Vec::new();
+    for f in &files {
+        findings.extend(rules::check_parsed(&f.path, &f.parsed, f.kind));
+    }
+    let inv = inventory::build(&files);
+    findings.extend(crossfile::check_crossfile(&files, &inv));
     findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
     Ok(findings)
 }

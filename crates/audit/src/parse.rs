@@ -1,0 +1,902 @@
+//! Item parser: functions, structs, impls, mods, traits, statics — with
+//! `#[cfg(test)]` scoping — over the [`crate::tokens`] stream.
+//!
+//! This is deliberately *not* a full Rust grammar. The audit rules need four
+//! things a line scanner cannot give them:
+//!
+//! 1. **Item boundaries** — which function a given line belongs to (for
+//!    hot-path rules) and where its body ends (via delimiter pairing);
+//! 2. **Signatures** — parameter and return-type token ranges (for the
+//!    guard-escape rule);
+//! 3. **Struct fields and statics with their types** (for the atomic-field
+//!    inventory);
+//! 4. **Scope-accurate `#[cfg(test)]` regions** — a test module nested at any
+//!    depth, a `#[test]` fn, or a `#[cfg(test)]` impl block, not just a
+//!    top-of-file region heuristic.
+//!
+//! Macro invocation token trees are skipped during *item* detection (so a
+//! `macro_rules!` body or a `vec![...]` argument can never produce phantom
+//! items), but their lines keep normal test/non-test classification.
+
+use crate::lexer::LexedFile;
+use crate::tokens::{self, Delim, Tok, TokenFile};
+
+/// Item visibility, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// No `pub`.
+    Private,
+    /// `pub(crate)`, `pub(super)`, `pub(in ...)`.
+    Restricted,
+    /// Plain `pub` — part of the crate's public API.
+    Pub,
+}
+
+/// A parsed function (or trait-method signature).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    pub vis: Vis,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub owner: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// 0-based line of the body's closing brace (or of the `;`).
+    pub end_line: usize,
+    /// Token range (half-open) of the parameter list, inside the parens.
+    pub params: (usize, usize),
+    /// Token range (half-open) of the return type; empty when none.
+    pub ret: (usize, usize),
+    /// Token range (half-open) of the body, inside the braces; `None` for
+    /// bodiless trait-method signatures.
+    pub body: Option<(usize, usize)>,
+    /// Inside test scope (a `#[cfg(test)]` container, `#[test]`, or a test
+    /// file).
+    pub is_test: bool,
+}
+
+/// One named struct field.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    pub name: String,
+    /// Token range (half-open) of the field's type.
+    pub ty: (usize, usize),
+    /// 0-based line of the field name.
+    pub line: usize,
+}
+
+/// A parsed `struct` with its named fields (tuple/unit structs have none).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    pub name: String,
+    pub decl_line: usize,
+    pub fields: Vec<FieldItem>,
+    pub is_test: bool,
+}
+
+/// A `static` or `const` item with its type.
+#[derive(Debug, Clone)]
+pub struct StaticItem {
+    pub name: String,
+    pub ty: (usize, usize),
+    pub line: usize,
+    pub is_test: bool,
+}
+
+/// A fully analyzed file: sanitized lines, token stream, items, and per-line
+/// test-scope flags.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    pub lexed: LexedFile,
+    pub toks: TokenFile,
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructItem>,
+    pub statics: Vec<StaticItem>,
+    /// `in_test[line]`: is this 0-based line inside test scope?
+    pub in_test: Vec<bool>,
+}
+
+impl ParsedFile {
+    /// Render a token range as compact text.
+    pub fn text(&self, range: (usize, usize)) -> String {
+        self.toks.text(range.0, range.1)
+    }
+
+    /// Whether the 0-based line is in test scope (`false` past the end).
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.in_test.get(line).copied().unwrap_or(false)
+    }
+}
+
+/// Lex, tokenize, and parse `source`. `file_is_test` marks the whole file as
+/// test scope (integration tests, examples, benches).
+pub fn parse_source(source: &str, file_is_test: bool) -> ParsedFile {
+    parse_lexed(crate::lexer::lex(source), file_is_test)
+}
+
+/// Tokenize and parse an already-lexed file.
+pub fn parse_lexed(lexed: LexedFile, file_is_test: bool) -> ParsedFile {
+    let toks = tokens::tokenize(&lexed);
+    let n_lines = lexed.lines.len();
+    let mut p = Parser {
+        t: &toks,
+        fns: Vec::new(),
+        structs: Vec::new(),
+        statics: Vec::new(),
+        test_spans: Vec::new(),
+        containers: Vec::new(),
+    };
+    p.run(file_is_test);
+
+    let mut in_test = vec![file_is_test; n_lines];
+    for (a, b) in &p.test_spans {
+        for flag in in_test.iter_mut().take(*b + 1).skip(*a) {
+            *flag = true;
+        }
+    }
+    ParsedFile {
+        lexed,
+        fns: p.fns,
+        structs: p.structs,
+        statics: p.statics,
+        in_test,
+        toks,
+    }
+}
+
+/// An entered item scope (mod/impl/trait/fn body).
+struct Container {
+    /// Token index of the body's closing brace.
+    close: usize,
+    is_test: bool,
+    owner: Option<String>,
+}
+
+struct Parser<'a> {
+    t: &'a TokenFile,
+    fns: Vec<FnItem>,
+    structs: Vec<StructItem>,
+    statics: Vec<StaticItem>,
+    /// 0-based inclusive line spans of test scope.
+    test_spans: Vec<(usize, usize)>,
+    containers: Vec<Container>,
+}
+
+/// Words that may sit between an attribute and the item keyword it decorates.
+const QUALIFIERS: &[&str] = &["pub", "unsafe", "async", "extern", "default"];
+
+impl Parser<'_> {
+    fn tok(&self, i: usize) -> Option<&Tok> {
+        self.t.get(i)
+    }
+
+    fn in_test_scope(&self, file_is_test: bool) -> bool {
+        file_is_test || self.containers.iter().any(|c| c.is_test)
+    }
+
+    fn current_owner(&self) -> Option<String> {
+        self.containers.iter().rev().find_map(|c| c.owner.clone())
+    }
+
+    fn run(&mut self, file_is_test: bool) {
+        let n = self.t.toks.len();
+        let mut i = 0usize;
+        // Does the pending attribute run mark the next item as test scope
+        // (`#[test]`, `#[cfg(test)]`, ...)? And where did it start (for the
+        // test span to cover the attribute lines too)?
+        let mut attr_test = false;
+        let mut attr_line: Option<usize> = None;
+
+        while i < n {
+            self.containers.retain(|c| c.close >= i);
+            let in_test = self.in_test_scope(file_is_test);
+
+            match self.tok(i) {
+                Some(Tok::Punct('#')) => {
+                    // `#[...]` or `#![...]` attribute.
+                    let mut j = i + 1;
+                    if let Some(Tok::Punct('!')) = self.tok(j) {
+                        j += 1;
+                    }
+                    if let Some(Tok::Open(Delim::Bracket)) = self.tok(j) {
+                        if let Some(close) = self.t.match_of(j) {
+                            if self.t.range_has_word(j + 1, close, "test") {
+                                attr_test = true;
+                            }
+                            attr_line.get_or_insert(self.t.line(i));
+                            i = close + 1;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                Some(Tok::Word(w)) => {
+                    let w = w.clone();
+                    match w.as_str() {
+                        "fn" => {
+                            i = self.parse_fn(i, in_test || attr_test, attr_line);
+                            (attr_test, attr_line) = (false, None);
+                        }
+                        "struct" => {
+                            i = self.parse_struct(i, in_test || attr_test);
+                            (attr_test, attr_line) = (false, None);
+                        }
+                        "mod" | "trait" => {
+                            i = self.parse_container(i, in_test || attr_test, attr_line);
+                            (attr_test, attr_line) = (false, None);
+                        }
+                        "impl" => {
+                            if self.impl_is_type_position(i) {
+                                i += 1;
+                            } else {
+                                i = self.parse_impl(i, in_test || attr_test, attr_line);
+                                (attr_test, attr_line) = (false, None);
+                            }
+                        }
+                        "static" | "const" => {
+                            i = self.parse_static(i, in_test || attr_test);
+                            // `const` may have been a fn qualifier — keep the
+                            // attribute run alive either way; a following
+                            // non-qualifier token clears it below.
+                        }
+                        "macro_rules" => {
+                            i = self.skip_macro_rules(i);
+                            (attr_test, attr_line) = (false, None);
+                        }
+                        "pub" => {
+                            // Skip `pub` and an optional `(crate)`-style
+                            // restriction without clearing pending attributes.
+                            i += 1;
+                            if let Some(Tok::Open(Delim::Paren)) = self.tok(i) {
+                                i = self.t.match_of(i).map(|c| c + 1).unwrap_or(i + 1);
+                            }
+                        }
+                        _ if QUALIFIERS.contains(&w.as_str()) => i += 1,
+                        _ => {
+                            // An ident-macro invocation's token tree cannot
+                            // declare items — skip it whole.
+                            if let (Some(Tok::Punct('!')), Some(open_tok)) =
+                                (self.tok(i + 1), self.tok(i + 2))
+                            {
+                                if matches!(open_tok, Tok::Open(_)) {
+                                    if let Some(close) = self.t.match_of(i + 2) {
+                                        i = close + 1;
+                                        (attr_test, attr_line) = (false, None);
+                                        continue;
+                                    }
+                                }
+                            }
+                            i += 1;
+                            (attr_test, attr_line) = (false, None);
+                        }
+                    }
+                }
+                Some(_) => {
+                    i += 1;
+                    (attr_test, attr_line) = (false, None);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Is the `impl` at `i` an `impl Trait` *type* (return/argument position)
+    /// rather than an impl block?
+    fn impl_is_type_position(&self, i: usize) -> bool {
+        if i == 0 {
+            return false;
+        }
+        match self.tok(i - 1) {
+            Some(Tok::Punct(c)) => matches!(c, '>' | ':' | '&' | '+' | '<' | ',' | '='),
+            Some(Tok::Word(w)) => w == "dyn",
+            Some(Tok::Open(Delim::Paren)) => true,
+            _ => false,
+        }
+    }
+
+    /// Skip a generic parameter/argument list starting at the `<` at `i`;
+    /// returns the index just past the matching `>`. Handles `->` inside
+    /// bounds (`Fn() -> T`) and jumps delimiter groups whole.
+    fn skip_angles(&self, i: usize) -> usize {
+        debug_assert!(matches!(self.tok(i), Some(Tok::Punct('<'))));
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < self.t.toks.len() {
+            match self.tok(j) {
+                Some(Tok::Punct('-')) if matches!(self.tok(j + 1), Some(Tok::Punct('>'))) => {
+                    j += 2;
+                    continue;
+                }
+                Some(Tok::Punct('<')) => depth += 1,
+                Some(Tok::Punct('>')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                Some(Tok::Open(_)) => {
+                    if let Some(close) = self.t.match_of(j) {
+                        j = close;
+                    }
+                }
+                None => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Visibility of the item whose keyword sits at token `i`, by scanning
+    /// backwards over qualifier words.
+    fn vis_before(&self, i: usize) -> Vis {
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            match self.tok(j) {
+                Some(Tok::Word(w))
+                    if matches!(
+                        w.as_str(),
+                        "unsafe" | "async" | "const" | "extern" | "default"
+                    ) => {}
+                Some(Tok::Word(w)) if w == "pub" => return Vis::Pub,
+                Some(Tok::Close(Delim::Paren)) => {
+                    // Possibly the `(crate)` of `pub(crate)`.
+                    if let Some(open) = self.t.match_of(j) {
+                        if open > 0
+                            && matches!(self.tok(open - 1), Some(Tok::Word(w)) if w == "pub")
+                        {
+                            return Vis::Restricted;
+                        }
+                    }
+                    return Vis::Private;
+                }
+                _ => return Vis::Private,
+            }
+        }
+        Vis::Private
+    }
+
+    /// Parse `fn name<...>(params) -> ret [where ...] { body }` with the `fn`
+    /// keyword at `i`. Returns the index to continue scanning from (just
+    /// inside the body, so nested items are found).
+    fn parse_fn(&mut self, i: usize, is_test: bool, attr_line: Option<usize>) -> usize {
+        let decl_line = self.t.line(i);
+        let Some(Tok::Word(name)) = self.tok(i + 1) else {
+            // `fn(` — a function-pointer type, not an item.
+            return i + 1;
+        };
+        let name = name.clone();
+        let mut j = i + 2;
+        if let Some(Tok::Punct('<')) = self.tok(j) {
+            j = self.skip_angles(j);
+        }
+        let Some(Tok::Open(Delim::Paren)) = self.tok(j) else {
+            return i + 1;
+        };
+        let Some(params_close) = self.t.match_of(j) else {
+            return i + 1;
+        };
+        let params = (j + 1, params_close);
+        j = params_close + 1;
+
+        // Return type: tokens between `->` and `where` / `{` / `;`.
+        let mut ret = (j, j);
+        if matches!(self.tok(j), Some(Tok::Punct('-')))
+            && matches!(self.tok(j + 1), Some(Tok::Punct('>')))
+        {
+            j += 2;
+            let start = j;
+            while j < self.t.toks.len() {
+                match self.tok(j) {
+                    Some(Tok::Word(w)) if w == "where" => break,
+                    Some(Tok::Open(Delim::Brace)) | Some(Tok::Punct(';')) => break,
+                    Some(Tok::Open(_)) => {
+                        j = self.t.match_of(j).map(|c| c + 1).unwrap_or(j + 1);
+                        continue;
+                    }
+                    None => break,
+                    _ => j += 1,
+                }
+            }
+            ret = (start, j);
+        }
+        // Skip a `where` clause up to the body brace or `;`.
+        while j < self.t.toks.len() {
+            match self.tok(j) {
+                Some(Tok::Open(Delim::Brace)) | Some(Tok::Punct(';')) => break,
+                Some(Tok::Open(_)) => {
+                    j = self.t.match_of(j).map(|c| c + 1).unwrap_or(j + 1);
+                }
+                None => break,
+                _ => j += 1,
+            }
+        }
+
+        let (body, end_line, next) = match self.tok(j) {
+            Some(Tok::Open(Delim::Brace)) => match self.t.match_of(j) {
+                Some(close) => {
+                    self.containers.push(Container {
+                        close,
+                        is_test,
+                        owner: None,
+                    });
+                    (Some((j + 1, close)), self.t.line(close), j + 1)
+                }
+                None => (None, self.t.line(j), j + 1),
+            },
+            _ => (None, self.t.line(j), j + 1),
+        };
+
+        if is_test {
+            self.test_spans
+                .push((attr_line.unwrap_or(decl_line), end_line));
+        }
+        self.fns.push(FnItem {
+            name,
+            vis: self.vis_before(i),
+            owner: self.current_owner(),
+            decl_line,
+            end_line,
+            params,
+            ret,
+            body,
+            is_test,
+        });
+        next
+    }
+
+    /// Parse `struct Name<...> { fields }` / tuple / unit struct.
+    fn parse_struct(&mut self, i: usize, is_test: bool) -> usize {
+        let decl_line = self.t.line(i);
+        let Some(Tok::Word(name)) = self.tok(i + 1) else {
+            return i + 1;
+        };
+        let name = name.clone();
+        let mut j = i + 2;
+        if let Some(Tok::Punct('<')) = self.tok(j) {
+            j = self.skip_angles(j);
+        }
+        // Skip a `where` clause (brace-less until the body).
+        while j < self.t.toks.len()
+            && !matches!(
+                self.tok(j),
+                Some(Tok::Open(Delim::Brace))
+                    | Some(Tok::Open(Delim::Paren))
+                    | Some(Tok::Punct(';'))
+            )
+        {
+            j += 1;
+        }
+        let mut fields = Vec::new();
+        let next = match self.tok(j) {
+            Some(Tok::Open(Delim::Brace)) => {
+                let close = self.t.match_of(j).unwrap_or(j);
+                fields = self.parse_named_fields(j + 1, close);
+                close + 1
+            }
+            Some(Tok::Open(Delim::Paren)) => self.t.match_of(j).map(|c| c + 1).unwrap_or(j + 1),
+            _ => j + 1,
+        };
+        self.structs.push(StructItem {
+            name,
+            decl_line,
+            fields,
+            is_test,
+        });
+        next
+    }
+
+    /// Named fields between token indices `start..close` (inside the braces).
+    fn parse_named_fields(&self, start: usize, close: usize) -> Vec<FieldItem> {
+        let mut fields = Vec::new();
+        let mut j = start;
+        while j < close {
+            match self.tok(j) {
+                // Skip field attributes.
+                Some(Tok::Punct('#')) => {
+                    if let Some(Tok::Open(Delim::Bracket)) = self.tok(j + 1) {
+                        j = self.t.match_of(j + 1).map(|c| c + 1).unwrap_or(j + 2);
+                    } else {
+                        j += 1;
+                    }
+                }
+                Some(Tok::Word(w)) if w == "pub" => {
+                    j += 1;
+                    if let Some(Tok::Open(Delim::Paren)) = self.tok(j) {
+                        j = self.t.match_of(j).map(|c| c + 1).unwrap_or(j + 1);
+                    }
+                }
+                Some(Tok::Word(name)) if matches!(self.tok(j + 1), Some(Tok::Punct(':'))) => {
+                    let name = name.clone();
+                    let line = self.t.line(j);
+                    let ty_start = j + 2;
+                    let mut k = ty_start;
+                    while k < close {
+                        match self.tok(k) {
+                            Some(Tok::Punct(',')) => break,
+                            Some(Tok::Punct('<')) => k = self.skip_angles(k),
+                            Some(Tok::Open(_)) => {
+                                k = self.t.match_of(k).map(|c| c + 1).unwrap_or(k + 1)
+                            }
+                            _ => k += 1,
+                        }
+                    }
+                    fields.push(FieldItem {
+                        name,
+                        ty: (ty_start, k),
+                        line,
+                    });
+                    j = k + 1;
+                }
+                _ => j += 1,
+            }
+        }
+        fields
+    }
+
+    /// Parse a `mod name { ... }` or `trait Name { ... }` container.
+    fn parse_container(&mut self, i: usize, is_test: bool, attr_line: Option<usize>) -> usize {
+        let decl_line = self.t.line(i);
+        let is_trait = matches!(self.tok(i), Some(Tok::Word(w)) if w == "trait");
+        let name = match self.tok(i + 1) {
+            Some(Tok::Word(w)) => w.clone(),
+            _ => return i + 1,
+        };
+        let mut j = i + 2;
+        if let Some(Tok::Punct('<')) = self.tok(j) {
+            j = self.skip_angles(j);
+        }
+        while j < self.t.toks.len()
+            && !matches!(
+                self.tok(j),
+                Some(Tok::Open(Delim::Brace)) | Some(Tok::Punct(';'))
+            )
+        {
+            match self.tok(j) {
+                Some(Tok::Open(_)) => j = self.t.match_of(j).map(|c| c + 1).unwrap_or(j + 1),
+                _ => j += 1,
+            }
+        }
+        match self.tok(j) {
+            Some(Tok::Open(Delim::Brace)) => {
+                let close = self.t.match_of(j).unwrap_or(j);
+                self.containers.push(Container {
+                    close,
+                    is_test,
+                    owner: is_trait.then_some(name),
+                });
+                if is_test {
+                    self.test_spans
+                        .push((attr_line.unwrap_or(decl_line), self.t.line(close)));
+                }
+                j + 1
+            }
+            _ => j + 1,
+        }
+    }
+
+    /// Parse `impl<...> [Trait for] Type { ... }`.
+    fn parse_impl(&mut self, i: usize, is_test: bool, attr_line: Option<usize>) -> usize {
+        let decl_line = self.t.line(i);
+        let mut j = i + 1;
+        if let Some(Tok::Punct('<')) = self.tok(j) {
+            j = self.skip_angles(j);
+        }
+        // Collect the self-type name: the last angle-depth-0 word before the
+        // body, restarting after `for` (so `impl Trait for Type` → `Type`).
+        let mut name: Option<String> = None;
+        while j < self.t.toks.len() {
+            match self.tok(j) {
+                Some(Tok::Open(Delim::Brace)) | Some(Tok::Punct(';')) => break,
+                Some(Tok::Word(w)) if w == "where" => {
+                    // Skip the where clause to the brace.
+                    while j < self.t.toks.len()
+                        && !matches!(self.tok(j), Some(Tok::Open(Delim::Brace)))
+                    {
+                        match self.tok(j) {
+                            Some(Tok::Open(_)) => {
+                                j = self.t.match_of(j).map(|c| c + 1).unwrap_or(j + 1)
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    break;
+                }
+                Some(Tok::Word(w)) if w == "for" => {
+                    name = None;
+                    j += 1;
+                }
+                Some(Tok::Word(w)) => {
+                    name = Some(w.clone());
+                    j += 1;
+                }
+                Some(Tok::Punct('<')) => j = self.skip_angles(j),
+                Some(Tok::Open(_)) => j = self.t.match_of(j).map(|c| c + 1).unwrap_or(j + 1),
+                None => break,
+                _ => j += 1,
+            }
+        }
+        match self.tok(j) {
+            Some(Tok::Open(Delim::Brace)) => {
+                let close = self.t.match_of(j).unwrap_or(j);
+                self.containers.push(Container {
+                    close,
+                    is_test,
+                    owner: name,
+                });
+                if is_test {
+                    self.test_spans
+                        .push((attr_line.unwrap_or(decl_line), self.t.line(close)));
+                }
+                j + 1
+            }
+            _ => j + 1,
+        }
+    }
+
+    /// Parse a `static`/`const` item; a `const` that turns out to be a fn
+    /// qualifier (or `*const` / inline-`const`) falls through harmlessly.
+    fn parse_static(&mut self, i: usize, is_test: bool) -> usize {
+        if i > 0 && matches!(self.tok(i - 1), Some(Tok::Punct('*'))) {
+            return i + 1; // `*const T`
+        }
+        let mut j = i + 1;
+        if let Some(Tok::Word(w)) = self.tok(j) {
+            if w == "mut" {
+                j += 1;
+            } else if matches!(w.as_str(), "fn" | "unsafe" | "async" | "extern") {
+                return i + 1; // `const fn`, `const unsafe fn`, ...
+            }
+        }
+        let Some(Tok::Word(name)) = self.tok(j) else {
+            return i + 1; // `const { ... }` block or `const _` handled below
+        };
+        let name = name.clone();
+        if !matches!(self.tok(j + 1), Some(Tok::Punct(':'))) {
+            return i + 1;
+        }
+        let ty_start = j + 2;
+        let mut k = ty_start;
+        while k < self.t.toks.len() {
+            match self.tok(k) {
+                Some(Tok::Punct('=')) | Some(Tok::Punct(';')) => break,
+                Some(Tok::Punct('<')) => k = self.skip_angles(k),
+                Some(Tok::Open(_)) => k = self.t.match_of(k).map(|c| c + 1).unwrap_or(k + 1),
+                None => break,
+                _ => k += 1,
+            }
+        }
+        self.statics.push(StaticItem {
+            name,
+            ty: (ty_start, k),
+            line: self.t.line(i),
+            is_test,
+        });
+        k + 1
+    }
+
+    /// Skip a whole `macro_rules! name { ... }` definition.
+    fn skip_macro_rules(&self, i: usize) -> usize {
+        let mut j = i + 1;
+        if let Some(Tok::Punct('!')) = self.tok(j) {
+            j += 1;
+        }
+        if let Some(Tok::Word(_)) = self.tok(j) {
+            j += 1;
+        }
+        if let Some(Tok::Open(_)) = self.tok(j) {
+            return self.t.match_of(j).map(|c| c + 1).unwrap_or(j + 1);
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fns(src: &str) -> Vec<FnItem> {
+        parse_source(src, false).fns
+    }
+
+    #[test]
+    fn simple_fn_with_signature() {
+        let p = parse_source(
+            "pub fn next_ptr(&self, order: u8) -> *mut Index {\n    x\n}\n",
+            false,
+        );
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "next_ptr");
+        assert_eq!(f.vis, Vis::Pub);
+        assert_eq!(p.text(f.ret), "*mut Index");
+        assert!(p.text(f.params).contains("&self"));
+        assert_eq!(f.decl_line, 0);
+        assert_eq!(f.end_line, 2);
+    }
+
+    #[test]
+    fn visibility_levels() {
+        let p = parse_source(
+            "fn a() {}\npub fn b() {}\npub(crate) fn c() {}\npub(in crate::x) fn d() {}\npub unsafe fn e() {}\n",
+            false,
+        );
+        let vis: Vec<Vis> = p.fns.iter().map(|f| f.vis).collect();
+        assert_eq!(
+            vis,
+            [
+                Vis::Private,
+                Vis::Pub,
+                Vis::Restricted,
+                Vis::Restricted,
+                Vis::Pub
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_generics_in_return_type() {
+        // Regression (`>>`): the double-closer must not break return-type
+        // extraction or body pairing.
+        let p = parse_source(
+            "fn f() -> Vec<Vec<u64>> {\n    let x = a >> 2;\n    vec![]\n}\nfn g() {}\n",
+            false,
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.text(p.fns[0].ret), "Vec<Vec<u64>>");
+        assert_eq!(p.fns[1].name, "g");
+    }
+
+    #[test]
+    fn generic_bounds_with_fn_arrows() {
+        let p = parse_source(
+            "pub fn apply<F: Fn(u64) -> Result<u64, ()>>(f: F) -> Option<u64> where F: Send {\n    None\n}\n",
+            false,
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.text(p.fns[0].ret), "Option<u64>");
+        assert!(p.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let p = parse_source(
+            "struct G {\n    drop_fn: unsafe fn(*mut u8),\n}\nfn t(f: fn(u8)) {}\n",
+            false,
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "t");
+    }
+
+    #[test]
+    fn impl_blocks_set_the_owner() {
+        let p = parse_source(
+            "impl<'a, E: Exec> Pipeline<'a, E> {\n    pub fn poll(&mut self) -> Option<u8> { None }\n}\nimpl KvBackend for ShardedTable {\n    fn execute(&self) {}\n}\n",
+            false,
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Pipeline"));
+        assert_eq!(p.fns[1].owner.as_deref(), Some("ShardedTable"));
+    }
+
+    #[test]
+    fn impl_trait_in_return_position_is_not_an_impl_block() {
+        let p = parse_source(
+            "fn iter() -> impl Iterator<Item = u64> {\n    std::iter::empty()\n}\nfn after() {}\n",
+            false,
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[1].name, "after");
+    }
+
+    #[test]
+    fn cfg_test_mod_scopes_lines_at_any_depth() {
+        let src = "mod outer {\n    #[cfg(test)]\n    mod tests {\n        fn t() {}\n    }\n    fn live() {}\n}\n";
+        let p = parse_source(src, false);
+        assert!(p.line_in_test(1), "attr line");
+        assert!(p.line_in_test(3), "test fn");
+        assert!(!p.line_in_test(5), "live fn after the test mod");
+        let t = p.fns.iter().find(|f| f.name == "t").unwrap();
+        let live = p.fns.iter().find(|f| f.name == "live").unwrap();
+        assert!(t.is_test);
+        assert!(!live.is_test);
+    }
+
+    #[test]
+    fn test_attribute_marks_a_single_fn() {
+        let p = parse_source("#[test]\nfn check() {}\nfn live() {}\n", false);
+        assert!(p.fns[0].is_test);
+        assert!(!p.fns[1].is_test);
+        assert!(p.line_in_test(0) && p.line_in_test(1));
+        assert!(!p.line_in_test(2));
+    }
+
+    #[test]
+    fn macro_token_trees_do_not_produce_phantom_items() {
+        // Regression: `fn`/`struct` fragments inside macro invocations and
+        // `macro_rules!` bodies must not parse as items.
+        let src = "macro_rules! gen {\n    () => { fn phantom() {} };\n}\nprintln!(\"{}\", 1);\nvec![1, 2];\nfn real() {}\n";
+        let p = parse_source(src, false);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["real"], "{names:?}");
+    }
+
+    #[test]
+    fn struct_fields_with_types() {
+        let p = parse_source(
+            "pub struct Slot {\n    pub header: AtomicU64,\n    pair: AtomicPair,\n    #[doc(hidden)]\n    pub(crate) mask: [u8; 4],\n}\n",
+            false,
+        );
+        assert_eq!(p.structs.len(), 1);
+        let s = &p.structs[0];
+        assert_eq!(s.name, "Slot");
+        let f: Vec<(String, String)> = s
+            .fields
+            .iter()
+            .map(|f| (f.name.clone(), p.text(f.ty)))
+            .collect();
+        assert_eq!(
+            f,
+            [
+                ("header".into(), "AtomicU64".into()),
+                ("pair".into(), "AtomicPair".into()),
+                ("mask".into(), "[u8;4]".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn statics_and_consts_with_types() {
+        let p = parse_source(
+            "static EPOCH: AtomicU64 = AtomicU64::new(0);\nconst N: usize = 8;\nconst fn f() -> u8 { 0 }\nfn g(p: *const u8) {}\n",
+            false,
+        );
+        let names: Vec<&str> = p.statics.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["EPOCH", "N"]);
+        assert_eq!(p.text(p.statics[0].ty), "AtomicU64");
+        // `const fn` and `*const` did not produce statics, and both fns parse.
+        assert_eq!(p.fns.len(), 2);
+    }
+
+    #[test]
+    fn raw_identifier_fn_names_survive() {
+        let p = parse_source("fn r#type() {}\nfn plain() {}\n", false);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["r#type", "plain"]);
+    }
+
+    #[test]
+    fn trait_methods_with_and_without_bodies() {
+        let p = parse_source(
+            "pub trait KvBackend {\n    fn execute(&self, n: u64) -> u64;\n    fn prefetch(&self, k: u64) {}\n}\n",
+            false,
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("KvBackend"));
+        assert!(p.fns[0].body.is_none());
+        assert!(p.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn nested_fn_inside_fn_body_is_found() {
+        let p = parse_source("fn outer() {\n    fn inner() {}\n}\n", false);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+    }
+
+    #[test]
+    fn whole_file_test_flag() {
+        let p = parse_source("fn t() {}\n", true);
+        assert!(p.fns[0].is_test);
+        assert!(p.line_in_test(0));
+    }
+
+    #[test]
+    fn bodies_map_token_ranges() {
+        let p = parse_source("fn f() {\n    a.unwrap();\n}\n", false);
+        let (b0, b1) = p.fns[0].body.unwrap();
+        assert!(p.toks.range_has_word(b0, b1, "unwrap"));
+        let _ = fns("fn g();");
+    }
+}

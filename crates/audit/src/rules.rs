@@ -22,8 +22,14 @@
 //!    or immediately above). `#[allow]` is exempt in test code.
 //! 5. **crate-root-lint-header** — every crate root must carry
 //!    `#![forbid(unsafe_code)]` or `#![deny(unsafe_op_in_unsafe_fn)]`.
+//!
+//! Rules 6–8 (`acquire-release-pairing`, `guard-escape`,
+//! `no-panic-hot-path`) need the whole-workspace inventory and live in
+//! [`crate::crossfile`]; this module also defines the shared [`Rule`],
+//! [`Severity`], and [`Finding`] vocabulary for all eight.
 
 use crate::lexer::LexedFile;
+use crate::parse::ParsedFile;
 
 /// What kind of file is being audited (affects rule strictness).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +50,9 @@ pub enum Rule {
     SeqCstNeedsRationale,
     BannedConstruct,
     CrateRootLintHeader,
+    AcquireReleasePairing,
+    GuardEscape,
+    NoPanicHotPath,
 }
 
 impl Rule {
@@ -55,18 +64,79 @@ impl Rule {
             Rule::SeqCstNeedsRationale => "seqcst-needs-rationale",
             Rule::BannedConstruct => "banned-construct",
             Rule::CrateRootLintHeader => "crate-root-lint-header",
+            Rule::AcquireReleasePairing => "acquire-release-pairing",
+            Rule::GuardEscape => "guard-escape",
+            Rule::NoPanicHotPath => "no-panic-hot-path",
+        }
+    }
+
+    /// Parse a kebab-case rule name (inverse of [`Rule::name`]).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Diagnostic severity: `acquire-release-pairing` is a *warning* (its
+    /// field-name pooling is a documented heuristic); every other rule states
+    /// a fact about the flagged line and is an *error*.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::AcquireReleasePairing => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// Every rule, in rule-number order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::UnsafeNeedsSafety,
+    Rule::AtomicNeedsOrdering,
+    Rule::SeqCstNeedsRationale,
+    Rule::BannedConstruct,
+    Rule::CrateRootLintHeader,
+    Rule::AcquireReleasePairing,
+    Rule::GuardEscape,
+    Rule::NoPanicHotPath,
+];
+
+/// How certain a diagnostic is (serialized into the JSON output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase name used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
         }
     }
 }
 
 /// One diagnostic: `file:line: [rule] message`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
     pub rule: Rule,
+    pub severity: Severity,
     pub message: String,
+}
+
+impl Finding {
+    /// Build a finding; the severity is derived from the rule.
+    pub fn new(file: &str, line: usize, rule: Rule, message: impl Into<String>) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            severity: rule.severity(),
+            message: message.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -103,10 +173,21 @@ const ATOMIC_METHODS: &[&str] = &[
 const ATOMIC_FNS: &[&str] = &["fence", "compiler_fence"];
 
 /// Audit one lexed file. `file` is the path used in diagnostics.
+///
+/// Convenience wrapper over [`check_parsed`] that parses internally; the
+/// two-pass workspace driver parses once and calls [`check_parsed`] directly.
 pub fn check_file(file: &str, lexed: &LexedFile, kind: FileKind) -> Vec<Finding> {
+    let parsed = crate::parse::parse_lexed(lexed.clone(), kind == FileKind::Test);
+    check_parsed(file, &parsed, kind)
+}
+
+/// Audit one parsed file with the per-file rules (1–5). Test scoping uses the
+/// parser's item-accurate regions: a `#[cfg(test)]` module at any depth, a
+/// `#[test]` fn, or a `#[cfg(test)]` impl block.
+pub fn check_parsed(file: &str, parsed: &ParsedFile, kind: FileKind) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let in_test = test_regions(lexed);
-    let exempt = |i: usize| kind == FileKind::Test || in_test[i];
+    let lexed = &parsed.lexed;
+    let exempt = |i: usize| kind == FileKind::Test || parsed.line_in_test(i);
 
     check_unsafe_sites(file, lexed, &mut findings);
     check_atomics(file, lexed, &exempt, &mut findings);
@@ -122,7 +203,8 @@ pub fn check_file(file: &str, lexed: &LexedFile, kind: FileKind) -> Vec<Finding>
     findings
 }
 
-/// Convenience for tests and fixtures: lex + check a source string.
+/// Convenience for tests and fixtures: lex + check a source string with every
+/// rule that can run on a single file (the per-file rules 1–5).
 pub fn check_source(file: &str, source: &str, kind: FileKind) -> Vec<Finding> {
     check_file(file, &crate::lexer::lex(source), kind)
 }
@@ -140,14 +222,12 @@ fn check_unsafe_sites(file: &str, lexed: &LexedFile, findings: &mut Vec<Finding>
             }
             if !has_annotation(lexed, i, &["SAFETY:", "# Safety"]) {
                 let what = site_kind(lexed, i, col);
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: i + 1,
-                    rule: Rule::UnsafeNeedsSafety,
-                    message: format!(
-                        "`{what}` without an immediately preceding `// SAFETY:` justification"
-                    ),
-                });
+                findings.push(Finding::new(
+                    file,
+                    i + 1,
+                    Rule::UnsafeNeedsSafety,
+                    format!("`{what}` without an immediately preceding `// SAFETY:` justification"),
+                ));
             }
         }
     }
@@ -249,12 +329,12 @@ fn check_ordering_in_args(
     if span.trim().is_empty() || has_annotation(lexed, line, &["ORDERING:"]) {
         return;
     }
-    findings.push(Finding {
-        file: file.to_string(),
-        line: line + 1,
-        rule: Rule::AtomicNeedsOrdering,
-        message: format!("atomic `{what}` call does not name an explicit `Ordering` at the site"),
-    });
+    findings.push(Finding::new(
+        file,
+        line + 1,
+        Rule::AtomicNeedsOrdering,
+        format!("atomic `{what}` call does not name an explicit `Ordering` at the site"),
+    ));
 }
 
 /// The text between the `(` at (line, col) and its matching `)`, possibly
@@ -309,13 +389,12 @@ fn check_seqcst(file: &str, lexed: &LexedFile, i: usize, findings: &mut Vec<Find
     if has_annotation(lexed, i, &["ORDERING:"]) {
         return;
     }
-    findings.push(Finding {
-        file: file.to_string(),
-        line: i + 1,
-        rule: Rule::SeqCstNeedsRationale,
-        message: "`SeqCst` without an `// ORDERING:` rationale (same line or immediately above)"
-            .to_string(),
-    });
+    findings.push(Finding::new(
+        file,
+        i + 1,
+        Rule::SeqCstNeedsRationale,
+        "`SeqCst` without an `// ORDERING:` rationale (same line or immediately above)",
+    ));
 }
 
 // ---------------------------------------------------------------------------
@@ -332,12 +411,12 @@ fn check_banned(
     let code = lexed.code(i);
     let mut flag = |what: &str| {
         if !has_annotation(lexed, i, &["AUDIT:"]) {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: i + 1,
-                rule: Rule::BannedConstruct,
-                message: format!("`{what}` without an `// AUDIT:` justification"),
-            });
+            findings.push(Finding::new(
+                file,
+                i + 1,
+                Rule::BannedConstruct,
+                format!("`{what}` without an `// AUDIT:` justification"),
+            ));
         }
     };
     if !word_positions(code, "transmute").is_empty() {
@@ -376,14 +455,13 @@ fn check_lint_header(file: &str, lexed: &LexedFile, findings: &mut Vec<Finding>)
         l.code.contains("forbid(unsafe_code)") || l.code.contains("unsafe_op_in_unsafe_fn")
     });
     if !ok {
-        findings.push(Finding {
-            file: file.to_string(),
-            line: 1,
-            rule: Rule::CrateRootLintHeader,
-            message: "crate root must carry `#![forbid(unsafe_code)]` or \
-                      `#![deny(unsafe_op_in_unsafe_fn)]`"
-                .to_string(),
-        });
+        findings.push(Finding::new(
+            file,
+            1,
+            Rule::CrateRootLintHeader,
+            "crate root must carry `#![forbid(unsafe_code)]` or \
+             `#![deny(unsafe_op_in_unsafe_fn)]`",
+        ));
     }
 }
 
@@ -446,7 +524,10 @@ fn next_word_after(lexed: &LexedFile, line: usize, col: usize) -> Option<String>
 /// Whether line `i` carries one of `markers` in its own comment or in the
 /// contiguous comment/attribute block immediately above it. A blank,
 /// comment-free line breaks the association.
-fn has_annotation(lexed: &LexedFile, i: usize, markers: &[&str]) -> bool {
+///
+/// This is the shared annotation grammar for `SAFETY:` / `ORDERING:` /
+/// `AUDIT:` / `ESCAPE:` / `HOT:` markers (see `docs/CORRECTNESS.md`).
+pub(crate) fn has_annotation(lexed: &LexedFile, i: usize, markers: &[&str]) -> bool {
     let hit = |text: &str| markers.iter().any(|m| text.contains(m));
     if hit(lexed.comment(i)) {
         return true;
@@ -466,53 +547,6 @@ fn has_annotation(lexed: &LexedFile, i: usize, markers: &[&str]) -> bool {
         }
     }
     false
-}
-
-/// Per-line flags: is the line inside a `#[cfg(test)] mod … { … }` region?
-fn test_regions(lexed: &LexedFile) -> Vec<bool> {
-    let n = lexed.lines.len();
-    let mut flags = vec![false; n];
-    let mut depth: i32 = 0;
-    // Brace depth below which each active test region ends.
-    let mut region_floor: Option<i32> = None;
-    // A `#[cfg(test)]` seen, waiting for the `mod` it decorates.
-    let mut pending_cfg_test = false;
-
-    for (i, flag) in flags.iter_mut().enumerate().take(n) {
-        let code = lexed.code(i);
-        if region_floor.is_none() {
-            if code.contains("#[cfg(test)]") {
-                pending_cfg_test = true;
-            } else if pending_cfg_test {
-                let t = code.trim();
-                let is_more_attr = t.starts_with("#[") || t.is_empty();
-                if t.starts_with("mod ") || t.starts_with("pub mod ") {
-                    region_floor = Some(depth);
-                } else if !is_more_attr {
-                    pending_cfg_test = false;
-                }
-            }
-        }
-        if region_floor.is_some() {
-            *flag = true;
-        }
-        for c in code.chars() {
-            match c {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if let Some(floor) = region_floor {
-                        if depth <= floor {
-                            region_floor = None;
-                            pending_cfg_test = false;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    flags
 }
 
 #[cfg(test)]

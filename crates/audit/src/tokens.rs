@@ -1,0 +1,398 @@
+//! A token stream over the sanitized [`crate::lexer`] output.
+//!
+//! The line lexer already strips comments and blanks literal contents; this
+//! module lifts the surviving code into a flat token vector with
+//! brace/bracket/paren *tree structure*: every `Open` token knows the index
+//! of its matching `Close` (and vice versa) via [`TokenFile::pair`], so a
+//! consumer can skip a whole group — a macro invocation's token tree, a
+//! function body, a generic argument list — in O(1).
+//!
+//! Design notes:
+//!
+//! * **Words** cover identifiers, keywords, and numeric literals alike; the
+//!   parser distinguishes keywords by spelling. Raw identifiers (`r#type`)
+//!   are one `Word` token *including* the `r#` prefix, so they can never be
+//!   mistaken for the keyword they shadow.
+//! * **`>>` is two `>` puncts.** Rust's own lexer splits `>>` when closing
+//!   nested generics (`Vec<Vec<u8>>`); emitting single-char puncts gives the
+//!   parser the same freedom, and a real shift-right is simply two adjacent
+//!   `>` tokens it never interprets as delimiters.
+//! * Angle brackets are **not** delimiters here (`a < b` is undecidable at
+//!   token level); [`crate::parse`] tracks them contextually.
+//! * String literal *remnants* (the quotes the lexer keeps for column
+//!   fidelity) are consumed statefully — a quote opens, the next quote
+//!   closes, across lines — and emit no tokens at all.
+
+use crate::lexer::LexedFile;
+
+/// A delimiter kind with real tree structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` `)`
+    Paren,
+    /// `[` `]`
+    Bracket,
+    /// `{` `}`
+    Brace,
+}
+
+/// One token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier, keyword, or number (`self`, `fn`, `0x1F`, `r#type`).
+    Word(String),
+    /// A lifetime, without the quote (`'a` → `a`).
+    Lifetime(String),
+    /// A single punctuation character (`>` twice for `>>`).
+    Punct(char),
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+}
+
+impl Tok {
+    /// The word's text, if this token is a [`Tok::Word`].
+    pub fn word(&self) -> Option<&str> {
+        match self {
+            Tok::Word(w) => Some(w.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the word `w`.
+    pub fn is_word(&self, w: &str) -> bool {
+        self.word() == Some(w)
+    }
+
+    /// Whether this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// A token with its 0-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// A whole file as a token stream with delimiter pairing.
+#[derive(Debug, Clone, Default)]
+pub struct TokenFile {
+    pub toks: Vec<Token>,
+    /// `pair[i]` is the index of the matching delimiter for an `Open`/`Close`
+    /// token at `i` (`None` for non-delimiters and unbalanced input).
+    pub pair: Vec<Option<usize>>,
+}
+
+impl TokenFile {
+    /// Token at `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i).map(|t| &t.tok)
+    }
+
+    /// 0-based line of token `i` (`0` past the end).
+    pub fn line(&self, i: usize) -> usize {
+        self.toks.get(i).map(|t| t.line).unwrap_or(0)
+    }
+
+    /// Matching delimiter index for the `Open`/`Close` at `i`.
+    pub fn match_of(&self, i: usize) -> Option<usize> {
+        self.pair.get(i).copied().flatten()
+    }
+
+    /// Render tokens `range` (half-open) as compact text, for messages and
+    /// coarse matching. Words are space-separated; puncts attach.
+    pub fn text(&self, start: usize, end: usize) -> String {
+        let mut out = String::new();
+        let mut prev_word = false;
+        for t in &self.toks[start.min(self.toks.len())..end.min(self.toks.len())] {
+            match &t.tok {
+                Tok::Word(w) => {
+                    if prev_word {
+                        out.push(' ');
+                    }
+                    out.push_str(w);
+                    prev_word = true;
+                }
+                Tok::Lifetime(l) => {
+                    if prev_word {
+                        out.push(' ');
+                    }
+                    out.push('\'');
+                    out.push_str(l);
+                    prev_word = true;
+                }
+                Tok::Punct(c) => {
+                    out.push(*c);
+                    prev_word = false;
+                }
+                Tok::Open(d) => {
+                    out.push(match d {
+                        Delim::Paren => '(',
+                        Delim::Bracket => '[',
+                        Delim::Brace => '{',
+                    });
+                    prev_word = false;
+                }
+                Tok::Close(d) => {
+                    out.push(match d {
+                        Delim::Paren => ')',
+                        Delim::Bracket => ']',
+                        Delim::Brace => '}',
+                    });
+                    prev_word = false;
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether any token in `range` (half-open) is the word `w`.
+    pub fn range_has_word(&self, start: usize, end: usize, w: &str) -> bool {
+        self.toks[start.min(self.toks.len())..end.min(self.toks.len())]
+            .iter()
+            .any(|t| t.tok.is_word(w))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize a lexed file.
+pub fn tokenize(lexed: &LexedFile) -> TokenFile {
+    let mut toks: Vec<Token> = Vec::new();
+    // Inside a string-literal remnant (delimiters kept by the lexer, contents
+    // blanked); spans lines for multi-line strings.
+    let mut in_string = false;
+
+    for (line, l) in lexed.lines.iter().enumerate() {
+        let chars: Vec<char> = l.code.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if in_string {
+                if c == '"' {
+                    in_string = false;
+                }
+                i += 1;
+                continue;
+            }
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c == '"' {
+                in_string = true;
+                i += 1;
+                continue;
+            }
+            if c == '\'' {
+                // Lifetime (`'a`) or a blanked char-literal remnant (`' '`).
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                if j > i + 1 && chars.get(j) != Some(&'\'') {
+                    toks.push(Token {
+                        tok: Tok::Lifetime(chars[i + 1..j].iter().collect()),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    // Char remnant: skip through the closing quote (the lexer
+                    // keeps both quotes on one line).
+                    let close = chars[i + 1..].iter().position(|&c| c == '\'');
+                    i = match close {
+                        Some(off) => i + 1 + off + 1,
+                        None => chars.len(),
+                    };
+                }
+                continue;
+            }
+            if is_ident_start(c) || c.is_ascii_digit() {
+                // Raw identifier: `r#type` is ONE word (keyword-proof).
+                let mut j = i;
+                if c == 'r'
+                    && chars.get(i + 1) == Some(&'#')
+                    && chars
+                        .get(i + 2)
+                        .copied()
+                        .map(is_ident_start)
+                        .unwrap_or(false)
+                {
+                    j = i + 2;
+                }
+                let start = j;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                let mut w = String::new();
+                if start != i {
+                    w.push_str("r#");
+                }
+                w.extend(&chars[start..j]);
+                toks.push(Token {
+                    tok: Tok::Word(w),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            let tok = match c {
+                '(' => Tok::Open(Delim::Paren),
+                ')' => Tok::Close(Delim::Paren),
+                '[' => Tok::Open(Delim::Bracket),
+                ']' => Tok::Close(Delim::Bracket),
+                '{' => Tok::Open(Delim::Brace),
+                '}' => Tok::Close(Delim::Brace),
+                other => Tok::Punct(other),
+            };
+            toks.push(Token { tok, line });
+            i += 1;
+        }
+    }
+
+    // Pair delimiters with a per-kind-tolerant stack: a close only pairs with
+    // a matching open; mismatched input degrades to `None`, never panics.
+    let mut pair = vec![None; toks.len()];
+    let mut stack: Vec<(usize, Delim)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.tok {
+            Tok::Open(d) => stack.push((i, d)),
+            Tok::Close(d) => {
+                if let Some(&(open, od)) = stack.last() {
+                    if od == d {
+                        stack.pop();
+                        pair[open] = Some(i);
+                        pair[i] = Some(open);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    TokenFile { toks, pair }
+}
+
+/// Convenience: lex + tokenize a source string.
+pub fn tokenize_source(source: &str) -> TokenFile {
+    tokenize(&crate::lexer::lex(source))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(t: &TokenFile) -> Vec<String> {
+        t.toks
+            .iter()
+            .filter_map(|t| t.tok.word().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream_with_lines() {
+        let t = tokenize_source("fn main() {\n    let x = 1;\n}\n");
+        assert_eq!(words(&t), ["fn", "main", "let", "x", "1"]);
+        // The `let` is on line 1 (0-based).
+        let let_idx = t.toks.iter().position(|t| t.tok.is_word("let")).unwrap();
+        assert_eq!(t.line(let_idx), 1);
+    }
+
+    #[test]
+    fn shift_right_is_two_gt_puncts() {
+        // Regression: `>>` must not be one token, or nested generics like
+        // `Vec<Vec<u8>>` could never be closed one level at a time.
+        let t = tokenize_source("let x: Vec<Vec<u8>> = a >> 2;");
+        let gts = t.toks.iter().filter(|t| t.tok.is_punct('>')).count();
+        assert_eq!(gts, 4, "two generic closers + two shift chars");
+        assert!(t.toks.iter().all(|t| !t.tok.is_word(">>")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_keyword_proof_words() {
+        // Regression: `r#type` must be ONE word and must not equal `type`;
+        // `r#fn` must never trigger keyword handling.
+        let t = tokenize_source("let r#type = 1; fn r#fn() {}");
+        let w = words(&t);
+        assert!(w.contains(&"r#type".to_string()), "{w:?}");
+        assert!(w.contains(&"r#fn".to_string()), "{w:?}");
+        assert!(!w.contains(&"type".to_string()), "{w:?}");
+    }
+
+    #[test]
+    fn raw_string_remnants_emit_no_phantom_tokens() {
+        // `r#"..."#` survives the lexer as `r#"   "#`; the `r`/`#` prefix and
+        // the quotes must not yield delimiter or brace tokens.
+        let t = tokenize_source(r##"let s = r#"{ not a brace }"#; done();"##);
+        assert!(
+            !t.toks
+                .iter()
+                .any(|t| matches!(t.tok, Tok::Open(Delim::Brace) | Tok::Close(Delim::Brace))),
+            "blanked raw-string contents must not produce braces"
+        );
+        assert!(words(&t).contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn delimiters_pair_across_lines_and_nesting() {
+        let t = tokenize_source("fn f(a: [u8; 4]) {\n    g(h[1], (2, 3));\n}\n");
+        for (i, tok) in t.toks.iter().enumerate() {
+            if let Tok::Open(d) = tok.tok {
+                let j = t.match_of(i).expect("every open pairs");
+                assert_eq!(t.get(j), Some(&Tok::Close(d)));
+                assert!(j > i);
+                assert_eq!(t.match_of(j), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn unbalanced_input_degrades_to_none() {
+        let t = tokenize_source("fn f( {");
+        assert!(t
+            .toks
+            .iter()
+            .enumerate()
+            .all(|(i, _)| t.match_of(i).is_none()));
+    }
+
+    #[test]
+    fn lifetimes_and_char_remnants() {
+        let t = tokenize_source("fn f<'a>(x: &'a str) { let c = '{'; }");
+        assert!(t
+            .toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Lifetime(l) if l == "a")));
+        // The blanked `'{'` must not produce a brace token: exactly the fn
+        // body's pair remains.
+        let braces = t
+            .toks
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Open(Delim::Brace)))
+            .count();
+        assert_eq!(braces, 1);
+    }
+
+    #[test]
+    fn multi_line_string_remnants_are_consumed_statefully() {
+        let t = tokenize_source("let s = \"one {\nunsafe \" ; after();");
+        assert!(!t.toks.iter().any(|t| t.tok.is_word("unsafe")));
+        assert!(words(&t).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn text_rendering_is_compact() {
+        let t = tokenize_source("pub fn f(x: &Guard) -> *mut u8");
+        assert_eq!(t.text(0, t.toks.len()), "pub fn f(x:&Guard)->*mut u8");
+    }
+}

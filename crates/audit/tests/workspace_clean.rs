@@ -2,8 +2,14 @@
 //!
 //! This is what turns `dlht_audit` from a CI convenience into an invariant:
 //! a PR cannot land an unjustified `unsafe` block, an implicit atomic
-//! ordering, or a stray `SeqCst` without this test going red.
+//! ordering, a one-sided release/acquire pair, a guard-escaping raw-pointer
+//! API, or a panicking hot path without this test going red.
+//!
+//! The `planted_*` tests are per-rule acceptance fixtures: each plants a
+//! deliberate violation and asserts the rule fires (so a regression in the
+//! analyzer itself also goes red, not quietly green).
 
+use dlht_audit::{AnalyzedFile, FileKind, Finding, Rule};
 use std::path::PathBuf;
 
 fn workspace_root() -> PathBuf {
@@ -15,8 +21,22 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
+/// Run the cross-file rules over in-memory sources.
+fn crossfile(files: &[(&str, FileKind, &str)]) -> Vec<Finding> {
+    let analyzed: Vec<AnalyzedFile> = files
+        .iter()
+        .map(|(path, kind, src)| AnalyzedFile {
+            path: path.to_string(),
+            kind: *kind,
+            parsed: dlht_audit::parse::parse_source(src, *kind == FileKind::Test),
+        })
+        .collect();
+    let inv = dlht_audit::inventory::build(&analyzed);
+    dlht_audit::crossfile::check_crossfile(&analyzed, &inv)
+}
+
 #[test]
-fn workspace_has_zero_findings() {
+fn workspace_has_zero_non_baselined_findings() {
     let root = workspace_root();
     assert!(
         root.join("Cargo.toml").exists(),
@@ -24,9 +44,12 @@ fn workspace_has_zero_findings() {
         root.display()
     );
     let findings = dlht_audit::audit_workspace(&root).expect("audit IO");
-    if !findings.is_empty() {
-        let mut msg = format!("{} audit finding(s):\n", findings.len());
-        for f in &findings {
+    let baseline = dlht_audit::Baseline::load(&root.join(dlht_audit::baseline::DEFAULT_FILE))
+        .expect("audit.baseline.json parses");
+    let (new, _baselined) = baseline.partition(&findings);
+    if !new.is_empty() {
+        let mut msg = format!("{} non-baselined audit finding(s):\n", new.len());
+        for f in &new {
             msg.push_str(&format!("  {f}\n"));
         }
         panic!("{msg}");
@@ -34,16 +57,144 @@ fn workspace_has_zero_findings() {
 }
 
 #[test]
-fn a_planted_violation_is_caught() {
-    // The acceptance fixture: a deliberately bad file must produce findings
-    // (i.e. the binary would exit non-zero on a workspace containing it).
+fn baseline_entries_are_not_stale() {
+    // Every baseline entry must still match a real finding; a fixed finding
+    // leaves its entry behind otherwise, silently widening the suppression.
+    let root = workspace_root();
+    let findings = dlht_audit::audit_workspace(&root).expect("audit IO");
+    let baseline = dlht_audit::Baseline::load(&root.join(dlht_audit::baseline::DEFAULT_FILE))
+        .expect("audit.baseline.json parses");
+    let stale: Vec<_> = baseline
+        .entries
+        .iter()
+        .filter(|e| {
+            !findings
+                .iter()
+                .any(|f| e.file == f.file && e.rule == f.rule.name() && e.message == f.message)
+        })
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale baseline entries (fix was landed; run --update-baseline): {stale:?}"
+    );
+}
+
+#[test]
+fn planted_unsafe_violation_is_caught() {
+    // The original acceptance fixture: a deliberately bad file must produce
+    // findings (i.e. the binary would exit non-zero on a workspace
+    // containing it).
     let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
-    let findings =
-        dlht_audit::check_source("crates/x/src/planted.rs", bad, dlht_audit::FileKind::Normal);
+    let findings = dlht_audit::check_source("crates/x/src/planted.rs", bad, FileKind::Normal);
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::UnsafeNeedsSafety),
+        "planted violation was not caught: {findings:?}"
+    );
+}
+
+#[test]
+fn planted_acquire_release_pairing_violation_is_caught() {
+    // A Release store whose field is never loaded with Acquire anywhere.
+    let bad = "struct S { ready: AtomicBool }\n\
+               impl S { fn publish(&self) { self.ready.store(true, Ordering::Release); } }\n\
+               fn check(s: &S) -> bool { s.ready.load(Ordering::Relaxed) }\n";
+    let findings = crossfile(&[("crates/x/src/planted.rs", FileKind::Normal, bad)]);
     assert!(
         findings
             .iter()
-            .any(|f| f.rule == dlht_audit::Rule::UnsafeNeedsSafety),
-        "planted violation was not caught: {findings:?}"
+            .any(|f| f.rule == Rule::AcquireReleasePairing
+                && f.message.contains("no Acquire-side load")),
+        "planted one-sided release was not caught: {findings:?}"
     );
+}
+
+#[test]
+fn planted_guard_escape_violation_is_caught() {
+    // A plain-pub raw-pointer return in crates/core with neither a &Guard
+    // parameter nor an ESCAPE: justification.
+    let bad = "impl T { pub fn leak(&self) -> *mut u8 { self.p } }\n";
+    let findings = crossfile(&[("crates/core/src/planted.rs", FileKind::Normal, bad)]);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == Rule::GuardEscape && f.message.contains("`leak`")),
+        "planted guard escape was not caught: {findings:?}"
+    );
+}
+
+#[test]
+fn planted_no_panic_hot_path_violation_is_caught() {
+    // A HOT-tagged function that unwraps and does bare indexing.
+    let bad = "// HOT: planted.\n\
+               fn decode(buf: &[u8]) -> u8 {\n\
+                   let first = buf.first().unwrap();\n\
+                   buf[1].wrapping_add(*first)\n\
+               }\n";
+    let findings = crossfile(&[("crates/x/src/planted.rs", FileKind::Normal, bad)]);
+    let hot: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::NoPanicHotPath)
+        .collect();
+    assert!(
+        hot.iter().any(|f| f.message.contains("`.unwrap()`"))
+            && hot
+                .iter()
+                .any(|f| f.message.contains("bare slice indexing")),
+        "planted hot-path panics were not caught: {findings:?}"
+    );
+}
+
+#[test]
+fn json_diagnostics_golden_round_trip() {
+    // The checked-in golden file pins the `dlht-audit/v2` wire format: a
+    // formatting or schema drift shows up as a byte-level diff here.
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden_diagnostics.json");
+    let expected = [
+        (
+            Finding::new(
+                "crates/core/src/table.rs",
+                42,
+                Rule::NoPanicHotPath,
+                "`.unwrap()` in hot-path fn `probe` (tagged `// HOT:`)",
+            ),
+            false,
+        ),
+        (
+            Finding::new(
+                "crates/epoch/src/lib.rs",
+                7,
+                Rule::GuardEscape,
+                "pub fn `peek` returns a raw pointer but takes no `&Guard`-typed \
+                 parameter and carries no `// ESCAPE:` justification",
+            ),
+            true,
+        ),
+        (
+            Finding::new(
+                "crates/core/src/index.rs",
+                9,
+                Rule::AcquireReleasePairing,
+                "atomic field `next` has a Release-side store but no Acquire-side \
+                 load anywhere in the workspace",
+            ),
+            false,
+        ),
+    ];
+    let refs: Vec<(&Finding, bool)> = expected.iter().map(|(f, b)| (f, *b)).collect();
+    let serialized = dlht_audit::json::findings_to_json(&refs);
+
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::write(&golden_path, &serialized).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect(
+        "tests/golden_diagnostics.json missing; regenerate with \
+         GOLDEN_UPDATE=1 cargo test -p dlht-audit json_diagnostics_golden_round_trip",
+    );
+    assert_eq!(
+        serialized, golden,
+        "diagnostics serialization drifted from the golden file"
+    );
+    let parsed = dlht_audit::json::findings_from_json(&golden).expect("golden parses");
+    assert_eq!(parsed, expected, "golden file does not round-trip");
 }

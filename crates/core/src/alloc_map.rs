@@ -328,6 +328,9 @@ impl AllocSession<'_> {
     /// writers (e.g. with a lock embedded in the value, as the paper's
     /// transactional clients do) and must not use the pointer after this
     /// session's next [`AllocSession::quiesce`] call.
+    // ESCAPE: `&mut self` pins this session between quiescent points, which
+    // is the epoch protection here — the record cannot be freed until the
+    // caller's next `quiesce`, exactly the documented pointer lifetime.
     pub fn get_value_ptr(&mut self, namespace: u16, key: &[u8]) -> Option<(*mut u8, usize)> {
         let (word, exact) = self.map.key_word(namespace, key);
         let value_word = self.map.table.get(word)?;

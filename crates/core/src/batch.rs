@@ -311,6 +311,7 @@ impl RawTable {
     /// (the [`crate::Pipeline`]) that already prefetched every request's bin
     /// at submit time — sweeping again here would add no latency-hiding
     /// distance.
+    // HOT: per-batch path under Pipeline::flush — must not panic.
     pub fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
         let guard = self.enter();
         self.execute_entered(guard.index_ptr(), batch, policy, false);

@@ -170,6 +170,10 @@ impl Index {
     // ----- resize bookkeeping -------------------------------------------------
 
     /// Pointer to the next (newer) index, if a resize has been initiated.
+    // ESCAPE: the `&self` borrow is itself only reachable through a guard
+    // (indexes are handed out via `EnterGuard::index_ptr`), and the returned
+    // next-index pointer stays valid for the same guard scope: the old and
+    // new index are retired together, after every session has migrated.
     #[inline]
     pub fn next_ptr(&self) -> *mut Index {
         self.next.load(Ordering::Acquire)

@@ -169,6 +169,7 @@ impl<'a, E: BatchExecutor + ?Sized> Pipeline<'a, E> {
     /// Returns the oldest completed response, if one is available — in steady
     /// state every submit returns exactly one response, lag `depth` behind
     /// the submission stream.
+    // HOT: per-op path on the pipelined client loop — must not panic.
     pub fn submit(&mut self, request: Request) -> Option<Response> {
         self.exec.issue_prefetch(request.key());
         self.pending.push_back(request);
@@ -180,6 +181,7 @@ impl<'a, E: BatchExecutor + ?Sized> Pipeline<'a, E> {
 
     /// Retrieve the oldest response, executing pending requests if none is
     /// ready yet. Returns `None` only when the pipeline is empty.
+    // HOT: per-op path on the pipelined client loop — must not panic.
     pub fn poll(&mut self) -> Option<Response> {
         if self.ready.is_empty() && !self.pending.is_empty() {
             self.flush_n(self.chunk.min(self.pending.len()));
@@ -215,17 +217,19 @@ impl<'a, E: BatchExecutor + ?Sized> Pipeline<'a, E> {
     }
 
     /// Execute the oldest `n` pending requests as one batch.
+    // HOT: per-op path under Pipeline::submit/poll — must not panic.
     fn flush_n(&mut self, n: usize) {
         if n == 0 {
             return;
         }
         self.scratch.clear();
+        // Bounded by whatever is actually pending: a caller-supplied `n`
+        // larger than the queue flushes everything rather than panicking.
         for _ in 0..n {
-            let req = self
-                .pending
-                .pop_front()
-                .expect("flush_n called with n > pending");
-            self.scratch.push(req);
+            match self.pending.pop_front() {
+                Some(req) => self.scratch.push(req),
+                None => break,
+            }
         }
         self.exec
             .run_prefetched(&mut self.scratch, self.flush_policy);

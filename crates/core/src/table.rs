@@ -326,6 +326,7 @@ impl RawTable {
 
     /// Lock-free Get (§3.2.1): seqlock-style scan validated by the header
     /// version. Usually a single cache line / memory access.
+    // HOT: the per-Get probe loop — must not panic.
     fn get_in(&self, idx: &Index, key: u64) -> Probe<Option<u64>> {
         let bin = idx.bin(idx.bin_of(key));
         'retry: loop {
@@ -369,6 +370,7 @@ impl RawTable {
     // that every caller already holds; bundling them would just add a struct
     // with one user.
     #[allow(clippy::too_many_arguments)]
+    // HOT: inner bin scan shared by Insert/Update/Delete probes.
     fn scan_for_key(
         &self,
         idx: &Index,

@@ -317,41 +317,53 @@ impl LocalHandle {
     /// `ptr` must remain valid until the deleter runs, the deleter must be the
     /// unique owner-release for `ptr`, and no new references to `ptr` may be
     /// created after this call.
+    // HOT: per-Delete retire path — must not panic. The modulo keeps the bag
+    // index in range; on the unreachable `None` the garbage is leaked rather
+    // than freed, which is memory-safe.
     pub unsafe fn retire_raw(&mut self, ptr: *mut u8, drop_fn: unsafe fn(*mut u8)) {
         let epoch = self.collector.epoch();
-        let bag = &mut self.bags[(epoch as usize) % GENERATIONS];
-        bag.items.push(Garbage::Raw { ptr, drop_fn });
-        self.pending += 1;
+        if let Some(bag) = self.bags.get_mut((epoch as usize) % GENERATIONS) {
+            bag.items.push(Garbage::Raw { ptr, drop_fn });
+            self.pending += 1;
+        }
     }
 
     /// Defer an arbitrary reclamation action until two epoch advances from
     /// now. The closure typically captures the allocator and allocation size
     /// needed to release an out-of-line record.
+    // HOT: per-op reclamation staging — must not panic (see `retire_raw`).
     pub fn defer(&mut self, f: impl FnOnce() + Send + 'static) {
         let epoch = self.collector.epoch();
-        let bag = &mut self.bags[(epoch as usize) % GENERATIONS];
-        bag.items.push(Garbage::Deferred(Box::new(f)));
-        self.pending += 1;
+        if let Some(bag) = self.bags.get_mut((epoch as usize) % GENERATIONS) {
+            bag.items.push(Garbage::Deferred(Box::new(f)));
+            self.pending += 1;
+        }
     }
 
     /// Announce a quiescent point: this thread holds no references obtained
     /// from the protected structure. Frees any of this handle's garbage that
     /// has become reclaimable and opportunistically tries to advance the
     /// global epoch.
+    // HOT: announced at every quiescent point of the operation loop — must
+    // not panic. `self.slot` was handed out by `register()` and the bag index
+    // is modulo-bounded; a stray index skips the announcement (the thread
+    // merely appears stalled, delaying reclamation) rather than panicking.
     pub fn quiescent(&mut self) {
         let collector = Arc::clone(&self.collector);
         let epoch = collector.epoch();
-        collector.slots[self.slot]
-            .announced
-            .store(epoch, Ordering::Release);
+        if let Some(slot) = collector.slots.get(self.slot) {
+            slot.announced.store(epoch, Ordering::Release);
+        }
         // Garbage retired in epoch `epoch - 2` (same bag index as `epoch + 1`)
         // is now unreachable by every thread.
         let reclaim_idx = ((epoch + 1) as usize) % GENERATIONS;
-        let n = self.bags[reclaim_idx].len();
-        if n > 0 {
-            self.bags[reclaim_idx].free_all();
-            self.pending -= n;
-            collector.freed.fetch_add(n as u64, Ordering::Relaxed);
+        if let Some(bag) = self.bags.get_mut(reclaim_idx) {
+            let n = bag.len();
+            if n > 0 {
+                bag.free_all();
+                self.pending -= n;
+                collector.freed.fetch_add(n as u64, Ordering::Relaxed);
+            }
         }
         collector.try_advance();
     }

@@ -206,47 +206,47 @@ pub fn put_header(buf: &mut Vec<u8>, opcode: u8, payload_len: usize) {
 /// * `Ok(None)` — the frame at the front is not complete yet; read more.
 /// * `Err(_)` — the stream is not (or no longer) speaking this protocol;
 ///   the connection must close.
+// HOT: decodes attacker-controlled bytes on the server read loop — must
+// not panic, whatever arrives.
 pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame<'_>, usize)>, WireError> {
-    if buf.is_empty() {
-        return Ok(None);
-    }
     // Validate the header bytes that have arrived so far, so garbage fails
     // immediately instead of waiting for 8 bytes of it.
-    if buf[0] != MAGIC {
-        return Err(WireError::BadMagic(buf[0]));
+    match buf.first() {
+        None => return Ok(None),
+        Some(&m) if m != MAGIC => return Err(WireError::BadMagic(m)),
+        Some(_) => {}
     }
-    if buf.len() >= 2 && buf[1] != VERSION {
-        return Err(WireError::BadVersion(buf[1]));
+    if let Some(&v) = buf.get(1) {
+        if v != VERSION {
+            return Err(WireError::BadVersion(v));
+        }
     }
-    if buf.len() >= 4 && buf[3] != 0 {
-        return Err(WireError::BadReserved(buf[3]));
+    if let Some(&r) = buf.get(3) {
+        if r != 0 {
+            return Err(WireError::BadReserved(r));
+        }
     }
-    if buf.len() < HEADER_LEN {
+    let Some((header, rest)) = buf.split_first_chunk::<HEADER_LEN>() else {
         return Ok(None);
-    }
-    let opcode = buf[2];
-    let len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    };
+    let [_, _, opcode, _, l0, l1, l2, l3] = *header;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversized(len));
     }
-    if buf.len() < HEADER_LEN + len {
-        return Ok(None);
+    match rest.get(..len) {
+        Some(payload) => Ok(Some((Frame { opcode, payload }, HEADER_LEN + len))),
+        None => Ok(None),
     }
-    Ok(Some((
-        Frame {
-            opcode,
-            payload: &buf[HEADER_LEN..HEADER_LEN + len],
-        },
-        HEADER_LEN + len,
-    )))
 }
 
 // ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
 
-fn read_u64(bytes: &[u8]) -> u64 {
-    u64::from_le_bytes(bytes[..8].try_into().expect("length checked by caller"))
+// HOT: shared word reader on the decode path — must not panic.
+fn read_u64(bytes: &[u8]) -> Option<u64> {
+    bytes.first_chunk::<8>().map(|c| u64::from_le_bytes(*c))
 }
 
 /// Encode one plain request frame (`GET`/`PUT`/`INSERT`/`DELETE`).
@@ -273,6 +273,7 @@ pub fn request_opcode(req: Request) -> u8 {
 }
 
 /// Decode the payload of a plain request frame.
+// HOT: decodes attacker-controlled bytes — must not panic.
 pub fn decode_request(opcode: u8, payload: &[u8]) -> Result<Request, WireError> {
     let bad = || WireError::BadPayload {
         opcode,
@@ -283,7 +284,7 @@ pub fn decode_request(opcode: u8, payload: &[u8]) -> Result<Request, WireError> 
             if payload.len() != 8 {
                 return Err(bad());
             }
-            let k = read_u64(payload);
+            let k = read_u64(payload).ok_or_else(bad)?;
             Ok(if opcode == op::GET {
                 Request::Get(k)
             } else {
@@ -294,8 +295,9 @@ pub fn decode_request(opcode: u8, payload: &[u8]) -> Result<Request, WireError> 
             if payload.len() != 16 {
                 return Err(bad());
             }
-            let k = read_u64(payload);
-            let v = read_u64(&payload[8..]);
+            let (key_bytes, value_bytes) = payload.split_at_checked(8).ok_or_else(bad)?;
+            let k = read_u64(key_bytes).ok_or_else(bad)?;
+            let v = read_u64(value_bytes).ok_or_else(bad)?;
             Ok(if opcode == op::PUT {
                 Request::Put(k, v)
             } else {
@@ -346,13 +348,16 @@ pub fn encode_batch(buf: &mut Vec<u8>, reqs: &[Request], policy: BatchPolicy) {
 
 /// Decode a `BATCH` payload header, returning the policy, the declared
 /// request count, and the packed items for [`BatchIter`].
+// HOT: decodes attacker-controlled bytes — must not panic.
 pub fn decode_batch_header(payload: &[u8]) -> Result<(BatchPolicy, u32, &[u8]), WireError> {
-    if payload.len() < 5 {
+    let Some((&policy_byte, rest)) = payload.split_first() else {
         return Err(WireError::BadBatch);
-    }
-    let policy = decode_policy(payload[0])?;
-    let count = u32::from_le_bytes(payload[1..5].try_into().expect("length checked"));
-    Ok((policy, count, &payload[5..]))
+    };
+    let policy = decode_policy(policy_byte)?;
+    let Some((count_bytes, items)) = rest.split_first_chunk::<4>() else {
+        return Err(WireError::BadBatch);
+    };
+    Ok((policy, u32::from_le_bytes(*count_bytes), items))
 }
 
 /// Zero-copy iterator over the packed requests of a `BATCH` payload.
@@ -399,13 +404,14 @@ impl<'a> BatchIter<'a> {
 impl Iterator for BatchIter<'_> {
     type Item = Result<Request, WireError>;
 
+    // HOT: per-item decode of attacker-controlled bytes — must not panic.
     fn next(&mut self) -> Option<Self::Item> {
         if self.remaining == 0 {
             return None;
         }
         // The declared count promises another item; an exhausted payload is
         // a malformed batch, not a clean end (count > items).
-        let Some(&opcode) = self.items.first() else {
+        let Some((&opcode, after_op)) = self.items.split_first() else {
             return self.poison(WireError::BadBatch);
         };
         self.remaining -= 1;
@@ -414,11 +420,11 @@ impl Iterator for BatchIter<'_> {
             op::PUT | op::INSERT => 16,
             other => return self.poison(WireError::UnknownOpcode(other)),
         };
-        if self.items.len() < 1 + body_len {
+        let Some((body, rest)) = after_op.split_at_checked(body_len) else {
             return self.poison(WireError::BadBatch);
-        }
-        let req = decode_request(opcode, &self.items[1..1 + body_len]);
-        self.items = &self.items[1 + body_len..];
+        };
+        let req = decode_request(opcode, body);
+        self.items = rest;
         Some(req)
     }
 }
@@ -488,16 +494,18 @@ pub fn encode_response_body(buf: &mut Vec<u8>, resp: Response) {
 
 /// Decode one response body from the front of `bytes`, returning the
 /// response and how many bytes it occupied.
+// HOT: decodes server-controlled bytes on the client poll loop — must not
+// panic.
 pub fn decode_response_body(bytes: &[u8]) -> Result<(Response, usize), WireError> {
     let tag = *bytes.first().ok_or(WireError::BadResponseTag(0xFF))?;
     let word = |resp: fn(u64) -> Response| -> Result<(Response, usize), WireError> {
-        if bytes.len() < 9 {
-            return Err(WireError::BadPayload {
+        match bytes.get(1..).and_then(read_u64) {
+            Some(v) => Ok((resp(v), 9)),
+            None => Err(WireError::BadPayload {
                 opcode: resp::RESP,
                 len: bytes.len(),
-            });
+            }),
         }
-        Ok((resp(read_u64(&bytes[1..])), 9))
     };
     match tag {
         TAG_VALUE_NONE => Ok((Response::Value(None), 1)),
@@ -563,27 +571,28 @@ pub fn encode_batch_responses(buf: &mut Vec<u8>, resps: &[Response]) {
 
 /// Decode a `RESP_BATCH` payload, appending the responses to `out` in
 /// submission-slot order. Returns the response count.
+// HOT: decodes server-controlled bytes on the client poll loop — must not
+// panic.
 pub fn decode_batch_responses(payload: &[u8], out: &mut Vec<Response>) -> Result<u32, WireError> {
     let bad = || WireError::BadPayload {
         opcode: resp::RESP_BATCH,
         len: payload.len(),
     };
-    if payload.len() < 4 {
+    let Some((count_bytes, mut rest)) = payload.split_first_chunk::<4>() else {
         return Err(bad());
-    }
-    let count = u32::from_le_bytes(payload[..4].try_into().expect("length checked"));
+    };
+    let count = u32::from_le_bytes(*count_bytes);
     // Every response body is at least one byte, so a count the payload
     // cannot hold is malformed — validated *before* the count (an untrusted
     // 4-byte field) sizes any allocation.
-    if count as usize > payload.len() - 4 {
+    if count as usize > rest.len() {
         return Err(bad());
     }
-    let mut rest = &payload[4..];
     out.reserve(count as usize);
     for _ in 0..count {
         let (r, used) = decode_response_body(rest)?;
         out.push(r);
-        rest = &rest[used..];
+        rest = rest.get(used..).ok_or_else(bad)?;
     }
     if !rest.is_empty() {
         return Err(bad());
@@ -630,6 +639,7 @@ pub fn encode_stats(buf: &mut Vec<u8>, stats: &TableStats, retired: usize) {
 }
 
 /// Decode a `RESP_STATS` payload.
+// HOT: decodes server-controlled bytes — must not panic.
 pub fn decode_stats(payload: &[u8]) -> Result<RemoteStats, WireError> {
     if payload.len() != STATS_PAYLOAD_LEN {
         return Err(WireError::BadPayload {
@@ -637,7 +647,9 @@ pub fn decode_stats(payload: &[u8]) -> Result<RemoteStats, WireError> {
             len: payload.len(),
         });
     }
-    let f = |i: usize| read_u64(&payload[i * 8..]);
+    // The exact-length check above guarantees every word is present; the
+    // `unwrap_or` is unreachable and only keeps this path panic-free.
+    let f = |i: usize| payload.get(i * 8..).and_then(read_u64).unwrap_or(0);
     Ok(RemoteStats {
         table: TableStats {
             bins: f(0) as usize,
@@ -649,7 +661,7 @@ pub fn decode_stats(payload: &[u8]) -> Result<RemoteStats, WireError> {
             resizes: f(6),
             generation: f(7) as u32,
             index_bytes: f(8) as usize,
-            occupancy: f64::from_le_bytes(payload[80..88].try_into().expect("length checked")),
+            occupancy: f64::from_bits(f(10)),
         },
         retired: f(9),
     })
@@ -667,14 +679,15 @@ pub fn encode_len(buf: &mut Vec<u8>, len: u64) {
 }
 
 /// Decode a `RESP_LEN` payload.
+// HOT: decodes server-controlled bytes — must not panic.
 pub fn decode_len(payload: &[u8]) -> Result<u64, WireError> {
-    if payload.len() != 8 {
-        return Err(WireError::BadPayload {
+    match read_u64(payload) {
+        Some(v) if payload.len() == 8 => Ok(v),
+        _ => Err(WireError::BadPayload {
             opcode: resp::RESP_LEN,
             len: payload.len(),
-        });
+        }),
     }
-    Ok(read_u64(payload))
 }
 
 /// Encode an `ERR` frame for `err` (the server closes after sending it).
