@@ -1,26 +1,34 @@
-//! `server` scenario: throughput of the `dlht-net` wire protocol over TCP
-//! loopback, sweeping connection count × client pipeline depth.
+//! `server` scenario: throughput and scaling of the `dlht-net` wire
+//! protocol over TCP loopback against the event-driven server.
 //!
-//! The scenario starts an in-process [`DlhtServer`] over a prepopulated
-//! [`ShardedTable`] on an ephemeral port, then drives 100%-GET traffic from
-//! `connections` client threads (one TCP connection each, mirroring the
-//! server's thread-per-connection model). Depth 1 issues one request per
-//! network round trip; depth `d` pipelines `d` requests per round trip,
-//! which the server drains into **one** prefetched batch execution — so the
-//! depth axis is simultaneously the wire-pipelining axis and the server-side
-//! batch-size axis (paper §3.3 over a socket).
+//! Four series:
+//!
+//! 1. **GET sweep** — connection count × client pipeline depth. Depth 1
+//!    issues one request per network round trip; depth `d` pipelines `d`
+//!    requests per round trip, which the server drains into **one**
+//!    prefetched batch execution — the depth axis is simultaneously the
+//!    wire-pipelining axis and the server-side batch-size axis (paper §3.3
+//!    over a socket). Acceptance bar: depth ≥ 8 beats depth 1 by ≥ 2×.
+//! 2. **Worker scaling** — fixed connection count, sweeping the event-loop
+//!    worker pool size (one server per point). Throughput should follow
+//!    workers, not connections: connections are just poll registrations.
+//! 3. **Connection sweep** — hold hundreds of live connections (256 in
+//!    smoke, 1024 in `--full`) that each ran real traffic, and measure
+//!    `buffer_bytes / connections`. The point records `bytes_per_conn` and
+//!    the scenario **fails** if per-connection memory is not flat (rings
+//!    must shrink back after their burst).
+//! 4. **Admin probe under load** — round-trip `STATS` on the admin plane
+//!    while every worker is saturated with pipelined data traffic,
+//!    recording the admin latency.
 //!
 //! One extra series runs YCSB A *over the wire* through [`RemoteBackend`],
 //! demonstrating that the whole workload harness drives a remote table
 //! unchanged (the same switch `fig18_ycsb --server <addr>` exposes).
-//!
-//! Expected shape (the acceptance bar for the subsystem): pipelined depth
-//! ≥ 8 beats unpipelined (depth 1) by ≥ 2× at every connection count — each
-//! point records its `speedup_vs_depth1`.
 
 use dlht_bench::run_scenario;
 use dlht_core::{KvBackend, Request, Response, ShardedTable};
-use dlht_net::{DlhtClient, DlhtServer, RemoteBackend};
+use dlht_net::{ByteRing, DlhtClient, DlhtServer, RemoteBackend, ServerConfig};
+use dlht_workloads::report::Tier;
 use dlht_workloads::ycsb::{run_ycsb, YcsbMix};
 use dlht_workloads::{fmt_mops, prepopulate, Table, Xoshiro256};
 use std::sync::Arc;
@@ -28,6 +36,11 @@ use std::time::{Duration, Instant};
 
 /// Pipeline depths swept at every connection count (1 = no pipelining).
 const DEPTHS: [usize; 3] = [1, 8, 32];
+
+/// Flat-memory bar for the connection sweep: average ring capacity pinned
+/// per live connection after its burst drained. Two rings per connection,
+/// each allowed its retained capacity.
+const FLAT_BYTES_PER_CONN: u64 = 2 * ByteRing::SHRINK_CAPACITY as u64;
 
 /// Drive 100%-GET traffic from `connections` clients at `depth`, returning
 /// (total ops, wall time).
@@ -86,13 +99,16 @@ fn main() {
             scale.keys as usize * 2,
         ));
         prepopulate(&*table as &dyn KvBackend, scale.keys);
-        let server = DlhtServer::bind("127.0.0.1:0", table).expect("bind bench server");
+        let server = DlhtServer::bind("127.0.0.1:0", table.clone()).expect("bind bench server");
         let addr = server.local_addr();
         ctx.note(&format!(
-            "Serving on {addr} ({} shards, {} keys prepopulated).",
-            scale.shards, scale.keys
+            "Serving on {addr} ({} event-loop workers, {} shards, {} keys prepopulated).",
+            server.workers(),
+            scale.shards,
+            scale.keys
         ));
 
+        // --- Series 1: GET throughput, connections × pipeline depth -----
         let mut table_out = Table::new(
             "dlht-net — GET throughput over TCP loopback (M req/s)",
             &[
@@ -137,8 +153,176 @@ fn main() {
             ]);
         }
 
-        // YCSB A over the wire: the whole workload harness driving the
-        // remote backend (one connection per worker thread) unchanged.
+        // --- Series 2: worker scaling (one server per pool size) --------
+        // Throughput should track the worker axis, not the connection
+        // count: with the readiness loop, connections are just poll
+        // registrations. (On a single-core runner all points land close
+        // together — the JSON still records the curve.)
+        let mut worker_table = Table::new(
+            "dlht-net — worker scaling (fixed connections, depth 32)",
+            &["workers", "M req/s"],
+        );
+        let fixed_conns = connection_counts.last().copied().unwrap_or(1) * 2;
+        for &workers in &scale.threads {
+            let wtable = Arc::new(ShardedTable::with_capacity(
+                scale.shards,
+                scale.keys as usize * 2,
+            ));
+            prepopulate(&*wtable as &dyn KvBackend, scale.keys);
+            let wserver = DlhtServer::bind_with(
+                "127.0.0.1:0",
+                wtable,
+                ServerConfig {
+                    workers,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind worker-scaling server");
+            let seed = scale.seed_for(&format!("server/workers{workers}"));
+            let _ = run_wire_gets(
+                wserver.local_addr(),
+                fixed_conns,
+                32,
+                scale.keys,
+                seed,
+                scale.warmup(),
+            );
+            let (ops, elapsed) = run_wire_gets(
+                wserver.local_addr(),
+                fixed_conns,
+                32,
+                scale.keys,
+                seed,
+                scale.duration(),
+            );
+            let mops = ops as f64 / elapsed.as_secs_f64() / 1e6;
+            ctx.point("GET (worker scaling)")
+                .axis("workers", workers)
+                .axis("connections", fixed_conns)
+                .axis("depth", 32usize)
+                .mops(mops)
+                .ops(ops)
+                .emit();
+            worker_table.row(&[workers.to_string(), fmt_mops(mops)]);
+            wserver.shutdown();
+        }
+
+        // --- Series 3: connection sweep with flat-memory assertion ------
+        let sweep_conns: usize = match scale.tier {
+            Tier::Smoke => 256,
+            Tier::Full => 1024,
+        };
+        {
+            let deadline = Instant::now() + Duration::from_secs(60);
+            let mut held: Vec<DlhtClient<std::net::TcpStream>> = Vec::with_capacity(sweep_conns);
+            for i in 0..sweep_conns {
+                let mut c =
+                    DlhtClient::connect(addr).unwrap_or_else(|e| panic!("sweep connect #{i}: {e}"));
+                // Real traffic on every connection so its rings see use.
+                let reqs: Vec<Request> = (0..16u64)
+                    .map(|k| Request::Get((i as u64 * 16 + k) % scale.keys.max(1)))
+                    .collect();
+                let resps = c.pipelined(&reqs).expect("sweep pipelined GETs");
+                assert_eq!(resps.len(), 16);
+                held.push(c);
+                assert!(Instant::now() < deadline, "connection sweep timed out");
+            }
+            // Let the workers finish their passes, then read the gauge.
+            std::thread::sleep(Duration::from_millis(100));
+            let live = server.counters().active;
+            assert!(
+                live >= sweep_conns as u64,
+                "expected {sweep_conns} live connections, server sees {live}"
+            );
+            let buffered = server.buffer_bytes();
+            let bytes_per_conn = buffered / sweep_conns as u64;
+            ctx.point("connection sweep")
+                .axis("connections", sweep_conns)
+                .ops(sweep_conns as u64 * 16)
+                .extra("buffer_bytes", buffered as f64)
+                .extra("bytes_per_conn", bytes_per_conn as f64)
+                .emit();
+            ctx.note(&format!(
+                "Connection sweep: {sweep_conns} live connections hold {buffered} buffer bytes \
+                 ({bytes_per_conn} B/conn; flat bar {FLAT_BYTES_PER_CONN} B/conn)."
+            ));
+            assert!(
+                bytes_per_conn <= FLAT_BYTES_PER_CONN,
+                "per-connection memory is not flat: {bytes_per_conn} B/conn \
+                 (bar {FLAT_BYTES_PER_CONN})"
+            );
+            drop(held);
+            // Wait for the server to notice the closes (keeps the YCSB
+            // series below from sharing the sweep's fds).
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while server.counters().active > 0 {
+                assert!(Instant::now() < deadline, "sweep connections never drained");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+
+        // --- Series 4: admin plane probed under data-plane saturation ---
+        {
+            let atable = Arc::new(ShardedTable::with_capacity(
+                scale.shards,
+                scale.keys as usize * 2,
+            ));
+            prepopulate(&*atable as &dyn KvBackend, scale.keys);
+            let aserver = DlhtServer::bind_with(
+                "127.0.0.1:0",
+                atable,
+                ServerConfig {
+                    admin_addr: Some("127.0.0.1:0".to_string()),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind admin-probe server");
+            let data_addr = aserver.local_addr();
+            let admin_addr = aserver.admin_addr().expect("admin plane");
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let hammers: Vec<_> = (0..2)
+                .map(|tid| {
+                    let stop = stop.clone();
+                    let keys = scale.keys;
+                    std::thread::spawn(move || {
+                        let mut client = DlhtClient::connect(data_addr).expect("hammer connect");
+                        let mut rng = Xoshiro256::new(0xAD1A + tid as u64);
+                        let mut reqs: Vec<Request> = Vec::with_capacity(32);
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            reqs.clear();
+                            for _ in 0..32 {
+                                reqs.push(Request::Get(rng.next_below(keys.max(1))));
+                            }
+                            let _ = client.pipelined(&reqs).expect("hammer pipeline");
+                        }
+                    })
+                })
+                .collect();
+            let mut admin = DlhtClient::connect(admin_addr).expect("admin connect");
+            let probes = 32u32;
+            let t = Instant::now();
+            for _ in 0..probes {
+                let stats = admin.stats().expect("admin STATS under load");
+                std::hint::black_box(&stats);
+            }
+            let avg_us = t.elapsed().as_secs_f64() * 1e6 / probes as f64;
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            for h in hammers {
+                h.join().expect("hammer thread");
+            }
+            ctx.point("admin STATS under load")
+                .axis("connections", 2usize)
+                .ops(probes as u64)
+                .extra("admin_stats_us", avg_us)
+                .emit();
+            ctx.note(&format!(
+                "Admin plane answered {probes} STATS probes at {avg_us:.0} µs average while \
+                 the data plane ran saturated pipelines."
+            ));
+            aserver.shutdown();
+        }
+
+        // --- YCSB A over the wire (workload harness unchanged) ----------
         let connections = *connection_counts.last().unwrap_or(&1);
         let remote = RemoteBackend::connect(addr.to_string()).expect("connect remote backend");
         let _ = run_ycsb(
@@ -170,10 +354,16 @@ fn main() {
         ]);
 
         ctx.table(&table_out);
+        ctx.table(&worker_table);
         let counters = server.shutdown();
         ctx.note(&format!(
-            "Server counters: {} connections, {} ops in {} batches ({} protocol errors).",
-            counters.connections, counters.ops, counters.batches, counters.protocol_errors
+            "Server counters: {} connections, {} ops in {} batches ({} protocol errors, \
+             {} panics).",
+            counters.connections,
+            counters.ops,
+            counters.batches,
+            counters.protocol_errors,
+            counters.panics
         ));
     });
 }

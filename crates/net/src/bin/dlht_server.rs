@@ -3,19 +3,34 @@
 //!
 //! ```text
 //! dlht_server [--addr 127.0.0.1:4455] [--shards 4] [--capacity 1000000]
-//!             [--keys N]
+//!             [--keys N] [--workers W] [--admin-addr 127.0.0.1:4456]
+//! dlht_server --probe <admin-addr>
 //! ```
 //!
 //! `--keys N` prepopulates keys `0..N` (value = key), matching the workload
 //! harness's `dlht_workloads::prepopulate` convention so a remote YCSB run
 //! finds the key space it expects.
+//!
+//! `--workers W` sizes the event-loop worker pool (0 = auto). `--admin-addr`
+//! opens the admin plane — a separate port serving only `STATS`/`LEN`/`PING`
+//! so health checks never queue behind data traffic.
+//!
+//! `--probe <addr>` runs as an admin-plane health probe instead of a
+//! server: it connects, round-trips `PING`, `STATS`, and `LEN`, prints one
+//! summary line, and exits 0 on success / 1 on any failure — made for CI
+//! and liveness checks.
 
 use dlht_core::{KvBackend, ShardedTable};
-use dlht_net::{flag_value, DlhtServer};
+use dlht_net::{flag_value, DlhtClient, DlhtServer, ServerConfig};
 use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(addr) = flag_value(&args, "--probe") {
+        std::process::exit(probe(&addr));
+    }
+
     let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:4455".to_string());
     let shards: usize = flag_value(&args, "--shards")
         .and_then(|v| v.parse().ok())
@@ -26,6 +41,10 @@ fn main() {
     let keys: u64 = flag_value(&args, "--keys")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let workers: usize = flag_value(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let admin_addr = flag_value(&args, "--admin-addr");
 
     let table = Arc::new(ShardedTable::with_capacity(shards, capacity));
     for k in 0..keys {
@@ -33,14 +52,24 @@ fn main() {
             .insert(k, k)
             .unwrap_or_else(|e| panic!("prepopulating key {k}: {e}"));
     }
-    let server = DlhtServer::bind(&addr, table.clone())
+    let config = ServerConfig {
+        workers,
+        admin_addr,
+        ..ServerConfig::default()
+    };
+    let server = DlhtServer::bind_with(&addr, table.clone(), config)
         .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
     eprintln!(
-        "dlht_server listening on {} ({} shards, capacity {}, {} prepopulated keys)",
+        "dlht_server listening on {} ({} workers, {} shards, capacity {}, {} prepopulated keys{})",
         server.local_addr(),
+        server.workers(),
         table.num_shards(),
         capacity,
-        keys
+        keys,
+        match server.admin_addr() {
+            Some(a) => format!(", admin plane on {a}"),
+            None => String::new(),
+        }
     );
     // Serve until the process is terminated; print a counter line every few
     // seconds so an operator sees traffic.
@@ -48,13 +77,54 @@ fn main() {
         std::thread::sleep(std::time::Duration::from_secs(10));
         let c = server.counters();
         eprintln!(
-            "connections={} active={} ops={} batches={} protocol_errors={} keys={}",
+            "connections={} active={} ops={} batches={} protocol_errors={} panics={} \
+             admin_frames={} buffer_bytes={} keys={}",
             c.connections,
             c.active,
             c.ops,
             c.batches,
             c.protocol_errors,
+            c.panics,
+            c.admin_frames,
+            server.buffer_bytes(),
             table.len()
         );
     }
+}
+
+/// Health-probe mode: exercise the admin plane (works against the data
+/// plane too, which serves a superset) and report in one line.
+fn probe(addr: &str) -> i32 {
+    let started = std::time::Instant::now();
+    let mut client = match DlhtClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("probe: cannot connect {addr}: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = client.ping() {
+        eprintln!("probe: PING failed: {e}");
+        return 1;
+    }
+    let stats = match client.stats() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("probe: STATS failed: {e}");
+            return 1;
+        }
+    };
+    let len = match client.server_len() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("probe: LEN failed: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "probe ok: {addr} answered PING/STATS/LEN in {:?} (len={len}, occupied_slots={})",
+        started.elapsed(),
+        stats.table.occupied_slots
+    );
+    0
 }

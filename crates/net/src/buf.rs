@@ -1,0 +1,247 @@
+//! [`ByteRing`]: the per-connection byte buffer of the event-driven server.
+//!
+//! Both sides of a connection need a "bytes in, bytes out, keep the
+//! unconsumed tail" buffer: the read side carries the incomplete frame a
+//! partial socket read left behind, the write side carries response bytes a
+//! full TCP window would not accept. The obvious `Vec` +
+//! `drain(..consumed)` implementation has two production bugs this type
+//! exists to eliminate:
+//!
+//! 1. **Quadratic drain** — `Vec::drain(..n)` memmoves the whole tail on
+//!    every call, so a connection that always leaves one partial frame
+//!    behind pays O(buffered²) over its lifetime. `ByteRing` instead tracks
+//!    a consumed-prefix offset and only compacts (one `copy_within`) when
+//!    the dead prefix has grown to at least half the buffer — every byte is
+//!    moved O(1) times, amortized.
+//! 2. **Capacity pinned forever** — one 1 MiB frame used to leave 1 MiB of
+//!    `Vec` capacity allocated per connection for its lifetime. `ByteRing`
+//!    shrinks back to [`ByteRing::SHRINK_CAPACITY`] whenever it drains
+//!    empty while oversized, so per-connection memory stays flat no matter
+//!    what traffic came through.
+
+use std::io::Read;
+
+/// A sliding byte buffer: append at the tail, consume from the head,
+/// contiguous view of the unconsumed bytes (module docs above).
+#[derive(Debug, Default)]
+pub struct ByteRing {
+    /// Backing storage; `buf[start..]` is the live region.
+    buf: Vec<u8>,
+    /// Consumed-prefix length (dead bytes awaiting compaction).
+    start: usize,
+}
+
+impl ByteRing {
+    /// Capacity retained across [`ByteRing::consume`]-to-empty: buffers that
+    /// ballooned past this (e.g. a single `MAX_PAYLOAD` frame) are shrunk
+    /// back once drained, keeping idle-connection memory flat.
+    pub const SHRINK_CAPACITY: usize = 64 * 1024;
+
+    /// Dead prefixes below this are never worth a `copy_within`.
+    const COMPACT_MIN: usize = 4 * 1024;
+
+    /// An empty ring (no allocation until first append).
+    pub fn new() -> ByteRing {
+        ByteRing::default()
+    }
+
+    // HOT: the event loop reads this once per readiness event.
+    /// The unconsumed bytes, contiguous.
+    pub fn data(&self) -> &[u8] {
+        self.buf.get(self.start..).unwrap_or(&[])
+    }
+
+    /// Number of unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len().saturating_sub(self.start)
+    }
+
+    /// `true` when no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of backing capacity currently allocated (the number the
+    /// flat-memory accounting sums per connection).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    // HOT: runs after every processed read and every socket write.
+    /// Mark the first `n` unconsumed bytes consumed. Compacts when the dead
+    /// prefix reaches half the buffer (amortized O(1) per byte) and shrinks
+    /// oversized capacity once the buffer drains empty.
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.len(), "consume past the live region");
+        self.start = (self.start + n).min(self.buf.len());
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+            if self.buf.capacity() > Self::SHRINK_CAPACITY {
+                self.buf.shrink_to(Self::SHRINK_CAPACITY);
+            }
+        } else if self.start >= Self::COMPACT_MIN && self.start * 2 >= self.buf.len() {
+            self.compact();
+        }
+    }
+
+    /// Drop everything, including oversized capacity.
+    pub fn clear(&mut self) {
+        self.start = 0;
+        self.buf.clear();
+        if self.buf.capacity() > Self::SHRINK_CAPACITY {
+            self.buf.shrink_to(Self::SHRINK_CAPACITY);
+        }
+    }
+
+    /// Append `bytes` at the tail.
+    pub fn append(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append through a closure that may only push bytes onto the given
+    /// `Vec` (the storage tail). This lets producers that already speak
+    /// "append to a `Vec<u8>`" — the wire encoder, [`crate::Service`] —
+    /// write straight into the ring with no intermediate copy.
+    pub fn append_with<R>(&mut self, f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+        let tail_before = self.buf.len();
+        let r = f(&mut self.buf);
+        debug_assert!(
+            self.buf.len() >= tail_before,
+            "append_with must only append"
+        );
+        r
+    }
+
+    /// Read up to `max` bytes from `r` into the tail, returning what
+    /// `Read::read` returned. The dead prefix is compacted first when large
+    /// enough that growing the tail would otherwise duplicate it.
+    pub fn read_from<R: Read + ?Sized>(&mut self, r: &mut R, max: usize) -> std::io::Result<usize> {
+        if self.start >= Self::COMPACT_MIN {
+            self.compact();
+        }
+        let tail = self.buf.len();
+        self.buf.resize(tail + max, 0);
+        let result = r.read(&mut self.buf[tail..]);
+        match &result {
+            Ok(n) => self.buf.truncate(tail + n),
+            Err(_) => self.buf.truncate(tail),
+        }
+        result
+    }
+
+    /// Slide the live region to the front of the storage.
+    fn compact(&mut self) {
+        let live = self.buf.len() - self.start;
+        self.buf.copy_within(self.start.., 0);
+        self.buf.truncate(live);
+        self.start = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_consume_roundtrip() {
+        let mut ring = ByteRing::new();
+        assert!(ring.is_empty());
+        ring.append(b"hello world");
+        assert_eq!(ring.data(), b"hello world");
+        ring.consume(6);
+        assert_eq!(ring.data(), b"world");
+        ring.append(b"!");
+        assert_eq!(ring.data(), b"world!");
+        ring.consume(6);
+        assert!(ring.is_empty());
+        assert_eq!(ring.data(), b"");
+    }
+
+    #[test]
+    fn consume_is_amortized_not_quadratic() {
+        // The regression shape: every pass appends a chunk and consumes all
+        // but a small tail. With drain() this memmoves the whole buffer per
+        // pass; with the offset scheme the live region stays small and the
+        // buffer never grows past chunk + tail (+ slack).
+        let mut ring = ByteRing::new();
+        let chunk = vec![0xABu8; 16 * 1024];
+        for _ in 0..200 {
+            ring.append(&chunk);
+            let keep = 7;
+            ring.consume(ring.len() - keep);
+            assert_eq!(ring.len(), keep);
+            assert!(
+                ring.capacity() <= 2 * (chunk.len() + ByteRing::COMPACT_MIN),
+                "dead prefix must be compacted away, capacity {}",
+                ring.capacity()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_capacity_is_released_when_drained() {
+        let mut ring = ByteRing::new();
+        let big = vec![1u8; 1 << 20]; // one MAX_PAYLOAD-sized frame
+        ring.append(&big);
+        assert!(ring.capacity() >= big.len());
+        ring.consume(big.len());
+        assert!(ring.is_empty());
+        assert!(
+            ring.capacity() <= ByteRing::SHRINK_CAPACITY,
+            "drained ring must shrink, capacity {}",
+            ring.capacity()
+        );
+        // And it keeps working after the shrink.
+        ring.append(b"abc");
+        assert_eq!(ring.data(), b"abc");
+    }
+
+    #[test]
+    fn partial_consume_keeps_tail_intact_across_compaction() {
+        let mut ring = ByteRing::new();
+        // Force repeated compactions with a verifiable pattern.
+        let mut next_write = 0u64;
+        let mut next_read = 0u64;
+        for _ in 0..50 {
+            for _ in 0..512 {
+                ring.append(&next_write.to_le_bytes());
+                next_write += 1;
+            }
+            while ring.len() >= 8 + 3 {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&ring.data()[..8]);
+                assert_eq!(u64::from_le_bytes(b), next_read);
+                next_read += 1;
+                ring.consume(8);
+            }
+        }
+    }
+
+    #[test]
+    fn read_from_appends_at_tail() {
+        let mut ring = ByteRing::new();
+        ring.append(b"head|");
+        let mut src: &[u8] = b"tail";
+        let n = ring.read_from(&mut src, 16).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(ring.data(), b"head|tail");
+        // Zero-byte read (EOF) leaves the ring unchanged.
+        let mut empty: &[u8] = b"";
+        assert_eq!(ring.read_from(&mut empty, 16).unwrap(), 0);
+        assert_eq!(ring.data(), b"head|tail");
+    }
+
+    #[test]
+    fn append_with_writes_into_the_tail() {
+        let mut ring = ByteRing::new();
+        ring.append(b"x");
+        ring.consume(1);
+        let r = ring.append_with(|v| {
+            v.extend_from_slice(b"frame");
+            42usize
+        });
+        assert_eq!(r, 42);
+        assert_eq!(ring.data(), b"frame");
+    }
+}

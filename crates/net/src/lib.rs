@@ -20,9 +20,16 @@
 //!   `LEN` and `PING`, with zero-copy decode into [`dlht_core::Request`].
 //! * [`service`] — the transport-independent connection engine (frames →
 //!   batch → responses) every transport shares.
-//! * [`server`] — [`DlhtServer`]: thread-per-connection over
-//!   `std::net::TcpListener`, one cached [`dlht_core::ShardedSession`] per
-//!   connection, graceful shutdown, live counters.
+//! * [`buf`] — [`ByteRing`], the per-connection sliding byte buffer with
+//!   amortized O(1) consumption and capacity release on drain.
+//! * [`poll`] — a dependency-free readiness abstraction: [`poll::Poller`]
+//!   over `poll(2)` plus a loopback-socket [`poll::Waker`].
+//! * [`server`] — [`DlhtServer`]: an event-driven non-blocking readiness
+//!   loop with a fixed worker pool (one cached
+//!   [`dlht_core::ShardedSession`] per worker, shared by all of that
+//!   worker's connections), per-connection read/write rings with
+//!   write-side backpressure, an optional admin plane on a separate port
+//!   (`STATS`/`LEN`/`PING`), graceful shutdown, live counters.
 //! * [`client`] — [`DlhtClient`]: a pipelining client over any
 //!   `Read + Write` transport (TCP or loopback).
 //! * [`loopback`] — a deterministic in-process transport so protocol tests
@@ -58,18 +65,24 @@
 //! Over TCP: [`DlhtServer::bind`] + [`DlhtClient::connect`] — see
 //! `examples/server.rs` / `examples/client.rs` at the workspace root.
 
-#![forbid(unsafe_code)]
+// The one unsafe site in this crate is the `poll(2)` FFI declaration and
+// call in [`poll`]; everything else stays safe, and that site carries a
+// `// SAFETY:` justification.
+#![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod buf;
 pub mod client;
 pub mod loopback;
+pub mod poll;
 pub mod remote;
 pub mod server;
 pub mod service;
 pub mod wire;
 
+pub use buf::ByteRing;
 pub use client::{DlhtClient, NetError};
 pub use loopback::{loopback_client, LoopbackBackend, LoopbackTransport};
 pub use remote::{flag_value, server_addr_from_args, RemoteBackend};
-pub use server::{DlhtServer, ServerCounters};
+pub use server::{DlhtServer, ServerConfig, ServerCounters, WRITE_HIGH_WATER};
 pub use service::{BackendEngine, ConnStats, Service, ServiceEngine};
 pub use wire::{RemoteStats, WireError, MAX_PAYLOAD, VERSION};

@@ -1,32 +1,89 @@
-//! The TCP server: thread-per-connection serving over a shared
-//! [`ShardedTable`].
+//! The TCP server: an event-driven, non-blocking readiness loop over a
+//! shared [`ShardedTable`].
 //!
-//! Every accepted connection gets its own OS thread and its own
-//! [`dlht_core::ShardedSession`] — a per-thread handle with one cached registry slot
-//! per shard — so the enter/leave announcements of batch execution go
-//! through cached slots exactly as the paper's §3.2.5 protocol intends. The
-//! connection loop reads whatever bytes the socket has, hands them to the
-//! shared [`Service`] engine (which drains every complete pipelined frame
-//! into one prefetched batch execution), and writes the response bytes back
-//! in one flush.
+//! ## Shape
 //!
-//! Shutdown is graceful and bounded: [`DlhtServer::shutdown`] flips a flag,
-//! unblocks the acceptor, shuts down every live socket, and joins all
-//! threads — no connection is left mid-frame (its in-flight requests are
-//! answered before the read that observes the closed socket).
+//! ```text
+//!  acceptor thread ──round-robin──▶ worker 0 ┐
+//!     (blocking accept)            worker 1  │ fixed pool, one thread each
+//!                                  …         │
+//!                                  worker N-1┘
+//!
+//!  each worker owns:   one cached ShardedSession (per-shard registry slots)
+//!                      one Poller (level-triggered poll(2) readiness)
+//!                      its connections: TcpStream + read/write ByteRing
+//!                                       + a Service (reusable Batch)
+//! ```
+//!
+//! Every accepted connection is handed to one worker and stays there, so a
+//! connection's frames are always processed in order by a single thread —
+//! and that thread drives *all* of its connections through one
+//! [`crate::poll::Poller`]: thousands of connections cost N threads, not
+//! thousands. Each readiness pass reads whatever a socket has into the
+//! connection's read ring, lets the shared [`Service`] engine drain every
+//! complete pipelined frame into one prefetched batch execution, appends
+//! the response bytes to the write ring, and writes as much as the socket
+//! accepts — never blocking on a peer.
+//!
+//! ## Backpressure and memory
+//!
+//! * A connection whose peer stops reading accumulates responses in its
+//!   write ring; at [`WRITE_HIGH_WATER`] the worker stops *reading* from it
+//!   (level-triggered polling resumes the read automatically once the
+//!   write side drains). A dead or non-reading client therefore costs a
+//!   bounded buffer — never a pinned thread (the old thread-per-connection
+//!   server blocked forever in `write_all`).
+//! * [`crate::ByteRing`] keeps per-connection memory flat: amortized O(1)
+//!   consumption (no quadratic `Vec::drain`) and capacity released once a
+//!   buffer drains after an oversized frame. [`DlhtServer::buffer_bytes`]
+//!   exposes the live total for the flat-memory acceptance check.
+//!
+//! ## Robustness
+//!
+//! * Per-connection accounting hangs off a drop guard: however a
+//!   connection dies — EOF, protocol error, io error, even a panic in its
+//!   handler — the `active` gauge is decremented exactly once when the
+//!   connection's state drops. Panics are additionally unwind-caught per
+//!   connection so one poisoned connection cannot take down its worker's
+//!   other connections ([`ServerCounters::panics`] counts them).
+//! * An optional **admin plane** on a separate port
+//!   ([`ServerConfig::admin_addr`]) serves `STATS`/`LEN`/`PING` only, so
+//!   operational queries never queue behind data traffic; data opcodes on
+//!   the admin port are rejected with
+//!   [`crate::wire::WireError::AdminRestricted`].
+//!
+//! Shutdown is graceful and bounded: [`DlhtServer::shutdown`] flips a
+//! flag, wakes the acceptor, the admin plane, and every worker, and joins
+//! all threads; every connection's drop guard runs, so the final counter
+//! snapshot always reports `active == 0`.
 
-use crate::service::{ConnStats, Service};
-use dlht_core::ShardedTable;
+use crate::buf::ByteRing;
+use crate::poll::{waker_pair, Event, Interest, Poller, Source, WakeReceiver, Waker};
+use crate::service::{ConnStats, Service, ServiceEngine};
+use crate::wire::{self, WireError};
+use dlht_core::{ShardedSession, ShardedTable};
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How often a blocked connection read wakes up to check the shutdown flag.
+/// Upper bound on how long any loop sleeps before re-checking the shutdown
+/// flag (workers are normally woken long before this via their wakers).
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Bytes read from a socket per `read` call on the event loop.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Write-ring backpressure threshold: once a connection has this many
+/// unsent response bytes, the worker stops reading new requests from it
+/// until the write side drains. (One pass can overshoot by at most the
+/// responses to one 16 KiB read chunk of requests plus one maximum-size batch
+/// response, so per-connection memory stays bounded.)
+pub const WRITE_HIGH_WATER: usize = 256 * 1024;
 
 #[derive(Default)]
 struct Counters {
@@ -36,14 +93,32 @@ struct Counters {
     ops: AtomicU64,
     batches: AtomicU64,
     protocol_errors: AtomicU64,
+    panics: AtomicU64,
+    admin_frames: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerCounters {
+        ServerCounters {
+            connections: self.connections.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            ops: self.ops.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            admin_frames: self.admin_frames.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A point-in-time snapshot of the server-wide counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerCounters {
-    /// Connections accepted since bind.
+    /// Data connections accepted since bind (the admin plane counts
+    /// separately, in [`ServerCounters::admin_frames`]).
     pub connections: u64,
-    /// Connections currently open.
+    /// Data connections currently open.
     pub active: u64,
     /// Request frames decoded across all connections.
     pub frames: u64,
@@ -54,6 +129,59 @@ pub struct ServerCounters {
     pub batches: u64,
     /// Connections closed for violating the protocol.
     pub protocol_errors: u64,
+    /// Connections torn down because their handler panicked (each panic is
+    /// unwind-caught and isolated to its connection).
+    pub panics: u64,
+    /// Frames served by the admin plane (`STATS`/`LEN`/`PING`).
+    pub admin_frames: u64,
+}
+
+/// Configuration for [`DlhtServer::bind_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Event-loop worker threads (each owns one cached
+    /// [`ShardedSession`]). `0` picks a default:
+    /// `min(4, available_parallelism)`.
+    pub workers: usize,
+    /// Bind an admin plane on this address (e.g. `"127.0.0.1:0"`) serving
+    /// `STATS`/`LEN`/`PING` on its own port, isolated from data traffic.
+    /// `None` disables it.
+    pub admin_addr: Option<String>,
+    /// Test-only fault injection: panic the connection handler when a `GET`
+    /// for this key arrives (before any table execution). Exercises the
+    /// unwind isolation and drop-guard accounting; leave `None` outside
+    /// tests.
+    #[doc(hidden)]
+    pub fault_key: Option<u64>,
+}
+
+impl ServerConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(1, 4)
+    }
+}
+
+/// Per-worker channel from the acceptor (and the shutdown path) into the
+/// worker's event loop.
+struct WorkerShared {
+    /// Connections handed over by the acceptor, not yet adopted.
+    incoming: Mutex<Vec<(TcpStream, ActiveGuard)>>,
+    /// Interrupts the worker's poll.
+    waker: Waker,
+    /// Live gauge: bytes of ring-buffer capacity pinned by this worker's
+    /// connections (stored once per event-loop pass).
+    buffer_bytes: AtomicU64,
+}
+
+struct WorkerHandle {
+    shared: Arc<WorkerShared>,
+    thread: JoinHandle<()>,
 }
 
 /// A running `dlht-net` TCP server (handle). Dropping the handle without
@@ -61,111 +189,231 @@ pub struct ServerCounters {
 /// process exits.
 pub struct DlhtServer {
     local_addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
     counters: Arc<Counters>,
     accept_thread: JoinHandle<()>,
-    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<WorkerHandle>,
+    admin_thread: Option<JoinHandle<()>>,
+    admin_conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    admin_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl DlhtServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// `table`. Returns as soon as the listener is live.
+    /// `table` with the default [`ServerConfig`]. Returns as soon as the
+    /// listener is live.
     pub fn bind(addr: impl ToSocketAddrs, table: Arc<ShardedTable>) -> std::io::Result<DlhtServer> {
+        Self::bind_with(addr, table, ServerConfig::default())
+    }
+
+    /// [`DlhtServer::bind`] with explicit worker count, admin plane, and
+    /// test hooks.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        table: Arc<ShardedTable>,
+        config: ServerConfig,
+    ) -> std::io::Result<DlhtServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
-        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
-        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut workers = Vec::new();
+        for i in 0..config.resolved_workers() {
+            let (waker, wake_rx) = waker_pair()?;
+            let shared = Arc::new(WorkerShared {
+                incoming: Mutex::new(Vec::new()),
+                waker,
+                buffer_bytes: AtomicU64::new(0),
+            });
+            let thread = std::thread::Builder::new()
+                .name(format!("dlht-worker-{i}"))
+                .spawn({
+                    let table = table.clone();
+                    let shared = shared.clone();
+                    let shutdown = shutdown.clone();
+                    let counters = counters.clone();
+                    let fault_key = config.fault_key;
+                    move || worker_loop(&table, &shared, wake_rx, &shutdown, &counters, fault_key)
+                })?;
+            workers.push(WorkerHandle { shared, thread });
+        }
 
         let accept_thread = {
             let shutdown = shutdown.clone();
             let counters = counters.clone();
-            let conns = conns.clone();
-            let workers = workers.clone();
-            std::thread::spawn(move || {
-                accept_loop(listener, table, shutdown, counters, conns, workers)
-            })
+            let shareds: Vec<Arc<WorkerShared>> =
+                workers.iter().map(|w| w.shared.clone()).collect();
+            std::thread::Builder::new()
+                .name("dlht-accept".to_string())
+                .spawn(move || accept_loop(listener, &shutdown, &counters, &shareds))?
+        };
+
+        let admin_conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::default();
+        let admin_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let (admin_thread, admin_addr) = match &config.admin_addr {
+            None => (None, None),
+            Some(addr) => {
+                let admin_listener = TcpListener::bind(addr.as_str())?;
+                let admin_addr = admin_listener.local_addr()?;
+                let thread = std::thread::Builder::new()
+                    .name("dlht-admin".to_string())
+                    .spawn({
+                        let table = table.clone();
+                        let shutdown = shutdown.clone();
+                        let counters = counters.clone();
+                        let conns = admin_conns.clone();
+                        let threads = admin_threads.clone();
+                        move || {
+                            admin_accept_loop(
+                                admin_listener,
+                                &table,
+                                &shutdown,
+                                &counters,
+                                &conns,
+                                &threads,
+                            )
+                        }
+                    })?;
+                (Some(thread), Some(admin_addr))
+            }
         };
 
         Ok(DlhtServer {
             local_addr,
+            admin_addr,
             shutdown,
             counters,
             accept_thread,
-            conns,
             workers,
+            admin_thread,
+            admin_conns,
+            admin_threads,
         })
     }
 
-    /// The address the server is listening on (resolves port 0).
+    /// The address the data plane is listening on (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
     }
 
-    /// Snapshot the server-wide counters. Per-connection contributions are
-    /// folded in as each connection's processing loop runs, so the numbers
-    /// are live, not close-time.
-    pub fn counters(&self) -> ServerCounters {
-        ServerCounters {
-            connections: self.counters.connections.load(Ordering::Relaxed),
-            active: self.counters.active.load(Ordering::Relaxed),
-            frames: self.counters.frames.load(Ordering::Relaxed),
-            ops: self.counters.ops.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
-        }
+    /// The admin plane's address, if one was configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
     }
 
-    /// Gracefully stop: unblock the acceptor, close every live connection,
-    /// and join all threads. Returns the final counter snapshot.
+    /// Number of event-loop worker threads serving data connections.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Bytes of ring-buffer capacity currently pinned across every data
+    /// connection (the flat-per-connection-memory gauge; updated once per
+    /// event-loop pass on each worker).
+    pub fn buffer_bytes(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.shared.buffer_bytes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Snapshot the server-wide counters. Per-connection contributions are
+    /// folded in as each event-loop pass runs, so the numbers are live,
+    /// not close-time.
+    pub fn counters(&self) -> ServerCounters {
+        self.counters.snapshot()
+    }
+
+    /// Gracefully stop: wake the acceptor, the admin plane, and every
+    /// worker; join all threads. Returns the final counter snapshot
+    /// (always with `active == 0` — every connection's drop guard has run).
     pub fn shutdown(self) -> ServerCounters {
-        // A plain stop flag needs no total order — Release here pairs with the
-        // Acquire polls in the acceptor and connection loops, and the
-        // subsequent joins provide the actual synchronization.
+        // ORDERING: a plain stop flag needs no total order — Release pairs
+        // with the Acquire polls in the acceptor/worker/admin loops, and
+        // the joins below provide the actual synchronization.
         self.shutdown.store(true, Ordering::Release);
-        // Wake the blocking accept with a throwaway connection; the acceptor
-        // re-checks the flag before handling it. An unspecified bind address
-        // (0.0.0.0 / ::) is not connectable on every platform — wake through
-        // the matching loopback address instead.
-        let mut wake_addr = self.local_addr;
-        if wake_addr.ip().is_unspecified() {
-            wake_addr.set_ip(match wake_addr.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect(wake_addr);
+        // Wake the blocking accept with a throwaway connection; the
+        // acceptor re-checks the flag before handling it. An unspecified
+        // bind address (0.0.0.0 / ::) is not connectable on every platform
+        // — wake through the matching loopback address instead.
+        let _ = TcpStream::connect(connectable(self.local_addr));
         let _ = self.accept_thread.join();
-        // Unblock connection reads immediately rather than waiting for their
-        // next poll tick.
-        for stream in self.conns.lock().expect("conns lock").values() {
+        // Workers: interrupt their polls, join, then release any accepted-
+        // but-never-adopted connections so their guards run before the
+        // final snapshot.
+        for worker in &self.workers {
+            worker.shared.waker.wake();
+        }
+        for worker in self.workers {
+            let _ = worker.thread.join();
+            worker
+                .shared
+                .incoming
+                .lock()
+                .expect("incoming lock")
+                .clear();
+        }
+        // Admin plane: same dance as the data acceptor.
+        if let Some(thread) = self.admin_thread {
+            if let Some(addr) = self.admin_addr {
+                let _ = TcpStream::connect(connectable(addr));
+            }
+            let _ = thread.join();
+        }
+        for stream in self.admin_conns.lock().expect("admin conns lock").values() {
             let _ = stream.shutdown(Shutdown::Both);
         }
-        let workers = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
-        for handle in workers {
+        let admin_threads =
+            std::mem::take(&mut *self.admin_threads.lock().expect("admin threads lock"));
+        for handle in admin_threads {
             let _ = handle.join();
         }
-        ServerCounters {
-            connections: self.counters.connections.load(Ordering::Relaxed),
-            active: self.counters.active.load(Ordering::Relaxed),
-            frames: self.counters.frames.load(Ordering::Relaxed),
-            ops: self.counters.ops.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
-        }
+        self.counters.snapshot()
+    }
+}
+
+/// Rewrite an unspecified listen address (0.0.0.0 / ::) into the matching
+/// loopback so the shutdown wake-up connect succeeds everywhere.
+fn connectable(mut addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr.ip() {
+            std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
+}
+
+/// Decrements the server-wide `active` gauge exactly once, however the
+/// owning connection dies (EOF, protocol error, io error, handler panic,
+/// worker shutdown, or never being adopted at all): the guard is created at
+/// accept time and travels with the connection, so the decrement rides
+/// `Drop` instead of any particular exit path.
+struct ActiveGuard {
+    counters: Arc<Counters>,
+}
+
+impl ActiveGuard {
+    fn new(counters: Arc<Counters>) -> ActiveGuard {
+        counters.active.fetch_add(1, Ordering::Relaxed);
+        ActiveGuard { counters }
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.counters.active.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
 fn accept_loop(
     listener: TcpListener,
-    table: Arc<ShardedTable>,
-    shutdown: Arc<AtomicBool>,
-    counters: Arc<Counters>,
-    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown: &AtomicBool,
+    counters: &Arc<Counters>,
+    workers: &[Arc<WorkerShared>],
 ) {
+    let mut next = 0usize;
     loop {
         let (stream, _) = match listener.accept() {
             Ok(accepted) => accepted,
@@ -182,86 +430,287 @@ fn accept_loop(
         if shutdown.load(Ordering::Acquire) {
             return;
         }
-        let conn_id = counters.connections.fetch_add(1, Ordering::Relaxed);
-        counters.active.fetch_add(1, Ordering::Relaxed);
+        counters.connections.fetch_add(1, Ordering::Relaxed);
+        let guard = ActiveGuard::new(counters.clone());
         let _ = stream.set_nodelay(true);
-        // The read timeout doubles as the shutdown poll interval.
-        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-        if let Ok(clone) = stream.try_clone() {
-            conns.lock().expect("conns lock").insert(conn_id, clone);
-        }
-        let handle = {
-            let table = table.clone();
-            let shutdown = shutdown.clone();
-            let counters = counters.clone();
-            let conns = conns.clone();
-            std::thread::spawn(move || {
-                serve_connection(stream, &table, &shutdown, &counters);
-                counters.active.fetch_sub(1, Ordering::Relaxed);
-                // Release this connection's cloned fd; the handle itself is
-                // reaped by the acceptor (or joined at shutdown).
-                conns.lock().expect("conns lock").remove(&conn_id);
-            })
-        };
-        // Long-running servers must not accumulate one JoinHandle per
-        // closed connection: drop finished handles before tracking the new
-        // one (shutdown still joins everything live).
-        let mut workers = workers.lock().expect("workers lock");
-        workers.retain(|h| !h.is_finished());
-        workers.push(handle);
+        let _ = stream.set_nonblocking(true);
+        // Round-robin hand-off: a connection lives on one worker for its
+        // whole lifetime (per-connection frame order needs no locking).
+        let shared = &workers[next % workers.len()];
+        next = next.wrapping_add(1);
+        shared
+            .incoming
+            .lock()
+            .expect("incoming lock")
+            .push((stream, guard));
+        shared.waker.wake();
     }
 }
 
-/// One connection's lifetime: a cached [`dlht_core::ShardedSession`] wrapped
-/// in a [`Service`], fed from the socket until EOF, error, protocol
-/// violation, or server shutdown.
-fn serve_connection(
-    mut stream: TcpStream,
+/// Connection lifecycle on its worker.
+enum ConnState {
+    /// Reading requests and serving responses.
+    Open,
+    /// Protocol violation: the write ring ends with an `ERR` frame; flush
+    /// it, then close (no more reads).
+    Draining,
+}
+
+/// One connection's event-loop state. `E` is the worker's shared engine
+/// (`&ShardedSession` in production; the `Service` inside still gives the
+/// connection its own reusable `Batch` and stats).
+struct Conn<E: ServiceEngine> {
+    stream: TcpStream,
+    service: Service<E>,
+    rbuf: ByteRing,
+    wbuf: ByteRing,
+    reported: ConnStats,
+    state: ConnState,
+    _guard: ActiveGuard,
+}
+
+enum Disposition {
+    Keep,
+    Close,
+}
+
+enum FlushOutcome {
+    /// Wrote what the socket would take (possibly zero bytes).
+    Progress,
+    /// The connection is gone.
+    Fatal,
+}
+
+fn worker_loop(
     table: &ShardedTable,
+    shared: &WorkerShared,
+    mut wake_rx: WakeReceiver,
     shutdown: &AtomicBool,
     counters: &Counters,
+    fault_key: Option<u64>,
 ) {
+    // The worker's one cached session: every connection on this worker
+    // executes its batches through these registry slots, exactly like the
+    // paper's per-thread protocol (§3.2.5) intends — N workers, N sessions,
+    // regardless of connection count.
     let session = table.session();
-    let mut service = Service::new(session);
-    let mut chunk = vec![0u8; 64 * 1024];
-    // Unconsumed tail (an incomplete frame) carried between reads.
-    let mut pending: Vec<u8> = Vec::new();
-    let mut out: Vec<u8> = Vec::new();
-    let mut reported = ConnStats::default();
+    let mut poller = Poller::new();
+    let mut conns: Vec<Option<Conn<&ShardedSession>>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut sources: Vec<(Source, Interest)> = Vec::new();
+    let mut slots: Vec<usize> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
 
-    loop {
-        if shutdown.load(Ordering::Acquire) {
-            break;
+    while !shutdown.load(Ordering::Acquire) {
+        // Adopt connections the acceptor handed over.
+        let adopted = std::mem::take(&mut *shared.incoming.lock().expect("incoming lock"));
+        for (stream, guard) in adopted {
+            let conn = Conn {
+                stream,
+                service: Service::new(&session),
+                rbuf: ByteRing::new(),
+                wbuf: ByteRing::new(),
+                reported: ConnStats::default(),
+                state: ConnState::Open,
+                _guard: guard,
+            };
+            match free.pop() {
+                Some(slot) => conns[slot] = Some(conn),
+                None => conns.push(Some(conn)),
+            }
         }
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
+
+        // Build this pass's interest set; source 0 is always the waker.
+        sources.clear();
+        slots.clear();
+        sources.push((wake_rx.source(), Interest::READ));
+        slots.push(usize::MAX);
+        for (slot, conn) in conns.iter().enumerate() {
+            let Some(conn) = conn else { continue };
+            let interest = Interest {
+                readable: matches!(conn.state, ConnState::Open)
+                    && conn.wbuf.len() < WRITE_HIGH_WATER,
+                writable: !conn.wbuf.is_empty(),
+            };
+            sources.push((Source::from_stream(&conn.stream), interest));
+            slots.push(slot);
+        }
+
+        if poller.poll(&sources, POLL_INTERVAL, &mut events).is_err() {
+            // A persistently failing poll must not busy-spin the worker.
+            std::thread::sleep(POLL_INTERVAL);
+            continue;
+        }
+
+        for ev in &events {
+            let Some(&slot) = slots.get(ev.token) else {
+                continue;
+            };
+            if slot == usize::MAX {
+                wake_rx.drain();
                 continue;
             }
-            Err(_) => break,
-        };
-        pending.extend_from_slice(&chunk[..n]);
-        out.clear();
-        let result = service.process(&pending, &mut out);
-        let failed = result.is_err();
-        if let Ok(consumed) = result {
-            pending.drain(..consumed);
+            let Some(conn) = conns.get_mut(slot).and_then(|c| c.as_mut()) else {
+                continue;
+            };
+            // One poisoned connection must not take down the worker's other
+            // connections: unwind-catch the drive and tear only this
+            // connection down (its drop guard keeps `active` exact).
+            let drive = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                drive_connection(conn, *ev, counters, fault_key)
+            }));
+            let close = match drive {
+                Ok(Disposition::Keep) => false,
+                Ok(Disposition::Close) => true,
+                Err(_) => {
+                    counters.panics.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+            };
+            if close {
+                if let Some(dead) = conns.get_mut(slot).and_then(|c| c.take()) {
+                    let _ = dead.stream.shutdown(Shutdown::Both);
+                    free.push(slot);
+                    // Dropping `dead` runs its ActiveGuard.
+                }
+            }
         }
-        if !out.is_empty() && stream.write_all(&out).is_err() {
-            break;
+
+        // Flat-memory gauge: ring capacity pinned by this worker's
+        // connections right now.
+        let bytes: u64 = conns
+            .iter()
+            .flatten()
+            .map(|c| (c.rbuf.capacity() + c.wbuf.capacity()) as u64)
+            .sum();
+        shared.buffer_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    // Shutdown: close every socket so peers observe it immediately, then
+    // drop the connection table (each guard decrements `active`).
+    for conn in conns.iter().flatten() {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+    conns.clear();
+    shared.buffer_bytes.store(0, Ordering::Relaxed);
+}
+
+/// Handle one readiness event for one connection. Never blocks: reads and
+/// writes are non-blocking, and `WouldBlock` simply defers to the next
+/// readiness pass.
+fn drive_connection<E: ServiceEngine>(
+    conn: &mut Conn<E>,
+    ev: Event,
+    counters: &Counters,
+    fault_key: Option<u64>,
+) -> Disposition {
+    // Writes first: draining the write ring both delivers queued responses
+    // and lifts read backpressure at the next interest build.
+    if ev.writable {
+        if matches!(flush_writes(conn), FlushOutcome::Fatal) {
+            return Disposition::Close;
         }
-        fold_stats(counters, &mut reported, service.stats());
-        if failed {
-            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = stream.shutdown(Shutdown::Both);
-            break;
+        if conn.wbuf.is_empty() && matches!(conn.state, ConnState::Draining) {
+            return Disposition::Close; // ERR frame delivered
         }
     }
-    fold_stats(counters, &mut reported, service.stats());
+    if ev.readable && matches!(conn.state, ConnState::Open) {
+        loop {
+            match conn.rbuf.read_from(&mut conn.stream, READ_CHUNK) {
+                Ok(0) => {
+                    // EOF: answer what was validly pipelined, best-effort
+                    // flush, close.
+                    let _ = process_input(conn, counters, fault_key);
+                    let _ = flush_writes(conn);
+                    return Disposition::Close;
+                }
+                Ok(n) => {
+                    if process_input(conn, counters, fault_key).is_err() {
+                        conn.state = ConnState::Draining;
+                        break;
+                    }
+                    // Stop when the peer stops consuming its responses
+                    // (backpressure) or the socket ran dry.
+                    if conn.wbuf.len() >= WRITE_HIGH_WATER || n < READ_CHUNK {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Disposition::Close,
+            }
+        }
+        // Common case: the responses fit the socket buffer — deliver now
+        // rather than waiting for the next writable event.
+        if matches!(flush_writes(conn), FlushOutcome::Fatal) {
+            return Disposition::Close;
+        }
+        if conn.wbuf.is_empty() && matches!(conn.state, ConnState::Draining) {
+            return Disposition::Close;
+        }
+    }
+    Disposition::Keep
+}
+
+/// Write as much of the write ring as the socket accepts, without blocking.
+fn flush_writes<E: ServiceEngine>(conn: &mut Conn<E>) -> FlushOutcome {
+    while !conn.wbuf.is_empty() {
+        match conn.stream.write(conn.wbuf.data()) {
+            Ok(0) => return FlushOutcome::Fatal,
+            Ok(n) => conn.wbuf.consume(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return FlushOutcome::Progress,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return FlushOutcome::Fatal,
+        }
+    }
+    FlushOutcome::Progress
+}
+
+/// Drain every complete frame in the read ring through the connection's
+/// [`Service`], appending response bytes straight into the write ring.
+/// `Err` means the peer violated the protocol (the `ERR` frame is already
+/// queued; the caller switches the connection to [`ConnState::Draining`]).
+fn process_input<E: ServiceEngine>(
+    conn: &mut Conn<E>,
+    counters: &Counters,
+    fault_key: Option<u64>,
+) -> Result<(), ()> {
+    if let Some(key) = fault_key {
+        maybe_inject_fault(conn.rbuf.data(), key);
+    }
+    let Conn {
+        rbuf,
+        wbuf,
+        service,
+        ..
+    } = conn;
+    let result = wbuf.append_with(|out| service.process(rbuf.data(), out));
+    let failed = result.is_err();
+    if let Ok(consumed) = result {
+        rbuf.consume(consumed);
+    }
+    fold_stats(counters, &mut conn.reported, conn.service.stats());
+    if failed {
+        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        // The rest of the input can never become valid; drop it.
+        conn.rbuf.clear();
+        return Err(());
+    }
+    Ok(())
+}
+
+/// Test-only failure injection ([`ServerConfig::fault_key`]): panic before
+/// any table execution when the next complete frame is a `GET` for the
+/// configured key, exercising the worker's unwind isolation and the
+/// drop-guard accounting without touching shared state.
+fn maybe_inject_fault(data: &[u8], key: u64) {
+    if let Ok(Some((frame, _))) = wire::decode_frame(data) {
+        if let Ok(req) = wire::decode_request(frame.opcode, frame.payload) {
+            if matches!(req, dlht_core::Request::Get(k) if k == key) {
+                panic!("injected connection fault for key {key:#x} (test hook)");
+            }
+        }
+    }
 }
 
 /// Fold the delta between the service's counters and what was already
@@ -277,6 +726,155 @@ fn fold_stats(counters: &Counters, reported: &mut ConnStats, now: ConnStats) {
         .batches
         .fetch_add(now.batches - reported.batches, Ordering::Relaxed);
     *reported = now;
+}
+
+// ---------------------------------------------------------------------------
+// Admin plane
+// ---------------------------------------------------------------------------
+
+/// Accept loop for the admin port. Thread-per-connection is the right
+/// trade here: the admin plane is a trusted, low-cardinality surface
+/// (health probes, `STATS` scrapes) and blocking I/O with both timeouts
+/// set keeps every call bounded — while staying on a separate port means
+/// no amount of data-plane saturation can queue ahead of it.
+fn admin_accept_loop(
+    listener: TcpListener,
+    table: &Arc<ShardedTable>,
+    shutdown: &Arc<AtomicBool>,
+    counters: &Arc<Counters>,
+    conns: &Arc<Mutex<HashMap<u64, TcpStream>>>,
+    threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut conn_id = 0u64;
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(POLL_INTERVAL);
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let id = conn_id;
+        conn_id += 1;
+        let _ = stream.set_nodelay(true);
+        // Both timeouts bound every blocking call: the read doubles as the
+        // shutdown poll, the write means a stuck probe can never pin the
+        // thread past the timeout.
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        if let Ok(clone) = stream.try_clone() {
+            conns.lock().expect("admin conns lock").insert(id, clone);
+        }
+        let handle = {
+            let table = table.clone();
+            let shutdown = shutdown.clone();
+            let counters = counters.clone();
+            let conns = conns.clone();
+            std::thread::spawn(move || {
+                admin_connection(stream, &table, &shutdown, &counters);
+                conns.lock().expect("admin conns lock").remove(&id);
+            })
+        };
+        let mut threads = threads.lock().expect("admin threads lock");
+        threads.retain(|h| !h.is_finished());
+        threads.push(handle);
+    }
+}
+
+/// One admin connection: serve `STATS`/`LEN`/`PING` until EOF, error, or
+/// shutdown. Data opcodes are rejected with
+/// [`WireError::AdminRestricted`].
+fn admin_connection(
+    mut stream: TcpStream,
+    table: &ShardedTable,
+    shutdown: &AtomicBool,
+    counters: &Counters,
+) {
+    let session = table.session();
+    let mut pending = ByteRing::new();
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match pending.read_from(&mut stream, 4 * 1024) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        out.clear();
+        let result = admin_process(&session, &mut pending, &mut out, counters);
+        if let Err(e) = &result {
+            wire::encode_error_frame(&mut out, e);
+        }
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            return;
+        }
+        if result.is_err() {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}
+
+/// Serve every complete admin frame in `pending`, appending responses to
+/// `out`.
+fn admin_process<E: ServiceEngine>(
+    engine: &E,
+    pending: &mut ByteRing,
+    out: &mut Vec<u8>,
+    counters: &Counters,
+) -> Result<(), WireError> {
+    loop {
+        let used = match wire::decode_frame(pending.data()) {
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(e),
+            Ok(Some((frame, used))) => {
+                counters.admin_frames.fetch_add(1, Ordering::Relaxed);
+                match frame.opcode {
+                    wire::op::STATS if frame.payload.is_empty() => {
+                        wire::encode_stats(out, &engine.table_stats(), engine.retired_indexes());
+                    }
+                    wire::op::LEN if frame.payload.is_empty() => {
+                        wire::encode_len(out, engine.live_keys());
+                    }
+                    wire::op::STATS | wire::op::LEN => {
+                        return Err(WireError::BadPayload {
+                            opcode: frame.opcode,
+                            len: frame.payload.len(),
+                        });
+                    }
+                    wire::op::PING => {
+                        wire::put_header(out, wire::resp::PONG, frame.payload.len());
+                        out.extend_from_slice(frame.payload);
+                    }
+                    op @ (wire::op::GET
+                    | wire::op::PUT
+                    | wire::op::INSERT
+                    | wire::op::DELETE
+                    | wire::op::BATCH) => {
+                        return Err(WireError::AdminRestricted(op));
+                    }
+                    other => return Err(WireError::UnknownOpcode(other)),
+                }
+                used
+            }
+        };
+        pending.consume(used);
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +941,7 @@ mod tests {
 
     #[test]
     fn garbage_closes_the_connection_but_not_the_server() {
+        use std::io::Read;
         let (server, _table) = start();
         // Connection 1 sends garbage and must be rejected.
         {
@@ -378,5 +977,68 @@ mod tests {
         );
         assert_eq!(counters.connections, 4);
         assert_eq!(counters.active, 0);
+    }
+
+    #[test]
+    fn worker_pool_size_is_configurable_and_connections_spread() {
+        let table = Arc::new(ShardedTable::with_capacity(4, 4_096));
+        let server = DlhtServer::bind_with(
+            "127.0.0.1:0",
+            table,
+            ServerConfig {
+                workers: 3,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        assert_eq!(server.workers(), 3);
+        let mut clients: Vec<_> = (0..6u64)
+            .map(|i| {
+                let mut c = DlhtClient::connect(server.local_addr()).unwrap();
+                assert!(c.insert(i, i).unwrap().inserted(), "key {i}");
+                c
+            })
+            .collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            assert_eq!(c.get(i as u64).unwrap(), Some(i as u64));
+        }
+        let counters = server.shutdown();
+        assert_eq!(counters.connections, 6);
+        assert_eq!(counters.active, 0);
+    }
+
+    #[test]
+    fn admin_plane_serves_stats_and_rejects_data_ops() {
+        let table = Arc::new(ShardedTable::with_capacity(4, 4_096));
+        let server = DlhtServer::bind_with(
+            "127.0.0.1:0",
+            table,
+            ServerConfig {
+                admin_addr: Some("127.0.0.1:0".to_string()),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let admin_addr = server.admin_addr().expect("admin plane configured");
+
+        let mut data = DlhtClient::connect(server.local_addr()).unwrap();
+        assert!(data.insert(9, 90).unwrap().inserted());
+
+        let mut admin = DlhtClient::connect(admin_addr).unwrap();
+        admin.ping().unwrap();
+        assert_eq!(admin.server_len().unwrap(), 1);
+        let stats = admin.stats().unwrap();
+        assert_eq!(stats.table.occupied_slots, 1);
+        // Data ops on the admin port are refused with the dedicated code.
+        match admin.get(9) {
+            Err(crate::client::NetError::Server { code, message }) => {
+                assert_eq!(code, WireError::AdminRestricted(wire::op::GET).code());
+                assert!(message.contains("admin"), "{message}");
+            }
+            other => panic!("expected an admin restriction, got {other:?}"),
+        }
+        let counters = server.shutdown();
+        assert_eq!(counters.connections, 1, "admin conns are counted apart");
+        assert!(counters.admin_frames >= 3);
     }
 }

@@ -44,6 +44,28 @@ pub trait ServiceEngine {
     fn live_keys(&self) -> u64;
 }
 
+/// Engines work through shared references too, so several connections on
+/// one event-loop worker can share that worker's single cached
+/// [`ShardedSession`] (each connection still owns its own [`Service`] and
+/// therefore its own reusable [`Batch`]).
+impl<E: ServiceEngine + ?Sized> ServiceEngine for &E {
+    fn prefetch(&self, key: u64) {
+        (**self).prefetch(key);
+    }
+    fn execute_prefetched(&self, batch: &mut Batch, policy: BatchPolicy) {
+        (**self).execute_prefetched(batch, policy);
+    }
+    fn table_stats(&self) -> TableStats {
+        (**self).table_stats()
+    }
+    fn retired_indexes(&self) -> usize {
+        (**self).retired_indexes()
+    }
+    fn live_keys(&self) -> u64 {
+        (**self).live_keys()
+    }
+}
+
 impl ServiceEngine for ShardedSession<'_> {
     fn prefetch(&self, key: u64) {
         ShardedSession::prefetch(self, key);

@@ -121,6 +121,9 @@ pub enum WireError {
     BadResponseTag(u8),
     /// Unknown [`DlhtError`] code.
     BadErrorCode(u8),
+    /// A data opcode sent to the admin plane (which serves only
+    /// `STATS`/`LEN`/`PING` — see `crate::server`).
+    AdminRestricted(u8),
 }
 
 impl WireError {
@@ -137,6 +140,7 @@ impl WireError {
             WireError::BadPolicy(_) => 8,
             WireError::BadResponseTag(_) => 9,
             WireError::BadErrorCode(_) => 10,
+            WireError::AdminRestricted(_) => 11,
         }
     }
 }
@@ -159,6 +163,10 @@ impl std::fmt::Display for WireError {
             WireError::BadPolicy(p) => write!(f, "unknown batch policy {p}"),
             WireError::BadResponseTag(t) => write!(f, "unknown response tag {t}"),
             WireError::BadErrorCode(c) => write!(f, "unknown table error code {c}"),
+            WireError::AdminRestricted(o) => write!(
+                f,
+                "opcode {o:#04x} is a data operation; the admin port serves only STATS/LEN/PING"
+            ),
         }
     }
 }

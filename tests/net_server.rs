@@ -1,0 +1,353 @@
+//! Event-loop server integration tests: the failure modes the
+//! thread-per-connection server shipped with, pinned as regressions.
+//!
+//! * A client that pipelines requests and **never reads** must cost a
+//!   bounded buffer, not a pinned server thread (the old server blocked
+//!   forever in `write_all`).
+//! * Hundreds of concurrent connections must all be served by the fixed
+//!   worker pool, and `active` must return to exactly 0 on shutdown.
+//! * A panicking connection handler must take down only its connection —
+//!   accounting stays exact, other connections keep working.
+//! * The admin plane must answer while the data plane is saturated.
+//! * A response burst past the backpressure high-water mark must still be
+//!   delivered in full once the client starts reading (read interest
+//!   resumes on drain).
+
+use dlht_core::{KvBackend, Request, Response, ShardedTable};
+use dlht_net::{DlhtClient, DlhtServer, ServerConfig, WRITE_HIGH_WATER};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn full_run() -> bool {
+    std::env::args().any(|a| a == "--full") || std::env::var_os("DLHT_FULL_TESTS").is_some()
+}
+
+fn bind(config: ServerConfig) -> (DlhtServer, Arc<ShardedTable>) {
+    let table = Arc::new(ShardedTable::with_capacity(8, 1 << 17));
+    let server = DlhtServer::bind_with("127.0.0.1:0", table.clone(), config).expect("bind");
+    (server, table)
+}
+
+/// Encode one GET frame for `key` by hand (tests that deliberately bypass
+/// `DlhtClient`'s read path need raw bytes).
+fn get_frame(key: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    dlht_net::wire::put_header(&mut out, dlht_net::wire::op::GET, 8);
+    out.extend_from_slice(&key.to_le_bytes());
+    out
+}
+
+/// Regression: a peer that sends pipelined requests and never reads its
+/// responses used to pin a server thread forever inside `write_all`. The
+/// event loop must instead park the connection under backpressure, keep
+/// serving everyone else, and shut down promptly.
+#[test]
+fn non_reading_client_does_not_pin_the_server() {
+    let (server, table) = bind(ServerConfig {
+        workers: 1, // one worker: the dead client and the live one share it
+        ..ServerConfig::default()
+    });
+    assert!(table.insert(1, 11).unwrap().inserted());
+
+    // The hostile client: pipeline far more responses than the socket +
+    // write ring absorb, and never read a byte.
+    let mut hostile = TcpStream::connect(server.local_addr()).unwrap();
+    let frame = get_frame(1);
+    // Enough GETs that the responses overflow WRITE_HIGH_WATER several
+    // times over (each response is 17 bytes: header + tag + value).
+    let frames_needed = (4 * WRITE_HIGH_WATER) / 17;
+    let mut burst = Vec::with_capacity(frames_needed * frame.len());
+    for _ in 0..frames_needed {
+        burst.extend_from_slice(&frame);
+    }
+    hostile.set_nonblocking(true).unwrap();
+    let mut sent = 0;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    // Write until the server stops reading (our send would block for a
+    // while) or we delivered the whole burst.
+    while sent < burst.len() && Instant::now() < deadline {
+        match hostile.write(&burst[sent..]) {
+            Ok(n) => sent += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("hostile write failed: {e}"),
+        }
+    }
+    assert!(sent > 0, "hostile client never got a byte out");
+
+    // The same worker must still serve a well-behaved client promptly.
+    let mut polite = DlhtClient::connect(server.local_addr()).unwrap();
+    let t = Instant::now();
+    for _ in 0..50 {
+        assert_eq!(polite.get(1).unwrap(), Some(11));
+    }
+    assert!(
+        t.elapsed() < Duration::from_secs(2),
+        "live client starved behind a non-reading one: {:?}",
+        t.elapsed()
+    );
+
+    // The parked connection holds a bounded buffer, not unbounded memory:
+    // the write ring stops growing at the high-water mark (plus one pass
+    // of overshoot).
+    let buffered = server.buffer_bytes();
+    assert!(
+        buffered <= 4 * WRITE_HIGH_WATER as u64,
+        "write buffering must be bounded, got {buffered} bytes"
+    );
+
+    // And shutdown stays bounded with the hostile connection still open.
+    let t = Instant::now();
+    let counters = server.shutdown();
+    assert!(
+        t.elapsed() < Duration::from_secs(2),
+        "shutdown blocked on a non-reading client: {:?}",
+        t.elapsed()
+    );
+    assert_eq!(counters.active, 0);
+    drop(hostile);
+}
+
+/// Scale test: hundreds of concurrent connections (1024 with `--full` /
+/// `DLHT_FULL_TESTS`), each pipelining GETs, all served by a 2-worker
+/// pool; every response arrives and `active` returns to exactly 0.
+#[test]
+fn many_concurrent_connections_all_get_answers() {
+    let conns: usize = if full_run() { 1024 } else { 256 };
+    let (server, table) = bind(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    for k in 0..64u64 {
+        assert!(table.insert(k, k * 7).unwrap().inserted());
+    }
+    let addr = server.local_addr();
+
+    // Phase 1: open all connections before anyone speaks, so the peak
+    // concurrent count really is `conns`.
+    let clients: Vec<DlhtClient<TcpStream>> = (0..conns)
+        .map(|i| DlhtClient::connect(addr).unwrap_or_else(|e| panic!("connect #{i} failed: {e}")))
+        .collect();
+    // Phase 2: drive them from a handful of threads (the point is server
+    // concurrency, not client thread count).
+    let driver_count = 8;
+    let mut drivers = Vec::new();
+    let clients = Arc::new(std::sync::Mutex::new(clients));
+    for d in 0..driver_count {
+        let clients = clients.clone();
+        drivers.push(std::thread::spawn(move || {
+            loop {
+                let Some(mut client) = clients.lock().unwrap().pop() else {
+                    return;
+                };
+                let reqs: Vec<Request> = (0..64u64).map(|k| Request::Get((k + d) % 64)).collect();
+                let resps = client.pipelined(&reqs).expect("pipelined GETs");
+                assert_eq!(resps.len(), 64);
+                for (r, req) in resps.iter().zip(&reqs) {
+                    let Request::Get(k) = req else { unreachable!() };
+                    assert_eq!(*r, Response::Value(Some(k * 7)));
+                }
+                // client drops here -> connection closes
+            }
+        }));
+    }
+    for d in drivers {
+        d.join().expect("driver panicked");
+    }
+
+    // All connections closed; active must drain to 0 (drop guards).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if server.counters().active == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "active connections never drained"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let counters = server.shutdown();
+    assert_eq!(counters.connections, conns as u64);
+    assert_eq!(counters.active, 0);
+    assert_eq!(counters.protocol_errors, 0);
+    assert_eq!(counters.panics, 0);
+}
+
+/// Regression: a panic inside a connection handler used to leak the
+/// accounting (`active` never decremented). With the drop guard +
+/// unwind-catch, the faulting connection dies alone, `panics` counts it,
+/// and other connections — including ones on the same worker — continue.
+#[test]
+fn panicking_connection_is_isolated_and_accounted() {
+    const FAULT_KEY: u64 = 0xDEAD_BEEF;
+    let (server, table) = bind(ServerConfig {
+        workers: 1, // same worker must survive its neighbor's panic
+        fault_key: Some(FAULT_KEY),
+        ..ServerConfig::default()
+    });
+    assert!(table.insert(3, 33).unwrap().inserted());
+
+    let mut bystander = DlhtClient::connect(server.local_addr()).unwrap();
+    assert_eq!(bystander.get(3).unwrap(), Some(33));
+
+    // The victim trips the injected fault; its connection must just die.
+    let mut victim = TcpStream::connect(server.local_addr()).unwrap();
+    victim.write_all(&get_frame(FAULT_KEY)).unwrap();
+    let mut buf = Vec::new();
+    let n = victim.read_to_end(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "faulted connection must close without a response");
+
+    // Bystander on the same worker is unaffected.
+    assert_eq!(bystander.get(3).unwrap(), Some(33));
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.counters().active != 1 {
+        assert!(
+            Instant::now() < deadline,
+            "victim's drop guard never ran: counters {:?}",
+            server.counters()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let counters = server.shutdown();
+    assert_eq!(counters.panics, 1, "the injected panic must be counted");
+    assert_eq!(counters.active, 0, "drop guards must zero the gauge");
+    assert_eq!(counters.connections, 2);
+}
+
+/// The admin plane answers `STATS`/`LEN`/`PING` while every data worker is
+/// saturated with pipelined traffic.
+#[test]
+fn admin_plane_answers_while_data_plane_is_saturated() {
+    let (server, table) = bind(ServerConfig {
+        workers: 2,
+        admin_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    });
+    for k in 0..256u64 {
+        assert!(table.insert(k, k).unwrap().inserted());
+    }
+    let addr = server.local_addr();
+    let admin_addr = server.admin_addr().expect("admin plane");
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut hammers = Vec::new();
+    for _ in 0..4 {
+        let stop = stop.clone();
+        hammers.push(std::thread::spawn(move || {
+            let mut client = DlhtClient::connect(addr).unwrap();
+            let reqs: Vec<Request> = (0..256u64).map(Request::Get).collect();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let resps = client.pipelined(&reqs).expect("hammer pipeline");
+                assert_eq!(resps.len(), 256);
+            }
+        }));
+    }
+
+    // While the hammering runs, the admin plane must answer promptly.
+    let mut admin = DlhtClient::connect(admin_addr).unwrap();
+    for _ in 0..20 {
+        let t = Instant::now();
+        admin.ping().unwrap();
+        assert_eq!(admin.server_len().unwrap(), 256);
+        let stats = admin.stats().unwrap();
+        assert!(stats.table.occupied_slots > 0);
+        assert!(
+            t.elapsed() < Duration::from_secs(1),
+            "admin round-trip took {:?} under data-plane load",
+            t.elapsed()
+        );
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in hammers {
+        h.join().expect("hammer panicked");
+    }
+    let counters = server.shutdown();
+    assert!(counters.admin_frames >= 60);
+    assert_eq!(counters.protocol_errors, 0);
+}
+
+/// Backpressure release: pipeline a burst whose responses blow well past
+/// the write high-water mark while reading slowly — every response must
+/// still arrive (read interest resumes when the ring drains) and the
+/// buffers must shrink back afterwards.
+#[test]
+fn backpressure_pauses_and_resumes_without_losing_responses() {
+    let (server, table) = bind(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    assert!(table.insert(42, 4242).unwrap().inserted());
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // ~50k GETs -> ~850 KB of responses, > 3x WRITE_HIGH_WATER.
+    let count: usize = 50_000;
+    let frame = get_frame(42);
+    let writer = {
+        let mut tx = stream.try_clone().unwrap();
+        let frame = frame.clone();
+        std::thread::spawn(move || {
+            for _ in 0..count {
+                tx.write_all(&frame).expect("burst write");
+            }
+            tx.flush().unwrap();
+        })
+    };
+
+    // Read every response, deliberately slowly at first to let the server
+    // hit the high-water mark.
+    let resp_len = 17; // header(8) + tag(1) + value(8)
+    let mut expected = vec![0u8; resp_len];
+    {
+        let mut prototype = Vec::new();
+        dlht_net::wire::encode_response(&mut prototype, Response::Value(Some(4242)));
+        expected.copy_from_slice(&prototype);
+    }
+    let mut got = 0usize;
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut pending: Vec<u8> = Vec::new();
+    let t = Instant::now();
+    while got < count {
+        if got < count / 10 {
+            // Slow phase: trickle-read so the server's ring really fills.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let n = stream.read(&mut buf).expect("read responses");
+        assert!(n > 0, "server closed early at {got}/{count} responses");
+        pending.extend_from_slice(&buf[..n]);
+        while pending.len() >= resp_len {
+            assert_eq!(&pending[..resp_len], &expected[..], "response #{got}");
+            pending.drain(..resp_len);
+            got += 1;
+        }
+        assert!(
+            t.elapsed() < Duration::from_secs(60),
+            "stalled at {got}/{count} responses"
+        );
+    }
+    writer.join().expect("writer panicked");
+    assert_eq!(got, count);
+
+    // Once drained, per-connection memory must fall back to flat: the
+    // rings shrink to their retained capacity.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        let bytes = server.buffer_bytes();
+        if bytes <= 2 * dlht_net::ByteRing::SHRINK_CAPACITY as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "buffers never shrank after drain: {bytes} bytes"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let counters = server.shutdown();
+    assert_eq!(counters.protocol_errors, 0);
+    assert_eq!(counters.active, 0);
+}
