@@ -1,0 +1,245 @@
+//! `cache` scenario: the cache persona's memory-awareness, measured.
+//!
+//! Three series:
+//!
+//! 1. **Hit-ratio vs budget** — a zipfian cache-aside trace (mostly Gets;
+//!    every miss fills) against a [`CacheMap`] whose `--memory-budget` is a
+//!    fraction of the full working set, swept for both eviction policies.
+//!    LRU should beat FIFO at every budget (the hot set stays resident),
+//!    and the resident-bytes gauge must stay under the budget — this is
+//!    the paper's fig09/fig11 memory-awareness story applied to caching.
+//! 2. **Churn throughput** — the same trace, measured as M ops/s, so the
+//!    TTL/eviction machinery's overhead shows up in the perf trajectory.
+//! 3. **Expiry-storm drain** — every key stored with a TTL inside a short
+//!    window, the clock stepped past it, and the reaper swept until the
+//!    cache reports zero items and zero pending reclamation: the fast-
+//!    delete property under its worst case.
+//!
+//! The scenario **fails** (panics) if resident bytes ever exceed the
+//! budget after a sweep, or if the storm does not drain — these are the
+//! acceptance bars, not just expectations by eye.
+
+use dlht_bench::run_scenario;
+use dlht_core::{CacheConfig, CacheMap, CacheSession, EvictionPolicy, ManualClock};
+use dlht_workloads::{cache_key_bytes, fmt_mops, CacheOp, ExpiryStorm, Table, ZipfianChurn};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Budget fractions of the full working set swept in series 1.
+const BUDGET_FRACTIONS: [(u64, u64); 3] = [(1, 8), (1, 4), (1, 2)];
+
+/// Stored value size (bytes) for every trace entry.
+const VALUE_LEN: usize = 64;
+
+/// Zipfian skew (YCSB default).
+const THETA: f64 = 0.99;
+
+/// Drive `ops` cache-aside operations from `churn` against `session`,
+/// filling on every miss. Returns (hits, misses).
+fn run_cache_aside(
+    session: &mut CacheSession<'_>,
+    churn: &mut ZipfianChurn,
+    ops: u64,
+) -> (u64, u64) {
+    let value = vec![0xCAu8; VALUE_LEN];
+    let mut key_buf = [0u8; 24];
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for _ in 0..ops {
+        let op = churn.next_op();
+        let key = cache_key_bytes(&mut key_buf, op.key());
+        match op {
+            CacheOp::Get { .. } => {
+                if session.get_with(key, |_| ()).is_some() {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                    // Cache-aside: the application fetches from the backing
+                    // store and fills the cache.
+                    let _ = session.set(key, &value, 0, 0);
+                }
+            }
+            CacheOp::Set { exptime, .. } => {
+                let _ = session.set(key, &value, 0, exptime);
+            }
+            CacheOp::Delete { .. } => {
+                session.delete(key);
+            }
+            CacheOp::Touch { exptime, .. } => {
+                session.touch(key, exptime);
+            }
+        }
+    }
+    (hits, misses)
+}
+
+fn main() {
+    run_scenario("cache", |ctx| {
+        let scale = ctx.scale.clone();
+        let population = scale.keys.max(4_096);
+        let ops = (population * 8).max(100_000);
+
+        // Measure the full working set once: an unbounded cache holding
+        // every key tells us what "100% of the working set" costs, split
+        // into index bytes (fixed for a given capacity) and record bytes
+        // (headers + keys + values). Budgets are index + a fraction of the
+        // record bytes — a budget below the index alone would (by design)
+        // evict everything.
+        let full = {
+            let cache = CacheMap::new(CacheConfig {
+                shards: scale.shards,
+                capacity: population as usize * 2,
+                memory_budget: 0,
+                eviction: EvictionPolicy::Lru,
+            });
+            let mut session = cache.session();
+            let value = vec![0xCAu8; VALUE_LEN];
+            let mut key_buf = [0u8; 24];
+            for id in 0..population {
+                let key = cache_key_bytes(&mut key_buf, id);
+                session.set(key, &value, 0, 0).expect("populate");
+            }
+            cache.stats()
+        };
+        ctx.note(&format!(
+            "Working set: {population} keys x {VALUE_LEN} B values = {} record bytes \
+             + {} index bytes; {ops} cache-aside ops per point.",
+            full.value_bytes, full.index_bytes
+        ));
+
+        // --- Series 1 + 2: hit-ratio and throughput vs budget ------------
+        let mut table = Table::new(
+            "cache persona — zipfian cache-aside, hit-ratio vs memory budget",
+            &[
+                "budget",
+                "policy",
+                "hit ratio",
+                "resident/budget",
+                "evicted",
+                "M ops/s",
+            ],
+        );
+        for (num, den) in BUDGET_FRACTIONS {
+            // Index bytes plus a fraction of the record bytes; the extra
+            // /7*8 headroom compensates for the evictor's 7/8 low
+            // watermark so roughly `num/den` of the records stay resident.
+            let budget = full.index_bytes + (full.value_bytes * num / den) / 7 * 8;
+            for policy in [EvictionPolicy::Lru, EvictionPolicy::Fifo] {
+                let cache = CacheMap::new(CacheConfig {
+                    shards: scale.shards,
+                    capacity: population as usize * 2,
+                    memory_budget: budget,
+                    eviction: policy,
+                });
+                let mut session = cache.session();
+                let seed = scale.seed_for(&format!("cache/{num}of{den}/{policy:?}"));
+                let mut churn = ZipfianChurn::new(population, THETA, seed, VALUE_LEN);
+                // Warm-up pass (discarded): fill the hot set, reach steady
+                // state under eviction.
+                let _ = run_cache_aside(&mut session, &mut churn, ops / 4);
+                let warm_stats = cache.stats();
+                let started = Instant::now();
+                let (hits, misses) = run_cache_aside(&mut session, &mut churn, ops);
+                let elapsed = started.elapsed();
+                session.reap();
+                session.quiesce();
+                let stats = cache.stats();
+                let hit_ratio = hits as f64 / (hits + misses).max(1) as f64;
+                let mops = (hits + misses) as f64 / elapsed.as_secs_f64() / 1e6;
+                // Acceptance bar: the budget is a hard watermark.
+                assert!(
+                    stats.total_bytes() <= budget,
+                    "resident {} B exceeds budget {} B ({policy:?}, {num}/{den})",
+                    stats.total_bytes(),
+                    budget
+                );
+                let policy_name = match policy {
+                    EvictionPolicy::Lru => "LRU",
+                    EvictionPolicy::Fifo => "FIFO",
+                };
+                table.row(&[
+                    format!("{num}/{den}"),
+                    policy_name.to_string(),
+                    format!("{:.3}", hit_ratio),
+                    format!("{}/{}", stats.total_bytes(), budget),
+                    format!("{}", stats.evicted),
+                    fmt_mops(mops),
+                ]);
+                ctx.point(policy_name)
+                    .axis("budget_fraction", format!("{num}/{den}"))
+                    .axis("budget_bytes", budget)
+                    .mops(mops)
+                    .ops(hits + misses)
+                    .extra("hit_ratio", hit_ratio)
+                    .extra("hits", hits)
+                    .extra("misses", misses)
+                    .extra("resident_bytes", stats.total_bytes())
+                    .extra("warm_resident_bytes", warm_stats.total_bytes())
+                    .extra("evicted", stats.evicted)
+                    .extra("expired", stats.expired)
+                    .stats(&cache.table_stats())
+                    .retired(cache.retired_indexes())
+                    .emit();
+            }
+        }
+        ctx.table(&table);
+
+        // --- Series 3: expiry-storm drain --------------------------------
+        {
+            let clock = Arc::new(ManualClock::new(1));
+            let cache = CacheMap::with_clock(
+                CacheConfig {
+                    shards: scale.shards,
+                    capacity: population as usize * 2,
+                    memory_budget: 0,
+                    eviction: EvictionPolicy::Lru,
+                },
+                clock.clone(),
+            );
+            let mut session = cache.session();
+            let seed = scale.seed_for("cache/storm");
+            let storm = ExpiryStorm::new(population, seed, 1, 5, VALUE_LEN);
+            let horizon = storm.horizon_secs();
+            let value = vec![0xCAu8; VALUE_LEN];
+            let mut key_buf = [0u8; 24];
+            for op in storm {
+                let CacheOp::Set { key, exptime, .. } = op else {
+                    unreachable!("storms are all sets")
+                };
+                session
+                    .set(cache_key_bytes(&mut key_buf, key), &value, 0, exptime)
+                    .expect("storm set");
+            }
+            let stored = cache.len();
+            clock.advance(horizon as u32 + 1);
+            let started = Instant::now();
+            let mut sweeps = 0u64;
+            while !cache.is_empty() || session.pending_garbage() > 0 {
+                session.reap();
+                sweeps += 1;
+                assert!(sweeps < 64, "storm failed to drain after {sweeps} sweeps");
+            }
+            let drain = started.elapsed();
+            let stats = cache.stats();
+            ctx.note(&format!(
+                "Expiry storm: {stored} TTL'd entries drained to zero in {sweeps} sweeps \
+                 ({:.1} ms); expired counter = {}.",
+                drain.as_secs_f64() * 1e3,
+                stats.expired
+            ));
+            assert_eq!(cache.len(), 0, "storm must drain to an empty cache");
+            assert_eq!(
+                stats.pending_reclaim_bytes, 0,
+                "storm garbage must be reclaimed, not parked"
+            );
+            ctx.point("expiry_storm")
+                .axis("keys", stored)
+                .ops(stored)
+                .extra("sweeps", sweeps)
+                .extra("drain_ms", drain.as_secs_f64() * 1e3)
+                .extra("expired", stats.expired)
+                .extra("pending_reclaim_bytes", stats.pending_reclaim_bytes)
+                .retired(cache.retired_indexes())
+                .emit();
+        }
+    });
+}

@@ -27,7 +27,7 @@
 
 use dlht_bench::run_scenario;
 use dlht_core::{KvBackend, Request, Response, ShardedTable};
-use dlht_net::{ByteRing, DlhtClient, DlhtServer, RemoteBackend, ServerConfig};
+use dlht_net::{bind_ephemeral, ByteRing, DlhtClient, RemoteBackend, ServerConfig};
 use dlht_workloads::report::Tier;
 use dlht_workloads::ycsb::{run_ycsb, YcsbMix};
 use dlht_workloads::{fmt_mops, prepopulate, Table, Xoshiro256};
@@ -99,7 +99,7 @@ fn main() {
             scale.keys as usize * 2,
         ));
         prepopulate(&*table as &dyn KvBackend, scale.keys);
-        let server = DlhtServer::bind("127.0.0.1:0", table.clone()).expect("bind bench server");
+        let server = bind_ephemeral(table.clone(), ServerConfig::default());
         let addr = server.local_addr();
         ctx.note(&format!(
             "Serving on {addr} ({} event-loop workers, {} shards, {} keys prepopulated).",
@@ -169,15 +169,13 @@ fn main() {
                 scale.keys as usize * 2,
             ));
             prepopulate(&*wtable as &dyn KvBackend, scale.keys);
-            let wserver = DlhtServer::bind_with(
-                "127.0.0.1:0",
+            let wserver = bind_ephemeral(
                 wtable,
                 ServerConfig {
                     workers,
                     ..ServerConfig::default()
                 },
-            )
-            .expect("bind worker-scaling server");
+            );
             let seed = scale.seed_for(&format!("server/workers{workers}"));
             let _ = run_wire_gets(
                 wserver.local_addr(),
@@ -268,15 +266,13 @@ fn main() {
                 scale.keys as usize * 2,
             ));
             prepopulate(&*atable as &dyn KvBackend, scale.keys);
-            let aserver = DlhtServer::bind_with(
-                "127.0.0.1:0",
+            let aserver = bind_ephemeral(
                 atable,
                 ServerConfig {
                     admin_addr: Some("127.0.0.1:0".to_string()),
                     ..ServerConfig::default()
                 },
-            )
-            .expect("bind admin-probe server");
+            );
             let data_addr = aserver.local_addr();
             let admin_addr = aserver.admin_addr().expect("admin plane");
             let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));

@@ -276,6 +276,15 @@ pub const REGISTRY: &[Scenario] = &[
         axes: "connections × pipeline depth (GETs over TCP loopback, plus YCSB-A over the wire)",
         expected: "pipelined (depth >= 8) throughput >= 2x unpipelined at the same connection count",
     },
+    Scenario {
+        name: "cache",
+        bin: "bench_cache",
+        figure: "cache persona (fig09/fig11 memory-awareness applied)",
+        title: "hit-ratio vs memory budget under zipfian cache-aside churn",
+        paper_setup: "memcache-style cache over the TTL/eviction CacheMap; budget swept as a fraction of the working set, LRU vs FIFO",
+        axes: "budget fraction × {LRU, FIFO} (zipfian cache-aside), plus an expiry-storm drain",
+        expected: "hit-ratio rises with budget, LRU >= FIFO at every budget, resident bytes stay under the watermark, and the expiry storm drains to zero",
+    },
 ];
 
 /// Look up a scenario by binary name.
@@ -705,16 +714,16 @@ mod tests {
         let mut names: Vec<&str> = REGISTRY.iter().map(|s| s.name).collect();
         assert_eq!(
             names.len(),
-            23,
-            "one scenario per figure/table binary plus the wire-protocol server"
+            24,
+            "one scenario per figure/table binary plus the wire-protocol server and the cache persona"
         );
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 23, "duplicate scenario names");
+        assert_eq!(names.len(), 24, "duplicate scenario names");
         let mut bins: Vec<&str> = REGISTRY.iter().map(|s| s.bin).collect();
         bins.sort_unstable();
         bins.dedup();
-        assert_eq!(bins.len(), 23, "duplicate scenario binaries");
+        assert_eq!(bins.len(), 24, "duplicate scenario binaries");
         for fig in [
             "Figure 1",
             "Table 1",

@@ -1,0 +1,1399 @@
+//! Cache persona storage: per-entry TTL, expiry reaping, and eviction under
+//! a memory budget, layered over the DLHT index.
+//!
+//! [`CacheMap`] is the storage engine behind the memcache-compatible text
+//! protocol in `dlht-net`. It reuses the Allocator-mode recipe of
+//! [`crate::DlhtAllocMap`] — out-of-line records addressed by a hashed key
+//! word, reclaimed through the epoch GC — and extends every record with the
+//! metadata a cache needs:
+//!
+//! ```text
+//!  entry record (VALUE_ALIGN-aligned, one allocation)
+//!  ┌──────────┬─────┬─────────┬───────┬──────────┬─────┬─────────────┬────────┐
+//!  │ key_len  │ pad │ val_len │ flags │ deadline │ cas │ last_access │ charge │
+//!  ├──────────┴─────┴─────────┴───────┴──────────┴─────┴─────────────┴────────┤
+//!  │ key bytes …                                                              │
+//!  │ value bytes …                                                            │
+//!  └──────────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * **TTL** — `deadline` is an absolute cache-clock second (`0` = never
+//!   expires). Reads check it lazily, so an expired entry is *never served*
+//!   even before the reaper removes it; `touch` rewrites the field atomically
+//!   in place (no record copy).
+//! * **Reaping** — [`CacheSession::sweep_expired`] scans the index for dead
+//!   deadlines and retires those entries through the epoch machinery, so a
+//!   background reaper drains expiry storms in bulk without stopping readers.
+//! * **Eviction** — with a non-zero memory budget, [`CacheSession::maybe_evict`]
+//!   keeps `index_bytes + value bytes` under the watermark by removing the
+//!   least-recently-used entries ([`EvictionPolicy::Lru`], via the atomic
+//!   `last_access` stamp) or the oldest-inserted ([`EvictionPolicy::Fifo`],
+//!   via the monotone `cas` sequence — the comparison baseline).
+//!
+//! ## Concurrency
+//!
+//! Reads are lock-free: they ride the index's lock-free Get plus QSBR epoch
+//! protection, exactly like `DlhtAllocMap`. Mutations (store, delete, touch,
+//! incr/decr, reap, evict) serialize per key through a small stripe-lock
+//! array so read-modify-write ops are atomic and the reaper can re-verify a
+//! victim before unlinking it — the Get fast path never touches a lock.
+//! Retired records are freed two epochs after unlinking; sessions must call
+//! [`CacheSession::quiesce`] periodically (the server does so once per event
+//! loop pass).
+
+use crate::error::{DlhtError, InsertOutcome};
+use crate::sharded::ShardedTable;
+use crate::stats::TableStats;
+use dlht_alloc::{AllocatorKind, ValueAllocator, VALUE_ALIGN};
+use dlht_epoch::{Collector, LocalHandle};
+use dlht_hash::WyHash;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Seed for the key-fingerprint hash (distinct from the index's bin hash so
+/// bin placement and fingerprints stay independent).
+const CACHE_HASH_SEED: u64 = 0xC_AC4E_5EED;
+
+/// Mutation stripe-lock count (power of two). Gets never take one.
+const STRIPES: usize = 64;
+
+/// Memcache's relative/absolute expiry pivot: an exptime of more than 30
+/// days is an absolute unix timestamp, anything smaller is relative seconds.
+pub const MAX_RELATIVE_EXPIRY: i64 = 60 * 60 * 24 * 30;
+
+// ---------------------------------------------------------------------------
+// Clock
+// ---------------------------------------------------------------------------
+
+/// The cache's second-resolution clock. Implementations must be monotone.
+///
+/// Cache time starts at **1**, because deadline `0` is the "never expires"
+/// sentinel packed into every entry.
+pub trait CacheClock: Send + Sync + 'static {
+    /// Seconds on the cache clock (monotone, starts at 1).
+    fn now(&self) -> u32;
+}
+
+/// Wall-clock seconds since the cache was created (plus one), measured with
+/// a monotonic timer so host clock jumps cannot un-expire entries.
+pub struct MonotonicClock {
+    start: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock starting at second 1.
+    pub fn new() -> Self {
+        MonotonicClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CacheClock for MonotonicClock {
+    fn now(&self) -> u32 {
+        let secs = self.start.elapsed().as_secs();
+        secs.min(u32::MAX as u64 - 1) as u32 + 1
+    }
+}
+
+/// A hand-driven clock for deterministic TTL tests.
+pub struct ManualClock {
+    secs: AtomicU32,
+}
+
+impl ManualClock {
+    /// Create at `secs` (must be ≥ 1; 0 is the no-deadline sentinel).
+    pub fn new(secs: u32) -> Self {
+        ManualClock {
+            secs: AtomicU32::new(secs.max(1)),
+        }
+    }
+
+    /// Jump to an absolute second (ignored if it would move backwards).
+    pub fn set(&self, secs: u32) {
+        self.secs.fetch_max(secs.max(1), Ordering::Release);
+    }
+
+    /// Advance by `delta` seconds.
+    pub fn advance(&self, delta: u32) {
+        self.secs.fetch_add(delta, Ordering::Release);
+    }
+}
+
+impl CacheClock for ManualClock {
+    fn now(&self) -> u32 {
+        self.secs.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry records
+// ---------------------------------------------------------------------------
+
+/// Per-entry metadata, written once at the head of every record allocation.
+/// `deadline` and `last_access` are atomics so `touch` and the read path can
+/// update them in place while concurrent readers hold the record.
+#[repr(C)]
+struct EntryHeader {
+    key_len: u16,
+    _pad: u16,
+    val_len: u32,
+    flags: u32,
+    /// Absolute cache-clock second after which the entry is dead; 0 = never.
+    deadline: AtomicU32,
+    /// Monotone store sequence — memcache `cas` id, doubles as FIFO age.
+    cas: u64,
+    /// Stamp from the map's access sequence at the last hit (LRU eviction
+    /// order — a sequence, not seconds, so recency resolves below one
+    /// second; approximate again only after 2³² accesses wrap it).
+    last_access: AtomicU32,
+    /// Total record size in bytes (header + key + value): the amount the
+    /// resident-bytes gauge was charged for this entry.
+    charge: u32,
+}
+
+const ENTRY_HEADER_LEN: usize = std::mem::size_of::<EntryHeader>();
+
+// The layout math in read/write paths assumes this exact header size, and
+// the allocator's VALUE_ALIGN guarantee must cover the header's alignment
+// (the u64 `cas` and the atomics).
+const _: () = assert!(ENTRY_HEADER_LEN == 32);
+const _: () = assert!(VALUE_ALIGN >= std::mem::align_of::<EntryHeader>());
+
+/// # Safety
+/// `ptr` must point to a live entry record written by `CacheMap::write_entry`.
+unsafe fn entry_header<'a>(ptr: *const u8) -> &'a EntryHeader {
+    // SAFETY: caller contract — `ptr` is a live, VALUE_ALIGN-aligned record
+    // whose first ENTRY_HEADER_LEN bytes are an initialized EntryHeader.
+    unsafe { &*ptr.cast::<EntryHeader>() }
+}
+
+/// # Safety
+/// As [`entry_header`].
+unsafe fn entry_key<'a>(ptr: *const u8) -> &'a [u8] {
+    // SAFETY: caller contract — the record was written with `key_len` key
+    // bytes immediately after the header, so the range is in bounds.
+    unsafe {
+        let header = entry_header(ptr);
+        std::slice::from_raw_parts(ptr.add(ENTRY_HEADER_LEN), header.key_len as usize)
+    }
+}
+
+/// # Safety
+/// As [`entry_header`].
+unsafe fn entry_value<'a>(ptr: *const u8) -> &'a [u8] {
+    // SAFETY: caller contract — `val_len` value bytes follow the key bytes,
+    // all inside the record's single allocation.
+    unsafe {
+        let header = entry_header(ptr);
+        std::slice::from_raw_parts(
+            ptr.add(ENTRY_HEADER_LEN + header.key_len as usize),
+            header.val_len as usize,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public configuration and result types
+// ---------------------------------------------------------------------------
+
+/// Which entries go first when the memory budget forces eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Least-recently-used first (via each entry's atomic `last_access`
+    /// stamp). The production default.
+    Lru,
+    /// Oldest-inserted first, ignoring access recency — the baseline the
+    /// LRU hit-ratio is measured against.
+    Fifo,
+}
+
+/// Construction parameters for [`CacheMap`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Index shards (hot shards resize independently).
+    pub shards: usize,
+    /// Index capacity in keys (the index still resizes beyond it).
+    pub capacity: usize,
+    /// Watermark in bytes over `index_bytes + value bytes`; 0 = unlimited.
+    pub memory_budget: u64,
+    /// Eviction order once the budget is exceeded.
+    pub eviction: EvictionPolicy,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 4,
+            capacity: 64 * 1024,
+            memory_budget: 0,
+            eviction: EvictionPolicy::Lru,
+        }
+    }
+}
+
+/// Result of a conditional store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The value was stored.
+    Stored,
+    /// The store condition failed (`add` on a live key, `replace` on a
+    /// missing one). Nothing changed.
+    NotStored,
+}
+
+/// Why `incr`/`decr` failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterError {
+    /// No live entry under the key.
+    NotFound,
+    /// The stored value is not an unsigned decimal integer.
+    NotNumeric,
+}
+
+/// A borrowed view of a live entry inside [`CacheSession::get_with`].
+pub struct CacheView<'a> {
+    /// The value bytes (valid for the closure only).
+    pub value: &'a [u8],
+    /// The client-opaque flags stored with the value.
+    pub flags: u32,
+    /// The entry's store sequence number (memcache `cas`).
+    pub cas: u64,
+}
+
+/// Point-in-time cache counters, surfaced through the memcache `stats`
+/// command, the admin plane, and the bench harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Live entries.
+    pub items: u64,
+    /// Resident record bytes (headers + keys + values) linked in the index.
+    pub value_bytes: u64,
+    /// Index structure bytes (bins + link buckets).
+    pub index_bytes: u64,
+    /// Configured watermark (0 = unlimited).
+    pub budget: u64,
+    /// Successful gets.
+    pub hits: u64,
+    /// Gets that found nothing (including lazily-expired entries).
+    pub misses: u64,
+    /// Stores that landed (set/add/replace/incr/decr rewrites).
+    pub sets: u64,
+    /// Entries removed because their deadline passed.
+    pub expired: u64,
+    /// Entries removed by the memory-budget watermark.
+    pub evicted: u64,
+    /// `flush_all` invocations.
+    pub flushes: u64,
+    /// Bytes of retired records not yet freed by the epoch GC.
+    pub pending_reclaim_bytes: u64,
+    /// Seconds on the cache clock since creation.
+    pub uptime_secs: u32,
+}
+
+impl CacheStats {
+    /// The number the memory budget gates: index + resident record bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.index_bytes + self.value_bytes
+    }
+
+    /// Hits over lookups, 0.0 when nothing was looked up.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// What one reap pass removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReapOutcome {
+    /// Entries whose deadline had passed.
+    pub expired: u64,
+    /// Entries evicted to get back under the memory budget.
+    pub evicted: u64,
+}
+
+// ---------------------------------------------------------------------------
+// CacheMap
+// ---------------------------------------------------------------------------
+
+/// The cache storage engine: a sharded DLHT index whose value words point at
+/// TTL-carrying entry records. See the module docs for the design.
+pub struct CacheMap {
+    table: ShardedTable,
+    allocator: Arc<dyn ValueAllocator>,
+    collector: Arc<Collector>,
+    clock: Arc<dyn CacheClock>,
+    /// Unix seconds at cache-clock second 1 (for absolute memcache expiry).
+    unix_at_start: u64,
+    budget: u64,
+    eviction: EvictionPolicy,
+    stripes: Box<[Mutex<()>]>,
+    /// Monotone store sequence (cas ids; also the FIFO eviction order).
+    cas_seq: AtomicU64,
+    /// Monotone access sequence feeding every entry's `last_access` stamp.
+    access_seq: AtomicU32,
+    /// Last index_bytes observed by an enforcement pass, so the store fast
+    /// path can gate on `value_bytes` alone without recomputing table stats.
+    index_bytes_cache: AtomicU64,
+    items: AtomicU64,
+    value_bytes: AtomicU64,
+    pending_reclaim_bytes: Arc<AtomicU64>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    sets: AtomicU64,
+    expired: AtomicU64,
+    evicted: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl CacheMap {
+    /// Create a cache with the default monotonic clock.
+    pub fn new(config: CacheConfig) -> Self {
+        Self::with_clock(config, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Create a cache driving TTL decisions from an explicit clock
+    /// (deterministic tests use [`ManualClock`]).
+    pub fn with_clock(config: CacheConfig, clock: Arc<dyn CacheClock>) -> Self {
+        let table = ShardedTable::with_capacity(config.shards.max(1), config.capacity.max(64));
+        let index_bytes = table.stats().index_bytes as u64;
+        let unix_at_start = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        CacheMap {
+            table,
+            allocator: AllocatorKind::Pool.build(),
+            collector: Arc::new(Collector::new()),
+            clock,
+            unix_at_start,
+            budget: config.memory_budget,
+            eviction: config.eviction,
+            stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+            cas_seq: AtomicU64::new(0),
+            access_seq: AtomicU32::new(1),
+            index_bytes_cache: AtomicU64::new(index_bytes),
+            items: AtomicU64::new(0),
+            value_bytes: AtomicU64::new(0),
+            pending_reclaim_bytes: Arc::new(AtomicU64::new(0)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            sets: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience constructor sized for `keys` entries, no budget.
+    pub fn with_capacity(keys: usize) -> Self {
+        Self::new(CacheConfig {
+            capacity: keys,
+            ..CacheConfig::default()
+        })
+    }
+
+    /// Open a per-thread session (owns the thread's epoch handle; call
+    /// [`CacheSession::quiesce`] periodically).
+    pub fn session(&self) -> CacheSession<'_> {
+        let handle = self
+            .collector
+            .register()
+            .expect("too many concurrent cache sessions");
+        CacheSession { map: self, handle }
+    }
+
+    /// Seconds on the cache clock.
+    pub fn now(&self) -> u32 {
+        self.clock.now()
+    }
+
+    /// Translate a memcache `exptime` into an absolute cache-clock deadline:
+    /// `0` = never, negative = already expired, ≤ 30 days = relative
+    /// seconds, larger = absolute unix timestamp.
+    pub fn deadline_for(&self, exptime: i64) -> u32 {
+        let now = self.clock.now();
+        if exptime == 0 {
+            return 0;
+        }
+        if exptime < 0 {
+            return 1; // now() is always ≥ 1, so 1 is "already dead"
+        }
+        let relative = if exptime <= MAX_RELATIVE_EXPIRY {
+            exptime as u64
+        } else {
+            let unix_now = self.unix_at_start + (now as u64 - 1);
+            match (exptime as u64).checked_sub(unix_now) {
+                Some(rel) if rel > 0 => rel,
+                _ => return 1,
+            }
+        };
+        u64::from(now).saturating_add(relative).min(u32::MAX as u64) as u32
+    }
+
+    /// Live entries (O(1) gauge, not a scan).
+    pub fn len(&self) -> u64 {
+        self.items.load(Ordering::Relaxed)
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured memory watermark (0 = unlimited).
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Structural statistics of the underlying index.
+    pub fn table_stats(&self) -> TableStats {
+        self.table.stats()
+    }
+
+    /// Retired-but-unfreed index generations of the underlying index.
+    pub fn retired_indexes(&self) -> usize {
+        self.table.retired_indexes()
+    }
+
+    /// The epoch collector (exposed for coordinated shutdown in tests).
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            items: self.items.load(Ordering::Relaxed),
+            value_bytes: self.value_bytes.load(Ordering::Relaxed),
+            index_bytes: self.table.stats().index_bytes as u64,
+            budget: self.budget,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            sets: self.sets.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            pending_reclaim_bytes: self.pending_reclaim_bytes.load(Ordering::Relaxed),
+            uptime_secs: self.clock.now().saturating_sub(1),
+        }
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    fn stripe(&self, word: u64) -> &Mutex<()> {
+        &self.stripes[(word as usize) & (STRIPES - 1)]
+    }
+
+    /// Key word for the index: 8-byte keys inline exactly (no verification
+    /// needed), everything else is a 64-bit fingerprint verified against the
+    /// record's stored key on read.
+    fn key_word(key: &[u8]) -> (u64, bool) {
+        if key.len() == 8 {
+            let word = u64::from_le_bytes(key.try_into().expect("len checked"));
+            if !crate::bucket::is_reserved_key(word) {
+                return (word, true);
+            }
+        }
+        let mut fp = WyHash::hash_bytes_seeded(key, CACHE_HASH_SEED);
+        if crate::bucket::is_reserved_key(fp) {
+            fp ^= 1;
+        }
+        (fp, false)
+    }
+
+    /// Allocate and fill an entry record; returns its pointer.
+    fn write_entry(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        deadline: u32,
+        cas: u64,
+    ) -> *mut u8 {
+        let size = ENTRY_HEADER_LEN + key.len() + value.len();
+        let ptr = self.allocator.alloc(size);
+        let header = EntryHeader {
+            key_len: key.len() as u16,
+            _pad: 0,
+            val_len: value.len() as u32,
+            flags,
+            deadline: AtomicU32::new(deadline),
+            cas,
+            last_access: AtomicU32::new(self.access_stamp()),
+            charge: size as u32,
+        };
+        // SAFETY: `ptr` is a fresh allocation of `size` bytes with
+        // VALUE_ALIGN alignment; header, key, and value ranges are disjoint
+        // and in bounds by construction of `size`.
+        unsafe {
+            std::ptr::write(ptr.cast::<EntryHeader>(), header);
+            std::ptr::copy_nonoverlapping(key.as_ptr(), ptr.add(ENTRY_HEADER_LEN), key.len());
+            std::ptr::copy_nonoverlapping(
+                value.as_ptr(),
+                ptr.add(ENTRY_HEADER_LEN + key.len()),
+                value.len(),
+            );
+        }
+        self.value_bytes.fetch_add(size as u64, Ordering::Relaxed);
+        ptr
+    }
+
+    /// Undo a `write_entry` that never got linked into the index.
+    fn discard_entry(&self, ptr: *mut u8) {
+        // SAFETY: the entry was just written by `write_entry` and is not
+        // linked anywhere, so this thread holds the only reference.
+        let size = unsafe { entry_header(ptr) }.charge as usize;
+        self.value_bytes.fetch_sub(size as u64, Ordering::Relaxed);
+        // SAFETY: allocated with exactly `size` by `write_entry`.
+        unsafe { self.allocator.dealloc(ptr, size) };
+    }
+
+    /// Retire an entry that was just unlinked from the index: move its bytes
+    /// from the resident gauge to the pending-reclaim gauge and defer the
+    /// free to the epoch GC.
+    fn retire_entry(&self, handle: &mut LocalHandle, word_value: u64) {
+        let ptr = word_value as *mut u8;
+        // SAFETY: the entry was unlinked by the caller under its stripe lock
+        // and stays alive until this session's next quiescent point.
+        let size = unsafe { entry_header(ptr) }.charge as usize;
+        self.value_bytes.fetch_sub(size as u64, Ordering::Relaxed);
+        self.pending_reclaim_bytes
+            .fetch_add(size as u64, Ordering::Relaxed);
+        let allocator = Arc::clone(&self.allocator);
+        let pending = Arc::clone(&self.pending_reclaim_bytes);
+        let addr = word_value as usize;
+        handle.defer(move || {
+            pending.fetch_sub(size as u64, Ordering::Relaxed);
+            // SAFETY: the epoch GC runs this only after every session passed
+            // a quiescent point, so no reader can still hold the record.
+            unsafe { allocator.dealloc(addr as *mut u8, size) };
+        });
+    }
+
+    /// Next LRU recency stamp.
+    fn access_stamp(&self) -> u32 {
+        self.access_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn expired_at(header: &EntryHeader, now: u32) -> bool {
+        let deadline = header.deadline.load(Ordering::Acquire);
+        deadline != 0 && deadline <= now
+    }
+}
+
+impl Drop for CacheMap {
+    fn drop(&mut self) {
+        // Exclusive access: free every record still linked in the index.
+        let mut ptrs: Vec<u64> = Vec::new();
+        self.table.for_each(|_, value_word| ptrs.push(value_word));
+        for word_value in ptrs {
+            let ptr = word_value as *mut u8;
+            // SAFETY: exclusive access (we hold &mut self); the record is
+            // live and was allocated by `write_entry` with `charge` bytes.
+            let size = unsafe { entry_header(ptr) }.charge as usize;
+            // SAFETY: as above — matching size and allocator.
+            unsafe { self.allocator.dealloc(ptr, size) };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CacheSession
+// ---------------------------------------------------------------------------
+
+/// How a slot looked when a mutation examined it under its stripe lock.
+enum SlotState {
+    Empty,
+    /// A live entry with the same key.
+    Live(u64),
+    /// Same key, deadline passed — logically absent, physically present.
+    Expired(u64),
+    /// Fingerprint collision: a different key owns this word. Treated as
+    /// absent for conditionals; unconditional stores overwrite it
+    /// (last-writer-wins, a ~2⁻⁶⁴ event per pair).
+    Foreign(u64),
+}
+
+/// Per-thread session over a [`CacheMap`]: owns the thread's epoch handle,
+/// so record pointers read inside one call stay valid until the session's
+/// next [`CacheSession::quiesce`].
+pub struct CacheSession<'a> {
+    map: &'a CacheMap,
+    handle: LocalHandle,
+}
+
+impl<'a> CacheSession<'a> {
+    /// The cache this session operates on.
+    pub fn map(&self) -> &'a CacheMap {
+        self.map
+    }
+
+    /// Classify what currently occupies `word`. Caller must hold the
+    /// stripe lock for `word`.
+    fn slot_state(&self, word: u64, exact: bool, key: &[u8], now: u32) -> SlotState {
+        match self.map.table.get(word) {
+            None => SlotState::Empty,
+            Some(cur) => {
+                let ptr = cur as *const u8;
+                // SAFETY: `cur` was published by this map and cannot be
+                // freed before this session's next quiescent point.
+                let header = unsafe { entry_header(ptr) };
+                // SAFETY: as above.
+                if !exact && unsafe { entry_key(ptr) } != key {
+                    SlotState::Foreign(cur)
+                } else if CacheMap::expired_at(header, now) {
+                    SlotState::Expired(cur)
+                } else {
+                    SlotState::Live(cur)
+                }
+            }
+        }
+    }
+
+    /// Unlink `word` (which currently holds `cur`) and retire the record.
+    /// Caller must hold the stripe lock.
+    fn unlink(&mut self, word: u64, cur: u64) {
+        let removed = self.map.table.delete(word);
+        debug_assert_eq!(removed, Some(cur), "stripe lock guarantees stability");
+        self.map.items.fetch_sub(1, Ordering::Relaxed);
+        self.map.retire_entry(&mut self.handle, cur);
+    }
+
+    /// Unconditional store (memcache `set`).
+    pub fn set(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: i64,
+    ) -> Result<StoreOutcome, DlhtError> {
+        self.store_entry(key, value, flags, exptime, None)
+    }
+
+    /// Store only if the key is absent (memcache `add`).
+    pub fn add(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: i64,
+    ) -> Result<StoreOutcome, DlhtError> {
+        self.store_entry(key, value, flags, exptime, Some(false))
+    }
+
+    /// Store only if the key is live (memcache `replace`).
+    pub fn replace(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: i64,
+    ) -> Result<StoreOutcome, DlhtError> {
+        self.store_entry(key, value, flags, exptime, Some(true))
+    }
+
+    /// `require_live`: `None` = unconditional, `Some(false)` = only when
+    /// absent, `Some(true)` = only when live.
+    fn store_entry(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: i64,
+        require_live: Option<bool>,
+    ) -> Result<StoreOutcome, DlhtError> {
+        if key.is_empty() || key.len() > crate::MAX_KEY_LEN {
+            return Err(DlhtError::KeyTooLong);
+        }
+        let deadline = self.map.deadline_for(exptime);
+        let now = self.map.clock.now();
+        let (word, exact) = CacheMap::key_word(key);
+        let stored = {
+            let _guard = self.map.stripe(word).lock().expect("cache stripe lock");
+            let state = self.slot_state(word, exact, key, now);
+            // An expired entry is logically absent: remove it here so `add`
+            // can take the slot and the accounting reflects reality.
+            let state = match state {
+                SlotState::Expired(cur) => {
+                    self.unlink(word, cur);
+                    self.map.expired.fetch_add(1, Ordering::Relaxed);
+                    SlotState::Empty
+                }
+                other => other,
+            };
+            let replaces = match (require_live, &state) {
+                (Some(true), SlotState::Live(cur)) => Some(*cur),
+                (Some(true), _) => return Ok(StoreOutcome::NotStored),
+                (Some(false), SlotState::Live(_)) => return Ok(StoreOutcome::NotStored),
+                // A colliding foreign key is overwritten even by `add`:
+                // the word can only hold one record.
+                (_, SlotState::Live(cur) | SlotState::Foreign(cur)) => Some(*cur),
+                (_, SlotState::Empty | SlotState::Expired(_)) => None,
+            };
+            let cas = self.map.cas_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let entry = self.map.write_entry(key, value, flags, deadline, cas);
+            match replaces {
+                Some(cur) => {
+                    let prev = self.map.table.put(word, entry as u64);
+                    debug_assert_eq!(prev, Some(cur), "stripe lock guarantees stability");
+                    self.map.retire_entry(&mut self.handle, cur);
+                }
+                None => match self.map.table.insert(word, entry as u64) {
+                    Ok(InsertOutcome::Inserted) => {
+                        self.map.items.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(InsertOutcome::AlreadyExists(_)) => {
+                        // Unreachable under the stripe lock; keep the map
+                        // consistent anyway.
+                        self.map.discard_entry(entry);
+                        return Ok(StoreOutcome::NotStored);
+                    }
+                    Err(e) => {
+                        self.map.discard_entry(entry);
+                        return Err(e);
+                    }
+                },
+            }
+            self.map.sets.fetch_add(1, Ordering::Relaxed);
+            StoreOutcome::Stored
+        };
+        self.maybe_evict();
+        Ok(stored)
+    }
+
+    /// Lock-free lookup: invoke `f` on the live entry, or return `None` on
+    /// a miss. Entries past their deadline are **never** surfaced, even
+    /// before the reaper removes them.
+    // HOT: the cache read path — no locks, one index Get, one record read.
+    pub fn get_with<R>(&mut self, key: &[u8], f: impl FnOnce(CacheView<'_>) -> R) -> Option<R> {
+        let now = self.map.clock.now();
+        let (word, exact) = CacheMap::key_word(key);
+        let miss = |map: &CacheMap| {
+            map.misses.fetch_add(1, Ordering::Relaxed);
+        };
+        let Some(cur) = self.map.table.get(word) else {
+            miss(self.map);
+            return None;
+        };
+        let ptr = cur as *const u8;
+        // SAFETY: `cur` was published by this map; epoch protection (this
+        // session is between quiescent points) keeps the record alive.
+        let header = unsafe { entry_header(ptr) };
+        // SAFETY: as above.
+        if !exact && unsafe { entry_key(ptr) } != key {
+            miss(self.map);
+            return None;
+        }
+        if CacheMap::expired_at(header, now) {
+            miss(self.map);
+            return None;
+        }
+        header
+            .last_access
+            .store(self.map.access_stamp(), Ordering::Relaxed);
+        self.map.hits.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: as above — the value slice lives inside the same record.
+        let value = unsafe { entry_value(ptr) };
+        Some(f(CacheView {
+            value,
+            flags: header.flags,
+            cas: header.cas,
+        }))
+    }
+
+    /// Copying lookup.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.get_with(key, |view| view.value.to_vec())
+    }
+
+    /// Remove `key`. Returns `true` only if a live entry was removed
+    /// (memcache `DELETED` vs `NOT_FOUND`); an expired entry is removed
+    /// physically but reported as absent.
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        let now = self.map.clock.now();
+        let (word, exact) = CacheMap::key_word(key);
+        let _guard = self.map.stripe(word).lock().expect("cache stripe lock");
+        match self.slot_state(word, exact, key, now) {
+            SlotState::Empty | SlotState::Foreign(_) => false,
+            SlotState::Expired(cur) => {
+                self.unlink(word, cur);
+                self.map.expired.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            SlotState::Live(cur) => {
+                self.unlink(word, cur);
+                true
+            }
+        }
+    }
+
+    /// Update a live entry's deadline in place (memcache `touch`). Returns
+    /// `false` when the key is absent or already expired.
+    pub fn touch(&mut self, key: &[u8], exptime: i64) -> bool {
+        let deadline = self.map.deadline_for(exptime);
+        let now = self.map.clock.now();
+        let (word, exact) = CacheMap::key_word(key);
+        let _guard = self.map.stripe(word).lock().expect("cache stripe lock");
+        match self.slot_state(word, exact, key, now) {
+            SlotState::Live(cur) => {
+                let ptr = cur as *const u8;
+                // SAFETY: live entry under epoch protection; deadline and
+                // last_access are atomics made for in-place update.
+                let header = unsafe { entry_header(ptr) };
+                header.deadline.store(deadline, Ordering::Release);
+                header
+                    .last_access
+                    .store(self.map.access_stamp(), Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Add `delta` to a numeric value (wrapping, per memcache).
+    pub fn incr(&mut self, key: &[u8], delta: u64) -> Result<u64, CounterError> {
+        self.counter_op(key, delta, true)
+    }
+
+    /// Subtract `delta` from a numeric value (floored at 0, per memcache).
+    pub fn decr(&mut self, key: &[u8], delta: u64) -> Result<u64, CounterError> {
+        self.counter_op(key, delta, false)
+    }
+
+    fn counter_op(&mut self, key: &[u8], delta: u64, up: bool) -> Result<u64, CounterError> {
+        let now = self.map.clock.now();
+        let (word, exact) = CacheMap::key_word(key);
+        let _guard = self.map.stripe(word).lock().expect("cache stripe lock");
+        let cur = match self.slot_state(word, exact, key, now) {
+            SlotState::Live(cur) => cur,
+            _ => return Err(CounterError::NotFound),
+        };
+        let ptr = cur as *const u8;
+        // SAFETY: live entry under epoch protection (see `get_with`).
+        let header = unsafe { entry_header(ptr) };
+        // SAFETY: as above.
+        let value = unsafe { entry_value(ptr) };
+        let current = parse_decimal_u64(value).ok_or(CounterError::NotNumeric)?;
+        let next = if up {
+            current.wrapping_add(delta)
+        } else {
+            current.saturating_sub(delta)
+        };
+        let mut buf = [0u8; 20];
+        let text = format_decimal_u64(&mut buf, next);
+        let deadline = header.deadline.load(Ordering::Acquire);
+        let flags = header.flags;
+        let cas = self.map.cas_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = self.map.write_entry(key, text, flags, deadline, cas);
+        let prev = self.map.table.put(word, entry as u64);
+        debug_assert_eq!(prev, Some(cur), "stripe lock guarantees stability");
+        self.map.retire_entry(&mut self.handle, cur);
+        self.map.sets.fetch_add(1, Ordering::Relaxed);
+        Ok(next)
+    }
+
+    /// Remove every entry (memcache `flush_all`). Returns the number of
+    /// entries removed.
+    pub fn flush_all(&mut self) -> u64 {
+        let mut words: Vec<u64> = Vec::new();
+        self.map.table.for_each(|word, _| words.push(word));
+        let mut removed = 0;
+        for word in words {
+            let _guard = self.map.stripe(word).lock().expect("cache stripe lock");
+            if let Some(cur) = self.map.table.delete(word) {
+                self.map.items.fetch_sub(1, Ordering::Relaxed);
+                self.map.retire_entry(&mut self.handle, cur);
+                removed += 1;
+            }
+        }
+        self.map.flushes.fetch_add(1, Ordering::Relaxed);
+        removed
+    }
+
+    /// One reaper pass: sweep expired entries, then enforce the memory
+    /// budget, then announce a quiescent point (so repeated passes actually
+    /// free what they retired).
+    pub fn reap(&mut self) -> ReapOutcome {
+        let expired = self.sweep_expired();
+        let evicted = self.maybe_evict();
+        self.quiesce();
+        ReapOutcome { expired, evicted }
+    }
+
+    /// Scan the index and retire every entry whose deadline has passed.
+    /// Concurrent-safe: each victim is re-verified under its stripe lock
+    /// before unlinking (a racing `touch`/`set` wins).
+    pub fn sweep_expired(&mut self) -> u64 {
+        let now = self.map.clock.now();
+        let mut victims: Vec<(u64, u64)> = Vec::new();
+        self.map.table.for_each(|word, value_word| {
+            let ptr = value_word as *const u8;
+            // SAFETY: published record under epoch protection — this
+            // session does not quiesce during the scan.
+            let header = unsafe { entry_header(ptr) };
+            if CacheMap::expired_at(header, now) {
+                victims.push((word, value_word));
+            }
+        });
+        let mut reaped = 0;
+        for (word, value_word) in victims {
+            let _guard = self.map.stripe(word).lock().expect("cache stripe lock");
+            if self.map.table.get(word) != Some(value_word) {
+                continue; // replaced since the scan
+            }
+            let ptr = value_word as *const u8;
+            // SAFETY: still linked (checked above under the stripe lock).
+            let header = unsafe { entry_header(ptr) };
+            if !CacheMap::expired_at(header, now) {
+                continue; // a racing touch extended it
+            }
+            self.unlink(word, value_word);
+            self.map.expired.fetch_add(1, Ordering::Relaxed);
+            reaped += 1;
+        }
+        reaped
+    }
+
+    /// Enforce the memory budget: when `index_bytes + value bytes` exceeds
+    /// the watermark, retire entries in eviction order until usage drops to
+    /// 7/8 of the budget (batching avoids one-at-a-time thrash). Returns
+    /// the number of entries evicted.
+    pub fn maybe_evict(&mut self) -> u64 {
+        let budget = self.map.budget;
+        if budget == 0 {
+            return 0;
+        }
+        // Fast path: gate on the resident gauge plus the index size cached
+        // by the last enforcement, so stores under budget pay one load.
+        let cached_index = self.map.index_bytes_cache.load(Ordering::Relaxed);
+        if self.map.value_bytes.load(Ordering::Relaxed) + cached_index <= budget {
+            return 0;
+        }
+        let index_bytes = self.map.table.stats().index_bytes as u64;
+        self.map
+            .index_bytes_cache
+            .store(index_bytes, Ordering::Relaxed);
+        if self.map.value_bytes.load(Ordering::Relaxed) + index_bytes <= budget {
+            return 0;
+        }
+        // Evict down to the low watermark. If the index alone exceeds the
+        // budget the target is 0 — everything goes (documented: budgets
+        // must leave room for the index).
+        let target = budget
+            .saturating_sub(budget / 8)
+            .saturating_sub(index_bytes);
+        let now = self.map.clock.now();
+        let fifo = self.map.eviction == EvictionPolicy::Fifo;
+        let mut candidates: Vec<(u64, u64, u64)> = Vec::new();
+        self.map.table.for_each(|word, value_word| {
+            let ptr = value_word as *const u8;
+            // SAFETY: published record under epoch protection (no quiesce
+            // during the scan).
+            let header = unsafe { entry_header(ptr) };
+            let order = if fifo {
+                header.cas
+            } else {
+                // LRU: coldest access first; ties broken by insert order.
+                ((header.last_access.load(Ordering::Relaxed) as u64) << 32)
+                    | (header.cas & 0xFFFF_FFFF)
+            };
+            candidates.push((order, word, value_word));
+        });
+        candidates.sort_unstable_by_key(|&(order, _, _)| order);
+        let mut evicted = 0;
+        for (_, word, value_word) in candidates {
+            if self.map.value_bytes.load(Ordering::Relaxed) <= target {
+                break;
+            }
+            let _guard = self.map.stripe(word).lock().expect("cache stripe lock");
+            if self.map.table.get(word) != Some(value_word) {
+                continue;
+            }
+            let ptr = value_word as *const u8;
+            // SAFETY: still linked (checked above under the stripe lock).
+            let was_expired = CacheMap::expired_at(unsafe { entry_header(ptr) }, now);
+            self.unlink(word, value_word);
+            if was_expired {
+                self.map.expired.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.map.evicted.fetch_add(1, Ordering::Relaxed);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Announce a quiescent point: records retired two epochs ago become
+    /// freeable, and the global epoch advances once all sessions have done
+    /// so.
+    pub fn quiesce(&mut self) {
+        self.handle.quiescent();
+    }
+
+    /// Records retired by this session and not yet freed.
+    pub fn pending_garbage(&self) -> usize {
+        self.handle.pending()
+    }
+}
+
+/// Strict unsigned-decimal parse (what memcache `incr`/`decr` accept):
+/// non-empty, digits only, must fit u64.
+pub fn parse_decimal_u64(text: &[u8]) -> Option<u64> {
+    if text.is_empty() || text.len() > 20 {
+        return None;
+    }
+    let mut value: u64 = 0;
+    for &byte in text {
+        if !byte.is_ascii_digit() {
+            return None;
+        }
+        value = value.checked_mul(10)?.checked_add(u64::from(byte - b'0'))?;
+    }
+    Some(value)
+}
+
+/// Format `value` into `buf`, returning the used suffix.
+pub fn format_decimal_u64(buf: &mut [u8; 20], mut value: u64) -> &[u8] {
+    let mut at = buf.len();
+    loop {
+        at -= 1;
+        buf[at] = b'0' + (value % 10) as u8;
+        value /= 10;
+        if value == 0 {
+            break;
+        }
+    }
+    &buf[at..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual_cache(budget: u64, eviction: EvictionPolicy) -> (Arc<ManualClock>, CacheMap) {
+        let clock = Arc::new(ManualClock::new(1));
+        let map = CacheMap::with_clock(
+            CacheConfig {
+                shards: 2,
+                capacity: 4096,
+                memory_budget: budget,
+                eviction,
+            },
+            clock.clone(),
+        );
+        (clock, map)
+    }
+
+    #[test]
+    fn set_get_add_replace_delete_roundtrip() {
+        let (_clock, map) = manual_cache(0, EvictionPolicy::Lru);
+        let mut s = map.session();
+        assert_eq!(s.set(b"k", b"v1", 7, 0).unwrap(), StoreOutcome::Stored);
+        assert_eq!(s.add(b"k", b"v2", 0, 0).unwrap(), StoreOutcome::NotStored);
+        assert_eq!(s.replace(b"k", b"v3", 9, 0).unwrap(), StoreOutcome::Stored);
+        let (value, flags) = s
+            .get_with(b"k", |v| (v.value.to_vec(), v.flags))
+            .expect("hit");
+        assert_eq!(value, b"v3");
+        assert_eq!(flags, 9);
+        assert!(s.delete(b"k"));
+        assert!(!s.delete(b"k"));
+        assert_eq!(s.get(b"k"), None);
+        assert_eq!(
+            s.replace(b"k", b"v", 0, 0).unwrap(),
+            StoreOutcome::NotStored
+        );
+        assert_eq!(s.add(b"k", b"v4", 0, 0).unwrap(), StoreOutcome::Stored);
+        assert_eq!(s.get(b"k").unwrap(), b"v4");
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn cas_is_monotone_per_store() {
+        let (_clock, map) = manual_cache(0, EvictionPolicy::Lru);
+        let mut s = map.session();
+        s.set(b"a", b"1", 0, 0).unwrap();
+        let cas1 = s.get_with(b"a", |v| v.cas).unwrap();
+        s.set(b"a", b"2", 0, 0).unwrap();
+        let cas2 = s.get_with(b"a", |v| v.cas).unwrap();
+        assert!(cas2 > cas1);
+    }
+
+    #[test]
+    fn expired_entries_are_never_served() {
+        let (clock, map) = manual_cache(0, EvictionPolicy::Lru);
+        let mut s = map.session();
+        s.set(b"ttl", b"v", 0, 10).unwrap();
+        assert_eq!(s.get(b"ttl").unwrap(), b"v");
+        clock.advance(9); // now = 10: deadline (1 + 10 = 11) not yet passed
+        assert_eq!(s.get(b"ttl").unwrap(), b"v");
+        clock.advance(1); // now = 11 == deadline → dead
+        assert_eq!(s.get(b"ttl"), None);
+        // Logically absent everywhere: add succeeds, delete reports miss.
+        assert!(!s.delete(b"ttl"));
+        assert_eq!(s.add(b"ttl", b"v2", 0, 0).unwrap(), StoreOutcome::Stored);
+        assert_eq!(s.get(b"ttl").unwrap(), b"v2");
+    }
+
+    #[test]
+    fn negative_exptime_is_immediately_dead() {
+        let (_clock, map) = manual_cache(0, EvictionPolicy::Lru);
+        let mut s = map.session();
+        s.set(b"dead", b"v", 0, -1).unwrap();
+        assert_eq!(s.get(b"dead"), None);
+    }
+
+    #[test]
+    fn absolute_unix_exptime_converts() {
+        let (clock, map) = manual_cache(0, EvictionPolicy::Lru);
+        // Cache second 1 corresponds to unix_at_start; +100s absolute.
+        let unix_target = map.unix_at_start + 100;
+        let deadline = map.deadline_for(unix_target as i64);
+        assert_eq!(deadline, 101);
+        // A past absolute timestamp is already dead.
+        assert_eq!(map.deadline_for(map.unix_at_start as i64), 1);
+        clock.advance(1);
+        assert_eq!(map.deadline_for(unix_target as i64), 101);
+    }
+
+    #[test]
+    fn touch_extends_deadline_in_place() {
+        let (clock, map) = manual_cache(0, EvictionPolicy::Lru);
+        let mut s = map.session();
+        s.set(b"t", b"v", 0, 5).unwrap();
+        clock.advance(4);
+        assert!(s.touch(b"t", 100));
+        clock.advance(50);
+        assert_eq!(s.get(b"t").unwrap(), b"v", "touch moved the deadline");
+        clock.advance(60);
+        assert_eq!(s.get(b"t"), None);
+        assert!(!s.touch(b"t", 100), "expired entries cannot be touched");
+    }
+
+    #[test]
+    fn incr_decr_semantics() {
+        let (_clock, map) = manual_cache(0, EvictionPolicy::Lru);
+        let mut s = map.session();
+        assert_eq!(s.incr(b"n", 1), Err(CounterError::NotFound));
+        s.set(b"n", b"10", 0, 0).unwrap();
+        assert_eq!(s.incr(b"n", 5).unwrap(), 15);
+        assert_eq!(s.decr(b"n", 100).unwrap(), 0, "decr floors at zero");
+        assert_eq!(s.get(b"n").unwrap(), b"0");
+        s.set(b"n", &u64::MAX.to_string().into_bytes(), 0, 0)
+            .unwrap();
+        assert_eq!(s.incr(b"n", 2).unwrap(), 1, "incr wraps");
+        s.set(b"x", b"12x", 0, 0).unwrap();
+        assert_eq!(s.incr(b"x", 1), Err(CounterError::NotNumeric));
+        s.set(b"big", b"99999999999999999999999", 0, 0).unwrap();
+        assert_eq!(s.incr(b"big", 1), Err(CounterError::NotNumeric));
+    }
+
+    #[test]
+    fn sweep_expired_drains_a_storm_and_epoch_frees_it() {
+        let (clock, map) = manual_cache(0, EvictionPolicy::Lru);
+        let mut s = map.session();
+        for i in 0..200u64 {
+            s.set(format!("storm:{i}").as_bytes(), &[7u8; 64], 0, 5)
+                .unwrap();
+        }
+        assert_eq!(map.len(), 200);
+        clock.advance(10);
+        let reaped = s.sweep_expired();
+        assert_eq!(reaped, 200);
+        assert_eq!(map.len(), 0);
+        assert_eq!(map.stats().expired, 200);
+        // Retired bytes drain to zero once the epoch advances.
+        assert!(map.stats().pending_reclaim_bytes > 0);
+        for _ in 0..4 {
+            s.quiesce();
+        }
+        assert_eq!(map.stats().pending_reclaim_bytes, 0);
+        assert_eq!(map.stats().value_bytes, 0);
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_lru_keeps_hot_keys() {
+        let value = [1u8; 1024];
+        let (_clock, map) = {
+            let clock = Arc::new(ManualClock::new(1));
+            let map = CacheMap::with_clock(
+                CacheConfig {
+                    shards: 1,
+                    capacity: 1024,
+                    memory_budget: 256 * 1024,
+                    eviction: EvictionPolicy::Lru,
+                },
+                clock.clone(),
+            );
+            (clock, map)
+        };
+        let mut s = map.session();
+        let budget = map.budget();
+        // Keep key 0 hot by re-reading it between stores.
+        for i in 0..1000u64 {
+            s.set(format!("fill:{i:04}").as_bytes(), &value, 0, 0)
+                .unwrap();
+            let _ = s.get(b"fill:0000");
+            let stats = map.stats();
+            assert!(
+                stats.total_bytes() <= budget,
+                "over budget after store {i}: {} > {budget}",
+                stats.total_bytes()
+            );
+        }
+        let stats = map.stats();
+        assert!(stats.evicted > 0, "the fill must have forced evictions");
+        assert!(
+            s.get(b"fill:0000").is_some(),
+            "LRU must keep the hot key resident"
+        );
+    }
+
+    #[test]
+    fn fifo_evicts_in_insert_order() {
+        let value = [2u8; 512];
+        let clock = Arc::new(ManualClock::new(1));
+        let map = CacheMap::with_clock(
+            CacheConfig {
+                shards: 1,
+                capacity: 1024,
+                memory_budget: 128 * 1024,
+                eviction: EvictionPolicy::Fifo,
+            },
+            clock.clone(),
+        );
+        let mut s = map.session();
+        for i in 0..500u64 {
+            s.set(format!("f:{i:04}").as_bytes(), &value, 0, 0).unwrap();
+            let _ = s.get(b"f:0000"); // recency must NOT save it under FIFO
+        }
+        assert!(map.stats().evicted > 0);
+        assert_eq!(s.get(b"f:0000"), None, "FIFO ignores recency");
+        assert!(s.get(b"f:0499").is_some(), "newest entries survive");
+    }
+
+    #[test]
+    fn flush_all_empties_the_cache() {
+        let (_clock, map) = manual_cache(0, EvictionPolicy::Lru);
+        let mut s = map.session();
+        for i in 0..50u64 {
+            s.set(format!("k{i}").as_bytes(), b"v", 0, 0).unwrap();
+        }
+        assert_eq!(s.flush_all(), 50);
+        assert_eq!(map.len(), 0);
+        assert_eq!(s.get(b"k0"), None);
+        assert_eq!(map.stats().flushes, 1);
+    }
+
+    #[test]
+    fn stats_counters_track_operations() {
+        let (_clock, map) = manual_cache(0, EvictionPolicy::Lru);
+        let mut s = map.session();
+        s.set(b"a", b"1", 0, 0).unwrap();
+        let _ = s.get(b"a");
+        let _ = s.get(b"missing");
+        let stats = map.stats();
+        assert_eq!(stats.items, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.sets, 1);
+        assert!(stats.value_bytes >= (ENTRY_HEADER_LEN + 2) as u64);
+        assert!((stats.hit_ratio() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn eight_byte_keys_inline_and_long_keys_fingerprint() {
+        let (_clock, map) = manual_cache(0, EvictionPolicy::Lru);
+        let mut s = map.session();
+        s.set(b"exactly8", b"inline", 0, 0).unwrap();
+        let long = vec![b'x'; 200];
+        s.set(&long, b"hashed", 0, 0).unwrap();
+        assert_eq!(s.get(b"exactly8").unwrap(), b"inline");
+        assert_eq!(s.get(&long).unwrap(), b"hashed");
+        assert_eq!(s.get(b"exactly9"), None);
+        assert!(s.set(b"", b"v", 0, 0).is_err(), "empty keys are rejected");
+    }
+
+    #[test]
+    fn concurrent_churn_with_reaper_stays_consistent() {
+        let clock = Arc::new(ManualClock::new(1));
+        let map = Arc::new(CacheMap::with_clock(
+            CacheConfig {
+                shards: 4,
+                capacity: 8192,
+                memory_budget: 0,
+                eviction: EvictionPolicy::Lru,
+            },
+            clock.clone(),
+        ));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let map = Arc::clone(&map);
+                let clock = Arc::clone(&clock);
+                scope.spawn(move || {
+                    let mut s = map.session();
+                    for i in 0..800u64 {
+                        let key = format!("churn:{t}:{}", i % 64);
+                        match i % 5 {
+                            0 | 1 => {
+                                s.set(key.as_bytes(), &i.to_le_bytes(), 0, 2).unwrap();
+                            }
+                            2 => {
+                                let _ = s.get(key.as_bytes());
+                            }
+                            3 => {
+                                let _ = s.touch(key.as_bytes(), 4);
+                            }
+                            _ => {
+                                let _ = s.delete(key.as_bytes());
+                            }
+                        }
+                        if i % 100 == 0 {
+                            clock.advance(1);
+                            s.sweep_expired();
+                        }
+                        if i % 32 == 0 {
+                            s.quiesce();
+                        }
+                    }
+                });
+            }
+        });
+        // Drain: expire everything and verify the books balance.
+        clock.advance(100);
+        let mut s = map.session();
+        s.sweep_expired();
+        assert_eq!(map.len(), 0);
+        for _ in 0..4 {
+            s.quiesce();
+        }
+        assert_eq!(map.stats().pending_reclaim_bytes, 0);
+        assert_eq!(map.stats().value_bytes, 0);
+    }
+
+    #[test]
+    fn decimal_helpers_roundtrip() {
+        let mut buf = [0u8; 20];
+        for v in [0u64, 1, 9, 10, 12345, u64::MAX] {
+            let text = format_decimal_u64(&mut buf, v);
+            assert_eq!(parse_decimal_u64(text), Some(v));
+        }
+        assert_eq!(parse_decimal_u64(b""), None);
+        assert_eq!(parse_decimal_u64(b"1a"), None);
+        assert_eq!(parse_decimal_u64(b"18446744073709551616"), None);
+        assert_eq!(parse_decimal_u64(b"018446744073709551615"), None);
+    }
+}

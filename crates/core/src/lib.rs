@@ -88,6 +88,7 @@ pub mod tagged_ptr;
 pub mod typed;
 
 mod alloc_map;
+mod cache;
 mod map;
 mod set;
 mod single_thread;
@@ -95,6 +96,11 @@ mod table;
 
 pub use alloc_map::{AllocSession, DlhtAllocMap, MAX_KEY_LEN};
 pub use batch::{Batch, BatchPolicy, Request, Response};
+pub use cache::{
+    format_decimal_u64, parse_decimal_u64, CacheClock, CacheConfig, CacheMap, CacheSession,
+    CacheStats, CacheView, CounterError, EvictionPolicy, ManualClock, MonotonicClock, ReapOutcome,
+    StoreOutcome, MAX_RELATIVE_EXPIRY,
+};
 pub use config::DlhtConfig;
 pub use error::{DlhtError, InsertOutcome};
 pub use kv::{KvBackend, MapFeatures};

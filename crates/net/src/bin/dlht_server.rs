@@ -4,31 +4,48 @@
 //! ```text
 //! dlht_server [--addr 127.0.0.1:4455] [--shards 4] [--capacity 1000000]
 //!             [--keys N] [--workers W] [--admin-addr 127.0.0.1:4456]
-//! dlht_server --probe <admin-addr>
+//!             [--protocol binary|memcache] [--memory-budget BYTES[k|m|g]]
+//!             [--reap-ms MS]
+//! dlht_server --probe <admin-addr> [--expect-cache]
+//! dlht_server --probe-memcache <addr>
 //! ```
 //!
 //! `--keys N` prepopulates keys `0..N` (value = key), matching the workload
 //! harness's `dlht_workloads::prepopulate` convention so a remote YCSB run
-//! finds the key space it expects.
+//! finds the key space it expects (binary protocol only).
 //!
 //! `--workers W` sizes the event-loop worker pool (0 = auto). `--admin-addr`
 //! opens the admin plane — a separate port serving only `STATS`/`LEN`/`PING`
 //! so health checks never queue behind data traffic.
 //!
+//! `--protocol memcache` serves the cache persona instead: the memcache
+//! text protocol over a [`dlht_core::CacheMap`] with per-entry TTL, a
+//! background expiry reaper (`--reap-ms`, default 500), and LRU eviction
+//! under `--memory-budget` (0 = unbounded; accepts `k`/`m`/`g` suffixes).
+//!
 //! `--probe <addr>` runs as an admin-plane health probe instead of a
 //! server: it connects, round-trips `PING`, `STATS`, and `LEN`, prints one
 //! summary line, and exits 0 on success / 1 on any failure — made for CI
-//! and liveness checks.
+//! and liveness checks. With `--expect-cache` the probe additionally fails
+//! unless the `STATS` answer carries the cache extension (expirations /
+//! evictions / hit counters). `--probe-memcache <addr>` speaks the text
+//! protocol natively instead: set/get/touch/incr/delete/stats round-trip.
 
-use dlht_core::{KvBackend, ShardedTable};
+use dlht_core::{CacheConfig, CacheMap, EvictionPolicy, KvBackend, ShardedTable};
 use dlht_net::{flag_value, DlhtClient, DlhtServer, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     if let Some(addr) = flag_value(&args, "--probe") {
-        std::process::exit(probe(&addr));
+        let expect_cache = args.iter().any(|a| a == "--expect-cache");
+        std::process::exit(probe(&addr, expect_cache));
+    }
+    if let Some(addr) = flag_value(&args, "--probe-memcache") {
+        std::process::exit(probe_memcache(&addr));
     }
 
     let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:4455".to_string());
@@ -45,19 +62,52 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
     let admin_addr = flag_value(&args, "--admin-addr");
+    let protocol = flag_value(&args, "--protocol").unwrap_or_else(|| "binary".to_string());
+    let memory_budget = flag_value(&args, "--memory-budget")
+        .map(|v| parse_bytes(&v).unwrap_or_else(|| panic!("bad --memory-budget value {v:?}")))
+        .unwrap_or(0);
+    let reap_ms: u64 = flag_value(&args, "--reap-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
 
+    let config = ServerConfig {
+        workers,
+        admin_addr,
+        reap_interval_ms: reap_ms,
+        ..ServerConfig::default()
+    };
+
+    match protocol.as_str() {
+        "binary" => serve_binary(&addr, shards, capacity, keys, config),
+        "memcache" => serve_memcache(&addr, shards, capacity, memory_budget, config),
+        other => {
+            eprintln!("unknown --protocol {other:?} (expected binary or memcache)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse a byte count with an optional `k`/`m`/`g` suffix (powers of 1024).
+fn parse_bytes(text: &str) -> Option<u64> {
+    let lower = text.to_ascii_lowercase();
+    let (digits, shift) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(d) if lower.ends_with('k') => (d, 10),
+        Some(d) if lower.ends_with('m') => (d, 20),
+        Some(d) => (d, 30),
+        None => (lower.as_str(), 0),
+    };
+    let base: u64 = digits.parse().ok()?;
+    base.checked_shl(shift)
+}
+
+fn serve_binary(addr: &str, shards: usize, capacity: usize, keys: u64, config: ServerConfig) {
     let table = Arc::new(ShardedTable::with_capacity(shards, capacity));
     for k in 0..keys {
         let _ = table
             .insert(k, k)
             .unwrap_or_else(|e| panic!("prepopulating key {k}: {e}"));
     }
-    let config = ServerConfig {
-        workers,
-        admin_addr,
-        ..ServerConfig::default()
-    };
-    let server = DlhtServer::bind_with(&addr, table.clone(), config)
+    let server = DlhtServer::bind_with(addr, table.clone(), config)
         .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
     eprintln!(
         "dlht_server listening on {} ({} workers, {} shards, capacity {}, {} prepopulated keys{})",
@@ -92,9 +142,56 @@ fn main() {
     }
 }
 
+fn serve_memcache(addr: &str, shards: usize, capacity: usize, budget: u64, config: ServerConfig) {
+    let cache = Arc::new(CacheMap::new(CacheConfig {
+        shards,
+        capacity,
+        memory_budget: budget,
+        eviction: EvictionPolicy::Lru,
+    }));
+    let server = DlhtServer::bind_memcache(addr, cache.clone(), config)
+        .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    eprintln!(
+        "dlht_server (memcache persona) listening on {} ({} workers, {} shards, capacity {}, \
+         memory budget {}{})",
+        server.local_addr(),
+        server.workers(),
+        shards,
+        capacity,
+        if budget == 0 {
+            "unbounded".to_string()
+        } else {
+            format!("{budget} B")
+        },
+        match server.admin_addr() {
+            Some(a) => format!(", admin plane on {a}"),
+            None => String::new(),
+        }
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let c = server.counters();
+        let s = cache.stats();
+        eprintln!(
+            "connections={} active={} lines={} protocol_errors={} items={} bytes={} \
+             hits={} misses={} expired={} evicted={}",
+            c.connections,
+            c.active,
+            c.frames,
+            c.protocol_errors,
+            s.items,
+            s.value_bytes,
+            s.hits,
+            s.misses,
+            s.expired,
+            s.evicted
+        );
+    }
+}
+
 /// Health-probe mode: exercise the admin plane (works against the data
 /// plane too, which serves a superset) and report in one line.
-fn probe(addr: &str) -> i32 {
+fn probe(addr: &str, expect_cache: bool) -> i32 {
     let started = std::time::Instant::now();
     let mut client = match DlhtClient::connect(addr) {
         Ok(c) => c,
@@ -121,10 +218,118 @@ fn probe(addr: &str) -> i32 {
             return 1;
         }
     };
+    let cache_suffix = match (&stats.cache, expect_cache) {
+        (None, true) => {
+            eprintln!("probe: expected the cache STATS extension, got a plain kv answer");
+            return 1;
+        }
+        (Some(c), _) => format!(
+            ", cache: items={} hits={} misses={} expirations={} evictions={}",
+            c.items, c.hits, c.misses, c.expirations, c.evictions
+        ),
+        (None, false) => String::new(),
+    };
     println!(
-        "probe ok: {addr} answered PING/STATS/LEN in {:?} (len={len}, occupied_slots={})",
+        "probe ok: {addr} answered PING/STATS/LEN in {:?} (len={len}, occupied_slots={}{})",
         started.elapsed(),
-        stats.table.occupied_slots
+        stats.table.occupied_slots,
+        cache_suffix
     );
     0
+}
+
+/// Native memcache text-protocol probe: a full set/get/touch/incr/delete/
+/// stats round-trip with a stock-client dialogue, for CI smoke jobs.
+fn probe_memcache(addr: &str) -> i32 {
+    match memcache_roundtrip(addr) {
+        Ok(summary) => {
+            println!("memcache probe ok: {addr} {summary}");
+            0
+        }
+        Err(e) => {
+            eprintln!("memcache probe failed: {e}");
+            1
+        }
+    }
+}
+
+fn memcache_roundtrip(addr: &str) -> Result<String, String> {
+    let started = std::time::Instant::now();
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut write = stream;
+    let mut line = String::new();
+    let mut expect = |w: &mut TcpStream,
+                      r: &mut BufReader<TcpStream>,
+                      send: &str,
+                      want: &str|
+     -> Result<(), String> {
+        w.write_all(send.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+        line.clear();
+        r.read_line(&mut line).map_err(|e| format!("read: {e}"))?;
+        if line.trim_end() != want {
+            return Err(format!("sent {send:?}, wanted {want:?}, got {line:?}"));
+        }
+        Ok(())
+    };
+    expect(
+        &mut write,
+        &mut reader,
+        "set probe:key 7 0 5\r\nhello\r\n",
+        "STORED",
+    )?;
+    expect(
+        &mut write,
+        &mut reader,
+        "get probe:key\r\n",
+        "VALUE probe:key 7 5",
+    )?;
+    // Swallow the data block + END of the get.
+    let mut rest = String::new();
+    reader.read_line(&mut rest).map_err(|e| e.to_string())?; // hello
+    rest.clear();
+    reader.read_line(&mut rest).map_err(|e| e.to_string())?; // END
+    if rest.trim_end() != "END" {
+        return Err(format!("get: missing END, got {rest:?}"));
+    }
+    expect(&mut write, &mut reader, "touch probe:key 60\r\n", "TOUCHED")?;
+    expect(
+        &mut write,
+        &mut reader,
+        "set probe:n 0 0 1\r\n5\r\n",
+        "STORED",
+    )?;
+    expect(&mut write, &mut reader, "incr probe:n 10\r\n", "15")?;
+    expect(&mut write, &mut reader, "delete probe:key\r\n", "DELETED")?;
+    expect(&mut write, &mut reader, "get probe:key\r\n", "END")?;
+    // stats must include the eviction/expiry counters and end with END.
+    write
+        .write_all(b"stats\r\n")
+        .map_err(|e| format!("write stats: {e}"))?;
+    let mut saw_evictions = false;
+    let mut saw_expired = false;
+    loop {
+        let mut stat = String::new();
+        reader.read_line(&mut stat).map_err(|e| e.to_string())?;
+        let stat = stat.trim_end();
+        if stat == "END" {
+            break;
+        }
+        saw_evictions |= stat.starts_with("STAT evictions ");
+        saw_expired |= stat.starts_with("STAT expired ");
+        if stat.is_empty() {
+            return Err("stats: connection closed before END".to_string());
+        }
+    }
+    if !(saw_evictions && saw_expired) {
+        return Err("stats: missing evictions/expired counters".to_string());
+    }
+    Ok(format!(
+        "set/get/touch/incr/delete/stats round-trip in {:?}",
+        started.elapsed()
+    ))
 }

@@ -73,16 +73,20 @@
 pub mod buf;
 pub mod client;
 pub mod loopback;
+pub mod memcache;
 pub mod poll;
 pub mod remote;
 pub mod server;
 pub mod service;
+pub mod test_util;
 pub mod wire;
 
 pub use buf::ByteRing;
 pub use client::{DlhtClient, NetError};
 pub use loopback::{loopback_client, LoopbackBackend, LoopbackTransport};
+pub use memcache::MemcacheConn;
 pub use remote::{flag_value, server_addr_from_args, RemoteBackend};
-pub use server::{DlhtServer, ServerConfig, ServerCounters, WRITE_HIGH_WATER};
-pub use service::{BackendEngine, ConnStats, Service, ServiceEngine};
-pub use wire::{RemoteStats, WireError, MAX_PAYLOAD, VERSION};
+pub use server::{AdminBackend, DlhtServer, ServerConfig, ServerCounters, WRITE_HIGH_WATER};
+pub use service::{BackendEngine, ConnStats, Drive, Service, ServiceEngine};
+pub use test_util::{bind_ephemeral, bind_ephemeral_memcache};
+pub use wire::{RemoteCacheStats, RemoteStats, WireError, MAX_PAYLOAD, VERSION};

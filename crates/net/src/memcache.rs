@@ -1,0 +1,777 @@
+//! The memcache text protocol: a second persona over the same event-driven
+//! server core, so any stock memcache client or load generator can drive a
+//! DLHT-backed cache.
+//!
+//! ## Parser / response split
+//!
+//! [`MemcacheConn`] is a per-connection state machine with exactly two
+//! states: waiting for a command **line**, or waiting for a storage
+//! command's **data block** (`bytes` + CRLF). It follows the same
+//! consumed-bytes contract as the binary [`crate::Service`]: partial input
+//! consumes nothing and stays buffered in the connection's read ring until
+//! more bytes arrive, so lines and data blocks may be split across reads at
+//! any byte boundary.
+//!
+//! Malformed input is answered, never panicked on:
+//!
+//! * recoverable mistakes (unknown command, bad flags, oversized key, a
+//!   non-numeric `incr` argument) answer `ERROR`/`CLIENT_ERROR` and keep
+//!   the connection open — framing is still intact;
+//! * unrecoverable framing (unparseable byte count, line longer than
+//!   [`MAX_LINE`], a data block not terminated by CRLF) answers
+//!   `CLIENT_ERROR` and closes, because the byte stream can no longer be
+//!   trusted.
+//!
+//! A storage command whose *header* was rejected but whose framing is fine
+//! (e.g. oversize key with a parseable byte count) still swallows its data
+//! block before answering, exactly like memcached — the next pipelined
+//! command parses cleanly and no half-executed state is left behind.
+//!
+//! ## Commands
+//!
+//! `get`/`gets` (multi-key), `set`/`add`/`replace`, `delete`, `touch`,
+//! `incr`/`decr`, `flush_all`, `stats`, `version`, `quit`, with `noreply`
+//! on mutations. Expiry follows memcache semantics: `0` = never, values up
+//! to 30 days are relative seconds, larger values are absolute unix
+//! timestamps, negative means already expired.
+
+use crate::service::{ConnStats, Drive};
+use dlht_core::{CacheSession, CounterError, StoreOutcome};
+
+/// Longest accepted command line (memcached uses 2048; multi-key `get`s
+/// get head-room). Anything longer is an unrecoverable framing error.
+pub const MAX_LINE: usize = 8 * 1024;
+
+/// Longest accepted key, per the memcache protocol.
+pub const MAX_KEY: usize = 250;
+
+/// Largest accepted value (matches the binary protocol's
+/// [`crate::MAX_PAYLOAD`]).
+pub const MAX_VALUE: usize = 1024 * 1024;
+
+/// Version string answered to `version` (stock clients parse the line).
+pub const VERSION_LINE: &[u8] = b"VERSION 1.6.0-dlht\r\n";
+
+const CRLF: &[u8] = b"\r\n";
+
+/// Which storage command a pending data block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StoreOp {
+    Set,
+    Add,
+    Replace,
+}
+
+/// A storage command whose header line parsed well enough to frame the data
+/// block that follows it.
+struct PendingStore {
+    op: StoreOp,
+    key: Vec<u8>,
+    flags: u32,
+    exptime: i64,
+    bytes: usize,
+    noreply: bool,
+    /// Header was semantically rejected (bad key/flags/exptime): swallow
+    /// the data block, then answer this instead of storing.
+    reject: Option<&'static [u8]>,
+}
+
+enum State {
+    /// Waiting for a complete command line.
+    Line,
+    /// Waiting for `bytes + CRLF` of a storage command's data block.
+    Data(PendingStore),
+}
+
+/// What a handled command line asks the connection driver to do next.
+enum LineOutcome {
+    Continue,
+    Close(Drive),
+}
+
+/// Per-connection memcache protocol state. One lives in each connection on
+/// a `--protocol memcache` listener, driven by the worker's event loop with
+/// the worker's shared [`CacheSession`] as its engine.
+pub struct MemcacheConn {
+    state: State,
+    stats: ConnStats,
+}
+
+impl Default for MemcacheConn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemcacheConn {
+    /// A fresh connection, waiting for its first command line.
+    pub fn new() -> Self {
+        MemcacheConn {
+            state: State::Line,
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// Counters in the same shape as the binary service: `frames` counts
+    /// command lines, `ops` engine operations, `batches` process calls that
+    /// handled at least one command, `max_drain` the largest such call.
+    pub fn stats(&self) -> ConnStats {
+        self.stats
+    }
+
+    /// Serve every complete command in `input`, appending response bytes to
+    /// `out`. Returns the number of input bytes consumed plus how the
+    /// connection should proceed; partial trailing commands consume nothing
+    /// and must be re-offered with more bytes later.
+    pub fn process(
+        &mut self,
+        session: &mut CacheSession<'_>,
+        input: &[u8],
+        out: &mut Vec<u8>,
+    ) -> (usize, Drive) {
+        let mut consumed = 0;
+        let mut commands = 0u64;
+        let mut ops = 0u64;
+        let drive = loop {
+            let rest = &input[consumed..];
+            match &mut self.state {
+                State::Line => {
+                    let Some(nl) = find_newline(rest) else {
+                        if rest.len() > MAX_LINE {
+                            out.extend_from_slice(b"CLIENT_ERROR line too long\r\n");
+                            consumed = input.len();
+                            break Drive::CloseError;
+                        }
+                        break Drive::Keep; // wait for the rest of the line
+                    };
+                    let line = strip_cr(&rest[..nl]);
+                    consumed += nl + 1;
+                    commands += 1;
+                    match self.handle_line(line, session, out, &mut ops) {
+                        LineOutcome::Continue => {}
+                        LineOutcome::Close(drive) => break drive,
+                    }
+                }
+                State::Data(pending) => {
+                    let need = pending.bytes + CRLF.len();
+                    if rest.len() < need {
+                        break Drive::Keep; // wait for the full data block
+                    }
+                    consumed += need;
+                    let State::Data(pending) = std::mem::replace(&mut self.state, State::Line)
+                    else {
+                        unreachable!("matched State::Data above");
+                    };
+                    if &rest[pending.bytes..need] != CRLF {
+                        out.extend_from_slice(b"CLIENT_ERROR bad data chunk\r\n");
+                        break Drive::CloseError;
+                    }
+                    let data = &rest[..pending.bytes];
+                    ops += 1;
+                    execute_store(session, pending, data, out);
+                }
+            }
+        };
+        if commands > 0 {
+            self.stats.frames += commands;
+            self.stats.ops += ops;
+            self.stats.batches += 1;
+            self.stats.max_drain = self.stats.max_drain.max(commands as usize);
+        }
+        (consumed, drive)
+    }
+
+    /// Parse and execute one command line (everything except data blocks).
+    fn handle_line(
+        &mut self,
+        line: &[u8],
+        session: &mut CacheSession<'_>,
+        out: &mut Vec<u8>,
+        ops: &mut u64,
+    ) -> LineOutcome {
+        let mut tokens = Tokens::new(line);
+        let Some(command) = tokens.next() else {
+            out.extend_from_slice(b"ERROR\r\n");
+            return LineOutcome::Continue;
+        };
+        match command {
+            b"get" | b"gets" => {
+                let want_cas = command == b"gets";
+                let mut served = 0usize;
+                for key in tokens.by_ref() {
+                    if !valid_key(key) {
+                        out.extend_from_slice(b"CLIENT_ERROR bad key\r\n");
+                        return LineOutcome::Continue;
+                    }
+                    *ops += 1;
+                    session.get_with(key, |view| {
+                        out.extend_from_slice(b"VALUE ");
+                        out.extend_from_slice(key);
+                        out.push(b' ');
+                        put_dec(out, u64::from(view.flags));
+                        out.push(b' ');
+                        put_dec(out, view.value.len() as u64);
+                        if want_cas {
+                            out.push(b' ');
+                            put_dec(out, view.cas);
+                        }
+                        out.extend_from_slice(CRLF);
+                        out.extend_from_slice(view.value);
+                        out.extend_from_slice(CRLF);
+                    });
+                    served += 1;
+                }
+                if served == 0 {
+                    out.extend_from_slice(b"ERROR\r\n");
+                } else {
+                    out.extend_from_slice(b"END\r\n");
+                }
+                LineOutcome::Continue
+            }
+            b"set" | b"add" | b"replace" => {
+                let op = match command {
+                    b"set" => StoreOp::Set,
+                    b"add" => StoreOp::Add,
+                    _ => StoreOp::Replace,
+                };
+                self.begin_store(op, &mut tokens, out)
+            }
+            b"delete" => {
+                let (key, noreply, ok) = key_and_noreply(&mut tokens);
+                if !ok {
+                    out.extend_from_slice(b"CLIENT_ERROR bad command line format\r\n");
+                    return LineOutcome::Continue;
+                }
+                *ops += 1;
+                let deleted = session.delete(key);
+                if !noreply {
+                    out.extend_from_slice(if deleted {
+                        b"DELETED\r\n"
+                    } else {
+                        b"NOT_FOUND\r\n"
+                    });
+                }
+                LineOutcome::Continue
+            }
+            b"touch" => {
+                let key = tokens.next().unwrap_or(b"");
+                let exptime = tokens.next().and_then(parse_i64);
+                let noreply = tokens.next() == Some(b"noreply");
+                if !valid_key(key) || exptime.is_none() || tokens.next().is_some() {
+                    out.extend_from_slice(b"CLIENT_ERROR bad command line format\r\n");
+                    return LineOutcome::Continue;
+                }
+                *ops += 1;
+                let touched = session.touch(key, exptime.expect("checked above"));
+                if !noreply {
+                    out.extend_from_slice(if touched {
+                        b"TOUCHED\r\n"
+                    } else {
+                        b"NOT_FOUND\r\n"
+                    });
+                }
+                LineOutcome::Continue
+            }
+            b"incr" | b"decr" => {
+                let key = tokens.next().unwrap_or(b"");
+                let delta = tokens.next().map(|t| (t, parse_u64(t)));
+                let noreply = tokens.next() == Some(b"noreply");
+                if !valid_key(key) || delta.is_none() || tokens.next().is_some() {
+                    out.extend_from_slice(b"CLIENT_ERROR bad command line format\r\n");
+                    return LineOutcome::Continue;
+                }
+                let Some((_, Some(delta))) = delta else {
+                    out.extend_from_slice(b"CLIENT_ERROR invalid numeric delta argument\r\n");
+                    return LineOutcome::Continue;
+                };
+                *ops += 1;
+                let result = if command == b"incr" {
+                    session.incr(key, delta)
+                } else {
+                    session.decr(key, delta)
+                };
+                if !noreply {
+                    match result {
+                        Ok(value) => {
+                            put_dec(out, value);
+                            out.extend_from_slice(CRLF);
+                        }
+                        Err(CounterError::NotFound) => {
+                            out.extend_from_slice(b"NOT_FOUND\r\n");
+                        }
+                        Err(CounterError::NotNumeric) => out.extend_from_slice(
+                            b"CLIENT_ERROR cannot increment or decrement non-numeric value\r\n",
+                        ),
+                    }
+                }
+                LineOutcome::Continue
+            }
+            b"flush_all" => {
+                let mut delay = 0u64;
+                let mut noreply = false;
+                match tokens.next() {
+                    None => {}
+                    Some(b"noreply") => noreply = true,
+                    Some(tok) => match parse_u64(tok) {
+                        Some(d) => {
+                            delay = d;
+                            noreply = tokens.next() == Some(b"noreply");
+                        }
+                        None => {
+                            out.extend_from_slice(b"CLIENT_ERROR bad command line format\r\n");
+                            return LineOutcome::Continue;
+                        }
+                    },
+                }
+                if delay != 0 {
+                    out.extend_from_slice(b"CLIENT_ERROR delayed flush not supported\r\n");
+                    return LineOutcome::Continue;
+                }
+                *ops += 1;
+                session.flush_all();
+                if !noreply {
+                    out.extend_from_slice(b"OK\r\n");
+                }
+                LineOutcome::Continue
+            }
+            b"stats" => {
+                write_stats(session, out);
+                LineOutcome::Continue
+            }
+            b"version" => {
+                out.extend_from_slice(VERSION_LINE);
+                LineOutcome::Continue
+            }
+            b"quit" => LineOutcome::Close(Drive::CloseClean),
+            _ => {
+                out.extend_from_slice(b"ERROR\r\n");
+                LineOutcome::Continue
+            }
+        }
+    }
+
+    /// Parse a storage header line. On success (or on a semantic reject
+    /// with intact framing) the connection enters the data state.
+    fn begin_store(
+        &mut self,
+        op: StoreOp,
+        tokens: &mut Tokens<'_>,
+        out: &mut Vec<u8>,
+    ) -> LineOutcome {
+        let key = tokens.next().unwrap_or(b"").to_vec();
+        let flags = tokens.next().map(parse_u64);
+        let exptime = tokens.next().map(parse_i64);
+        let bytes = tokens.next().map(parse_u64);
+        let noreply = match tokens.next() {
+            None => false,
+            Some(b"noreply") => true,
+            Some(_) => {
+                out.extend_from_slice(b"CLIENT_ERROR bad command line format\r\n");
+                return LineOutcome::Continue;
+            }
+        };
+        if tokens.next().is_some() {
+            out.extend_from_slice(b"CLIENT_ERROR bad command line format\r\n");
+            return LineOutcome::Continue;
+        }
+        // The byte count frames the stream: without it (or with an absurd
+        // one) the data block cannot be skipped and the connection is lost.
+        let Some(Some(bytes)) = bytes else {
+            out.extend_from_slice(b"CLIENT_ERROR bad data chunk length\r\n");
+            return LineOutcome::Close(Drive::CloseError);
+        };
+        let Ok(bytes) = usize::try_from(bytes) else {
+            out.extend_from_slice(b"CLIENT_ERROR bad data chunk length\r\n");
+            return LineOutcome::Close(Drive::CloseError);
+        };
+        if bytes > MAX_VALUE {
+            out.extend_from_slice(b"SERVER_ERROR object too large for cache\r\n");
+            return LineOutcome::Close(Drive::CloseError);
+        }
+        // Semantic problems with intact framing: remember the rejection,
+        // swallow the data block, answer afterwards (memcached behaviour).
+        let reject = if !valid_key(&key) {
+            Some(b"CLIENT_ERROR bad key\r\n" as &[u8])
+        } else if flags.is_none() || exptime.is_none() {
+            Some(b"CLIENT_ERROR bad command line format\r\n" as &[u8])
+        } else {
+            match (flags, exptime) {
+                (Some(None), _) | (_, Some(None)) => {
+                    Some(b"CLIENT_ERROR bad command line format\r\n" as &[u8])
+                }
+                _ => None,
+            }
+        };
+        let flags = flags.flatten().and_then(|f| u32::try_from(f).ok());
+        let reject = match (reject, flags) {
+            (Some(r), _) => Some(r),
+            (None, None) => Some(b"CLIENT_ERROR bad command line format\r\n" as &[u8]),
+            (None, Some(_)) => None,
+        };
+        self.state = State::Data(PendingStore {
+            op,
+            key,
+            flags: flags.unwrap_or(0),
+            exptime: exptime.flatten().unwrap_or(0),
+            bytes,
+            noreply,
+            reject,
+        });
+        LineOutcome::Continue
+    }
+}
+
+/// Execute a framed storage command against the cache.
+fn execute_store(
+    session: &mut CacheSession<'_>,
+    pending: PendingStore,
+    data: &[u8],
+    out: &mut Vec<u8>,
+) {
+    if let Some(reject) = pending.reject {
+        if !pending.noreply {
+            out.extend_from_slice(reject);
+        }
+        return;
+    }
+    let result = match pending.op {
+        StoreOp::Set => session.set(&pending.key, data, pending.flags, pending.exptime),
+        StoreOp::Add => session.add(&pending.key, data, pending.flags, pending.exptime),
+        StoreOp::Replace => session.replace(&pending.key, data, pending.flags, pending.exptime),
+    };
+    if pending.noreply {
+        return;
+    }
+    match result {
+        Ok(StoreOutcome::Stored) => out.extend_from_slice(b"STORED\r\n"),
+        Ok(StoreOutcome::NotStored) => out.extend_from_slice(b"NOT_STORED\r\n"),
+        Err(_) => out.extend_from_slice(b"SERVER_ERROR store failed\r\n"),
+    }
+}
+
+/// The `stats` command: the cache counters in `STAT <name> <value>` lines.
+fn write_stats(session: &CacheSession<'_>, out: &mut Vec<u8>) {
+    let stats = session.map().stats();
+    let mut stat = |name: &[u8], value: u64| {
+        out.extend_from_slice(b"STAT ");
+        out.extend_from_slice(name);
+        out.push(b' ');
+        put_dec(out, value);
+        out.extend_from_slice(CRLF);
+    };
+    stat(b"uptime", u64::from(stats.uptime_secs));
+    stat(b"curr_items", stats.items);
+    stat(b"bytes", stats.value_bytes);
+    stat(b"index_bytes", stats.index_bytes);
+    stat(b"limit_maxbytes", stats.budget);
+    stat(b"cmd_get", stats.hits + stats.misses);
+    stat(b"cmd_set", stats.sets);
+    stat(b"get_hits", stats.hits);
+    stat(b"get_misses", stats.misses);
+    stat(b"expired", stats.expired);
+    stat(b"evictions", stats.evicted);
+    stat(b"flushes", stats.flushes);
+    stat(b"pending_reclaim_bytes", stats.pending_reclaim_bytes);
+    out.extend_from_slice(b"END\r\n");
+}
+
+// ---------------------------------------------------------------------------
+// Lexing helpers
+// ---------------------------------------------------------------------------
+
+/// Space-separated tokens; runs of spaces collapse (memcached's tokenizer).
+struct Tokens<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a [u8]) -> Self {
+        Tokens { rest: line }
+    }
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        while let [b' ', tail @ ..] = self.rest {
+            self.rest = tail;
+        }
+        if self.rest.is_empty() {
+            return None;
+        }
+        let end = self
+            .rest
+            .iter()
+            .position(|&b| b == b' ')
+            .unwrap_or(self.rest.len());
+        let (token, tail) = self.rest.split_at(end);
+        self.rest = tail;
+        Some(token)
+    }
+}
+
+fn find_newline(data: &[u8]) -> Option<usize> {
+    data.iter().take(MAX_LINE + 1).position(|&b| b == b'\n')
+}
+
+fn strip_cr(line: &[u8]) -> &[u8] {
+    match line {
+        [head @ .., b'\r'] => head,
+        _ => line,
+    }
+}
+
+/// Memcache key rules: 1–250 bytes, no whitespace or control characters.
+fn valid_key(key: &[u8]) -> bool {
+    !key.is_empty() && key.len() <= MAX_KEY && key.iter().all(|&b| b > 32 && b != 127)
+}
+
+/// Strict unsigned decimal (rejects signs, spaces, overflow).
+fn parse_u64(token: &[u8]) -> Option<u64> {
+    dlht_core::parse_decimal_u64(token)
+}
+
+/// Strict signed decimal for exptimes.
+fn parse_i64(token: &[u8]) -> Option<i64> {
+    match token {
+        [b'-', digits @ ..] => {
+            let magnitude = dlht_core::parse_decimal_u64(digits)?;
+            (magnitude <= i64::MAX as u64 + 1).then(|| (magnitude as i64).wrapping_neg())
+        }
+        _ => {
+            let value = dlht_core::parse_decimal_u64(token)?;
+            i64::try_from(value).ok()
+        }
+    }
+}
+
+/// Append `value` in decimal ASCII without allocating.
+fn put_dec(out: &mut Vec<u8>, value: u64) {
+    let mut buf = [0u8; 20];
+    out.extend_from_slice(dlht_core::format_decimal_u64(&mut buf, value));
+}
+
+/// `delete`-style argument lists: one key, optional `noreply`, nothing else.
+/// Returns `(key, noreply, valid)`.
+fn key_and_noreply<'a>(tokens: &mut Tokens<'a>) -> (&'a [u8], bool, bool) {
+    let key = tokens.next().unwrap_or(b"");
+    let noreply = tokens.next() == Some(b"noreply");
+    let valid = valid_key(key) && tokens.next().is_none();
+    (key, noreply, valid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlht_core::{CacheConfig, CacheMap};
+
+    fn run(
+        conn: &mut MemcacheConn,
+        session: &mut CacheSession<'_>,
+        input: &[u8],
+    ) -> (Vec<u8>, usize, Drive) {
+        let mut out = Vec::new();
+        let (consumed, drive) = conn.process(session, input, &mut out);
+        (out, consumed, drive)
+    }
+
+    #[test]
+    fn set_get_roundtrip_with_flags() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let input = b"set greeting 42 0 5\r\nhello\r\nget greeting\r\n";
+        let (out, consumed, drive) = run(&mut conn, &mut session, input);
+        assert_eq!(consumed, input.len());
+        assert!(matches!(drive, Drive::Keep));
+        assert_eq!(
+            out,
+            b"STORED\r\nVALUE greeting 42 5\r\nhello\r\nEND\r\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn gets_reports_cas_and_multi_key() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let _ = run(
+            &mut conn,
+            &mut session,
+            b"set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\n",
+        );
+        let (out, _, _) = run(&mut conn, &mut session, b"gets a b missing\r\n");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("VALUE a 0 1 1\r\nx\r\nVALUE b 0 1 2\r\ny\r\n"));
+        assert!(text.ends_with("END\r\n"));
+        assert!(!text.contains("missing"));
+    }
+
+    #[test]
+    fn partial_input_consumes_nothing() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        // Split the command at every byte boundary; the final state must be
+        // identical to sending it whole.
+        let full = b"set k 0 0 3\r\nabc\r\nget k\r\n";
+        for split in 1..full.len() {
+            let map = CacheMap::new(CacheConfig::default());
+            let mut session = map.session();
+            let mut conn = MemcacheConn::new();
+            let mut pending: Vec<u8> = Vec::new();
+            let mut out = Vec::new();
+            for part in [&full[..split], &full[split..]] {
+                pending.extend_from_slice(part);
+                let (consumed, drive) = conn.process(&mut session, &pending, &mut out);
+                assert!(matches!(drive, Drive::Keep), "split at {split}");
+                pending.drain(..consumed);
+            }
+            assert_eq!(
+                out,
+                b"STORED\r\nVALUE k 0 3\r\nabc\r\nEND\r\n".to_vec(),
+                "split at {split}"
+            );
+            assert!(pending.is_empty(), "split at {split}");
+        }
+        // And a bare partial line consumes zero bytes.
+        let (out, consumed, drive) = run(&mut conn, &mut session, b"get onl");
+        assert_eq!((out.as_slice(), consumed), (&b""[..], 0));
+        assert!(matches!(drive, Drive::Keep));
+    }
+
+    #[test]
+    fn add_replace_delete_touch_semantics() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let (out, _, _) = run(
+            &mut conn,
+            &mut session,
+            b"add k 0 0 1\r\na\r\nadd k 0 0 1\r\nb\r\nreplace k 0 0 1\r\nc\r\nreplace nope 0 0 1\r\nd\r\ndelete k\r\ndelete k\r\ntouch k 5\r\n",
+        );
+        assert_eq!(
+            out,
+            b"STORED\r\nNOT_STORED\r\nSTORED\r\nNOT_STORED\r\nDELETED\r\nNOT_FOUND\r\nNOT_FOUND\r\n"
+                .to_vec()
+        );
+    }
+
+    #[test]
+    fn incr_decr_and_noreply() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let (out, _, _) = run(
+            &mut conn,
+            &mut session,
+            b"set n 0 0 2 noreply\r\n10\r\nincr n 5\r\ndecr n 100\r\nincr n bad\r\nincr missing 1\r\n",
+        );
+        assert_eq!(
+            out,
+            b"15\r\n0\r\nCLIENT_ERROR invalid numeric delta argument\r\nNOT_FOUND\r\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn stats_and_version_and_flush() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let _ = run(&mut conn, &mut session, b"set s 0 0 1\r\nv\r\n");
+        let (out, _, _) = run(&mut conn, &mut session, b"stats\r\n");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("STAT curr_items 1\r\n"), "{text}");
+        assert!(text.contains("STAT evictions 0\r\n"), "{text}");
+        assert!(text.ends_with("END\r\n"));
+        let (out, _, _) = run(&mut conn, &mut session, b"version\r\n");
+        assert_eq!(out, VERSION_LINE.to_vec());
+        let (out, _, _) = run(&mut conn, &mut session, b"flush_all\r\nget s\r\n");
+        assert_eq!(out, b"OK\r\nEND\r\n".to_vec());
+    }
+
+    #[test]
+    fn quit_closes_cleanly() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let (out, consumed, drive) = run(&mut conn, &mut session, b"quit\r\nset x 0 0 1\r\n");
+        assert!(out.is_empty());
+        assert_eq!(consumed, 6, "nothing after quit is consumed");
+        assert!(matches!(drive, Drive::CloseClean));
+    }
+
+    #[test]
+    fn rejected_store_header_still_swallows_its_data_block() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let long_key = vec![b'k'; 300];
+        let mut input = b"set ".to_vec();
+        input.extend_from_slice(&long_key);
+        input.extend_from_slice(b" 0 0 3\r\nabc\r\nget ok\r\n");
+        let (out, consumed, drive) = run(&mut conn, &mut session, &input);
+        assert_eq!(consumed, input.len(), "data block + next command consumed");
+        assert!(matches!(drive, Drive::Keep));
+        assert_eq!(out, b"CLIENT_ERROR bad key\r\nEND\r\n".to_vec());
+        assert_eq!(map.len(), 0, "nothing was stored");
+    }
+
+    #[test]
+    fn unparseable_byte_count_closes_the_connection() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let (out, _, drive) = run(&mut conn, &mut session, b"set k 0 0 banana\r\n");
+        assert_eq!(out, b"CLIENT_ERROR bad data chunk length\r\n".to_vec());
+        assert!(matches!(drive, Drive::CloseError));
+    }
+
+    #[test]
+    fn bad_data_terminator_closes_the_connection() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let (out, _, drive) = run(&mut conn, &mut session, b"set k 0 0 3\r\nabcXXget k\r\n");
+        assert_eq!(out, b"CLIENT_ERROR bad data chunk\r\n".to_vec());
+        assert!(matches!(drive, Drive::CloseError));
+    }
+
+    #[test]
+    fn oversized_line_closes_the_connection() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let input = vec![b'g'; MAX_LINE + 2];
+        let (out, consumed, drive) = run(&mut conn, &mut session, &input);
+        assert_eq!(out, b"CLIENT_ERROR line too long\r\n".to_vec());
+        assert_eq!(consumed, input.len());
+        assert!(matches!(drive, Drive::CloseError));
+    }
+
+    #[test]
+    fn unknown_commands_answer_error_and_stay_open() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let (out, _, drive) = run(
+            &mut conn,
+            &mut session,
+            b"bogus\r\n\r\nget\r\nset k 0 0 1\r\nv\r\n",
+        );
+        assert_eq!(out, b"ERROR\r\nERROR\r\nERROR\r\nSTORED\r\n".to_vec());
+        assert!(matches!(drive, Drive::Keep));
+    }
+
+    #[test]
+    fn expiry_pivot_parses_negative_and_absolute() {
+        assert_eq!(parse_i64(b"-1"), Some(-1));
+        assert_eq!(parse_i64(b"0"), Some(0));
+        assert_eq!(parse_i64(b"2592000"), Some(2_592_000));
+        assert_eq!(parse_i64(b"9223372036854775808"), None);
+        assert_eq!(parse_i64(b"-9223372036854775808"), Some(i64::MIN));
+        assert_eq!(parse_i64(b"--1"), None);
+        assert_eq!(parse_i64(b"1 "), None);
+    }
+}

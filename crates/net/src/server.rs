@@ -58,10 +58,11 @@
 //! snapshot always reports `active == 0`.
 
 use crate::buf::ByteRing;
+use crate::memcache::MemcacheConn;
 use crate::poll::{waker_pair, Event, Interest, Poller, Source, WakeReceiver, Waker};
-use crate::service::{ConnStats, Service, ServiceEngine};
+use crate::service::{ConnStats, Drive, Service};
 use crate::wire::{self, WireError};
-use dlht_core::{ShardedSession, ShardedTable};
+use dlht_core::{CacheMap, CacheSession, CacheStats, ShardedSession, ShardedTable, TableStats};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -153,6 +154,10 @@ pub struct ServerConfig {
     /// tests.
     #[doc(hidden)]
     pub fault_key: Option<u64>,
+    /// Cache persona only: how often the background reaper sweeps expired
+    /// entries and enforces the memory budget, in milliseconds. `0` picks
+    /// the default (500 ms).
+    pub reap_interval_ms: u64,
 }
 
 impl ServerConfig {
@@ -164,6 +169,68 @@ impl ServerConfig {
             .map(|n| n.get())
             .unwrap_or(2)
             .clamp(1, 4)
+    }
+
+    fn resolved_reap_interval(&self) -> Duration {
+        if self.reap_interval_ms > 0 {
+            Duration::from_millis(self.reap_interval_ms)
+        } else {
+            Duration::from_millis(500)
+        }
+    }
+}
+
+/// Which protocol a listener speaks, and the store behind it.
+enum Persona {
+    /// The binary kv wire protocol over a [`ShardedTable`] (the default).
+    Kv {
+        table: Arc<ShardedTable>,
+        fault_key: Option<u64>,
+    },
+    /// The memcache text protocol over a [`CacheMap`] (TTL + eviction).
+    Cache { cache: Arc<CacheMap> },
+}
+
+/// What the admin plane needs from a store, whichever persona serves the
+/// data plane: `STATS`/`LEN` answers plus the cache counter extension.
+pub trait AdminBackend: Send + Sync {
+    /// Structural statistics for the `STATS` command.
+    fn table_stats(&self) -> TableStats;
+    /// Retired-index count for the `STATS` command.
+    fn retired_indexes(&self) -> usize;
+    /// Live keys for the `LEN` command.
+    fn live_keys(&self) -> u64;
+    /// Cache persona counters; `None` on the kv persona (the `STATS`
+    /// response is then the plain, unextended payload).
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+}
+
+impl AdminBackend for ShardedTable {
+    fn table_stats(&self) -> TableStats {
+        self.stats()
+    }
+    fn retired_indexes(&self) -> usize {
+        ShardedTable::retired_indexes(self)
+    }
+    fn live_keys(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl AdminBackend for CacheMap {
+    fn table_stats(&self) -> TableStats {
+        CacheMap::table_stats(self)
+    }
+    fn retired_indexes(&self) -> usize {
+        CacheMap::retired_indexes(self)
+    }
+    fn live_keys(&self) -> u64 {
+        self.len()
+    }
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.stats())
     }
 }
 
@@ -197,6 +264,8 @@ pub struct DlhtServer {
     admin_thread: Option<JoinHandle<()>>,
     admin_conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
     admin_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reaper_thread: Option<JoinHandle<()>>,
+    cache: Option<Arc<CacheMap>>,
 }
 
 impl DlhtServer {
@@ -212,6 +281,27 @@ impl DlhtServer {
     pub fn bind_with(
         addr: impl ToSocketAddrs,
         table: Arc<ShardedTable>,
+        config: ServerConfig,
+    ) -> std::io::Result<DlhtServer> {
+        let fault_key = config.fault_key;
+        Self::bind_persona(addr, Persona::Kv { table, fault_key }, config)
+    }
+
+    /// Bind the cache persona: the same event-loop server core speaking the
+    /// memcache text protocol over `cache`, with a background expiry/
+    /// eviction reaper ticking every
+    /// [`ServerConfig::reap_interval_ms`] milliseconds.
+    pub fn bind_memcache(
+        addr: impl ToSocketAddrs,
+        cache: Arc<CacheMap>,
+        config: ServerConfig,
+    ) -> std::io::Result<DlhtServer> {
+        Self::bind_persona(addr, Persona::Cache { cache }, config)
+    }
+
+    fn bind_persona(
+        addr: impl ToSocketAddrs,
+        persona: Persona,
         config: ServerConfig,
     ) -> std::io::Result<DlhtServer> {
         let listener = TcpListener::bind(addr)?;
@@ -230,12 +320,26 @@ impl DlhtServer {
             let thread = std::thread::Builder::new()
                 .name(format!("dlht-worker-{i}"))
                 .spawn({
-                    let table = table.clone();
                     let shared = shared.clone();
                     let shutdown = shutdown.clone();
                     let counters = counters.clone();
-                    let fault_key = config.fault_key;
-                    move || worker_loop(&table, &shared, wake_rx, &shutdown, &counters, fault_key)
+                    match &persona {
+                        Persona::Kv { table, fault_key } => {
+                            let table = table.clone();
+                            let fault_key = *fault_key;
+                            Box::new(move || {
+                                worker_loop_kv(
+                                    &table, &shared, wake_rx, &shutdown, &counters, fault_key,
+                                )
+                            }) as Box<dyn FnOnce() + Send>
+                        }
+                        Persona::Cache { cache } => {
+                            let cache = cache.clone();
+                            Box::new(move || {
+                                worker_loop_cache(&cache, &shared, wake_rx, &shutdown, &counters)
+                            }) as Box<dyn FnOnce() + Send>
+                        }
+                    }
                 })?;
             workers.push(WorkerHandle { shared, thread });
         }
@@ -250,6 +354,10 @@ impl DlhtServer {
                 .spawn(move || accept_loop(listener, &shutdown, &counters, &shareds))?
         };
 
+        let admin_backend: Arc<dyn AdminBackend> = match &persona {
+            Persona::Kv { table, .. } => table.clone(),
+            Persona::Cache { cache } => cache.clone(),
+        };
         let admin_conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::default();
         let admin_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
         let (admin_thread, admin_addr) = match &config.admin_addr {
@@ -260,7 +368,7 @@ impl DlhtServer {
                 let thread = std::thread::Builder::new()
                     .name("dlht-admin".to_string())
                     .spawn({
-                        let table = table.clone();
+                        let backend = admin_backend.clone();
                         let shutdown = shutdown.clone();
                         let counters = counters.clone();
                         let conns = admin_conns.clone();
@@ -268,7 +376,7 @@ impl DlhtServer {
                         move || {
                             admin_accept_loop(
                                 admin_listener,
-                                &table,
+                                &backend,
                                 &shutdown,
                                 &counters,
                                 &conns,
@@ -278,6 +386,24 @@ impl DlhtServer {
                     })?;
                 (Some(thread), Some(admin_addr))
             }
+        };
+
+        let cache = match &persona {
+            Persona::Kv { .. } => None,
+            Persona::Cache { cache } => Some(cache.clone()),
+        };
+        let reaper_thread = match &cache {
+            None => None,
+            Some(cache) => Some(
+                std::thread::Builder::new()
+                    .name("dlht-reaper".to_string())
+                    .spawn({
+                        let cache = cache.clone();
+                        let shutdown = shutdown.clone();
+                        let interval = config.resolved_reap_interval();
+                        move || reaper_loop(&cache, interval, &shutdown)
+                    })?,
+            ),
         };
 
         Ok(DlhtServer {
@@ -290,7 +416,14 @@ impl DlhtServer {
             admin_thread,
             admin_conns,
             admin_threads,
+            reaper_thread,
+            cache,
         })
+    }
+
+    /// The cache behind a memcache-persona listener (`None` on kv).
+    pub fn cache(&self) -> Option<&Arc<CacheMap>> {
+        self.cache.as_ref()
     }
 
     /// The address the data plane is listening on (resolves port 0).
@@ -368,6 +501,11 @@ impl DlhtServer {
             std::mem::take(&mut *self.admin_threads.lock().expect("admin threads lock"));
         for handle in admin_threads {
             let _ = handle.join();
+        }
+        // The reaper re-checks the shutdown flag at least every
+        // POLL_INTERVAL, so this join is bounded too.
+        if let Some(reaper) = self.reaper_thread {
+            let _ = reaper.join();
         }
         self.counters.snapshot()
     }
@@ -451,17 +589,71 @@ fn accept_loop(
 enum ConnState {
     /// Reading requests and serving responses.
     Open,
-    /// Protocol violation: the write ring ends with an `ERR` frame; flush
-    /// it, then close (no more reads).
+    /// Closing after the write ring drains: either a protocol violation
+    /// (the ring ends with the error answer) or a clean `quit` (the ring
+    /// ends with the last pipelined responses). No more reads.
     Draining,
 }
 
-/// One connection's event-loop state. `E` is the worker's shared engine
-/// (`&ShardedSession` in production; the `Service` inside still gives the
-/// connection its own reusable `Batch` and stats).
-struct Conn<E: ServiceEngine> {
+/// One protocol adapter instance per connection: turn input bytes into
+/// response bytes against the worker's shared engine `E`. The two
+/// implementations are the binary kv [`Service`] (engine `()` — the service
+/// holds its session itself) and the memcache [`MemcacheConn`] (engine
+/// [`CacheSession`]).
+trait ConnProto<E> {
+    /// Serve every complete request in `input`, appending responses to
+    /// `out`. Returns consumed bytes (partial trailing input must consume
+    /// nothing) and how the connection proceeds.
+    fn process(&mut self, engine: &mut E, input: &[u8], out: &mut Vec<u8>) -> (usize, Drive);
+    /// Live per-connection counters, folded into the server totals.
+    fn stats(&self) -> ConnStats;
+}
+
+/// The binary kv protocol as a [`ConnProto`]: [`Service`] already holds the
+/// worker's `&ShardedSession`, so the event-loop engine is `()`. (Two
+/// lifetimes, because the borrow of the worker-local session is strictly
+/// shorter than the session's own borrow of the table.)
+struct KvProto<'s, 't> {
+    service: Service<&'s ShardedSession<'t>>,
+    fault_key: Option<u64>,
+}
+
+impl ConnProto<()> for KvProto<'_, '_> {
+    fn process(&mut self, _engine: &mut (), input: &[u8], out: &mut Vec<u8>) -> (usize, Drive) {
+        if let Some(key) = self.fault_key {
+            maybe_inject_fault(input, key);
+        }
+        match self.service.process(input, out) {
+            Ok(consumed) => (consumed, Drive::Keep),
+            // The rest of the input can never become valid; the ERR frame
+            // is already in `out`.
+            Err(_) => (input.len(), Drive::CloseError),
+        }
+    }
+    fn stats(&self) -> ConnStats {
+        self.service.stats()
+    }
+}
+
+impl<'a> ConnProto<CacheSession<'a>> for MemcacheConn {
+    fn process(
+        &mut self,
+        engine: &mut CacheSession<'a>,
+        input: &[u8],
+        out: &mut Vec<u8>,
+    ) -> (usize, Drive) {
+        MemcacheConn::process(self, engine, input, out)
+    }
+    fn stats(&self) -> ConnStats {
+        MemcacheConn::stats(self)
+    }
+}
+
+/// One connection's event-loop state: its socket, rings, and protocol
+/// adapter `P` (which carries the per-connection parser/batch state).
+struct Conn<P> {
     stream: TcpStream,
-    service: Service<E>,
+    proto: P,
     rbuf: ByteRing,
     wbuf: ByteRing,
     reported: ConnStats,
@@ -481,21 +673,71 @@ enum FlushOutcome {
     Fatal,
 }
 
-fn worker_loop(
+/// The kv persona's worker: one cached [`ShardedSession`] shared by every
+/// connection on this worker, exactly like the paper's per-thread protocol
+/// (§3.2.5) intends — N workers, N sessions, regardless of connection
+/// count.
+fn worker_loop_kv(
     table: &ShardedTable,
     shared: &WorkerShared,
-    mut wake_rx: WakeReceiver,
+    wake_rx: WakeReceiver,
     shutdown: &AtomicBool,
     counters: &Counters,
     fault_key: Option<u64>,
 ) {
-    // The worker's one cached session: every connection on this worker
-    // executes its batches through these registry slots, exactly like the
-    // paper's per-thread protocol (§3.2.5) intends — N workers, N sessions,
-    // regardless of connection count.
     let session = table.session();
+    let session = &session;
+    run_event_loop(
+        &mut (),
+        || KvProto {
+            service: Service::new(session),
+            fault_key,
+        },
+        |_| {},
+        shared,
+        wake_rx,
+        shutdown,
+        counters,
+    );
+}
+
+/// The cache persona's worker: one [`CacheSession`] shared by every
+/// memcache connection on this worker, quiesced once per event-loop pass so
+/// records retired by deletes/evictions on this thread become reclaimable
+/// (the reaper's own quiescence then frees them).
+fn worker_loop_cache(
+    cache: &CacheMap,
+    shared: &WorkerShared,
+    wake_rx: WakeReceiver,
+    shutdown: &AtomicBool,
+    counters: &Counters,
+) {
+    let mut session = cache.session();
+    run_event_loop(
+        &mut session,
+        MemcacheConn::new,
+        |session| session.quiesce(),
+        shared,
+        wake_rx,
+        shutdown,
+        counters,
+    );
+}
+
+/// The shared event loop both personas run: adopt handed-over connections,
+/// poll readiness, drive each ready connection through its [`ConnProto`],
+/// publish the buffer gauge, and let the persona hook run once per pass.
+fn run_event_loop<E, P: ConnProto<E>>(
+    engine: &mut E,
+    mut new_proto: impl FnMut() -> P,
+    mut end_pass: impl FnMut(&mut E),
+    shared: &WorkerShared,
+    mut wake_rx: WakeReceiver,
+    shutdown: &AtomicBool,
+    counters: &Counters,
+) {
     let mut poller = Poller::new();
-    let mut conns: Vec<Option<Conn<&ShardedSession>>> = Vec::new();
+    let mut conns: Vec<Option<Conn<P>>> = Vec::new();
     let mut free: Vec<usize> = Vec::new();
     let mut sources: Vec<(Source, Interest)> = Vec::new();
     let mut slots: Vec<usize> = Vec::new();
@@ -507,7 +749,7 @@ fn worker_loop(
         for (stream, guard) in adopted {
             let conn = Conn {
                 stream,
-                service: Service::new(&session),
+                proto: new_proto(),
                 rbuf: ByteRing::new(),
                 wbuf: ByteRing::new(),
                 reported: ConnStats::default(),
@@ -557,7 +799,7 @@ fn worker_loop(
             // connections: unwind-catch the drive and tear only this
             // connection down (its drop guard keeps `active` exact).
             let drive = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                drive_connection(conn, *ev, counters, fault_key)
+                drive_connection(conn, engine, *ev, counters)
             }));
             let close = match drive {
                 Ok(Disposition::Keep) => false,
@@ -584,6 +826,10 @@ fn worker_loop(
             .map(|c| (c.rbuf.capacity() + c.wbuf.capacity()) as u64)
             .sum();
         shared.buffer_bytes.store(bytes, Ordering::Relaxed);
+
+        // Persona hook (the cache worker announces a quiescent point here,
+        // after every borrowed entry pointer from this pass is dead).
+        end_pass(engine);
     }
 
     // Shutdown: close every socket so peers observe it immediately, then
@@ -598,11 +844,11 @@ fn worker_loop(
 /// Handle one readiness event for one connection. Never blocks: reads and
 /// writes are non-blocking, and `WouldBlock` simply defers to the next
 /// readiness pass.
-fn drive_connection<E: ServiceEngine>(
-    conn: &mut Conn<E>,
+fn drive_connection<E, P: ConnProto<E>>(
+    conn: &mut Conn<P>,
+    engine: &mut E,
     ev: Event,
     counters: &Counters,
-    fault_key: Option<u64>,
 ) -> Disposition {
     // Writes first: draining the write ring both delivers queued responses
     // and lifts read backpressure at the next interest build.
@@ -611,7 +857,7 @@ fn drive_connection<E: ServiceEngine>(
             return Disposition::Close;
         }
         if conn.wbuf.is_empty() && matches!(conn.state, ConnState::Draining) {
-            return Disposition::Close; // ERR frame delivered
+            return Disposition::Close; // final answer delivered
         }
     }
     if ev.readable && matches!(conn.state, ConnState::Open) {
@@ -620,12 +866,12 @@ fn drive_connection<E: ServiceEngine>(
                 Ok(0) => {
                     // EOF: answer what was validly pipelined, best-effort
                     // flush, close.
-                    let _ = process_input(conn, counters, fault_key);
+                    let _ = process_input(conn, engine, counters);
                     let _ = flush_writes(conn);
                     return Disposition::Close;
                 }
                 Ok(n) => {
-                    if process_input(conn, counters, fault_key).is_err() {
+                    if !matches!(process_input(conn, engine, counters), Drive::Keep) {
                         conn.state = ConnState::Draining;
                         break;
                     }
@@ -653,7 +899,7 @@ fn drive_connection<E: ServiceEngine>(
 }
 
 /// Write as much of the write ring as the socket accepts, without blocking.
-fn flush_writes<E: ServiceEngine>(conn: &mut Conn<E>) -> FlushOutcome {
+fn flush_writes<P>(conn: &mut Conn<P>) -> FlushOutcome {
     while !conn.wbuf.is_empty() {
         match conn.stream.write(conn.wbuf.data()) {
             Ok(0) => return FlushOutcome::Fatal,
@@ -666,37 +912,49 @@ fn flush_writes<E: ServiceEngine>(conn: &mut Conn<E>) -> FlushOutcome {
     FlushOutcome::Progress
 }
 
-/// Drain every complete frame in the read ring through the connection's
-/// [`Service`], appending response bytes straight into the write ring.
-/// `Err` means the peer violated the protocol (the `ERR` frame is already
-/// queued; the caller switches the connection to [`ConnState::Draining`]).
-fn process_input<E: ServiceEngine>(
-    conn: &mut Conn<E>,
+/// Drain every complete request in the read ring through the connection's
+/// protocol adapter, appending response bytes straight into the write ring.
+/// Anything but [`Drive::Keep`] makes the caller switch the connection to
+/// [`ConnState::Draining`] (the final answer is already queued); only
+/// [`Drive::CloseError`] counts as a protocol error.
+fn process_input<E, P: ConnProto<E>>(
+    conn: &mut Conn<P>,
+    engine: &mut E,
     counters: &Counters,
-    fault_key: Option<u64>,
-) -> Result<(), ()> {
-    if let Some(key) = fault_key {
-        maybe_inject_fault(conn.rbuf.data(), key);
-    }
+) -> Drive {
     let Conn {
-        rbuf,
-        wbuf,
-        service,
-        ..
+        rbuf, wbuf, proto, ..
     } = conn;
-    let result = wbuf.append_with(|out| service.process(rbuf.data(), out));
-    let failed = result.is_err();
-    if let Ok(consumed) = result {
-        rbuf.consume(consumed);
-    }
-    fold_stats(counters, &mut conn.reported, conn.service.stats());
-    if failed {
-        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        // The rest of the input can never become valid; drop it.
+    let (consumed, drive) = wbuf.append_with(|out| proto.process(engine, rbuf.data(), out));
+    rbuf.consume(consumed);
+    fold_stats(counters, &mut conn.reported, conn.proto.stats());
+    if !matches!(drive, Drive::Keep) {
+        // Whatever input is still buffered will never be served; drop it.
         conn.rbuf.clear();
-        return Err(());
     }
-    Ok(())
+    if matches!(drive, Drive::CloseError) {
+        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    drive
+}
+
+/// The cache persona's background reaper: its own [`CacheSession`] sweeps
+/// expired entries and enforces the memory budget every `interval`, then
+/// announces quiescence so retirements (its own and the workers') are
+/// actually freed. Re-checks the shutdown flag at least every
+/// [`POLL_INTERVAL`], so shutdown joins stay bounded.
+fn reaper_loop(cache: &CacheMap, interval: Duration, shutdown: &AtomicBool) {
+    let mut session = cache.session();
+    let step = interval.min(POLL_INTERVAL);
+    let mut since_reap = Duration::ZERO;
+    while !shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(step);
+        since_reap += step;
+        if since_reap >= interval {
+            since_reap = Duration::ZERO;
+            session.reap();
+        }
+    }
 }
 
 /// Test-only failure injection ([`ServerConfig::fault_key`]): panic before
@@ -739,7 +997,7 @@ fn fold_stats(counters: &Counters, reported: &mut ConnStats, now: ConnStats) {
 /// no amount of data-plane saturation can queue ahead of it.
 fn admin_accept_loop(
     listener: TcpListener,
-    table: &Arc<ShardedTable>,
+    backend: &Arc<dyn AdminBackend>,
     shutdown: &Arc<AtomicBool>,
     counters: &Arc<Counters>,
     conns: &Arc<Mutex<HashMap<u64, TcpStream>>>,
@@ -772,12 +1030,12 @@ fn admin_accept_loop(
             conns.lock().expect("admin conns lock").insert(id, clone);
         }
         let handle = {
-            let table = table.clone();
+            let backend = backend.clone();
             let shutdown = shutdown.clone();
             let counters = counters.clone();
             let conns = conns.clone();
             std::thread::spawn(move || {
-                admin_connection(stream, &table, &shutdown, &counters);
+                admin_connection(stream, &*backend, &shutdown, &counters);
                 conns.lock().expect("admin conns lock").remove(&id);
             })
         };
@@ -792,11 +1050,10 @@ fn admin_accept_loop(
 /// [`WireError::AdminRestricted`].
 fn admin_connection(
     mut stream: TcpStream,
-    table: &ShardedTable,
+    backend: &dyn AdminBackend,
     shutdown: &AtomicBool,
     counters: &Counters,
 ) {
-    let session = table.session();
     let mut pending = ByteRing::new();
     let mut out: Vec<u8> = Vec::new();
     loop {
@@ -815,7 +1072,7 @@ fn admin_connection(
             Err(_) => return,
         }
         out.clear();
-        let result = admin_process(&session, &mut pending, &mut out, counters);
+        let result = admin_process(backend, &mut pending, &mut out, counters);
         if let Err(e) = &result {
             wire::encode_error_frame(&mut out, e);
         }
@@ -831,9 +1088,10 @@ fn admin_connection(
 }
 
 /// Serve every complete admin frame in `pending`, appending responses to
-/// `out`.
-fn admin_process<E: ServiceEngine>(
-    engine: &E,
+/// `out`. The cache persona's `STATS` answer carries the extended payload
+/// with expirations/evictions/hit counters.
+fn admin_process(
+    backend: &dyn AdminBackend,
     pending: &mut ByteRing,
     out: &mut Vec<u8>,
     counters: &Counters,
@@ -845,11 +1103,21 @@ fn admin_process<E: ServiceEngine>(
             Ok(Some((frame, used))) => {
                 counters.admin_frames.fetch_add(1, Ordering::Relaxed);
                 match frame.opcode {
-                    wire::op::STATS if frame.payload.is_empty() => {
-                        wire::encode_stats(out, &engine.table_stats(), engine.retired_indexes());
-                    }
+                    wire::op::STATS if frame.payload.is_empty() => match backend.cache_stats() {
+                        Some(cache) => wire::encode_stats_cache(
+                            out,
+                            &backend.table_stats(),
+                            backend.retired_indexes(),
+                            &cache,
+                        ),
+                        None => wire::encode_stats(
+                            out,
+                            &backend.table_stats(),
+                            backend.retired_indexes(),
+                        ),
+                    },
                     wire::op::LEN if frame.payload.is_empty() => {
-                        wire::encode_len(out, engine.live_keys());
+                        wire::encode_len(out, backend.live_keys());
                     }
                     wire::op::STATS | wire::op::LEN => {
                         return Err(WireError::BadPayload {

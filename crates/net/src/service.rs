@@ -141,6 +141,22 @@ pub struct ConnStats {
     pub max_drain: usize,
 }
 
+/// How the event loop should proceed after a protocol adapter handled a
+/// chunk of input. The binary [`Service`] maps its `Result` onto this;
+/// line-oriented adapters (the memcache persona) return it directly so a
+/// clean `quit` is distinguishable from a protocol violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drive {
+    /// Keep serving the connection.
+    Keep,
+    /// The peer asked to close (e.g. memcache `quit`): flush pending
+    /// writes, then close without counting a protocol error.
+    CloseClean,
+    /// Unrecoverable protocol violation: flush the error answer already in
+    /// the write buffer, count a protocol error, then close.
+    CloseError,
+}
+
 /// The transport-independent connection engine (module docs above).
 pub struct Service<E: ServiceEngine> {
     engine: E,

@@ -1,0 +1,44 @@
+//! Shared helpers for tests and benches that need a throwaway server on an
+//! ephemeral loopback port.
+//!
+//! Before this module existed, `bench_server` and the server integration
+//! tests each carried their own copy of the bind boilerplate; keeping the
+//! retry policy in one place means a transient bind failure (ephemeral-port
+//! exhaustion under parallel test runs) is handled identically everywhere.
+
+use crate::server::{DlhtServer, ServerConfig};
+use dlht_core::{CacheMap, ShardedTable};
+use std::sync::Arc;
+
+/// How many times a transient ephemeral bind failure is retried before the
+/// helper gives up.
+const BIND_ATTEMPTS: usize = 3;
+
+fn retry_bind(mut bind: impl FnMut() -> std::io::Result<DlhtServer>, what: &str) -> DlhtServer {
+    let mut last = None;
+    for _ in 0..BIND_ATTEMPTS {
+        match bind() {
+            Ok(server) => return server,
+            Err(e) => last = Some(e),
+        }
+    }
+    panic!("failed to bind an ephemeral {what} after {BIND_ATTEMPTS} attempts: {last:?}");
+}
+
+/// Bind a kv-persona [`DlhtServer`] on `127.0.0.1` with an OS-assigned
+/// port, retrying transient failures. Panics if the OS refuses repeatedly —
+/// in a test that is the right outcome.
+pub fn bind_ephemeral(table: Arc<ShardedTable>, config: ServerConfig) -> DlhtServer {
+    retry_bind(
+        || DlhtServer::bind_with("127.0.0.1:0", table.clone(), config.clone()),
+        "kv server",
+    )
+}
+
+/// [`bind_ephemeral`] for the memcache cache persona.
+pub fn bind_ephemeral_memcache(cache: Arc<CacheMap>, config: ServerConfig) -> DlhtServer {
+    retry_bind(
+        || DlhtServer::bind_memcache("127.0.0.1:0", cache.clone(), config.clone()),
+        "memcache server",
+    )
+}

@@ -621,10 +621,38 @@ pub struct RemoteStats {
     pub table: TableStats,
     /// Retired-but-unfreed index generations (`KvBackend::retired_indexes()`).
     pub retired: u64,
+    /// Cache-persona counters, present only when the server runs the
+    /// memcache persona (the payload length discriminates, so old clients
+    /// and kv servers interoperate unchanged).
+    pub cache: Option<RemoteCacheStats>,
+}
+
+/// The cache-persona counters a `STATS` round trip carries when the server
+/// is a memcache cache (a subset of [`dlht_core::CacheStats`] — the gauges
+/// and counters an operator alerts on).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteCacheStats {
+    /// Live entries.
+    pub items: u64,
+    /// Resident record bytes linked in the index.
+    pub value_bytes: u64,
+    /// Configured memory watermark (0 = unlimited).
+    pub budget: u64,
+    /// Successful gets.
+    pub hits: u64,
+    /// Gets that found nothing.
+    pub misses: u64,
+    /// Entries removed because their deadline passed.
+    pub expirations: u64,
+    /// Entries removed by the memory-budget watermark.
+    pub evictions: u64,
 }
 
 /// `RESP_STATS` payload length: ten u64 fields plus the occupancy f64.
 pub const STATS_PAYLOAD_LEN: usize = 11 * 8;
+
+/// Extra payload bytes appended by a cache-persona server.
+pub const CACHE_STATS_EXT_LEN: usize = 7 * 8;
 
 /// Encode a `RESP_STATS` frame from a stats snapshot.
 pub fn encode_stats(buf: &mut Vec<u8>, stats: &TableStats, retired: usize) {
@@ -646,10 +674,53 @@ pub fn encode_stats(buf: &mut Vec<u8>, stats: &TableStats, retired: usize) {
     buf.extend_from_slice(&stats.occupancy.to_le_bytes());
 }
 
-/// Decode a `RESP_STATS` payload.
+/// Encode a `RESP_STATS` frame with the cache-persona extension appended
+/// (served by `dlht_server --protocol memcache`'s admin plane).
+pub fn encode_stats_cache(
+    buf: &mut Vec<u8>,
+    stats: &TableStats,
+    retired: usize,
+    cache: &dlht_core::CacheStats,
+) {
+    put_header(
+        buf,
+        resp::RESP_STATS,
+        STATS_PAYLOAD_LEN + CACHE_STATS_EXT_LEN,
+    );
+    for v in [
+        stats.bins as u64,
+        stats.link_buckets as u64,
+        stats.links_used as u64,
+        stats.occupied_slots as u64,
+        stats.addressable_slots as u64,
+        stats.max_slots as u64,
+        stats.resizes,
+        stats.generation as u64,
+        stats.index_bytes as u64,
+        retired as u64,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.extend_from_slice(&stats.occupancy.to_le_bytes());
+    for v in [
+        cache.items,
+        cache.value_bytes,
+        cache.budget,
+        cache.hits,
+        cache.misses,
+        cache.expired,
+        cache.evicted,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decode a `RESP_STATS` payload (with or without the cache extension).
 // HOT: decodes server-controlled bytes — must not panic.
 pub fn decode_stats(payload: &[u8]) -> Result<RemoteStats, WireError> {
-    if payload.len() != STATS_PAYLOAD_LEN {
+    if payload.len() != STATS_PAYLOAD_LEN
+        && payload.len() != STATS_PAYLOAD_LEN + CACHE_STATS_EXT_LEN
+    {
         return Err(WireError::BadPayload {
             opcode: resp::RESP_STATS,
             len: payload.len(),
@@ -658,6 +729,16 @@ pub fn decode_stats(payload: &[u8]) -> Result<RemoteStats, WireError> {
     // The exact-length check above guarantees every word is present; the
     // `unwrap_or` is unreachable and only keeps this path panic-free.
     let f = |i: usize| payload.get(i * 8..).and_then(read_u64).unwrap_or(0);
+    let cache =
+        (payload.len() == STATS_PAYLOAD_LEN + CACHE_STATS_EXT_LEN).then(|| RemoteCacheStats {
+            items: f(11),
+            value_bytes: f(12),
+            budget: f(13),
+            hits: f(14),
+            misses: f(15),
+            expirations: f(16),
+            evictions: f(17),
+        });
     Ok(RemoteStats {
         table: TableStats {
             bins: f(0) as usize,
@@ -672,6 +753,7 @@ pub fn decode_stats(payload: &[u8]) -> Result<RemoteStats, WireError> {
             occupancy: f64::from_bits(f(10)),
         },
         retired: f(9),
+        cache,
     })
 }
 
@@ -891,6 +973,40 @@ mod tests {
         let decoded = decode_stats(frame.payload).unwrap();
         assert_eq!(decoded.table, stats);
         assert_eq!(decoded.retired, 2);
+        assert_eq!(decoded.cache, None, "kv servers carry no cache extension");
+    }
+
+    #[test]
+    fn stats_cache_extension_roundtrips() {
+        let stats = TableStats {
+            bins: 64,
+            index_bytes: 4096,
+            ..TableStats::default()
+        };
+        let cache = dlht_core::CacheStats {
+            items: 11,
+            value_bytes: 2222,
+            budget: 1 << 20,
+            hits: 5,
+            misses: 3,
+            expired: 2,
+            evicted: 1,
+            ..dlht_core::CacheStats::default()
+        };
+        let mut buf = Vec::new();
+        encode_stats_cache(&mut buf, &stats, 4, &cache);
+        let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+        let decoded = decode_stats(frame.payload).unwrap();
+        assert_eq!(decoded.table, stats);
+        assert_eq!(decoded.retired, 4);
+        let ext = decoded.cache.expect("cache extension present");
+        assert_eq!(ext.items, 11);
+        assert_eq!(ext.value_bytes, 2222);
+        assert_eq!(ext.budget, 1 << 20);
+        assert_eq!(ext.hits, 5);
+        assert_eq!(ext.misses, 3);
+        assert_eq!(ext.expirations, 2);
+        assert_eq!(ext.evictions, 1);
     }
 
     #[test]

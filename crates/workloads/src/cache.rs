@@ -1,0 +1,276 @@
+//! Cache-persona workload generators: deterministic operation streams for
+//! the TTL/eviction engine (`dlht_core::CacheMap`) and the memcache text
+//! protocol.
+//!
+//! Two trace families, matching the two stresses a production cache sees:
+//!
+//! * [`ZipfianChurn`] — a cache-aside read-mostly trace over a skewed key
+//!   population: mostly `Get`s (the caller fills on miss, which is what
+//!   cache-aside applications do), a trickle of invalidating `Delete`s and
+//!   refreshing `Set`s. Skew means a small hot set dominates — the trace
+//!   that separates LRU-ish eviction from FIFO.
+//! * [`ExpiryStorm`] — a burst of `Set`s whose TTLs all land inside a short
+//!   window, followed by the clock stepping past them: the worst case for
+//!   the expiry reaper (everything dies at once and must be reclaimed to
+//!   zero).
+//!
+//! Both are seeded and allocation-free per op, like the rest of the
+//! workload harness; keys are returned as `u64` ids, and
+//! [`cache_key_bytes`] renders the id into a caller-provided buffer in the
+//! repo's canonical `k<decimal>` form so protocol-level and engine-level
+//! consumers agree on the byte keys.
+
+use crate::rng::{KeySampler, Xoshiro256};
+
+/// One cache operation in a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOp {
+    /// Look the key up; on a miss, a cache-aside caller stores it back with
+    /// the trace's value length and default TTL.
+    Get { key: u64 },
+    /// Store (refresh) the key with `value_len` bytes and `exptime`
+    /// (memcache semantics: 0 = never, positive = relative seconds).
+    Set {
+        key: u64,
+        value_len: usize,
+        exptime: i64,
+    },
+    /// Invalidate the key.
+    Delete { key: u64 },
+    /// Extend the key's deadline.
+    Touch { key: u64, exptime: i64 },
+}
+
+impl CacheOp {
+    /// The key id the operation targets.
+    pub fn key(&self) -> u64 {
+        match *self {
+            CacheOp::Get { key }
+            | CacheOp::Set { key, .. }
+            | CacheOp::Delete { key }
+            | CacheOp::Touch { key, .. } => key,
+        }
+    }
+}
+
+/// Render key id `id` as the canonical trace key (`k123`) into `buf`,
+/// returning the filled prefix. 24 bytes always suffice.
+pub fn cache_key_bytes(buf: &mut [u8; 24], id: u64) -> &[u8] {
+    buf[0] = b'k';
+    let mut digits = [0u8; 20];
+    let text = dlht_core::format_decimal_u64(&mut digits, id);
+    let len = 1 + text.len();
+    buf[1..len].copy_from_slice(text);
+    &buf[..len]
+}
+
+/// Cache-aside churn over a zipfian-skewed population (module docs).
+///
+/// Per mille knobs instead of floats keep the generator integer-exact and
+/// the op mix reproducible across platforms.
+pub struct ZipfianChurn {
+    sampler: KeySampler,
+    rng: Xoshiro256,
+    /// ‰ of operations that are explicit `Set`s (refreshes).
+    set_permille: u64,
+    /// ‰ of operations that are `Delete`s (invalidations).
+    delete_permille: u64,
+    /// ‰ of operations that are `Touch`es.
+    touch_permille: u64,
+    /// Stored value size in bytes.
+    pub value_len: usize,
+    /// Relative TTL attached to `Set`/`Touch` (0 = never expires).
+    pub exptime: i64,
+}
+
+impl ZipfianChurn {
+    /// A read-mostly trace: ~93% Get, 4% Set, 2% Delete, 1% Touch over
+    /// `population` keys with zipfian parameter `theta` (0.99 = YCSB skew).
+    pub fn new(population: u64, theta: f64, seed: u64, value_len: usize) -> ZipfianChurn {
+        ZipfianChurn {
+            sampler: KeySampler::zipfian(population, theta),
+            rng: Xoshiro256::new(seed ^ 0xCAC4E),
+            set_permille: 40,
+            delete_permille: 20,
+            touch_permille: 10,
+            value_len,
+            exptime: 0,
+        }
+    }
+
+    /// Number of distinct keys the trace draws from.
+    pub fn population(&self) -> u64 {
+        self.sampler.population()
+    }
+
+    /// Override the mutation mix (‰ of sets/deletes/touches; the remainder
+    /// are gets). Panics if the three exceed 1000‰.
+    pub fn with_mix(mut self, set: u64, delete: u64, touch: u64) -> ZipfianChurn {
+        assert!(set + delete + touch <= 1000, "mix exceeds 1000 permille");
+        self.set_permille = set;
+        self.delete_permille = delete;
+        self.touch_permille = touch;
+        self
+    }
+
+    /// Attach a relative TTL to every Set/Touch the trace emits.
+    pub fn with_exptime(mut self, exptime: i64) -> ZipfianChurn {
+        self.exptime = exptime;
+        self
+    }
+
+    /// Draw the next operation.
+    pub fn next_op(&mut self) -> CacheOp {
+        let key = self.sampler.sample(&mut self.rng);
+        let roll = self.rng.next_below(1000);
+        if roll < self.set_permille {
+            CacheOp::Set {
+                key,
+                value_len: self.value_len,
+                exptime: self.exptime,
+            }
+        } else if roll < self.set_permille + self.delete_permille {
+            CacheOp::Delete { key }
+        } else if roll < self.set_permille + self.delete_permille + self.touch_permille {
+            CacheOp::Touch {
+                key,
+                exptime: self.exptime,
+            }
+        } else {
+            CacheOp::Get { key }
+        }
+    }
+}
+
+/// An expiry storm (module docs): `keys` distinct keys stored with TTLs
+/// drawn uniformly from `[ttl_min, ttl_max]` seconds, in a seeded-shuffled
+/// order so deadlines are not correlated with table placement.
+pub struct ExpiryStorm {
+    rng: Xoshiro256,
+    next: u64,
+    keys: u64,
+    ttl_min: i64,
+    ttl_max: i64,
+    /// Stored value size in bytes.
+    pub value_len: usize,
+}
+
+impl ExpiryStorm {
+    /// A storm of `keys` sets with TTLs in `[ttl_min, ttl_max]` seconds.
+    pub fn new(keys: u64, seed: u64, ttl_min: i64, ttl_max: i64, value_len: usize) -> ExpiryStorm {
+        assert!(0 < ttl_min && ttl_min <= ttl_max, "bad TTL window");
+        ExpiryStorm {
+            rng: Xoshiro256::new(seed ^ 0x5_70F4),
+            next: 0,
+            keys,
+            ttl_min,
+            ttl_max,
+            value_len,
+        }
+    }
+
+    /// The deadline horizon: after the clock advances `ttl_max` seconds,
+    /// every entry the storm stored is dead.
+    pub fn horizon_secs(&self) -> i64 {
+        self.ttl_max
+    }
+}
+
+impl Iterator for ExpiryStorm {
+    type Item = CacheOp;
+
+    fn next(&mut self) -> Option<CacheOp> {
+        if self.next >= self.keys {
+            return None;
+        }
+        let key = self.next;
+        self.next += 1;
+        let window = (self.ttl_max - self.ttl_min) as u64 + 1;
+        let exptime = self.ttl_min + self.rng.next_below(window) as i64;
+        Some(CacheOp::Set {
+            key,
+            value_len: self.value_len,
+            exptime,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zipfian_churn_is_deterministic_and_read_mostly() {
+        let mut a = ZipfianChurn::new(10_000, 0.99, 42, 64);
+        let mut b = ZipfianChurn::new(10_000, 0.99, 42, 64);
+        let mut gets = 0u64;
+        let mut sets = 0u64;
+        for _ in 0..20_000 {
+            let op = a.next_op();
+            assert_eq!(op, b.next_op(), "same seed, same trace");
+            match op {
+                CacheOp::Get { .. } => gets += 1,
+                CacheOp::Set { .. } => sets += 1,
+                _ => {}
+            }
+        }
+        assert!(gets > 17_000, "read-mostly: {gets} gets");
+        assert!(sets > 400, "sets occur: {sets}");
+        let mut c = ZipfianChurn::new(10_000, 0.99, 43, 64);
+        assert_ne!(
+            (0..32).map(|_| a.next_op()).collect::<Vec<_>>(),
+            (0..32).map(|_| c.next_op()).collect::<Vec<_>>(),
+            "different seeds diverge"
+        );
+    }
+
+    #[test]
+    fn zipfian_churn_is_skewed_toward_a_hot_set() {
+        let mut churn = ZipfianChurn::new(100_000, 0.99, 7, 32);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(churn.next_op().key()).or_default() += 1;
+        }
+        let hot: u64 = counts
+            .iter()
+            .filter(|(k, _)| **k < 100)
+            .map(|(_, c)| c)
+            .sum();
+        assert!(
+            hot > 15_000,
+            "top 0.1% of keys must draw a large share, got {hot}/50000"
+        );
+    }
+
+    #[test]
+    fn expiry_storm_covers_every_key_within_the_ttl_window() {
+        let ops: Vec<CacheOp> = ExpiryStorm::new(1_000, 9, 1, 5, 16).collect();
+        assert_eq!(ops.len(), 1_000);
+        for (i, op) in ops.iter().enumerate() {
+            let CacheOp::Set {
+                key,
+                exptime,
+                value_len,
+            } = *op
+            else {
+                panic!("storms are all sets");
+            };
+            assert_eq!(key, i as u64);
+            assert!((1..=5).contains(&exptime), "TTL {exptime} outside window");
+            assert_eq!(value_len, 16);
+        }
+        assert_eq!(ExpiryStorm::new(1_000, 9, 1, 5, 16).horizon_secs(), 5);
+    }
+
+    #[test]
+    fn key_bytes_render_canonically() {
+        let mut buf = [0u8; 24];
+        assert_eq!(cache_key_bytes(&mut buf, 0), b"k0");
+        let mut buf = [0u8; 24];
+        assert_eq!(
+            cache_key_bytes(&mut buf, 18_446_744_073_709_551_615),
+            b"k18446744073709551615"
+        );
+    }
+}

@@ -40,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod hashjoin;
 pub mod hist;
 pub mod lockmgr;
@@ -52,6 +53,7 @@ pub mod smallbank;
 pub mod tatp;
 pub mod ycsb;
 
+pub use cache::{cache_key_bytes, CacheOp, ExpiryStorm, ZipfianChurn};
 pub use hist::{LatencyHistogram, LatencySummary};
 pub use report::{fmt_mops, BenchScale, Table, Tier, DEFAULT_SEED};
 pub use rng::{KeySampler, SplitMix64, Xoshiro256};

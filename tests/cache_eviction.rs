@@ -1,0 +1,221 @@
+//! Eviction under a memory budget: the cache persona's memory-awareness.
+//!
+//! * Filling far past the budget must keep `index_bytes + record bytes`
+//!   under the watermark at every observation point — the budget is a hard
+//!   ceiling enforced inline by stores, not advice for a lagging janitor.
+//! * On a zipfian (hot-set) trace, LRU eviction must beat FIFO on
+//!   hit-ratio: recency tracking keeps the hot set resident where insert
+//!   order evicts it blindly.
+//! * An evicted key answers a miss (`NOT_FOUND` on the wire), and **never**
+//!   a stale value — re-filling after eviction serves exactly the newest
+//!   write.
+
+use dlht_core::{CacheConfig, CacheMap, CacheSession, EvictionPolicy};
+use dlht_workloads::{cache_key_bytes, CacheOp, ZipfianChurn};
+use std::collections::HashMap;
+
+const VALUE_LEN: usize = 64;
+
+fn budgeted(policy: EvictionPolicy, capacity: usize, budget: u64) -> CacheMap {
+    CacheMap::new(CacheConfig {
+        capacity,
+        memory_budget: budget,
+        eviction: policy,
+        ..CacheConfig::default()
+    })
+}
+
+/// Pick a budget that holds roughly `fraction_permille`‰ of `population`
+/// entries' record bytes on top of the index (a budget below the index
+/// alone would, by design, evict everything).
+fn budget_for(population: u64, fraction_permille: u64) -> u64 {
+    let probe = CacheMap::new(CacheConfig {
+        capacity: population as usize * 2,
+        memory_budget: 0,
+        ..CacheConfig::default()
+    });
+    let mut session = probe.session();
+    let value = vec![0u8; VALUE_LEN];
+    let mut key_buf = [0u8; 24];
+    for id in 0..population {
+        session
+            .set(cache_key_bytes(&mut key_buf, id), &value, 0, 0)
+            .unwrap();
+    }
+    let stats = probe.stats();
+    stats.index_bytes + stats.value_bytes * fraction_permille / 1000
+}
+
+/// Insert 4× more data than the budget admits; after every store the
+/// resident gauge must already be back under the watermark.
+#[test]
+fn resident_bytes_never_exceed_the_budget() {
+    let population = 40_000u64;
+    for policy in [EvictionPolicy::Lru, EvictionPolicy::Fifo] {
+        let budget = budget_for(population, 250);
+        let map = budgeted(policy, population as usize * 2, budget);
+        let mut session = map.session();
+        let value = vec![0xEEu8; VALUE_LEN];
+        let mut key_buf = [0u8; 24];
+        for id in 0..population {
+            session
+                .set(cache_key_bytes(&mut key_buf, id), &value, 0, 0)
+                .unwrap();
+            if id % 1024 == 0 {
+                let stats = map.stats();
+                assert!(
+                    stats.total_bytes() <= budget,
+                    "{policy:?}: resident {} B over budget {} B after {} stores",
+                    stats.total_bytes(),
+                    budget,
+                    id + 1
+                );
+            }
+        }
+        session.reap();
+        let stats = map.stats();
+        assert!(
+            stats.total_bytes() <= budget,
+            "{policy:?}: final state over budget"
+        );
+        assert!(
+            stats.evicted > 0,
+            "{policy:?}: filling 4x the budget must evict"
+        );
+        assert!(
+            map.len() < population,
+            "{policy:?}: not everything can be resident"
+        );
+        assert!(
+            !map.is_empty(),
+            "{policy:?}: eviction must not empty the cache"
+        );
+        session.quiesce();
+    }
+}
+
+/// Same seed, same zipfian cache-aside trace, same budget — only the
+/// eviction policy differs. LRU must end with strictly more hits.
+#[test]
+fn lru_beats_fifo_on_zipfian_hit_ratio() {
+    let population = 20_000u64;
+    let budget = budget_for(population, 200);
+    let mut hits_by_policy = Vec::new();
+    for policy in [EvictionPolicy::Lru, EvictionPolicy::Fifo] {
+        let map = budgeted(policy, population as usize * 2, budget);
+        let mut session = map.session();
+        let mut churn = ZipfianChurn::new(population, 0.99, 0xFEED, VALUE_LEN);
+        let value = vec![0xABu8; VALUE_LEN];
+        let mut key_buf = [0u8; 24];
+        let mut hits = 0u64;
+        let mut lookups = 0u64;
+        for _ in 0..300_000 {
+            let op = churn.next_op();
+            let key = cache_key_bytes(&mut key_buf, op.key());
+            match op {
+                CacheOp::Get { .. } => {
+                    lookups += 1;
+                    if session.get_with(key, |_| ()).is_some() {
+                        hits += 1;
+                    } else {
+                        session.set(key, &value, 0, 0).unwrap();
+                    }
+                }
+                CacheOp::Set { .. } => {
+                    session.set(key, &value, 0, 0).unwrap();
+                }
+                CacheOp::Delete { .. } => {
+                    session.delete(key);
+                }
+                CacheOp::Touch { .. } => {
+                    session.touch(key, 0);
+                }
+            }
+        }
+        let stats = map.stats();
+        assert!(stats.total_bytes() <= budget, "{policy:?}: over budget");
+        assert!(
+            stats.evicted > 0,
+            "{policy:?}: the trace must overflow the budget"
+        );
+        hits_by_policy.push((policy, hits, lookups));
+        session.quiesce();
+    }
+    let (_, lru_hits, lru_lookups) = hits_by_policy[0];
+    let (_, fifo_hits, fifo_lookups) = hits_by_policy[1];
+    assert_eq!(
+        lru_lookups, fifo_lookups,
+        "identical traces by construction"
+    );
+    assert!(
+        lru_hits > fifo_hits,
+        "LRU must beat FIFO on a hot-set trace: {lru_hits} vs {fifo_hits} hits \
+         over {lru_lookups} lookups"
+    );
+}
+
+/// Track every write's generation; under heavy eviction a read returns
+/// either the newest generation or nothing — an evicted key must never
+/// resurrect an old value, and deleting it reports absent.
+#[test]
+fn evicted_keys_answer_not_found_never_stale() {
+    let population = 8_000u64;
+    let budget = budget_for(population, 150);
+    let map = budgeted(EvictionPolicy::Lru, population as usize * 2, budget);
+    let mut session = map.session();
+    let mut newest: HashMap<u64, u64> = HashMap::new();
+    let mut key_buf = [0u8; 24];
+
+    let mut write = |session: &mut CacheSession<'_>,
+                     newest: &mut HashMap<u64, u64>,
+                     id: u64,
+                     generation: u64| {
+        let key = cache_key_bytes(&mut key_buf, id);
+        let mut value = vec![0u8; VALUE_LEN];
+        value[..8].copy_from_slice(&generation.to_le_bytes());
+        session.set(key, &value, 0, 0).unwrap();
+        newest.insert(id, generation);
+    };
+
+    // Two full passes: generation 1 then generation 2, each overflowing the
+    // budget several times over, so plenty of generation-1 entries get
+    // evicted before (and after) their generation-2 rewrite.
+    for generation in 1..=2u64 {
+        for id in 0..population {
+            write(&mut session, &mut newest, id, generation * 1_000_000 + id);
+        }
+    }
+
+    let mut resident = 0u64;
+    let mut evicted = 0u64;
+    for id in 0..population {
+        let mut kb = [0u8; 24];
+        let key = cache_key_bytes(&mut kb, id);
+        match session.get_with(key, |view| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&view.value[..8]);
+            u64::from_le_bytes(b)
+        }) {
+            Some(generation) => {
+                resident += 1;
+                assert_eq!(
+                    generation, newest[&id],
+                    "key {id} served generation {generation}, newest is {}",
+                    newest[&id]
+                );
+            }
+            None => {
+                evicted += 1;
+                // The wire answer for this state is NOT_FOUND, and so says
+                // the engine: deleting an absent key reports false.
+                assert!(!session.delete(key), "evicted key {id} must be absent");
+            }
+        }
+    }
+    assert!(
+        evicted > 0,
+        "the trace must actually evict ({resident} resident)"
+    );
+    assert!(resident > 0, "the budget holds a working set");
+    session.quiesce();
+}

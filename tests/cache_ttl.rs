@@ -1,0 +1,229 @@
+//! TTL and expiry under churn: the cache persona's time-based guarantees.
+//!
+//! * An entry is **never served past its deadline** — lazy expiry on the
+//!   read path makes this true even before any reaper pass runs.
+//! * The background reaper drains an expiry storm (every entry's deadline
+//!   inside one short window) all the way to zero: no items, no retired
+//!   indexes parked in the epoch collector, no unreclaimed bytes.
+//! * `touch` extends deadlines race-free while three other threads churn
+//!   the rest of the key space — the touched key stays servable, the
+//!   engine never panics, and expired reads never surface values.
+
+use dlht_core::{CacheConfig, CacheMap, EvictionPolicy, ManualClock};
+use dlht_workloads::{cache_key_bytes, CacheOp, ExpiryStorm};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn manual_cache(capacity: usize) -> (Arc<ManualClock>, CacheMap) {
+    let clock = Arc::new(ManualClock::new(1));
+    let map = CacheMap::with_clock(
+        CacheConfig {
+            capacity,
+            memory_budget: 0,
+            eviction: EvictionPolicy::Lru,
+            ..CacheConfig::default()
+        },
+        clock.clone(),
+    );
+    (clock, map)
+}
+
+/// Walk the clock one second at a time past a spread of deadlines; at every
+/// step each key must be served iff its deadline is still ahead — with no
+/// reaper pass at all, so the guarantee is purely the read path's.
+#[test]
+fn entries_are_never_served_past_their_deadline() {
+    let (clock, map) = manual_cache(1 << 12);
+    let mut session = map.session();
+    let ttls: Vec<i64> = (1..=32).collect();
+    let mut key_buf = [0u8; 24];
+    for (i, &ttl) in ttls.iter().enumerate() {
+        let key = cache_key_bytes(&mut key_buf, i as u64);
+        session
+            .set(key, format!("value{ttl}").as_bytes(), 0, ttl)
+            .unwrap();
+    }
+    // deadline for ttl is 1 + ttl; the entry is dead once now >= 1 + ttl.
+    for step in 0..40u32 {
+        let now = 1 + step;
+        for (i, &ttl) in ttls.iter().enumerate() {
+            let key = cache_key_bytes(&mut key_buf, i as u64);
+            let deadline = 1 + ttl as u32;
+            let served = session.get_with(key, |view| view.value.to_vec());
+            if now < deadline {
+                assert_eq!(
+                    served.as_deref(),
+                    Some(format!("value{ttl}").as_bytes()),
+                    "ttl {ttl} must be served at now={now}"
+                );
+            } else {
+                assert_eq!(served, None, "ttl {ttl} served past deadline at now={now}");
+            }
+        }
+        clock.advance(1);
+    }
+    // Lazy expiry is logical, not physical: no reaper ran, so one pass now
+    // reclaims every dead entry at once.
+    session.reap();
+    assert_eq!(map.len(), 0);
+    session.quiesce();
+}
+
+/// The worst case for the reaper: every entry dies inside one window. The
+/// sweep must drain the cache to *zero* — items, retired indexes, and
+/// pending reclamation bytes all reach 0, so an expiry storm cannot leave
+/// memory parked.
+#[test]
+fn reaper_drains_an_expiry_storm_to_zero() {
+    let keys = 50_000u64;
+    let (clock, map) = manual_cache(keys as usize * 2);
+    let mut session = map.session();
+    let storm = ExpiryStorm::new(keys, 7, 1, 8, 48);
+    let horizon = storm.horizon_secs();
+    let value = vec![0x5Au8; 48];
+    let mut key_buf = [0u8; 24];
+    for op in storm {
+        let CacheOp::Set { key, exptime, .. } = op else {
+            panic!("storms are all sets");
+        };
+        session
+            .set(cache_key_bytes(&mut key_buf, key), &value, 0, exptime)
+            .unwrap();
+    }
+    assert_eq!(map.len(), keys);
+    let before = map.stats();
+    assert!(before.value_bytes > 0);
+
+    clock.advance(horizon as u32 + 1);
+    let mut sweeps = 0;
+    while !map.is_empty() || map.retired_indexes() > 0 || map.stats().pending_reclaim_bytes > 0 {
+        session.reap();
+        sweeps += 1;
+        assert!(sweeps < 32, "storm failed to drain after {sweeps} sweeps");
+    }
+    let after = map.stats();
+    assert_eq!(after.expired, keys, "every entry expired exactly once");
+    assert_eq!(after.value_bytes, 0, "all record bytes reclaimed");
+    assert_eq!(map.retired_indexes(), 0, "no retired indexes parked");
+    assert_eq!(after.pending_reclaim_bytes, 0, "no bytes awaiting the GC");
+    session.quiesce();
+}
+
+/// Four threads against one clock: a toucher keeps one hot key alive by
+/// extending its deadline, two churners set/get/delete short-TTL keys, and
+/// the driver advances time. The hot key must be served at every read (its
+/// deadline is always pushed out ahead of the clock), churned keys must
+/// never be served past theirs, and nothing may panic or deadlock.
+#[test]
+fn touch_extends_deadlines_race_free_under_churn() {
+    let (clock, map) = manual_cache(1 << 14);
+    let hot = b"hot:key";
+    {
+        let mut session = map.session();
+        session.set(hot, b"alive", 0, 1_000).unwrap();
+    }
+    let stop = AtomicBool::new(false);
+    let hot_reads = AtomicU64::new(0);
+    let stale_serves = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // Toucher: push the hot deadline far past anything the driver
+        // advances, forever.
+        scope.spawn(|| {
+            let mut session = map.session();
+            while !stop.load(Ordering::Relaxed) {
+                assert!(session.touch(hot, 1_000), "hot key vanished under touch");
+                session.quiesce();
+            }
+        });
+        // Two churners over a disjoint key range with 1–3 s TTLs; every
+        // get cross-checks the lazy-expiry guarantee from a racing thread.
+        for worker in 0..2u64 {
+            let (map, stop, stale_serves) = (&map, &stop, &stale_serves);
+            scope.spawn(move || {
+                let mut session = map.session();
+                let mut key_buf = [0u8; 24];
+                let mut x = 0x1234_5678u64 ^ (worker << 32);
+                while !stop.load(Ordering::Relaxed) {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let id = 1_000 + (x >> 33) % 512;
+                    let key = cache_key_bytes(&mut key_buf, id);
+                    match (x >> 8) % 4 {
+                        0 => {
+                            let ttl = 1 + (x % 3) as i64;
+                            let deadline = map.now() + ttl as u32;
+                            session.set(key, &deadline.to_le_bytes(), 0, ttl).unwrap();
+                        }
+                        1 => {
+                            session.delete(key);
+                        }
+                        _ => {
+                            // The stored value carries the deadline the
+                            // writer computed. The writer's and the engine's
+                            // clock samples can differ by a few driver ticks
+                            // under preemption, so allow that much skew —
+                            // a real lazy-expiry bug serves entries
+                            // *arbitrarily* far past their deadline and
+                            // blows through any skew allowance.
+                            let served = session.get_with(key, |view| {
+                                let mut b = [0u8; 4];
+                                b.copy_from_slice(view.value);
+                                u32::from_le_bytes(b)
+                            });
+                            if let Some(deadline) = served {
+                                if map.now() > deadline + 8 {
+                                    stale_serves.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    session.quiesce();
+                }
+            });
+        }
+        // Reader on the hot key: must hit every time.
+        scope.spawn(|| {
+            let mut session = map.session();
+            while !stop.load(Ordering::Relaxed) {
+                let hit = session.get_with(hot, |view| view.value.to_vec());
+                assert_eq!(
+                    hit.as_deref(),
+                    Some(&b"alive"[..]),
+                    "hot key must stay servable"
+                );
+                hot_reads.fetch_add(1, Ordering::Relaxed);
+                session.quiesce();
+            }
+        });
+        // Driver: advance time well past the churners' TTLs (but never
+        // past the toucher's 1000 s horizon within one refresh), reaping
+        // as a background reaper would.
+        let mut session = map.session();
+        for _ in 0..60 {
+            clock.advance(1);
+            session.reap();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert!(
+        hot_reads.load(Ordering::Relaxed) > 0,
+        "reader made progress"
+    );
+    assert_eq!(
+        stale_serves.load(Ordering::Relaxed),
+        0,
+        "a churned key was served past its deadline"
+    );
+    // The hot key survived 60 s of clock because touch kept moving its
+    // deadline; one final check through a fresh session.
+    let mut session = map.session();
+    assert_eq!(
+        session.get_with(hot, |v| v.value.to_vec()).as_deref(),
+        Some(&b"alive"[..])
+    );
+    session.quiesce();
+}

@@ -1,0 +1,504 @@
+//! Memcache text-protocol battery: poison lines, seeded fuzz, a
+//! BTreeMap-oracle differential replay, and a TCP end-to-end session.
+//!
+//! The parser's contract under attack is the point: every malformed line
+//! must be *answered* (`ERROR`/`CLIENT_ERROR`/`SERVER_ERROR`), never
+//! panicked on, and must leave no half-executed state behind — a rejected
+//! storage header still swallows its data block so the next pipelined
+//! command parses cleanly, and framing-destroying input closes the
+//! connection instead of guessing. The differential replay mirrors
+//! `model_differential.rs`: seeded op sequences run through the real
+//! protocol text against a `BTreeMap` model with explicit TTL bookkeeping
+//! on a manual clock.
+
+use dlht_core::{CacheConfig, CacheMap, CacheSession, ManualClock};
+use dlht_net::memcache::MemcacheConn;
+use dlht_net::{Drive, ServerConfig};
+use dlht_util::splitmix64 as splitmix;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn run(
+    conn: &mut MemcacheConn,
+    session: &mut CacheSession<'_>,
+    input: &[u8],
+) -> (Vec<u8>, usize, Drive) {
+    let mut out = Vec::new();
+    let (consumed, drive) = conn.process(session, input, &mut out);
+    (out, consumed, drive)
+}
+
+/// A response is "an answer" if every line of it is a protocol token —
+/// poison must never produce silence on a complete line, and never a panic.
+fn is_error_answer(out: &[u8]) -> bool {
+    !out.is_empty()
+        && (out.starts_with(b"ERROR")
+            || out.starts_with(b"CLIENT_ERROR")
+            || out.starts_with(b"SERVER_ERROR"))
+}
+
+/// The 15 hand-written poison lines: each one a distinct way to hold the
+/// protocol wrong. Sent to a fresh connection, each must be answered with
+/// an error (or close the connection for framing poison) — and must leave
+/// the cache empty.
+#[test]
+fn poison_lines_are_answered_never_panicked_on() {
+    let long_key = "k".repeat(251);
+    let huge_count = "set k 0 0 18446744073709551616\r\n\r\n".to_string();
+    let poisons: Vec<(Vec<u8>, bool)> = vec![
+        // (input, framing_destroying: connection must close)
+        (b"bogus command\r\n".to_vec(), false), // 1: unknown command
+        (b"\r\n".to_vec(), false),              // 2: empty line
+        (b"get\r\n".to_vec(), false),           // 3: get with no key
+        (format!("get {long_key}\r\n").into_bytes(), false), // 4: oversize key
+        (
+            format!("set {long_key} 0 0 3\r\nabc\r\n").into_bytes(),
+            false,
+        ), // 5: oversize store key
+        (b"set k notanumber 0 3\r\nabc\r\n".to_vec(), false), // 6: bad flags
+        (b"set k 0 zzz 3\r\nabc\r\n".to_vec(), false), // 7: bad exptime
+        (b"set k 0 0 banana\r\n".to_vec(), true), // 8: unparseable byte count
+        (huge_count.into_bytes(), true),        // 9: byte count overflows u64
+        (b"set k 0 0 2097152\r\n".to_vec(), true), // 10: value above MAX_VALUE
+        (b"set k 0 0 3\r\nabcXX".to_vec(), true), // 11: data block without CRLF
+        (b"set k 0 0 3 maybe\r\nabc\r\n".to_vec(), false), // 12: junk where noreply goes
+        (b"incr k five\r\n".to_vec(), false),   // 13: non-numeric delta
+        (b"touch k\r\n".to_vec(), false),       // 14: touch missing exptime
+        (b"delete\r\n".to_vec(), false),        // 15: delete with no key
+    ];
+    assert_eq!(poisons.len(), 15);
+    for (i, (poison, closes)) in poisons.iter().enumerate() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let (out, _, drive) = run(&mut conn, &mut session, poison);
+        assert!(
+            is_error_answer(&out),
+            "poison #{}: expected an error answer, got {:?}",
+            i + 1,
+            String::from_utf8_lossy(&out)
+        );
+        if *closes {
+            assert!(
+                matches!(drive, Drive::CloseError),
+                "poison #{}: framing poison must close the connection",
+                i + 1
+            );
+        } else {
+            assert!(
+                matches!(drive, Drive::Keep),
+                "poison #{}: recoverable poison must keep the connection",
+                i + 1
+            );
+            // No half-executed state: the very next command works normally.
+            let (out, _, drive) = run(&mut conn, &mut session, b"set ok 0 0 2\r\nhi\r\nget ok\r\n");
+            assert_eq!(
+                out,
+                b"STORED\r\nVALUE ok 0 2\r\nhi\r\nEND\r\n".to_vec(),
+                "poison #{}: connection must recover",
+                i + 1
+            );
+            assert!(matches!(drive, Drive::Keep));
+            session.delete(b"ok");
+        }
+        assert_eq!(map.len(), 0, "poison #{}: nothing may be stored", i + 1);
+        session.quiesce();
+    }
+}
+
+/// A poison command split across reads at every byte boundary behaves
+/// exactly like the same bytes sent whole (the CRLF-split case from the
+/// issue: the split must not turn a reject into a store or a panic).
+#[test]
+fn poison_split_across_reads_behaves_like_whole() {
+    let poison = b"set k notanumber 0 3\r\nabc\r\nget k\r\n";
+    for split in 1..poison.len() {
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let mut pending: Vec<u8> = Vec::new();
+        let mut out = Vec::new();
+        for part in [&poison[..split], &poison[split..]] {
+            pending.extend_from_slice(part);
+            let (consumed, drive) = conn.process(&mut session, &pending, &mut out);
+            assert!(matches!(drive, Drive::Keep), "split at {split}");
+            pending.drain(..consumed);
+        }
+        assert_eq!(
+            out,
+            b"CLIENT_ERROR bad command line format\r\nEND\r\n".to_vec(),
+            "split at {split}"
+        );
+        assert_eq!(map.len(), 0, "split at {split}: reject must not store");
+    }
+}
+
+/// Seeded random byte soup — printable tokens, raw bytes, truncated
+/// commands — fed in random-sized chunks. The parser must uphold its
+/// consumed-bytes contract and never panic, whatever arrives.
+#[test]
+fn seeded_fuzz_never_panics_and_never_overconsumes() {
+    let vocab: &[&[u8]] = &[
+        b"get",
+        b"gets",
+        b"set",
+        b"add",
+        b"replace",
+        b"delete",
+        b"touch",
+        b"incr",
+        b"decr",
+        b"flush_all",
+        b"stats",
+        b"version",
+        b"noreply",
+        b"k",
+        b"0",
+        b"-1",
+        b"3",
+        b"abc",
+        b"99999999999999999999",
+        b"\xff\xfe",
+        b" ",
+        b"\r",
+        b"\n",
+        b"\r\n",
+        b"quit",
+    ];
+    for seed in 0..40u64 {
+        let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut input = Vec::new();
+        for _ in 0..200 {
+            let tok = vocab[(splitmix(&mut rng) as usize) % vocab.len()];
+            input.extend_from_slice(tok);
+            if splitmix(&mut rng).is_multiple_of(3) {
+                input.extend_from_slice(b"\r\n");
+            } else if splitmix(&mut rng).is_multiple_of(7) {
+                input.push(b' ');
+            }
+        }
+        let map = CacheMap::new(CacheConfig::default());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let mut pending: Vec<u8> = Vec::new();
+        let mut offset = 0usize;
+        while offset < input.len() {
+            let chunk = 1 + (splitmix(&mut rng) as usize) % 64;
+            let end = (offset + chunk).min(input.len());
+            pending.extend_from_slice(&input[offset..end]);
+            offset = end;
+            let mut out = Vec::new();
+            let (consumed, drive) = conn.process(&mut session, &pending, &mut out);
+            assert!(consumed <= pending.len(), "seed {seed}: overconsumed");
+            pending.drain(..consumed);
+            if !matches!(drive, Drive::Keep) {
+                // Connection-level close: the server would drop the peer;
+                // model that with a fresh connection on the rest.
+                conn = MemcacheConn::new();
+                pending.clear();
+            }
+        }
+        session.quiesce();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential replay against a BTreeMap oracle
+// ---------------------------------------------------------------------------
+
+/// The oracle entry: what a correct cache must serve for a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ModelEntry {
+    flags: u32,
+    value: Vec<u8>,
+    /// Absolute cache-clock deadline (0 = never). Same convention as the
+    /// engine: dead once `deadline <= now`.
+    deadline: u32,
+}
+
+struct Model {
+    entries: BTreeMap<Vec<u8>, ModelEntry>,
+    now: u32,
+}
+
+impl Model {
+    fn live(&self, key: &[u8]) -> Option<&ModelEntry> {
+        self.entries
+            .get(key)
+            .filter(|e| e.deadline == 0 || e.deadline > self.now)
+    }
+
+    fn deadline_for(&self, exptime: i64) -> u32 {
+        match exptime {
+            0 => 0,
+            e if e < 0 => 1,
+            e => (self.now as u64 + e as u64).min(u32::MAX as u64) as u32,
+        }
+    }
+}
+
+/// Seeded sequences of set/add/replace/delete/touch/get (plus clock
+/// advances), rendered as real protocol text through [`MemcacheConn`], with
+/// every response validated against the model *before* the model advances.
+#[test]
+fn differential_replay_against_btreemap_oracle() {
+    let stress = std::env::var("DLHT_STRESS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(1);
+    for seed in 0..8 * stress {
+        let clock = Arc::new(ManualClock::new(1));
+        let map = CacheMap::with_clock(CacheConfig::default(), clock.clone());
+        let mut session = map.session();
+        let mut conn = MemcacheConn::new();
+        let mut model = Model {
+            entries: BTreeMap::new(),
+            now: 1,
+        };
+        let mut rng = seed.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(9);
+        for step in 0..600 {
+            let key = format!("key{}", splitmix(&mut rng) % 24).into_bytes();
+            let op = splitmix(&mut rng) % 100;
+            let (input, expected): (Vec<u8>, Vec<u8>) = if op < 35 {
+                // get
+                let expected = match model.live(&key) {
+                    Some(e) => {
+                        let mut r = Vec::new();
+                        r.extend_from_slice(b"VALUE ");
+                        r.extend_from_slice(&key);
+                        r.extend_from_slice(
+                            format!(" {} {}\r\n", e.flags, e.value.len()).as_bytes(),
+                        );
+                        r.extend_from_slice(&e.value);
+                        r.extend_from_slice(b"\r\nEND\r\n");
+                        r
+                    }
+                    None => b"END\r\n".to_vec(),
+                };
+                let mut input = b"get ".to_vec();
+                input.extend_from_slice(&key);
+                input.extend_from_slice(b"\r\n");
+                (input, expected)
+            } else if op < 75 {
+                // set / add / replace
+                let flags = (splitmix(&mut rng) % 1000) as u32;
+                let exptime = match splitmix(&mut rng) % 4 {
+                    0 => 0i64,
+                    1 => -1,
+                    _ => 1 + (splitmix(&mut rng) % 9) as i64,
+                };
+                let value = format!("v{}", splitmix(&mut rng) % 1000).into_bytes();
+                let verb = match splitmix(&mut rng) % 3 {
+                    0 => "set",
+                    1 => "add",
+                    _ => "replace",
+                };
+                let alive = model.live(&key).is_some();
+                let stores = match verb {
+                    "set" => true,
+                    "add" => !alive,
+                    _ => alive,
+                };
+                if stores {
+                    model.entries.insert(
+                        key.clone(),
+                        ModelEntry {
+                            flags,
+                            value: value.clone(),
+                            deadline: model.deadline_for(exptime),
+                        },
+                    );
+                }
+                let input = {
+                    let mut i = format!("{verb} ").into_bytes();
+                    i.extend_from_slice(&key);
+                    i.extend_from_slice(
+                        format!(" {flags} {exptime} {}\r\n", value.len()).as_bytes(),
+                    );
+                    i.extend_from_slice(&value);
+                    i.extend_from_slice(b"\r\n");
+                    i
+                };
+                let expected = if stores {
+                    b"STORED\r\n".to_vec()
+                } else {
+                    b"NOT_STORED\r\n".to_vec()
+                };
+                (input, expected)
+            } else if op < 85 {
+                // delete
+                let alive = model.live(&key).is_some();
+                model.entries.remove(&key);
+                let mut input = b"delete ".to_vec();
+                input.extend_from_slice(&key);
+                input.extend_from_slice(b"\r\n");
+                let expected = if alive {
+                    b"DELETED\r\n".to_vec()
+                } else {
+                    b"NOT_FOUND\r\n".to_vec()
+                };
+                (input, expected)
+            } else if op < 95 {
+                // touch
+                let exptime = 1 + (splitmix(&mut rng) % 9) as i64;
+                let alive = model.live(&key).is_some();
+                if alive {
+                    let deadline = model.deadline_for(exptime);
+                    model
+                        .entries
+                        .get_mut(&key)
+                        .expect("live entry exists")
+                        .deadline = deadline;
+                }
+                let mut input = b"touch ".to_vec();
+                input.extend_from_slice(&key);
+                input.extend_from_slice(format!(" {exptime}\r\n").as_bytes());
+                let expected = if alive {
+                    b"TOUCHED\r\n".to_vec()
+                } else {
+                    b"NOT_FOUND\r\n".to_vec()
+                };
+                (input, expected)
+            } else {
+                // advance the clock 1–3 seconds: entries cross their
+                // deadlines between commands, exactly like wall time.
+                let delta = 1 + (splitmix(&mut rng) % 3) as u32;
+                clock.advance(delta);
+                model.now += delta;
+                continue;
+            };
+            let (out, consumed, drive) = run(&mut conn, &mut session, &input);
+            assert_eq!(consumed, input.len(), "seed {seed} step {step}");
+            assert!(matches!(drive, Drive::Keep), "seed {seed} step {step}");
+            assert_eq!(
+                out,
+                expected,
+                "seed {seed} step {step}: {:?} answered {:?}, model wanted {:?}",
+                String::from_utf8_lossy(&input),
+                String::from_utf8_lossy(&out),
+                String::from_utf8_lossy(&expected)
+            );
+            if step % 97 == 0 {
+                session.reap();
+            }
+        }
+        // Final state check: after a full reap the live populations agree
+        // exactly (the reaper removes the expired tail, nothing else).
+        session.reap();
+        let model_live = model
+            .entries
+            .iter()
+            .filter(|(_, e)| e.deadline == 0 || e.deadline > model.now)
+            .count() as u64;
+        assert_eq!(
+            map.len(),
+            model_live,
+            "seed {seed}: live populations diverged"
+        );
+        session.quiesce();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP end-to-end
+// ---------------------------------------------------------------------------
+
+fn send_line(stream: &mut TcpStream, line: &str) {
+    stream.write_all(line.as_bytes()).unwrap();
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line
+}
+
+/// A stock memcache session against the real server: text in, text out,
+/// through the event loop, worker pool, and a real `CacheSession`.
+#[test]
+fn tcp_end_to_end_memcache_session() {
+    let cache = Arc::new(CacheMap::new(CacheConfig {
+        memory_budget: 0,
+        ..CacheConfig::default()
+    }));
+    let server = dlht_net::bind_ephemeral_memcache(cache.clone(), ServerConfig::default());
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    send_line(&mut writer, "set greeting 7 0 5\r\nhello\r\n");
+    assert_eq!(read_line(&mut reader), "STORED\r\n");
+    send_line(&mut writer, "get greeting\r\n");
+    assert_eq!(read_line(&mut reader), "VALUE greeting 7 5\r\n");
+    assert_eq!(read_line(&mut reader), "hello\r\n");
+    assert_eq!(read_line(&mut reader), "END\r\n");
+    send_line(&mut writer, "add greeting 0 0 2\r\nxx\r\n");
+    assert_eq!(read_line(&mut reader), "NOT_STORED\r\n");
+    send_line(&mut writer, "touch greeting 60\r\n");
+    assert_eq!(read_line(&mut reader), "TOUCHED\r\n");
+    send_line(&mut writer, "set n 0 0 1\r\n5\r\nincr n 37\r\n");
+    assert_eq!(read_line(&mut reader), "STORED\r\n");
+    assert_eq!(read_line(&mut reader), "42\r\n");
+    send_line(&mut writer, "delete greeting\r\n");
+    assert_eq!(read_line(&mut reader), "DELETED\r\n");
+    send_line(&mut writer, "get greeting\r\n");
+    assert_eq!(read_line(&mut reader), "END\r\n");
+    send_line(&mut writer, "stats\r\n");
+    let mut saw_items = false;
+    loop {
+        let line = read_line(&mut reader);
+        if line == "END\r\n" {
+            break;
+        }
+        assert!(line.starts_with("STAT "), "stats line: {line:?}");
+        if line.starts_with("STAT curr_items 1") {
+            saw_items = true;
+        }
+    }
+    assert!(saw_items, "stats must report the one remaining item");
+
+    // quit closes the connection cleanly (EOF, no error counted).
+    send_line(&mut writer, "quit\r\n");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "quit answers nothing, then EOF");
+    let counters = server.counters();
+    assert_eq!(counters.protocol_errors, 0, "clean session, clean quit");
+    server.shutdown();
+}
+
+/// Framing poison over TCP: the server answers the error, then closes —
+/// and other connections keep working.
+#[test]
+fn tcp_framing_poison_closes_only_its_connection() {
+    let cache = Arc::new(CacheMap::new(CacheConfig::default()));
+    let server = dlht_net::bind_ephemeral_memcache(cache.clone(), ServerConfig::default());
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    send_line(&mut writer, "set k 0 0 banana\r\n");
+    assert_eq!(
+        read_line(&mut reader),
+        "CLIENT_ERROR bad data chunk length\r\n"
+    );
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "connection closed after framing poison");
+
+    // The server is still fine for a well-behaved peer.
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    send_line(&mut writer, "set k 0 0 1\r\nv\r\nget k\r\n");
+    assert_eq!(read_line(&mut reader), "STORED\r\n");
+    assert_eq!(read_line(&mut reader), "VALUE k 0 1\r\n");
+    assert_eq!(read_line(&mut reader), "v\r\n");
+    assert_eq!(read_line(&mut reader), "END\r\n");
+    let counters = server.counters();
+    assert_eq!(counters.protocol_errors, 1, "the poison counted once");
+    server.shutdown();
+}

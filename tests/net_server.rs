@@ -26,7 +26,7 @@ fn full_run() -> bool {
 
 fn bind(config: ServerConfig) -> (DlhtServer, Arc<ShardedTable>) {
     let table = Arc::new(ShardedTable::with_capacity(8, 1 << 17));
-    let server = DlhtServer::bind_with("127.0.0.1:0", table.clone(), config).expect("bind");
+    let server = dlht_net::bind_ephemeral(table.clone(), config);
     (server, table)
 }
 
