@@ -20,6 +20,11 @@
 //! 4. **Admin probe under load** — round-trip `STATS` on the admin plane
 //!    while every worker is saturated with pipelined data traffic,
 //!    recording the admin latency.
+//! 5. **Metrics overhead** — GET throughput with a 10 Hz Prometheus
+//!    scraper hammering `GET /metrics` on the admin plane versus the same
+//!    run unscraped, interleaved best-of-3. The scenario **fails** if
+//!    scraping costs more than 2% throughput: the registry promises
+//!    scrapes never touch the hot path.
 //!
 //! One extra series runs YCSB A *over the wire* through [`RemoteBackend`],
 //! demonstrating that the whole workload harness drives a remote table
@@ -89,6 +94,19 @@ fn run_wire_gets(
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     (totals.iter().sum(), started.elapsed())
+}
+
+/// One `GET /metrics` scrape over plain HTTP/1.1; returns the body length
+/// so the scraper can prove the exposition was non-trivial.
+fn scrape_once(addr: std::net::SocketAddr) -> usize {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("scraper connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+        .expect("scraper request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("scraper response");
+    response.len()
 }
 
 fn main() {
@@ -316,6 +334,86 @@ fn main() {
                  the data plane ran saturated pipelines."
             ));
             aserver.shutdown();
+        }
+
+        // --- Series 5: metrics overhead under a 10 Hz scraper -----------
+        {
+            let mtable = Arc::new(ShardedTable::with_capacity(
+                scale.shards,
+                scale.keys as usize * 2,
+            ));
+            prepopulate(&*mtable as &dyn KvBackend, scale.keys);
+            let mserver = bind_ephemeral(
+                mtable,
+                ServerConfig {
+                    admin_addr: Some("127.0.0.1:0".to_string()),
+                    ..ServerConfig::default()
+                },
+            );
+            let data_addr = mserver.local_addr();
+            let metrics_addr = mserver.admin_addr().expect("admin plane");
+            let conns = 2usize;
+            // Floor the measurement window: smoke-tier 60 ms rounds would
+            // see at most one scrape and drown a 2% delta in noise.
+            let window = scale.duration().max(Duration::from_millis(400));
+            let seed = scale.seed_for("server/metrics-overhead");
+            let _ = run_wire_gets(data_addr, conns, 32, scale.keys, seed, scale.warmup());
+            // Interleaved best-of-3 so machine drift hits both modes alike.
+            let mut best_unscraped = 0.0f64;
+            let mut best_scraped = 0.0f64;
+            let mut scrapes = 0u64;
+            for round in 0..3 {
+                for scraped in [false, true] {
+                    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+                    let scraper = scraped.then(|| {
+                        let stop = stop.clone();
+                        std::thread::spawn(move || {
+                            let mut count = 0u64;
+                            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                                assert!(scrape_once(metrics_addr) > 0, "empty scrape");
+                                count += 1;
+                                std::thread::sleep(Duration::from_millis(100));
+                            }
+                            count
+                        })
+                    });
+                    let round_seed =
+                        scale.seed_for(&format!("server/metrics-overhead/{round}/{scraped}"));
+                    let (ops, elapsed) =
+                        run_wire_gets(data_addr, conns, 32, scale.keys, round_seed, window);
+                    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                    if let Some(h) = scraper {
+                        scrapes += h.join().expect("scraper thread");
+                    }
+                    let mops = ops as f64 / elapsed.as_secs_f64() / 1e6;
+                    if scraped {
+                        best_scraped = best_scraped.max(mops);
+                    } else {
+                        best_unscraped = best_unscraped.max(mops);
+                    }
+                }
+            }
+            let overhead_pct = ((best_unscraped - best_scraped) / best_unscraped * 100.0).max(0.0);
+            ctx.point("metrics-overhead")
+                .axis("connections", conns)
+                .axis("depth", 32usize)
+                .mops(best_scraped)
+                .extra("mops_scraped", best_scraped)
+                .extra("mops_unscraped", best_unscraped)
+                .extra("overhead_pct", overhead_pct)
+                .extra("scrapes", scrapes as f64)
+                .emit();
+            ctx.note(&format!(
+                "Metrics overhead: {} scraped vs {} unscraped under {scrapes} \
+                 10 Hz scrapes — {overhead_pct:.2}% overhead (bar 2%).",
+                fmt_mops(best_scraped),
+                fmt_mops(best_unscraped)
+            ));
+            assert!(
+                overhead_pct <= 2.0,
+                "Prometheus scraping cost {overhead_pct:.2}% GET throughput (bar 2%)"
+            );
+            mserver.shutdown();
         }
 
         // --- YCSB A over the wire (workload harness unchanged) ----------

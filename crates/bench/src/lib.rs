@@ -30,7 +30,8 @@
 
 #![forbid(unsafe_code)]
 
-pub mod json;
+pub use dlht_obs::json;
+
 pub mod scenario;
 
 pub use json::Json;

@@ -5,8 +5,9 @@
 //! dlht_server [--addr 127.0.0.1:4455] [--shards 4] [--capacity 1000000]
 //!             [--keys N] [--workers W] [--admin-addr 127.0.0.1:4456]
 //!             [--protocol binary|memcache] [--memory-budget BYTES[k|m|g]]
-//!             [--reap-ms MS]
+//!             [--reap-ms MS] [--trace-slow-us US]
 //! dlht_server --probe <admin-addr> [--expect-cache]
+//!             [--expect-metric name[>=N]]...
 //! dlht_server --probe-memcache <addr>
 //! ```
 //!
@@ -23,17 +24,26 @@
 //! background expiry reaper (`--reap-ms`, default 500), and LRU eviction
 //! under `--memory-budget` (0 = unbounded; accepts `k`/`m`/`g` suffixes).
 //!
+//! `--trace-slow-us US` arms the per-worker slow-op trace ring: every
+//! request at least `US` microseconds slow (0 = every request) is captured
+//! and served at `GET /trace` on the admin plane.
+//!
 //! `--probe <addr>` runs as an admin-plane health probe instead of a
 //! server: it connects, round-trips `PING`, `STATS`, and `LEN`, prints one
 //! summary line, and exits 0 on success / 1 on any failure — made for CI
 //! and liveness checks. With `--expect-cache` the probe additionally fails
 //! unless the `STATS` answer carries the cache extension (expirations /
-//! evictions / hit counters). `--probe-memcache <addr>` speaks the text
-//! protocol natively instead: set/get/touch/incr/delete/stats round-trip.
+//! evictions / hit counters). Each `--expect-metric name[>=N]` (repeatable)
+//! additionally scrapes `GET /metrics` over HTTP from the same port,
+//! parses the Prometheus text, and fails unless the named family is
+//! present (summed across label sets) with at least `N` where given —
+//! histogram families are checked via their `_count`/`_sum` series.
+//! `--probe-memcache <addr>` speaks the text protocol natively instead:
+//! set/get/touch/incr/delete/stats round-trip.
 
 use dlht_core::{CacheConfig, CacheMap, EvictionPolicy, KvBackend, ShardedTable};
 use dlht_net::{flag_value, DlhtClient, DlhtServer, ServerConfig};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 
@@ -42,7 +52,8 @@ fn main() {
 
     if let Some(addr) = flag_value(&args, "--probe") {
         let expect_cache = args.iter().any(|a| a == "--expect-cache");
-        std::process::exit(probe(&addr, expect_cache));
+        let expects = expect_metric_specs(&args);
+        std::process::exit(probe(&addr, expect_cache, &expects));
     }
     if let Some(addr) = flag_value(&args, "--probe-memcache") {
         std::process::exit(probe_memcache(&addr));
@@ -69,11 +80,16 @@ fn main() {
     let reap_ms: u64 = flag_value(&args, "--reap-ms")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let trace_slow_us: Option<u64> = flag_value(&args, "--trace-slow-us").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("bad --trace-slow-us value {v:?}"))
+    });
 
     let config = ServerConfig {
         workers,
         admin_addr,
         reap_interval_ms: reap_ms,
+        trace_slow_us,
         ..ServerConfig::default()
     };
 
@@ -189,9 +205,90 @@ fn serve_memcache(addr: &str, shards: usize, capacity: usize, budget: u64, confi
     }
 }
 
+/// Collect every `--expect-metric name[>=N]` occurrence ([`flag_value`]
+/// only returns the first one).
+fn expect_metric_specs(args: &[String]) -> Vec<(String, Option<f64>)> {
+    let mut specs = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg != "--expect-metric" {
+            continue;
+        }
+        let Some(spec) = iter.next() else {
+            eprintln!("--expect-metric needs a value: name or name>=N");
+            std::process::exit(2);
+        };
+        match spec.split_once(">=") {
+            None => specs.push((spec.clone(), None)),
+            Some((name, min)) => match min.parse::<f64>() {
+                Ok(min) => specs.push((name.to_string(), Some(min))),
+                Err(_) => {
+                    eprintln!("bad --expect-metric threshold in {spec:?}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    specs
+}
+
+/// Scrape `GET /metrics` over HTTP from the admin plane and parse the
+/// Prometheus text exposition.
+fn scrape_metrics(addr: &str) -> Result<Vec<dlht_obs::PromSample>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("send scrape: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read scrape: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response: {response:?}"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("scrape answered {status:?}"));
+    }
+    dlht_obs::parse_prometheus(body).map_err(|e| format!("unparseable exposition: {e}"))
+}
+
+/// Check every `--expect-metric` spec against one scrape; returns the
+/// number of failed expectations (each reported on stderr).
+fn check_metrics(addr: &str, expects: &[(String, Option<f64>)]) -> usize {
+    let samples = match scrape_metrics(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("probe: metrics scrape failed: {e}");
+            return expects.len();
+        }
+    };
+    let mut failed = 0;
+    for (name, min) in expects {
+        match (dlht_obs::sum_samples(&samples, name), min) {
+            (None, _) => {
+                eprintln!("probe: metric {name} absent from /metrics");
+                failed += 1;
+            }
+            (Some(total), Some(min)) if total < *min => {
+                eprintln!("probe: metric {name} = {total}, wanted >= {min}");
+                failed += 1;
+            }
+            _ => {}
+        }
+    }
+    failed
+}
+
 /// Health-probe mode: exercise the admin plane (works against the data
 /// plane too, which serves a superset) and report in one line.
-fn probe(addr: &str, expect_cache: bool) -> i32 {
+fn probe(addr: &str, expect_cache: bool, expects: &[(String, Option<f64>)]) -> i32 {
     let started = std::time::Instant::now();
     let mut client = match DlhtClient::connect(addr) {
         Ok(c) => c,
@@ -229,11 +326,20 @@ fn probe(addr: &str, expect_cache: bool) -> i32 {
         ),
         (None, false) => String::new(),
     };
+    let metric_suffix = if expects.is_empty() {
+        String::new()
+    } else {
+        if check_metrics(addr, expects) > 0 {
+            return 1;
+        }
+        format!(", {} metric expectation(s) met", expects.len())
+    };
     println!(
-        "probe ok: {addr} answered PING/STATS/LEN in {:?} (len={len}, occupied_slots={}{})",
+        "probe ok: {addr} answered PING/STATS/LEN in {:?} (len={len}, occupied_slots={}{}{})",
         started.elapsed(),
         stats.table.occupied_slots,
-        cache_suffix
+        cache_suffix,
+        metric_suffix
     );
     0
 }

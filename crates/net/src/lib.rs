@@ -74,6 +74,7 @@ pub mod buf;
 pub mod client;
 pub mod loopback;
 pub mod memcache;
+pub mod metrics;
 pub mod poll;
 pub mod remote;
 pub mod server;
@@ -85,6 +86,7 @@ pub use buf::ByteRing;
 pub use client::{DlhtClient, NetError};
 pub use loopback::{loopback_client, LoopbackBackend, LoopbackTransport};
 pub use memcache::MemcacheConn;
+pub use metrics::{ServerMetrics, TraceEntry, TRACE_RING_CAP};
 pub use remote::{flag_value, server_addr_from_args, RemoteBackend};
 pub use server::{AdminBackend, DlhtServer, ServerConfig, ServerCounters, WRITE_HIGH_WATER};
 pub use service::{BackendEngine, ConnStats, Drive, Service, ServiceEngine};

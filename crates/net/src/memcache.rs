@@ -35,8 +35,11 @@
 //! to 30 days are relative seconds, larger values are absolute unix
 //! timestamps, negative means already expired.
 
+use crate::metrics::{classify_line, McObs};
 use crate::service::{ConnStats, Drive};
 use dlht_core::{CacheSession, CounterError, StoreOutcome};
+use dlht_obs::bytes_fingerprint;
+use std::time::Instant;
 
 /// Longest accepted command line (memcached uses 2048; multi-key `get`s
 /// get head-room). Anything longer is an unrecoverable framing error.
@@ -74,6 +77,9 @@ struct PendingStore {
     /// Header was semantically rejected (bad key/flags/exptime): swallow
     /// the data block, then answer this instead of storing.
     reject: Option<&'static [u8]>,
+    /// When the header line was decoded — the store's latency sample spans
+    /// header decode to response queued (set only while recording).
+    t0: Option<Instant>,
 }
 
 enum State {
@@ -95,6 +101,9 @@ enum LineOutcome {
 pub struct MemcacheConn {
     state: State,
     stats: ConnStats,
+    /// Per-command latency recording; `None` keeps the hot path free of
+    /// even the `Instant::now` calls.
+    obs: Option<McObs>,
 }
 
 impl Default for MemcacheConn {
@@ -109,7 +118,15 @@ impl MemcacheConn {
         MemcacheConn {
             state: State::Line,
             stats: ConnStats::default(),
+            obs: None,
         }
+    }
+
+    /// Record per-command decode→response-queued latencies (and slow-op
+    /// traces) through `obs`.
+    pub fn with_obs(mut self, obs: McObs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Counters in the same shape as the binary service: `frames` counts
@@ -147,7 +164,17 @@ impl MemcacheConn {
                     let line = strip_cr(&rest[..nl]);
                     consumed += nl + 1;
                     commands += 1;
-                    match self.handle_line(line, session, out, &mut ops) {
+                    let t0 = self.obs.as_ref().map(|_| Instant::now());
+                    let outcome = self.handle_line(line, session, out, &mut ops, t0);
+                    if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+                        // Storage headers defer their sample to the data
+                        // block; everything else is answered here.
+                        if !matches!(self.state, State::Data(_)) {
+                            let (idx, key_fp) = classify_line(line);
+                            obs.record(idx, key_fp, t0.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    match outcome {
                         LineOutcome::Continue => {}
                         LineOutcome::Close(drive) => break drive,
                     }
@@ -168,7 +195,21 @@ impl MemcacheConn {
                     }
                     let data = &rest[..pending.bytes];
                     ops += 1;
+                    let sample = match (&self.obs, pending.t0) {
+                        (Some(_), Some(t0)) => {
+                            let cmd: &[u8] = match pending.op {
+                                StoreOp::Set => b"set",
+                                StoreOp::Add => b"add",
+                                StoreOp::Replace => b"replace",
+                            };
+                            Some((classify_line(cmd).0, bytes_fingerprint(&pending.key), t0))
+                        }
+                        _ => None,
+                    };
                     execute_store(session, pending, data, out);
+                    if let (Some(obs), Some((idx, key_fp, t0))) = (&self.obs, sample) {
+                        obs.record(idx, key_fp, t0.elapsed().as_nanos() as u64);
+                    }
                 }
             }
         };
@@ -188,6 +229,7 @@ impl MemcacheConn {
         session: &mut CacheSession<'_>,
         out: &mut Vec<u8>,
         ops: &mut u64,
+        t0: Option<Instant>,
     ) -> LineOutcome {
         let mut tokens = Tokens::new(line);
         let Some(command) = tokens.next() else {
@@ -234,7 +276,7 @@ impl MemcacheConn {
                     b"add" => StoreOp::Add,
                     _ => StoreOp::Replace,
                 };
-                self.begin_store(op, &mut tokens, out)
+                self.begin_store(op, &mut tokens, out, t0)
             }
             b"delete" => {
                 let (key, noreply, ok) = key_and_noreply(&mut tokens);
@@ -357,6 +399,7 @@ impl MemcacheConn {
         op: StoreOp,
         tokens: &mut Tokens<'_>,
         out: &mut Vec<u8>,
+        t0: Option<Instant>,
     ) -> LineOutcome {
         let key = tokens.next().unwrap_or(b"").to_vec();
         let flags = tokens.next().map(parse_u64);
@@ -416,6 +459,7 @@ impl MemcacheConn {
             bytes,
             noreply,
             reject,
+            t0,
         });
         LineOutcome::Continue
     }

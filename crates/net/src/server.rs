@@ -59,6 +59,7 @@
 
 use crate::buf::ByteRing;
 use crate::memcache::MemcacheConn;
+use crate::metrics::{self, ServerMetrics};
 use crate::poll::{waker_pair, Event, Interest, Poller, Source, WakeReceiver, Waker};
 use crate::service::{ConnStats, Drive, Service};
 use crate::wire::{self, WireError};
@@ -86,34 +87,9 @@ const READ_CHUNK: usize = 16 * 1024;
 /// response, so per-connection memory stays bounded.)
 pub const WRITE_HIGH_WATER: usize = 256 * 1024;
 
-#[derive(Default)]
-struct Counters {
-    connections: AtomicU64,
-    active: AtomicU64,
-    frames: AtomicU64,
-    ops: AtomicU64,
-    batches: AtomicU64,
-    protocol_errors: AtomicU64,
-    panics: AtomicU64,
-    admin_frames: AtomicU64,
-}
-
-impl Counters {
-    fn snapshot(&self) -> ServerCounters {
-        ServerCounters {
-            connections: self.connections.load(Ordering::Relaxed),
-            active: self.active.load(Ordering::Relaxed),
-            frames: self.frames.load(Ordering::Relaxed),
-            ops: self.ops.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            panics: self.panics.load(Ordering::Relaxed),
-            admin_frames: self.admin_frames.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// A point-in-time snapshot of the server-wide counters.
+/// A point-in-time snapshot of the server-wide counters, folded from the
+/// striped [`ServerMetrics`] registry cells (the full registry — gauges,
+/// histograms, trace ring — is reachable via [`DlhtServer::metrics`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerCounters {
     /// Data connections accepted since bind (the admin plane counts
@@ -158,6 +134,10 @@ pub struct ServerConfig {
     /// entries and enforces the memory budget, in milliseconds. `0` picks
     /// the default (500 ms).
     pub reap_interval_ms: u64,
+    /// Record every request at least this slow (µs) into the per-worker
+    /// slow-op trace ring served at `GET /trace` on the admin plane. `0`
+    /// traces every request; `None` disables tracing.
+    pub trace_slow_us: Option<u64>,
 }
 
 impl ServerConfig {
@@ -258,7 +238,7 @@ pub struct DlhtServer {
     local_addr: SocketAddr,
     admin_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
-    counters: Arc<Counters>,
+    metrics: Arc<ServerMetrics>,
     accept_thread: JoinHandle<()>,
     workers: Vec<WorkerHandle>,
     admin_thread: Option<JoinHandle<()>>,
@@ -307,10 +287,24 @@ impl DlhtServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(Counters::default());
+        let lanes = config.resolved_workers();
+        let metrics = Arc::new(match &persona {
+            Persona::Kv { .. } => ServerMetrics::new_kv(lanes, config.trace_slow_us),
+            Persona::Cache { .. } => ServerMetrics::new_cache(lanes, config.trace_slow_us),
+        });
+        // Structural gauges read the live store at scrape time — no
+        // hot-path cost, always-current values.
+        match &persona {
+            Persona::Kv { table, .. } => {
+                metrics::register_kv_gauges(metrics.registry(), table.clone());
+            }
+            Persona::Cache { cache } => {
+                metrics::register_cache_gauges(metrics.registry(), cache.clone());
+            }
+        }
 
         let mut workers = Vec::new();
-        for i in 0..config.resolved_workers() {
+        for i in 0..lanes {
             let (waker, wake_rx) = waker_pair()?;
             let shared = Arc::new(WorkerShared {
                 incoming: Mutex::new(Vec::new()),
@@ -322,21 +316,21 @@ impl DlhtServer {
                 .spawn({
                     let shared = shared.clone();
                     let shutdown = shutdown.clone();
-                    let counters = counters.clone();
+                    let metrics = metrics.clone();
                     match &persona {
                         Persona::Kv { table, fault_key } => {
                             let table = table.clone();
                             let fault_key = *fault_key;
                             Box::new(move || {
                                 worker_loop_kv(
-                                    &table, &shared, wake_rx, &shutdown, &counters, fault_key,
+                                    &table, &shared, wake_rx, &shutdown, &metrics, i, fault_key,
                                 )
                             }) as Box<dyn FnOnce() + Send>
                         }
                         Persona::Cache { cache } => {
                             let cache = cache.clone();
                             Box::new(move || {
-                                worker_loop_cache(&cache, &shared, wake_rx, &shutdown, &counters)
+                                worker_loop_cache(&cache, &shared, wake_rx, &shutdown, &metrics, i)
                             }) as Box<dyn FnOnce() + Send>
                         }
                     }
@@ -344,14 +338,37 @@ impl DlhtServer {
             workers.push(WorkerHandle { shared, thread });
         }
 
+        {
+            let shareds: Vec<Arc<WorkerShared>> =
+                workers.iter().map(|w| w.shared.clone()).collect();
+            metrics.registry().gauge_fn(
+                "dlht_buffer_bytes",
+                "Ring-buffer capacity pinned across all data connections",
+                &[],
+                move || {
+                    shareds
+                        .iter()
+                        .map(|s| s.buffer_bytes.load(Ordering::Relaxed))
+                        .sum()
+                },
+            );
+            let n = workers.len() as u64;
+            metrics.registry().gauge_fn(
+                "dlht_workers",
+                "Event-loop worker threads serving data connections",
+                &[],
+                move || n,
+            );
+        }
+
         let accept_thread = {
             let shutdown = shutdown.clone();
-            let counters = counters.clone();
+            let metrics = metrics.clone();
             let shareds: Vec<Arc<WorkerShared>> =
                 workers.iter().map(|w| w.shared.clone()).collect();
             std::thread::Builder::new()
                 .name("dlht-accept".to_string())
-                .spawn(move || accept_loop(listener, &shutdown, &counters, &shareds))?
+                .spawn(move || accept_loop(listener, &shutdown, &metrics, &shareds))?
         };
 
         let admin_backend: Arc<dyn AdminBackend> = match &persona {
@@ -370,7 +387,7 @@ impl DlhtServer {
                     .spawn({
                         let backend = admin_backend.clone();
                         let shutdown = shutdown.clone();
-                        let counters = counters.clone();
+                        let metrics = metrics.clone();
                         let conns = admin_conns.clone();
                         let threads = admin_threads.clone();
                         move || {
@@ -378,7 +395,7 @@ impl DlhtServer {
                                 admin_listener,
                                 &backend,
                                 &shutdown,
-                                &counters,
+                                &metrics,
                                 &conns,
                                 &threads,
                             )
@@ -410,7 +427,7 @@ impl DlhtServer {
             local_addr,
             admin_addr,
             shutdown,
-            counters,
+            metrics,
             accept_thread,
             workers,
             admin_thread,
@@ -455,7 +472,15 @@ impl DlhtServer {
     /// folded in as each event-loop pass runs, so the numbers are live,
     /// not close-time.
     pub fn counters(&self) -> ServerCounters {
-        self.counters.snapshot()
+        self.metrics.server_counters()
+    }
+
+    /// The full observability surface behind this server: the metrics
+    /// registry (counters, gauges, per-opcode latency histograms) and the
+    /// slow-op trace rings — everything the admin plane serves at
+    /// `GET /metrics`, `/metrics.json`, and `/trace`.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
     }
 
     /// Gracefully stop: wake the acceptor, the admin plane, and every
@@ -507,7 +532,7 @@ impl DlhtServer {
         if let Some(reaper) = self.reaper_thread {
             let _ = reaper.join();
         }
-        self.counters.snapshot()
+        self.metrics.server_counters()
     }
 }
 
@@ -529,26 +554,29 @@ fn connectable(mut addr: SocketAddr) -> SocketAddr {
 /// accept time and travels with the connection, so the decrement rides
 /// `Drop` instead of any particular exit path.
 struct ActiveGuard {
-    counters: Arc<Counters>,
+    metrics: Arc<ServerMetrics>,
+    /// The destination worker's lane: increment and decrement hit the same
+    /// striped cell, so each lane's contribution returns to exactly zero.
+    lane: usize,
 }
 
 impl ActiveGuard {
-    fn new(counters: Arc<Counters>) -> ActiveGuard {
-        counters.active.fetch_add(1, Ordering::Relaxed);
-        ActiveGuard { counters }
+    fn new(metrics: Arc<ServerMetrics>, lane: usize) -> ActiveGuard {
+        metrics.active.add(lane, 1);
+        ActiveGuard { metrics, lane }
     }
 }
 
 impl Drop for ActiveGuard {
     fn drop(&mut self) {
-        self.counters.active.fetch_sub(1, Ordering::Relaxed);
+        self.metrics.active.sub(self.lane, 1);
     }
 }
 
 fn accept_loop(
     listener: TcpListener,
     shutdown: &AtomicBool,
-    counters: &Arc<Counters>,
+    metrics: &Arc<ServerMetrics>,
     workers: &[Arc<WorkerShared>],
 ) {
     let mut next = 0usize;
@@ -568,14 +596,16 @@ fn accept_loop(
         if shutdown.load(Ordering::Acquire) {
             return;
         }
-        counters.connections.fetch_add(1, Ordering::Relaxed);
-        let guard = ActiveGuard::new(counters.clone());
+        // Round-robin hand-off: a connection lives on one worker for its
+        // whole lifetime (per-connection frame order needs no locking), and
+        // its accounting uses that worker's metric lane.
+        let lane = next % workers.len();
+        next = next.wrapping_add(1);
+        metrics.connections.incr(lane);
+        let guard = ActiveGuard::new(metrics.clone(), lane);
         let _ = stream.set_nodelay(true);
         let _ = stream.set_nonblocking(true);
-        // Round-robin hand-off: a connection lives on one worker for its
-        // whole lifetime (per-connection frame order needs no locking).
-        let shared = &workers[next % workers.len()];
-        next = next.wrapping_add(1);
+        let shared = &workers[lane];
         shared
             .incoming
             .lock()
@@ -682,22 +712,31 @@ fn worker_loop_kv(
     shared: &WorkerShared,
     wake_rx: WakeReceiver,
     shutdown: &AtomicBool,
-    counters: &Counters,
+    metrics: &ServerMetrics,
+    lane: usize,
     fault_key: Option<u64>,
 ) {
     let session = table.session();
     let session = &session;
+    let obs = metrics.kv_obs(lane);
+    let env = WorkerEnv {
+        shared,
+        shutdown,
+        metrics,
+        lane,
+    };
     run_event_loop(
         &mut (),
-        || KvProto {
-            service: Service::new(session),
-            fault_key,
+        || {
+            let mut service = Service::new(session);
+            if let Some(obs) = obs.clone() {
+                service = service.with_obs(obs);
+            }
+            KvProto { service, fault_key }
         },
         |_| {},
-        shared,
+        &env,
         wake_rx,
-        shutdown,
-        counters,
     );
 }
 
@@ -710,18 +749,41 @@ fn worker_loop_cache(
     shared: &WorkerShared,
     wake_rx: WakeReceiver,
     shutdown: &AtomicBool,
-    counters: &Counters,
+    metrics: &ServerMetrics,
+    lane: usize,
 ) {
     let mut session = cache.session();
+    let obs = metrics.mc_obs(lane);
+    let env = WorkerEnv {
+        shared,
+        shutdown,
+        metrics,
+        lane,
+    };
     run_event_loop(
         &mut session,
-        MemcacheConn::new,
+        || {
+            let mut conn = MemcacheConn::new();
+            if let Some(obs) = obs.clone() {
+                conn = conn.with_obs(obs);
+            }
+            conn
+        },
         |session| session.quiesce(),
-        shared,
+        &env,
         wake_rx,
-        shutdown,
-        counters,
     );
+}
+
+/// One worker's view of the server-wide plumbing, bundled so the event
+/// loop and its helpers take one context instead of four parallel
+/// references. `lane` is this worker's stripe in every
+/// [`ServerMetrics`] instrument.
+struct WorkerEnv<'a> {
+    shared: &'a WorkerShared,
+    shutdown: &'a AtomicBool,
+    metrics: &'a ServerMetrics,
+    lane: usize,
 }
 
 /// The shared event loop both personas run: adopt handed-over connections,
@@ -731,10 +793,8 @@ fn run_event_loop<E, P: ConnProto<E>>(
     engine: &mut E,
     mut new_proto: impl FnMut() -> P,
     mut end_pass: impl FnMut(&mut E),
-    shared: &WorkerShared,
+    env: &WorkerEnv<'_>,
     mut wake_rx: WakeReceiver,
-    shutdown: &AtomicBool,
-    counters: &Counters,
 ) {
     let mut poller = Poller::new();
     let mut conns: Vec<Option<Conn<P>>> = Vec::new();
@@ -743,9 +803,9 @@ fn run_event_loop<E, P: ConnProto<E>>(
     let mut slots: Vec<usize> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
 
-    while !shutdown.load(Ordering::Acquire) {
+    while !env.shutdown.load(Ordering::Acquire) {
         // Adopt connections the acceptor handed over.
-        let adopted = std::mem::take(&mut *shared.incoming.lock().expect("incoming lock"));
+        let adopted = std::mem::take(&mut *env.shared.incoming.lock().expect("incoming lock"));
         for (stream, guard) in adopted {
             let conn = Conn {
                 stream,
@@ -799,13 +859,13 @@ fn run_event_loop<E, P: ConnProto<E>>(
             // connections: unwind-catch the drive and tear only this
             // connection down (its drop guard keeps `active` exact).
             let drive = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                drive_connection(conn, engine, *ev, counters)
+                drive_connection(conn, engine, *ev, env)
             }));
             let close = match drive {
                 Ok(Disposition::Keep) => false,
                 Ok(Disposition::Close) => true,
                 Err(_) => {
-                    counters.panics.fetch_add(1, Ordering::Relaxed);
+                    env.metrics.panics.incr(env.lane);
                     true
                 }
             };
@@ -825,7 +885,7 @@ fn run_event_loop<E, P: ConnProto<E>>(
             .flatten()
             .map(|c| (c.rbuf.capacity() + c.wbuf.capacity()) as u64)
             .sum();
-        shared.buffer_bytes.store(bytes, Ordering::Relaxed);
+        env.shared.buffer_bytes.store(bytes, Ordering::Relaxed);
 
         // Persona hook (the cache worker announces a quiescent point here,
         // after every borrowed entry pointer from this pass is dead).
@@ -838,7 +898,7 @@ fn run_event_loop<E, P: ConnProto<E>>(
         let _ = conn.stream.shutdown(Shutdown::Both);
     }
     conns.clear();
-    shared.buffer_bytes.store(0, Ordering::Relaxed);
+    env.shared.buffer_bytes.store(0, Ordering::Relaxed);
 }
 
 /// Handle one readiness event for one connection. Never blocks: reads and
@@ -848,7 +908,7 @@ fn drive_connection<E, P: ConnProto<E>>(
     conn: &mut Conn<P>,
     engine: &mut E,
     ev: Event,
-    counters: &Counters,
+    env: &WorkerEnv<'_>,
 ) -> Disposition {
     // Writes first: draining the write ring both delivers queued responses
     // and lifts read backpressure at the next interest build.
@@ -866,12 +926,12 @@ fn drive_connection<E, P: ConnProto<E>>(
                 Ok(0) => {
                     // EOF: answer what was validly pipelined, best-effort
                     // flush, close.
-                    let _ = process_input(conn, engine, counters);
+                    let _ = process_input(conn, engine, env);
                     let _ = flush_writes(conn);
                     return Disposition::Close;
                 }
                 Ok(n) => {
-                    if !matches!(process_input(conn, engine, counters), Drive::Keep) {
+                    if !matches!(process_input(conn, engine, env), Drive::Keep) {
                         conn.state = ConnState::Draining;
                         break;
                     }
@@ -920,20 +980,20 @@ fn flush_writes<P>(conn: &mut Conn<P>) -> FlushOutcome {
 fn process_input<E, P: ConnProto<E>>(
     conn: &mut Conn<P>,
     engine: &mut E,
-    counters: &Counters,
+    env: &WorkerEnv<'_>,
 ) -> Drive {
     let Conn {
         rbuf, wbuf, proto, ..
     } = conn;
     let (consumed, drive) = wbuf.append_with(|out| proto.process(engine, rbuf.data(), out));
     rbuf.consume(consumed);
-    fold_stats(counters, &mut conn.reported, conn.proto.stats());
+    fold_stats(env, &mut conn.reported, conn.proto.stats());
     if !matches!(drive, Drive::Keep) {
         // Whatever input is still buffered will never be served; drop it.
         conn.rbuf.clear();
     }
     if matches!(drive, Drive::CloseError) {
-        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        env.metrics.protocol_errors.incr(env.lane);
     }
     drive
 }
@@ -972,17 +1032,15 @@ fn maybe_inject_fault(data: &[u8], key: u64) {
 }
 
 /// Fold the delta between the service's counters and what was already
-/// reported into the server-wide totals.
-fn fold_stats(counters: &Counters, reported: &mut ConnStats, now: ConnStats) {
-    counters
+/// reported into the server-wide totals (on this worker's metric lane).
+fn fold_stats(env: &WorkerEnv<'_>, reported: &mut ConnStats, now: ConnStats) {
+    env.metrics
         .frames
-        .fetch_add(now.frames - reported.frames, Ordering::Relaxed);
-    counters
-        .ops
-        .fetch_add(now.ops - reported.ops, Ordering::Relaxed);
-    counters
+        .add(env.lane, now.frames - reported.frames);
+    env.metrics.ops.add(env.lane, now.ops - reported.ops);
+    env.metrics
         .batches
-        .fetch_add(now.batches - reported.batches, Ordering::Relaxed);
+        .add(env.lane, now.batches - reported.batches);
     *reported = now;
 }
 
@@ -999,7 +1057,7 @@ fn admin_accept_loop(
     listener: TcpListener,
     backend: &Arc<dyn AdminBackend>,
     shutdown: &Arc<AtomicBool>,
-    counters: &Arc<Counters>,
+    metrics: &Arc<ServerMetrics>,
     conns: &Arc<Mutex<HashMap<u64, TcpStream>>>,
     threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
@@ -1032,10 +1090,10 @@ fn admin_accept_loop(
         let handle = {
             let backend = backend.clone();
             let shutdown = shutdown.clone();
-            let counters = counters.clone();
+            let metrics = metrics.clone();
             let conns = conns.clone();
             std::thread::spawn(move || {
-                admin_connection(stream, &*backend, &shutdown, &counters);
+                admin_connection(stream, &*backend, &shutdown, &metrics);
                 conns.lock().expect("admin conns lock").remove(&id);
             })
         };
@@ -1045,17 +1103,21 @@ fn admin_accept_loop(
     }
 }
 
-/// One admin connection: serve `STATS`/`LEN`/`PING` until EOF, error, or
-/// shutdown. Data opcodes are rejected with
-/// [`WireError::AdminRestricted`].
+/// One admin connection. The first byte picks the dialect: the binary wire
+/// magic ([`wire::MAGIC`]) enters the `STATS`/`LEN`/`PING` frame loop
+/// (data opcodes rejected with [`WireError::AdminRestricted`]); anything
+/// else is treated as an HTTP request line and served one
+/// `GET /metrics` / `/metrics.json` / `/trace` response before closing —
+/// so the same port answers typed probes and Prometheus scrapes.
 fn admin_connection(
     mut stream: TcpStream,
     backend: &dyn AdminBackend,
     shutdown: &AtomicBool,
-    counters: &Counters,
+    metrics: &ServerMetrics,
 ) {
     let mut pending = ByteRing::new();
     let mut out: Vec<u8> = Vec::new();
+    let mut binary: Option<bool> = None;
     loop {
         if shutdown.load(Ordering::Acquire) {
             return;
@@ -1071,8 +1133,26 @@ fn admin_connection(
             }
             Err(_) => return,
         }
+        if binary.is_none() {
+            binary = pending.data().first().map(|&b| b == wire::MAGIC);
+        }
+        if binary == Some(false) {
+            // HTTP dialect: wait for the end of the header block, answer
+            // once, close (the response says `Connection: close`).
+            match find_header_end(pending.data()) {
+                Some(end) => {
+                    metrics.admin_http_requests.incr(0);
+                    let head = &pending.data()[..end];
+                    let response = metrics::respond_http(metrics, head);
+                    let _ = stream.write_all(&response);
+                    return;
+                }
+                None if pending.len() > metrics::MAX_HTTP_HEADER => return,
+                None => continue,
+            }
+        }
         out.clear();
-        let result = admin_process(backend, &mut pending, &mut out, counters);
+        let result = admin_process(backend, &mut pending, &mut out, metrics);
         if let Err(e) = &result {
             wire::encode_error_frame(&mut out, e);
         }
@@ -1080,11 +1160,18 @@ fn admin_connection(
             return;
         }
         if result.is_err() {
-            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            metrics.protocol_errors.incr(0);
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
     }
+}
+
+/// Byte offset just past the first `\r\n\r\n` in `data`, if present.
+fn find_header_end(data: &[u8]) -> Option<usize> {
+    data.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
 }
 
 /// Serve every complete admin frame in `pending`, appending responses to
@@ -1094,14 +1181,14 @@ fn admin_process(
     backend: &dyn AdminBackend,
     pending: &mut ByteRing,
     out: &mut Vec<u8>,
-    counters: &Counters,
+    metrics: &ServerMetrics,
 ) -> Result<(), WireError> {
     loop {
         let used = match wire::decode_frame(pending.data()) {
             Ok(None) => return Ok(()),
             Err(e) => return Err(e),
             Ok(Some((frame, used))) => {
-                counters.admin_frames.fetch_add(1, Ordering::Relaxed);
+                metrics.admin_frames.incr(0);
                 match frame.opcode {
                     wire::op::STATS if frame.payload.is_empty() => match backend.cache_stats() {
                         Some(cache) => wire::encode_stats_cache(

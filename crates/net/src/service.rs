@@ -21,8 +21,10 @@
 //! [`BatchPolicy`] and execute as their own batch; `STATS`/`LEN`/`PING`
 //! are barriers that flush pending singles first so global ordering holds.
 
+use crate::metrics::ServiceObs;
 use crate::wire::{self, WireError};
 use dlht_core::{Batch, BatchPolicy, KvBackend, Session, ShardedSession, ShardedTable, TableStats};
+use std::time::Instant;
 
 /// What a [`Service`] executes against: anything that can prefetch a key,
 /// run a prefetched batch, and answer the `STATS`/`LEN` commands.
@@ -42,6 +44,11 @@ pub trait ServiceEngine {
     fn retired_indexes(&self) -> usize;
     /// Live keys for the `LEN` command (may be linear-time).
     fn live_keys(&self) -> u64;
+    /// Which shard `key` routes to, for slow-op trace attribution.
+    /// Unsharded engines stay on the default.
+    fn shard_of(&self, _key: u64) -> u32 {
+        0
+    }
 }
 
 /// Engines work through shared references too, so several connections on
@@ -64,6 +71,9 @@ impl<E: ServiceEngine + ?Sized> ServiceEngine for &E {
     fn live_keys(&self) -> u64 {
         (**self).live_keys()
     }
+    fn shard_of(&self, key: u64) -> u32 {
+        (**self).shard_of(key)
+    }
 }
 
 impl ServiceEngine for ShardedSession<'_> {
@@ -81,6 +91,9 @@ impl ServiceEngine for ShardedSession<'_> {
     }
     fn live_keys(&self) -> u64 {
         self.table().len() as u64
+    }
+    fn shard_of(&self, key: u64) -> u32 {
+        self.table().shard_of(key) as u32
     }
 }
 
@@ -163,6 +176,9 @@ pub struct Service<E: ServiceEngine> {
     /// Reusable batch: steady-state processing is allocation-free.
     batch: Batch,
     stats: ConnStats,
+    /// Per-opcode latency recording; `None` keeps the hot path free of
+    /// even the `Instant::now` calls.
+    obs: Option<ServiceObs>,
 }
 
 impl<E: ServiceEngine> Service<E> {
@@ -172,7 +188,15 @@ impl<E: ServiceEngine> Service<E> {
             engine,
             batch: Batch::with_capacity(64),
             stats: ConnStats::default(),
+            obs: None,
         }
+    }
+
+    /// Record per-opcode decode→response-queued latencies (and slow-op
+    /// traces) through `obs`.
+    pub fn with_obs(mut self, obs: ServiceObs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// This connection's counters so far.
@@ -187,7 +211,7 @@ impl<E: ServiceEngine> Service<E> {
 
     /// Execute the accumulated plain-frame batch, appending one `RESP` frame
     /// per request to `out`.
-    fn flush_singles(&mut self, out: &mut Vec<u8>) {
+    fn flush_singles(&mut self, out: &mut Vec<u8>, t0: Option<Instant>) {
         if self.batch.is_empty() {
             return;
         }
@@ -200,6 +224,16 @@ impl<E: ServiceEngine> Service<E> {
             .execute_prefetched(&mut self.batch, BatchPolicy::RunAll);
         for r in self.batch.responses() {
             wire::encode_response(out, *r);
+        }
+        // Every request in the drained window shares the window's
+        // decode→response-queued span: that is the latency its client
+        // observes, queueing included.
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            let ns = t0.elapsed().as_nanos() as u64;
+            let depth = self.batch.len() as u32;
+            for req in self.batch.requests() {
+                obs.record_request(req, self.engine.shard_of(req.key()), depth, ns);
+            }
         }
         self.batch.clear();
     }
@@ -216,6 +250,7 @@ impl<E: ServiceEngine> Service<E> {
     /// malformed frame itself, and this function never panics on arbitrary
     /// input.
     pub fn process(&mut self, input: &[u8], out: &mut Vec<u8>) -> Result<usize, WireError> {
+        let t0 = self.obs.as_ref().map(|_| Instant::now());
         let mut consumed = 0;
         let result = loop {
             match wire::decode_frame(&input[consumed..]) {
@@ -224,14 +259,14 @@ impl<E: ServiceEngine> Service<E> {
                 Ok(Some((frame, used))) => {
                     consumed += used;
                     self.stats.frames += 1;
-                    if let Err(e) = self.handle_frame(frame.opcode, frame.payload, out) {
+                    if let Err(e) = self.handle_frame(frame.opcode, frame.payload, out, t0) {
                         break Err(e);
                     }
                 }
             }
         };
         // Answer everything that was validly pipelined before the cut.
-        self.flush_singles(out);
+        self.flush_singles(out, t0);
         match result {
             Ok(()) => Ok(consumed),
             Err(e) => {
@@ -246,6 +281,7 @@ impl<E: ServiceEngine> Service<E> {
         opcode: u8,
         payload: &[u8],
         out: &mut Vec<u8>,
+        t0: Option<Instant>,
     ) -> Result<(), WireError> {
         match opcode {
             wire::op::GET | wire::op::PUT | wire::op::INSERT | wire::op::DELETE => {
@@ -262,7 +298,7 @@ impl<E: ServiceEngine> Service<E> {
                 // Decode fully before executing: a malformed item must not
                 // half-execute the batch. Ordering still holds because the
                 // pending singles flush first.
-                self.flush_singles(out);
+                self.flush_singles(out, t0);
                 debug_assert!(self.batch.is_empty());
                 let mut iter = wire::BatchIter::new(items, count);
                 for item in iter.by_ref() {
@@ -286,6 +322,11 @@ impl<E: ServiceEngine> Service<E> {
                 self.stats.max_drain = self.stats.max_drain.max(self.batch.len());
                 self.engine.execute_prefetched(&mut self.batch, policy);
                 wire::encode_batch_responses(out, self.batch.responses());
+                if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+                    let first_key = self.batch.requests().first().map(|r| r.key());
+                    let len = self.batch.len() as u32;
+                    obs.record_batch(first_key, len, t0.elapsed().as_nanos() as u64);
+                }
                 self.batch.clear();
                 Ok(())
             }
@@ -296,7 +337,7 @@ impl<E: ServiceEngine> Service<E> {
                         len: payload.len(),
                     });
                 }
-                self.flush_singles(out);
+                self.flush_singles(out, t0);
                 wire::encode_stats(
                     out,
                     &self.engine.table_stats(),
@@ -311,12 +352,12 @@ impl<E: ServiceEngine> Service<E> {
                         len: payload.len(),
                     });
                 }
-                self.flush_singles(out);
+                self.flush_singles(out, t0);
                 wire::encode_len(out, self.engine.live_keys());
                 Ok(())
             }
             wire::op::PING => {
-                self.flush_singles(out);
+                self.flush_singles(out, t0);
                 wire::put_header(out, wire::resp::PONG, payload.len());
                 out.extend_from_slice(payload);
                 Ok(())

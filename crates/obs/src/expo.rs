@@ -1,0 +1,307 @@
+//! A strict parser for the Prometheus text exposition format (version
+//! 0.0.4) — the validation half of [`crate::MetricsSnapshot::render_prometheus`].
+//! `dlht_server --probe --expect-metric` and CI use it to assert a scrape
+//! both parses and carries expected values.
+
+/// One parsed sample line: family-or-series name, labels, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// The sample name as written (e.g. `dlht_ops_total` or
+    /// `dlht_request_latency_ns_bucket`).
+    pub name: String,
+    /// Label pairs in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf`/`-Inf`/`NaN` map to the f64 equivalents).
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == ':'
+}
+
+fn parse_value(text: &str) -> Option<f64> {
+    match text {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse::<f64>().ok(),
+    }
+}
+
+/// Parse a full exposition document. Every non-comment line must be a
+/// well-formed sample; `# HELP`/`# TYPE` lines are validated for name
+/// syntax. Errors carry the 1-based line number.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(body) = rest
+                .strip_prefix("HELP ")
+                .or_else(|| rest.strip_prefix("TYPE "))
+            {
+                let name = body.split_whitespace().next().unwrap_or("");
+                if name.is_empty()
+                    || !name.chars().enumerate().all(|(i, c)| {
+                        if i == 0 {
+                            is_name_start(c)
+                        } else {
+                            is_name_char(c)
+                        }
+                    })
+                {
+                    return Err(format!(
+                        "line {lineno}: bad metric name in comment: {line:?}"
+                    ));
+                }
+                if rest.starts_with("TYPE ") {
+                    let kind = body.split_whitespace().nth(1).unwrap_or("");
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("line {lineno}: unknown TYPE {kind:?}"));
+                    }
+                }
+            }
+            // Other comments are permitted free text.
+            continue;
+        }
+        samples.push(parse_sample_line(line).map_err(|e| format!("line {lineno}: {e}"))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample_line(line: &str) -> Result<PromSample, String> {
+    let mut chars = line.char_indices().peekable();
+    // Name.
+    let mut name_end = 0;
+    while let Some(&(i, c)) = chars.peek() {
+        let ok = if i == 0 {
+            is_name_start(c)
+        } else {
+            is_name_char(c)
+        };
+        if !ok {
+            break;
+        }
+        name_end = i + c.len_utf8();
+        chars.next();
+    }
+    if name_end == 0 {
+        return Err(format!("missing metric name in {line:?}"));
+    }
+    let name = line[..name_end].to_string();
+    let rest = line[name_end..].trim_start();
+
+    let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+        let close =
+            find_label_close(body).ok_or_else(|| format!("unclosed label set in {line:?}"))?;
+        (
+            parse_labels(&body[..close])?,
+            body[close + 1..].trim_start(),
+        )
+    } else {
+        (Vec::new(), rest)
+    };
+
+    // Value, optionally followed by a timestamp (which we accept and drop).
+    let mut parts = rest.split_whitespace();
+    let value_text = parts
+        .next()
+        .ok_or_else(|| format!("missing value in {line:?}"))?;
+    let value =
+        parse_value(value_text).ok_or_else(|| format!("bad value {value_text:?} in {line:?}"))?;
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("bad timestamp {ts:?} in {line:?}"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err(format!("trailing tokens in {line:?}"));
+    }
+    Ok(PromSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Index of the closing `}` of a label body, honouring quoted strings with
+/// backslash escapes.
+fn find_label_close(body: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("missing '=' in labels {body:?}"))?;
+        let key = rest[..eq].trim();
+        if key.is_empty()
+            || !key.chars().enumerate().all(|(i, c)| {
+                if i == 0 {
+                    is_name_start(c)
+                } else {
+                    is_name_char(c)
+                }
+            })
+        {
+            return Err(format!("bad label name {key:?}"));
+        }
+        let after = rest[eq + 1..].trim_start();
+        let after = after
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label value for {key:?} is not quoted"))?;
+        let mut value = String::new();
+        let mut consumed = None;
+        let mut escaped = false;
+        for (i, c) in after.char_indices() {
+            if escaped {
+                match c {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    other => return Err(format!("bad escape \\{other} in label {key:?}")),
+                }
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    consumed = Some(i + 1);
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        let consumed = consumed.ok_or_else(|| format!("unterminated label value for {key:?}"))?;
+        labels.push((key.to_string(), value));
+        rest = after[consumed..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels in {body:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Sum every sample named exactly `name` across label sets — the probe's
+/// `--expect-metric name>=N` aggregation.
+pub fn sum_samples(samples: &[PromSample], name: &str) -> Option<f64> {
+    let mut total = 0.0;
+    let mut found = false;
+    for s in samples.iter().filter(|s| s.name == name) {
+        found = true;
+        if s.value.is_finite() {
+            total += s.value;
+        }
+    }
+    found.then_some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn round_trips_registry_output() {
+        let reg = MetricsRegistry::new(2);
+        let c = reg.counter("rt_ops_total", "ops");
+        let h = reg.histogram_with("rt_lat_ns", "latency with \"quotes\"", &[("op", "get")]);
+        c.add(0, 42);
+        h.record(100);
+        h.record(200_000);
+        let text = reg.snapshot().render_prometheus();
+        let samples = parse_prometheus(&text).expect("parses");
+        assert_eq!(sum_samples(&samples, "rt_ops_total"), Some(42.0));
+        let count = samples
+            .iter()
+            .find(|s| s.name == "rt_lat_ns_count")
+            .unwrap();
+        assert_eq!(count.value, 2.0);
+        assert_eq!(count.label("op"), Some("get"));
+        // `le` is a label, so "+Inf" stays literal text there.
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "rt_lat_ns_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert_eq!(inf.value, 2.0);
+    }
+
+    #[test]
+    fn parses_labels_with_escapes_and_timestamps() {
+        let text = "a_total{k=\"v\\\"x\\\\y\",z=\"w\"} 5 1700000000\n";
+        let samples = parse_prometheus(text).unwrap();
+        assert_eq!(samples[0].label("k"), Some("v\"x\\y"));
+        assert_eq!(samples[0].label("z"), Some("w"));
+        assert_eq!(samples[0].value, 5.0);
+    }
+
+    #[test]
+    fn special_values_parse() {
+        let samples = parse_prometheus("a +Inf\nb -Inf\nc NaN\nd 1.5e3\n").unwrap();
+        assert_eq!(samples[0].value, f64::INFINITY);
+        assert_eq!(samples[1].value, f64::NEG_INFINITY);
+        assert!(samples[2].value.is_nan());
+        assert_eq!(samples[3].value, 1500.0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_prometheus("1bad_name 3\n").is_err());
+        assert!(parse_prometheus("name{unclosed=\"x\" 3\n").is_err());
+        assert!(parse_prometheus("name{k=unquoted} 3\n").is_err());
+        assert!(parse_prometheus("name\n").is_err());
+        assert!(parse_prometheus("name 1 2 3\n").is_err());
+        assert!(parse_prometheus("# TYPE x banana\n").is_err());
+        let err = parse_prometheus("ok 1\nbad\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn sum_samples_distinguishes_absent_from_zero() {
+        let samples = parse_prometheus("zeroed_total 0\n").unwrap();
+        assert_eq!(sum_samples(&samples, "zeroed_total"), Some(0.0));
+        assert_eq!(sum_samples(&samples, "missing_total"), None);
+    }
+}

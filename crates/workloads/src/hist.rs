@@ -1,97 +1,51 @@
 //! Log-bucketed latency histogram used for Figure 15 (average and 99th
-//! percentile latency under load).
+//! percentile latency under load) — a thin wrapper over
+//! [`dlht_obs::LocalHistogram`] so bench percentiles and the server's
+//! `/metrics` percentiles come from one bucketing scheme.
 
-/// Latency histogram with ~4% relative precision, covering 1 ns to ~17 s.
-#[derive(Debug, Clone)]
+pub use dlht_obs::LatencySummary;
+
+/// Latency histogram with `1/SUB` (25%) bucket precision, covering 1 ns to
+/// ~4.3 s; overflow samples land in the top bucket while the exact maximum
+/// is tracked separately. Backed by the shared `dlht-obs` implementation.
+#[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
-    /// buckets[b * SUB + s]: count of samples in that (power-of-two, linear
-    /// subdivision) bucket.
-    buckets: Vec<u64>,
-    count: u64,
-    sum_ns: u128,
-    max_ns: u64,
-}
-
-const BITS: usize = 35; // up to ~34 seconds
-const SUB: usize = 16; // linear subdivisions per power of two
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
+    inner: dlht_obs::LocalHistogram,
 }
 
 impl LatencyHistogram {
     /// Empty histogram.
     pub fn new() -> Self {
         LatencyHistogram {
-            buckets: vec![0; BITS * SUB],
-            count: 0,
-            sum_ns: 0,
-            max_ns: 0,
-        }
-    }
-
-    #[inline]
-    fn bucket_of(ns: u64) -> usize {
-        let ns = ns.max(1);
-        let msb = 63 - ns.leading_zeros() as usize;
-        let sub = if msb == 0 {
-            0
-        } else {
-            ((ns >> (msb.saturating_sub(4))) & (SUB as u64 - 1)) as usize
-        };
-        (msb.min(BITS - 1)) * SUB + sub
-    }
-
-    /// Approximate lower bound of a bucket in nanoseconds.
-    fn bucket_value(bucket: usize) -> u64 {
-        let msb = bucket / SUB;
-        let sub = bucket % SUB;
-        if msb < 4 {
-            1 << msb
-        } else {
-            (1u64 << msb) + ((sub as u64) << (msb - 4))
+            inner: dlht_obs::LocalHistogram::new(),
         }
     }
 
     /// Record one latency sample.
     #[inline]
     pub fn record(&mut self, ns: u64) {
-        self.buckets[Self::bucket_of(ns)] += 1;
-        self.count += 1;
-        self.sum_ns += ns as u128;
-        self.max_ns = self.max_ns.max(ns);
+        self.inner.record(ns);
     }
 
     /// Merge another histogram into this one (per-thread histograms are merged
     /// after a run).
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += *b;
-        }
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
-        self.max_ns = self.max_ns.max(other.max_ns);
+        self.inner.merge(&other.inner);
     }
 
     /// Number of samples.
     pub fn count(&self) -> u64 {
-        self.count
+        self.inner.count()
     }
 
     /// Mean latency in nanoseconds.
     pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_ns as f64 / self.count as f64
-        }
+        self.inner.mean_ns()
     }
 
     /// Largest recorded sample.
     pub fn max_ns(&self) -> u64 {
-        self.max_ns
+        self.inner.max_ns()
     }
 
     /// Snapshot the fixed percentile set every benchmark record reports.
@@ -109,52 +63,13 @@ impl LatencyHistogram {
     /// assert!(s.p99_ns >= s.p50_ns);
     /// ```
     pub fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            samples: self.count,
-            mean_ns: self.mean_ns(),
-            p50_ns: self.percentile_ns(50.0),
-            p90_ns: self.percentile_ns(90.0),
-            p99_ns: self.percentile_ns(99.0),
-            p999_ns: self.percentile_ns(99.9),
-            max_ns: self.max_ns,
-        }
+        self.inner.snapshot().summary()
     }
 
     /// Latency at percentile `p` (0.0..=100.0), in nanoseconds.
     pub fn percentile_ns(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (b, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Self::bucket_value(b);
-            }
-        }
-        self.max_ns
+        self.inner.snapshot().percentile_ns(p)
     }
-}
-
-/// The fixed percentile set captured into every `BENCH_*.json` data point
-/// (see `dlht-bench`'s scenario harness).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LatencySummary {
-    /// Number of recorded samples (0 when latency recording was off).
-    pub samples: u64,
-    /// Mean latency in nanoseconds (exact, not bucketed).
-    pub mean_ns: f64,
-    /// Median latency (bucket lower bound, ~4% relative precision).
-    pub p50_ns: u64,
-    /// 90th percentile.
-    pub p90_ns: u64,
-    /// 99th percentile.
-    pub p99_ns: u64,
-    /// 99.9th percentile.
-    pub p999_ns: u64,
-    /// Largest recorded sample (exact).
-    pub max_ns: u64,
 }
 
 #[cfg(test)]
@@ -229,8 +144,8 @@ mod tests {
     #[test]
     fn buckets_are_monotonic_in_value() {
         let mut last = 0;
-        for b in 0..(BITS * SUB) {
-            let v = LatencyHistogram::bucket_value(b);
+        for b in 0..dlht_obs::BINS {
+            let v = dlht_obs::bucket_lower(b);
             assert!(v >= last, "bucket {b}: {v} < {last}");
             last = v;
         }
